@@ -1,0 +1,95 @@
+// E10 — Multi-system (polystore) analytics: ship models, not data
+// (paper RT1.5).
+//
+// Federated count/avg queries over two stores behind a 60ms WAN. Per
+// strategy: inter-system bytes and modelled transfer time per query, plus
+// answer error (exact for data/aggregate migration, model error for the
+// shipped-model strategy). The one-time model sync cost is reported
+// separately so the break-even query count is visible.
+#include "bench_util.h"
+
+#include "common/stats.h"
+#include "geo/polystore.h"
+
+namespace sea::bench {
+namespace {
+
+void run() {
+  banner("E10: polystore federation strategies",
+         "'instead of migrating large volumes of data between constituent "
+         "systems ... the models themselves are migrated' (RT1.5)");
+
+  const Table store_a = make_clustered_dataset(30000, 2, 3, 101);
+  const Table store_b = make_clustered_dataset(30000, 2, 3, 102);
+  PolystoreConfig cfg;
+  cfg.agent = default_agent_config();
+  Polystore store(cfg, store_a, store_b);
+
+  // Train the remote agent on store-B-local queries, then ship it once.
+  WorkloadConfig wc;
+  wc.selection = SelectionType::kRange;
+  wc.analytic = AnalyticType::kCount;
+  wc.subspace_cols = {0, 1};
+  wc.num_hotspots = 3;
+  wc.seed = 103;
+  wc.hotspot_anchors = sample_anchor_points(store_b, wc.subspace_cols, 24, 104);
+  QueryWorkload wl(wc, table_bounds(store_b, std::vector<std::size_t>{0, 1}));
+  for (int i = 0; i < 500; ++i) {
+    const auto q = wl.next();
+    store.train_remote_model(q, store.remote_truth(q));
+  }
+  const std::size_t sync_bytes = store.sync_model();
+
+  struct Acc {
+    RunningStats bytes, ms, rel;
+    std::size_t answered = 0;
+  };
+  Acc acc[3];
+  const FederationStrategy strategies[] = {
+      FederationStrategy::kMigrateData,
+      FederationStrategy::kMigrateAggregates,
+      FederationStrategy::kMigrateModels};
+
+  for (int i = 0; i < 150; ++i) {
+    const auto q = wl.next();
+    const double truth_a = truth_of(store_a, q);
+    const double truth_b = truth_of(store_b, q);
+    const double truth = truth_a + truth_b;
+    for (int si = 0; si < 3; ++si) {
+      try {
+        const auto ans = store.query(q, strategies[si]);
+        acc[si].bytes.add(static_cast<double>(ans.inter_system_bytes));
+        acc[si].ms.add(ans.inter_system_ms);
+        acc[si].rel.add(relative_error(truth, ans.value, 5.0));
+        ++acc[si].answered;
+      } catch (const std::logic_error&) {
+        // model cold for this query — counted as unanswered
+      }
+    }
+  }
+
+  row("%-22s %10s %16s %14s %12s", "strategy", "answered",
+      "bytes/query(avg)", "wan_ms(model)", "rel_err");
+  for (int si = 0; si < 3; ++si) {
+    row("%-22s %10zu %16.0f %14.2f %12.4f", to_string(strategies[si]),
+        acc[si].answered, acc[si].bytes.mean(), acc[si].ms.mean(),
+        acc[si].rel.mean());
+  }
+  row("one-time model sync: %zu bytes (break-even after ~%0.0f "
+      "aggregate-strategy queries)",
+      sync_bytes,
+      static_cast<double>(sync_bytes) /
+          std::max(1.0, acc[1].bytes.mean()));
+  std::printf(
+      "\nExpected shape: migrate_data moves tuples per query; aggregates\n"
+      "move 48B; shipped models move 0B per query at a small accuracy\n"
+      "cost, amortizing the one-time sync.\n");
+}
+
+}  // namespace
+}  // namespace sea::bench
+
+int main() {
+  sea::bench::run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E11 — Scalable missing-value imputation (paper [36]).
+//
+// Sweep the missing-value rate; both methods impute identically (kNN over
+// complete rows) but at very different costs: the MapReduce baseline
+// compares every missing row against every complete row, the indexed path
+// does per-node k-d probes. Reported: measured node compute, modelled
+// makespan, shuffled bytes, and RMSE vs the held-out truth.
+#include "bench_util.h"
+
+#include <cmath>
+#include <map>
+
+#include "ops/imputation.h"
+
+namespace sea::bench {
+namespace {
+
+void run() {
+  banner("E11: kNN missing-value imputation, missing-rate sweep",
+         "surgical index probes beat MapReduce all-pairs scans ([36])");
+  row("%10s %10s %16s %16s %14s %14s %10s", "missing%", "holes",
+      "mr_cpu_ms(meas)", "idx_cpu_ms(meas)", "mr_ms(model)", "idx_ms(model)",
+      "rmse");
+
+  for (const double rate : {0.01, 0.03, 0.06, 0.10}) {
+    Table table = make_clustered_dataset(30000, 2, 3, 111);
+    std::map<std::pair<NodeId, std::uint32_t>, double> truth;
+    Rng rng(112);
+    const std::size_t nodes = 6;
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      if (rng.bernoulli(rate)) {
+        truth[{static_cast<NodeId>(r % nodes),
+               static_cast<std::uint32_t>(r / nodes)}] = table.at(r, 2);
+        table.set(r, 2, std::nan(""));
+      }
+    }
+    Cluster cluster(nodes, Network::single_zone(nodes));
+    cluster.load_table("t", table);
+    ImputationSpec spec;
+    spec.table = "t";
+    spec.target_col = 2;
+    spec.feature_cols = {0, 1};
+    spec.k = 5;
+
+    const auto mr = impute_mapreduce(cluster, spec);
+    const auto idx = impute_indexed(cluster, spec);
+    double sse = 0;
+    for (const auto& v : idx.values) {
+      const double e = v.value - truth.at({v.node, v.row});
+      sse += e * e;
+    }
+    const double rmse =
+        idx.values.empty()
+            ? 0.0
+            : std::sqrt(sse / static_cast<double>(idx.values.size()));
+    row("%10.0f %10zu %16.1f %16.2f %14.1f %14.2f %10.3f", rate * 100,
+        idx.values.size(),
+        mr.report.map_compute_ms_total + mr.report.reduce_compute_ms_total,
+        idx.report.coordinator_compute_ms, mr.report.makespan_ms(),
+        idx.report.makespan_ms(), rmse);
+  }
+  std::printf(
+      "\nExpected shape: MR compute grows ~linearly with holes x data;\n"
+      "indexed compute stays far below (probe cost ~ log n per hole);\n"
+      "both produce the same low-RMSE imputations.\n");
+}
+
+}  // namespace
+}  // namespace sea::bench
+
+int main() {
+  sea::bench::run();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E12 — Storage growth: canopy-style cache vs agent models vs samples
+// (paper §II: "the storage required by Data Canopy ... can grow
+// prohibitively large").
+//
+// Sweep the stat-cache resolution (cells per dimension) and compare its
+// footprint/accuracy against the agent (whose footprint follows the
+// *workload*, not the domain) and a 1% sample, on the same query stream.
+#include "bench_util.h"
+
+#include "aqp/sampling.h"
+#include "aqp/stat_cache.h"
+#include "common/stats.h"
+
+namespace sea::bench {
+namespace {
+
+void run() {
+  banner("E12: auxiliary storage vs accuracy",
+         "cache storage grows with domain resolution (cells^d); model "
+         "storage grows with analyst interest (quanta x samples) and "
+         "plateaus");
+
+  Scenario s(60000, 8, AnalyticType::kCount);
+
+  // Agent trained on the workload.
+  DatalessAgent agent(default_agent_config(),
+                      [&](const std::vector<std::size_t>& cols) {
+                        return s.exec.domain(cols);
+                      });
+  for (int i = 0; i < 600; ++i) {
+    const auto q = s.workload.next();
+    agent.observe(q, truth_of(s.table, q));
+  }
+
+  SamplingConfig scfg;
+  scfg.sample_rate = 0.01;
+  SamplingEngine sampler(s.cluster, "t", scfg);
+  sampler.build();
+
+  // Shared test stream.
+  std::vector<AnalyticalQuery> stream;
+  std::vector<double> truths;
+  for (int i = 0; i < 150; ++i) {
+    stream.push_back(s.workload.next());
+    truths.push_back(truth_of(s.table, stream.back()));
+  }
+
+  const auto median_rel = [&](auto answer_fn) {
+    std::vector<double> errs;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (const auto v = answer_fn(stream[i]))
+        errs.push_back(relative_error(truths[i], *v, 5.0));
+    }
+    if (errs.empty()) return std::pair<double, std::size_t>{-1.0, 0};
+    std::sort(errs.begin(), errs.end());
+    return std::pair<double, std::size_t>{errs[errs.size() / 2],
+                                          errs.size()};
+  };
+
+  row("%-24s %14s %14s %10s", "system", "storage_bytes", "median_rel_err",
+      "answered");
+  for (const std::size_t cells : {8u, 16u, 32u, 64u, 128u}) {
+    GridStatCache cache(s.cluster, "t", {0, 1}, 2, 0, cells);
+    cache.build();
+    const auto [err, n] = median_rel(
+        [&](const AnalyticalQuery& q) { return cache.answer(q); });
+    char name[64];
+    std::snprintf(name, sizeof(name), "canopy_cache_%zux%zu", cells, cells);
+    row("%-24s %14zu %14.4f %10zu", name, cache.byte_size(), err, n);
+  }
+  {
+    const auto [err, n] =
+        median_rel([&](const AnalyticalQuery& q) -> std::optional<double> {
+          if (const auto p = agent.maybe_predict(q)) return p->value;
+          return std::nullopt;
+        });
+    row("%-24s %14zu %14.4f %10zu", "sea_agent", agent.byte_size(), err, n);
+  }
+  {
+    const auto [err, n] =
+        median_rel([&](const AnalyticalQuery& q) -> std::optional<double> {
+          const auto a = sampler.answer(q);
+          if (!a.supported) return std::nullopt;
+          return a.value;
+        });
+    row("%-24s %14zu %14.4f %10zu", "uniform_sample_1%",
+        sampler.sample_bytes(), err, n);
+  }
+  std::printf(
+      "\nExpected shape: cache error falls with resolution but storage\n"
+      "grows ~cells^2 (and would be cells^d in higher dimensions); the\n"
+      "agent reaches comparable error with a workload-sized footprint.\n"
+      "Note: a 2-d domain is the cache's BEST case — the paper's storage\n"
+      "critique compounds exponentially with dimensionality.\n");
+}
+
+}  // namespace
+}  // namespace sea::bench
+
+int main() {
+  sea::bench::run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E13 — Raw-data analytics (paper RT2.3).
+//
+// "developing adaptive indexing and caching techniques that operate on raw
+// data and facilitate efficient and scalable raw-data analyses."
+//
+// A query sequence over raw CSV bytes: the first query on a column pays
+// the parsing cost, repetition triggers cracking, and later queries
+// binary-search a sorted piece. Compared against the eager alternative
+// (parse everything up front), the adaptive store reaches low per-query
+// cost while only ever materializing the columns analysts actually touch.
+#include "bench_util.h"
+
+#include <sstream>
+
+#include "common/timer.h"
+#include "data/csv.h"
+#include "raw/raw_store.h"
+
+namespace sea::bench {
+namespace {
+
+void run() {
+  banner("E13: adaptive raw-data analytics (RT2.3)",
+         "data-to-insight without ETL: parsing is lazy and per-column, "
+         "repeated ranges crack into sorted pieces");
+
+  const Table table = make_clustered_dataset(200000, 4, 3, 131);
+  std::stringstream ss;
+  write_csv(table, ss);
+  std::string csv = ss.str();
+  const std::size_t raw_bytes = csv.size();
+  RawStore store(std::move(csv));
+
+  row("raw file: %zu rows x %zu cols, %.1f MiB", store.num_rows(),
+      store.num_columns(), static_cast<double>(raw_bytes) / (1024 * 1024));
+  row("%8s %14s %16s %14s %12s %10s", "query#", "time_ms(meas)",
+      "bytes_parsed", "values_scanned", "aux_KiB", "cracked");
+
+  Rng rng(132);
+  for (int i = 0; i < 10; ++i) {
+    const double lo = rng.uniform(0.2, 0.5);
+    RawQueryCost cost;
+    Timer t;
+    store.range_aggregate(0, lo, lo + 0.2, 4, &cost);
+    row("%8d %14.2f %16llu %14llu %12zu %10s", i + 1, t.elapsed_ms(),
+        static_cast<unsigned long long>(cost.bytes_parsed),
+        static_cast<unsigned long long>(cost.values_scanned),
+        store.aux_bytes() / 1024, cost.used_sorted_piece ? "yes" : "no");
+  }
+  row("columns materialized: %zu of %zu (the rest never left the raw "
+      "bytes)",
+      store.columns_cached(), store.num_columns());
+
+  // Eager alternative for contrast: full parse up front.
+  Timer eager;
+  Table parsed = [&] {
+    std::stringstream ss2;
+    write_csv(table, ss2);
+    return read_csv(ss2);
+  }();
+  row("\neager full parse (all columns): %.1f ms, %zu KiB resident",
+      eager.elapsed_ms(), parsed.byte_size() / 1024);
+  std::printf(
+      "\nExpected shape: query 1 pays one column's parse; queries 2-3 scan\n"
+      "the cached column; from query 4 the sorted piece answers in\n"
+      "sub-linear time — adaptive cost decay without any ETL step.\n");
+}
+
+}  // namespace
+}  // namespace sea::bench
+
+int main() {
+  sea::bench::run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// E5 — Subgraph-query semantic cache (paper [34], [35]: "performance
+// improvements up to 40X").
+//
+// Workload: analysts re-issue popular patterns (zipf over a pattern pool)
+// and grow them incrementally — the overlap structure GraphCache exploits.
+// Compared: direct VF2 matching per query vs the semantic cache (exact +
+// subsumption hits). Metric: matcher states explored and measured time.
+#include "bench_util.h"
+
+#include "common/timer.h"
+#include "graph/query_cache.h"
+
+namespace sea::bench {
+namespace {
+
+void run() {
+  banner("E5: subgraph-query semantic cache",
+         "exact hits cost zero search; subsumption hits restrict the "
+         "candidate space ([34],[35]: up to 40X)");
+
+  const Graph data = make_random_graph(3000, 6.0, 6, 71);
+  Rng rng(72);
+
+  // Pattern pool with repetition.
+  std::vector<Graph> pool;
+  for (int i = 0; i < 12; ++i) pool.push_back(extract_pattern(data, 4, rng));
+  ZipfDistribution pick(pool.size(), 1.0);
+
+  const std::size_t kQueries = 200;
+  std::vector<const Graph*> stream;
+  for (std::size_t i = 0; i < kQueries; ++i) stream.push_back(&pool[pick(rng)]);
+
+  // Baseline: direct matching, no cache.
+  MatchOptions opts;
+  opts.max_matches = 500;
+  std::uint64_t direct_states = 0;
+  Timer t1;
+  for (const Graph* p : stream) {
+    MatchStats st;
+    find_subgraph_matches(data, *p, opts, &st);
+    direct_states += st.states_explored;
+  }
+  const double direct_ms = t1.elapsed_ms();
+
+  // Semantic cache.
+  SubgraphQueryCache cache(data, 64, 500);
+  std::uint64_t cached_states = 0;
+  Timer t2;
+  for (const Graph* p : stream) cached_states += cache.query(*p).match_stats.states_explored;
+  const double cached_ms = t2.elapsed_ms();
+
+  row("%-28s %14s %14s %10s", "system", "states", "time_ms(meas)",
+      "speedup");
+  row("%-28s %14llu %14.1f %10s", "direct_vf2",
+      static_cast<unsigned long long>(direct_states), direct_ms, "1.0");
+  row("%-28s %14llu %14.1f %10.1f", "semantic_cache",
+      static_cast<unsigned long long>(cached_states), cached_ms,
+      direct_ms / std::max(1e-9, cached_ms));
+  const auto& cs = cache.stats();
+  row("cache: queries=%llu exact_hits=%llu subsumption=%llu misses=%llu "
+      "bytes=%zu",
+      static_cast<unsigned long long>(cs.queries),
+      static_cast<unsigned long long>(cs.exact_hits),
+      static_cast<unsigned long long>(cs.subsumption_hits),
+      static_cast<unsigned long long>(cs.misses), cache.byte_size());
+
+  // Growing-pattern phase: each popular pattern gets a 5-vertex extension
+  // issued right after it — subsumption territory.
+  banner("E5b: growing patterns (subsumption hits)",
+         "a cached sub-pattern's match support restricts the search for "
+         "its extensions");
+  SubgraphQueryCache cache2(data, 64, 500);
+  std::uint64_t direct2 = 0, cached2 = 0;
+  std::size_t pairs = 0;
+  for (int i = 0; i < 40; ++i) {
+    const Graph big = extract_pattern(data, 5, rng);
+    // Core = first 3 BFS vertices of big (connected by construction).
+    Graph core;
+    for (std::uint32_t v = 0; v < 3; ++v) core.add_vertex(big.label(v));
+    for (std::uint32_t u = 0; u < 3; ++u)
+      for (const auto v : big.neighbors(u))
+        if (v < 3 && u < v) core.add_edge(u, v);
+    if (core.num_edges() < 2) continue;
+    ++pairs;
+    cache2.query(core);
+    MatchStats direct_stats;
+    find_subgraph_matches(data, big, opts, &direct_stats);
+    direct2 += direct_stats.states_explored;
+    cached2 += cache2.query(big).match_stats.states_explored;
+  }
+  row("%-28s %14llu", "direct_states(extensions)",
+      static_cast<unsigned long long>(direct2));
+  row("%-28s %14llu  (%zu pattern pairs, %llu subsumption hits)",
+      "cached_states(extensions)", static_cast<unsigned long long>(cached2),
+      pairs, static_cast<unsigned long long>(cache2.stats().subsumption_hits));
+  std::printf(
+      "\nExpected shape: the cache collapses repeated patterns to ~zero\n"
+      "work and cuts extension search via subsumption — the [35] effect.\n");
+}
+
+}  // namespace
+}  // namespace sea::bench
+
+int main() {
+  sea::bench::run();
+  return 0;
+}

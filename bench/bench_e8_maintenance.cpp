@@ -1,0 +1,102 @@
+// E8 — Model maintenance under query-pattern drift and data updates
+// (paper RT1.4).
+//
+// Timeline benchmark over the serving loop: phase 1 steady state, phase 2
+// abrupt analyst-interest drift (hotspots move), phase 3 base-data update
+// (y values rescaled + note_data_update). Reported per 100-query window:
+// data-less hit rate and realized relative error of the answers actually
+// returned — the system must degrade to exact (staying correct) and then
+// recover its hit rate.
+#include "bench_util.h"
+
+#include "common/stats.h"
+#include "sea/served.h"
+
+namespace sea::bench {
+namespace {
+
+void run() {
+  banner("E8: maintenance under drift and updates",
+         "drift detectors + staleness inflation keep answers accurate: hit "
+         "rate dips and recovers, error stays bounded (RT1.4)");
+
+  Scenario s(50000, 8, AnalyticType::kCount);
+  DatalessAgent agent(default_agent_config(),
+                      [&](const std::vector<std::size_t>& cols) {
+                        return s.exec.domain(cols);
+                      });
+  ServeConfig sc;
+  sc.bootstrap_queries = 200;
+  sc.audit_fraction = 0.05;
+  ServedAnalytics served(agent, s.exec, sc);
+
+  row("%8s %-22s %10s %14s %12s", "window", "phase", "hit_rate",
+      "answer_rel_err", "drift_alarms");
+
+  const int kWindow = 100;
+  int window_id = 0;
+  QueryWorkload* active = &s.workload;
+  const auto run_windows = [&](int n, const char* phase) {
+    for (int w = 0; w < n; ++w) {
+      std::size_t hits = 0;
+      RunningStats err;
+      for (int i = 0; i < kWindow; ++i) {
+        const auto q = active->next();
+        const double truth = truth_of(s.table, q);
+        const auto a = served.serve(q);
+        if (a.data_less) ++hits;
+        err.add(relative_error(truth, a.value, 5.0));
+      }
+      row("%8d %-22s %10.2f %14.4f %12llu", ++window_id, phase,
+          static_cast<double>(hits) / kWindow, err.mean(),
+          static_cast<unsigned long long>(agent.stats().drift_alarms));
+    }
+  };
+
+  run_windows(5, "steady");
+
+  // Phase 2: analyst interests move abruptly — a fresh hotspot set over
+  // data regions the agent has never been asked about.
+  WorkloadConfig drift_wc;
+  drift_wc.selection = SelectionType::kRange;
+  drift_wc.analytic = AnalyticType::kCount;
+  drift_wc.subspace_cols = {0, 1};
+  drift_wc.target_col = 2;
+  drift_wc.num_hotspots = 3;
+  drift_wc.seed = 999;
+  drift_wc.hotspot_anchors =
+      sample_anchor_points(s.table, drift_wc.subspace_cols, 24, 998);
+  QueryWorkload drifted(drift_wc,
+                        table_bounds(s.table, std::vector<std::size_t>{0, 1}));
+  active = &drifted;
+  run_windows(6, "interest_drift");
+
+  // Phase 3: base data changes under the models.
+  for (std::size_t n = 0; n < s.cluster.num_nodes(); ++n) {
+    auto& part = s.cluster.mutable_partition("t", static_cast<NodeId>(n));
+    auto y = part.mutable_column(2);
+    for (auto& v : y) v = v * 1.8 + 0.3;
+  }
+  // Mutate the reference copy identically so truth_of stays the oracle.
+  {
+    auto y = s.table.mutable_column(2);
+    for (auto& v : y) v = v * 1.8 + 0.3;
+  }
+  s.exec.invalidate_caches();
+  agent.note_data_update(0.8);
+  run_windows(6, "data_update");
+
+  std::printf(
+      "\nExpected shape: hit rate ~0 right after each disturbance (the\n"
+      "agent declines, answers stay exact so answer_rel_err stays low for\n"
+      "count queries unaffected by the y-update), then climbs back as\n"
+      "models retrain; drift alarms fire during the transitions.\n");
+}
+
+}  // namespace
+}  // namespace sea::bench
+
+int main() {
+  sea::bench::run();
+  return 0;
+}

@@ -1,0 +1,213 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: index probes,
+// agent inference, aggregate merging, synopsis operations. These are the
+// per-operation costs the experiment harnesses compose.
+#include <benchmark/benchmark.h>
+
+#include "aqp/stat_cache.h"
+#include "common/rng.h"
+#include "data/generator.h"
+#include "index/bloom.h"
+#include "index/count_min.h"
+#include "index/grid.h"
+#include "index/kdtree.h"
+#include "ml/gbm.h"
+#include "ml/linear.h"
+#include "sea/agent.h"
+#include "sea/aggregate.h"
+#include "workload/workload.h"
+
+namespace sea {
+namespace {
+
+std::vector<Point> bench_points(std::size_t n, std::size_t d) {
+  Rng rng(7);
+  std::vector<Point> pts(n, Point(d));
+  for (auto& p : pts)
+    for (auto& v : p) v = rng.uniform();
+  return pts;
+}
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const auto pts = bench_points(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    KdTree tree(pts);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(10000)->Arg(100000);
+
+void BM_KdTreeRangeQuery(benchmark::State& state) {
+  const auto pts = bench_points(100000, 2);
+  KdTree tree(pts);
+  Rng rng(11);
+  for (auto _ : state) {
+    const double c0 = rng.uniform(0.1, 0.9), c1 = rng.uniform(0.1, 0.9);
+    Rect r{{c0 - 0.02, c1 - 0.02}, {c0 + 0.02, c1 + 0.02}};
+    benchmark::DoNotOptimize(tree.range_query(r));
+  }
+}
+BENCHMARK(BM_KdTreeRangeQuery);
+
+void BM_KdTreeKnn(benchmark::State& state) {
+  const auto pts = bench_points(100000, 2);
+  KdTree tree(pts);
+  Rng rng(12);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Point q = {rng.uniform(), rng.uniform()};
+    benchmark::DoNotOptimize(tree.knn(q, k));
+  }
+}
+BENCHMARK(BM_KdTreeKnn)->Arg(10)->Arg(100);
+
+/// Access-structure alternatives (RT3.1): the k-d tree and the grid index
+/// answer the same radius queries at different costs depending on
+/// selectivity — the trade-off an access-structure selector would learn.
+void BM_GridRadiusQuery(benchmark::State& state) {
+  const auto pts = bench_points(100000, 2);
+  Rect domain{{0, 0}, {1, 1}};
+  GridIndex grid(pts, domain, 32);
+  Rng rng(21);
+  const double radius = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    Ball b{{rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8)}, radius};
+    benchmark::DoNotOptimize(grid.radius_query(b));
+  }
+}
+BENCHMARK(BM_GridRadiusQuery)->Arg(10)->Arg(100);
+
+void BM_KdRadiusQuery(benchmark::State& state) {
+  const auto pts = bench_points(100000, 2);
+  KdTree tree(pts);
+  Rng rng(21);
+  const double radius = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    Ball b{{rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8)}, radius};
+    benchmark::DoNotOptimize(tree.radius_query(b));
+  }
+}
+BENCHMARK(BM_KdRadiusQuery)->Arg(10)->Arg(100);
+
+void BM_BloomProbe(benchmark::State& state) {
+  BloomFilter bloom(100000, 0.01);
+  for (std::uint64_t i = 0; i < 100000; ++i) bloom.insert(i * 2);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom.may_contain(key));
+    ++key;
+  }
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_CountMinAdd(benchmark::State& state) {
+  CountMinSketch cm(0.001, 0.01);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    cm.add(key++ % 4096);
+    benchmark::DoNotOptimize(cm.total());
+  }
+}
+BENCHMARK(BM_CountMinAdd);
+
+void BM_AggregateMerge(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<AggregateState> parts(64);
+  for (auto& p : parts)
+    for (int i = 0; i < 100; ++i) p.add(rng.uniform(), rng.uniform());
+  for (auto _ : state) {
+    AggregateState total;
+    for (const auto& p : parts) total.merge(p);
+    benchmark::DoNotOptimize(total.finalize(AnalyticType::kCorrelation));
+  }
+}
+BENCHMARK(BM_AggregateMerge);
+
+void BM_LinearFit(benchmark::State& state) {
+  Rng rng(14);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 256; ++i) {
+    x.push_back({rng.uniform(), rng.uniform(), rng.uniform(),
+                 rng.uniform(), rng.uniform()});
+    y.push_back(x.back()[0] * 2 - x.back()[3] + rng.normal(0, 0.1));
+  }
+  for (auto _ : state) {
+    LinearModel m;
+    m.fit(x, y);
+    benchmark::DoNotOptimize(m.intercept());
+  }
+}
+BENCHMARK(BM_LinearFit);
+
+void BM_GbmPredict(benchmark::State& state) {
+  Rng rng(15);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 512; ++i) {
+    x.push_back({rng.uniform(), rng.uniform()});
+    y.push_back(std::sin(5 * x.back()[0]) + x.back()[1]);
+  }
+  GbmRegressor gbm;
+  gbm.fit(x, y);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbm.predict(x[i++ % x.size()]));
+  }
+}
+BENCHMARK(BM_GbmPredict);
+
+/// The headline number: one data-less agent prediction end to end.
+void BM_AgentPredict(benchmark::State& state) {
+  const Table table = make_clustered_dataset(20000, 2, 3, 16);
+  AgentConfig cfg;
+  cfg.min_samples_to_predict = 12;
+  cfg.create_distance = 0.06;
+  DatalessAgent agent(cfg, [&](const std::vector<std::size_t>& cols) {
+    return table_bounds(table, cols);
+  });
+  WorkloadConfig wc;
+  wc.selection = SelectionType::kRange;
+  wc.analytic = AnalyticType::kCount;
+  wc.subspace_cols = {0, 1};
+  wc.hotspot_anchors = sample_anchor_points(table, wc.subspace_cols, 16, 17);
+  QueryWorkload wl(wc, table_bounds(table, std::vector<std::size_t>{0, 1}));
+  // Quick offline training pass (truth from a single scan each).
+  for (int i = 0; i < 400; ++i) {
+    const auto q = wl.next();
+    AggregateState agg;
+    Point p;
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      table.gather(r, q.subspace_cols, p);
+      if (q.range.contains(p)) agg.add(0, 0);
+    }
+    agent.observe(q, agg.finalize(AnalyticType::kCount));
+  }
+  for (auto _ : state) {
+    const auto q = wl.next();
+    benchmark::DoNotOptimize(agent.maybe_predict(q));
+  }
+}
+BENCHMARK(BM_AgentPredict);
+
+void BM_AgentObserve(benchmark::State& state) {
+  const Table table = make_clustered_dataset(5000, 2, 3, 18);
+  AgentConfig cfg;
+  cfg.create_distance = 0.06;
+  DatalessAgent agent(cfg, [&](const std::vector<std::size_t>& cols) {
+    return table_bounds(table, cols);
+  });
+  WorkloadConfig wc;
+  wc.selection = SelectionType::kRange;
+  wc.analytic = AnalyticType::kCount;
+  wc.subspace_cols = {0, 1};
+  QueryWorkload wl(wc, table_bounds(table, std::vector<std::size_t>{0, 1}));
+  Rng rng(19);
+  for (auto _ : state) {
+    agent.observe(wl.next(), rng.uniform(0, 500));
+  }
+}
+BENCHMARK(BM_AgentObserve);
+
+}  // namespace
+}  // namespace sea

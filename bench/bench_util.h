@@ -1,0 +1,115 @@
+// Shared helpers for the experiment harnesses (E1..E12).
+//
+// Every harness prints a fixed-width table: one header block naming the
+// experiment and the paper claim it substantiates, then one row per
+// parameter point. Columns ending in "(meas)" are measured wall-clock;
+// columns ending in "(model)" come from the calibrated cost model
+// (DESIGN.md, "cost accounting, not wall-clock fiction"); byte/row/task
+// counters are hardware-independent.
+#pragma once
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sea/agent.h"
+#include "data/generator.h"
+#include "sea/exact.h"
+#include "sea/query.h"
+#include "workload/workload.h"
+
+namespace sea::bench {
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Claim: %s\n", claim.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Ground truth over the raw table (no accounting), via a direct scan.
+inline double truth_of(const Table& table, const AnalyticalQuery& q) {
+  AggregateState agg;
+  Point p;
+  std::vector<std::pair<double, std::size_t>> knn;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    table.gather(r, q.subspace_cols, p);
+    if (q.selection == SelectionType::kNearestNeighbors) {
+      knn.emplace_back(squared_distance(p, q.knn_point), r);
+      continue;
+    }
+    const bool hit = q.selection == SelectionType::kRange
+                         ? q.range.contains(p)
+                         : q.ball.contains(p);
+    if (!hit) continue;
+    agg.add(needs_target(q.analytic) ? table.at(r, q.target_col) : 0.0,
+            needs_second_target(q.analytic) ? table.at(r, q.target_col2)
+                                            : 0.0);
+  }
+  if (q.selection == SelectionType::kNearestNeighbors) {
+    std::sort(knn.begin(), knn.end());
+    const std::size_t take = std::min(q.knn_k, knn.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t r = knn[i].second;
+      agg.add(needs_target(q.analytic) ? table.at(r, q.target_col) : 0.0,
+              needs_second_target(q.analytic) ? table.at(r, q.target_col2)
+                                              : 0.0);
+    }
+  }
+  return agg.finalize(q.analytic);
+}
+
+/// Standard clustered-analytics scenario: table in a cluster + an anchored
+/// hotspot workload over (x0, x1).
+struct Scenario {
+  Table table;
+  Cluster cluster;
+  ExactExecutor exec;
+  QueryWorkload workload;
+
+  Scenario(std::size_t rows, std::size_t nodes, AnalyticType analytic,
+           SelectionType selection = SelectionType::kRange,
+           std::uint64_t seed = 7)
+      : table(make_clustered_dataset(rows, 2, 3, seed)),
+        cluster(nodes, Network::single_zone(nodes)),
+        exec((cluster.load_table("t", table), cluster), "t"),
+        workload(
+            [&] {
+              WorkloadConfig wc;
+              wc.selection = selection;
+              wc.analytic = analytic;
+              wc.subspace_cols = {0, 1};
+              wc.target_col = 2;
+              wc.target_col2 = 0;
+              wc.num_hotspots = 3;
+              wc.seed = seed + 1;
+              wc.hotspot_anchors = sample_anchor_points(
+                  table, wc.subspace_cols, 24, seed + 2);
+              return wc;
+            }(),
+            table_bounds(table, std::vector<std::size_t>{0, 1})) {}
+};
+
+/// Agent configuration used across experiments (tuned via the test suite).
+inline AgentConfig default_agent_config() {
+  AgentConfig cfg;
+  cfg.min_samples_to_predict = 12;
+  cfg.refit_interval = 8;
+  cfg.max_relative_error = 0.3;
+  cfg.create_distance = 0.06;
+  return cfg;
+}
+
+}  // namespace sea::bench

@@ -1,0 +1,52 @@
+// Raw-data analytics (paper RT2.3): querying a CSV that was never loaded.
+//
+// A scientist drops an 8 MiB sensor dump next to the binary and starts
+// asking range aggregates immediately — no schema declaration, no ETL, no
+// load step. The store parses only the touched columns, lazily, and after
+// a few repeated predicates cracks them into sorted pieces so later
+// queries run in microseconds.
+//
+// Build & run:  ./build/examples/raw_analytics
+#include <cstdio>
+#include <sstream>
+
+#include "common/timer.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "raw/raw_store.h"
+
+int main() {
+  using namespace sea;
+
+  // Simulate the dropped file: a 100k-row, 4-attribute sensor dump.
+  const Table sensors = make_clustered_dataset(100000, 3, 4, 77);
+  std::stringstream file;
+  write_csv(sensors, file);
+  std::string raw_bytes = file.str();
+  std::printf("raw file: %.1f MiB, %zu rows — no load, no ETL\n\n",
+              static_cast<double>(raw_bytes.size()) / (1024 * 1024),
+              sensors.num_rows());
+
+  RawStore store(std::move(raw_bytes));
+
+  // Session: the scientist keeps slicing on x0 and averaging y.
+  const std::size_t x0 = store.column_index("x0");
+  const std::size_t y = store.column_index("y");
+  std::printf("%28s %14s %14s %10s\n", "query", "avg(y)", "time_ms",
+              "cracked");
+  for (int i = 0; i < 8; ++i) {
+    const double lo = 0.30 + 0.02 * i;
+    RawQueryCost cost;
+    Timer t;
+    const auto agg = store.range_aggregate(x0, lo, lo + 0.1, y, &cost);
+    std::printf("avg(y | x0 in [%.2f,%.2f]) %14.4f %14.3f %10s\n", lo,
+                lo + 0.1, agg.avg(), t.elapsed_ms(),
+                cost.used_sorted_piece ? "yes" : "no");
+  }
+  std::printf(
+      "\ncolumns materialized: %zu of %zu; adaptive state: %zu KiB\n"
+      "(the untouched columns never left the raw bytes)\n",
+      store.columns_cached(), store.num_columns(),
+      store.aux_bytes() / 1024);
+  return 0;
+}

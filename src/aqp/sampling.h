@@ -1,0 +1,73 @@
+// Sampling-based approximate query processing baseline (BlinkDB-like,
+// paper §II critique of [17]).
+//
+// Faithful to the paper's architectural critique, the sample is *itself a
+// distributed table in the BDAS*: building it scans the base table through
+// the stack, and answering a query runs a (smaller) MapReduce over the
+// sample partitions — so the baseline pays stack overheads per query, just
+// as BlinkDB pays Hive/HDFS costs. Uniform and stratified variants;
+// stratified guarantees a minimum expected take per stratum of a chosen
+// column (BlinkDB's answer to rare subgroups).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "exec/exec_report.h"
+#include "sea/query.h"
+
+namespace sea {
+
+enum class SamplingStrategy { kUniform, kStratified };
+
+struct SamplingConfig {
+  SamplingStrategy strategy = SamplingStrategy::kUniform;
+  double sample_rate = 0.01;
+  /// Stratified: stratify on this column, binned into `strata` buckets,
+  /// with at least `min_per_stratum` expected rows kept per stratum.
+  std::size_t stratify_col = 0;
+  std::size_t strata = 32;
+  std::size_t min_per_stratum = 64;
+  std::uint64_t seed = 1234;
+};
+
+struct AqpAnswer {
+  bool supported = false;
+  double value = 0.0;
+  /// Approximate 95% CI half-width (CLT-based); 0 when not estimable.
+  double ci_halfwidth = 0.0;
+  ExecReport report;
+};
+
+class SamplingEngine {
+ public:
+  SamplingEngine(Cluster& cluster, std::string base_table,
+                 SamplingConfig config = {});
+
+  /// Scans the base table (accounted) and materializes the sample as a
+  /// distributed table `<base>__sample`. Must be called before answer().
+  /// Returns the build-time execution report.
+  ExecReport build();
+
+  /// Sample-based estimate. All selection types except kNN are supported
+  /// (kNN over a sample returns the wrong neighbourhood by construction).
+  AqpAnswer answer(const AnalyticalQuery& query);
+
+  std::size_t sample_rows() const noexcept { return sample_rows_; }
+  std::size_t sample_bytes() const noexcept { return sample_bytes_; }
+  const std::string& sample_table() const noexcept { return sample_table_; }
+
+ private:
+  Cluster& cluster_;
+  std::string base_table_;
+  std::string sample_table_;
+  SamplingConfig config_;
+  bool built_ = false;
+  std::size_t sample_rows_ = 0;
+  std::size_t sample_bytes_ = 0;
+  std::size_t weight_col_ = 0;  ///< index of the per-row weight column
+};
+
+}  // namespace sea

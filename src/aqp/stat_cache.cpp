@@ -1,0 +1,176 @@
+#include "aqp/stat_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "data/table.h"
+
+namespace sea {
+
+GridStatCache::GridStatCache(Cluster& cluster, std::string base_table,
+                             std::vector<std::size_t> subspace_cols,
+                             std::size_t target_col, std::size_t target_col2,
+                             std::size_t cells_per_dim)
+    : cluster_(cluster),
+      base_table_(std::move(base_table)),
+      subspace_cols_(std::move(subspace_cols)),
+      target_col_(target_col),
+      target_col2_(target_col2),
+      cells_per_dim_(cells_per_dim) {
+  if (!cluster_.has_table(base_table_))
+    throw std::invalid_argument("GridStatCache: unknown table " + base_table_);
+  if (subspace_cols_.empty())
+    throw std::invalid_argument("GridStatCache: no subspace columns");
+  if (cells_per_dim_ == 0)
+    throw std::invalid_argument("GridStatCache: cells_per_dim must be > 0");
+  double total = 1.0;
+  for (std::size_t i = 0; i < subspace_cols_.size(); ++i) {
+    total *= static_cast<double>(cells_per_dim_);
+    if (total > 5e7)
+      throw std::invalid_argument(
+          "GridStatCache: cell count explodes (the Data-Canopy storage "
+          "problem, see E12); reduce cells_per_dim");
+  }
+}
+
+std::size_t GridStatCache::cell_coord(double v, std::size_t dim) const
+    noexcept {
+  const double lo = domain_.lo[dim];
+  const double hi = domain_.hi[dim];
+  const double width = (hi - lo) / static_cast<double>(cells_per_dim_);
+  if (width <= 0.0) return 0;
+  const auto c = static_cast<std::int64_t>(std::floor((v - lo) / width));
+  return static_cast<std::size_t>(std::clamp<std::int64_t>(
+      c, 0, static_cast<std::int64_t>(cells_per_dim_) - 1));
+}
+
+std::size_t GridStatCache::flatten(
+    const std::vector<std::size_t>& coords) const noexcept {
+  std::size_t idx = 0;
+  for (const std::size_t c : coords) idx = idx * cells_per_dim_ + c;
+  return idx;
+}
+
+ExecReport GridStatCache::build() {
+  ExecReport report;
+  // Domain = union of partition bounds (cheap metadata pass).
+  bool first = true;
+  for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+    const Table& part = cluster_.partition(base_table_,
+                                           static_cast<NodeId>(n));
+    if (part.num_rows() == 0) continue;
+    const Rect b = table_bounds(part, subspace_cols_);
+    if (first) {
+      domain_ = b;
+      first = false;
+    } else {
+      for (std::size_t i = 0; i < subspace_cols_.size(); ++i) {
+        domain_.lo[i] = std::min(domain_.lo[i], b.lo[i]);
+        domain_.hi[i] = std::max(domain_.hi[i], b.hi[i]);
+      }
+    }
+  }
+  if (first) throw std::logic_error("GridStatCache::build: empty table");
+  // Pad the upper edge so max values land inside the last cell.
+  for (std::size_t i = 0; i < subspace_cols_.size(); ++i)
+    domain_.hi[i] = std::nextafter(domain_.hi[i],
+                                   std::numeric_limits<double>::max());
+
+  std::size_t n_cells = 1;
+  for (std::size_t i = 0; i < subspace_cols_.size(); ++i)
+    n_cells *= cells_per_dim_;
+  cells_.assign(n_cells, AggregateState{});
+
+  // Full accounted scan of every partition; cell states stream to the
+  // coordinator (their size is the cache's storage cost).
+  std::vector<std::size_t> coords(subspace_cols_.size());
+  for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+    const Table& part = cluster_.partition(base_table_,
+                                           static_cast<NodeId>(n));
+    cluster_.account_task(static_cast<NodeId>(n));
+    report.modelled_overhead_ms += cluster_.cost_model().task_overhead_ms();
+    ++report.map_tasks;
+    cluster_.account_scan(static_cast<NodeId>(n), part.num_rows(),
+                          part.byte_size());
+    Point p;
+    for (std::size_t r = 0; r < part.num_rows(); ++r) {
+      part.gather(r, subspace_cols_, p);
+      for (std::size_t i = 0; i < p.size(); ++i)
+        coords[i] = cell_coord(p[i], i);
+      const double t = part.at(r, target_col_);
+      const double u = part.at(r, target_col2_);
+      cells_[flatten(coords)].add(t, u);
+    }
+    const double net = cluster_.network().send(
+        static_cast<NodeId>(n), 0, byte_size() / cluster_.num_nodes());
+    report.modelled_network_ms += net;
+    report.shuffle_bytes += byte_size() / cluster_.num_nodes();
+  }
+  built_ = true;
+  return report;
+}
+
+std::optional<double> GridStatCache::answer(
+    const AnalyticalQuery& query) const {
+  if (!built_) throw std::logic_error("GridStatCache::answer before build");
+  query.validate();
+  if (query.selection != SelectionType::kRange) return std::nullopt;
+  if (query.subspace_cols != subspace_cols_) return std::nullopt;
+  if (needs_target(query.analytic) && query.target_col != target_col_)
+    return std::nullopt;
+  if (needs_second_target(query.analytic) &&
+      query.target_col2 != target_col2_)
+    return std::nullopt;
+
+  const std::size_t d = subspace_cols_.size();
+  std::vector<std::size_t> lo(d), hi(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    lo[i] = cell_coord(query.range.lo[i], i);
+    hi[i] = cell_coord(query.range.hi[i], i);
+  }
+
+  AggregateState total;
+  std::vector<std::size_t> coord = lo;
+  for (;;) {
+    // Volume fraction of this cell covered by the query rectangle.
+    double frac = 1.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double width =
+          (domain_.hi[i] - domain_.lo[i]) / static_cast<double>(cells_per_dim_);
+      const double clo = domain_.lo[i] + static_cast<double>(coord[i]) * width;
+      const double chi = clo + width;
+      const double overlap = std::max(
+          0.0, std::min(query.range.hi[i], chi) -
+                   std::max(query.range.lo[i], clo));
+      frac *= overlap / width;
+    }
+    if (frac > 0.0) {
+      const AggregateState& cell = cells_[flatten(coord)];
+      AggregateState scaled;
+      // Pro-rate boundary cells by covered volume (uniformity per cell).
+      scaled.count = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(cell.count) * frac));
+      scaled.sum_t = cell.sum_t * frac;
+      scaled.sum_tt = cell.sum_tt * frac;
+      scaled.sum_u = cell.sum_u * frac;
+      scaled.sum_uu = cell.sum_uu * frac;
+      scaled.sum_tu = cell.sum_tu * frac;
+      total.merge(scaled);
+    }
+    // Odometer over [lo, hi].
+    std::size_t i = 0;
+    for (; i < d; ++i) {
+      if (coord[i] < hi[i]) {
+        ++coord[i];
+        for (std::size_t j = 0; j < i; ++j) coord[j] = lo[j];
+        break;
+      }
+    }
+    if (i == d) break;
+  }
+  return total.finalize(query.analytic);
+}
+
+}  // namespace sea

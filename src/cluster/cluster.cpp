@@ -1,0 +1,222 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+namespace sea {
+
+Cluster::Cluster(std::size_t num_nodes, Network network, BdasCostModel cost)
+    : num_nodes_(num_nodes), network_(std::move(network)), cost_(cost),
+      node_down_(num_nodes, false) {
+  if (num_nodes_ == 0)
+    throw std::invalid_argument("Cluster: need at least one node");
+  if (network_.num_nodes() < num_nodes_)
+    throw std::invalid_argument("Cluster: network smaller than cluster");
+}
+
+void Cluster::set_node_down(NodeId node, bool down) {
+  if (node >= num_nodes_) throw std::out_of_range("Cluster::set_node_down");
+  node_down_[node] = down;
+}
+
+bool Cluster::node_is_down(NodeId node) const {
+  if (node >= num_nodes_) throw std::out_of_range("Cluster::node_is_down");
+  return node_down_[node];
+}
+
+NodeId Cluster::serving_node(const std::string& name,
+                             std::size_t shard) const {
+  const auto& st = stored(name);
+  if (shard >= st.partitions.size())
+    throw std::out_of_range("Cluster::serving_node: bad shard");
+  const std::size_t replicas = std::max<std::size_t>(1, st.spec.replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    const auto node = static_cast<NodeId>((shard + r) % num_nodes_);
+    if (!node_down_[node]) return node;
+  }
+  throw std::runtime_error("Cluster::serving_node: no live replica of shard " +
+                           std::to_string(shard) + " of " + name);
+}
+
+void Cluster::load_table(const std::string& name, const Table& table,
+                         PartitionSpec spec) {
+  StoredTable st;
+  st.spec = spec;
+  st.partitions.assign(num_nodes_, Table{table.schema()});
+  st.versions.assign(num_nodes_, 1);
+
+  if (spec.scheme != Partitioning::kRoundRobin &&
+      spec.partition_column >= table.num_columns())
+    throw std::invalid_argument("Cluster::load_table: bad partition column");
+
+  if (spec.scheme == Partitioning::kRangeColumn) {
+    // Equi-count boundaries from the sorted partition column.
+    std::vector<double> vals(table.column(spec.partition_column).begin(),
+                             table.column(spec.partition_column).end());
+    std::sort(vals.begin(), vals.end());
+    st.range_bounds.resize(num_nodes_ + 1);
+    st.range_bounds.front() = vals.empty() ? 0.0 : vals.front();
+    st.range_bounds.back() =
+        vals.empty() ? 0.0 : std::nextafter(vals.back(),
+                                            std::numeric_limits<double>::max());
+    for (std::size_t i = 1; i < num_nodes_; ++i) {
+      const std::size_t pos = (i * vals.size()) / num_nodes_;
+      st.range_bounds[i] = vals.empty() ? 0.0 : vals[pos];
+    }
+  }
+
+  std::vector<double> row(table.num_columns());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < table.num_columns(); ++c)
+      row[c] = table.at(r, c);
+    std::size_t node = 0;
+    switch (spec.scheme) {
+      case Partitioning::kRoundRobin:
+        node = r % num_nodes_;
+        break;
+      case Partitioning::kHashColumn: {
+        const double v = row[spec.partition_column];
+        node = std::hash<double>{}(v) % num_nodes_;
+        break;
+      }
+      case Partitioning::kRangeColumn: {
+        const double v = row[spec.partition_column];
+        const auto it = std::upper_bound(st.range_bounds.begin() + 1,
+                                         st.range_bounds.end(), v);
+        node = std::min<std::size_t>(
+            static_cast<std::size_t>(it - st.range_bounds.begin() - 1),
+            num_nodes_ - 1);
+        break;
+      }
+    }
+    st.partitions[node].append_row(row);
+  }
+  tables_[name] = std::move(st);
+}
+
+void Cluster::load_table_at(const std::string& name, const Table& table,
+                            NodeId node) {
+  if (node >= num_nodes_)
+    throw std::out_of_range("Cluster::load_table_at: bad node");
+  StoredTable st;
+  st.spec = PartitionSpec{};
+  st.partitions.assign(num_nodes_, Table{table.schema()});
+  st.versions.assign(num_nodes_, 1);
+  std::vector<double> row(table.num_columns());
+  st.partitions[node].reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < table.num_columns(); ++c)
+      row[c] = table.at(r, c);
+    st.partitions[node].append_row(row);
+  }
+  tables_[name] = std::move(st);
+}
+
+bool Cluster::has_table(const std::string& name) const noexcept {
+  return tables_.count(name) > 0;
+}
+
+void Cluster::drop_table(const std::string& name) {
+  if (tables_.erase(name) == 0)
+    throw std::out_of_range("Cluster::drop_table: no table " + name);
+}
+
+const Cluster::StoredTable& Cluster::stored(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end())
+    throw std::out_of_range("Cluster: no table named " + name);
+  return it->second;
+}
+
+Cluster::StoredTable& Cluster::stored(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end())
+    throw std::out_of_range("Cluster: no table named " + name);
+  return it->second;
+}
+
+const Table& Cluster::partition(const std::string& name, NodeId node) const {
+  const auto& st = stored(name);
+  if (node >= st.partitions.size())
+    throw std::out_of_range("Cluster::partition: bad node");
+  return st.partitions[node];
+}
+
+Table& Cluster::mutable_partition(const std::string& name, NodeId node) {
+  auto& st = stored(name);
+  if (node >= st.partitions.size())
+    throw std::out_of_range("Cluster::mutable_partition: bad node");
+  ++st.versions[node];
+  return st.partitions[node];
+}
+
+std::size_t Cluster::table_rows(const std::string& name) const {
+  const auto& st = stored(name);
+  std::size_t n = 0;
+  for (const auto& p : st.partitions) n += p.num_rows();
+  return n;
+}
+
+std::uint64_t Cluster::partition_version(const std::string& name,
+                                         NodeId node) const {
+  const auto& st = stored(name);
+  if (node >= st.versions.size())
+    throw std::out_of_range("Cluster::partition_version: bad node");
+  return st.versions[node];
+}
+
+const PartitionSpec& Cluster::partition_spec(const std::string& name) const {
+  return stored(name).spec;
+}
+
+std::vector<NodeId> Cluster::nodes_for_range(const std::string& name,
+                                             double lo, double hi) const {
+  const auto& st = stored(name);
+  std::vector<NodeId> out;
+  if (st.spec.scheme == Partitioning::kRangeColumn &&
+      st.range_bounds.size() == num_nodes_ + 1) {
+    for (std::size_t n = 0; n < num_nodes_; ++n) {
+      const double node_lo = st.range_bounds[n];
+      const double node_hi = st.range_bounds[n + 1];
+      if (hi >= node_lo && lo < node_hi)
+        out.push_back(static_cast<NodeId>(n));
+    }
+  } else {
+    out.reserve(num_nodes_);
+    for (std::size_t n = 0; n < num_nodes_; ++n)
+      out.push_back(static_cast<NodeId>(n));
+  }
+  return out;
+}
+
+void Cluster::account_task(NodeId node) {
+  if (node >= num_nodes_) throw std::out_of_range("Cluster::account_task");
+  if (node_down_[node])
+    throw std::runtime_error("Cluster::account_task: node is down");
+  ++stats_.tasks;
+  ++stats_.node_touches;
+  stats_.modelled_overhead_ms += cost_.task_overhead_ms();
+}
+
+void Cluster::account_scan(NodeId node, std::uint64_t rows,
+                           std::uint64_t bytes) {
+  if (node >= num_nodes_) throw std::out_of_range("Cluster::account_scan");
+  stats_.rows_scanned += rows;
+  stats_.bytes_read += bytes;
+}
+
+void Cluster::account_probe(NodeId node, std::uint64_t probes,
+                            std::uint64_t rows, std::uint64_t bytes) {
+  if (node >= num_nodes_) throw std::out_of_range("Cluster::account_probe");
+  if (node_down_[node])
+    throw std::runtime_error("Cluster::account_probe: node is down");
+  stats_.index_probes += probes;
+  stats_.rows_scanned += rows;
+  stats_.bytes_read += bytes;
+  stats_.modelled_overhead_ms += cost_.coordinator_rpc_ms;
+}
+
+}  // namespace sea

@@ -1,0 +1,167 @@
+// Simulated Big-Data-Analytics-Stack cluster.
+//
+// Nodes hold *real* in-memory partitions of real data; scans and probes
+// really execute. What is modelled (per DESIGN.md) is everything we lack
+// hardware for: network transfer (delegated to sea::Network) and the
+// per-task overhead each BDAS layer adds (paper §II.A: "each layer adding
+// extra overheads at all nodes engaged in task processing").
+//
+// Executors (src/exec) and operators (src/ops) must route every partition
+// access through the accounting calls here so that "nodes touched",
+// "rows scanned" and "bytes read" — the quantities the paper's efficiency
+// arguments are about — are captured faithfully.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+#include "net/network.h"
+
+namespace sea {
+
+/// How a logical table is split across storage nodes.
+enum class Partitioning {
+  kRoundRobin,  ///< row i -> node i % N
+  kHashColumn,  ///< node = hash(value of partition_column) % N
+  kRangeColumn  ///< contiguous value ranges of partition_column per node
+};
+
+struct PartitionSpec {
+  Partitioning scheme = Partitioning::kRoundRobin;
+  std::size_t partition_column = 0;  ///< for hash/range schemes
+  /// Copies of each shard, placed on consecutive nodes (1 = no replicas).
+  /// Executors route around down nodes when replicas exist — the
+  /// availability dimension of the paper's metric list (P4).
+  std::size_t replicas = 1;
+};
+
+/// Per-task overhead model for the stack's layers (storage engine,
+/// resource manager, execution engine). Applied once per (task, node).
+struct BdasCostModel {
+  int layers = 3;
+  double layer_overhead_ms = 1.5;   ///< per layer, per task, per node
+  double task_startup_ms = 4.0;     ///< scheduling/launch per task
+  double coordinator_rpc_ms = 0.2;  ///< direct storage RPC (coordinator-cohort)
+
+  double task_overhead_ms() const noexcept {
+    return task_startup_ms + layers * layer_overhead_ms;
+  }
+};
+
+/// Cumulative base-data access accounting.
+struct AccessStats {
+  std::uint64_t tasks = 0;          ///< tasks launched (per node)
+  std::uint64_t node_touches = 0;   ///< node visits (incl. repeats)
+  std::uint64_t rows_scanned = 0;   ///< tuples actually examined
+  std::uint64_t bytes_read = 0;     ///< bytes of base data read
+  std::uint64_t index_probes = 0;   ///< surgical index lookups
+  double modelled_overhead_ms = 0.0;
+
+  void merge(const AccessStats& o) noexcept {
+    tasks += o.tasks;
+    node_touches += o.node_touches;
+    rows_scanned += o.rows_scanned;
+    bytes_read += o.bytes_read;
+    index_probes += o.index_probes;
+    modelled_overhead_ms += o.modelled_overhead_ms;
+  }
+};
+
+class Cluster {
+ public:
+  Cluster(std::size_t num_nodes, Network network, BdasCostModel cost = {});
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  Network& network() noexcept { return network_; }
+  const Network& network() const noexcept { return network_; }
+  const BdasCostModel& cost_model() const noexcept { return cost_; }
+
+  /// Partitions `table` across the nodes under `name`.
+  /// Range partitioning sorts boundaries by equi-count quantiles of the
+  /// partition column so partitions are balanced.
+  void load_table(const std::string& name, const Table& table,
+                  PartitionSpec spec = {});
+
+  /// Places the whole table on a single node (e.g. one constituent system
+  /// of a polystore); other nodes hold empty partitions.
+  void load_table_at(const std::string& name, const Table& table,
+                     NodeId node);
+
+  bool has_table(const std::string& name) const noexcept;
+  void drop_table(const std::string& name);
+
+  /// The slice of `name` stored at `node`. Throws if absent.
+  const Table& partition(const std::string& name, NodeId node) const;
+  Table& mutable_partition(const std::string& name, NodeId node);
+
+  /// Sum of partition rows (logical table cardinality).
+  std::size_t table_rows(const std::string& name) const;
+
+  /// Data version of a table partition; bumped by mutable access, used by
+  /// the SEA agent's model-staleness logic (paper RT1.4-ii).
+  std::uint64_t partition_version(const std::string& name, NodeId node) const;
+
+  /// Partitioning scheme the table was loaded with.
+  const PartitionSpec& partition_spec(const std::string& name) const;
+
+  // --- failure injection & failover ---
+
+  /// Marks a node as failed/recovered. Down nodes must not be probed or
+  /// assigned tasks; executors route shards to replica holders instead.
+  void set_node_down(NodeId node, bool down);
+  bool node_is_down(NodeId node) const;
+
+  /// The node currently serving `shard` of `name`: the primary (node id ==
+  /// shard) when up, else the first live replica holder (shard + r) % N.
+  /// Throws std::runtime_error when no live copy exists.
+  NodeId serving_node(const std::string& name, std::size_t shard) const;
+
+  /// For range partitioning: nodes whose range of the partition column
+  /// intersects [lo, hi]. For other schemes, all nodes holding the table.
+  /// Callers must only pass bounds on the table's partition column.
+  std::vector<NodeId> nodes_for_range(const std::string& name, double lo,
+                                      double hi) const;
+
+  // --- accounting (executors must call these) ---
+
+  /// Records launching one task at `node` and charges BDAS layer overheads.
+  void account_task(NodeId node);
+  /// Records a full or partial scan at `node`.
+  void account_scan(NodeId node, std::uint64_t rows, std::uint64_t bytes);
+  /// Records `probes` surgical index lookups (and the rows they touched).
+  void account_probe(NodeId node, std::uint64_t probes, std::uint64_t rows,
+                     std::uint64_t bytes);
+
+  const AccessStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept {
+    stats_ = AccessStats{};
+    network_.reset_stats();
+  }
+  /// Restores a previously snapshotted access-stats state (used to keep
+  /// benchmark "oracle" executions out of the accounting).
+  void restore_stats(const AccessStats& s) noexcept { stats_ = s; }
+
+ private:
+  struct StoredTable {
+    std::vector<Table> partitions;          // one per node
+    std::vector<std::uint64_t> versions;    // one per node
+    PartitionSpec spec;
+    std::vector<double> range_bounds;       // for kRangeColumn: N+1 edges
+  };
+
+  const StoredTable& stored(const std::string& name) const;
+  StoredTable& stored(const std::string& name);
+
+  std::size_t num_nodes_;
+  Network network_;
+  BdasCostModel cost_;
+  std::unordered_map<std::string, StoredTable> tables_;
+  std::vector<bool> node_down_;
+  AccessStats stats_;
+};
+
+}  // namespace sea

@@ -1,0 +1,56 @@
+// Minimal leveled logger. Defaults to warnings-only so tests and benches
+// stay quiet; examples raise the level to show the agent's decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sea {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Sink for a fully formatted line (thread-safe; writes to stderr).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) noexcept : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+#define SEA_LOG(level)                      \
+  if (!::sea::log_enabled(level)) {         \
+  } else                                    \
+    ::sea::detail::LogStream(level)
+
+#define SEA_DEBUG SEA_LOG(::sea::LogLevel::kDebug)
+#define SEA_INFO SEA_LOG(::sea::LogLevel::kInfo)
+#define SEA_WARN SEA_LOG(::sea::LogLevel::kWarn)
+#define SEA_ERROR SEA_LOG(::sea::LogLevel::kError)
+
+}  // namespace sea

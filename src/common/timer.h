@@ -1,0 +1,36 @@
+// Wall-clock timing utilities for benchmarks and the cost observers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sea {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed time in microseconds since construction or last reset().
+  std::int64_t elapsed_us() const noexcept {
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_us()) / 1000.0;
+  }
+
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_us()) / 1e6;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sea

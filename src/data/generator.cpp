@@ -1,0 +1,164 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace sea {
+
+namespace {
+
+/// Mixture component centres/widths are themselves drawn deterministically
+/// from a seed derived from the column spec, so different columns get
+/// different (but reproducible) cluster structure.
+struct MixtureParams {
+  std::vector<double> centers;
+  std::vector<double> widths;
+};
+
+MixtureParams make_mixture(const ColumnSpec& spec, Rng& rng) {
+  MixtureParams p;
+  const int k = std::max(1, spec.mixture_components);
+  p.centers.reserve(static_cast<std::size_t>(k));
+  p.widths.reserve(static_cast<std::size_t>(k));
+  const double span = spec.hi - spec.lo;
+  for (int i = 0; i < k; ++i) {
+    p.centers.push_back(rng.uniform(spec.lo + 0.1 * span, spec.hi - 0.1 * span));
+    p.widths.push_back(rng.uniform(0.02, 0.08) * span);
+  }
+  return p;
+}
+
+}  // namespace
+
+Table generate_table(const DatasetSpec& spec) {
+  std::vector<std::string> names;
+  names.reserve(spec.columns.size());
+  for (const auto& c : spec.columns) names.push_back(c.name);
+  Table table{Schema(names)};
+  table.reserve(spec.rows);
+
+  for (std::size_t i = 0; i < spec.columns.size(); ++i) {
+    const auto& c = spec.columns[i];
+    if (c.dist == ColumnDistribution::kDerivedLinear && c.source_column >= i)
+      throw std::invalid_argument(
+          "generate_table: derived column must reference a lower-indexed "
+          "source column");
+    if (c.hi < c.lo)
+      throw std::invalid_argument("generate_table: column domain hi < lo");
+  }
+
+  Rng master(spec.seed);
+  std::vector<Rng> col_rngs;
+  std::vector<MixtureParams> mixtures(spec.columns.size());
+  std::vector<std::unique_ptr<ZipfDistribution>> zipfs(spec.columns.size());
+  col_rngs.reserve(spec.columns.size());
+  for (std::size_t i = 0; i < spec.columns.size(); ++i) {
+    col_rngs.push_back(master.fork());
+    const auto& c = spec.columns[i];
+    if (c.dist == ColumnDistribution::kGaussianMixture)
+      mixtures[i] = make_mixture(c, col_rngs[i]);
+    if (c.dist == ColumnDistribution::kZipf)
+      zipfs[i] = std::make_unique<ZipfDistribution>(
+          static_cast<std::size_t>(std::max(1, c.zipf_cardinality)),
+          c.zipf_skew);
+  }
+
+  std::vector<double> row(spec.columns.size());
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    for (std::size_t i = 0; i < spec.columns.size(); ++i) {
+      const auto& c = spec.columns[i];
+      Rng& rng = col_rngs[i];
+      double v = 0.0;
+      switch (c.dist) {
+        case ColumnDistribution::kUniform:
+          v = rng.uniform(c.lo, c.hi);
+          break;
+        case ColumnDistribution::kGaussianMixture: {
+          const auto& m = mixtures[i];
+          const auto comp = rng.uniform_index(m.centers.size());
+          v = std::clamp(rng.normal(m.centers[comp], m.widths[comp]), c.lo,
+                         c.hi);
+          break;
+        }
+        case ColumnDistribution::kZipf: {
+          const auto rank = (*zipfs[i])(rng);
+          const double frac = static_cast<double>(rank) /
+                              static_cast<double>(zipfs[i]->size());
+          v = c.lo + frac * (c.hi - c.lo);
+          break;
+        }
+        case ColumnDistribution::kDerivedLinear:
+          v = c.slope * row[c.source_column] + c.intercept +
+              (c.noise_stddev > 0.0 ? rng.normal(0.0, c.noise_stddev) : 0.0);
+          break;
+        case ColumnDistribution::kSequentialId:
+          v = static_cast<double>(r);
+          break;
+      }
+      row[i] = v;
+    }
+    table.append_row(row);
+  }
+  return table;
+}
+
+Table make_clustered_dataset(std::size_t rows, std::size_t dims, int clusters,
+                             std::uint64_t seed, double y_noise) {
+  DatasetSpec spec;
+  spec.rows = rows;
+  spec.seed = seed;
+  for (std::size_t d = 0; d < dims; ++d) {
+    ColumnSpec c;
+    c.name = "x" + std::to_string(d);
+    c.dist = ColumnDistribution::kGaussianMixture;
+    c.lo = 0.0;
+    c.hi = 1.0;
+    c.mixture_components = clusters;
+    spec.columns.push_back(c);
+  }
+  ColumnSpec y;
+  y.name = "y";
+  y.dist = ColumnDistribution::kDerivedLinear;
+  y.source_column = 0;
+  y.slope = 2.0;
+  y.intercept = 0.5;
+  y.noise_stddev = y_noise;
+  spec.columns.push_back(y);
+  return generate_table(spec);
+}
+
+Table make_scored_relation(std::size_t rows, int key_cardinality,
+                           double key_skew, std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.rows = rows;
+  spec.seed = seed;
+  ColumnSpec key;
+  key.name = "key";
+  key.dist = ColumnDistribution::kZipf;
+  key.lo = 0.0;
+  key.hi = static_cast<double>(key_cardinality);
+  key.zipf_cardinality = key_cardinality;
+  key.zipf_skew = key_skew;
+  spec.columns.push_back(key);
+  ColumnSpec score;
+  score.name = "score";
+  score.dist = ColumnDistribution::kUniform;
+  score.lo = 0.0;
+  score.hi = 1.0;
+  spec.columns.push_back(score);
+  ColumnSpec payload;
+  payload.name = "payload";
+  payload.dist = ColumnDistribution::kUniform;
+  payload.lo = 0.0;
+  payload.hi = 1000.0;
+  spec.columns.push_back(payload);
+  Table t = generate_table(spec);
+  // Zipf maps ranks to fractional positions; snap keys to integers so that
+  // equality joins are meaningful.
+  auto keys = t.mutable_column(0);
+  for (auto& k : keys) k = std::floor(k);
+  return t;
+}
+
+}  // namespace sea

@@ -1,0 +1,65 @@
+// Synthetic dataset generators.
+//
+// Substitution note (DESIGN.md): the paper's motivating datasets (genomes,
+// earth-science sensor archives) are unavailable; these generators produce
+// multi-dimensional data with the structural properties the SEA paradigm
+// depends on — clustered mass (so query subspaces overlap data subspaces),
+// skew (Zipf), and cross-attribute dependence (for correlation/regression
+// analytics). All generation is deterministic given the spec's seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace sea {
+
+enum class ColumnDistribution {
+  kUniform,          ///< U[lo, hi]
+  kGaussianMixture,  ///< mixture of `mixture_components` gaussians in [lo,hi]
+  kZipf,             ///< zipf-ranked values mapped into [lo, hi]
+  kDerivedLinear,    ///< slope * value(source_column) + intercept + N(0, noise)
+  kSequentialId,     ///< 0, 1, 2, ... (row id / join key)
+};
+
+struct ColumnSpec {
+  std::string name;
+  ColumnDistribution dist = ColumnDistribution::kUniform;
+  double lo = 0.0;
+  double hi = 1.0;
+  int mixture_components = 4;     ///< kGaussianMixture only
+  double zipf_skew = 1.1;         ///< kZipf only
+  int zipf_cardinality = 1000;    ///< kZipf only: number of distinct ranks
+  std::size_t source_column = 0;  ///< kDerivedLinear only
+  double slope = 1.0;             ///< kDerivedLinear only
+  double intercept = 0.0;         ///< kDerivedLinear only
+  double noise_stddev = 0.0;      ///< kDerivedLinear only
+};
+
+struct DatasetSpec {
+  std::size_t rows = 0;
+  std::uint64_t seed = 1;
+  std::vector<ColumnSpec> columns;
+};
+
+/// Generates a table per the spec. Derived columns must reference
+/// lower-indexed source columns.
+Table generate_table(const DatasetSpec& spec);
+
+/// Convenience: `dims` gaussian-mixture attributes x0..x{dims-1} in [0,1]
+/// plus a derived attribute "y" linearly dependent on x0 with noise —
+/// the canonical workload for count/avg/correlation/regression analytics.
+Table make_clustered_dataset(std::size_t rows, std::size_t dims,
+                             int clusters, std::uint64_t seed,
+                             double y_noise = 0.05);
+
+/// Convenience for rank-join experiments: columns {key, score, payload}.
+/// Keys are zipf-distributed over [0, key_cardinality) so that join
+/// selectivity is controlled by skew; scores are U[0, 1].
+Table make_scored_relation(std::size_t rows, int key_cardinality,
+                           double key_skew, std::uint64_t seed);
+
+}  // namespace sea

@@ -1,0 +1,88 @@
+// Column-major in-memory table: the base-data representation held by the
+// simulated storage nodes. All values are doubles (the analytics in the
+// paper operate over multi-dimensional numeric spaces); an optional
+// integer id column supports join operators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/point.h"
+
+namespace sea {
+
+/// Column names; column index is the identifier used everywhere else.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> column_names);
+
+  std::size_t num_columns() const noexcept { return names_.size(); }
+  const std::string& name(std::size_t col) const;
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+  /// Index of a named column; throws std::out_of_range if absent.
+  std::size_t index_of(const std::string& name) const;
+  bool has_column(const std::string& name) const noexcept;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const noexcept { return schema_; }
+  std::size_t num_rows() const noexcept { return num_rows_; }
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+  bool empty() const noexcept { return num_rows_ == 0; }
+
+  /// Appends one row; row.size() must equal num_columns().
+  void append_row(std::span<const double> row);
+
+  /// Reserves storage for n rows.
+  void reserve(std::size_t n);
+
+  double at(std::size_t row, std::size_t col) const;
+  void set(std::size_t row, std::size_t col, double value);
+
+  /// Whole column as a contiguous span (column-major layout).
+  std::span<const double> column(std::size_t col) const;
+  std::span<double> mutable_column(std::size_t col);
+
+  /// Materializes a row (allocates).
+  Point row(std::size_t r) const;
+
+  /// Gathers the subset of columns `cols` of row r into out (resized).
+  void gather(std::size_t r, std::span<const std::size_t> cols,
+              Point& out) const;
+
+  /// Removes rows [first, first+count) — used by update/delete experiments.
+  void erase_rows(std::size_t first, std::size_t count);
+
+  /// Estimated in-memory footprint in bytes (data only), as accounted by
+  /// the storage/network cost model.
+  std::size_t byte_size() const noexcept {
+    return num_rows_ * columns_.size() * sizeof(double);
+  }
+
+  /// Bytes per row, used for transfer-cost accounting.
+  std::size_t row_bytes() const noexcept {
+    return columns_.size() * sizeof(double);
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<double>> columns_;
+  std::size_t num_rows_ = 0;
+};
+
+/// Bounding box of the given columns of the table (lo/hi per column).
+Rect table_bounds(const Table& table, std::span<const std::size_t> cols);
+
+}  // namespace sea

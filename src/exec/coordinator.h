@@ -1,0 +1,103 @@
+// Coordinator-cohort execution paradigm (paper RT3.2).
+//
+// A coordinating node bypasses the heavyweight distributed-processing
+// layers and issues direct, surgical RPCs against the storage engine of
+// specific cohort nodes — typically after consulting an index to learn
+// *which* nodes and *which* tuples matter. This is the paradigm behind the
+// paper's claimed orders-of-magnitude wins for rank-join [30] and kNN [33].
+//
+// The session accumulates an ExecReport comparable with MapReduce runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "common/timer.h"
+#include "exec/exec_report.h"
+
+namespace sea {
+
+class CohortSession {
+ public:
+  CohortSession(Cluster& cluster, NodeId coordinator)
+      : cluster_(cluster), coordinator_(coordinator) {}
+
+  NodeId coordinator() const noexcept { return coordinator_; }
+  Cluster& cluster() noexcept { return cluster_; }
+
+  /// One round trip: request of `request_bytes` to `node`, server-side work
+  /// `fn()` (measured; fn must do its own account_probe/account_scan), and
+  /// a `response_bytes` reply. Returns fn's value.
+  template <typename F>
+  auto rpc(NodeId node, std::size_t request_bytes, std::size_t response_bytes,
+           F&& fn) -> decltype(fn()) {
+    const double out_ms =
+        cluster_.network().send(coordinator_, node, request_bytes);
+    Timer t;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      std::forward<F>(fn)();
+      finish_rpc(node, response_bytes, out_ms, t.elapsed_ms());
+      return;
+    } else {
+      auto result = std::forward<F>(fn)();
+      finish_rpc(node, response_bytes, out_ms, t.elapsed_ms());
+      return result;
+    }
+  }
+
+  /// Accounts additional response payload from `node` whose size was only
+  /// known after the RPC executed (e.g. variable-length match lists).
+  void extra_response(NodeId node, std::size_t bytes) {
+    const double ms = cluster_.network().send(node, coordinator_, bytes);
+    report_.modelled_network_ms += ms;
+    report_.modelled_network_ms_critical += ms;
+    report_.result_bytes += bytes;
+  }
+
+  /// Work done locally at the coordinator (merging, top-k maintenance...).
+  template <typename F>
+  auto local(F&& fn) -> decltype(fn()) {
+    Timer t;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      std::forward<F>(fn)();
+      report_.coordinator_compute_ms += t.elapsed_ms();
+      return;
+    } else {
+      auto result = std::forward<F>(fn)();
+      report_.coordinator_compute_ms += t.elapsed_ms();
+      return result;
+    }
+  }
+
+  const ExecReport& report() const noexcept { return report_; }
+  ExecReport take_report() noexcept {
+    ExecReport r = report_;
+    report_ = ExecReport{};
+    return r;
+  }
+
+ private:
+  void finish_rpc(NodeId node, std::size_t response_bytes, double out_ms,
+                  double server_ms) {
+    const double back_ms =
+        cluster_.network().send(node, coordinator_, response_bytes);
+    report_.modelled_network_ms += out_ms + back_ms;
+    // RPCs are issued in sequence by the coordinator, so every round trip
+    // is on the critical path.
+    report_.modelled_network_ms_critical += out_ms + back_ms;
+    report_.modelled_overhead_ms += cluster_.cost_model().coordinator_rpc_ms;
+    // RPCs run sequentially, so server-side work is critical-path compute.
+    report_.coordinator_compute_ms += server_ms;
+    report_.result_bytes += response_bytes;
+    ++report_.rpc_round_trips;
+  }
+
+  Cluster& cluster_;
+  NodeId coordinator_;
+  ExecReport report_;
+};
+
+}  // namespace sea

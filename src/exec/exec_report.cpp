@@ -1,0 +1,46 @@
+#include "exec/exec_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sea {
+
+void ExecReport::merge(const ExecReport& o) noexcept {
+  map_compute_ms_total += o.map_compute_ms_total;
+  map_compute_ms_max = std::max(map_compute_ms_max, o.map_compute_ms_max);
+  reduce_compute_ms_total += o.reduce_compute_ms_total;
+  reduce_compute_ms_max =
+      std::max(reduce_compute_ms_max, o.reduce_compute_ms_max);
+  coordinator_compute_ms += o.coordinator_compute_ms;
+  modelled_network_ms += o.modelled_network_ms;
+  modelled_network_ms_critical += o.modelled_network_ms_critical;
+  modelled_overhead_ms += o.modelled_overhead_ms;
+  shuffle_bytes += o.shuffle_bytes;
+  result_bytes += o.result_bytes;
+  map_tasks += o.map_tasks;
+  reduce_tasks += o.reduce_tasks;
+  rpc_round_trips += o.rpc_round_trips;
+}
+
+double ExecReport::money_cost_usd(const CostRates& rates) const noexcept {
+  // Node busy time: all real compute plus the stack overheads charged to
+  // nodes (tasks, RPC handling).
+  const double node_ms = map_compute_ms_total + reduce_compute_ms_total +
+                         coordinator_compute_ms + modelled_overhead_ms;
+  const double node_hours = node_ms / 3.6e6;
+  const double gb =
+      static_cast<double>(shuffle_bytes + result_bytes) / 1.073741824e9;
+  return node_hours * rates.usd_per_node_hour +
+         gb * rates.usd_per_gb_transfer;
+}
+
+std::string ExecReport::summary() const {
+  std::ostringstream os;
+  os << "makespan=" << makespan_ms() << "ms work=" << total_work_ms()
+     << "ms shuffle=" << shuffle_bytes << "B result=" << result_bytes
+     << "B map_tasks=" << map_tasks << " reduce_tasks=" << reduce_tasks
+     << " rpcs=" << rpc_round_trips;
+  return os.str();
+}
+
+}  // namespace sea

@@ -1,0 +1,68 @@
+// Unified execution report shared by both distributed processing paradigms
+// the paper contrasts (RT3.2): MapReduce-style and coordinator-cohort.
+//
+// Measured compute is real wall-clock; network and BDAS-layer costs are
+// modelled (see DESIGN.md "cost accounting, not wall-clock fiction") and
+// reported separately so benchmarks can print both raw hardware-independent
+// counters (bytes, node touches) and an end-to-end modelled makespan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sea {
+
+/// Cloud pricing knobs for money-cost accounting (defaults are in the
+/// ballpark of on-demand public-cloud list prices).
+struct CostRates {
+  double usd_per_node_hour = 0.40;   ///< charged on task/RPC busy time
+  double usd_per_gb_transfer = 0.08; ///< inter-node transfer
+};
+
+struct ExecReport {
+  // Real, measured compute.
+  double map_compute_ms_total = 0.0;
+  double map_compute_ms_max = 0.0;
+  double reduce_compute_ms_total = 0.0;
+  double reduce_compute_ms_max = 0.0;
+  double coordinator_compute_ms = 0.0;
+
+  // Modelled costs.
+  double modelled_network_ms = 0.0;       ///< sum over messages
+  double modelled_network_ms_critical = 0.0;  ///< max inbound per receiver
+  double modelled_overhead_ms = 0.0;      ///< BDAS layer/task overheads
+
+  // Hardware-independent counters.
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t result_bytes = 0;
+  std::uint64_t map_tasks = 0;
+  std::uint64_t reduce_tasks = 0;
+  std::uint64_t rpc_round_trips = 0;
+
+  /// End-to-end modelled makespan: parallel map phase, then the critical
+  /// shuffle path, then parallel reduce, plus per-phase BDAS overheads.
+  double makespan_ms() const noexcept {
+    return modelled_overhead_ms + map_compute_ms_max +
+           modelled_network_ms_critical + reduce_compute_ms_max +
+           coordinator_compute_ms;
+  }
+
+  /// Total resource consumption (what a cloud bill would charge for):
+  /// all compute everywhere plus all transfer time.
+  double total_work_ms() const noexcept {
+    return map_compute_ms_total + reduce_compute_ms_total +
+           coordinator_compute_ms + modelled_network_ms +
+           modelled_overhead_ms;
+  }
+
+  /// Estimated money cost under the given cloud rates — the paper's
+  /// explicit third metric (P4: "scalability, efficiency, accuracy,
+  /// availability, money-costs"; [30] reports money-cost improvements).
+  double money_cost_usd(const CostRates& rates) const noexcept;
+
+  void merge(const ExecReport& o) noexcept;
+
+  std::string summary() const;
+};
+
+}  // namespace sea

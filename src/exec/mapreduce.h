@@ -1,0 +1,151 @@
+// In-library MapReduce engine over the simulated cluster.
+//
+// This is the baseline execution paradigm the paper critiques (§II.A):
+// every map task reads its *entire* partition through all BDAS layers,
+// intermediate key/value pairs are shuffled across the (accounted) network
+// to reducers, and reduced results are gathered at a coordinator. The
+// engine really executes the user's map and reduce functions on real
+// partition data; the network/overhead costs are modelled per DESIGN.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/timer.h"
+#include "exec/exec_report.h"
+
+namespace sea {
+
+/// Collects (key, value) pairs emitted by one map task.
+template <typename K, typename V>
+class Emitter {
+ public:
+  void emit(K key, V value) { pairs_.emplace_back(std::move(key), std::move(value)); }
+  std::vector<std::pair<K, V>>& pairs() noexcept { return pairs_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+};
+
+/// A MapReduce job over a single stored table.
+///
+/// K must be hashable and equality comparable. `kv_bytes` sizes one (K,V)
+/// pair for shuffle accounting; `result_bytes` sizes one reduced result for
+/// the final gather. Defaults assume fixed-size binary encodings.
+template <typename K, typename V, typename R>
+struct MapReduceJob {
+  std::function<void(NodeId, const Table&, Emitter<K, V>&)> map;
+  std::function<R(const K&, std::vector<V>&)> reduce;
+  std::size_t kv_bytes = sizeof(K) + sizeof(V);
+  std::size_t result_bytes = sizeof(K) + sizeof(R);
+  std::size_t num_reducers = 0;  ///< 0 = one per cluster node
+};
+
+template <typename K, typename V, typename R>
+struct MapReduceResult {
+  std::vector<std::pair<K, R>> results;
+  ExecReport report;
+};
+
+/// Runs the job over every partition of `table_name`, gathering reduced
+/// results at `coordinator` (default node 0). Accounts:
+///  - one task + full partition scan per storage node (map phase),
+///  - shuffle messages mapper->reducer sized by emitted pairs,
+///  - one task per active reducer,
+///  - result messages reducer->coordinator.
+template <typename K, typename V, typename R>
+MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
+                                        const std::string& table_name,
+                                        const MapReduceJob<K, V, R>& job,
+                                        NodeId coordinator = 0) {
+  MapReduceResult<K, V, R> out;
+  ExecReport& rep = out.report;
+  const std::size_t n = cluster.num_nodes();
+
+  // Failover-aware placement: each shard's map task runs at its serving
+  // node (primary, or a live replica holder when the primary is down);
+  // reducers are placed on live nodes only.
+  std::vector<NodeId> shard_node(n);
+  for (std::size_t shard = 0; shard < n; ++shard)
+    shard_node[shard] = cluster.serving_node(table_name, shard);
+  std::vector<NodeId> live;
+  for (std::size_t node = 0; node < n; ++node)
+    if (!cluster.node_is_down(static_cast<NodeId>(node)))
+      live.push_back(static_cast<NodeId>(node));
+  const std::size_t num_reducers =
+      job.num_reducers == 0 ? live.size()
+                            : std::min(job.num_reducers, live.size());
+
+  // --- map phase: full scans through the stack at every shard ---
+  std::vector<Emitter<K, V>> emitted(n);
+  for (std::size_t shard = 0; shard < n; ++shard) {
+    const Table& part = cluster.partition(table_name, shard);
+    cluster.account_task(shard_node[shard]);
+    rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+    ++rep.map_tasks;
+    Timer t;
+    job.map(shard_node[shard], part, emitted[shard]);
+    const double ms = t.elapsed_ms();
+    rep.map_compute_ms_total += ms;
+    rep.map_compute_ms_max = std::max(rep.map_compute_ms_max, ms);
+    cluster.account_scan(shard_node[shard], part.num_rows(),
+                         part.byte_size());
+  }
+
+  // --- shuffle: route each key to hash(key) % num_reducers ---
+  std::vector<std::unordered_map<K, std::vector<V>>> reducer_input(
+      num_reducers);
+  std::vector<double> inbound_ms(num_reducers, 0.0);
+  std::hash<K> hasher;
+  for (std::size_t mapper = 0; mapper < n; ++mapper) {
+    // Batch bytes per (mapper, reducer) pair: one message per pair, as a
+    // combiner-enabled framework would send.
+    std::vector<std::uint64_t> batch_bytes(num_reducers, 0);
+    for (auto& [k, v] : emitted[mapper].pairs()) {
+      const std::size_t r = hasher(k) % num_reducers;
+      batch_bytes[r] += job.kv_bytes;
+      reducer_input[r][k].push_back(std::move(v));
+    }
+    for (std::size_t r = 0; r < num_reducers; ++r) {
+      if (batch_bytes[r] == 0) continue;
+      const double ms = cluster.network().send(shard_node[mapper], live[r],
+                                               batch_bytes[r]);
+      rep.modelled_network_ms += ms;
+      inbound_ms[r] += ms;
+      rep.shuffle_bytes += batch_bytes[r];
+    }
+  }
+  for (const double ms : inbound_ms)
+    rep.modelled_network_ms_critical =
+        std::max(rep.modelled_network_ms_critical, ms);
+
+  // --- reduce phase ---
+  for (std::size_t r = 0; r < num_reducers; ++r) {
+    if (reducer_input[r].empty()) continue;
+    cluster.account_task(live[r]);
+    rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+    ++rep.reduce_tasks;
+    Timer t;
+    std::uint64_t result_batch = 0;
+    for (auto& [k, vals] : reducer_input[r]) {
+      out.results.emplace_back(k, job.reduce(k, vals));
+      result_batch += job.result_bytes;
+    }
+    const double ms = t.elapsed_ms();
+    rep.reduce_compute_ms_total += ms;
+    rep.reduce_compute_ms_max = std::max(rep.reduce_compute_ms_max, ms);
+    const double net_ms =
+        cluster.network().send(live[r], coordinator, result_batch);
+    rep.modelled_network_ms += net_ms;
+    rep.result_bytes += result_batch;
+  }
+  return out;
+}
+
+}  // namespace sea

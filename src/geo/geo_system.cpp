@@ -1,0 +1,226 @@
+#include "geo/geo_system.h"
+
+#include <algorithm>
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace sea {
+
+namespace {
+constexpr const char* kTable = "geo_data";
+constexpr std::size_t kAnswerWireBytes = 16;
+}  // namespace
+
+const char* to_string(EdgeMode m) noexcept {
+  switch (m) {
+    case EdgeMode::kForwardAll:
+      return "forward_all";
+    case EdgeMode::kEdgeLearning:
+      return "edge_learning";
+    case EdgeMode::kCoreTrainedSync:
+      return "core_trained_sync";
+    case EdgeMode::kEdgePeerRouting:
+      return "edge_peer_routing";
+  }
+  return "?";
+}
+
+GeoSystem::GeoSystem(GeoConfig config, const Table& data)
+    : config_(config) {
+  if (config_.num_cores == 0 || config_.num_edges == 0)
+    throw std::invalid_argument("GeoSystem: need cores and edges");
+  // Zone 0 = the core datacenter; each edge sits in its own zone.
+  std::vector<std::uint32_t> zones(config_.num_cores, 0);
+  for (std::size_t e = 0; e < config_.num_edges; ++e)
+    zones.push_back(static_cast<std::uint32_t>(1 + e));
+  Network net(std::move(zones), config_.lan, config_.wan);
+  cluster_ = std::make_unique<Cluster>(config_.num_cores, std::move(net),
+                                       config_.bdas);
+  cluster_->load_table(kTable, data, PartitionSpec{});
+  exec_ = std::make_unique<ExactExecutor>(*cluster_, kTable, /*coord=*/0);
+
+  const auto domain_provider = [this](const std::vector<std::size_t>& cols) {
+    return exec_->domain(cols);
+  };
+  edge_agents_.reserve(config_.num_edges);
+  for (std::size_t e = 0; e < config_.num_edges; ++e)
+    edge_agents_.emplace_back(config_.agent, domain_provider);
+  if (config_.mode == EdgeMode::kCoreTrainedSync)
+    core_agent_.emplace(config_.agent, domain_provider);
+  edge_seen_.assign(config_.num_edges, 0);
+  registry_.resize(config_.num_edges);
+}
+
+void GeoSystem::maybe_refresh_registry() {
+  if (config_.mode != EdgeMode::kEdgePeerRouting) return;
+  ++since_registry_;
+  if (since_registry_ < config_.registry_interval && stats_.queries > 1)
+    return;
+  since_registry_ = 0;
+  // Each edge publishes its quanta centroids per signature; the registry
+  // is broadcast to all other edges (the RT5.2 "model state sharing").
+  for (std::size_t e = 0; e < config_.num_edges; ++e) {
+    registry_[e].clear();
+    std::size_t bytes = 0;
+    for (const auto& sig : known_signatures_) {
+      // Only servable (warm) quanta are worth advertising: cold quanta
+      // would attract detours their owner declines anyway.
+      auto centers = edge_agents_[e].quanta_centers(
+          sig, config_.agent.min_samples_to_predict);
+      bytes += centers.size() *
+               (centers.empty() ? 0 : centers[0].size()) * sizeof(double);
+      registry_[e][sig] = std::move(centers);
+    }
+    // Publish to every other edge (edge zones differ => WAN).
+    for (std::size_t other = 0; other < config_.num_edges; ++other) {
+      if (other == e) continue;
+      cluster_->network().send(edge_node(e), edge_node(other), bytes + 16);
+      stats_.registry_bytes += bytes + 16;
+    }
+  }
+}
+
+std::size_t GeoSystem::route_peer(std::size_t edge,
+                                  const AnalyticalQuery& query) {
+  const std::string sig = query.signature();
+  const Point pos = edge_agents_[edge].query_position(query);
+  // The local agent already declined; a peer is only worth a WAN detour if
+  // its model state covers the query region *substantially better* than
+  // our own — otherwise it will almost surely decline too.
+  double own_d = std::numeric_limits<double>::infinity();
+  for (const auto& c : edge_agents_[edge].quanta_centers(sig)) {
+    if (c.size() == pos.size())
+      own_d = std::min(own_d, euclidean_distance(pos, c));
+  }
+  std::size_t best = SIZE_MAX;
+  double best_d = config_.peer_route_distance;
+  for (std::size_t e = 0; e < config_.num_edges; ++e) {
+    if (e == edge) continue;
+    const auto it = registry_[e].find(sig);
+    if (it == registry_[e].end()) continue;
+    for (const auto& c : it->second) {
+      if (c.size() != pos.size()) continue;
+      const double d = euclidean_distance(pos, c);
+      if (d < best_d && d < 0.5 * own_d) {
+        best_d = d;
+        best = e;
+      }
+    }
+  }
+  return best;
+}
+
+double GeoSystem::oracle(const AnalyticalQuery& query) {
+  // Snapshot-and-restore so audits do not pollute the traffic accounting.
+  const AccessStats saved_access = cluster_->stats();
+  const TrafficStats saved_traffic = cluster_->network().stats();
+  const double answer =
+      exec_->execute(query, config_.core_paradigm).answer;
+  cluster_->restore_stats(saved_access);
+  cluster_->network().restore_stats(saved_traffic);
+  return answer;
+}
+
+void GeoSystem::maybe_sync() {
+  if (config_.mode != EdgeMode::kCoreTrainedSync) return;
+  ++forwarded_since_sync_;
+  if (forwarded_since_sync_ < config_.sync_interval) return;
+  forwarded_since_sync_ = 0;
+  ++stats_.syncs;
+  // Serialize once: the wire bytes are the real serialized size, and the
+  // shipped snapshot is reconstructed at each edge from those bytes.
+  std::stringstream wire;
+  core_agent_->serialize(wire);
+  const std::string blob = wire.str();
+  const auto domain_provider = [this](const std::vector<std::size_t>& cols) {
+    return exec_->domain(cols);
+  };
+  for (std::size_t e = 0; e < config_.num_edges; ++e) {
+    // Model state crosses the WAN — this is the entire data movement of
+    // the sync, versus shipping base data in a traditional design.
+    cluster_->network().send(0, edge_node(e), blob.size());
+    stats_.sync_bytes += blob.size();
+    std::stringstream in(blob);
+    edge_agents_[e] = DatalessAgent::deserialize(in, domain_provider);
+  }
+}
+
+GeoAnswer GeoSystem::submit(std::size_t edge, const AnalyticalQuery& query) {
+  if (edge >= config_.num_edges)
+    throw std::out_of_range("GeoSystem::submit: bad edge");
+  GeoAnswer out;
+  ++stats_.queries;
+  ++edge_seen_[edge];
+  {
+    const std::string sig = query.signature();
+    if (std::find(known_signatures_.begin(), known_signatures_.end(), sig) ==
+        known_signatures_.end())
+      known_signatures_.push_back(sig);
+  }
+  maybe_refresh_registry();
+
+  const bool bootstrapped = edge_seen_[edge] > config_.edge_bootstrap;
+  if (config_.mode != EdgeMode::kForwardAll && bootstrapped) {
+    if (auto pred = edge_agents_[edge].try_predict(query)) {
+      out.value = pred->value;
+      out.served_at_edge = true;
+      out.expected_abs_error = pred->expected_abs_error;
+      ++stats_.served_at_edge;
+      return out;
+    }
+    // Local miss: try the best-covering peer edge before the core
+    // (RT5.4 analytical query routing; edge <-> edge is WAN).
+    if (config_.mode == EdgeMode::kEdgePeerRouting) {
+      const std::size_t peer = route_peer(edge, query);
+      if (peer != SIZE_MAX) {
+        ++stats_.peer_attempts;
+        const NodeId en = edge_node(edge);
+        const NodeId pn = edge_node(peer);
+        out.wan_ms +=
+            cluster_->network().send(en, pn, query_wire_bytes(query));
+        auto pred = edge_agents_[peer].try_predict(query);
+        out.wan_ms += cluster_->network().send(pn, en, kAnswerWireBytes);
+        if (pred) {
+          out.value = pred->value;
+          out.served_by_peer = true;
+          out.expected_abs_error = pred->expected_abs_error;
+          ++stats_.served_by_peer;
+          return out;
+        }
+        // Peer declined too: the failed detour's WAN cost stays charged.
+      }
+    }
+  }
+
+  // Forward to the core over the WAN; execute exactly; answer returns.
+  const NodeId en = edge_node(edge);
+  out.wan_ms += cluster_->network().send(en, 0, query_wire_bytes(query));
+  const ExactResult exact = exec_->execute(query, config_.core_paradigm);
+  out.wan_ms += cluster_->network().send(0, en, kAnswerWireBytes);
+  out.value = exact.answer;
+  ++stats_.forwarded;
+
+  switch (config_.mode) {
+    case EdgeMode::kForwardAll:
+      break;
+    case EdgeMode::kEdgeLearning:
+    case EdgeMode::kEdgePeerRouting:
+      edge_agents_[edge].observe(query, exact.answer);
+      break;
+    case EdgeMode::kCoreTrainedSync:
+      core_agent_->observe(query, exact.answer);
+      maybe_sync();
+      break;
+  }
+  return out;
+}
+
+std::size_t GeoSystem::edge_agent_bytes() const {
+  std::size_t total = 0;
+  for (const auto& a : edge_agents_) total += a.byte_size();
+  return total;
+}
+
+}  // namespace sea

@@ -1,0 +1,139 @@
+// Global-scale geo-distributed SEA (paper RT5, Fig. 3).
+//
+// Topology: `num_cores` core storage nodes share one datacenter zone and
+// hold the base data; `num_edges` edge nodes sit in their own zones, so
+// every edge <-> core message crosses the (accounted) WAN.
+//
+// Three operating modes, compared in experiment E7:
+//  * kForwardAll   — no edge intelligence: every analytical query crosses
+//    the WAN to the core, executes exactly, and the answer crosses back.
+//  * kEdgeLearning — each edge runs its own DatalessAgent trained on the
+//    answers to its forwarded queries; once confident it filters queries
+//    from the WAN entirely (RT5.1/RT5.3: models at the edge, base data
+//    accessed only when expected local error is high).
+//  * kCoreTrainedSync — distributed model building (RT5.2): the core
+//    trains one agent on the union of all edges' training queries (their
+//    subspaces overlap) and periodically ships the model state to every
+//    edge; edges then answer even subspaces they never queried themselves.
+//    Model bytes, not data bytes, cross the WAN.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sea/agent.h"
+#include "sea/exact.h"
+
+namespace sea {
+
+enum class EdgeMode {
+  kForwardAll,
+  kEdgeLearning,
+  kCoreTrainedSync,
+  /// kEdgeLearning plus edge collaboration (RT5.1/RT5.4): on a local miss
+  /// the edge consults a registry of peer model state (periodically
+  /// synced quanta centroids) and routes the query to the best-covering
+  /// peer edge before falling back to the core.
+  kEdgePeerRouting,
+};
+
+const char* to_string(EdgeMode m) noexcept;
+
+struct GeoConfig {
+  std::size_t num_cores = 4;
+  std::size_t num_edges = 8;
+  LinkSpec lan{0.1, 10000.0};   ///< intra-datacenter
+  LinkSpec wan{80.0, 100.0};    ///< edge <-> core
+  BdasCostModel bdas;
+  AgentConfig agent;
+  EdgeMode mode = EdgeMode::kEdgeLearning;
+  ExecParadigm core_paradigm = ExecParadigm::kCoordinatorIndexed;
+  /// kCoreTrainedSync: ship the core agent to all edges every N forwarded
+  /// queries.
+  std::size_t sync_interval = 64;
+  /// Edge agents bootstrap: always forward the first N queries they see.
+  std::size_t edge_bootstrap = 30;
+  /// kEdgePeerRouting: refresh the peer model-state registry every N
+  /// queries (centroid lists cross the WAN).
+  std::size_t registry_interval = 200;
+  /// kEdgePeerRouting: only route to a peer whose nearest quantum centre
+  /// is within this normalized distance of the query.
+  double peer_route_distance = 0.08;
+};
+
+struct GeoAnswer {
+  double value = 0.0;
+  bool served_at_edge = false;
+  bool served_by_peer = false;
+  double expected_abs_error = 0.0;
+  /// Modelled WAN time this query incurred (0 when served at the edge).
+  double wan_ms = 0.0;
+};
+
+struct GeoStats {
+  std::uint64_t queries = 0;
+  std::uint64_t served_at_edge = 0;
+  std::uint64_t served_by_peer = 0;
+  std::uint64_t peer_attempts = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t sync_bytes = 0;
+  std::uint64_t registry_bytes = 0;
+};
+
+class GeoSystem {
+ public:
+  /// Loads `data` partitioned across the core nodes.
+  GeoSystem(GeoConfig config, const Table& data);
+
+  /// A query arriving at edge `edge` (0-based).
+  GeoAnswer submit(std::size_t edge, const AnalyticalQuery& query);
+
+  /// Ground truth with NO cost accounting (for benchmark accuracy audits).
+  double oracle(const AnalyticalQuery& query);
+
+  const GeoStats& stats() const noexcept { return stats_; }
+  /// WAN/LAN traffic counters (from the shared network).
+  const TrafficStats& traffic() const noexcept {
+    return cluster_->network().stats();
+  }
+  const Cluster& cluster() const noexcept { return *cluster_; }
+  std::size_t edge_agent_bytes() const;
+
+ private:
+  NodeId edge_node(std::size_t edge) const {
+    return static_cast<NodeId>(config_.num_cores + edge);
+  }
+  std::size_t query_wire_bytes(const AnalyticalQuery& q) const {
+    return (2 * q.subspace_cols.size() + 6) * sizeof(double);
+  }
+  void maybe_sync();
+  void maybe_refresh_registry();
+  /// Best peer (!= edge) for the query under the current registry;
+  /// SIZE_MAX when none is close enough.
+  std::size_t route_peer(std::size_t edge, const AnalyticalQuery& query);
+
+  GeoConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<ExactExecutor> exec_;
+  /// Edge-resident agents (kEdgeLearning: trained locally;
+  /// kCoreTrainedSync: replaced wholesale by shipped core snapshots).
+  std::vector<DatalessAgent> edge_agents_;
+  std::optional<DatalessAgent> core_agent_;  ///< kCoreTrainedSync only
+  std::vector<std::size_t> edge_seen_;       ///< queries per edge
+  std::size_t forwarded_since_sync_ = 0;
+  /// kEdgePeerRouting: registry snapshot — per edge, per signature, the
+  /// quanta centroids it had at the last refresh (RT5.2 model state).
+  std::vector<std::unordered_map<std::string, std::vector<Point>>>
+      registry_;
+  std::vector<std::string> known_signatures_;
+  std::size_t since_registry_ = 0;
+  GeoStats stats_;
+};
+
+}  // namespace sea

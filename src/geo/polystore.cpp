@@ -1,0 +1,141 @@
+#include "geo/polystore.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sea {
+
+namespace {
+constexpr const char* kStoreA = "store_a";
+constexpr const char* kStoreB = "store_b";
+}  // namespace
+
+const char* to_string(FederationStrategy s) noexcept {
+  switch (s) {
+    case FederationStrategy::kMigrateData:
+      return "migrate_data";
+    case FederationStrategy::kMigrateAggregates:
+      return "migrate_aggregates";
+    case FederationStrategy::kMigrateModels:
+      return "migrate_models";
+  }
+  return "?";
+}
+
+Polystore::Polystore(PolystoreConfig config, const Table& store_a,
+                     const Table& store_b)
+    : config_(config) {
+  Network net({0, 1}, /*lan=*/LinkSpec{0.1, 10000.0}, config_.wan);
+  cluster_ = std::make_unique<Cluster>(2, std::move(net), config_.bdas);
+  cluster_->load_table_at(kStoreA, store_a, 0);
+  cluster_->load_table_at(kStoreB, store_b, 1);
+  exec_a_ = std::make_unique<ExactExecutor>(*cluster_, kStoreA, /*coord=*/0);
+  exec_b_ = std::make_unique<ExactExecutor>(*cluster_, kStoreB, /*coord=*/1);
+  remote_agent_.emplace(config_.agent,
+                        [this](const std::vector<std::size_t>& cols) {
+                          return exec_b_->domain(cols);
+                        });
+}
+
+double Polystore::remote_truth(const AnalyticalQuery& q) {
+  return exec_b_->execute(q, ExecParadigm::kCoordinatorIndexed).answer;
+}
+
+void Polystore::train_remote_model(const AnalyticalQuery& q,
+                                   double truth) {
+  remote_agent_->observe(q, truth);
+}
+
+std::size_t Polystore::sync_model() {
+  // The model crosses the inter-system link as its real serialized bytes
+  // and is reconstructed on the other side (paper RT1.5 option (ii)).
+  std::stringstream wire;
+  remote_agent_->serialize(wire);
+  const std::string blob = wire.str();
+  cluster_->network().send(1, 0, blob.size());
+  std::stringstream in(blob);
+  synced_agent_ = DatalessAgent::deserialize(
+      in, [this](const std::vector<std::size_t>& cols) {
+        return exec_b_->domain(cols);
+      });
+  return blob.size();
+}
+
+FederatedAnswer Polystore::query(const AnalyticalQuery& q,
+                                 FederationStrategy strategy) {
+  q.validate();
+  FederatedAnswer out;
+  const TrafficStats before = cluster_->network().stats();
+
+  // Local (store A) exact contribution is common to all strategies.
+  const ExactResult local = exec_a_->execute(q, ExecParadigm::kCoordinatorIndexed);
+
+  switch (strategy) {
+    case FederationStrategy::kMigrateData: {
+      // Remote store finds its qualifying tuples and ships them raw.
+      const ExactResult remote =
+          exec_b_->execute(q, ExecParadigm::kCoordinatorIndexed);
+      const Table& bpart = cluster_->partition(kStoreB, 1);
+      const std::size_t tuple_bytes =
+          bpart.num_rows() ? bpart.row_bytes() : 0;
+      cluster_->network().send(1, 0,
+                               remote.qualifying_tuples * tuple_bytes);
+      AggregateState merged = local.state;
+      merged.merge(remote.state);
+      out.value = merged.finalize(q.analytic);
+      break;
+    }
+    case FederationStrategy::kMigrateAggregates: {
+      const ExactResult remote =
+          exec_b_->execute(q, ExecParadigm::kCoordinatorIndexed);
+      cluster_->network().send(1, 0, AggregateState::kWireBytes);
+      AggregateState merged = local.state;
+      merged.merge(remote.state);
+      out.value = merged.finalize(q.analytic);
+      break;
+    }
+    case FederationStrategy::kMigrateModels: {
+      if (!synced_agent_)
+        throw std::logic_error(
+            "Polystore: kMigrateModels requires sync_model() first");
+      out.approximate = true;
+      switch (q.analytic) {
+        case AnalyticType::kCount:
+        case AnalyticType::kSum: {
+          const auto pred = synced_agent_->maybe_predict(q);
+          if (!pred)
+            throw std::logic_error("Polystore: remote model cold for query");
+          out.value = local.answer + std::max(0.0, pred->value);
+          break;
+        }
+        case AnalyticType::kAvg: {
+          // Combine via predicted remote count and avg.
+          AnalyticalQuery count_q = q;
+          count_q.analytic = AnalyticType::kCount;
+          const auto pred_avg = synced_agent_->maybe_predict(q);
+          const auto pred_cnt = synced_agent_->maybe_predict(count_q);
+          if (!pred_avg || !pred_cnt)
+            throw std::logic_error("Polystore: remote model cold for query");
+          const double rc = std::max(0.0, pred_cnt->value);
+          const double lc = static_cast<double>(local.state.count);
+          const double denom = lc + rc;
+          out.value = denom > 0.0
+                          ? (local.state.sum_t + pred_avg->value * rc) / denom
+                          : 0.0;
+          break;
+        }
+        default:
+          throw std::invalid_argument(
+              "Polystore: kMigrateModels supports count/sum/avg only");
+      }
+      break;
+    }
+  }
+
+  const TrafficStats after = cluster_->network().stats();
+  out.inter_system_bytes = after.wan_bytes - before.wan_bytes;
+  out.inter_system_ms = after.modelled_ms - before.modelled_ms;
+  return out;
+}
+
+}  // namespace sea

@@ -1,0 +1,85 @@
+// Multi-system (polystore) analytics (paper RT1.5, experiment E10).
+//
+// Two constituent systems hold different slices of the data (different
+// zones, so inter-system traffic is WAN-accounted). A federated analytical
+// query needs contributions from both. Three strategies, exactly the
+// paper's framing:
+//  * kMigrateData       — the status quo it criticizes: ship the remote
+//    store's raw tuples over, then compute locally. Cost ~ |remote data|
+//    per query (we ship only subspace-relevant tuples, which is already
+//    generous to the baseline).
+//  * kMigrateAggregates — paper option (i): the remote store runs the
+//    operator locally and ships only its 48-byte aggregate state.
+//  * kMigrateModels     — paper option (ii): the remote store trains a
+//    DatalessAgent on its local data and ships the *model* once; all
+//    subsequent federated queries combine the local exact contribution
+//    with the model's predicted remote contribution, at zero per-query
+//    inter-system traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cluster/cluster.h"
+#include "sea/agent.h"
+#include "sea/exact.h"
+
+namespace sea {
+
+enum class FederationStrategy {
+  kMigrateData,
+  kMigrateAggregates,
+  kMigrateModels
+};
+
+const char* to_string(FederationStrategy s) noexcept;
+
+struct PolystoreConfig {
+  LinkSpec wan{60.0, 200.0};
+  BdasCostModel bdas;
+  AgentConfig agent;
+  /// Training queries executed at the remote store to fit its agent
+  /// before the model can be shipped.
+  std::size_t model_training_queries = 400;
+};
+
+struct FederatedAnswer {
+  double value = 0.0;
+  bool approximate = false;
+  std::uint64_t inter_system_bytes = 0;
+  double inter_system_ms = 0.0;
+};
+
+class Polystore {
+ public:
+  /// Store A (node 0) is where queries arrive; store B (node 1) is remote.
+  Polystore(PolystoreConfig config, const Table& store_a, const Table& store_b);
+
+  /// Count/sum/avg federated query over the union of both stores.
+  /// kMigrateModels requires train_remote_model() + sync_model() first.
+  FederatedAnswer query(const AnalyticalQuery& q, FederationStrategy strategy);
+
+  /// Trains the remote agent with `n` local queries drawn by the caller;
+  /// each call executes exactly at store B (no inter-system traffic).
+  void train_remote_model(const AnalyticalQuery& q, double remote_truth);
+  double remote_truth(const AnalyticalQuery& q);
+
+  /// Ships the remote agent to store A; returns shipped bytes.
+  std::size_t sync_model();
+
+  bool model_synced() const noexcept { return synced_agent_.has_value(); }
+  const TrafficStats& traffic() const noexcept {
+    return cluster_->network().stats();
+  }
+
+ private:
+  PolystoreConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<ExactExecutor> exec_a_;
+  std::unique_ptr<ExactExecutor> exec_b_;
+  std::optional<DatalessAgent> remote_agent_;  ///< lives at store B
+  std::optional<DatalessAgent> synced_agent_;  ///< shipped copy at store A
+};
+
+}  // namespace sea

@@ -1,0 +1,118 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sea {
+
+std::uint32_t Graph::add_vertex(int label) {
+  labels_.push_back(label);
+  adj_.emplace_back();
+  return static_cast<std::uint32_t>(labels_.size() - 1);
+}
+
+void Graph::add_edge(std::uint32_t u, std::uint32_t v) {
+  if (u >= labels_.size() || v >= labels_.size())
+    throw std::out_of_range("Graph::add_edge: bad vertex");
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (has_edge(u, v))
+    throw std::invalid_argument("Graph::add_edge: duplicate edge");
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool Graph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  if (u >= labels_.size() || v >= labels_.size()) return false;
+  const auto& smaller = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const std::uint32_t other = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), other) != smaller.end();
+}
+
+int Graph::label(std::uint32_t v) const {
+  if (v >= labels_.size()) throw std::out_of_range("Graph::label");
+  return labels_[v];
+}
+
+const std::vector<std::uint32_t>& Graph::neighbors(std::uint32_t v) const {
+  if (v >= adj_.size()) throw std::out_of_range("Graph::neighbors");
+  return adj_[v];
+}
+
+std::vector<int> Graph::sorted_labels() const {
+  std::vector<int> out = labels_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Graph make_random_graph(std::size_t vertices, double avg_degree,
+                        int num_labels, std::uint64_t seed) {
+  if (vertices == 0)
+    throw std::invalid_argument("make_random_graph: need vertices");
+  if (num_labels <= 0)
+    throw std::invalid_argument("make_random_graph: need labels");
+  Rng rng(seed);
+  Graph g;
+  for (std::size_t v = 0; v < vertices; ++v)
+    g.add_vertex(static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(num_labels))));
+  // Spanning chain for connectivity.
+  for (std::size_t v = 1; v < vertices; ++v)
+    g.add_edge(static_cast<std::uint32_t>(v - 1),
+               static_cast<std::uint32_t>(v));
+  // Random extra edges to reach the target average degree.
+  const auto target_edges = static_cast<std::size_t>(
+      avg_degree * static_cast<double>(vertices) / 2.0);
+  std::size_t attempts = 0;
+  while (g.num_edges() < target_edges && attempts < target_edges * 20) {
+    ++attempts;
+    const auto u =
+        static_cast<std::uint32_t>(rng.uniform_index(vertices));
+    const auto v =
+        static_cast<std::uint32_t>(rng.uniform_index(vertices));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph extract_pattern(const Graph& g, std::size_t size, Rng& rng) {
+  if (size == 0 || size > g.num_vertices())
+    throw std::invalid_argument("extract_pattern: bad size");
+  // Random BFS-ish growth.
+  std::vector<std::uint32_t> chosen;
+  std::vector<std::uint32_t> frontier;
+  std::vector<bool> in_chosen(g.num_vertices(), false);
+  const auto seed_v =
+      static_cast<std::uint32_t>(rng.uniform_index(g.num_vertices()));
+  chosen.push_back(seed_v);
+  in_chosen[seed_v] = true;
+  frontier.insert(frontier.end(), g.neighbors(seed_v).begin(),
+                  g.neighbors(seed_v).end());
+  while (chosen.size() < size && !frontier.empty()) {
+    const auto pick = rng.uniform_index(frontier.size());
+    const std::uint32_t v = frontier[pick];
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+    if (in_chosen[v]) continue;
+    chosen.push_back(v);
+    in_chosen[v] = true;
+    for (const auto w : g.neighbors(v))
+      if (!in_chosen[w]) frontier.push_back(w);
+  }
+  if (chosen.size() < size)
+    throw std::runtime_error("extract_pattern: component too small");
+
+  Graph pattern;
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (const auto v : chosen) remap[v] = pattern.add_vertex(g.label(v));
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    for (std::size_t j = i + 1; j < chosen.size(); ++j) {
+      if (g.has_edge(chosen[i], chosen[j]))
+        pattern.add_edge(remap[chosen[i]], remap[chosen[j]]);
+    }
+  }
+  return pattern;
+}
+
+}  // namespace sea

@@ -1,0 +1,54 @@
+// Undirected vertex-labelled graph store plus generators, the substrate
+// for the subgraph-matching analytics of paper §IV P3 ([34], [35], [37],
+// [38]) reproduced in experiment E5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sea {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  std::uint32_t add_vertex(int label);
+  /// Adds an undirected edge; self-loops and duplicates are rejected.
+  void add_edge(std::uint32_t u, std::uint32_t v);
+  bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  std::size_t num_vertices() const noexcept { return labels_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  int label(std::uint32_t v) const;
+  const std::vector<std::uint32_t>& neighbors(std::uint32_t v) const;
+  std::size_t degree(std::uint32_t v) const { return neighbors(v).size(); }
+
+  /// Multiset of labels, sorted — cheap iso-filter for the query cache.
+  std::vector<int> sorted_labels() const;
+
+  std::size_t byte_size() const noexcept {
+    return labels_.size() * sizeof(int) +
+           2 * num_edges_ * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<int> labels_;
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Erdos-Renyi-style random graph with `num_labels` uniform vertex labels
+/// and expected average degree `avg_degree`, plus a spanning chain so the
+/// graph is connected.
+Graph make_random_graph(std::size_t vertices, double avg_degree,
+                        int num_labels, std::uint64_t seed);
+
+/// Extracts a connected induced-subgraph pattern of `size` vertices by
+/// random BFS from a random seed vertex. Returned pattern vertex 0 is the
+/// seed. Throws when the graph is smaller than `size`.
+Graph extract_pattern(const Graph& g, std::size_t size, Rng& rng);
+
+}  // namespace sea

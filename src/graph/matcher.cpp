@@ -1,0 +1,229 @@
+#include "graph/matcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sea {
+
+namespace {
+
+/// Pattern vertex visit order: BFS from vertex 0 so every vertex after the
+/// first has at least one already-mapped neighbour (connected patterns).
+std::vector<std::uint32_t> pattern_order(const Graph& pattern) {
+  const std::size_t n = pattern.num_vertices();
+  std::vector<std::uint32_t> order;
+  std::vector<bool> seen(n, false);
+  order.reserve(n);
+  order.push_back(0);
+  seen[0] = true;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const auto w : pattern.neighbors(order[head])) {
+      if (!seen[w]) {
+        seen[w] = true;
+        order.push_back(w);
+      }
+    }
+  }
+  if (order.size() != n)
+    throw std::invalid_argument("matcher: pattern must be connected");
+  return order;
+}
+
+struct SearchContext {
+  const Graph& data;
+  const Graph& pattern;
+  const MatchOptions& options;
+  MatchStats* stats;
+  std::vector<std::uint32_t> order;
+  std::vector<std::int64_t> mapping;       // pattern -> data (-1 unset)
+  std::vector<bool> used;                  // data vertex already mapped
+  std::vector<bool> allowed;               // candidate restriction
+  bool restrict_candidates = false;
+  std::vector<std::vector<std::uint32_t>>* out = nullptr;
+  bool aborted = false;
+
+  bool limits_hit() const noexcept {
+    if (options.max_matches && stats &&
+        stats->matches_found >= options.max_matches)
+      return true;
+    if (options.max_states && stats &&
+        stats->states_explored >= options.max_states)
+      return true;
+    return false;
+  }
+};
+
+void backtrack(SearchContext& ctx, std::size_t depth) {
+  if (ctx.aborted) return;
+  // Skip pattern vertices that were pre-seeded by a partial embedding.
+  while (depth < ctx.order.size() && ctx.mapping[ctx.order[depth]] >= 0)
+    ++depth;
+  if (ctx.stats) ++ctx.stats->states_explored;
+  if (ctx.options.max_states && ctx.stats &&
+      ctx.stats->states_explored > ctx.options.max_states) {
+    ctx.aborted = true;
+    return;
+  }
+  if (depth == ctx.order.size()) {
+    if (ctx.stats) ++ctx.stats->matches_found;
+    if (ctx.out) {
+      std::vector<std::uint32_t> emb(ctx.mapping.size());
+      for (std::size_t i = 0; i < ctx.mapping.size(); ++i)
+        emb[i] = static_cast<std::uint32_t>(ctx.mapping[i]);
+      ctx.out->push_back(std::move(emb));
+    }
+    if (ctx.options.max_matches && ctx.stats &&
+        ctx.stats->matches_found >= ctx.options.max_matches)
+      ctx.aborted = true;
+    return;
+  }
+
+  const std::uint32_t pv = ctx.order[depth];
+  // Candidate generation: neighbours of an already-mapped pattern
+  // neighbour (exists for depth > 0 thanks to BFS order), else all
+  // vertices.
+  std::int64_t anchor_data = -1;
+  for (const auto pn : ctx.pattern.neighbors(pv)) {
+    if (ctx.mapping[pn] >= 0) {
+      anchor_data = ctx.mapping[pn];
+      break;
+    }
+  }
+
+  const auto try_candidate = [&](std::uint32_t dv) {
+    if (ctx.aborted) return;
+    if (ctx.used[dv]) return;
+    if (ctx.restrict_candidates && !ctx.allowed[dv]) return;
+    if (ctx.data.label(dv) != ctx.pattern.label(pv)) return;
+    if (ctx.data.degree(dv) < ctx.pattern.degree(pv)) return;
+    // All mapped pattern neighbours must be data neighbours of dv.
+    for (const auto pn : ctx.pattern.neighbors(pv)) {
+      if (ctx.mapping[pn] < 0) continue;
+      if (!ctx.data.has_edge(dv,
+                             static_cast<std::uint32_t>(ctx.mapping[pn])))
+        return;
+    }
+    ctx.mapping[pv] = dv;
+    ctx.used[dv] = true;
+    backtrack(ctx, depth + 1);
+    ctx.mapping[pv] = -1;
+    ctx.used[dv] = false;
+  };
+
+  if (anchor_data >= 0) {
+    for (const auto dv :
+         ctx.data.neighbors(static_cast<std::uint32_t>(anchor_data)))
+      try_candidate(dv);
+  } else if (ctx.restrict_candidates) {
+    for (const auto dv : ctx.options.candidate_vertices) try_candidate(dv);
+  } else {
+    for (std::uint32_t dv = 0; dv < ctx.data.num_vertices(); ++dv)
+      try_candidate(dv);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> find_subgraph_matches(
+    const Graph& data, const Graph& pattern, const MatchOptions& options,
+    MatchStats* stats) {
+  std::vector<std::vector<std::uint32_t>> out;
+  if (pattern.num_vertices() == 0 ||
+      pattern.num_vertices() > data.num_vertices())
+    return out;
+  MatchStats local_stats;
+  SearchContext ctx{data,
+                    pattern,
+                    options,
+                    stats ? stats : &local_stats,
+                    pattern_order(pattern),
+                    std::vector<std::int64_t>(pattern.num_vertices(), -1),
+                    std::vector<bool>(data.num_vertices(), false),
+                    std::vector<bool>(data.num_vertices(), false),
+                    false,
+                    &out,
+                    false};
+  if (!options.candidate_vertices.empty()) {
+    ctx.restrict_candidates = true;
+    for (const auto v : options.candidate_vertices) {
+      if (v < data.num_vertices()) ctx.allowed[v] = true;
+    }
+  }
+  backtrack(ctx, 0);
+  return out;
+}
+
+std::vector<std::vector<std::uint32_t>> extend_partial_embeddings(
+    const Graph& data, const Graph& pattern,
+    const std::vector<EmbeddingSeed>& seeds, const MatchOptions& options,
+    MatchStats* stats) {
+  std::vector<std::vector<std::uint32_t>> out;
+  if (pattern.num_vertices() == 0) return out;
+  MatchStats local_stats;
+  MatchStats* st = stats ? stats : &local_stats;
+  const auto order = pattern_order(pattern);
+
+  for (const auto& seed : seeds) {
+    SearchContext ctx{data,
+                      pattern,
+                      options,
+                      st,
+                      order,
+                      std::vector<std::int64_t>(pattern.num_vertices(), -1),
+                      std::vector<bool>(data.num_vertices(), false),
+                      std::vector<bool>(data.num_vertices(), false),
+                      false,
+                      &out,
+                      false};
+    // Install and validate the seed.
+    bool ok = true;
+    for (const auto& [pv, dv] : seed) {
+      if (pv >= pattern.num_vertices() || dv >= data.num_vertices() ||
+          ctx.used[dv] || data.label(dv) != pattern.label(pv) ||
+          data.degree(dv) < pattern.degree(pv)) {
+        ok = false;
+        break;
+      }
+      ctx.mapping[pv] = dv;
+      ctx.used[dv] = true;
+    }
+    if (ok) {
+      // Pattern edges among seeded vertices must exist in the data.
+      for (const auto& [pv, dv] : seed) {
+        for (const auto pn : pattern.neighbors(pv)) {
+          if (ctx.mapping[pn] < 0) continue;
+          if (!data.has_edge(dv,
+                             static_cast<std::uint32_t>(ctx.mapping[pn]))) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+    }
+    if (!ok) continue;
+    backtrack(ctx, 0);
+    if (options.max_matches && st->matches_found >= options.max_matches)
+      break;
+  }
+  return out;
+}
+
+bool is_subgraph_isomorphic(const Graph& data, const Graph& pattern,
+                            MatchStats* stats) {
+  MatchOptions opts;
+  opts.max_matches = 1;
+  return !find_subgraph_matches(data, pattern, opts, stats).empty();
+}
+
+bool graphs_isomorphic(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges())
+    return false;
+  if (a.sorted_labels() != b.sorted_labels()) return false;
+  if (a.num_vertices() == 0) return true;
+  // With equal vertex and edge counts, a (non-induced) embedding of a in b
+  // must use every b vertex and cover every b edge, i.e. be an isomorphism.
+  return is_subgraph_isomorphic(b, a);
+}
+
+}  // namespace sea

@@ -1,0 +1,62 @@
+// VF2-style subgraph isomorphism: find embeddings of a connected pattern
+// in a data graph with label/degree pruning and backtracking. Supports
+// restricting the search to a candidate vertex set, which is how the
+// semantic cache turns a "subsumption hit" into a much smaller search
+// (paper [34], [35]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sea {
+
+struct MatchStats {
+  std::uint64_t states_explored = 0;  ///< backtracking nodes visited
+  std::uint64_t matches_found = 0;
+};
+
+struct MatchOptions {
+  /// Stop after this many embeddings (0 = unlimited).
+  std::size_t max_matches = 0;
+  /// When non-empty, data-graph vertices outside this set are ignored.
+  std::vector<std::uint32_t> candidate_vertices;
+  /// Hard cap on explored states (guards pathological patterns; 0 = none).
+  std::uint64_t max_states = 0;
+};
+
+/// Each embedding maps pattern vertex i -> embedding[i] (data vertex).
+/// Embeddings are injective and label/edge preserving (subgraph
+/// isomorphism in the non-induced sense: pattern edges must exist, extra
+/// data edges are allowed).
+std::vector<std::vector<std::uint32_t>> find_subgraph_matches(
+    const Graph& data, const Graph& pattern, const MatchOptions& options = {},
+    MatchStats* stats = nullptr);
+
+/// True when at least one embedding exists.
+bool is_subgraph_isomorphic(const Graph& data, const Graph& pattern,
+                            MatchStats* stats = nullptr);
+
+/// A partial embedding seed: (pattern vertex, data vertex) pairs.
+using EmbeddingSeed = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Extends each seed to all full embeddings of `pattern` in `data`.
+/// Used by the semantic cache: when a cached sub-pattern Qc embeds into a
+/// new pattern Q via mapping m, every data embedding e of Qc yields the
+/// seed {(m(u), e(u))}, and every Q-embedding extends exactly one such
+/// seed — so the union over seeds is complete and duplicate-free.
+/// Seeds that are internally inconsistent (labels, injectivity, missing
+/// edges among seeded vertices) are skipped.
+std::vector<std::vector<std::uint32_t>> extend_partial_embeddings(
+    const Graph& data, const Graph& pattern,
+    const std::vector<EmbeddingSeed>& seeds, const MatchOptions& options = {},
+    MatchStats* stats = nullptr);
+
+/// True when the two graphs are isomorphic (equal sizes + embeddings both
+/// ways is overkill; equal sizes + one embedding suffices for non-induced
+/// semantics on equal vertex/edge counts).
+bool graphs_isomorphic(const Graph& a, const Graph& b);
+
+}  // namespace sea

@@ -1,0 +1,121 @@
+#include "graph/query_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sea {
+
+SubgraphQueryCache::SubgraphQueryCache(const Graph& data, std::size_t capacity,
+                                       std::size_t max_matches_per_query)
+    : data_(data), capacity_(capacity), max_matches_(max_matches_per_query) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("SubgraphQueryCache: capacity must be > 0");
+}
+
+CacheQueryResult SubgraphQueryCache::query(const Graph& pattern) {
+  CacheQueryResult result;
+  ++stats_.queries;
+  const auto labels = pattern.sorted_labels();
+
+  // 1) Exact hit: a cached isomorphic pattern.
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->pattern.num_vertices() != pattern.num_vertices() ||
+        it->pattern.num_edges() != pattern.num_edges() ||
+        it->label_multiset != labels)
+      continue;
+    if (graphs_isomorphic(it->pattern, pattern)) {
+      ++stats_.exact_hits;
+      result.kind = CacheQueryResult::Kind::kExactHit;
+      result.embeddings = it->embeddings;
+      entries_.splice(entries_.begin(), entries_, it);  // LRU bump
+      return result;
+    }
+  }
+
+  // 2) Subsumption hit: the largest cached pattern that embeds in the new
+  //    one restricts the search space the most. Keep the pattern-level
+  //    embedding m: cached-pattern vertex -> new-pattern vertex.
+  const Entry* best = nullptr;
+  std::vector<std::uint32_t> best_m;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->pattern.num_vertices() > pattern.num_vertices() ||
+        it->pattern.num_edges() > pattern.num_edges())
+      continue;
+    if (it->support.empty()) continue;  // cached pattern had no matches
+    if (!it->complete) continue;  // truncated support is unsound to reuse
+    // Label multiset containment is a cheap necessary condition.
+    if (!std::includes(labels.begin(), labels.end(),
+                       it->label_multiset.begin(), it->label_multiset.end()))
+      continue;
+    if (best && it->pattern.num_vertices() <= best->pattern.num_vertices())
+      continue;
+    MatchStats iso_stats;
+    MatchOptions iso_opts;
+    iso_opts.max_matches = 1;
+    auto pattern_embeddings =
+        find_subgraph_matches(pattern, it->pattern, iso_opts, &iso_stats);
+    if (!pattern_embeddings.empty()) {
+      best = &*it;
+      best_m = std::move(pattern_embeddings.front());
+    }
+  }
+
+  MatchOptions opts;
+  opts.max_matches = max_matches_;
+  if (best) {
+    // Every embedding of the new pattern restricts (through m) to exactly
+    // one cached embedding, so extending the cached embeddings is both
+    // complete and duplicate-free — the GraphCache-style reuse.
+    std::vector<EmbeddingSeed> seeds;
+    seeds.reserve(best->embeddings.size());
+    for (const auto& e : best->embeddings) {
+      EmbeddingSeed seed;
+      seed.reserve(e.size());
+      for (std::uint32_t u = 0; u < e.size(); ++u)
+        seed.emplace_back(best_m[u], e[u]);
+      seeds.push_back(std::move(seed));
+    }
+    ++stats_.subsumption_hits;
+    result.kind = CacheQueryResult::Kind::kSubsumptionHit;
+    result.embeddings = extend_partial_embeddings(data_, pattern, seeds,
+                                                  opts, &result.match_stats);
+  } else {
+    ++stats_.misses;
+    result.kind = CacheQueryResult::Kind::kMiss;
+    result.embeddings =
+        find_subgraph_matches(data_, pattern, opts, &result.match_stats);
+  }
+
+  // Populate cache.
+  Entry e;
+  e.pattern = pattern;
+  e.label_multiset = labels;
+  e.embeddings = result.embeddings;
+  std::unordered_set<std::uint32_t> support;
+  for (const auto& emb : result.embeddings)
+    for (const auto v : emb) support.insert(v);
+  e.support.assign(support.begin(), support.end());
+  std::sort(e.support.begin(), e.support.end());
+  e.complete = result.embeddings.size() < max_matches_;
+  entries_.push_front(std::move(e));
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  return result;
+}
+
+std::size_t SubgraphQueryCache::byte_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& e : entries_) {
+    total += e.pattern.byte_size();
+    total += e.label_multiset.size() * sizeof(int);
+    for (const auto& emb : e.embeddings)
+      total += emb.size() * sizeof(std::uint32_t);
+    total += e.support.size() * sizeof(std::uint32_t);
+  }
+  return total;
+}
+
+}  // namespace sea

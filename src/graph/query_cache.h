@@ -1,0 +1,68 @@
+// Subgraph-query semantic cache (GraphCache-like, paper [34], [35]).
+//
+// Caches (pattern, embeddings) pairs for a fixed data graph and exploits
+// two kinds of semantic hits when a new pattern arrives:
+//  * exact hit — an isomorphic pattern is cached: return its embeddings
+//    without touching the matcher at all;
+//  * subsumption hit — a cached pattern is a subgraph of the new one:
+//    every embedding of the new pattern must stay within a small
+//    neighbourhood of the cached pattern's match support, so the matcher
+//    runs on a drastically reduced candidate set.
+// Misses run the full matcher and populate the cache (LRU eviction).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/matcher.h"
+
+namespace sea {
+
+struct CacheQueryResult {
+  std::vector<std::vector<std::uint32_t>> embeddings;
+  enum class Kind { kExactHit, kSubsumptionHit, kMiss } kind = Kind::kMiss;
+  MatchStats match_stats;  ///< zero states on an exact hit
+};
+
+struct CacheStats {
+  std::uint64_t queries = 0;
+  std::uint64_t exact_hits = 0;
+  std::uint64_t subsumption_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class SubgraphQueryCache {
+ public:
+  /// Caches results against `data`; keeps at most `capacity` entries.
+  SubgraphQueryCache(const Graph& data, std::size_t capacity = 64,
+                     std::size_t max_matches_per_query = 1000);
+
+  /// Answers `pattern` using the cache when possible.
+  CacheQueryResult query(const Graph& pattern);
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t byte_size() const noexcept;
+
+ private:
+  struct Entry {
+    Graph pattern;
+    std::vector<int> label_multiset;
+    std::vector<std::vector<std::uint32_t>> embeddings;
+    std::vector<std::uint32_t> support;  ///< distinct data vertices in matches
+    /// False when the embedding list was truncated at max_matches; such an
+    /// entry's support is incomplete and must not drive subsumption.
+    bool complete = true;
+  };
+
+  const Graph& data_;
+  std::size_t capacity_;
+  std::size_t max_matches_;
+  std::list<Entry> entries_;  ///< front = most recently used
+  CacheStats stats_;
+};
+
+}  // namespace sea

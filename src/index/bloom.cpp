@@ -1,0 +1,49 @@
+#include "index/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sea {
+
+BloomFilter::BloomFilter(std::size_t expected_items,
+                         double false_positive_rate) {
+  if (expected_items == 0) expected_items = 1;
+  if (false_positive_rate <= 0.0 || false_positive_rate >= 1.0)
+    throw std::invalid_argument("BloomFilter: rate must be in (0,1)");
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_items) *
+                   std::log(false_positive_rate) / (ln2 * ln2);
+  num_bits_ = std::max<std::size_t>(64, static_cast<std::size_t>(m));
+  num_hashes_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(
+             m / static_cast<double>(expected_items) * ln2)));
+  bits_.assign((num_bits_ + 63) / 64, 0);
+}
+
+std::uint64_t BloomFilter::mix(std::uint64_t x, std::uint64_t salt) noexcept {
+  x += salt * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void BloomFilter::insert(std::uint64_t key) noexcept {
+  if (bits_.empty()) return;
+  for (std::size_t i = 0; i < num_hashes_; ++i) {
+    const std::uint64_t bit = mix(key, i + 1) % num_bits_;
+    bits_[bit / 64] |= (1ULL << (bit % 64));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::may_contain(std::uint64_t key) const noexcept {
+  if (bits_.empty()) return false;
+  for (std::size_t i = 0; i < num_hashes_; ++i) {
+    const std::uint64_t bit = mix(key, i + 1) % num_bits_;
+    if (!(bits_[bit / 64] & (1ULL << (bit % 64)))) return false;
+  }
+  return true;
+}
+
+}  // namespace sea

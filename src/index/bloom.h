@@ -1,0 +1,41 @@
+// Bloom filter over 64-bit keys.
+//
+// Used by the surgical rank-join (paper [30], E3): each node ships a small
+// Bloom filter of its join keys to the coordinator so probes only visit
+// nodes that can possibly match — "surgically accessing the smallest data
+// subset required" (P3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sea {
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  /// Sizes the filter for `expected_items` at the given false-positive
+  /// rate using the standard m/k formulas.
+  BloomFilter(std::size_t expected_items, double false_positive_rate);
+
+  void insert(std::uint64_t key) noexcept;
+  /// May return true for absent keys (by design); never false for present.
+  bool may_contain(std::uint64_t key) const noexcept;
+
+  std::size_t num_bits() const noexcept { return num_bits_; }
+  std::size_t num_hashes() const noexcept { return num_hashes_; }
+  std::size_t byte_size() const noexcept { return bits_.size() * 8; }
+  std::uint64_t inserted() const noexcept { return inserted_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x, std::uint64_t salt) noexcept;
+
+  std::vector<std::uint64_t> bits_;
+  std::size_t num_bits_ = 0;
+  std::size_t num_hashes_ = 0;
+  std::uint64_t inserted_ = 0;
+};
+
+}  // namespace sea

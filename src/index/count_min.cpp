@@ -1,0 +1,51 @@
+#include "index/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sea {
+
+CountMinSketch::CountMinSketch(double eps, double delta) {
+  if (eps <= 0.0 || eps >= 1.0)
+    throw std::invalid_argument("CountMinSketch: eps must be in (0,1)");
+  if (delta <= 0.0 || delta >= 1.0)
+    throw std::invalid_argument("CountMinSketch: delta must be in (0,1)");
+  width_ = static_cast<std::size_t>(std::ceil(std::exp(1.0) / eps));
+  depth_ = static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  depth_ = std::max<std::size_t>(1, depth_);
+  table_.assign(width_ * depth_, 0);
+}
+
+std::uint64_t CountMinSketch::mix(std::uint64_t x,
+                                  std::uint64_t salt) noexcept {
+  x ^= salt * 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+void CountMinSketch::add(std::uint64_t key, std::uint64_t count) noexcept {
+  if (table_.empty()) return;
+  for (std::size_t d = 0; d < depth_; ++d) {
+    const std::size_t col = mix(key, d + 1) % width_;
+    table_[d * width_ + col] += count;
+  }
+  total_ += count;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const noexcept {
+  if (table_.empty()) return 0;
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t d = 0; d < depth_; ++d) {
+    const std::size_t col = mix(key, d + 1) % width_;
+    best = std::min(best, table_[d * width_ + col]);
+  }
+  return best;
+}
+
+}  // namespace sea

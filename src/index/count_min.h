@@ -1,0 +1,42 @@
+// Count-Min sketch over 64-bit keys (Cormode & Muthukrishnan, cited as [16]
+// in the paper's AQP-synopsis discussion). Provides frequency upper-bound
+// estimates in sublinear space; used as a synopsis baseline and by the
+// rank-join coordinator to prioritize keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sea {
+
+class CountMinSketch {
+ public:
+  CountMinSketch() = default;
+
+  /// eps: additive error fraction (of total count); delta: failure prob.
+  /// width = ceil(e / eps), depth = ceil(ln(1/delta)).
+  CountMinSketch(double eps, double delta);
+
+  void add(std::uint64_t key, std::uint64_t count = 1) noexcept;
+
+  /// Overestimate (never underestimate) of key's total count.
+  std::uint64_t estimate(std::uint64_t key) const noexcept;
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return depth_; }
+  std::size_t byte_size() const noexcept {
+    return table_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t x, std::uint64_t salt) noexcept;
+
+  std::size_t width_ = 0;
+  std::size_t depth_ = 0;
+  std::vector<std::uint64_t> table_;  ///< depth_ rows of width_
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sea

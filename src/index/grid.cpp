@@ -1,0 +1,213 @@
+#include "index/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace sea {
+
+GridIndex::GridIndex(std::vector<Point> points, Rect domain,
+                     std::size_t cells_per_dim, std::vector<std::uint64_t> ids)
+    : points_(std::move(points)),
+      ids_(std::move(ids)),
+      domain_(std::move(domain)),
+      cells_per_dim_(cells_per_dim) {
+  if (!domain_.valid() || domain_.dims() == 0)
+    throw std::invalid_argument("GridIndex: invalid domain");
+  if (cells_per_dim_ == 0)
+    throw std::invalid_argument("GridIndex: cells_per_dim must be > 0");
+  // Guard against overflow of the flattened cell table.
+  double total = 1.0;
+  for (std::size_t d = 0; d < domain_.dims(); ++d) {
+    total *= static_cast<double>(cells_per_dim_);
+    if (total > 1e8)
+      throw std::invalid_argument("GridIndex: too many cells; reduce "
+                                  "cells_per_dim or dimensionality");
+  }
+  if (ids_.empty()) {
+    ids_.resize(points_.size());
+    std::iota(ids_.begin(), ids_.end(), 0);
+  }
+  if (ids_.size() != points_.size())
+    throw std::invalid_argument("GridIndex: ids/points size mismatch");
+  cells_.resize(static_cast<std::size_t>(total));
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].size() != domain_.dims())
+      throw std::invalid_argument("GridIndex: point dimensionality mismatch");
+    cells_[cell_of(points_[i])].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+std::size_t GridIndex::cell_coord(double v, std::size_t dim) const noexcept {
+  const double lo = domain_.lo[dim];
+  const double hi = domain_.hi[dim];
+  const double width = (hi - lo) / static_cast<double>(cells_per_dim_);
+  if (width <= 0.0) return 0;
+  const double raw = (v - lo) / width;
+  const auto c = static_cast<std::int64_t>(std::floor(raw));
+  return static_cast<std::size_t>(
+      std::clamp<std::int64_t>(c, 0,
+                               static_cast<std::int64_t>(cells_per_dim_) - 1));
+}
+
+std::size_t GridIndex::cell_of(std::span<const double> p) const noexcept {
+  std::size_t idx = 0;
+  for (std::size_t d = 0; d < domain_.dims(); ++d)
+    idx = idx * cells_per_dim_ + cell_coord(p[d], d);
+  return idx;
+}
+
+std::size_t GridIndex::flatten(
+    std::span<const std::size_t> coords) const noexcept {
+  std::size_t idx = 0;
+  for (std::size_t d = 0; d < coords.size(); ++d)
+    idx = idx * cells_per_dim_ + coords[d];
+  return idx;
+}
+
+namespace {
+
+/// Iterates the cross product of per-dimension coordinate ranges.
+class CoordIterator {
+ public:
+  CoordIterator(std::vector<std::size_t> lo, std::vector<std::size_t> hi)
+      : lo_(std::move(lo)), hi_(std::move(hi)), cur_(lo_), done_(false) {
+    for (std::size_t d = 0; d < lo_.size(); ++d)
+      if (lo_[d] > hi_[d]) done_ = true;
+  }
+
+  bool done() const noexcept { return done_; }
+  const std::vector<std::size_t>& coords() const noexcept { return cur_; }
+
+  void advance() noexcept {
+    for (std::size_t d = cur_.size(); d-- > 0;) {
+      if (cur_[d] < hi_[d]) {
+        ++cur_[d];
+        for (std::size_t j = d + 1; j < cur_.size(); ++j) cur_[j] = lo_[j];
+        return;
+      }
+    }
+    done_ = true;
+  }
+
+ private:
+  std::vector<std::size_t> lo_, hi_, cur_;
+  bool done_;
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> GridIndex::range_query(const Rect& rect,
+                                                  GridQueryCost* cost) const {
+  std::vector<std::uint64_t> out;
+  if (points_.empty()) return out;
+  if (rect.dims() != dims())
+    throw std::invalid_argument("GridIndex::range_query: dims");
+  std::vector<std::size_t> lo(dims()), hi(dims());
+  for (std::size_t d = 0; d < dims(); ++d) {
+    lo[d] = cell_coord(rect.lo[d], d);
+    hi[d] = cell_coord(rect.hi[d], d);
+  }
+  for (CoordIterator it(lo, hi); !it.done(); it.advance()) {
+    const auto& cell = cells_[flatten(it.coords())];
+    if (cost) ++cost->cells_visited;
+    for (const std::uint32_t i : cell) {
+      if (cost) ++cost->points_examined;
+      if (rect.contains(points_[i])) out.push_back(ids_[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> GridIndex::radius_query(const Ball& ball,
+                                                   GridQueryCost* cost) const {
+  std::vector<std::uint64_t> out;
+  if (points_.empty()) return out;
+  if (ball.dims() != dims())
+    throw std::invalid_argument("GridIndex::radius_query: dims");
+  const Rect box = ball.bounding_box();
+  const double r2 = ball.radius * ball.radius;
+  std::vector<std::size_t> lo(dims()), hi(dims());
+  for (std::size_t d = 0; d < dims(); ++d) {
+    lo[d] = cell_coord(box.lo[d], d);
+    hi[d] = cell_coord(box.hi[d], d);
+  }
+  for (CoordIterator it(lo, hi); !it.done(); it.advance()) {
+    const auto& cell = cells_[flatten(it.coords())];
+    if (cost) ++cost->cells_visited;
+    for (const std::uint32_t i : cell) {
+      if (cost) ++cost->points_examined;
+      if (squared_distance(ball.center, points_[i]) <= r2)
+        out.push_back(ids_[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> GridIndex::knn(
+    std::span<const double> query, std::size_t k, GridQueryCost* cost) const {
+  std::vector<std::pair<std::uint64_t, double>> result;
+  if (points_.empty() || k == 0) return result;
+  if (query.size() != dims())
+    throw std::invalid_argument("GridIndex::knn: dims");
+
+  // Expand a growing ball until it certainly contains k points: start with
+  // the width of one cell, double the radius each round.
+  double cell_width = 0.0;
+  for (std::size_t d = 0; d < dims(); ++d)
+    cell_width = std::max(
+        cell_width, (domain_.hi[d] - domain_.lo[d]) /
+                        static_cast<double>(cells_per_dim_));
+  double radius = std::max(cell_width, 1e-9);
+  // Domain diagonal bounds the search.
+  double diag2 = 0.0;
+  for (std::size_t d = 0; d < dims(); ++d) {
+    const double w = domain_.hi[d] - domain_.lo[d];
+    diag2 += w * w;
+  }
+  const double max_radius = std::sqrt(diag2) + cell_width;
+
+  for (;;) {
+    const Ball ball{Point(query.begin(), query.end()), radius};
+    auto ranked = radius_candidates(ball, cost);
+    if (ranked.size() >= k || radius >= max_radius) {
+      // If k candidates lie within radius r, the true k nearest all lie
+      // within r too, so they are among the candidates.
+      const std::size_t take = std::min(k, ranked.size());
+      std::partial_sort(ranked.begin(),
+                        ranked.begin() + static_cast<std::ptrdiff_t>(take),
+                        ranked.end());
+      result.reserve(take);
+      for (std::size_t i = 0; i < take; ++i)
+        result.emplace_back(ranked[i].second, std::sqrt(ranked[i].first));
+      return result;
+    }
+    radius *= 2.0;
+  }
+}
+
+std::vector<std::pair<double, std::uint64_t>> GridIndex::radius_candidates(
+    const Ball& ball, GridQueryCost* cost) const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  const Rect box = ball.bounding_box();
+  const double r2 = ball.radius * ball.radius;
+  std::vector<std::size_t> lo(dims()), hi(dims());
+  for (std::size_t d = 0; d < dims(); ++d) {
+    lo[d] = cell_coord(box.lo[d], d);
+    hi[d] = cell_coord(box.hi[d], d);
+  }
+  for (CoordIterator it(lo, hi); !it.done(); it.advance()) {
+    const auto& cell = cells_[flatten(it.coords())];
+    if (cost) ++cost->cells_visited;
+    for (const std::uint32_t i : cell) {
+      if (cost) ++cost->points_examined;
+      const double d2 = squared_distance(ball.center, points_[i]);
+      if (d2 <= r2) out.emplace_back(d2, ids_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace sea

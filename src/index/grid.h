@@ -1,0 +1,65 @@
+// Uniform grid index over a bounded multi-dimensional domain.
+//
+// The alternative access structure to the k-d tree (paper RT3.1 asks the
+// optimizer to pick between such alternatives). Cheap to build and very
+// fast for low dimensionality / large selectivities; degrades in high
+// dimensions — exactly the trade-off the method-selection experiments (E6)
+// exercise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "data/point.h"
+
+namespace sea {
+
+struct GridQueryCost {
+  std::uint64_t cells_visited = 0;
+  std::uint64_t points_examined = 0;
+};
+
+class GridIndex {
+ public:
+  GridIndex() = default;
+
+  /// Builds over `points` within `domain`, with `cells_per_dim` cells along
+  /// each axis. Points outside the domain are clamped into border cells.
+  GridIndex(std::vector<Point> points, Rect domain, std::size_t cells_per_dim,
+            std::vector<std::uint64_t> ids = {});
+
+  std::size_t size() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+  std::size_t dims() const noexcept { return domain_.dims(); }
+  std::size_t cells_per_dim() const noexcept { return cells_per_dim_; }
+  std::size_t num_cells() const noexcept { return cells_.size(); }
+
+  std::vector<std::uint64_t> range_query(const Rect& rect,
+                                         GridQueryCost* cost = nullptr) const;
+
+  std::vector<std::uint64_t> radius_query(const Ball& ball,
+                                          GridQueryCost* cost = nullptr) const;
+
+  /// kNN by expanding rings of cells around the query point.
+  std::vector<std::pair<std::uint64_t, double>> knn(
+      std::span<const double> query, std::size_t k,
+      GridQueryCost* cost = nullptr) const;
+
+ private:
+  std::vector<std::pair<double, std::uint64_t>> radius_candidates(
+      const Ball& ball, GridQueryCost* cost) const;
+  std::size_t cell_coord(double v, std::size_t dim) const noexcept;
+  std::size_t cell_of(std::span<const double> p) const noexcept;
+  /// Flattens per-dim coordinates into a cell index.
+  std::size_t flatten(std::span<const std::size_t> coords) const noexcept;
+
+  std::vector<Point> points_;
+  std::vector<std::uint64_t> ids_;
+  Rect domain_;
+  std::size_t cells_per_dim_ = 0;
+  std::vector<std::vector<std::uint32_t>> cells_;  ///< point indices per cell
+};
+
+}  // namespace sea

@@ -1,0 +1,137 @@
+#include "index/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sea {
+
+EquiWidthHistogram::EquiWidthHistogram(double lo, double hi,
+                                       std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (buckets == 0)
+    throw std::invalid_argument("EquiWidthHistogram: buckets must be > 0");
+  if (hi <= lo)
+    throw std::invalid_argument("EquiWidthHistogram: hi must exceed lo");
+}
+
+std::size_t EquiWidthHistogram::bucket_of(double v) const noexcept {
+  const double frac = (v - lo_) / (hi_ - lo_);
+  const auto b = static_cast<std::int64_t>(
+      std::floor(frac * static_cast<double>(counts_.size())));
+  return static_cast<std::size_t>(std::clamp<std::int64_t>(
+      b, 0, static_cast<std::int64_t>(counts_.size()) - 1));
+}
+
+void EquiWidthHistogram::add(double v) noexcept {
+  ++counts_[bucket_of(v)];
+  ++total_;
+}
+
+void EquiWidthHistogram::add_all(std::span<const double> values) noexcept {
+  for (const double v : values) add(v);
+}
+
+std::uint64_t EquiWidthHistogram::bucket_count(std::size_t b) const {
+  if (b >= counts_.size())
+    throw std::out_of_range("EquiWidthHistogram::bucket_count");
+  return counts_[b];
+}
+
+double EquiWidthHistogram::estimate_range(double a, double b) const noexcept {
+  if (b < a || total_ == 0) return 0.0;
+  a = std::max(a, lo_);
+  b = std::min(b, hi_);
+  if (b < a) return 0.0;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double est = 0.0;
+  const std::size_t first = bucket_of(a);
+  const std::size_t last = bucket_of(b);
+  for (std::size_t i = first; i <= last; ++i) {
+    const double blo = lo_ + static_cast<double>(i) * width;
+    const double bhi = blo + width;
+    const double overlap =
+        std::max(0.0, std::min(b, bhi) - std::max(a, blo));
+    est += static_cast<double>(counts_[i]) * (overlap / width);
+  }
+  return est;
+}
+
+double EquiWidthHistogram::selectivity(double a, double b) const noexcept {
+  return total_ == 0 ? 0.0
+                     : estimate_range(a, b) / static_cast<double>(total_);
+}
+
+EquiDepthHistogram::EquiDepthHistogram(std::span<const double> values,
+                                       std::size_t buckets) {
+  if (buckets == 0)
+    throw std::invalid_argument("EquiDepthHistogram: buckets must be > 0");
+  total_ = values.size();
+  if (values.empty()) return;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  buckets = std::min(buckets, sorted.size());
+  edges_.reserve(buckets + 1);
+  edges_.push_back(sorted.front());
+  for (std::size_t b = 1; b < buckets; ++b) {
+    const std::size_t pos = (b * sorted.size()) / buckets;
+    const double edge = sorted[pos];
+    // Skip duplicate edges caused by heavy value repetition.
+    if (edge > edges_.back()) edges_.push_back(edge);
+  }
+  const double last = sorted.back();
+  edges_.push_back(last > edges_.back()
+                       ? std::nextafter(last, last + 1.0)
+                       : std::nextafter(edges_.back(), edges_.back() + 1.0));
+}
+
+double EquiDepthHistogram::estimate_range(double a, double b) const noexcept {
+  if (b < a || total_ == 0 || edges_.size() < 2) return 0.0;
+  const double per_bucket =
+      static_cast<double>(total_) / static_cast<double>(edges_.size() - 1);
+  double est = 0.0;
+  for (std::size_t i = 0; i + 1 < edges_.size(); ++i) {
+    const double blo = edges_[i];
+    const double bhi = edges_[i + 1];
+    const double width = bhi - blo;
+    if (width <= 0.0) continue;
+    const double overlap = std::max(0.0, std::min(b, bhi) - std::max(a, blo));
+    est += per_bucket * (overlap / width);
+  }
+  return est;
+}
+
+double EquiDepthHistogram::selectivity(double a, double b) const noexcept {
+  return total_ == 0 ? 0.0
+                     : estimate_range(a, b) / static_cast<double>(total_);
+}
+
+ProductHistogram::ProductHistogram(std::span<const Point> points,
+                                   std::size_t buckets) {
+  total_ = points.size();
+  if (points.empty()) return;
+  const std::size_t d = points[0].size();
+  std::vector<double> column(points.size());
+  dims_.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t i = 0; i < points.size(); ++i) column[i] = points[i][j];
+    dims_.emplace_back(column, buckets);
+  }
+}
+
+double ProductHistogram::estimate_count(const Rect& rect) const {
+  if (rect.dims() != dims_.size())
+    throw std::invalid_argument("ProductHistogram::estimate_count: dims");
+  double sel = 1.0;
+  for (std::size_t j = 0; j < dims_.size(); ++j)
+    sel *= dims_[j].selectivity(rect.lo[j], rect.hi[j]);
+  return sel * static_cast<double>(total_);
+}
+
+std::size_t ProductHistogram::byte_size() const noexcept {
+  std::size_t s = sizeof(std::uint64_t);
+  for (const auto& h : dims_) s += h.byte_size();
+  return s;
+}
+
+}  // namespace sea

@@ -1,0 +1,198 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "data/table.h"
+
+namespace sea {
+
+KdTree::KdTree(std::vector<Point> points, std::vector<std::uint64_t> ids)
+    : points_(std::move(points)), ids_(std::move(ids)) {
+  if (ids_.empty()) {
+    ids_.resize(points_.size());
+    std::iota(ids_.begin(), ids_.end(), 0);
+  }
+  if (ids_.size() != points_.size())
+    throw std::invalid_argument("KdTree: ids/points size mismatch");
+  for (const auto& p : points_) {
+    if (p.size() != points_[0].size())
+      throw std::invalid_argument("KdTree: inconsistent dimensionality");
+  }
+  order_.resize(points_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  if (!points_.empty())
+    root_ = build(0, static_cast<std::uint32_t>(points_.size()));
+}
+
+Rect KdTree::compute_bounds(std::uint32_t begin, std::uint32_t end) const {
+  const std::size_t d = points_[order_[begin]].size();
+  Rect r;
+  r.lo = points_[order_[begin]];
+  r.hi = points_[order_[begin]];
+  for (std::uint32_t i = begin + 1; i < end; ++i) {
+    const Point& p = points_[order_[i]];
+    for (std::size_t j = 0; j < d; ++j) {
+      r.lo[j] = std::min(r.lo[j], p[j]);
+      r.hi[j] = std::max(r.hi[j], p[j]);
+    }
+  }
+  return r;
+}
+
+std::int32_t KdTree::build(std::uint32_t begin, std::uint32_t end) {
+  Node node;
+  node.bounds = compute_bounds(begin, end);
+  node.begin = begin;
+  node.end = end;
+  const std::uint32_t count = end - begin;
+  if (count <= kLeafSize) {
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+  // Split on the widest axis at the median.
+  const std::size_t d = node.bounds.dims();
+  std::size_t axis = 0;
+  double widest = -1.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double w = node.bounds.hi[j] - node.bounds.lo[j];
+    if (w > widest) {
+      widest = w;
+      axis = j;
+    }
+  }
+  const std::uint32_t mid = begin + count / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end,
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return points_[a][axis] < points_[b][axis];
+                   });
+  node.axis = static_cast<std::uint16_t>(axis);
+  node.split = points_[order_[mid]][axis];
+  const auto self = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  const std::int32_t left = build(begin, mid);
+  const std::int32_t right = build(mid, end);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+std::vector<std::uint64_t> KdTree::range_query(const Rect& rect,
+                                               KdQueryCost* cost) const {
+  std::vector<std::uint64_t> out;
+  if (root_ < 0) return out;
+  if (rect.dims() != dims())
+    throw std::invalid_argument("KdTree::range_query: dimension mismatch");
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (cost) ++cost->nodes_visited;
+    if (!rect.intersects(n.bounds)) continue;
+    if (n.left < 0) {  // leaf
+      for (std::uint32_t i = n.begin; i < n.end; ++i) {
+        if (cost) ++cost->points_examined;
+        if (rect.contains(points_[order_[i]])) out.push_back(ids_[order_[i]]);
+      }
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> KdTree::radius_query(const Ball& ball,
+                                                KdQueryCost* cost) const {
+  std::vector<std::uint64_t> out;
+  if (root_ < 0) return out;
+  if (ball.dims() != dims())
+    throw std::invalid_argument("KdTree::radius_query: dimension mismatch");
+  const double r2 = ball.radius * ball.radius;
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (cost) ++cost->nodes_visited;
+    if (n.bounds.min_squared_distance(ball.center) > r2) continue;
+    if (n.left < 0) {
+      for (std::uint32_t i = n.begin; i < n.end; ++i) {
+        if (cost) ++cost->points_examined;
+        if (squared_distance(ball.center, points_[order_[i]]) <= r2)
+          out.push_back(ids_[order_[i]]);
+      }
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, double>> KdTree::knn(
+    std::span<const double> query, std::size_t k, KdQueryCost* cost) const {
+  std::vector<std::pair<std::uint64_t, double>> result;
+  if (root_ < 0 || k == 0) return result;
+  if (query.size() != dims())
+    throw std::invalid_argument("KdTree::knn: dimension mismatch");
+
+  // Max-heap of (distance^2, id) of current best k.
+  using Entry = std::pair<double, std::uint64_t>;
+  std::priority_queue<Entry> best;
+
+  // Best-first traversal ordered by node min-distance.
+  using Frontier = std::pair<double, std::int32_t>;
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> frontier;
+  frontier.emplace(nodes_[static_cast<std::size_t>(root_)]
+                       .bounds.min_squared_distance(query),
+                   root_);
+  while (!frontier.empty()) {
+    const auto [min_d2, idx] = frontier.top();
+    frontier.pop();
+    if (best.size() == k && min_d2 > best.top().first) break;
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    if (cost) ++cost->nodes_visited;
+    if (n.left < 0) {
+      for (std::uint32_t i = n.begin; i < n.end; ++i) {
+        if (cost) ++cost->points_examined;
+        const double d2 = squared_distance(query, points_[order_[i]]);
+        if (best.size() < k) {
+          best.emplace(d2, ids_[order_[i]]);
+        } else if (d2 < best.top().first) {
+          best.pop();
+          best.emplace(d2, ids_[order_[i]]);
+        }
+      }
+    } else {
+      for (const std::int32_t child : {n.left, n.right}) {
+        const double d2 = nodes_[static_cast<std::size_t>(child)]
+                              .bounds.min_squared_distance(query);
+        if (best.size() < k || d2 <= best.top().first)
+          frontier.emplace(d2, child);
+      }
+    }
+  }
+  result.reserve(best.size());
+  while (!best.empty()) {
+    result.emplace_back(best.top().second, std::sqrt(best.top().first));
+    best.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+KdTree build_kdtree(const Table& table, std::span<const std::size_t> cols) {
+  std::vector<Point> pts;
+  pts.reserve(table.num_rows());
+  Point p;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    table.gather(r, cols, p);
+    pts.push_back(p);
+  }
+  return KdTree(std::move(pts));
+}
+
+}  // namespace sea

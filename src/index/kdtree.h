@@ -1,0 +1,79 @@
+// k-d tree over multi-dimensional points with range / radius / kNN search.
+//
+// Used by the big-data-less operators (paper RT2): a per-node k-d tree lets
+// the coordinator surgically retrieve only the tuples inside a queried
+// subspace instead of scanning the partition. Every query reports how many
+// tree nodes and points it visited so the cluster accounting stays honest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "data/point.h"
+
+namespace sea {
+
+struct KdQueryCost {
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t points_examined = 0;
+};
+
+class KdTree {
+ public:
+  KdTree() = default;
+
+  /// Builds over `points` (copied); `ids[i]` is the caller's identifier for
+  /// points[i] (e.g. a row index). ids may be empty => identity ids.
+  KdTree(std::vector<Point> points, std::vector<std::uint64_t> ids = {});
+
+  std::size_t size() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+  std::size_t dims() const noexcept {
+    return points_.empty() ? 0 : points_[0].size();
+  }
+
+  /// Ids of all points inside the rectangle.
+  std::vector<std::uint64_t> range_query(const Rect& rect,
+                                         KdQueryCost* cost = nullptr) const;
+
+  /// Ids of all points inside the ball.
+  std::vector<std::uint64_t> radius_query(const Ball& ball,
+                                          KdQueryCost* cost = nullptr) const;
+
+  /// The k nearest neighbours of `query` as (id, distance), ascending by
+  /// distance. Returns fewer when the tree holds fewer points.
+  std::vector<std::pair<std::uint64_t, double>> knn(
+      std::span<const double> query, std::size_t k,
+      KdQueryCost* cost = nullptr) const;
+
+ private:
+  struct Node {
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint32_t begin = 0;  ///< leaf: range [begin, end) in order_
+    std::uint32_t end = 0;
+    std::uint16_t axis = 0;
+    double split = 0.0;
+    Rect bounds;
+  };
+
+  static constexpr std::size_t kLeafSize = 16;
+
+  std::int32_t build(std::uint32_t begin, std::uint32_t end);
+  Rect compute_bounds(std::uint32_t begin, std::uint32_t end) const;
+
+  std::vector<Point> points_;
+  std::vector<std::uint64_t> ids_;
+  std::vector<std::uint32_t> order_;  ///< permutation, leaves own subranges
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+/// Convenience: build a KdTree from selected columns of a table, using row
+/// indices as ids.
+class Table;
+KdTree build_kdtree(const Table& table, std::span<const std::size_t> cols);
+
+}  // namespace sea

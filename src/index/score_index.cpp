@@ -1,0 +1,54 @@
+#include "index/score_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sea {
+
+ScoreIndex::ScoreIndex(const Table& table, std::size_t key_col,
+                       std::size_t score_col, std::size_t payload_col) {
+  if (key_col >= table.num_columns() || score_col >= table.num_columns())
+    throw std::invalid_argument("ScoreIndex: bad column");
+  const bool has_payload = payload_col < table.num_columns();
+  by_rank_.reserve(table.num_rows());
+  const auto keys = table.column(key_col);
+  const auto scores = table.column(score_col);
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    ScoredTuple t;
+    t.key = static_cast<std::uint64_t>(std::llround(keys[r]));
+    t.score = scores[r];
+    t.payload = has_payload ? table.at(r, payload_col) : 0.0;
+    t.row = static_cast<std::uint32_t>(r);
+    by_rank_.push_back(t);
+  }
+  std::sort(by_rank_.begin(), by_rank_.end(),
+            [](const ScoredTuple& a, const ScoredTuple& b) {
+              return a.score > b.score;
+            });
+  for (std::uint32_t i = 0; i < by_rank_.size(); ++i)
+    key_index_[by_rank_[i].key].push_back(i);
+}
+
+const ScoredTuple& ScoreIndex::by_rank(std::size_t rank) const {
+  if (rank >= by_rank_.size()) throw std::out_of_range("ScoreIndex::by_rank");
+  return by_rank_[rank];
+}
+
+std::span<const std::uint32_t> ScoreIndex::ranks_for_key(
+    std::uint64_t key) const {
+  const auto it = key_index_.find(key);
+  if (it == key_index_.end()) return {};
+  return it->second;
+}
+
+double ScoreIndex::best_score_for_key(std::uint64_t key) const {
+  const auto ranks = ranks_for_key(key);
+  if (ranks.empty()) return -std::numeric_limits<double>::infinity();
+  // Ranks are ascending positions in descending-score order, so the first
+  // rank holds the best score.
+  return by_rank_[ranks.front()].score;
+}
+
+}  // namespace sea

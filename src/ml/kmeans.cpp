@@ -1,0 +1,173 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sea {
+
+KMeans::KMeans(std::size_t k, std::uint64_t seed) : requested_k_(k), rng_(seed) {
+  if (k == 0) throw std::invalid_argument("KMeans: k must be > 0");
+}
+
+double KMeans::fit(std::span<const Point> points, std::size_t max_iters) {
+  if (points.empty()) throw std::invalid_argument("KMeans::fit: no points");
+  const std::size_t k = std::min(requested_k_, points.size());
+  const std::size_t d = points[0].size();
+  for (const auto& p : points)
+    if (p.size() != d) throw std::invalid_argument("KMeans::fit: ragged");
+
+  // k-means++ seeding.
+  centers_.clear();
+  centers_.push_back(points[rng_.uniform_index(points.size())]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (centers_.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], squared_distance(points[i], centers_.back()));
+      total += d2[i];
+    }
+    if (total <= 0.0) break;  // all points coincide with centres
+    double target = rng_.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers_.push_back(points[chosen]);
+  }
+
+  // Lloyd iterations.
+  std::vector<std::size_t> owner(points.size(), 0);
+  double inertia = 0.0;
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t a = assign(points[i]);
+      inertia += squared_distance(points[i], centers_[a]);
+      if (a != owner[i]) {
+        owner[i] = a;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    std::vector<Point> sums(centers_.size(), Point(d, 0.0));
+    std::vector<std::size_t> counts(centers_.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (std::size_t j = 0; j < d; ++j) sums[owner[i]][j] += points[i][j];
+      ++counts[owner[i]];
+    }
+    for (std::size_t c = 0; c < centers_.size(); ++c) {
+      if (counts[c] == 0) continue;  // keep empty centres where they are
+      for (std::size_t j = 0; j < d; ++j)
+        centers_[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+    }
+  }
+  return inertia;
+}
+
+std::size_t KMeans::assign(std::span<const double> p) const {
+  if (centers_.empty()) throw std::logic_error("KMeans::assign before fit");
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centers_.size(); ++c) {
+    const double d2 = squared_distance(p, centers_[c]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+OnlineQuantizer::OnlineQuantizer(std::size_t max_quanta,
+                                 double create_distance, double learning_rate)
+    : max_quanta_(max_quanta),
+      create_distance_(create_distance),
+      lr_(learning_rate) {
+  if (max_quanta_ == 0)
+    throw std::invalid_argument("OnlineQuantizer: max_quanta must be > 0");
+  if (create_distance_ <= 0.0)
+    throw std::invalid_argument("OnlineQuantizer: create_distance must be > 0");
+}
+
+std::size_t OnlineQuantizer::observe(std::span<const double> p) {
+  ++clock_;
+  std::size_t best = assign(p);
+  double best_dist = best == SIZE_MAX
+                         ? std::numeric_limits<double>::infinity()
+                         : euclidean_distance(p, quanta_[best].center);
+  if ((best == SIZE_MAX || best_dist > create_distance_) &&
+      quanta_.size() < max_quanta_) {
+    Quantum q;
+    q.center.assign(p.begin(), p.end());
+    q.population = 1;
+    q.last_used = clock_;
+    quanta_.push_back(std::move(q));
+    return quanta_.size() - 1;
+  }
+  // Absorb into nearest: move centroid toward the query with a per-quantum
+  // decaying rate so early members shape the quantum, later ones refine it.
+  Quantum& q = quanta_[best];
+  ++q.population;
+  q.last_used = clock_;
+  const double rate = lr_ / (1.0 + 0.02 * static_cast<double>(q.population));
+  for (std::size_t j = 0; j < q.center.size(); ++j)
+    q.center[j] += rate * (p[j] - q.center[j]);
+  const double d2 = squared_distance(p, q.center);
+  q.mean_sq_distance +=
+      (d2 - q.mean_sq_distance) / static_cast<double>(q.population);
+  return best;
+}
+
+std::size_t OnlineQuantizer::assign(std::span<const double> p) const {
+  if (quanta_.empty()) return SIZE_MAX;
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < quanta_.size(); ++c) {
+    const double d2 = squared_distance(p, quanta_[c].center);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double OnlineQuantizer::nearest_distance(std::span<const double> p) const {
+  const std::size_t a = assign(p);
+  if (a == SIZE_MAX) return std::numeric_limits<double>::infinity();
+  return euclidean_distance(p, quanta_[a].center);
+}
+
+const Quantum& OnlineQuantizer::quantum(std::size_t id) const {
+  if (id >= quanta_.size()) throw std::out_of_range("OnlineQuantizer::quantum");
+  return quanta_[id];
+}
+
+std::vector<std::size_t> OnlineQuantizer::purge_stale(
+    std::uint64_t max_idle, std::vector<std::size_t>* remap) {
+  std::vector<std::size_t> removed;
+  std::vector<Quantum> kept;
+  if (remap) remap->assign(quanta_.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < quanta_.size(); ++i) {
+    const bool stale = clock_ > quanta_[i].last_used &&
+                       clock_ - quanta_[i].last_used > max_idle;
+    if (stale) {
+      removed.push_back(i);
+    } else {
+      if (remap) (*remap)[i] = kept.size();
+      kept.push_back(std::move(quanta_[i]));
+    }
+  }
+  quanta_ = std::move(kept);
+  return removed;
+}
+
+}  // namespace sea

@@ -1,0 +1,92 @@
+// Vector quantization for the query space (paper RT1.1).
+//
+// Two quantizers:
+//  * KMeans — batch Lloyd with k-means++ seeding, for offline training and
+//    for ablations over the number of quanta.
+//  * OnlineQuantizer — a growing, adapting codebook: queries are absorbed
+//    into the nearest quantum when close enough, otherwise a new quantum is
+//    created (up to a cap); centroids track their members with a decaying
+//    learning rate, and stale quanta can be purged when analyst interests
+//    drift (RT1.4-i).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/point.h"
+
+namespace sea {
+
+class KMeans {
+ public:
+  KMeans(std::size_t k, std::uint64_t seed = 7);
+
+  /// Lloyd iterations with k-means++ seeding. Returns final inertia
+  /// (sum of squared distances to assigned centres).
+  double fit(std::span<const Point> points, std::size_t max_iters = 50);
+
+  bool fitted() const noexcept { return !centers_.empty(); }
+  std::size_t k() const noexcept { return centers_.size(); }
+  const std::vector<Point>& centers() const noexcept { return centers_; }
+
+  /// Index of the nearest centre.
+  std::size_t assign(std::span<const double> p) const;
+
+ private:
+  std::size_t requested_k_;
+  Rng rng_;
+  std::vector<Point> centers_;
+};
+
+struct Quantum {
+  Point center;
+  std::uint64_t population = 0;   ///< queries absorbed
+  std::uint64_t last_used = 0;    ///< logical timestamp of last assignment
+  double mean_sq_distance = 0.0;  ///< running mean of member distance^2
+};
+
+class OnlineQuantizer {
+ public:
+  /// `create_distance`: a query farther than this (Euclidean) from every
+  /// existing centre spawns a new quantum, capacity permitting.
+  OnlineQuantizer(std::size_t max_quanta, double create_distance,
+                  double learning_rate = 0.15);
+
+  /// Absorbs a query point; returns its quantum id (possibly new).
+  std::size_t observe(std::span<const double> p);
+
+  /// Nearest quantum without modifying the codebook; SIZE_MAX when empty.
+  std::size_t assign(std::span<const double> p) const;
+
+  /// Distance from p to its nearest centre; +inf when empty.
+  double nearest_distance(std::span<const double> p) const;
+
+  std::size_t size() const noexcept { return quanta_.size(); }
+  std::size_t max_quanta() const noexcept { return max_quanta_; }
+  const Quantum& quantum(std::size_t id) const;
+  std::uint64_t clock() const noexcept { return clock_; }
+
+  /// Removes quanta not used in the last `max_idle` observations; returns
+  /// ids removed (ids of survivors are compacted — callers must remap).
+  /// `remap[old_id] == new_id` or SIZE_MAX when purged.
+  std::vector<std::size_t> purge_stale(std::uint64_t max_idle,
+                                       std::vector<std::size_t>* remap);
+
+  /// Restores codebook state from shipped parts (deserialization).
+  void restore(std::vector<Quantum> quanta, std::uint64_t clock) {
+    quanta_ = std::move(quanta);
+    clock_ = clock;
+  }
+
+ private:
+  std::size_t max_quanta_;
+  double create_distance_;
+  double lr_;
+  std::uint64_t clock_ = 0;
+  std::vector<Quantum> quanta_;
+};
+
+}  // namespace sea

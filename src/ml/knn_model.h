@@ -1,0 +1,58 @@
+// k-nearest-neighbour regressor / classifier over stored examples.
+//
+// Serves two roles from the paper: the cold-start answer-space model for
+// quanta with too few (query, answer) pairs to fit a linear model (RT1.3),
+// and the "ad hoc ML task" operators of RT2.2 (kNN regression and kNN
+// classification over analyst-defined subspaces).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/point.h"
+
+namespace sea {
+
+class KnnRegressor {
+ public:
+  explicit KnnRegressor(std::size_t k = 5) : k_(k) {}
+
+  void add(Point x, double y);
+  void clear() noexcept;
+
+  std::size_t size() const noexcept { return xs_.size(); }
+  std::size_t k() const noexcept { return k_; }
+
+  /// Distance-weighted mean of the k nearest stored targets.
+  /// Throws std::logic_error when no examples are stored.
+  double predict(std::span<const double> x) const;
+
+  std::size_t byte_size() const noexcept {
+    return xs_.empty() ? 0
+                       : xs_.size() * (xs_[0].size() + 1) * sizeof(double);
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<Point> xs_;
+  std::vector<double> ys_;
+};
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5) : k_(k) {}
+
+  void add(Point x, int label);
+  std::size_t size() const noexcept { return xs_.size(); }
+
+  /// Majority label among the k nearest (ties -> smallest label).
+  int predict(std::span<const double> x) const;
+
+ private:
+  std::size_t k_;
+  std::vector<Point> xs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace sea

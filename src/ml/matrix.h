@@ -1,0 +1,38 @@
+// Minimal dense linear algebra: just enough for ridge-regression normal
+// equations (symmetric positive-definite solves via Cholesky).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace sea {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Throws std::runtime_error when A is not positive definite.
+std::vector<double> cholesky_solve(const Matrix& a,
+                                   const std::vector<double>& b);
+
+}  // namespace sea

@@ -1,0 +1,49 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+namespace sea {
+
+Network Network::single_zone(std::size_t num_nodes, LinkSpec lan) {
+  return Network(std::vector<std::uint32_t>(num_nodes, 0), lan,
+                 /*wan=*/LinkSpec{50.0, 100.0});
+}
+
+Network::Network(std::vector<std::uint32_t> node_zone, LinkSpec lan,
+                 LinkSpec wan)
+    : node_zone_(std::move(node_zone)), lan_(lan), wan_(wan) {
+  if (node_zone_.empty())
+    throw std::invalid_argument("Network: need at least one node");
+}
+
+std::uint32_t Network::zone_of(NodeId node) const {
+  if (node >= node_zone_.size()) throw std::out_of_range("Network::zone_of");
+  return node_zone_[node];
+}
+
+double Network::cost_ms(NodeId from, NodeId to, std::size_t bytes) const {
+  if (from >= node_zone_.size() || to >= node_zone_.size())
+    throw std::out_of_range("Network::cost_ms");
+  if (from == to) return 0.0;  // loopback is free
+  const LinkSpec& link = same_zone(from, to) ? lan_ : wan_;
+  return link.transfer_ms(bytes);
+}
+
+double Network::send(NodeId from, NodeId to, std::size_t bytes) {
+  const double ms = cost_ms(from, to, bytes);
+  if (from != to) {
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    if (same_zone(from, to)) {
+      ++stats_.lan_messages;
+      stats_.lan_bytes += bytes;
+    } else {
+      ++stats_.wan_messages;
+      stats_.wan_bytes += bytes;
+    }
+    stats_.modelled_ms += ms;
+  }
+  return ms;
+}
+
+}  // namespace sea

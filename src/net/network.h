@@ -1,0 +1,93 @@
+// Simulated network with traffic accounting.
+//
+// Substitution note (DESIGN.md): we do not have a cluster or WAN; instead
+// every byte that would cross the wire in the paper's envisioned BDAS is
+// routed through this cost model. Computation on data is real; transfer
+// times are *modelled* from configured per-link latency/bandwidth and are
+// always reported separately from measured compute time. Raw byte and
+// message counts — the hardware-independent quantities the paper's
+// arguments rest on — are the primary outputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sea {
+
+using NodeId = std::uint32_t;
+
+/// One link class: fixed per-message latency plus bandwidth-limited
+/// serialization delay.
+struct LinkSpec {
+  double latency_ms = 0.1;
+  double bandwidth_mbps = 1000.0;  ///< megabits per second
+
+  /// Modelled time for one message of `bytes` payload.
+  double transfer_ms(std::size_t bytes) const noexcept {
+    const double bits = static_cast<double>(bytes) * 8.0;
+    return latency_ms + bits / (bandwidth_mbps * 1000.0);
+  }
+};
+
+/// Aggregate traffic accounting, split by link class.
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t lan_messages = 0;
+  std::uint64_t lan_bytes = 0;
+  std::uint64_t wan_messages = 0;
+  std::uint64_t wan_bytes = 0;
+  double modelled_ms = 0.0;  ///< sum of per-message modelled transfer times
+
+  void merge(const TrafficStats& o) noexcept {
+    messages += o.messages;
+    bytes += o.bytes;
+    lan_messages += o.lan_messages;
+    lan_bytes += o.lan_bytes;
+    wan_messages += o.wan_messages;
+    wan_bytes += o.wan_bytes;
+    modelled_ms += o.modelled_ms;
+  }
+};
+
+/// Zoned topology: nodes in the same zone talk over the LAN link class,
+/// nodes in different zones over the WAN class, and a node to itself over
+/// loopback (free). A single-datacenter cluster is one zone; the
+/// geo-distributed setting (paper RT5 / Fig. 3) uses one zone per site.
+class Network {
+ public:
+  /// All nodes in a single zone (cluster setting).
+  static Network single_zone(std::size_t num_nodes, LinkSpec lan = {});
+
+  /// Explicit zone assignment per node (geo setting).
+  Network(std::vector<std::uint32_t> node_zone, LinkSpec lan, LinkSpec wan);
+
+  std::size_t num_nodes() const noexcept { return node_zone_.size(); }
+  std::uint32_t zone_of(NodeId node) const;
+  bool same_zone(NodeId a, NodeId b) const {
+    return zone_of(a) == zone_of(b);
+  }
+
+  const LinkSpec& lan() const noexcept { return lan_; }
+  const LinkSpec& wan() const noexcept { return wan_; }
+
+  /// Modelled transfer time without recording it.
+  double cost_ms(NodeId from, NodeId to, std::size_t bytes) const;
+
+  /// Records a message and returns its modelled transfer time.
+  double send(NodeId from, NodeId to, std::size_t bytes);
+
+  const TrafficStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = TrafficStats{}; }
+  /// Restores a previously snapshotted traffic state.
+  void restore_stats(const TrafficStats& s) noexcept { stats_ = s; }
+
+ private:
+  std::vector<std::uint32_t> node_zone_;
+  LinkSpec lan_;
+  LinkSpec wan_;
+  TrafficStats stats_;
+};
+
+}  // namespace sea

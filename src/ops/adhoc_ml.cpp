@@ -1,0 +1,213 @@
+#include "ops/adhoc_ml.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/timer.h"
+#include "exec/coordinator.h"
+#include "index/kdtree.h"
+#include "ml/kmeans.h"
+#include "ml/linear.h"
+
+namespace sea {
+
+namespace {
+
+bool rect_equal(const Rect& a, const Rect& b) {
+  return a.lo == b.lo && a.hi == b.hi;
+}
+
+/// True when inner lies fully within outer.
+bool rect_contains_rect(const Rect& outer, const Rect& inner) {
+  if (outer.dims() != inner.dims()) return false;
+  for (std::size_t i = 0; i < outer.dims(); ++i)
+    if (inner.lo[i] < outer.lo[i] || inner.hi[i] > outer.hi[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+AdhocMlEngine::AdhocMlEngine(Cluster& cluster, std::string table,
+                             std::vector<std::size_t> feature_cols,
+                             std::size_t cache_capacity, NodeId coordinator)
+    : cluster_(cluster),
+      table_(std::move(table)),
+      feature_cols_(std::move(feature_cols)),
+      cache_capacity_(cache_capacity == 0 ? 1 : cache_capacity),
+      coordinator_(coordinator) {
+  if (!cluster_.has_table(table_))
+    throw std::invalid_argument("AdhocMlEngine: unknown table " + table_);
+  if (feature_cols_.empty())
+    throw std::invalid_argument("AdhocMlEngine: no feature columns");
+}
+
+const AdhocMlEngine::CachedTuples& AdhocMlEngine::fetch(
+    const Rect& subspace, std::size_t target_col, bool use_index,
+    ExecReport& report, bool* exact_hit, bool* superset_hit) {
+  if (subspace.dims() != feature_cols_.size())
+    throw std::invalid_argument("AdhocMlEngine: subspace dims mismatch");
+  *exact_hit = false;
+  *superset_hit = false;
+
+  // 1) Exact cached subspace (and compatible target column).
+  for (auto it = tuple_cache_.begin(); it != tuple_cache_.end(); ++it) {
+    const bool target_ok =
+        target_col == SIZE_MAX || it->target_col == target_col;
+    if (target_ok && rect_equal(it->subspace, subspace)) {
+      *exact_hit = true;
+      tuple_cache_.splice(tuple_cache_.begin(), tuple_cache_, it);
+      return tuple_cache_.front();
+    }
+  }
+
+  // 2) A cached superset: filter its tuples locally — no cluster access.
+  for (auto it = tuple_cache_.begin(); it != tuple_cache_.end(); ++it) {
+    const bool target_ok =
+        target_col == SIZE_MAX || it->target_col == target_col;
+    if (!target_ok || !rect_contains_rect(it->subspace, subspace)) continue;
+    *superset_hit = true;
+    CachedTuples derived;
+    derived.subspace = subspace;
+    derived.target_col = it->target_col;
+    for (std::size_t i = 0; i < it->features.size(); ++i) {
+      if (subspace.contains(it->features[i])) {
+        derived.features.push_back(it->features[i]);
+        if (!it->targets.empty()) derived.targets.push_back(it->targets[i]);
+      }
+    }
+    tuple_cache_.push_front(std::move(derived));
+    while (tuple_cache_.size() > cache_capacity_) tuple_cache_.pop_back();
+    return tuple_cache_.front();
+  }
+
+  // 3) Miss: retrieve qualifying tuples from the cluster.
+  CachedTuples fresh;
+  fresh.subspace = subspace;
+  fresh.target_col = target_col;
+  CohortSession session(cluster_, coordinator_);
+  const std::size_t d = feature_cols_.size();
+  for (std::size_t node = 0; node < cluster_.num_nodes(); ++node) {
+    const Table& part = cluster_.partition(table_,
+                                           static_cast<NodeId>(node));
+    if (part.num_rows() == 0) continue;
+    std::vector<std::uint64_t> rows;
+    if (use_index) {
+      // Surgical path: a per-call k-d probe (trees are rebuilt here for
+      // simplicity; persistent node trees would amortize as elsewhere).
+      KdTree tree = build_kdtree(part, feature_cols_);
+      session.rpc(static_cast<NodeId>(node), (2 * d + 2) * sizeof(double), 8,
+                  [&] {
+                    KdQueryCost cost;
+                    rows = tree.range_query(subspace, &cost);
+                    cluster_.account_probe(static_cast<NodeId>(node), 1,
+                                           cost.points_examined,
+                                           cost.points_examined * d *
+                                               sizeof(double));
+                  });
+    } else {
+      // Baseline: full scan through the stack.
+      cluster_.account_task(static_cast<NodeId>(node));
+      report.modelled_overhead_ms +=
+          cluster_.cost_model().task_overhead_ms();
+      ++report.map_tasks;
+      cluster_.account_scan(static_cast<NodeId>(node), part.num_rows(),
+                            part.byte_size());
+      Point p;
+      for (std::uint64_t r = 0; r < part.num_rows(); ++r) {
+        part.gather(static_cast<std::size_t>(r), feature_cols_, p);
+        if (subspace.contains(p)) rows.push_back(r);
+      }
+    }
+    // Qualifying tuples travel to the coordinator either way.
+    const std::size_t tuple_bytes =
+        (d + (target_col == SIZE_MAX ? 0 : 1)) * sizeof(double);
+    const std::uint64_t bytes = rows.size() * tuple_bytes;
+    if (use_index) {
+      session.extra_response(static_cast<NodeId>(node), bytes);
+    } else {
+      report.modelled_network_ms += cluster_.network().send(
+          static_cast<NodeId>(node), coordinator_, bytes);
+      report.shuffle_bytes += bytes;
+    }
+    Point p;
+    for (const auto r : rows) {
+      part.gather(static_cast<std::size_t>(r), feature_cols_, p);
+      fresh.features.push_back(p);
+      if (target_col != SIZE_MAX)
+        fresh.targets.push_back(
+            part.at(static_cast<std::size_t>(r), target_col));
+    }
+  }
+  if (use_index) report.merge(session.take_report());
+
+  tuple_cache_.push_front(std::move(fresh));
+  while (tuple_cache_.size() > cache_capacity_) tuple_cache_.pop_back();
+  return tuple_cache_.front();
+}
+
+AdhocClusterResult AdhocMlEngine::kmeans(const Rect& subspace, std::size_t k,
+                                         bool use_index) {
+  if (k == 0) throw std::invalid_argument("AdhocMlEngine::kmeans: k");
+  AdhocClusterResult out;
+  ++stats_.tasks;
+  bool exact = false, super = false;
+  const CachedTuples& tuples =
+      fetch(subspace, SIZE_MAX, use_index, out.report, &exact, &super);
+  out.cache_hit = exact;
+  out.answered_from_superset = super;
+  if (exact)
+    ++stats_.exact_hits;
+  else if (super)
+    ++stats_.superset_hits;
+  else
+    ++stats_.misses;
+
+  out.rows = tuples.features.size();
+  if (tuples.features.empty()) return out;
+  Timer t;
+  KMeans km(k, 1234);
+  out.inertia = km.fit(tuples.features);
+  out.centroids = km.centers();
+  out.report.coordinator_compute_ms += t.elapsed_ms();
+  return out;
+}
+
+AdhocRegressionResult AdhocMlEngine::regression(const Rect& subspace,
+                                                std::size_t target_col,
+                                                bool use_index) {
+  AdhocRegressionResult out;
+  ++stats_.tasks;
+  bool exact = false, super = false;
+  const CachedTuples& tuples =
+      fetch(subspace, target_col, use_index, out.report, &exact, &super);
+  out.cache_hit = exact || super;
+  if (exact)
+    ++stats_.exact_hits;
+  else if (super)
+    ++stats_.superset_hits;
+  else
+    ++stats_.misses;
+
+  out.rows = tuples.features.size();
+  if (tuples.features.size() < feature_cols_.size() + 2) return out;
+  Timer t;
+  LinearModel m;
+  m.fit(tuples.features, tuples.targets);
+  out.weights = m.weights();
+  out.intercept = m.intercept();
+  out.r_squared = m.r_squared();
+  out.report.coordinator_compute_ms += t.elapsed_ms();
+  return out;
+}
+
+std::size_t AdhocMlEngine::cache_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& e : tuple_cache_) {
+    total += e.features.size() * feature_cols_.size() * sizeof(double);
+    total += e.targets.size() * sizeof(double);
+  }
+  return total;
+}
+
+}  // namespace sea

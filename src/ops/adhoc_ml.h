@@ -1,0 +1,97 @@
+// Ad hoc ML tasks over analyst-defined subspaces (paper RT2.2).
+//
+// "analysts are to define (using selection operators...) subspaces of
+// interest and ask for the data items within these subspaces to be
+// clustered, classified, or to perform regressions ... performing these
+// tasks efficiently and scalably on arbitrarily defined, ad hoc subspaces
+// is an open problem. This thread will develop semantic caches and indexes
+// to dramatically expedite such operations."
+//
+// AdhocMlEngine supports k-means clustering and linear regression over a
+// hyper-rectangle subspace, with:
+//  * surgical retrieval — per-node k-d trees fetch only qualifying tuples
+//    (vs the full-scan MapReduce-style baseline, selectable per call);
+//  * a semantic result cache — re-issued (task, subspace, params) tuples
+//    are free, and a *contained* clustering request can be answered from a
+//    cached superset's tuples without touching the cluster again.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "data/point.h"
+#include "exec/exec_report.h"
+
+namespace sea {
+
+struct AdhocClusterResult {
+  std::vector<Point> centroids;
+  double inertia = 0.0;
+  std::size_t rows = 0;
+  bool cache_hit = false;
+  bool answered_from_superset = false;
+  ExecReport report;
+};
+
+struct AdhocRegressionResult {
+  std::vector<double> weights;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t rows = 0;
+  bool cache_hit = false;
+  ExecReport report;
+};
+
+struct AdhocMlStats {
+  std::uint64_t tasks = 0;
+  std::uint64_t exact_hits = 0;
+  std::uint64_t superset_hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class AdhocMlEngine {
+ public:
+  AdhocMlEngine(Cluster& cluster, std::string table,
+                std::vector<std::size_t> feature_cols,
+                std::size_t cache_capacity = 32, NodeId coordinator = 0);
+
+  /// k-means over the tuples inside `subspace` (feature columns).
+  AdhocClusterResult kmeans(const Rect& subspace, std::size_t k,
+                            bool use_index = true);
+
+  /// OLS regression target_col ~ feature_cols over the subspace tuples.
+  AdhocRegressionResult regression(const Rect& subspace,
+                                   std::size_t target_col,
+                                   bool use_index = true);
+
+  const AdhocMlStats& stats() const noexcept { return stats_; }
+  std::size_t cache_bytes() const noexcept;
+
+ private:
+  struct CachedTuples {
+    Rect subspace;
+    std::vector<Point> features;      ///< qualifying tuples, feature cols
+    std::vector<double> targets;      ///< target values (regression only)
+    std::size_t target_col = SIZE_MAX;
+  };
+
+  /// Fetches qualifying tuples; consults the tuple cache first (exact or
+  /// containing subspace), else retrieves from the cluster and caches.
+  const CachedTuples& fetch(const Rect& subspace, std::size_t target_col,
+                            bool use_index, ExecReport& report,
+                            bool* exact_hit, bool* superset_hit);
+
+  Cluster& cluster_;
+  std::string table_;
+  std::vector<std::size_t> feature_cols_;
+  std::size_t cache_capacity_;
+  NodeId coordinator_;
+  std::list<CachedTuples> tuple_cache_;  ///< front = most recent
+  AdhocMlStats stats_;
+};
+
+}  // namespace sea

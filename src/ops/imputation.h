@@ -1,0 +1,53 @@
+// Scalable kNN-based missing-value imputation (paper [36], §IV P3).
+//
+// Rows whose `target_col` is NaN are imputed with the distance-weighted
+// mean of their k nearest complete rows in feature space. Two distributed
+// implementations whose cost gap is the E11 experiment:
+//  * impute_mapreduce — the BDAS-style baseline: every incomplete row is
+//    broadcast to every node, every node scans its complete rows for local
+//    candidates, candidates shuffle to reducers. Cost ~ |missing| x |data|.
+//  * impute_indexed — coordinator-cohort: per-node k-d trees over complete
+//    rows answer surgical kNN probes; only k candidates per (row, node)
+//    travel.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "exec/exec_report.h"
+
+namespace sea {
+
+struct ImputationSpec {
+  std::string table;
+  std::size_t target_col = 0;
+  std::vector<std::size_t> feature_cols;
+  std::size_t k = 5;
+};
+
+struct ImputedValue {
+  NodeId node = 0;
+  std::uint32_t row = 0;
+  double value = 0.0;
+};
+
+struct ImputationOutcome {
+  std::vector<ImputedValue> values;  ///< node-major, row-ascending order
+  ExecReport report;
+};
+
+ImputationOutcome impute_mapreduce(Cluster& cluster,
+                                   const ImputationSpec& spec,
+                                   NodeId coordinator = 0);
+
+ImputationOutcome impute_indexed(Cluster& cluster, const ImputationSpec& spec,
+                                 NodeId coordinator = 0);
+
+/// Applies imputed values back into the stored partitions (bumps partition
+/// versions, so agents learn the data changed).
+void apply_imputation(Cluster& cluster, const ImputationSpec& spec,
+                      const ImputationOutcome& outcome);
+
+}  // namespace sea

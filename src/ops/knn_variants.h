@@ -1,0 +1,98 @@
+// kNN variants (paper RT2.1: "kNN query processing and its variants, such
+// as Reverse kNN, kNN joins, all-pair and approximate kNN").
+//
+// reverse_knn_*: all tuples p for which the query point q is among p's own
+// k nearest neighbours (the "who considers q a neighbour" operator).
+//  * reverse_knn_scan — baseline: the query point is broadcast, every node
+//    materializes all pairwise distances (O(n^2) work across the cluster).
+//  * reverse_knn_indexed — surgical: each tuple first gets a cheap local
+//    upper bound on its k-th-NN distance from its own node's k-d tree;
+//    only tuples whose distance to q beats that bound are verified
+//    globally. Most tuples never leave their node.
+//
+// knn_join_*: for every tuple of A, its k nearest tuples of B.
+//  * knn_join_broadcast — baseline: B is broadcast to every node holding A.
+//  * knn_join_indexed — per-node k-d trees over B answer batched probes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "data/point.h"
+#include "exec/exec_report.h"
+
+namespace sea {
+
+struct RknnResult {
+  NodeId node = 0;
+  std::uint32_t row = 0;
+  double distance_to_query = 0.0;
+
+  friend bool operator==(const RknnResult&, const RknnResult&) = default;
+};
+
+struct RknnOutcome {
+  std::vector<RknnResult> results;  ///< node-major, row-ascending
+  ExecReport report;
+  std::uint64_t verified_globally = 0;  ///< tuples needing cross-node checks
+};
+
+RknnOutcome reverse_knn_scan(Cluster& cluster, const std::string& table,
+                             const std::vector<std::size_t>& cols,
+                             const Point& query, std::size_t k,
+                             NodeId coordinator = 0);
+
+RknnOutcome reverse_knn_indexed(Cluster& cluster, const std::string& table,
+                                const std::vector<std::size_t>& cols,
+                                const Point& query, std::size_t k,
+                                NodeId coordinator = 0);
+
+/// kNN retrieval (tuple identities, not aggregates).
+struct KnnRetrieval {
+  std::vector<RknnResult> neighbors;  ///< ascending by distance
+  ExecReport report;
+  std::size_t nodes_probed = 0;
+};
+
+/// Exact kNN: every node's k-d tree contributes its local top-k; the
+/// coordinator merges.
+KnnRetrieval knn_retrieve_exact(Cluster& cluster, const std::string& table,
+                                const std::vector<std::size_t>& cols,
+                                const Point& query, std::size_t k,
+                                NodeId coordinator = 0);
+
+/// Approximate kNN (RT2.1 "approximate kNN"): probe only the
+/// `nodes_to_probe` nodes whose partition bounding box lies nearest the
+/// query. Recall depends on data placement: near-perfect under
+/// locality-aware (range) partitioning, ~probed/total under round-robin —
+/// the data-placement lever the paper lists among its system techniques.
+KnnRetrieval knn_retrieve_approx(Cluster& cluster, const std::string& table,
+                                 const std::vector<std::size_t>& cols,
+                                 const Point& query, std::size_t k,
+                                 std::size_t nodes_to_probe,
+                                 NodeId coordinator = 0);
+
+/// Fraction of `truth`'s neighbours present in `approx` (by identity).
+double knn_recall(const KnnRetrieval& truth, const KnnRetrieval& approx);
+
+struct KnnJoinOutcome {
+  std::uint64_t pairs = 0;        ///< |A| x min(k, |B|)
+  double mean_knn_distance = 0.0; ///< mean distance over all joined pairs
+  ExecReport report;
+};
+
+KnnJoinOutcome knn_join_broadcast(Cluster& cluster, const std::string& table_a,
+                                  const std::vector<std::size_t>& cols_a,
+                                  const std::string& table_b,
+                                  const std::vector<std::size_t>& cols_b,
+                                  std::size_t k, NodeId coordinator = 0);
+
+KnnJoinOutcome knn_join_indexed(Cluster& cluster, const std::string& table_a,
+                                const std::vector<std::size_t>& cols_a,
+                                const std::string& table_b,
+                                const std::vector<std::size_t>& cols_b,
+                                std::size_t k, NodeId coordinator = 0);
+
+}  // namespace sea

@@ -1,0 +1,229 @@
+#include "ops/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/timer.h"
+#include "index/kdtree.h"
+
+namespace sea {
+
+namespace {
+
+std::vector<Point> gather_points(const Table& part,
+                                 const std::vector<std::size_t>& cols) {
+  std::vector<Point> pts;
+  pts.reserve(part.num_rows());
+  Point p;
+  for (std::size_t r = 0; r < part.num_rows(); ++r) {
+    part.gather(r, cols, p);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+void validate(const SpatialJoinSpec& spec) {
+  if (spec.cols_a.empty() || spec.cols_a.size() != spec.cols_b.size())
+    throw std::invalid_argument("spatial_join: column arity mismatch");
+  if (spec.eps <= 0.0)
+    throw std::invalid_argument("spatial_join: eps must be > 0");
+}
+
+}  // namespace
+
+SpatialJoinOutcome spatial_join_broadcast(Cluster& cluster,
+                                          const SpatialJoinSpec& spec,
+                                          NodeId coordinator) {
+  validate(spec);
+  SpatialJoinOutcome out;
+  ExecReport& rep = out.report;
+  const std::size_t n = cluster.num_nodes();
+  const std::size_t d = spec.cols_a.size();
+  const double eps2 = spec.eps * spec.eps;
+
+  // Gather all of B at the coordinator, then broadcast to every node.
+  std::vector<Point> all_b;
+  std::uint64_t b_bytes = 0;
+  for (std::size_t node = 0; node < n; ++node) {
+    const Table& bp = cluster.partition(spec.table_b,
+                                        static_cast<NodeId>(node));
+    cluster.account_task(static_cast<NodeId>(node));
+    rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+    ++rep.map_tasks;
+    cluster.account_scan(static_cast<NodeId>(node), bp.num_rows(),
+                         bp.byte_size());
+    auto pts = gather_points(bp, spec.cols_b);
+    b_bytes += pts.size() * d * sizeof(double);
+    rep.modelled_network_ms += cluster.network().send(
+        static_cast<NodeId>(node), coordinator,
+        pts.size() * d * sizeof(double));
+    all_b.insert(all_b.end(), pts.begin(), pts.end());
+  }
+  rep.shuffle_bytes += b_bytes;
+  for (std::size_t node = 0; node < n; ++node) {
+    const double ms = cluster.network().send(
+        coordinator, static_cast<NodeId>(node), b_bytes);
+    rep.modelled_network_ms += ms;
+    rep.modelled_network_ms_critical =
+        std::max(rep.modelled_network_ms_critical, ms);
+    rep.shuffle_bytes += b_bytes;
+  }
+
+  // Each node nested-loops its A partition against the whole of B.
+  for (std::size_t node = 0; node < n; ++node) {
+    const Table& ap = cluster.partition(spec.table_a,
+                                        static_cast<NodeId>(node));
+    cluster.account_task(static_cast<NodeId>(node));
+    rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+    ++rep.map_tasks;
+    Timer t;
+    Point a;
+    for (std::size_t r = 0; r < ap.num_rows(); ++r) {
+      ap.gather(r, spec.cols_a, a);
+      for (const auto& b : all_b) {
+        const double d2 = squared_distance(a, b);
+        if (d2 <= eps2) {
+          ++out.pairs;
+          if (out.sample.size() < spec.sample_pairs)
+            out.sample.push_back(SpatialPair{a, b, std::sqrt(d2)});
+        }
+      }
+    }
+    const double ms = t.elapsed_ms();
+    rep.map_compute_ms_total += ms;
+    rep.map_compute_ms_max = std::max(rep.map_compute_ms_max, ms);
+    cluster.account_scan(static_cast<NodeId>(node), ap.num_rows(),
+                         ap.byte_size());
+  }
+  // Pair counts return to the coordinator.
+  for (std::size_t node = 0; node < n; ++node)
+    rep.modelled_network_ms += cluster.network().send(
+        static_cast<NodeId>(node), coordinator, 8);
+  rep.result_bytes += 8 * n;
+  return out;
+}
+
+SpatialJoinOutcome spatial_join_partitioned(Cluster& cluster,
+                                            const SpatialJoinSpec& spec,
+                                            NodeId coordinator) {
+  validate(spec);
+  SpatialJoinOutcome out;
+  ExecReport& rep = out.report;
+  const std::size_t n = cluster.num_nodes();
+  const std::size_t d = spec.cols_a.size();
+  const double eps2 = spec.eps * spec.eps;
+
+  // Domain of dimension 0 across both tables (metadata pass).
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (std::size_t node = 0; node < n; ++node) {
+    for (const auto* tn : {&spec.table_a, &spec.table_b}) {
+      const Table& part = cluster.partition(*tn, static_cast<NodeId>(node));
+      const std::size_t col =
+          tn == &spec.table_a ? spec.cols_a[0] : spec.cols_b[0];
+      for (const double v : part.column(col)) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  if (!(hi > lo)) hi = lo + 1.0;
+  const double slice_w = (hi - lo) / static_cast<double>(n);
+  const auto slice_of = [&](double v) {
+    const auto s = static_cast<std::int64_t>((v - lo) / slice_w);
+    return static_cast<std::size_t>(
+        std::clamp<std::int64_t>(s, 0, static_cast<std::int64_t>(n) - 1));
+  };
+
+  // One shuffle co-partitions A (once) and B (with eps-margin replication).
+  std::vector<std::vector<Point>> a_slices(n), b_slices(n);
+  for (std::size_t node = 0; node < n; ++node) {
+    std::vector<std::uint64_t> batch(n, 0);
+    for (const auto* tn : {&spec.table_a, &spec.table_b}) {
+      const bool is_a = tn == &spec.table_a;
+      const Table& part = cluster.partition(*tn, static_cast<NodeId>(node));
+      cluster.account_task(static_cast<NodeId>(node));
+      rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+      ++rep.map_tasks;
+      cluster.account_scan(static_cast<NodeId>(node), part.num_rows(),
+                           part.byte_size());
+      const auto& cols = is_a ? spec.cols_a : spec.cols_b;
+      Point p;
+      for (std::size_t r = 0; r < part.num_rows(); ++r) {
+        part.gather(r, cols, p);
+        const std::size_t s = slice_of(p[0]);
+        if (is_a) {
+          a_slices[s].push_back(p);
+          batch[s] += d * sizeof(double);
+        } else {
+          b_slices[s].push_back(p);
+          batch[s] += d * sizeof(double);
+          // Replicate into neighbours when within eps of a boundary.
+          if (s > 0 && p[0] - (lo + static_cast<double>(s) * slice_w) <=
+                           spec.eps) {
+            b_slices[s - 1].push_back(p);
+            batch[s - 1] += d * sizeof(double);
+          }
+          if (s + 1 < n &&
+              (lo + static_cast<double>(s + 1) * slice_w) - p[0] <=
+                  spec.eps) {
+            b_slices[s + 1].push_back(p);
+            batch[s + 1] += d * sizeof(double);
+          }
+        }
+      }
+    }
+    std::vector<double> inbound(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (batch[s] == 0) continue;
+      const double ms = cluster.network().send(static_cast<NodeId>(node),
+                                               static_cast<NodeId>(s),
+                                               batch[s]);
+      rep.modelled_network_ms += ms;
+      inbound[s] += ms;
+      rep.shuffle_bytes += batch[s];
+    }
+    for (const double ms : inbound)
+      rep.modelled_network_ms_critical =
+          std::max(rep.modelled_network_ms_critical, ms);
+  }
+
+  // Local indexed joins: per-slice k-d tree over B, radius probes from A.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (a_slices[s].empty() || b_slices[s].empty()) continue;
+    cluster.account_task(static_cast<NodeId>(s));
+    rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+    ++rep.reduce_tasks;
+    Timer t;
+    KdTree tree(b_slices[s]);
+    KdQueryCost cost;
+    for (const auto& a : a_slices[s]) {
+      Ball ball{a, spec.eps};
+      const auto hits = tree.radius_query(ball, &cost);
+      out.pairs += hits.size();
+      if (out.sample.size() < spec.sample_pairs) {
+        for (const auto h : hits) {
+          if (out.sample.size() >= spec.sample_pairs) break;
+          const Point& b = b_slices[s][h];
+          const double dist = std::sqrt(squared_distance(a, b));
+          if (dist * dist <= eps2)
+            out.sample.push_back(SpatialPair{a, b, dist});
+        }
+      }
+    }
+    const double ms = t.elapsed_ms();
+    rep.reduce_compute_ms_total += ms;
+    rep.reduce_compute_ms_max = std::max(rep.reduce_compute_ms_max, ms);
+    cluster.account_probe(static_cast<NodeId>(s), a_slices[s].size(),
+                          cost.points_examined,
+                          cost.points_examined * d * sizeof(double));
+    rep.modelled_network_ms +=
+        cluster.network().send(static_cast<NodeId>(s), coordinator, 8);
+    rep.result_bytes += 8;
+  }
+  return out;
+}
+
+}  // namespace sea

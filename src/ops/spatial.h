@@ -1,0 +1,56 @@
+// Distributed spatial analytics operators (paper RT2.1: "spatial joins,
+// spatial (multi-dimensional) range queries").
+//
+// spatial_join_* counts (and samples) all pairs (a in A, b in B) with
+// euclidean distance <= eps:
+//  * spatial_join_broadcast — BDAS-style baseline: the whole of B is
+//    broadcast to every node, which then scans its A partition against all
+//    of B. Network cost ~ |B| x nodes; compute ~ |A| x |B|.
+//  * spatial_join_partitioned — the "right way" (cf. Simba [32], which the
+//    paper cites as state of the art to beat): one accounted shuffle
+//    co-partitions A and B into slices along dimension 0 (B replicated
+//    into eps-boundary margins), then per-node k-d trees answer radius
+//    probes locally. Network ~ |A| + |B|; compute ~ |A| log |B|.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "data/point.h"
+#include "exec/exec_report.h"
+
+namespace sea {
+
+struct SpatialJoinSpec {
+  std::string table_a;
+  std::string table_b;
+  std::vector<std::size_t> cols_a;  ///< point coordinates in A
+  std::vector<std::size_t> cols_b;  ///< point coordinates in B (same dims)
+  double eps = 0.05;
+  /// Keep at most this many example pairs in the outcome (0 = none).
+  std::size_t sample_pairs = 16;
+};
+
+struct SpatialPair {
+  Point a;
+  Point b;
+  double distance = 0.0;
+};
+
+struct SpatialJoinOutcome {
+  std::uint64_t pairs = 0;
+  std::vector<SpatialPair> sample;
+  ExecReport report;
+};
+
+SpatialJoinOutcome spatial_join_broadcast(Cluster& cluster,
+                                          const SpatialJoinSpec& spec,
+                                          NodeId coordinator = 0);
+
+SpatialJoinOutcome spatial_join_partitioned(Cluster& cluster,
+                                            const SpatialJoinSpec& spec,
+                                            NodeId coordinator = 0);
+
+}  // namespace sea

@@ -1,0 +1,92 @@
+#include "optimizer/adaptive.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace sea {
+
+AdaptiveExecutor::AdaptiveExecutor(ExactExecutor& exec, CostMetric metric,
+                                   SelectorConfig selector_config)
+    : exec_(exec), metric_(metric), selector_(3, selector_config) {}
+
+const ProductHistogram& AdaptiveExecutor::histogram_for(
+    const std::vector<std::size_t>& cols) {
+  std::ostringstream key;
+  for (const auto c : cols) key << c << ',';
+  auto it = histograms_.find(key.str());
+  if (it != histograms_.end()) return it->second;
+  // Built once from the stored partitions (a metadata/synopsis pass that
+  // persistent systems would maintain anyway).
+  std::vector<Point> pts;
+  Cluster& cluster = exec_.cluster();
+  Point p;
+  for (std::size_t n = 0; n < cluster.num_nodes(); ++n) {
+    const Table& part = cluster.partition(exec_.table_name(),
+                                          static_cast<NodeId>(n));
+    for (std::size_t r = 0; r < part.num_rows(); ++r) {
+      part.gather(r, cols, p);
+      pts.push_back(p);
+    }
+  }
+  return histograms_.emplace(key.str(), ProductHistogram(pts, 64))
+      .first->second;
+}
+
+std::vector<double> AdaptiveExecutor::featurize(const AnalyticalQuery& q) {
+  q.validate();
+  const Rect& domain = exec_.domain(q.subspace_cols);
+  const QueryFeatures f = extract_features(q, domain);
+  const auto& hist = histogram_for(q.subspace_cols);
+  const double table_rows =
+      static_cast<double>(exec_.cluster().table_rows(exec_.table_name()));
+
+  std::vector<double> features;
+  features.push_back(static_cast<double>(q.subspace_cols.size()));
+  features.push_back(std::log1p(table_rows));
+  features.push_back(static_cast<double>(exec_.cluster().num_nodes()));
+  // Selection-type one-hot.
+  features.push_back(q.selection == SelectionType::kRange ? 1.0 : 0.0);
+  features.push_back(q.selection == SelectionType::kRadius ? 1.0 : 0.0);
+  features.push_back(
+      q.selection == SelectionType::kNearestNeighbors ? 1.0 : 0.0);
+  // Extent features (last entries of the model feature vector).
+  for (std::size_t i = f.position.size(); i < f.model.size(); ++i)
+    features.push_back(f.model[i]);
+  while (features.size() < 8) features.push_back(0.0);
+  // Estimated selectivity from the synopsis.
+  double est_sel = 0.0;
+  if (q.selection == SelectionType::kRange) {
+    est_sel = hist.estimate_count(q.range) / std::max(1.0, table_rows);
+  } else if (q.selection == SelectionType::kRadius) {
+    est_sel =
+        hist.estimate_count(q.ball.bounding_box()) / std::max(1.0, table_rows);
+  } else {
+    est_sel = static_cast<double>(q.knn_k) / std::max(1.0, table_rows);
+  }
+  features.push_back(est_sel);
+  return features;
+}
+
+ExactResult AdaptiveExecutor::execute(const AnalyticalQuery& query) {
+  const std::vector<double> features = featurize(query);
+  const std::size_t method = selector_.choose(features);
+  const ExecParadigm paradigm = method == 0   ? ExecParadigm::kMapReduce
+                                : method == 1 ? ExecParadigm::kCoordinatorIndexed
+                                              : ExecParadigm::kCoordinatorGrid;
+  ExactResult result = exec_.execute(query, paradigm);
+  const double cost = metric_ == CostMetric::kMakespan
+                          ? result.report.makespan_ms()
+                          : result.report.total_work_ms();
+  selector_.observe(features, method, cost);
+  ++stats_.queries;
+  if (method == 0)
+    ++stats_.chose_mapreduce;
+  else if (method == 1)
+    ++stats_.chose_indexed;
+  else
+    ++stats_.chose_grid;
+  stats_.total_cost += cost;
+  return result;
+}
+
+}  // namespace sea

@@ -1,0 +1,60 @@
+// AdaptiveExecutor: ExactExecutor wrapped with a learned execution choice:
+// the paradigm (RT3.2, MapReduce vs coordinator-cohort) *and* the access
+// structure behind the coordinator (RT3.1, k-d tree vs grid) — three
+// alternatives decided on the fly per query (experiment E6).
+//
+// Features fed to the selector are cheap coordinator-side estimates: query
+// geometry (normalized volume / radius / k), dimensionality, log data
+// size, and the estimated selectivity from a per-table ProductHistogram —
+// the "statistical structures" P3 keeps at the coordinator.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "index/histogram.h"
+#include "optimizer/selector.h"
+#include "sea/exact.h"
+
+namespace sea {
+
+enum class CostMetric {
+  kMakespan,   ///< modelled end-to-end latency
+  kTotalWork,  ///< total resource consumption (cloud-bill view)
+};
+
+struct AdaptiveStats {
+  std::uint64_t queries = 0;
+  std::uint64_t chose_mapreduce = 0;
+  std::uint64_t chose_indexed = 0;  ///< coordinator + k-d tree
+  std::uint64_t chose_grid = 0;     ///< coordinator + grid (RT3.1)
+  double total_cost = 0.0;
+};
+
+class AdaptiveExecutor {
+ public:
+  AdaptiveExecutor(ExactExecutor& exec, CostMetric metric = CostMetric::kMakespan,
+                   SelectorConfig selector_config = {});
+
+  /// Executes with the learned best paradigm and feeds the observed cost
+  /// back into the selector.
+  ExactResult execute(const AnalyticalQuery& query);
+
+  /// The features the selector sees for a query (exposed for tests).
+  std::vector<double> featurize(const AnalyticalQuery& query);
+
+  const MethodSelector& selector() const noexcept { return selector_; }
+  const AdaptiveStats& stats() const noexcept { return stats_; }
+
+ private:
+  const ProductHistogram& histogram_for(
+      const std::vector<std::size_t>& cols);
+
+  ExactExecutor& exec_;
+  CostMetric metric_;
+  MethodSelector selector_;
+  AdaptiveStats stats_;
+  std::unordered_map<std::string, ProductHistogram> histograms_;
+};
+
+}  // namespace sea

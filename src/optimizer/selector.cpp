@@ -1,0 +1,93 @@
+#include "optimizer/selector.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sea {
+
+MethodSelector::MethodSelector(std::size_t num_methods, SelectorConfig config)
+    : config_(config), models_(num_methods), rng_(config.seed) {
+  if (num_methods < 2)
+    throw std::invalid_argument("MethodSelector: need >= 2 methods");
+  stats_.per_method_chosen.assign(num_methods, 0);
+}
+
+bool MethodSelector::warm() const noexcept {
+  for (const auto& m : models_)
+    if (m.xs.size() < config_.min_samples_per_method) return false;
+  return true;
+}
+
+double MethodSelector::predicted_cost(std::span<const double> features,
+                                      std::size_t method) const {
+  if (method >= models_.size())
+    throw std::out_of_range("MethodSelector::predicted_cost");
+  const auto& m = models_[method];
+  if (!m.model.fitted())
+    return std::numeric_limits<double>::infinity();
+  return m.model.predict(features);
+}
+
+std::size_t MethodSelector::best(std::span<const double> features) const {
+  // Cold phase: pick the least-sampled method (round-robin).
+  if (!warm()) {
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < models_.size(); ++i)
+      if (models_[i].xs.size() < models_[pick].xs.size()) pick = i;
+    return pick;
+  }
+  std::size_t pick = 0;
+  double best_cost = predicted_cost(features, 0);
+  for (std::size_t i = 1; i < models_.size(); ++i) {
+    const double c = predicted_cost(features, i);
+    if (c < best_cost) {
+      best_cost = c;
+      pick = i;
+    }
+  }
+  return pick;
+}
+
+std::size_t MethodSelector::choose(std::span<const double> features) {
+  ++stats_.decisions;
+  std::size_t pick;
+  if (!warm()) {
+    pick = best(features);  // round-robin warm-up
+    ++stats_.explored;
+  } else {
+    const double eps =
+        config_.epsilon /
+        (1.0 + config_.epsilon_decay * static_cast<double>(stats_.decisions));
+    if (rng_.bernoulli(eps)) {
+      pick = rng_.uniform_index(models_.size());
+      ++stats_.explored;
+    } else {
+      pick = best(features);
+    }
+  }
+  ++stats_.per_method_chosen[pick];
+  return pick;
+}
+
+void MethodSelector::maybe_refit(PerMethod& m) {
+  if (m.xs.size() < config_.min_samples_per_method) return;
+  if (m.model.fitted() && m.since_refit < config_.refit_interval) return;
+  m.model = GbmRegressor(config_.gbm);
+  m.model.fit(m.xs, m.ys);
+  m.since_refit = 0;
+}
+
+void MethodSelector::observe(std::span<const double> features,
+                             std::size_t method, double cost) {
+  if (method >= models_.size())
+    throw std::out_of_range("MethodSelector::observe");
+  auto& m = models_[method];
+  m.xs.emplace_back(features.begin(), features.end());
+  m.ys.push_back(cost);
+  ++m.since_refit;
+  stats_.total_observed_cost += cost;
+  maybe_refit(m);
+}
+
+}  // namespace sea

@@ -1,0 +1,84 @@
+// Learned execution-method selection (paper P4, RT3, G5/G6).
+//
+// A MethodSelector learns, online, which of `num_methods` alternatives is
+// cheapest for a query described by a numeric feature vector. It explores
+// with a decaying epsilon-greedy policy (after a forced round-robin warm-
+// up) and exploits per-method gradient-boosted cost models — "training,
+// learning, and building optimising modules, which on-the-fly adopt the
+// best execution method" (O6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/gbm.h"
+
+namespace sea {
+
+struct SelectorConfig {
+  /// Observations per method before the cost models are trusted.
+  std::size_t min_samples_per_method = 12;
+  /// Initial exploration rate; decays as 1/(1 + decay * observations).
+  double epsilon = 0.25;
+  double epsilon_decay = 0.01;
+  std::size_t refit_interval = 16;
+  GbmParams gbm;
+  std::uint64_t seed = 2024;
+
+  SelectorConfig() {
+    gbm.num_trees = 60;
+    gbm.max_depth = 3;
+    gbm.min_leaf = 3;
+  }
+};
+
+struct SelectorStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t explored = 0;   ///< chosen for exploration, not exploitation
+  std::vector<std::uint64_t> per_method_chosen;
+  double total_observed_cost = 0.0;
+};
+
+class MethodSelector {
+ public:
+  MethodSelector(std::size_t num_methods, SelectorConfig config = {});
+
+  std::size_t num_methods() const noexcept { return models_.size(); }
+
+  /// Chooses a method for the given features (may explore).
+  std::size_t choose(std::span<const double> features);
+
+  /// Pure exploitation: argmin of predicted cost (round-robin before the
+  /// models are warm).
+  std::size_t best(std::span<const double> features) const;
+
+  /// Predicted cost of running `method` on `features`; +inf when cold.
+  double predicted_cost(std::span<const double> features,
+                        std::size_t method) const;
+
+  /// Feeds back the observed cost of `method` on `features`.
+  void observe(std::span<const double> features, std::size_t method,
+               double cost);
+
+  const SelectorStats& stats() const noexcept { return stats_; }
+  bool warm() const noexcept;
+
+ private:
+  struct PerMethod {
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    GbmRegressor model;
+    std::size_t since_refit = 0;
+  };
+
+  void maybe_refit(PerMethod& m);
+
+  SelectorConfig config_;
+  std::vector<PerMethod> models_;
+  SelectorStats stats_;
+  Rng rng_;
+};
+
+}  // namespace sea

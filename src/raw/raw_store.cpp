@@ -1,0 +1,149 @@
+#include "raw/raw_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sea {
+
+RawStore::RawStore(std::string csv_text) : raw_(std::move(csv_text)) {
+  // Header.
+  const std::size_t header_end = raw_.find('\n');
+  if (header_end == std::string::npos)
+    throw std::invalid_argument("RawStore: no header line");
+  std::size_t start = 0;
+  while (start <= header_end) {
+    std::size_t end = raw_.find_first_of(",\n", start);
+    if (end == std::string::npos || end > header_end) end = header_end;
+    column_names_.push_back(raw_.substr(start, end - start));
+    start = end + 1;
+    if (end == header_end) break;
+  }
+  if (column_names_.empty())
+    throw std::invalid_argument("RawStore: empty header");
+
+  // Row offsets only — values stay unparsed (the point of RT2.3).
+  std::size_t pos = header_end + 1;
+  while (pos < raw_.size()) {
+    const std::size_t line_end = raw_.find('\n', pos);
+    const std::size_t end = line_end == std::string::npos ? raw_.size()
+                                                          : line_end;
+    if (end > pos) row_offsets_.push_back(pos);
+    if (line_end == std::string::npos) break;
+    pos = line_end + 1;
+  }
+  cache_.resize(column_names_.size());
+}
+
+const std::string& RawStore::column_name(std::size_t c) const {
+  if (c >= column_names_.size())
+    throw std::out_of_range("RawStore::column_name");
+  return column_names_[c];
+}
+
+std::size_t RawStore::column_index(const std::string& name) const {
+  for (std::size_t c = 0; c < column_names_.size(); ++c)
+    if (column_names_[c] == name) return c;
+  throw std::out_of_range("RawStore::column_index: no column " + name);
+}
+
+void RawStore::ensure_parsed(std::size_t col, RawQueryCost* cost) {
+  ColumnCache& cc = cache_[col];
+  if (cc.parsed) return;
+  cc.values.reserve(row_offsets_.size());
+  for (const std::size_t row_start : row_offsets_) {
+    // Tokenize to the requested column only; bytes walked are accounted.
+    std::size_t pos = row_start;
+    for (std::size_t c = 0; c < col; ++c) {
+      const std::size_t comma = raw_.find(',', pos);
+      if (comma == std::string::npos)
+        throw std::runtime_error("RawStore: short row");
+      pos = comma + 1;
+    }
+    std::size_t end = raw_.find_first_of(",\n", pos);
+    if (end == std::string::npos) end = raw_.size();
+    cc.values.push_back(std::strtod(raw_.c_str() + pos, nullptr));
+    if (cost) cost->bytes_parsed += end - row_start;
+  }
+  cc.parsed = true;
+}
+
+void RawStore::maybe_crack(std::size_t col) {
+  ColumnCache& cc = cache_[col];
+  if (!cc.sorted_rows.empty() || cc.queries_seen < kCrackAfter) return;
+  cc.sorted_rows.resize(cc.values.size());
+  for (std::uint32_t i = 0; i < cc.values.size(); ++i) cc.sorted_rows[i] = i;
+  std::sort(cc.sorted_rows.begin(), cc.sorted_rows.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return cc.values[a] < cc.values[b];
+            });
+}
+
+RawAggregate RawStore::range_aggregate(std::size_t filter_col, double lo,
+                                       double hi, std::size_t agg_col,
+                                       RawQueryCost* cost) {
+  if (filter_col >= column_names_.size() || agg_col >= column_names_.size())
+    throw std::out_of_range("RawStore::range_aggregate: bad column");
+  if (hi < lo) return RawAggregate{};
+
+  ensure_parsed(filter_col, cost);
+  ColumnCache& fc = cache_[filter_col];
+  ++fc.queries_seen;
+  maybe_crack(filter_col);
+
+  // Qualifying rows, via the cracked piece when available.
+  std::vector<std::uint32_t> rows;
+  if (!fc.sorted_rows.empty()) {
+    if (cost) cost->used_sorted_piece = true;
+    const auto cmp_lo = std::lower_bound(
+        fc.sorted_rows.begin(), fc.sorted_rows.end(), lo,
+        [&](std::uint32_t r, double v) { return fc.values[r] < v; });
+    auto it = cmp_lo;
+    while (it != fc.sorted_rows.end() && fc.values[*it] <= hi) {
+      rows.push_back(*it);
+      ++it;
+    }
+    if (cost) cost->values_scanned += rows.size() + 1;
+  } else {
+    for (std::uint32_t r = 0; r < fc.values.size(); ++r) {
+      if (cost) ++cost->values_scanned;
+      if (fc.values[r] >= lo && fc.values[r] <= hi) rows.push_back(r);
+    }
+  }
+
+  RawAggregate agg;
+  if (agg_col == filter_col) {
+    for (const auto r : rows) {
+      ++agg.count;
+      agg.sum += fc.values[r];
+    }
+    return agg;
+  }
+  // The aggregate column parses lazily too (only when first needed).
+  ensure_parsed(agg_col, cost);
+  const ColumnCache& ac = cache_[agg_col];
+  for (const auto r : rows) {
+    ++agg.count;
+    agg.sum += ac.values[r];
+  }
+  if (cost) cost->values_scanned += rows.size();
+  return agg;
+}
+
+std::size_t RawStore::aux_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& cc : cache_) {
+    total += cc.values.size() * sizeof(double);
+    total += cc.sorted_rows.size() * sizeof(std::uint32_t);
+  }
+  return total;
+}
+
+std::size_t RawStore::columns_cached() const noexcept {
+  std::size_t n = 0;
+  for (const auto& cc : cache_)
+    if (cc.parsed) ++n;
+  return n;
+}
+
+}  // namespace sea

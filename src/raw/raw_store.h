@@ -1,0 +1,89 @@
+// Raw-data analytics (paper RT2.3): adaptive access over un-loaded files.
+//
+// "This thread will centre its attention on developing adaptive indexing
+// and caching techniques that operate on raw data and facilitate efficient
+// and scalable raw-data analyses."
+//
+// RawStore holds the raw CSV bytes of a dataset and answers column-range
+// count/sum/avg queries directly against them, getting faster as it is
+// queried (in the spirit of NoDB positional maps and database cracking):
+//
+//   * first touch of a column: one parsing pass builds that column's
+//     value cache and positional map (all other columns stay raw);
+//   * queried ranges additionally *crack* the column: value ranges that
+//     analysts keep hitting get a sorted piece, so later range queries
+//     binary-search instead of scanning.
+//
+// Every query reports how many raw bytes were parsed and how many values
+// were scanned, so the adaptive cost decay is measurable (bench E13).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sea {
+
+struct RawQueryCost {
+  std::uint64_t bytes_parsed = 0;    ///< raw bytes tokenized this query
+  std::uint64_t values_scanned = 0;  ///< cached values examined
+  bool used_sorted_piece = false;    ///< answered via cracked binary search
+};
+
+struct RawAggregate {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double avg() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+class RawStore {
+ public:
+  /// Takes ownership of the raw CSV text (header + numeric rows, as
+  /// produced by write_csv).
+  explicit RawStore(std::string csv_text);
+
+  std::size_t num_columns() const noexcept { return column_names_.size(); }
+  std::size_t num_rows() const noexcept { return row_offsets_.size(); }
+  const std::string& column_name(std::size_t c) const;
+  std::size_t column_index(const std::string& name) const;
+
+  /// count/sum of `agg_col` over rows whose `filter_col` value lies in
+  /// [lo, hi]. Parsing is lazy and cached per column; repeated queries on
+  /// the same filter column get adaptively cheaper.
+  RawAggregate range_aggregate(std::size_t filter_col, double lo, double hi,
+                               std::size_t agg_col,
+                               RawQueryCost* cost = nullptr);
+
+  /// Bytes of auxiliary state built so far (positional caches + sorted
+  /// pieces) — the "adaptive index" footprint.
+  std::size_t aux_bytes() const noexcept;
+
+  /// Number of columns whose values have been parsed into the cache.
+  std::size_t columns_cached() const noexcept;
+
+ private:
+  struct ColumnCache {
+    bool parsed = false;
+    std::vector<double> values;         ///< by row
+    /// Cracked piece: row ids sorted by value (built after kCrackAfter
+    /// queries on this column).
+    std::vector<std::uint32_t> sorted_rows;
+    std::size_t queries_seen = 0;
+  };
+
+  static constexpr std::size_t kCrackAfter = 3;
+
+  void ensure_parsed(std::size_t col, RawQueryCost* cost);
+  void maybe_crack(std::size_t col);
+
+  std::string raw_;
+  std::vector<std::string> column_names_;
+  std::vector<std::size_t> row_offsets_;  ///< byte offset of each data row
+  std::vector<ColumnCache> cache_;
+};
+
+}  // namespace sea

@@ -1,0 +1,182 @@
+// Binary (de)serialization of DatalessAgent — the "ship the model, not the
+// data" wire format (paper RT1.5 / RT5.2).
+#include <cstring>
+#include <type_traits>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "sea/agent.h"
+
+namespace sea {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'E', 'A', 'A', 'G', 'T', '0', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("DatalessAgent::deserialize: truncated");
+  return v;
+}
+
+void write_doubles(std::ostream& out, const std::vector<double>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::vector<double> read_doubles(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  if (n > (1ull << 32))
+    throw std::runtime_error("DatalessAgent::deserialize: absurd length");
+  std::vector<double> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (!in) throw std::runtime_error("DatalessAgent::deserialize: truncated");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  if (n > (1ull << 20))
+    throw std::runtime_error("DatalessAgent::deserialize: absurd string");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("DatalessAgent::deserialize: truncated");
+  return s;
+}
+
+}  // namespace
+
+void DatalessAgent::serialize(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, config_);
+  write_pod(out, staleness_);
+  write_pod<std::uint64_t>(out, fresh_since_update_);
+
+  write_pod<std::uint64_t>(out, signatures_.size());
+  for (const auto& [sig, st] : signatures_) {
+    write_string(out, sig);
+    write_doubles(out, st.domain.lo);
+    write_doubles(out, st.domain.hi);
+    // Quantizer state.
+    write_pod<std::uint64_t>(out, st.quantizer.clock());
+    write_pod<std::uint64_t>(out, st.quantizer.size());
+    for (std::size_t q = 0; q < st.quantizer.size(); ++q) {
+      const Quantum& quantum = st.quantizer.quantum(q);
+      write_doubles(out, quantum.center);
+      write_pod<std::uint64_t>(out, quantum.population);
+      write_pod<std::uint64_t>(out, quantum.last_used);
+      write_pod(out, quantum.mean_sq_distance);
+    }
+    // Per-quantum models.
+    write_pod<std::uint64_t>(out, st.models.size());
+    for (const auto& m : st.models) {
+      write_pod<std::uint8_t>(out, m.has_value() ? 1 : 0);
+      if (!m) continue;
+      write_pod<std::uint64_t>(out, m->xs.size());
+      for (const auto& x : m->xs) write_doubles(out, x);
+      write_doubles(out, m->ys);
+      write_pod<std::uint8_t>(out, m->linear.fitted() ? 1 : 0);
+      if (m->linear.fitted()) {
+        write_doubles(out, m->linear.weights());
+        write_pod(out, m->linear.intercept());
+        write_pod(out, m->linear.r_squared());
+      }
+      write_pod<std::uint8_t>(out, m->gbm.fitted() ? 1 : 0);
+      write_pod<std::uint8_t>(out, m->prefer_gbm ? 1 : 0);
+      write_doubles(out, m->abs_residuals.window());
+      write_pod<std::uint64_t>(out, m->abs_residuals.count());
+      write_pod<std::uint64_t>(out, m->since_refit);
+    }
+  }
+}
+
+DatalessAgent DatalessAgent::deserialize(
+    std::istream& in,
+    std::function<Rect(const std::vector<std::size_t>&)> domain_provider) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("DatalessAgent::deserialize: bad magic");
+  const auto config = read_pod<AgentConfig>(in);
+  DatalessAgent agent(config, std::move(domain_provider));
+  agent.staleness_ = read_pod<double>(in);
+  agent.fresh_since_update_ =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+
+  const auto num_sigs = read_pod<std::uint64_t>(in);
+  for (std::uint64_t s = 0; s < num_sigs; ++s) {
+    const std::string sig = read_string(in);
+    Rect domain;
+    domain.lo = read_doubles(in);
+    domain.hi = read_doubles(in);
+    SignatureState st(config, std::move(domain));
+    const auto clock = read_pod<std::uint64_t>(in);
+    const auto num_quanta = read_pod<std::uint64_t>(in);
+    std::vector<Quantum> quanta(num_quanta);
+    for (auto& q : quanta) {
+      q.center = read_doubles(in);
+      q.population = read_pod<std::uint64_t>(in);
+      q.last_used = read_pod<std::uint64_t>(in);
+      q.mean_sq_distance = read_pod<double>(in);
+    }
+    st.quantizer.restore(std::move(quanta), clock);
+
+    const auto num_models = read_pod<std::uint64_t>(in);
+    st.models.resize(num_models);
+    for (auto& slot : st.models) {
+      if (read_pod<std::uint8_t>(in) == 0) continue;
+      slot.emplace(config);
+      QuantumModel& m = *slot;
+      const auto n = read_pod<std::uint64_t>(in);
+      m.xs.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) m.xs.push_back(read_doubles(in));
+      m.ys = read_doubles(in);
+      if (m.ys.size() != m.xs.size())
+        throw std::runtime_error("DatalessAgent::deserialize: pair mismatch");
+      // kNN fallback rebuilds from the shipped pairs.
+      for (std::size_t i = 0; i < m.xs.size(); ++i)
+        m.knn.add(m.xs[i], m.ys[i]);
+      if (read_pod<std::uint8_t>(in) == 1) {
+        auto weights = read_doubles(in);
+        const double intercept = read_pod<double>(in);
+        const double r2 = read_pod<double>(in);
+        m.linear = LinearModel::from_parts(std::move(weights), intercept, r2);
+      }
+      const bool had_gbm = read_pod<std::uint8_t>(in) == 1;
+      m.prefer_gbm = read_pod<std::uint8_t>(in) == 1;
+      auto window = read_doubles(in);
+      const auto seen = read_pod<std::uint64_t>(in);
+      m.abs_residuals.restore(std::move(window),
+                              static_cast<std::size_t>(seen));
+      m.since_refit = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+      // GBM ensembles are not shipped (tree serialization is not worth the
+      // wire bytes); refitting on the shipped pairs is deterministic and
+      // recovers an equivalent model.
+      if (had_gbm && !m.xs.empty()) {
+        m.gbm = GbmRegressor(quantum_gbm_params());
+        m.gbm.fit(m.xs, m.ys);
+      }
+    }
+    agent.signatures_.emplace(sig, std::move(st));
+  }
+  return agent;
+}
+
+}  // namespace sea

@@ -1,0 +1,397 @@
+#include "sea/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <sstream>
+
+#include "common/timer.h"
+#include "exec/coordinator.h"
+#include "exec/mapreduce.h"
+
+namespace sea {
+
+namespace {
+
+/// Target values of row r for the query's analytic.
+inline void targets(const Table& part, std::size_t r,
+                    const AnalyticalQuery& q, double& t, double& u) {
+  t = needs_target(q.analytic) ? part.at(r, q.target_col) : 0.0;
+  u = needs_second_target(q.analytic) ? part.at(r, q.target_col2) : 0.0;
+}
+
+/// Candidate for distributed kNN selections: distance + target values.
+struct KnnCand {
+  double dist = 0.0;
+  double t = 0.0;
+  double u = 0.0;
+};
+
+}  // namespace
+
+const char* to_string(ExecParadigm p) noexcept {
+  switch (p) {
+    case ExecParadigm::kMapReduce:
+      return "mapreduce";
+    case ExecParadigm::kCoordinatorIndexed:
+      return "coordinator_indexed";
+    case ExecParadigm::kCoordinatorGrid:
+      return "coordinator_grid";
+  }
+  return "?";
+}
+
+ExactExecutor::ExactExecutor(Cluster& cluster, std::string table_name,
+                             NodeId coordinator)
+    : cluster_(cluster), table_(std::move(table_name)),
+      coordinator_(coordinator) {
+  if (!cluster_.has_table(table_))
+    throw std::invalid_argument("ExactExecutor: unknown table " + table_);
+}
+
+std::string ExactExecutor::colset_key(const std::vector<std::size_t>& cols) {
+  std::ostringstream os;
+  for (const auto c : cols) os << c << ',';
+  return os.str();
+}
+
+const ExactExecutor::NodeIndexes& ExactExecutor::indexes_for(
+    const std::vector<std::size_t>& cols) {
+  const std::string key = colset_key(cols);
+  auto it = index_cache_.find(key);
+  if (it != index_cache_.end()) return it->second;
+  Timer t;
+  NodeIndexes idx;
+  idx.per_node.reserve(cluster_.num_nodes());
+  for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+    const Table& part = cluster_.partition(table_, static_cast<NodeId>(n));
+    idx.per_node.push_back(build_kdtree(part, cols));
+  }
+  index_build_ms_ += t.elapsed_ms();
+  return index_cache_.emplace(key, std::move(idx)).first->second;
+}
+
+const ExactExecutor::NodeGrids& ExactExecutor::grids_for(
+    const std::vector<std::size_t>& cols) {
+  const std::string key = colset_key(cols);
+  auto it = grid_cache_.find(key);
+  if (it != grid_cache_.end()) return it->second;
+  Timer t;
+  NodeGrids grids;
+  grids.per_node.reserve(cluster_.num_nodes());
+  for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+    const Table& part = cluster_.partition(table_, static_cast<NodeId>(n));
+    std::vector<Point> pts;
+    pts.reserve(part.num_rows());
+    Point p;
+    for (std::size_t r = 0; r < part.num_rows(); ++r) {
+      part.gather(r, cols, p);
+      pts.push_back(p);
+    }
+    Rect dom = part.num_rows() ? table_bounds(part, cols) : Rect{};
+    if (part.num_rows() == 0) {
+      dom.lo.assign(cols.size(), 0.0);
+      dom.hi.assign(cols.size(), 1.0);
+    }
+    // Pad the upper edge so maxima land inside the last cell.
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      dom.hi[i] = std::nextafter(dom.hi[i] + 1e-12,
+                                 std::numeric_limits<double>::max());
+    // Cells per dimension: ~rows^(1/d) capped to keep memory sane.
+    const double per_dim = std::pow(
+        std::max<double>(1.0, static_cast<double>(part.num_rows())),
+        1.0 / static_cast<double>(cols.size()));
+    const std::size_t cells = std::clamp<std::size_t>(
+        static_cast<std::size_t>(per_dim / 2.0), 2, 32);
+    grids.per_node.emplace_back(std::move(pts), std::move(dom), cells);
+  }
+  index_build_ms_ += t.elapsed_ms();
+  return grid_cache_.emplace(key, std::move(grids)).first->second;
+}
+
+const Rect& ExactExecutor::domain(const std::vector<std::size_t>& cols) {
+  const std::string key = colset_key(cols);
+  auto it = domain_cache_.find(key);
+  if (it != domain_cache_.end()) return it->second;
+  Rect bounds;
+  bool first = true;
+  for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+    const Table& part = cluster_.partition(table_, static_cast<NodeId>(n));
+    if (part.num_rows() == 0) continue;
+    const Rect b = table_bounds(part, cols);
+    if (first) {
+      bounds = b;
+      first = false;
+    } else {
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        bounds.lo[i] = std::min(bounds.lo[i], b.lo[i]);
+        bounds.hi[i] = std::max(bounds.hi[i], b.hi[i]);
+      }
+    }
+  }
+  if (first) {
+    bounds.lo.assign(cols.size(), 0.0);
+    bounds.hi.assign(cols.size(), 1.0);
+  }
+  return domain_cache_.emplace(key, std::move(bounds)).first->second;
+}
+
+void ExactExecutor::invalidate_caches() {
+  index_cache_.clear();
+  grid_cache_.clear();
+  domain_cache_.clear();
+}
+
+ExactResult ExactExecutor::execute(const AnalyticalQuery& query,
+                                   ExecParadigm paradigm) {
+  query.validate();
+  switch (paradigm) {
+    case ExecParadigm::kMapReduce:
+      return execute_mapreduce(query);
+    case ExecParadigm::kCoordinatorIndexed:
+      return execute_indexed(query, /*use_grid=*/false);
+    case ExecParadigm::kCoordinatorGrid:
+      return execute_indexed(query, /*use_grid=*/true);
+  }
+  throw std::logic_error("ExactExecutor::execute: bad paradigm");
+}
+
+AggregateState ExactExecutor::aggregate_rows(
+    const Table& part, const std::vector<std::uint64_t>& rows,
+    const AnalyticalQuery& q) const {
+  AggregateState agg;
+  double t, u;
+  for (const auto r : rows) {
+    targets(part, static_cast<std::size_t>(r), q, t, u);
+    agg.add(t, u);
+  }
+  return agg;
+}
+
+ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q) {
+  ExactResult out;
+  if (q.selection == SelectionType::kNearestNeighbors) {
+    // Map: local top-k candidates from a full scan; reduce: global top-k.
+    MapReduceJob<int, KnnCand, AggregateState> job;
+    job.kv_bytes = sizeof(KnnCand);
+    job.result_bytes = AggregateState::kWireBytes;
+    const std::size_t k = q.knn_k;
+    job.map = [&q, k](NodeId, const Table& part, Emitter<int, KnnCand>& out_) {
+      std::vector<KnnCand> local;
+      local.reserve(part.num_rows());
+      Point p;
+      double t, u;
+      for (std::size_t r = 0; r < part.num_rows(); ++r) {
+        part.gather(r, q.subspace_cols, p);
+        KnnCand c;
+        c.dist = euclidean_distance(p, q.knn_point);
+        targets(part, r, q, t, u);
+        c.t = t;
+        c.u = u;
+        local.push_back(c);
+      }
+      const std::size_t take = std::min(k, local.size());
+      std::partial_sort(local.begin(),
+                        local.begin() + static_cast<std::ptrdiff_t>(take),
+                        local.end(), [](const KnnCand& a, const KnnCand& b) {
+                          return a.dist < b.dist;
+                        });
+      for (std::size_t i = 0; i < take; ++i) out_.emit(0, local[i]);
+    };
+    job.reduce = [&q, k](const int&, std::vector<KnnCand>& cands) {
+      const std::size_t take = std::min(k, cands.size());
+      std::partial_sort(cands.begin(),
+                        cands.begin() + static_cast<std::ptrdiff_t>(take),
+                        cands.end(), [](const KnnCand& a, const KnnCand& b) {
+                          return a.dist < b.dist;
+                        });
+      AggregateState agg;
+      for (std::size_t i = 0; i < take; ++i) agg.add(cands[i].t, cands[i].u);
+      return agg;
+    };
+    auto mr = run_map_reduce(cluster_, table_, job, coordinator_);
+    AggregateState total;
+    for (auto& [key, agg] : mr.results) {
+      (void)key;
+      total.merge(agg);
+    }
+    out.answer = total.finalize(q.analytic);
+    out.state = total;
+    out.qualifying_tuples = total.count;
+    out.report = mr.report;
+    return out;
+  }
+
+  // Range / radius selections: filter + partial aggregate per partition.
+  MapReduceJob<int, AggregateState, AggregateState> job;
+  job.kv_bytes = AggregateState::kWireBytes;
+  job.result_bytes = AggregateState::kWireBytes;
+  job.map = [&q](NodeId, const Table& part,
+                 Emitter<int, AggregateState>& out_) {
+    AggregateState agg;
+    Point p;
+    double t, u;
+    for (std::size_t r = 0; r < part.num_rows(); ++r) {
+      part.gather(r, q.subspace_cols, p);
+      const bool hit = q.selection == SelectionType::kRange
+                           ? q.range.contains(p)
+                           : q.ball.contains(p);
+      if (!hit) continue;
+      targets(part, r, q, t, u);
+      agg.add(t, u);
+    }
+    out_.emit(0, agg);
+  };
+  job.reduce = [](const int&, std::vector<AggregateState>& states) {
+    AggregateState total;
+    for (const auto& s : states) total.merge(s);
+    return total;
+  };
+  auto mr = run_map_reduce(cluster_, table_, job, coordinator_);
+  AggregateState total;
+  for (auto& [key, agg] : mr.results) {
+    (void)key;
+    total.merge(agg);
+  }
+  out.answer = total.finalize(q.analytic);
+  out.state = total;
+  out.qualifying_tuples = total.count;
+  out.report = mr.report;
+  return out;
+}
+
+ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
+                                           bool use_grid) {
+  ExactResult out;
+  const NodeIndexes* kd = use_grid ? nullptr : &indexes_for(q.subspace_cols);
+  const NodeGrids* grid = use_grid ? &grids_for(q.subspace_cols) : nullptr;
+  // Uniform access wrappers over the two access structures (RT3.1).
+  const auto node_knn = [&](std::size_t n, std::span<const double> point,
+                            std::size_t k, std::uint64_t& examined) {
+    if (use_grid) {
+      GridQueryCost cost;
+      auto nn = grid->per_node[n].knn(point, k, &cost);
+      examined = cost.points_examined;
+      return nn;
+    }
+    KdQueryCost cost;
+    auto nn = kd->per_node[n].knn(point, k, &cost);
+    examined = cost.points_examined;
+    return nn;
+  };
+  const auto node_select = [&](std::size_t n, std::uint64_t& examined) {
+    if (use_grid) {
+      GridQueryCost cost;
+      auto rows = q.selection == SelectionType::kRange
+                      ? grid->per_node[n].range_query(q.range, &cost)
+                      : grid->per_node[n].radius_query(q.ball, &cost);
+      examined = cost.points_examined;
+      return rows;
+    }
+    KdQueryCost cost;
+    auto rows = q.selection == SelectionType::kRange
+                    ? kd->per_node[n].range_query(q.range, &cost)
+                    : kd->per_node[n].radius_query(q.ball, &cost);
+    examined = cost.points_examined;
+    return rows;
+  };
+  CohortSession session(cluster_, coordinator_);
+  // Request = the query geometry: centre + extents, ~ (2d + 2) doubles.
+  const std::size_t req_bytes = (2 * q.subspace_cols.size() + 2) * 8;
+
+  if (q.selection == SelectionType::kNearestNeighbors) {
+    // Each cohort node returns its local top-k (from its k-d tree); the
+    // coordinator merges to the global k.
+    std::vector<KnnCand> merged;
+    for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+      const Table& part = cluster_.partition(table_, static_cast<NodeId>(n));
+      if (part.num_rows() == 0) continue;  // empty partitions never probed
+      // Shard n is answered by its serving node (primary, or a live
+      // replica holder under failures).
+      const NodeId serving = cluster_.serving_node(table_, n);
+      const std::size_t resp_bytes = sizeof(KnnCand) * q.knn_k;
+      auto local = session.rpc(
+          serving, req_bytes, resp_bytes, [&]() {
+            std::uint64_t examined = 0;
+            auto nn = node_knn(n, q.knn_point, q.knn_k, examined);
+            cluster_.account_probe(serving, 1, examined,
+                                   examined * part.row_bytes());
+            std::vector<KnnCand> cands;
+            cands.reserve(nn.size());
+            double t, u;
+            for (const auto& [row, dist] : nn) {
+              targets(part, static_cast<std::size_t>(row), q, t, u);
+              cands.push_back(KnnCand{dist, t, u});
+            }
+            return cands;
+          });
+      merged.insert(merged.end(), local.begin(), local.end());
+    }
+    const std::size_t take = std::min<std::size_t>(q.knn_k, merged.size());
+    AggregateState total = session.local([&] {
+      std::partial_sort(merged.begin(),
+                        merged.begin() + static_cast<std::ptrdiff_t>(take),
+                        merged.end(), [](const KnnCand& a, const KnnCand& b) {
+                          return a.dist < b.dist;
+                        });
+      AggregateState agg;
+      for (std::size_t i = 0; i < take; ++i)
+        agg.add(merged[i].t, merged[i].u);
+      return agg;
+    });
+    out.answer = total.finalize(q.analytic);
+    out.state = total;
+    out.qualifying_tuples = total.count;
+    out.report = session.take_report();
+    return out;
+  }
+
+  // Range / radius: prune nodes by partition ranges when possible, then
+  // surgical k-d probes; only aggregate states return.
+  std::vector<NodeId> nodes;
+  const auto& pspec = cluster_.partition_spec(table_);
+  // Node pruning is only sound when the table is range-partitioned on one
+  // of the query's subspace columns.
+  std::size_t part_dim = q.subspace_cols.size();
+  if (pspec.scheme == Partitioning::kRangeColumn) {
+    for (std::size_t i = 0; i < q.subspace_cols.size(); ++i)
+      if (q.subspace_cols[i] == pspec.partition_column) part_dim = i;
+  }
+  if (part_dim < q.subspace_cols.size()) {
+    if (q.selection == SelectionType::kRange) {
+      nodes = cluster_.nodes_for_range(table_, q.range.lo[part_dim],
+                                       q.range.hi[part_dim]);
+    } else {
+      const Rect bb = q.ball.bounding_box();
+      nodes = cluster_.nodes_for_range(table_, bb.lo[part_dim],
+                                       bb.hi[part_dim]);
+    }
+  } else {
+    for (std::size_t n = 0; n < cluster_.num_nodes(); ++n)
+      nodes.push_back(static_cast<NodeId>(n));
+  }
+
+  AggregateState total;
+  for (const NodeId n : nodes) {
+    const Table& part = cluster_.partition(table_, n);
+    if (part.num_rows() == 0) continue;  // empty partitions never probed
+    const NodeId serving = cluster_.serving_node(table_, n);
+    AggregateState node_agg = session.rpc(
+        serving, req_bytes, AggregateState::kWireBytes, [&]() {
+          std::uint64_t examined = 0;
+          const std::vector<std::uint64_t> rows = node_select(n, examined);
+          cluster_.account_probe(serving, 1, examined,
+                                 examined * part.row_bytes());
+          return aggregate_rows(part, rows, q);
+        });
+    total.merge(node_agg);
+  }
+  out.answer = total.finalize(q.analytic);
+  out.state = total;
+  out.qualifying_tuples = total.count;
+  out.report = session.take_report();
+  return out;
+}
+
+}  // namespace sea

@@ -1,0 +1,101 @@
+// Exact execution of analytical queries over the simulated BDAS.
+//
+// Two interchangeable paradigms (paper RT3.2):
+//  * kMapReduce — the Fig. 1 status quo: every node launches a task, scans
+//    its whole partition through all stack layers, and shuffles partial
+//    aggregates.
+//  * kCoordinatorIndexed — the big-data-less path (P3): the coordinator
+//    RPCs only relevant nodes, which answer from per-node k-d trees with
+//    surgical tuple access; only 48-byte aggregate states travel.
+//
+// Both return the same exact answer; they differ (hugely) in cost, which
+// is exactly what experiments E1/E6 measure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "exec/exec_report.h"
+#include "index/grid.h"
+#include "index/kdtree.h"
+#include "sea/aggregate.h"
+#include "sea/query.h"
+
+namespace sea {
+
+enum class ExecParadigm {
+  kMapReduce,
+  kCoordinatorIndexed,  ///< per-node k-d trees
+  kCoordinatorGrid,     ///< per-node uniform grids (RT3.1 alternative)
+};
+
+const char* to_string(ExecParadigm p) noexcept;
+
+struct ExactResult {
+  double answer = 0.0;
+  std::uint64_t qualifying_tuples = 0;
+  /// Raw mergeable aggregate (lets callers combine answers across systems,
+  /// e.g. the polystore's federated queries).
+  AggregateState state;
+  ExecReport report;
+};
+
+class ExactExecutor {
+ public:
+  /// Executes against table `table_name` stored in `cluster`.
+  /// `coordinator` is the node issuing queries (also reducer target).
+  ExactExecutor(Cluster& cluster, std::string table_name,
+                NodeId coordinator = 0);
+
+  /// Exact answer via the chosen paradigm. The kCoordinatorIndexed path
+  /// lazily builds (and caches) per-node k-d trees over the query's
+  /// subspace columns; build time is reported via index_build_ms().
+  ExactResult execute(const AnalyticalQuery& query, ExecParadigm paradigm);
+
+  /// Global bounds of the given columns (union over partitions); cached.
+  /// Used for feature normalization by the agent and workload generators.
+  const Rect& domain(const std::vector<std::size_t>& cols);
+
+  Cluster& cluster() noexcept { return cluster_; }
+  const std::string& table_name() const noexcept { return table_; }
+  double index_build_ms() const noexcept { return index_build_ms_; }
+
+  /// Drops cached indexes/domains (call after data updates).
+  void invalidate_caches();
+
+ private:
+  struct NodeIndexes {
+    std::vector<KdTree> per_node;
+  };
+  struct NodeGrids {
+    std::vector<GridIndex> per_node;
+  };
+
+  static std::string colset_key(const std::vector<std::size_t>& cols);
+  const NodeIndexes& indexes_for(const std::vector<std::size_t>& cols);
+  const NodeGrids& grids_for(const std::vector<std::size_t>& cols);
+
+  ExactResult execute_mapreduce(const AnalyticalQuery& query);
+  /// Shared coordinator-cohort path; `use_grid` selects the access
+  /// structure (RT3.1).
+  ExactResult execute_indexed(const AnalyticalQuery& query, bool use_grid);
+
+  /// Scans `rows` of a partition and accumulates qualifying tuples.
+  AggregateState aggregate_rows(const Table& part,
+                                const std::vector<std::uint64_t>& rows,
+                                const AnalyticalQuery& q) const;
+
+  Cluster& cluster_;
+  std::string table_;
+  NodeId coordinator_;
+  double index_build_ms_ = 0.0;
+  std::unordered_map<std::string, NodeIndexes> index_cache_;
+  std::unordered_map<std::string, NodeGrids> grid_cache_;
+  std::unordered_map<std::string, Rect> domain_cache_;
+};
+
+}  // namespace sea

@@ -1,0 +1,78 @@
+// The analytical query model (paper §III.A).
+//
+// A query is (a) a selection operator defining a data subspace — a
+// hyper-rectangle (range), a hyper-sphere (radius) or a kNN neighbourhood —
+// over a set of attribute columns, plus (b) an analytical operator over the
+// tuples in that subspace: descriptive statistics (count / sum / avg /
+// variance) or dependence statistics (correlation, regression slope &
+// intercept) between two attributes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/point.h"
+
+namespace sea {
+
+enum class SelectionType { kRange, kRadius, kNearestNeighbors };
+
+enum class AnalyticType {
+  kCount,
+  kSum,
+  kAvg,
+  kVariance,
+  kCorrelation,      ///< Pearson r between target_col and target_col2
+  kRegressionSlope,  ///< OLS slope of target_col2 ~ target_col
+  kRegressionIntercept
+};
+
+const char* to_string(SelectionType t) noexcept;
+const char* to_string(AnalyticType t) noexcept;
+
+/// True for analytics that need a primary target column.
+bool needs_target(AnalyticType t) noexcept;
+/// True for dependence statistics that need a second column.
+bool needs_second_target(AnalyticType t) noexcept;
+
+struct AnalyticalQuery {
+  SelectionType selection = SelectionType::kRange;
+  /// Columns over which the selection subspace is defined.
+  std::vector<std::size_t> subspace_cols;
+  Rect range;       ///< kRange
+  Ball ball;        ///< kRadius
+  Point knn_point;  ///< kNearestNeighbors
+  std::size_t knn_k = 0;
+
+  AnalyticType analytic = AnalyticType::kCount;
+  std::size_t target_col = 0;   ///< sum/avg/var & first dependence column
+  std::size_t target_col2 = 0;  ///< second dependence column
+
+  /// Validates internal consistency (dims match etc.); throws on error.
+  void validate() const;
+
+  /// Centre of the selected subspace (query position in query space).
+  Point selection_center() const;
+
+  /// Human-readable one-liner for logs/examples.
+  std::string describe() const;
+
+  /// A stable signature grouping queries that share selection family,
+  /// analytic type and target columns — each signature gets its own
+  /// quantizer and models inside the agent (answer scales differ).
+  std::string signature() const;
+};
+
+/// Feature extraction for the agent's models (paper RT1.1/RT1.3): the
+/// query's position is its subspace centre normalized into [0,1]^d by the
+/// data domain; the model features append the normalized extent (widths or
+/// radius or k) since answers depend on subspace size.
+struct QueryFeatures {
+  Point position;  ///< normalized centre — quantization space
+  Point model;     ///< position + normalized extents — regression features
+};
+
+QueryFeatures extract_features(const AnalyticalQuery& q, const Rect& domain);
+
+}  // namespace sea

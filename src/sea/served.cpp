@@ -1,0 +1,44 @@
+#include "sea/served.h"
+
+#include "common/timer.h"
+
+namespace sea {
+
+ServedAnalytics::ServedAnalytics(DatalessAgent& agent, ExactExecutor& exec,
+                                 ServeConfig config)
+    : agent_(agent), exec_(exec), config_(config),
+      audit_rng_(config.audit_seed) {}
+
+ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
+  ServedAnswer out;
+  Timer timer;
+  ++stats_.queries;
+
+  const bool bootstrapping = stats_.queries <= config_.bootstrap_queries;
+  if (!bootstrapping) {
+    if (auto pred = agent_.try_predict(query)) {
+      out.data_less = true;
+      out.value = pred->value;
+      out.prediction = *pred;
+      if (config_.audit_fraction > 0.0 &&
+          audit_rng_.bernoulli(config_.audit_fraction)) {
+        out.audited = true;
+        out.exact = exec_.execute(query, config_.exact_paradigm);
+        agent_.observe(query, out.exact.answer);
+        ++stats_.exact_executed;
+      }
+      ++stats_.data_less_served;
+      out.latency_ms = timer.elapsed_ms();
+      return out;
+    }
+  }
+
+  out.exact = exec_.execute(query, config_.exact_paradigm);
+  out.value = out.exact.answer;
+  agent_.observe(query, out.exact.answer);
+  ++stats_.exact_executed;
+  out.latency_ms = timer.elapsed_ms();
+  return out;
+}
+
+}  // namespace sea

@@ -1,0 +1,66 @@
+// ServedAnalytics — the full Fig. 2 serving loop.
+//
+// Queries arrive; the agent intercepts them. During the bootstrap phase
+// (and whenever the agent is not confident) the query executes exactly on
+// the BDAS and the (query, answer) pair trains the agent. Once models are
+// warm, confident queries are answered data-less: zero base-data access,
+// zero network traffic. An optional audit channel re-executes a sample of
+// served queries so accuracy can be tracked in production (and so the
+// drift detectors keep receiving residuals after the system goes
+// data-less — the paper's model-maintenance loop, RT1.4).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sea/agent.h"
+#include "sea/exact.h"
+
+namespace sea {
+
+struct ServeConfig {
+  /// Execute the first N queries exactly regardless of confidence
+  /// ("training queries", Fig. 2).
+  std::size_t bootstrap_queries = 100;
+  ExecParadigm exact_paradigm = ExecParadigm::kCoordinatorIndexed;
+  /// Fraction of *served* (data-less) queries to also execute exactly, as
+  /// an accuracy audit + continued training signal.
+  double audit_fraction = 0.05;
+  std::uint64_t audit_seed = 99;
+};
+
+struct ServedAnswer {
+  double value = 0.0;
+  bool data_less = false;
+  bool audited = false;
+  Prediction prediction;    ///< valid when data_less
+  ExactResult exact;        ///< valid when !data_less or audited
+  double latency_ms = 0.0;  ///< measured end-to-end serve time
+};
+
+struct ServeStats {
+  std::uint64_t queries = 0;
+  std::uint64_t data_less_served = 0;
+  std::uint64_t exact_executed = 0;  ///< includes bootstrap + declines + audits
+};
+
+class ServedAnalytics {
+ public:
+  ServedAnalytics(DatalessAgent& agent, ExactExecutor& exec,
+                  ServeConfig config = {});
+
+  ServedAnswer serve(const AnalyticalQuery& query);
+
+  const ServeStats& stats() const noexcept { return stats_; }
+  DatalessAgent& agent() noexcept { return agent_; }
+  ExactExecutor& executor() noexcept { return exec_; }
+
+ private:
+  DatalessAgent& agent_;
+  ExactExecutor& exec_;
+  ServeConfig config_;
+  ServeStats stats_;
+  Rng audit_rng_;
+};
+
+}  // namespace sea

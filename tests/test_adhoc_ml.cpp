@@ -1,0 +1,131 @@
+// Tests: ad hoc ML tasks over analyst-defined subspaces (RT2.2).
+#include <gtest/gtest.h>
+
+#include "ops/adhoc_ml.h"
+#include "test_util.h"
+
+namespace sea {
+namespace {
+
+using testing::small_dataset;
+
+struct AdhocFixture : public ::testing::Test {
+  Table table = small_dataset(4000, 2, 221);
+  Cluster cluster{4, Network::single_zone(4)};
+  Rect subspace{{0.2, 0.2}, {0.8, 0.8}};
+
+  void SetUp() override { cluster.load_table("t", table); }
+
+  std::size_t rows_in(const Rect& r) const {
+    std::size_t n = 0;
+    Point p;
+    const std::vector<std::size_t> cols = {0, 1};
+    for (std::size_t i = 0; i < table.num_rows(); ++i) {
+      table.gather(i, cols, p);
+      if (r.contains(p)) ++n;
+    }
+    return n;
+  }
+};
+
+TEST_F(AdhocFixture, KmeansRunsOnExactSubspaceRows) {
+  AdhocMlEngine engine(cluster, "t", {0, 1});
+  const auto result = engine.kmeans(subspace, 3);
+  EXPECT_EQ(result.rows, rows_in(subspace));
+  EXPECT_EQ(result.centroids.size(), 3u);
+  for (const auto& c : result.centroids)
+    EXPECT_TRUE(subspace.contains(c));  // centroids inside the subspace
+  EXPECT_GT(result.inertia, 0.0);
+  EXPECT_FALSE(result.cache_hit);
+}
+
+TEST_F(AdhocFixture, RegressionRecoversPlantedRelation) {
+  // y = 2*x0 + 0.5 + noise across the whole table.
+  AdhocMlEngine engine(cluster, "t", {0, 1});
+  const auto result = engine.regression(subspace, 2);
+  ASSERT_EQ(result.weights.size(), 2u);
+  EXPECT_NEAR(result.weights[0], 2.0, 0.1);
+  EXPECT_NEAR(result.weights[1], 0.0, 0.1);
+  EXPECT_NEAR(result.intercept, 0.5, 0.1);
+  EXPECT_GT(result.r_squared, 0.9);
+}
+
+TEST_F(AdhocFixture, ExactRepeatIsCacheHit) {
+  AdhocMlEngine engine(cluster, "t", {0, 1});
+  engine.kmeans(subspace, 3);
+  cluster.reset_stats();
+  const auto again = engine.kmeans(subspace, 3);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(cluster.stats().rows_scanned, 0u);  // no cluster access
+  EXPECT_EQ(cluster.network().stats().messages, 0u);
+  EXPECT_EQ(engine.stats().exact_hits, 1u);
+}
+
+TEST_F(AdhocFixture, ContainedSubspaceAnsweredFromSuperset) {
+  AdhocMlEngine engine(cluster, "t", {0, 1});
+  engine.kmeans(subspace, 3);
+  cluster.reset_stats();
+  const Rect inner{{0.3, 0.3}, {0.6, 0.6}};
+  const auto result = engine.kmeans(inner, 2);
+  EXPECT_TRUE(result.answered_from_superset);
+  EXPECT_EQ(cluster.stats().rows_scanned, 0u);
+  EXPECT_EQ(result.rows, rows_in(inner));
+  EXPECT_EQ(engine.stats().superset_hits, 1u);
+}
+
+TEST_F(AdhocFixture, IndexedRetrievalTouchesFewerRowsForSelectiveTasks) {
+  const Rect tiny{{0.45, 0.45}, {0.55, 0.55}};
+  AdhocMlEngine scan_engine(cluster, "t", {0, 1});
+  scan_engine.kmeans(tiny, 2, /*use_index=*/false);
+  const auto scanned = cluster.stats().rows_scanned;
+  cluster.reset_stats();
+  AdhocMlEngine idx_engine(cluster, "t", {0, 1});
+  idx_engine.kmeans(tiny, 2, /*use_index=*/true);
+  EXPECT_LT(cluster.stats().rows_scanned, scanned / 2);
+}
+
+TEST_F(AdhocFixture, ScanAndIndexAgree) {
+  AdhocMlEngine e1(cluster, "t", {0, 1});
+  AdhocMlEngine e2(cluster, "t", {0, 1});
+  const auto a = e1.regression(subspace, 2, /*use_index=*/true);
+  const auto b = e2.regression(subspace, 2, /*use_index=*/false);
+  EXPECT_EQ(a.rows, b.rows);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (std::size_t i = 0; i < a.weights.size(); ++i)
+    EXPECT_NEAR(a.weights[i], b.weights[i], 1e-9);
+}
+
+TEST_F(AdhocFixture, EmptySubspaceHandled) {
+  AdhocMlEngine engine(cluster, "t", {0, 1});
+  const Rect empty{{5.0, 5.0}, {6.0, 6.0}};
+  const auto km = engine.kmeans(empty, 3);
+  EXPECT_EQ(km.rows, 0u);
+  EXPECT_TRUE(km.centroids.empty());
+  const auto reg = engine.regression(empty, 2);
+  EXPECT_TRUE(reg.weights.empty());
+}
+
+TEST_F(AdhocFixture, CacheEvictsAtCapacity) {
+  AdhocMlEngine engine(cluster, "t", {0, 1}, /*cache_capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    Rect r{{0.1 + i * 0.02, 0.1}, {0.9, 0.9}};
+    engine.kmeans(r, 2);
+  }
+  // Oldest entries are gone: re-asking the first subspace misses again.
+  Rect first{{0.1, 0.1}, {0.9, 0.9}};
+  const auto result = engine.kmeans(first, 2);
+  EXPECT_FALSE(result.cache_hit);
+}
+
+TEST_F(AdhocFixture, InvalidArgsThrow) {
+  EXPECT_THROW(AdhocMlEngine(cluster, "missing", {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(AdhocMlEngine(cluster, "t", {}), std::invalid_argument);
+  AdhocMlEngine engine(cluster, "t", {0, 1});
+  EXPECT_THROW(engine.kmeans(subspace, 0), std::invalid_argument);
+  Rect bad{{0.0}, {1.0}};
+  EXPECT_THROW(engine.kmeans(bad, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sea

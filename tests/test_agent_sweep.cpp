@@ -1,0 +1,157 @@
+// Property sweep: the data-less agent across query types (paper G3 —
+// "prove the applicability ... across various analytics tasks (query
+// types)"). For every (selection, analytic) combination the agent must
+// (a) become confident on a workload it has trained on, and (b) keep the
+// realized error of served answers within its own advertised gate.
+#include <gtest/gtest.h>
+
+#include "sea/agent.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace sea {
+namespace {
+
+using testing::brute_force_answer;
+using testing::small_dataset;
+
+struct SweepCase {
+  SelectionType selection;
+  AnalyticType analytic;
+  double rel_floor;      ///< error floor for tiny-magnitude answers
+  double max_mean_rel;   ///< acceptance threshold on served answers
+};
+
+class AgentSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(AgentSweep, ServesAccuratelyAfterTraining) {
+  const SweepCase c = GetParam();
+  const Table table = small_dataset(5000, 2, 251);
+
+  AgentConfig cfg;
+  cfg.min_samples_to_predict = 12;
+  cfg.refit_interval = 8;
+  cfg.create_distance = 0.06;
+  cfg.max_relative_error = 0.35;
+  DatalessAgent agent(cfg, [&](const std::vector<std::size_t>& cols) {
+    return table_bounds(table, cols);
+  });
+
+  WorkloadConfig wc;
+  wc.selection = c.selection;
+  wc.analytic = c.analytic;
+  wc.subspace_cols = {0, 1};
+  wc.target_col = 2;
+  wc.target_col2 = 0;
+  wc.num_hotspots = 2;
+  wc.seed = 252;
+  wc.hotspot_anchors =
+      sample_anchor_points(table, wc.subspace_cols, 16, 253);
+  // Dependence statistics need populated subspaces.
+  wc.min_width = 0.1;
+  wc.min_radius = 0.06;
+  wc.min_k = 32;
+  QueryWorkload wl(wc, table_bounds(table, std::vector<std::size_t>{0, 1}));
+
+  for (int i = 0; i < 500; ++i) {
+    const auto q = wl.next();
+    agent.observe(q, brute_force_answer(table, q));
+  }
+
+  std::size_t served = 0, asked = 0;
+  double total_rel = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    const auto q = wl.next();
+    ++asked;
+    if (const auto p = agent.try_predict(q)) {
+      ++served;
+      total_rel +=
+          relative_error(brute_force_answer(table, q), p->value,
+                         c.rel_floor);
+    }
+  }
+  EXPECT_GT(served, asked / 6)
+      << to_string(c.selection) << "/" << to_string(c.analytic);
+  if (served > 0) {
+    EXPECT_LT(total_rel / static_cast<double>(served), c.max_mean_rel)
+        << to_string(c.selection) << "/" << to_string(c.analytic);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTaskFamilies, AgentSweep,
+    ::testing::Values(
+        SweepCase{SelectionType::kRange, AnalyticType::kCount, 5.0, 0.25},
+        SweepCase{SelectionType::kRange, AnalyticType::kSum, 5.0, 0.3},
+        SweepCase{SelectionType::kRange, AnalyticType::kAvg, 0.5, 0.25},
+        SweepCase{SelectionType::kRange, AnalyticType::kVariance, 0.2, 0.5},
+        SweepCase{SelectionType::kRange, AnalyticType::kCorrelation, 0.5,
+                  0.35},
+        SweepCase{SelectionType::kRange, AnalyticType::kRegressionSlope, 1.0,
+                  0.35},
+        SweepCase{SelectionType::kRadius, AnalyticType::kCount, 5.0, 0.25},
+        SweepCase{SelectionType::kRadius, AnalyticType::kAvg, 0.5, 0.25},
+        SweepCase{SelectionType::kRadius, AnalyticType::kCorrelation, 0.5,
+                  0.35},
+        SweepCase{SelectionType::kNearestNeighbors, AnalyticType::kCount,
+                  5.0, 0.1},
+        SweepCase{SelectionType::kNearestNeighbors, AnalyticType::kAvg, 0.5,
+                  0.3},
+        SweepCase{SelectionType::kNearestNeighbors, AnalyticType::kSum, 5.0,
+                  0.35}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(to_string(info.param.selection)) + "_" +
+             to_string(info.param.analytic);
+    });
+
+/// Dimensionality sweep: the paradigm must extend beyond 2-d subspaces.
+class AgentDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AgentDims, CountQueriesLearnableInHigherDims) {
+  const std::size_t dims = GetParam();
+  const Table table = make_clustered_dataset(8000, dims, 3, 254);
+  AgentConfig cfg;
+  cfg.min_samples_to_predict = 12;
+  cfg.refit_interval = 8;
+  cfg.create_distance = 0.06 * std::sqrt(static_cast<double>(dims));
+  cfg.max_relative_error = 0.4;
+  DatalessAgent agent(cfg, [&](const std::vector<std::size_t>& cols) {
+    return table_bounds(table, cols);
+  });
+
+  WorkloadConfig wc;
+  wc.selection = SelectionType::kRange;
+  wc.analytic = AnalyticType::kCount;
+  for (std::size_t d = 0; d < dims; ++d) wc.subspace_cols.push_back(d);
+  wc.num_hotspots = 2;
+  wc.seed = 255;
+  wc.min_width = 0.2;
+  wc.max_width = 0.5;
+  wc.hotspot_anchors =
+      sample_anchor_points(table, wc.subspace_cols, 16, 256);
+  QueryWorkload wl(wc, table_bounds(table, wc.subspace_cols));
+
+  for (int i = 0; i < 600; ++i) {
+    const auto q = wl.next();
+    agent.observe(q, brute_force_answer(table, q));
+  }
+  std::size_t served = 0;
+  double total_rel = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    const auto q = wl.next();
+    if (const auto p = agent.try_predict(q)) {
+      ++served;
+      total_rel += relative_error(brute_force_answer(table, q), p->value,
+                                  5.0);
+    }
+  }
+  EXPECT_GT(served, 15u) << "dims=" << dims;
+  if (served)
+    EXPECT_LT(total_rel / static_cast<double>(served), 0.35)
+        << "dims=" << dims;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, AgentDims, ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace sea

@@ -1,0 +1,246 @@
+// Tests: AQP baselines — sampling engine (BlinkDB-like) and grid stat
+// cache (Data-Canopy-like).
+#include <gtest/gtest.h>
+
+#include "aqp/sampling.h"
+#include "aqp/stat_cache.h"
+#include "common/stats.h"
+#include "test_util.h"
+
+namespace sea {
+namespace {
+
+using testing::brute_force_answer;
+using testing::small_dataset;
+
+TEST(Sampling, UniformCountEstimateClose) {
+  const Table t = small_dataset(20000, 2, 71);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  SamplingConfig sc;
+  sc.sample_rate = 0.1;
+  SamplingEngine eng(c, "t", sc);
+  eng.build();
+  EXPECT_GT(eng.sample_rows(), 1000u);
+  EXPECT_LT(eng.sample_rows(), 3500u);
+
+  auto q = testing::range_count_query(0.3, 0.7, 0.3, 0.7);
+  const double truth = brute_force_answer(t, q);
+  const auto a = eng.answer(q);
+  ASSERT_TRUE(a.supported);
+  EXPECT_NEAR(a.value, truth, 0.15 * truth + 50.0);
+  EXPECT_GT(a.ci_halfwidth, 0.0);
+}
+
+TEST(Sampling, AvgEstimateClose) {
+  const Table t = small_dataset(20000, 2, 72);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  SamplingConfig sc;
+  sc.sample_rate = 0.1;
+  SamplingEngine eng(c, "t", sc);
+  eng.build();
+  AnalyticalQuery q = testing::range_count_query(0.2, 0.8, 0.2, 0.8);
+  q.analytic = AnalyticType::kAvg;
+  q.target_col = 2;
+  const double truth = brute_force_answer(t, q);
+  const auto a = eng.answer(q);
+  ASSERT_TRUE(a.supported);
+  EXPECT_NEAR(a.value, truth, 0.1 * std::abs(truth) + 0.05);
+}
+
+TEST(Sampling, SmallSampleLessAccurateThanLarge) {
+  const Table t = small_dataset(20000, 2, 73);
+  Cluster c1 = testing::make_cluster(t, "t", 4);
+  Cluster c2 = testing::make_cluster(t, "t", 4);
+  SamplingConfig small_cfg, big_cfg;
+  small_cfg.sample_rate = 0.005;
+  big_cfg.sample_rate = 0.2;
+  SamplingEngine small_eng(c1, "t", small_cfg), big_eng(c2, "t", big_cfg);
+  small_eng.build();
+  big_eng.build();
+  // Aggregate error over several queries: bigger sample should win.
+  Rng rng(74);
+  double small_err = 0, big_err = 0;
+  for (int i = 0; i < 20; ++i) {
+    const double lo0 = rng.uniform(0.1, 0.5), lo1 = rng.uniform(0.1, 0.5);
+    auto q = testing::range_count_query(lo0, lo0 + 0.25, lo1, lo1 + 0.25);
+    const double truth = brute_force_answer(t, q);
+    small_err += relative_error(truth, small_eng.answer(q).value, 10);
+    big_err += relative_error(truth, big_eng.answer(q).value, 10);
+  }
+  EXPECT_LT(big_err, small_err);
+}
+
+TEST(Sampling, StratifiedCoversRareStrata) {
+  // Zipf-ish skew on column 0 via clustered data is mild; instead check the
+  // mechanism: rare strata get boosted rates => more rows than uniform at
+  // the same base rate would keep there.
+  const Table t = small_dataset(20000, 2, 75);
+  Cluster cu = testing::make_cluster(t, "t", 4);
+  Cluster cs = testing::make_cluster(t, "t", 4);
+  SamplingConfig uni, strat;
+  uni.sample_rate = 0.01;
+  strat.strategy = SamplingStrategy::kStratified;
+  strat.sample_rate = 0.01;
+  strat.stratify_col = 0;
+  strat.strata = 16;
+  strat.min_per_stratum = 50;
+  SamplingEngine ue(cu, "t", uni), se(cs, "t", strat);
+  ue.build();
+  se.build();
+  EXPECT_GT(se.sample_rows(), ue.sample_rows());
+  // Sparse edge region: stratified answer should not be catastrophically
+  // wrong (its strata are guaranteed populated).
+  auto q = testing::range_count_query(0.0, 0.08, 0.0, 1.0);
+  const double truth = brute_force_answer(t, q);
+  if (truth > 50.0) {
+    EXPECT_LT(relative_error(truth, se.answer(q).value, 10.0), 0.6);
+  }
+}
+
+TEST(Sampling, QueriesGoThroughTheStack) {
+  const Table t = small_dataset(5000, 2, 76);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  SamplingEngine eng(c, "t");
+  eng.build();
+  c.reset_stats();
+  eng.answer(testing::range_count_query(0.3, 0.7, 0.3, 0.7));
+  // The paper's critique: per-query cost is still stack-bound (tasks at
+  // every sample partition), unlike the agent's zero-access serving.
+  EXPECT_GT(c.stats().tasks, 0u);
+  EXPECT_GT(c.stats().rows_scanned, 0u);
+}
+
+TEST(Sampling, KnnUnsupported) {
+  const Table t = small_dataset(1000, 2, 77);
+  Cluster c = testing::make_cluster(t, "t", 2);
+  SamplingEngine eng(c, "t");
+  eng.build();
+  AnalyticalQuery q;
+  q.selection = SelectionType::kNearestNeighbors;
+  q.subspace_cols = {0, 1};
+  q.knn_point = {0.5, 0.5};
+  q.knn_k = 5;
+  EXPECT_FALSE(eng.answer(q).supported);
+}
+
+TEST(Sampling, AnswerBeforeBuildThrows) {
+  const Table t = small_dataset(100, 2, 78);
+  Cluster c = testing::make_cluster(t, "t", 2);
+  SamplingEngine eng(c, "t");
+  EXPECT_THROW(eng.answer(testing::range_count_query(0, 1, 0, 1)),
+               std::logic_error);
+}
+
+TEST(Sampling, InvalidConfigThrows) {
+  const Table t = small_dataset(100, 2, 79);
+  Cluster c = testing::make_cluster(t, "t", 2);
+  SamplingConfig bad;
+  bad.sample_rate = 0.0;
+  EXPECT_THROW(SamplingEngine(c, "t", bad), std::invalid_argument);
+  EXPECT_THROW(SamplingEngine(c, "missing"), std::invalid_argument);
+}
+
+TEST(StatCache, ExactOnCellAlignedRangeCounts) {
+  const Table t = small_dataset(10000, 2, 81);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  GridStatCache cache(c, "t", {0, 1}, 2, 0, 16);
+  cache.build();
+  // Full domain is cell-aligned by construction.
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+  auto q = testing::range_count_query(domain.lo[0] - 0.01, domain.hi[0] + 0.01,
+                                      domain.lo[1] - 0.01, domain.hi[1] + 0.01);
+  const auto a = cache.answer(q);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_NEAR(*a, 10000.0, 1e-6);
+}
+
+TEST(StatCache, ApproximatesUnalignedRanges) {
+  const Table t = small_dataset(20000, 2, 82);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  GridStatCache cache(c, "t", {0, 1}, 2, 0, 32);
+  cache.build();
+  Rng rng(83);
+  for (int i = 0; i < 15; ++i) {
+    const double lo0 = rng.uniform(0.1, 0.5), lo1 = rng.uniform(0.1, 0.5);
+    auto q = testing::range_count_query(lo0, lo0 + 0.3, lo1, lo1 + 0.3);
+    const double truth = brute_force_answer(t, q);
+    const auto a = cache.answer(q);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_NEAR(*a, truth, 0.15 * truth + 100.0);
+  }
+}
+
+TEST(StatCache, SupportsAvgAndSum) {
+  const Table t = small_dataset(10000, 2, 84);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  GridStatCache cache(c, "t", {0, 1}, 2, 0, 32);
+  cache.build();
+  AnalyticalQuery q = testing::range_count_query(0.2, 0.8, 0.2, 0.8);
+  q.analytic = AnalyticType::kAvg;
+  q.target_col = 2;
+  const double truth = brute_force_answer(t, q);
+  const auto a = cache.answer(q);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_NEAR(*a, truth, 0.1 * std::abs(truth) + 0.05);
+}
+
+TEST(StatCache, MissesOnWrongConfiguration) {
+  const Table t = small_dataset(1000, 2, 85);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  GridStatCache cache(c, "t", {0, 1}, 2, 0, 8);
+  cache.build();
+  // Radius selection: unsupported.
+  AnalyticalQuery radius;
+  radius.selection = SelectionType::kRadius;
+  radius.subspace_cols = {0, 1};
+  radius.ball = {{0.5, 0.5}, 0.2};
+  EXPECT_FALSE(cache.answer(radius).has_value());
+  // Wrong target column: the cache only serves what it was built for —
+  // the Data-Canopy-style limitation the paper points at.
+  AnalyticalQuery wrong_target = testing::range_count_query(0, 1, 0, 1);
+  wrong_target.analytic = AnalyticType::kSum;
+  wrong_target.target_col = 0;
+  EXPECT_FALSE(cache.answer(wrong_target).has_value());
+  // Wrong subspace columns.
+  AnalyticalQuery wrong_cols = testing::range_count_query(0, 1, 0, 1);
+  wrong_cols.subspace_cols = {1, 0};
+  EXPECT_FALSE(cache.answer(wrong_cols).has_value());
+}
+
+TEST(StatCache, StorageGrowsGeometrically) {
+  const Table t = small_dataset(2000, 2, 86);
+  Cluster c = testing::make_cluster(t, "t", 2);
+  GridStatCache small(c, "t", {0, 1}, 2, 0, 8);
+  GridStatCache big(c, "t", {0, 1}, 2, 0, 64);
+  small.build();
+  big.build();
+  EXPECT_EQ(small.num_cells(), 64u);
+  EXPECT_EQ(big.num_cells(), 4096u);
+  EXPECT_EQ(big.byte_size(), 64u * small.byte_size());
+}
+
+TEST(StatCache, RejectsCellExplosion) {
+  const Table t = small_dataset(100, 2, 87);
+  Cluster c = testing::make_cluster(t, "t", 2);
+  EXPECT_THROW(GridStatCache(c, "t", {0, 1}, 2, 0, 50000),
+               std::invalid_argument);
+}
+
+TEST(StatCache, BuildChargesFullScan) {
+  const Table t = small_dataset(3000, 2, 88);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  GridStatCache cache(c, "t", {0, 1}, 2, 0, 16);
+  cache.build();
+  EXPECT_EQ(c.stats().rows_scanned, 3000u);
+}
+
+TEST(StatCache, AnswerBeforeBuildThrows) {
+  const Table t = small_dataset(100, 2, 89);
+  Cluster c = testing::make_cluster(t, "t", 2);
+  GridStatCache cache(c, "t", {0, 1}, 2, 0, 8);
+  EXPECT_THROW(cache.answer(testing::range_count_query(0, 1, 0, 1)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sea

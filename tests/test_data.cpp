@@ -1,0 +1,261 @@
+// Unit tests: data layer (schema, table, geometry, generators, csv).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "data/point.h"
+#include "data/table.h"
+
+namespace sea {
+namespace {
+
+TEST(Schema, IndexLookup) {
+  Schema s({"a", "b", "c"});
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.index_of("b"), 1u);
+  EXPECT_TRUE(s.has_column("c"));
+  EXPECT_FALSE(s.has_column("d"));
+  EXPECT_THROW(s.index_of("d"), std::out_of_range);
+}
+
+TEST(Schema, RejectsDuplicates) {
+  EXPECT_THROW(Schema({"a", "a"}), std::invalid_argument);
+}
+
+TEST(Table, AppendAndAccess) {
+  Table t{Schema({"x", "y"})};
+  t.append_row(std::vector<double>{1.0, 2.0});
+  t.append_row(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 1), 4.0);
+  const auto col = t.column(1);
+  EXPECT_DOUBLE_EQ(col[0], 2.0);
+  EXPECT_DOUBLE_EQ(col[1], 4.0);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t{Schema({"x", "y"})};
+  EXPECT_THROW(t.append_row(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Table, OutOfRangeThrows) {
+  Table t{Schema({"x"})};
+  t.append_row(std::vector<double>{1.0});
+  EXPECT_THROW(t.at(1, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 1), std::out_of_range);
+  EXPECT_THROW(t.column(3), std::out_of_range);
+}
+
+TEST(Table, GatherSelectsColumns) {
+  Table t{Schema({"a", "b", "c"})};
+  t.append_row(std::vector<double>{1, 2, 3});
+  Point p;
+  const std::vector<std::size_t> cols = {2, 0};
+  t.gather(0, cols, p);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 3.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+}
+
+TEST(Table, EraseRows) {
+  Table t{Schema({"x"})};
+  for (int i = 0; i < 10; ++i) t.append_row(std::vector<double>{double(i)});
+  t.erase_rows(2, 3);
+  EXPECT_EQ(t.num_rows(), 7u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 5.0);
+  EXPECT_THROW(t.erase_rows(6, 2), std::out_of_range);
+}
+
+TEST(Table, ByteSizeAccounting) {
+  Table t{Schema({"x", "y", "z"})};
+  t.append_row(std::vector<double>{1, 2, 3});
+  t.append_row(std::vector<double>{4, 5, 6});
+  EXPECT_EQ(t.row_bytes(), 3 * sizeof(double));
+  EXPECT_EQ(t.byte_size(), 6 * sizeof(double));
+}
+
+TEST(Table, SetMutates) {
+  Table t{Schema({"x"})};
+  t.append_row(std::vector<double>{1.0});
+  t.set(0, 0, 9.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 9.0);
+}
+
+TEST(TableBounds, ComputesMinMax) {
+  Table t{Schema({"a", "b"})};
+  t.append_row(std::vector<double>{1, 10});
+  t.append_row(std::vector<double>{-3, 20});
+  const std::vector<std::size_t> cols = {0, 1};
+  const Rect r = table_bounds(t, cols);
+  EXPECT_DOUBLE_EQ(r.lo[0], -3);
+  EXPECT_DOUBLE_EQ(r.hi[0], 1);
+  EXPECT_DOUBLE_EQ(r.lo[1], 10);
+  EXPECT_DOUBLE_EQ(r.hi[1], 20);
+}
+
+TEST(Rect, ContainsAndIntersects) {
+  Rect r{{0, 0}, {1, 1}};
+  EXPECT_TRUE(r.valid());
+  EXPECT_TRUE(r.contains(std::vector<double>{0.5, 0.5}));
+  EXPECT_TRUE(r.contains(std::vector<double>{0.0, 1.0}));  // closed
+  EXPECT_FALSE(r.contains(std::vector<double>{1.1, 0.5}));
+  EXPECT_TRUE(r.intersects(Rect{{0.9, 0.9}, {2, 2}}));
+  EXPECT_FALSE(r.intersects(Rect{{1.5, 1.5}, {2, 2}}));
+}
+
+TEST(Rect, VolumeCenterMinDist) {
+  Rect r{{0, 0}, {2, 4}};
+  EXPECT_DOUBLE_EQ(r.volume(), 8.0);
+  const Point c = r.center();
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.min_squared_distance(std::vector<double>{1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(r.min_squared_distance(std::vector<double>{3.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(r.min_squared_distance(std::vector<double>{3.0, 5.0}), 2.0);
+}
+
+TEST(Ball, ContainsAndBoundingBox) {
+  Ball b{{0.5, 0.5}, 0.25};
+  EXPECT_TRUE(b.contains(std::vector<double>{0.5, 0.7}));
+  EXPECT_FALSE(b.contains(std::vector<double>{0.5, 0.8}));
+  const Rect box = b.bounding_box();
+  EXPECT_DOUBLE_EQ(box.lo[0], 0.25);
+  EXPECT_DOUBLE_EQ(box.hi[1], 0.75);
+}
+
+TEST(Distance, DimensionMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(squared_distance(a, b), std::invalid_argument);
+}
+
+TEST(Generator, RowCountAndSchema) {
+  DatasetSpec spec;
+  spec.rows = 100;
+  spec.seed = 3;
+  spec.columns.push_back({.name = "u"});
+  ColumnSpec g;
+  g.name = "g";
+  g.dist = ColumnDistribution::kGaussianMixture;
+  spec.columns.push_back(g);
+  const Table t = generate_table(spec);
+  EXPECT_EQ(t.num_rows(), 100u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.schema().name(1), "g");
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const Table a = make_clustered_dataset(200, 2, 3, 99);
+  const Table b = make_clustered_dataset(200, 2, 3, 99);
+  for (std::size_t r = 0; r < a.num_rows(); r += 17)
+    for (std::size_t c = 0; c < a.num_columns(); ++c)
+      EXPECT_DOUBLE_EQ(a.at(r, c), b.at(r, c));
+}
+
+TEST(Generator, SeedsChangeData) {
+  const Table a = make_clustered_dataset(100, 2, 3, 1);
+  const Table b = make_clustered_dataset(100, 2, 3, 2);
+  int diffs = 0;
+  for (std::size_t r = 0; r < 100; ++r)
+    if (a.at(r, 0) != b.at(r, 0)) ++diffs;
+  EXPECT_GT(diffs, 90);
+}
+
+TEST(Generator, UniformStaysInDomain) {
+  DatasetSpec spec;
+  spec.rows = 5000;
+  ColumnSpec c;
+  c.name = "u";
+  c.lo = -2.0;
+  c.hi = 3.0;
+  spec.columns.push_back(c);
+  const Table t = generate_table(spec);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_GE(t.at(r, 0), -2.0);
+    EXPECT_LT(t.at(r, 0), 3.0);
+  }
+}
+
+TEST(Generator, DerivedColumnFollowsSource) {
+  const Table t = make_clustered_dataset(5000, 2, 3, 5, /*y_noise=*/0.01);
+  // y = 2*x0 + 0.5 + noise => slope near 2, strong correlation.
+  RunningCovariance cov;
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    cov.add(t.at(r, 0), t.at(r, 2));
+  EXPECT_NEAR(cov.slope(), 2.0, 0.05);
+  EXPECT_GT(cov.correlation(), 0.98);
+}
+
+TEST(Generator, DerivedMustReferenceEarlierColumn) {
+  DatasetSpec spec;
+  spec.rows = 1;
+  ColumnSpec c;
+  c.name = "bad";
+  c.dist = ColumnDistribution::kDerivedLinear;
+  c.source_column = 0;  // references itself
+  spec.columns.push_back(c);
+  EXPECT_THROW(generate_table(spec), std::invalid_argument);
+}
+
+TEST(Generator, SequentialIdColumn) {
+  DatasetSpec spec;
+  spec.rows = 10;
+  ColumnSpec c;
+  c.name = "id";
+  c.dist = ColumnDistribution::kSequentialId;
+  spec.columns.push_back(c);
+  const Table t = generate_table(spec);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_DOUBLE_EQ(t.at(r, 0), r);
+}
+
+TEST(Generator, ScoredRelationShape) {
+  const Table t = make_scored_relation(1000, 50, 1.0, 11);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.schema().name(0), "key");
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    const double key = t.at(r, 0);
+    EXPECT_DOUBLE_EQ(key, std::floor(key));  // integral keys
+    EXPECT_GE(key, 0.0);
+    EXPECT_LT(key, 50.0);
+    EXPECT_GE(t.at(r, 1), 0.0);
+    EXPECT_LE(t.at(r, 1), 1.0);
+  }
+}
+
+TEST(Generator, ZipfKeysAreSkewed) {
+  const Table t = make_scored_relation(5000, 100, 1.2, 13);
+  std::size_t low = 0;
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    if (t.at(r, 0) < 10.0) ++low;
+  EXPECT_GT(static_cast<double>(low) / 5000.0, 0.5);
+}
+
+TEST(Csv, RoundTrip) {
+  const Table t = make_clustered_dataset(50, 2, 2, 21);
+  std::stringstream ss;
+  write_csv(t, ss);
+  const Table back = read_csv(ss);
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  ASSERT_EQ(back.num_columns(), t.num_columns());
+  EXPECT_EQ(back.schema().names(), t.schema().names());
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    for (std::size_t c = 0; c < t.num_columns(); ++c)
+      EXPECT_DOUBLE_EQ(back.at(r, c), t.at(r, c));
+}
+
+TEST(Csv, RejectsMalformed) {
+  std::stringstream empty;
+  EXPECT_THROW(read_csv(empty), std::runtime_error);
+  std::stringstream bad("a,b\n1,notanumber\n");
+  EXPECT_THROW(read_csv(bad), std::runtime_error);
+  std::stringstream short_row("a,b\n1\n");
+  EXPECT_THROW(read_csv(short_row), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sea

@@ -1,0 +1,219 @@
+// Tests: exact executor — both paradigms must agree with brute force and
+// with each other, while their costs differ in the direction the paper
+// argues (P3).
+#include <gtest/gtest.h>
+
+#include "sea/exact.h"
+#include "test_util.h"
+
+namespace sea {
+namespace {
+
+using testing::brute_force_answer;
+using testing::small_dataset;
+
+struct Case {
+  SelectionType selection;
+  AnalyticType analytic;
+};
+
+class ExactParadigms : public ::testing::TestWithParam<Case> {};
+
+AnalyticalQuery make_query(const Case& c, Rng& rng, const Rect& domain) {
+  AnalyticalQuery q;
+  q.selection = c.selection;
+  q.analytic = c.analytic;
+  q.subspace_cols = {0, 1};
+  q.target_col = 2;   // the derived y column
+  q.target_col2 = 0;  // dependence vs x0
+  Point center(2);
+  for (std::size_t i = 0; i < 2; ++i)
+    center[i] = rng.uniform(domain.lo[i] + 0.1, domain.hi[i] - 0.1);
+  switch (c.selection) {
+    case SelectionType::kRange: {
+      q.range.lo.resize(2);
+      q.range.hi.resize(2);
+      for (std::size_t i = 0; i < 2; ++i) {
+        const double w = rng.uniform(0.1, 0.3);
+        q.range.lo[i] = center[i] - w;
+        q.range.hi[i] = center[i] + w;
+      }
+      break;
+    }
+    case SelectionType::kRadius:
+      q.ball.center = center;
+      q.ball.radius = rng.uniform(0.05, 0.25);
+      break;
+    case SelectionType::kNearestNeighbors:
+      q.knn_point = center;
+      q.knn_k = static_cast<std::size_t>(rng.uniform_int(5, 60));
+      break;
+  }
+  return q;
+}
+
+TEST_P(ExactParadigms, BothParadigmsMatchBruteForce) {
+  const Case c = GetParam();
+  const Table t = small_dataset(3000, 2, 11);
+  Cluster cluster = testing::make_cluster(t, "t", 4);
+  ExactExecutor exec(cluster, "t");
+  const Rect domain = exec.domain({0, 1});
+  Rng rng(123);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto q = make_query(c, rng, domain);
+    const double truth = brute_force_answer(t, q);
+    const auto mr = exec.execute(q, ExecParadigm::kMapReduce);
+    const auto idx = exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+    const auto grid = exec.execute(q, ExecParadigm::kCoordinatorGrid);
+    EXPECT_NEAR(mr.answer, truth, 1e-6 + 1e-9 * std::abs(truth))
+        << q.describe();
+    EXPECT_NEAR(idx.answer, truth, 1e-6 + 1e-9 * std::abs(truth))
+        << q.describe();
+    EXPECT_NEAR(grid.answer, truth, 1e-6 + 1e-9 * std::abs(truth))
+        << q.describe();
+    EXPECT_EQ(mr.qualifying_tuples, idx.qualifying_tuples);
+    EXPECT_EQ(mr.qualifying_tuples, grid.qualifying_tuples);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ExactParadigms,
+    ::testing::Values(
+        Case{SelectionType::kRange, AnalyticType::kCount},
+        Case{SelectionType::kRange, AnalyticType::kSum},
+        Case{SelectionType::kRange, AnalyticType::kAvg},
+        Case{SelectionType::kRange, AnalyticType::kVariance},
+        Case{SelectionType::kRange, AnalyticType::kCorrelation},
+        Case{SelectionType::kRange, AnalyticType::kRegressionSlope},
+        Case{SelectionType::kRange, AnalyticType::kRegressionIntercept},
+        Case{SelectionType::kRadius, AnalyticType::kCount},
+        Case{SelectionType::kRadius, AnalyticType::kAvg},
+        Case{SelectionType::kRadius, AnalyticType::kCorrelation},
+        Case{SelectionType::kNearestNeighbors, AnalyticType::kCount},
+        Case{SelectionType::kNearestNeighbors, AnalyticType::kAvg},
+        Case{SelectionType::kNearestNeighbors, AnalyticType::kSum}));
+
+TEST(ExactExecutor, IndexedPathTouchesFarFewerRows) {
+  const Table t = small_dataset(20000, 2, 17);
+  Cluster c1 = testing::make_cluster(t, "t", 8);
+  Cluster c2 = testing::make_cluster(t, "t", 8);
+  ExactExecutor mr_exec(c1, "t");
+  ExactExecutor idx_exec(c2, "t");
+  auto q = testing::range_count_query(0.45, 0.55, 0.45, 0.55);
+  mr_exec.execute(q, ExecParadigm::kMapReduce);
+  idx_exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  EXPECT_EQ(c1.stats().rows_scanned, 20000u);
+  EXPECT_LT(c2.stats().rows_scanned, 20000u / 3);
+  EXPECT_GT(c2.stats().index_probes, 0u);
+}
+
+TEST(ExactExecutor, IndexedShufflesFewerBytes) {
+  const Table t = small_dataset(10000, 2, 19);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  ExactExecutor exec(c, "t");
+  auto q = testing::range_count_query(0.4, 0.6, 0.4, 0.6);
+  const auto mr = exec.execute(q, ExecParadigm::kMapReduce);
+  const auto idx = exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  EXPECT_LT(idx.report.makespan_ms(), mr.report.makespan_ms());
+}
+
+TEST(ExactExecutor, RangePartitionPruningReducesRpcs) {
+  const Table t = small_dataset(8000, 2, 23);
+  Cluster c = testing::make_cluster(
+      t, "t", 8, PartitionSpec{Partitioning::kRangeColumn, 0});
+  ExactExecutor exec(c, "t");
+  // A sliver in x0 should hit a strict subset of nodes.
+  const Rect domain = exec.domain({0, 1});
+  const double mid = 0.5 * (domain.lo[0] + domain.hi[0]);
+  AnalyticalQuery q = testing::range_count_query(mid, mid + 0.01,
+                                                 domain.lo[1], domain.hi[1]);
+  const auto r = exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  EXPECT_LT(r.report.rpc_round_trips, 8u);
+  // And the answer still matches brute force.
+  EXPECT_NEAR(r.answer, brute_force_answer(t, q), 1e-9);
+}
+
+TEST(ExactExecutor, GridPathAlsoSurgical) {
+  const Table t = small_dataset(20000, 2, 18);
+  Cluster c = testing::make_cluster(t, "t", 8);
+  ExactExecutor exec(c, "t");
+  auto q = testing::range_count_query(0.45, 0.55, 0.45, 0.55);
+  c.reset_stats();
+  exec.execute(q, ExecParadigm::kCoordinatorGrid);
+  // Far fewer rows than a full scan, like the k-d path.
+  EXPECT_LT(c.stats().rows_scanned, 20000u / 3);
+  EXPECT_GT(c.stats().index_probes, 0u);
+}
+
+TEST(ExactExecutor, DomainCoversData) {
+  const Table t = small_dataset(1000, 2, 29);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  ExactExecutor exec(c, "t");
+  const Rect domain = exec.domain({0, 1});
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_GE(t.at(r, 0), domain.lo[0]);
+    EXPECT_LE(t.at(r, 0), domain.hi[0]);
+  }
+}
+
+TEST(ExactExecutor, EmptySubspaceGivesZero) {
+  const Table t = small_dataset(500, 2, 31);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  ExactExecutor exec(c, "t");
+  auto q = testing::range_count_query(100.0, 101.0, 100.0, 101.0);
+  EXPECT_EQ(exec.execute(q, ExecParadigm::kMapReduce).answer, 0.0);
+  EXPECT_EQ(exec.execute(q, ExecParadigm::kCoordinatorIndexed).answer, 0.0);
+}
+
+TEST(ExactExecutor, UnknownTableThrows) {
+  const Table t = small_dataset(10, 2, 33);
+  Cluster c = testing::make_cluster(t, "t", 2);
+  EXPECT_THROW(ExactExecutor(c, "nope"), std::invalid_argument);
+}
+
+TEST(ExactExecutor, InvalidQueryThrows) {
+  const Table t = small_dataset(10, 2, 34);
+  Cluster c = testing::make_cluster(t, "t", 2);
+  ExactExecutor exec(c, "t");
+  AnalyticalQuery q;  // no subspace cols
+  EXPECT_THROW(exec.execute(q, ExecParadigm::kMapReduce),
+               std::invalid_argument);
+}
+
+TEST(ExactExecutor, IndexBuildTimeAmortized) {
+  const Table t = small_dataset(2000, 2, 35);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  ExactExecutor exec(c, "t");
+  auto q = testing::range_count_query(0.4, 0.6, 0.4, 0.6);
+  exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  const double after_first = exec.index_build_ms();
+  exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  EXPECT_DOUBLE_EQ(exec.index_build_ms(), after_first);  // cached
+}
+
+TEST(ExactExecutor, InvalidateCachesRebuilds) {
+  const Table t = small_dataset(2000, 2, 36);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  ExactExecutor exec(c, "t");
+  auto q = testing::range_count_query(0.4, 0.6, 0.4, 0.6);
+  exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  const double first = exec.index_build_ms();
+  exec.invalidate_caches();
+  exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  EXPECT_GT(exec.index_build_ms(), first);
+}
+
+TEST(ExactExecutor, StateCarriesMergeableAggregate) {
+  const Table t = small_dataset(1000, 2, 37);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  ExactExecutor exec(c, "t");
+  AnalyticalQuery q = testing::range_count_query(0.2, 0.8, 0.2, 0.8);
+  q.analytic = AnalyticType::kAvg;
+  q.target_col = 2;
+  const auto r = exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  EXPECT_EQ(r.state.count, r.qualifying_tuples);
+  EXPECT_NEAR(r.state.finalize(AnalyticType::kAvg), r.answer, 1e-12);
+}
+
+}  // namespace
+}  // namespace sea

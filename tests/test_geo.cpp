@@ -1,0 +1,356 @@
+// Tests: geo-distributed SEA (RT5) and the polystore (RT1.5).
+#include <gtest/gtest.h>
+
+#include "geo/geo_system.h"
+#include "geo/polystore.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace sea {
+namespace {
+
+using testing::brute_force_answer;
+using testing::small_dataset;
+
+GeoConfig geo_config(EdgeMode mode) {
+  GeoConfig cfg;
+  cfg.num_cores = 2;
+  cfg.num_edges = 4;
+  cfg.mode = mode;
+  cfg.edge_bootstrap = 20;
+  cfg.agent.min_samples_to_predict = 12;
+  cfg.agent.refit_interval = 8;
+  cfg.agent.max_relative_error = 0.35;
+  cfg.agent.create_distance = 0.06;
+  cfg.sync_interval = 60;
+  return cfg;
+}
+
+WorkloadConfig geo_workload_config(const Table& t) {
+  WorkloadConfig wc;
+  wc.selection = SelectionType::kRange;
+  wc.analytic = AnalyticType::kCount;
+  wc.subspace_cols = {0, 1};
+  wc.num_hotspots = 2;
+  wc.seed = 151;
+  wc.hotspot_anchors = sample_anchor_points(t, wc.subspace_cols, 16, 152);
+  return wc;
+}
+
+TEST(Geo, ForwardAllIsAlwaysExact) {
+  const Table t = small_dataset(3000, 2, 141);
+  GeoSystem geo(geo_config(EdgeMode::kForwardAll), t);
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+  QueryWorkload wl(geo_workload_config(t), domain);
+  for (int i = 0; i < 20; ++i) {
+    const auto q = wl.next();
+    const auto a = geo.submit(i % 4, q);
+    EXPECT_FALSE(a.served_at_edge);
+    EXPECT_NEAR(a.value, brute_force_answer(t, q), 1e-9);
+    EXPECT_GT(a.wan_ms, 0.0);
+  }
+  EXPECT_EQ(geo.stats().forwarded, 20u);
+  EXPECT_GT(geo.traffic().wan_bytes, 0u);
+}
+
+TEST(Geo, EdgeLearningServesLocallyAfterTraining) {
+  const Table t = small_dataset(3000, 2, 142);
+  GeoSystem geo(geo_config(EdgeMode::kEdgeLearning), t);
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+  QueryWorkload wl(geo_workload_config(t), domain);
+  // Train each edge.
+  for (int i = 0; i < 600; ++i) geo.submit(i % 4, wl.next());
+  EXPECT_GT(geo.stats().served_at_edge, 50u);
+
+  // A served-at-edge query must incur zero WAN traffic.
+  const auto wan_before = geo.traffic().wan_bytes;
+  GeoAnswer a;
+  int guard = 0;
+  do {
+    a = geo.submit(0, wl.next());
+  } while (!a.served_at_edge && ++guard < 100);
+  if (a.served_at_edge) {
+    EXPECT_DOUBLE_EQ(a.wan_ms, 0.0);
+    EXPECT_EQ(geo.traffic().wan_bytes, wan_before);
+  }
+}
+
+TEST(Geo, EdgeLearningReducesWanVsForwardAll) {
+  const Table t = small_dataset(3000, 2, 143);
+  GeoSystem fwd(geo_config(EdgeMode::kForwardAll), t);
+  GeoSystem learn(geo_config(EdgeMode::kEdgeLearning), t);
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+  QueryWorkload wl1(geo_workload_config(t), domain);
+  QueryWorkload wl2(geo_workload_config(t), domain);
+  for (int i = 0; i < 600; ++i) {
+    fwd.submit(i % 4, wl1.next());
+    learn.submit(i % 4, wl2.next());
+  }
+  EXPECT_LT(learn.traffic().wan_messages, fwd.traffic().wan_messages);
+}
+
+TEST(Geo, EdgeAnswersStayAccurate) {
+  const Table t = small_dataset(3000, 2, 144);
+  GeoSystem geo(geo_config(EdgeMode::kEdgeLearning), t);
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+  QueryWorkload wl(geo_workload_config(t), domain);
+  for (int i = 0; i < 500; ++i) geo.submit(i % 4, wl.next());
+  double total_rel = 0.0;
+  std::size_t edge_served = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto q = wl.next();
+    const double truth = geo.oracle(q);
+    const auto a = geo.submit(i % 4, q);
+    if (a.served_at_edge) {
+      ++edge_served;
+      total_rel += relative_error(truth, a.value, 5.0);
+    }
+  }
+  if (edge_served > 5)
+    EXPECT_LT(total_rel / static_cast<double>(edge_served), 0.3);
+}
+
+TEST(Geo, CoreTrainedSyncSharesModelsAcrossEdges) {
+  // Distributed model building (RT5.2): edge 3 never issues training
+  // queries, yet after syncs it can serve subspaces other edges trained.
+  const Table t = small_dataset(3000, 2, 145);
+  GeoConfig cfg = geo_config(EdgeMode::kCoreTrainedSync);
+  cfg.edge_bootstrap = 0;
+  GeoSystem geo(cfg, t);
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+  QueryWorkload wl(geo_workload_config(t), domain);
+  for (int i = 0; i < 500; ++i) geo.submit(i % 3, wl.next());  // edges 0-2
+  EXPECT_GT(geo.stats().syncs, 0u);
+  EXPECT_GT(geo.stats().sync_bytes, 0u);
+  std::size_t edge3_served = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (geo.submit(3, wl.next()).served_at_edge) ++edge3_served;
+  }
+  EXPECT_GT(edge3_served, 10u);
+}
+
+TEST(Geo, PeerRoutingServesLocalMissesFromPeers) {
+  // Edge 0 trains on hotspot region A; edges 1..3 train on region B. A
+  // region-A query arriving at edge 1 should be served by peer edge 0
+  // instead of crossing to the core (RT5.1/RT5.4).
+  const Table t = small_dataset(3000, 2, 155);
+  GeoConfig cfg = geo_config(EdgeMode::kEdgePeerRouting);
+  cfg.edge_bootstrap = 0;
+  cfg.registry_interval = 50;
+  cfg.peer_route_distance = 0.2;
+  GeoSystem geo(cfg, t);
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+
+  WorkloadConfig wc_a = geo_workload_config(t);
+  wc_a.seed = 156;
+  wc_a.num_hotspots = 1;
+  WorkloadConfig wc_b = wc_a;
+  wc_b.seed = 157;
+  wc_b.hotspot_anchors =
+      sample_anchor_points(t, wc_b.subspace_cols, 16, 158);
+  QueryWorkload wl_a(wc_a, domain);
+  QueryWorkload wl_b(wc_b, domain);
+
+  // Train edge 0 on A-queries, edges 1..3 on B-queries.
+  for (int i = 0; i < 400; ++i) {
+    geo.submit(0, wl_a.next());
+    geo.submit(1 + i % 3, wl_b.next());
+  }
+  // Now A-queries arrive at edge 1 (which never trained on them). Early
+  // ones route to peer edge 0; as edge 1 observes forwarded answers it
+  // gradually serves locally, so both counters matter.
+  std::size_t peer_served = 0, local_served = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = geo.submit(1, wl_a.next());
+    if (a.served_by_peer) ++peer_served;
+    if (a.served_at_edge) ++local_served;
+  }
+  EXPECT_GT(geo.stats().peer_attempts, 0u);
+  EXPECT_GT(peer_served, 4u);
+  EXPECT_GT(peer_served + local_served, 15u);
+  EXPECT_GT(geo.stats().registry_bytes, 0u);
+}
+
+TEST(Geo, PeerRoutingAnswersAreAccurate) {
+  const Table t = small_dataset(3000, 2, 159);
+  GeoConfig cfg = geo_config(EdgeMode::kEdgePeerRouting);
+  cfg.edge_bootstrap = 0;
+  cfg.registry_interval = 50;
+  cfg.peer_route_distance = 0.2;
+  GeoSystem geo(cfg, t);
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+  QueryWorkload wl(geo_workload_config(t), domain);
+  for (int i = 0; i < 500; ++i) geo.submit(i % 4, wl.next());
+  double total_rel = 0.0;
+  std::size_t n = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto q = wl.next();
+    const double truth = geo.oracle(q);
+    const auto a = geo.submit(i % 4, q);
+    if (a.served_by_peer || a.served_at_edge) {
+      total_rel += relative_error(truth, a.value, 5.0);
+      ++n;
+    }
+  }
+  if (n > 10) EXPECT_LT(total_rel / static_cast<double>(n), 0.3);
+}
+
+TEST(Geo, OracleDoesNotPolluteAccounting) {
+  const Table t = small_dataset(1000, 2, 146);
+  GeoSystem geo(geo_config(EdgeMode::kForwardAll), t);
+  const auto before = geo.traffic();
+  const auto q = testing::range_count_query(0.4, 0.6, 0.4, 0.6);
+  geo.oracle(q);
+  EXPECT_EQ(geo.traffic().bytes, before.bytes);
+  EXPECT_EQ(geo.cluster().stats().rows_scanned, 0u);
+}
+
+TEST(Geo, BadArgsThrow) {
+  const Table t = small_dataset(100, 2, 147);
+  GeoConfig cfg = geo_config(EdgeMode::kForwardAll);
+  GeoSystem geo(cfg, t);
+  EXPECT_THROW(geo.submit(99, testing::range_count_query(0, 1, 0, 1)),
+               std::out_of_range);
+  GeoConfig zero = cfg;
+  zero.num_edges = 0;
+  EXPECT_THROW(GeoSystem(zero, t), std::invalid_argument);
+}
+
+// --- Polystore (RT1.5 / E10) ---
+
+struct PolystoreFixture : public ::testing::Test {
+  Table a = small_dataset(2000, 2, 148);
+  Table b = small_dataset(2000, 2, 149);
+  PolystoreConfig cfg = [] {
+    PolystoreConfig c;
+    c.agent.min_samples_to_predict = 12;
+    c.agent.refit_interval = 8;
+    c.agent.create_distance = 0.06;
+    return c;
+  }();
+  Polystore store{cfg, a, b};
+
+  double union_truth(const AnalyticalQuery& q) const {
+    // count/sum add across stores; avg needs weighting.
+    const double ca = brute_force_answer(a, q);
+    const double cb = brute_force_answer(b, q);
+    if (q.analytic == AnalyticType::kAvg) {
+      AnalyticalQuery cq = q;
+      cq.analytic = AnalyticType::kCount;
+      const double na = brute_force_answer(a, cq);
+      const double nb = brute_force_answer(b, cq);
+      return na + nb > 0 ? (ca * na + cb * nb) / (na + nb) : 0.0;
+    }
+    return ca + cb;
+  }
+
+  void train_remote(std::size_t n = 300) {
+    WorkloadConfig wc;
+    wc.selection = SelectionType::kRange;
+    wc.analytic = AnalyticType::kCount;
+    wc.subspace_cols = {0, 1};
+    wc.num_hotspots = 2;
+    wc.seed = 150;
+    wc.hotspot_anchors = sample_anchor_points(b, wc.subspace_cols, 16, 151);
+    QueryWorkload wl(wc, table_bounds(b, std::vector<std::size_t>{0, 1}));
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto q = wl.next();
+      store.train_remote_model(q, store.remote_truth(q));
+    }
+    store.sync_model();
+  }
+};
+
+TEST_F(PolystoreFixture, MigrateDataAndAggregatesAreExactAndAgree) {
+  auto q = testing::range_count_query(0.3, 0.7, 0.3, 0.7);
+  const auto via_data = store.query(q, FederationStrategy::kMigrateData);
+  const auto via_agg =
+      store.query(q, FederationStrategy::kMigrateAggregates);
+  const double truth = union_truth(q);
+  EXPECT_NEAR(via_data.value, truth, 1e-9);
+  EXPECT_NEAR(via_agg.value, truth, 1e-9);
+  EXPECT_FALSE(via_data.approximate);
+}
+
+TEST_F(PolystoreFixture, AggregatesSupportDependenceStatistics) {
+  // The mergeable AggregateState carries cross-moments, so even Pearson
+  // correlation federates exactly across stores via 48-byte transfers.
+  AnalyticalQuery q = testing::range_count_query(0.1, 0.9, 0.1, 0.9);
+  q.analytic = AnalyticType::kCorrelation;
+  q.target_col = 0;
+  q.target_col2 = 2;
+  const auto ans = store.query(q, FederationStrategy::kMigrateAggregates);
+  // Union ground truth via a combined table.
+  Table both{a.schema()};
+  std::vector<double> row(a.num_columns());
+  for (const Table* t : {&a, &b}) {
+    for (std::size_t r = 0; r < t->num_rows(); ++r) {
+      for (std::size_t c = 0; c < t->num_columns(); ++c)
+        row[c] = t->at(r, c);
+      both.append_row(row);
+    }
+  }
+  EXPECT_NEAR(ans.value, brute_force_answer(both, q), 1e-9);
+  EXPECT_LE(ans.inter_system_bytes, 64u);
+}
+
+TEST_F(PolystoreFixture, AggregatesMoveFarFewerBytesThanData) {
+  auto q = testing::range_count_query(0.2, 0.8, 0.2, 0.8);
+  const auto via_data = store.query(q, FederationStrategy::kMigrateData);
+  const auto via_agg =
+      store.query(q, FederationStrategy::kMigrateAggregates);
+  EXPECT_GT(via_data.inter_system_bytes,
+            20 * via_agg.inter_system_bytes);
+}
+
+TEST_F(PolystoreFixture, ModelStrategyNeedsSyncFirst) {
+  auto q = testing::range_count_query(0.3, 0.7, 0.3, 0.7);
+  EXPECT_THROW(store.query(q, FederationStrategy::kMigrateModels),
+               std::logic_error);
+}
+
+TEST_F(PolystoreFixture, MigrateModelsApproximatesWithZeroPerQueryTraffic) {
+  train_remote();
+  // Query in the trained hotspot region (same workload configuration).
+  WorkloadConfig wc;
+  wc.selection = SelectionType::kRange;
+  wc.analytic = AnalyticType::kCount;
+  wc.subspace_cols = {0, 1};
+  wc.num_hotspots = 2;
+  wc.seed = 150;
+  wc.hotspot_anchors = sample_anchor_points(b, wc.subspace_cols, 16, 151);
+  QueryWorkload wl(wc, table_bounds(b, std::vector<std::size_t>{0, 1}));
+  std::size_t tried = 0, ok = 0;
+  double total_rel = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const auto q = wl.next();
+    FederatedAnswer ans;
+    try {
+      ans = store.query(q, FederationStrategy::kMigrateModels);
+    } catch (const std::logic_error&) {
+      continue;  // cold quantum for this query
+    }
+    ++tried;
+    EXPECT_TRUE(ans.approximate);
+    EXPECT_EQ(ans.inter_system_bytes, 0u);
+    const double truth = union_truth(q);
+    total_rel += relative_error(truth, ans.value, 10.0);
+    ++ok;
+  }
+  ASSERT_GT(ok, 10u);
+  EXPECT_LT(total_rel / static_cast<double>(ok), 0.3);
+  (void)tried;
+}
+
+TEST_F(PolystoreFixture, UnsupportedModelAnalyticThrows) {
+  train_remote();
+  AnalyticalQuery q = testing::range_count_query(0.3, 0.7, 0.3, 0.7);
+  q.analytic = AnalyticType::kCorrelation;
+  q.target_col = 0;
+  q.target_col2 = 2;
+  EXPECT_THROW(store.query(q, FederationStrategy::kMigrateModels),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sea

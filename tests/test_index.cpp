@@ -1,0 +1,404 @@
+// Unit + property tests: access structures (k-d tree, grid, histograms,
+// Bloom filter, Count-Min sketch, score index).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "index/bloom.h"
+#include "index/count_min.h"
+#include "index/grid.h"
+#include "index/histogram.h"
+#include "index/kdtree.h"
+#include "index/score_index.h"
+
+namespace sea {
+namespace {
+
+std::vector<Point> random_points(std::size_t n, std::size_t d,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts(n, Point(d));
+  for (auto& p : pts)
+    for (auto& v : p) v = rng.uniform();
+  return pts;
+}
+
+std::set<std::uint64_t> brute_range(const std::vector<Point>& pts,
+                                    const Rect& r) {
+  std::set<std::uint64_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    if (r.contains(pts[i])) out.insert(i);
+  return out;
+}
+
+std::set<std::uint64_t> brute_radius(const std::vector<Point>& pts,
+                                     const Ball& b) {
+  std::set<std::uint64_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    if (b.contains(pts[i])) out.insert(i);
+  return out;
+}
+
+std::vector<std::uint64_t> brute_knn(const std::vector<Point>& pts,
+                                     const Point& q, std::size_t k) {
+  std::vector<std::pair<double, std::uint64_t>> d;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    d.emplace_back(squared_distance(q, pts[i]), i);
+  std::sort(d.begin(), d.end());
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < std::min(k, d.size()); ++i)
+    out.push_back(d[i].second);
+  return out;
+}
+
+// ---- parameterized property sweep over dimensionality ----
+
+class KdTreeDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KdTreeDims, RangeQueryMatchesBruteForce) {
+  const std::size_t d = GetParam();
+  auto pts = random_points(800, d, 100 + d);
+  KdTree tree(pts);
+  Rng rng(200 + d);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rect r;
+    r.lo.resize(d);
+    r.hi.resize(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double a = rng.uniform(), b = rng.uniform();
+      r.lo[i] = std::min(a, b);
+      r.hi[i] = std::max(a, b);
+    }
+    auto got = tree.range_query(r);
+    std::set<std::uint64_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, brute_range(pts, r));
+    EXPECT_EQ(got.size(), got_set.size());  // no duplicates
+  }
+}
+
+TEST_P(KdTreeDims, RadiusQueryMatchesBruteForce) {
+  const std::size_t d = GetParam();
+  auto pts = random_points(600, d, 300 + d);
+  KdTree tree(pts);
+  Rng rng(400 + d);
+  for (int trial = 0; trial < 20; ++trial) {
+    Ball b;
+    b.center.resize(d);
+    for (auto& v : b.center) v = rng.uniform();
+    b.radius = rng.uniform(0.05, 0.4);
+    auto got = tree.radius_query(b);
+    std::set<std::uint64_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, brute_radius(pts, b));
+  }
+}
+
+TEST_P(KdTreeDims, KnnMatchesBruteForce) {
+  const std::size_t d = GetParam();
+  auto pts = random_points(500, d, 500 + d);
+  KdTree tree(pts);
+  Rng rng(600 + d);
+  for (int trial = 0; trial < 10; ++trial) {
+    Point q(d);
+    for (auto& v : q) v = rng.uniform();
+    for (const std::size_t k : {std::size_t{1}, std::size_t{5},
+                                std::size_t{17}}) {
+      auto got = tree.knn(q, k);
+      auto expected = brute_knn(pts, q, k);
+      ASSERT_EQ(got.size(), expected.size());
+      // Distances must match (ids may tie-swap).
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        const double ed = euclidean_distance(q, pts[expected[i]]);
+        EXPECT_NEAR(got[i].second, ed, 1e-9);
+      }
+      for (std::size_t i = 1; i < got.size(); ++i)
+        EXPECT_GE(got[i].second, got[i - 1].second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KdTreeDims, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(KdTree, EmptyTreeReturnsNothing) {
+  KdTree tree;
+  EXPECT_TRUE(tree.empty());
+  Rect r{{0}, {1}};
+  EXPECT_TRUE(tree.range_query(r).empty());
+  EXPECT_TRUE(tree.knn(std::vector<double>{0.5}, 3).empty());
+}
+
+TEST(KdTree, KnnFewerPointsThanK) {
+  auto pts = random_points(3, 2, 1);
+  KdTree tree(pts);
+  EXPECT_EQ(tree.knn(std::vector<double>{0.5, 0.5}, 10).size(), 3u);
+}
+
+TEST(KdTree, CustomIdsPropagate) {
+  std::vector<Point> pts = {{0.0, 0.0}, {1.0, 1.0}};
+  KdTree tree(pts, {42, 77});
+  Rect all{{-1, -1}, {2, 2}};
+  auto got = tree.range_query(all);
+  std::set<std::uint64_t> s(got.begin(), got.end());
+  EXPECT_EQ(s, (std::set<std::uint64_t>{42, 77}));
+}
+
+TEST(KdTree, QueryCostTracksPruning) {
+  auto pts = random_points(5000, 2, 9);
+  KdTree tree(pts);
+  KdQueryCost tiny_cost, huge_cost;
+  Rect tiny{{0.5, 0.5}, {0.51, 0.51}};
+  Rect huge{{0, 0}, {1, 1}};
+  tree.range_query(tiny, &tiny_cost);
+  tree.range_query(huge, &huge_cost);
+  EXPECT_LT(tiny_cost.points_examined, huge_cost.points_examined / 5);
+}
+
+TEST(KdTree, DimensionMismatchThrows) {
+  auto pts = random_points(10, 2, 3);
+  KdTree tree(pts);
+  Rect r{{0.0}, {1.0}};
+  EXPECT_THROW(tree.range_query(r), std::invalid_argument);
+  EXPECT_THROW(tree.knn(std::vector<double>{0.1}, 2), std::invalid_argument);
+}
+
+TEST(BuildKdTreeFromTable, UsesRowIndices) {
+  const Table t = make_clustered_dataset(200, 2, 2, 4);
+  const std::vector<std::size_t> cols = {0, 1};
+  KdTree tree = build_kdtree(t, cols);
+  EXPECT_EQ(tree.size(), 200u);
+  Rect all{{-10, -10}, {10, 10}};
+  auto got = tree.range_query(all);
+  EXPECT_EQ(got.size(), 200u);
+  EXPECT_LT(*std::max_element(got.begin(), got.end()), 200u);
+}
+
+class GridDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GridDims, RangeAndRadiusMatchBruteForce) {
+  const std::size_t d = GetParam();
+  auto pts = random_points(500, d, 700 + d);
+  Rect domain;
+  domain.lo.assign(d, 0.0);
+  domain.hi.assign(d, 1.0);
+  GridIndex grid(pts, domain, 8);
+  Rng rng(800 + d);
+  for (int trial = 0; trial < 15; ++trial) {
+    Rect r;
+    r.lo.resize(d);
+    r.hi.resize(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double a = rng.uniform(), b = rng.uniform();
+      r.lo[i] = std::min(a, b);
+      r.hi[i] = std::max(a, b);
+    }
+    auto got = grid.range_query(r);
+    std::set<std::uint64_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, brute_range(pts, r));
+
+    Ball ball;
+    ball.center.resize(d);
+    for (auto& v : ball.center) v = rng.uniform();
+    ball.radius = rng.uniform(0.05, 0.3);
+    auto rgot = grid.radius_query(ball);
+    std::set<std::uint64_t> rgot_set(rgot.begin(), rgot.end());
+    EXPECT_EQ(rgot_set, brute_radius(pts, ball));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GridDims, ::testing::Values(1, 2, 3));
+
+TEST(Grid, KnnMatchesBruteForce) {
+  auto pts = random_points(400, 2, 900);
+  Rect domain{{0, 0}, {1, 1}};
+  GridIndex grid(pts, domain, 10);
+  Rng rng(901);
+  for (int trial = 0; trial < 10; ++trial) {
+    Point q = {rng.uniform(), rng.uniform()};
+    auto got = grid.knn(q, 7);
+    auto expected = brute_knn(pts, q, 7);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_NEAR(got[i].second, euclidean_distance(q, pts[expected[i]]),
+                  1e-9);
+  }
+}
+
+TEST(Grid, PointsOutsideDomainClamped) {
+  std::vector<Point> pts = {{-5.0, 0.5}, {5.0, 0.5}};
+  Rect domain{{0, 0}, {1, 1}};
+  GridIndex grid(pts, domain, 4);
+  Rect all{{-10, -10}, {10, 10}};
+  EXPECT_EQ(grid.range_query(all).size(), 2u);
+}
+
+TEST(Grid, RejectsCellExplosion) {
+  Rect domain;
+  domain.lo.assign(10, 0.0);
+  domain.hi.assign(10, 1.0);
+  EXPECT_THROW(GridIndex({}, domain, 100), std::invalid_argument);
+}
+
+TEST(EquiWidthHistogram, ExactOnAlignedRanges) {
+  EquiWidthHistogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add((i % 10) * 0.1 + 0.05);
+  EXPECT_EQ(h.total(), 1000u);
+  EXPECT_NEAR(h.estimate_range(0.0, 1.0), 1000.0, 1e-6);
+  EXPECT_NEAR(h.estimate_range(0.0, 0.3), 300.0, 1.0);
+  EXPECT_NEAR(h.selectivity(0.0, 0.5), 0.5, 0.01);
+}
+
+TEST(EquiWidthHistogram, PartialBucketInterpolation) {
+  EquiWidthHistogram h(0.0, 1.0, 1);
+  for (int i = 0; i < 100; ++i) h.add(0.5);
+  EXPECT_NEAR(h.estimate_range(0.0, 0.5), 50.0, 1e-9);
+}
+
+TEST(EquiWidthHistogram, OutOfDomainClamps) {
+  EquiWidthHistogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_GT(h.bucket_count(0), 0u);
+  EXPECT_GT(h.bucket_count(3), 0u);
+}
+
+TEST(EquiDepthHistogram, RobustUnderSkew) {
+  Rng rng(77);
+  std::vector<double> vals;
+  for (int i = 0; i < 10000; ++i)
+    vals.push_back(std::pow(rng.uniform(), 4.0));  // mass near 0
+  EquiDepthHistogram h(vals, 64);
+  std::size_t truth = 0;
+  for (const double v : vals)
+    if (v <= 0.1) ++truth;
+  EXPECT_NEAR(h.estimate_range(0.0, 0.1), static_cast<double>(truth),
+              0.05 * 10000);
+}
+
+TEST(EquiDepthHistogram, EmptyInput) {
+  EquiDepthHistogram h(std::vector<double>{}, 8);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.estimate_range(0, 1), 0.0);
+}
+
+TEST(ProductHistogram, IndependentDataEstimatesWell) {
+  auto pts = random_points(20000, 2, 55);
+  ProductHistogram h(pts, 32);
+  Rect r{{0.2, 0.3}, {0.6, 0.7}};
+  std::size_t truth = 0;
+  for (const auto& p : pts)
+    if (r.contains(p)) ++truth;
+  EXPECT_NEAR(h.estimate_count(r), static_cast<double>(truth), 0.05 * 20000);
+}
+
+TEST(ProductHistogram, DimsMismatchThrows) {
+  auto pts = random_points(10, 2, 56);
+  ProductHistogram h(pts, 4);
+  Rect r{{0.0}, {1.0}};
+  EXPECT_THROW(h.estimate_count(r), std::invalid_argument);
+}
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter b(1000, 0.01);
+  for (std::uint64_t k = 0; k < 1000; ++k) b.insert(k * 7919);
+  for (std::uint64_t k = 0; k < 1000; ++k)
+    EXPECT_TRUE(b.may_contain(k * 7919));
+}
+
+TEST(Bloom, FalsePositiveRateBounded) {
+  BloomFilter b(2000, 0.01);
+  for (std::uint64_t k = 0; k < 2000; ++k) b.insert(k);
+  int fp = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i)
+    if (b.may_contain(1000000 + static_cast<std::uint64_t>(i))) ++fp;
+  EXPECT_LT(static_cast<double>(fp) / probes, 0.03);
+}
+
+TEST(Bloom, EmptyContainsNothing) {
+  BloomFilter b(100, 0.01);
+  EXPECT_FALSE(b.may_contain(42));
+}
+
+TEST(Bloom, InvalidRateThrows) {
+  EXPECT_THROW(BloomFilter(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(10, 1.0), std::invalid_argument);
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch cm(0.01, 0.01);
+  Rng rng(88);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.uniform_index(500);
+    ++truth[key];
+    cm.add(key);
+  }
+  for (const auto& [k, c] : truth) EXPECT_GE(cm.estimate(k), c);
+}
+
+TEST(CountMin, ErrorWithinEpsBound) {
+  const double eps = 0.005;
+  CountMinSketch cm(eps, 0.01);
+  Rng rng(89);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = rng.uniform_index(1000);
+    ++truth[key];
+    cm.add(key);
+  }
+  std::size_t violations = 0;
+  for (const auto& [k, c] : truth)
+    if (cm.estimate(k) >
+        c + static_cast<std::uint64_t>(2 * eps *
+                                       static_cast<double>(cm.total())))
+      ++violations;
+  EXPECT_LT(violations, truth.size() / 20);
+}
+
+TEST(ScoreIndex, SortedAccessDescending) {
+  const Table t = make_scored_relation(500, 40, 1.0, 31);
+  ScoreIndex idx(t, 0, 1, 2);
+  EXPECT_EQ(idx.size(), 500u);
+  for (std::size_t r = 1; r < idx.size(); ++r)
+    EXPECT_LE(idx.by_rank(r).score, idx.by_rank(r - 1).score);
+}
+
+TEST(ScoreIndex, RandomAccessFindsAllKeyTuples) {
+  const Table t = make_scored_relation(500, 20, 1.0, 32);
+  ScoreIndex idx(t, 0, 1, 2);
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    std::size_t truth = 0;
+    for (std::size_t r = 0; r < t.num_rows(); ++r)
+      if (static_cast<std::uint64_t>(t.at(r, 0)) == key) ++truth;
+    EXPECT_EQ(idx.ranks_for_key(key).size(), truth);
+  }
+}
+
+TEST(ScoreIndex, BestScoreForKey) {
+  const Table t = make_scored_relation(500, 20, 1.0, 33);
+  ScoreIndex idx(t, 0, 1, 2);
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    double best = -1e300;
+    for (std::size_t r = 0; r < t.num_rows(); ++r)
+      if (static_cast<std::uint64_t>(t.at(r, 0)) == key)
+        best = std::max(best, t.at(r, 1));
+    if (best > -1e300)
+      EXPECT_DOUBLE_EQ(idx.best_score_for_key(key), best);
+    else
+      EXPECT_TRUE(std::isinf(idx.best_score_for_key(key)));
+  }
+}
+
+TEST(ScoreIndex, MissingKeyIsEmpty) {
+  const Table t = make_scored_relation(100, 10, 1.0, 34);
+  ScoreIndex idx(t, 0, 1, 2);
+  EXPECT_TRUE(idx.ranks_for_key(9999).empty());
+}
+
+}  // namespace
+}  // namespace sea

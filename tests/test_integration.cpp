@@ -1,0 +1,229 @@
+// End-to-end integration: the full Fig. 2 story on one cluster —
+// bootstrap with exact executions, go data-less, measure accuracy and the
+// resource cliff between the two phases, survive drift and data updates.
+#include <gtest/gtest.h>
+
+#include "aqp/sampling.h"
+#include "ops/imputation.h"
+#include "optimizer/adaptive.h"
+#include "sea/explain.h"
+#include "sea/served.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace sea {
+namespace {
+
+using testing::brute_force_answer;
+using testing::small_dataset;
+
+struct Pipeline {
+  Table table;
+  Cluster cluster;
+  ExactExecutor exec;
+  DatalessAgent agent;
+  ServedAnalytics served;
+  QueryWorkload workload;
+
+  explicit Pipeline(std::size_t rows = 6000, std::uint64_t seed = 161)
+      : table(small_dataset(rows, 2, seed)),
+        cluster(testing::make_cluster(table, "t", 8)),
+        exec(cluster, "t"),
+        agent(
+            [] {
+              AgentConfig cfg;
+              cfg.min_samples_to_predict = 12;
+              cfg.refit_interval = 8;
+              cfg.max_relative_error = 0.3;
+              cfg.create_distance = 0.06;
+              return cfg;
+            }(),
+            [this](const std::vector<std::size_t>& cols) {
+              return exec.domain(cols);
+            }),
+        served(agent, exec,
+               [] {
+                 ServeConfig sc;
+                 sc.bootstrap_queries = 150;
+                 sc.audit_fraction = 0.02;
+                 return sc;
+               }()),
+        workload(
+            [this] {
+              WorkloadConfig wc;
+              wc.selection = SelectionType::kRange;
+              wc.analytic = AnalyticType::kCount;
+              wc.subspace_cols = {0, 1};
+              wc.num_hotspots = 3;
+              wc.seed = 162;
+              wc.hotspot_anchors =
+                  sample_anchor_points(table, wc.subspace_cols, 24, 163);
+              return wc;
+            }(),
+            exec.domain({0, 1})) {}
+};
+
+TEST(Integration, Fig2LoopGoesDataLessAndStaysAccurate) {
+  Pipeline p;
+  // Warm phase.
+  for (int i = 0; i < 500; ++i) p.served.serve(p.workload.next());
+  const auto warm_stats = p.served.stats();
+  EXPECT_GT(warm_stats.data_less_served, 100u);
+
+  // Accuracy audit of data-less serving.
+  double total_rel = 0.0;
+  std::size_t dataless = 0;
+  for (int i = 0; i < 150; ++i) {
+    const auto q = p.workload.next();
+    const double truth = brute_force_answer(p.table, q);
+    const auto a = p.served.serve(q);
+    if (a.data_less) {
+      ++dataless;
+      total_rel += relative_error(truth, a.value, 5.0);
+    }
+  }
+  ASSERT_GT(dataless, 50u);
+  EXPECT_LT(total_rel / static_cast<double>(dataless), 0.25);
+}
+
+TEST(Integration, DataLessPhaseSlashesResourceUse) {
+  Pipeline p;
+  // Measure resources of the bootstrap phase (all exact)...
+  p.cluster.reset_stats();
+  for (int i = 0; i < 150; ++i) p.served.serve(p.workload.next());
+  const auto boot_rows = p.cluster.stats().rows_scanned;
+  const auto boot_msgs = p.cluster.network().stats().messages;
+  // ...vs a warm window of equal length.
+  for (int i = 0; i < 300; ++i) p.served.serve(p.workload.next());
+  p.cluster.reset_stats();
+  for (int i = 0; i < 150; ++i) p.served.serve(p.workload.next());
+  const auto warm_rows = p.cluster.stats().rows_scanned;
+  const auto warm_msgs = p.cluster.network().stats().messages;
+  EXPECT_LT(warm_rows, boot_rows / 2);
+  EXPECT_LT(warm_msgs, boot_msgs);
+}
+
+TEST(Integration, SurvivesInterestDrift) {
+  Pipeline p;
+  for (int i = 0; i < 400; ++i) p.served.serve(p.workload.next());
+  // Interests move; the system must keep answering correctly (it will
+  // fall back to exact for unfamiliar regions, then re-learn).
+  p.workload.reset_hotspots();
+  double total_rel = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const auto q = p.workload.next();
+    const double truth = brute_force_answer(p.table, q);
+    const auto a = p.served.serve(q);
+    total_rel += relative_error(truth, a.value, 5.0);
+  }
+  EXPECT_LT(total_rel / 300.0, 0.2);  // overall stream stays accurate
+}
+
+TEST(Integration, DataUpdateTriggersExactFallback) {
+  Pipeline p;
+  for (int i = 0; i < 450; ++i) p.served.serve(p.workload.next());
+  // Mutate a big slice of the data and tell the agent.
+  for (std::size_t n = 0; n < p.cluster.num_nodes(); ++n) {
+    auto& part = p.cluster.mutable_partition("t", static_cast<NodeId>(n));
+    auto col = part.mutable_column(2);
+    for (auto& v : col) v *= 1.5;
+  }
+  p.exec.invalidate_caches();
+  p.agent.note_data_update(0.8);
+  // Immediately after, the agent distrusts itself: more exact executions.
+  const auto before = p.served.stats().exact_executed;
+  for (int i = 0; i < 60; ++i) p.served.serve(p.workload.next());
+  const auto after = p.served.stats().exact_executed;
+  EXPECT_GT(after - before, 10u);
+}
+
+TEST(Integration, AgentModelsSmallerThanSampleOrData) {
+  Pipeline p;
+  for (int i = 0; i < 400; ++i) p.served.serve(p.workload.next());
+  SamplingEngine sampler(p.cluster, "t");
+  sampler.build();
+  EXPECT_LT(p.agent.byte_size(), p.table.byte_size());
+  // The agent's state competes with a 1% sample on size while answering
+  // without any per-query data access at all.
+  EXPECT_LT(p.agent.byte_size(), 20 * sampler.sample_bytes());
+}
+
+TEST(Integration, ExplanationAnswersWhatIfFamilies) {
+  // Train on radius queries, then one explanation substitutes for a sweep.
+  Pipeline p;
+  Rng rng(163);
+  const Rect domain = p.exec.domain({0, 1});
+  for (int i = 0; i < 350; ++i) {
+    AnalyticalQuery q;
+    q.selection = SelectionType::kRadius;
+    q.analytic = AnalyticType::kCount;
+    q.subspace_cols = {0, 1};
+    q.ball.center = {0.5 + rng.normal(0, 0.02), 0.5 + rng.normal(0, 0.02)};
+    q.ball.radius = rng.uniform(0.03, 0.3);
+    p.agent.observe(q, brute_force_answer(p.table, q));
+  }
+  (void)domain;
+  Explainer explainer(p.agent);
+  AnalyticalQuery base;
+  base.selection = SelectionType::kRadius;
+  base.analytic = AnalyticType::kCount;
+  base.subspace_cols = {0, 1};
+  base.ball = {{0.5, 0.5}, 0.1};
+  const auto e =
+      explainer.explain(base, ExplainParameter::kRadius, 0.05, 0.28);
+  ASSERT_TRUE(e.has_value());
+  // Zero additional cluster work to answer 20 what-if queries.
+  p.cluster.reset_stats();
+  for (double r = 0.06; r < 0.26; r += 0.01) (void)e->evaluate(r);
+  EXPECT_EQ(p.cluster.stats().rows_scanned, 0u);
+  EXPECT_EQ(p.cluster.network().stats().messages, 0u);
+}
+
+TEST(Integration, AdaptiveExecutorPlugsIntoServing) {
+  // The optimizer (RT3) and the agent (RT1) compose: declined queries run
+  // through the learned-paradigm executor.
+  const Table t = small_dataset(4000, 2, 164);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  ExactExecutor exec(c, "t");
+  AdaptiveExecutor adaptive(exec);
+  Rng rng(165);
+  for (int i = 0; i < 60; ++i) {
+    const double lo0 = rng.uniform(0.1, 0.6);
+    auto q = testing::range_count_query(lo0, lo0 + 0.1, 0.2, 0.8);
+    const auto r = adaptive.execute(q);
+    EXPECT_NEAR(r.answer, brute_force_answer(t, q), 1e-9);
+  }
+  EXPECT_TRUE(adaptive.selector().warm());
+}
+
+TEST(Integration, ImputationFeedsAnalytics) {
+  // Data quality path (RT2): impute, apply, then analytics see full data.
+  Table t = small_dataset(2000, 2, 166);
+  Rng rng(167);
+  std::size_t holes = 0;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    if (rng.bernoulli(0.03)) {
+      t.set(r, 2, std::nan(""));
+      ++holes;
+    }
+  }
+  Cluster c = testing::make_cluster(t, "t", 4);
+  ImputationSpec spec;
+  spec.table = "t";
+  spec.target_col = 2;
+  spec.feature_cols = {0, 1};
+  const auto out = impute_indexed(c, spec);
+  EXPECT_EQ(out.values.size(), holes);
+  apply_imputation(c, spec, out);
+  ExactExecutor exec(c, "t");
+  AnalyticalQuery q = testing::range_count_query(0.0, 1.0, 0.0, 1.0);
+  q.analytic = AnalyticType::kAvg;
+  q.target_col = 2;
+  const auto r = exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  EXPECT_FALSE(std::isnan(r.answer));
+  // Average of y over everything should stay near 2*E[x0]+0.5 ~ 1.5.
+  EXPECT_NEAR(r.answer, 1.5, 0.5);
+}
+
+}  // namespace
+}  // namespace sea

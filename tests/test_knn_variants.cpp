@@ -1,0 +1,222 @@
+// Tests: kNN variants (RT2.1) — reverse kNN and kNN joins.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ops/knn_variants.h"
+#include "test_util.h"
+
+namespace sea {
+namespace {
+
+using testing::small_dataset;
+
+/// Brute-force RkNN ground truth over the plain table (matching the
+/// library's definition: dist(p, q) <= p's k-th-NN distance among the
+/// other tuples).
+std::vector<std::pair<Point, double>> brute_rknn(
+    const Table& t, const std::vector<std::size_t>& cols, const Point& q,
+    std::size_t k) {
+  std::vector<Point> pts;
+  Point p;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    t.gather(r, cols, p);
+    pts.push_back(p);
+  }
+  std::vector<std::pair<Point, double>> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::vector<double> dists;
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (j == i) continue;
+      dists.push_back(euclidean_distance(pts[i], pts[j]));
+    }
+    std::nth_element(dists.begin(),
+                     dists.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     dists.end());
+    const double dq = euclidean_distance(pts[i], q);
+    if (dq <= dists[k - 1]) out.emplace_back(pts[i], dq);
+  }
+  return out;
+}
+
+struct RknnFixture : public ::testing::Test {
+  Table table = small_dataset(1200, 2, 211);
+  Cluster cluster{4, Network::single_zone(4)};
+  std::vector<std::size_t> cols = {0, 1};
+  Point q = {0.5, 0.5};
+
+  void SetUp() override { cluster.load_table("t", table); }
+};
+
+TEST_F(RknnFixture, ScanMatchesBruteForce) {
+  const auto got = reverse_knn_scan(cluster, "t", cols, q, 5);
+  const auto truth = brute_rknn(table, cols, q, 5);
+  EXPECT_EQ(got.results.size(), truth.size());
+}
+
+TEST_F(RknnFixture, IndexedMatchesScan) {
+  for (const std::size_t k : {1u, 5u, 15u}) {
+    const auto scan = reverse_knn_scan(cluster, "t", cols, q, k);
+    const auto idx = reverse_knn_indexed(cluster, "t", cols, q, k);
+    ASSERT_EQ(scan.results.size(), idx.results.size()) << "k=" << k;
+    for (std::size_t i = 0; i < scan.results.size(); ++i)
+      EXPECT_EQ(scan.results[i], idx.results[i]);
+  }
+}
+
+TEST_F(RknnFixture, IndexedFiltersMostTuplesLocally) {
+  const auto idx = reverse_knn_indexed(cluster, "t", cols, q, 5);
+  // The local-bound filter should reject the overwhelming majority of
+  // tuples without cross-node verification.
+  EXPECT_LT(idx.verified_globally, table.num_rows() / 5);
+}
+
+TEST_F(RknnFixture, IndexedMovesFarFewerBytes) {
+  const auto scan = reverse_knn_scan(cluster, "t", cols, q, 5);
+  const auto idx = reverse_knn_indexed(cluster, "t", cols, q, 5);
+  EXPECT_LT(idx.report.result_bytes + idx.report.shuffle_bytes,
+            (scan.report.result_bytes + scan.report.shuffle_bytes) / 5);
+}
+
+TEST_F(RknnFixture, FarQueryHasFewOrNoResults) {
+  const Point far = {50.0, 50.0};
+  const auto got = reverse_knn_indexed(cluster, "t", cols, far, 3);
+  EXPECT_TRUE(got.results.empty());
+}
+
+TEST_F(RknnFixture, ZeroKThrows) {
+  EXPECT_THROW(reverse_knn_scan(cluster, "t", cols, q, 0),
+               std::invalid_argument);
+  EXPECT_THROW(reverse_knn_indexed(cluster, "t", cols, q, 0),
+               std::invalid_argument);
+}
+
+struct KnnJoinFixture : public ::testing::Test {
+  // B is several times larger than A x k so the broadcast baseline's byte
+  // cost dominates (the realistic regime for kNN joins against big data).
+  Table a = small_dataset(600, 2, 212);
+  Table b = small_dataset(5000, 2, 213);
+  Cluster cluster{4, Network::single_zone(4)};
+  std::vector<std::size_t> cols = {0, 1};
+
+  void SetUp() override {
+    cluster.load_table("A", a);
+    cluster.load_table("B", b);
+  }
+
+  double brute_mean(std::size_t k) const {
+    Point pa, pb;
+    double sum = 0;
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < a.num_rows(); ++i) {
+      a.gather(i, cols, pa);
+      std::vector<double> d;
+      for (std::size_t j = 0; j < b.num_rows(); ++j) {
+        b.gather(j, cols, pb);
+        d.push_back(euclidean_distance(pa, pb));
+      }
+      const std::size_t take = std::min(k, d.size());
+      std::partial_sort(d.begin(),
+                        d.begin() + static_cast<std::ptrdiff_t>(take),
+                        d.end());
+      for (std::size_t x = 0; x < take; ++x) sum += d[x];
+      n += take;
+    }
+    return sum / static_cast<double>(n);
+  }
+};
+
+TEST_F(KnnJoinFixture, BothMethodsMatchBruteForce) {
+  for (const std::size_t k : {1u, 4u}) {
+    const double truth = brute_mean(k);
+    const auto bc = knn_join_broadcast(cluster, "A", cols, "B", cols, k);
+    const auto idx = knn_join_indexed(cluster, "A", cols, "B", cols, k);
+    EXPECT_EQ(bc.pairs, a.num_rows() * k);
+    EXPECT_EQ(idx.pairs, a.num_rows() * k);
+    EXPECT_NEAR(bc.mean_knn_distance, truth, 1e-9);
+    EXPECT_NEAR(idx.mean_knn_distance, truth, 1e-9);
+  }
+}
+
+TEST_F(KnnJoinFixture, IndexedNeedsLessComputeAndShuffle) {
+  const auto bc = knn_join_broadcast(cluster, "A", cols, "B", cols, 4);
+  const auto idx = knn_join_indexed(cluster, "A", cols, "B", cols, 4);
+  EXPECT_LT(idx.report.result_bytes, bc.report.shuffle_bytes);
+  // Broadcast compute is the all-pairs nested loop; indexed is tree
+  // probes — real measured time, so allow generous margin.
+  EXPECT_LT(idx.report.coordinator_compute_ms,
+            bc.report.map_compute_ms_total + 1.0);
+}
+
+struct ApproxKnnFixture : public ::testing::Test {
+  Table table = small_dataset(4000, 2, 214);
+  std::vector<std::size_t> cols = {0, 1};
+  Point q = {0.5, 0.5};
+};
+
+TEST_F(ApproxKnnFixture, ExactRetrievalMatchesBruteForce) {
+  Cluster cluster = testing::make_cluster(table, "t", 4);
+  const auto got = knn_retrieve_exact(cluster, "t", cols, q, 10);
+  ASSERT_EQ(got.neighbors.size(), 10u);
+  // Distances ascending and matching the brute-force k-th distance.
+  std::vector<double> dists;
+  Point p;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    table.gather(r, cols, p);
+    dists.push_back(euclidean_distance(p, q));
+  }
+  std::sort(dists.begin(), dists.end());
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(got.neighbors[i].distance_to_query, dists[i], 1e-9);
+}
+
+TEST_F(ApproxKnnFixture, FullProbeEqualsExact) {
+  Cluster cluster = testing::make_cluster(table, "t", 4);
+  const auto exact = knn_retrieve_exact(cluster, "t", cols, q, 10);
+  const auto approx = knn_retrieve_approx(cluster, "t", cols, q, 10, 4);
+  EXPECT_DOUBLE_EQ(knn_recall(exact, approx), 1.0);
+}
+
+TEST_F(ApproxKnnFixture, RangePartitioningGivesHighRecallWithFewProbes) {
+  // Locality-aware placement: partitions are x0 slices, so the nearest
+  // 1-2 partitions hold almost all true neighbours.
+  Cluster cluster = testing::make_cluster(
+      table, "t", 8, PartitionSpec{Partitioning::kRangeColumn, 0});
+  const auto exact = knn_retrieve_exact(cluster, "t", cols, q, 10);
+  const auto approx = knn_retrieve_approx(cluster, "t", cols, q, 10, 2);
+  EXPECT_EQ(approx.nodes_probed, 2u);
+  EXPECT_GE(knn_recall(exact, approx), 0.9);
+  EXPECT_LT(approx.report.rpc_round_trips, exact.report.rpc_round_trips);
+}
+
+TEST_F(ApproxKnnFixture, RoundRobinRecallScalesWithProbes) {
+  // Placement-oblivious partitioning: recall ~ probed/total.
+  Cluster cluster = testing::make_cluster(table, "t", 8);
+  const auto exact = knn_retrieve_exact(cluster, "t", cols, q, 40);
+  const auto r2 = knn_recall(
+      exact, knn_retrieve_approx(cluster, "t", cols, q, 40, 2));
+  const auto r6 = knn_recall(
+      exact, knn_retrieve_approx(cluster, "t", cols, q, 40, 6));
+  EXPECT_LT(r2, 0.6);
+  EXPECT_GT(r6, r2);
+}
+
+TEST_F(ApproxKnnFixture, InvalidArgsThrow) {
+  Cluster cluster = testing::make_cluster(table, "t", 2);
+  EXPECT_THROW(knn_retrieve_exact(cluster, "t", cols, q, 0),
+               std::invalid_argument);
+  EXPECT_THROW(knn_retrieve_approx(cluster, "t", cols, q, 5, 0),
+               std::invalid_argument);
+}
+
+TEST_F(KnnJoinFixture, DimsMismatchThrows) {
+  const std::vector<std::size_t> bad = {0};
+  EXPECT_THROW(knn_join_broadcast(cluster, "A", bad, "B", cols, 3),
+               std::invalid_argument);
+  EXPECT_THROW(knn_join_indexed(cluster, "A", cols, "B", bad, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sea

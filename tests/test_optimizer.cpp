@@ -1,0 +1,159 @@
+// Tests: learned method selection (RT3) and the adaptive executor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optimizer/adaptive.h"
+#include "optimizer/selector.h"
+#include "test_util.h"
+
+namespace sea {
+namespace {
+
+using testing::brute_force_answer;
+using testing::small_dataset;
+
+/// Synthetic two-method world: method 0 is cheap when feature < 0.5,
+/// method 1 cheap otherwise.
+double synthetic_cost(std::size_t method, double feature, Rng& rng) {
+  const double base = method == 0 ? feature : 1.0 - feature;
+  return 10.0 + 100.0 * base + rng.normal(0.0, 1.0);
+}
+
+TEST(Selector, LearnsRegionDependentBestMethod) {
+  SelectorConfig cfg;
+  cfg.min_samples_per_method = 15;
+  MethodSelector sel(2, cfg);
+  Rng rng(131);
+  for (int i = 0; i < 400; ++i) {
+    const double f = rng.uniform();
+    const std::vector<double> features = {f};
+    const std::size_t m = sel.choose(features);
+    sel.observe(features, m, synthetic_cost(m, f, rng));
+  }
+  EXPECT_TRUE(sel.warm());
+  // Pure exploitation should now pick the right method per region.
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double f = (i % 2) ? 0.15 : 0.85;
+    const std::vector<double> features = {f};
+    const std::size_t best = sel.best(features);
+    const std::size_t truth = f < 0.5 ? 0 : 1;
+    if (best == truth) ++correct;
+  }
+  EXPECT_GT(correct, 85);
+}
+
+TEST(Selector, RoundRobinWarmup) {
+  SelectorConfig cfg;
+  cfg.min_samples_per_method = 5;
+  MethodSelector sel(3, cfg);
+  Rng rng(132);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 15; ++i) {
+    const std::vector<double> f = {rng.uniform()};
+    const std::size_t m = sel.choose(f);
+    ++counts[m];
+    sel.observe(f, m, 1.0);
+  }
+  for (const int c : counts) EXPECT_EQ(c, 5);
+  EXPECT_TRUE(sel.warm());
+}
+
+TEST(Selector, PredictedCostTracksObservedCost) {
+  SelectorConfig cfg;
+  cfg.min_samples_per_method = 10;
+  MethodSelector sel(2, cfg);
+  Rng rng(133);
+  for (int i = 0; i < 200; ++i) {
+    const double f = rng.uniform();
+    const std::vector<double> features = {f};
+    const std::size_t m = sel.choose(features);
+    sel.observe(features, m, synthetic_cost(m, f, rng));
+  }
+  const std::vector<double> probe = {0.2};
+  // method 0 at f=0.2 costs ~30; method 1 ~90.
+  EXPECT_NEAR(sel.predicted_cost(probe, 0), 30.0, 20.0);
+  EXPECT_NEAR(sel.predicted_cost(probe, 1), 90.0, 25.0);
+}
+
+TEST(Selector, ColdPredictionIsInfinite) {
+  MethodSelector sel(2);
+  EXPECT_TRUE(std::isinf(sel.predicted_cost(std::vector<double>{0.5}, 0)));
+}
+
+TEST(Selector, StatsTrackDecisions) {
+  MethodSelector sel(2);
+  const std::vector<double> f = {0.5};
+  sel.choose(f);
+  sel.observe(f, 0, 10.0);
+  EXPECT_EQ(sel.stats().decisions, 1u);
+  EXPECT_DOUBLE_EQ(sel.stats().total_observed_cost, 10.0);
+}
+
+TEST(Selector, InvalidArgsThrow) {
+  EXPECT_THROW(MethodSelector(1), std::invalid_argument);
+  MethodSelector sel(2);
+  EXPECT_THROW(sel.observe(std::vector<double>{0.5}, 5, 1.0),
+               std::out_of_range);
+  EXPECT_THROW(sel.predicted_cost(std::vector<double>{0.5}, 7),
+               std::out_of_range);
+}
+
+TEST(Adaptive, AnswersAlwaysExact) {
+  const Table t = small_dataset(3000, 2, 134);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  ExactExecutor exec(c, "t");
+  AdaptiveExecutor adaptive(exec);
+  Rng rng(135);
+  for (int i = 0; i < 30; ++i) {
+    const double lo0 = rng.uniform(0.1, 0.6), lo1 = rng.uniform(0.1, 0.6);
+    auto q = testing::range_count_query(lo0, lo0 + 0.2, lo1, lo1 + 0.2);
+    const auto r = adaptive.execute(q);
+    EXPECT_NEAR(r.answer, brute_force_answer(t, q), 1e-9);
+  }
+  EXPECT_EQ(adaptive.stats().queries, 30u);
+  EXPECT_EQ(adaptive.stats().chose_mapreduce + adaptive.stats().chose_indexed +
+                adaptive.stats().chose_grid,
+            30u);
+}
+
+TEST(Adaptive, FeaturesIncludeSelectivityEstimate) {
+  const Table t = small_dataset(2000, 2, 136);
+  Cluster c = testing::make_cluster(t, "t", 4);
+  ExactExecutor exec(c, "t");
+  AdaptiveExecutor adaptive(exec);
+  auto tiny = testing::range_count_query(0.5, 0.505, 0.5, 0.505);
+  auto huge = testing::range_count_query(0.0, 1.0, 0.0, 1.0);
+  const auto f_tiny = adaptive.featurize(tiny);
+  const auto f_huge = adaptive.featurize(huge);
+  ASSERT_EQ(f_tiny.size(), f_huge.size());
+  // Last feature is the selectivity estimate.
+  EXPECT_LT(f_tiny.back(), f_huge.back());
+  EXPECT_GE(f_tiny.back(), 0.0);
+  EXPECT_LE(f_huge.back(), 1.2);
+}
+
+TEST(Adaptive, LearnsToPreferIndexedForSelectiveQueries) {
+  // On this workload the indexed paradigm dominates; after warm-up the
+  // selector should send almost everything there.
+  const Table t = small_dataset(8000, 2, 137);
+  Cluster c = testing::make_cluster(t, "t", 8);
+  ExactExecutor exec(c, "t");
+  SelectorConfig scfg;
+  scfg.min_samples_per_method = 8;
+  scfg.epsilon = 0.05;
+  AdaptiveExecutor adaptive(exec, CostMetric::kMakespan, scfg);
+  Rng rng(138);
+  for (int i = 0; i < 120; ++i) {
+    const double lo0 = rng.uniform(0.2, 0.7), lo1 = rng.uniform(0.2, 0.7);
+    adaptive.execute(
+        testing::range_count_query(lo0, lo0 + 0.05, lo1, lo1 + 0.05));
+  }
+  // Late-phase decisions should be overwhelmingly indexed.
+  const auto& st = adaptive.stats();
+  EXPECT_GT(st.chose_indexed, st.chose_mapreduce);
+}
+
+}  // namespace
+}  // namespace sea

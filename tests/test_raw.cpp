@@ -1,0 +1,132 @@
+// Tests: raw-data analytics (RT2.3) — adaptive access over raw CSV bytes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/csv.h"
+#include "raw/raw_store.h"
+#include "test_util.h"
+
+namespace sea {
+namespace {
+
+using testing::small_dataset;
+
+std::string csv_of(const Table& t) {
+  std::stringstream ss;
+  write_csv(t, ss);
+  return ss.str();
+}
+
+TEST(RawStore, ParsesShape) {
+  const Table t = small_dataset(500, 2, 201);
+  RawStore store(csv_of(t));
+  EXPECT_EQ(store.num_rows(), 500u);
+  EXPECT_EQ(store.num_columns(), 3u);
+  EXPECT_EQ(store.column_name(0), "x0");
+  EXPECT_EQ(store.column_index("y"), 2u);
+  EXPECT_THROW(store.column_index("nope"), std::out_of_range);
+}
+
+TEST(RawStore, RangeAggregateMatchesTableScan) {
+  const Table t = small_dataset(2000, 2, 202);
+  RawStore store(csv_of(t));
+  for (const auto [lo, hi] : {std::pair{0.2, 0.5}, std::pair{0.0, 1.0},
+                              std::pair{0.45, 0.55}}) {
+    RawAggregate agg = store.range_aggregate(0, lo, hi, 2);
+    std::uint64_t count = 0;
+    double sum = 0;
+    for (std::size_t r = 0; r < t.num_rows(); ++r) {
+      if (t.at(r, 0) >= lo && t.at(r, 0) <= hi) {
+        ++count;
+        sum += t.at(r, 2);
+      }
+    }
+    EXPECT_EQ(agg.count, count);
+    EXPECT_NEAR(agg.sum, sum, 1e-6);
+    if (count) EXPECT_NEAR(agg.avg(), sum / double(count), 1e-9);
+  }
+}
+
+TEST(RawStore, FirstQueryParsesLaterQueriesDoNot) {
+  const Table t = small_dataset(2000, 2, 203);
+  RawStore store(csv_of(t));
+  RawQueryCost first, second;
+  store.range_aggregate(0, 0.2, 0.4, 0, &first);
+  EXPECT_GT(first.bytes_parsed, 0u);
+  store.range_aggregate(0, 0.3, 0.5, 0, &second);
+  EXPECT_EQ(second.bytes_parsed, 0u);  // column cache already built
+}
+
+TEST(RawStore, OnlyTouchedColumnsAreParsed) {
+  const Table t = small_dataset(500, 2, 204);
+  RawStore store(csv_of(t));
+  EXPECT_EQ(store.columns_cached(), 0u);
+  store.range_aggregate(0, 0.0, 1.0, 0);
+  EXPECT_EQ(store.columns_cached(), 1u);  // x1 and y still raw
+  store.range_aggregate(0, 0.0, 1.0, 2);
+  EXPECT_EQ(store.columns_cached(), 2u);
+}
+
+TEST(RawStore, CracksAfterRepeatedQueries) {
+  const Table t = small_dataset(3000, 2, 205);
+  RawStore store(csv_of(t));
+  RawQueryCost cost;
+  for (int i = 0; i < 3; ++i)
+    store.range_aggregate(0, 0.4, 0.6, 0, &cost);
+  // Fourth query should use the sorted piece and scan far fewer values.
+  RawQueryCost cracked;
+  const auto agg = store.range_aggregate(0, 0.45, 0.55, 0, &cracked);
+  EXPECT_TRUE(cracked.used_sorted_piece);
+  EXPECT_LT(cracked.values_scanned, 3000u);
+  // And stay correct.
+  std::uint64_t count = 0;
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    if (t.at(r, 0) >= 0.45 && t.at(r, 0) <= 0.55) ++count;
+  EXPECT_EQ(agg.count, count);
+}
+
+TEST(RawStore, AuxBytesGrowWithAdaptivity) {
+  const Table t = small_dataset(1000, 2, 206);
+  RawStore store(csv_of(t));
+  EXPECT_EQ(store.aux_bytes(), 0u);
+  store.range_aggregate(0, 0.0, 1.0, 0);
+  const auto after_parse = store.aux_bytes();
+  EXPECT_GT(after_parse, 0u);
+  for (int i = 0; i < 4; ++i) store.range_aggregate(0, 0.2, 0.4, 0);
+  EXPECT_GT(store.aux_bytes(), after_parse);  // sorted piece added
+}
+
+TEST(RawStore, EmptyRangeIsZero) {
+  const Table t = small_dataset(100, 2, 207);
+  RawStore store(csv_of(t));
+  const auto agg = store.range_aggregate(0, 5.0, 6.0, 2);
+  EXPECT_EQ(agg.count, 0u);
+  EXPECT_EQ(agg.avg(), 0.0);
+  EXPECT_EQ(store.range_aggregate(0, 0.5, 0.4, 2).count, 0u);  // hi < lo
+}
+
+TEST(RawStore, MalformedInputThrows) {
+  EXPECT_THROW(RawStore(""), std::invalid_argument);
+  RawStore store("a,b\n1.0,2.0\n");
+  EXPECT_THROW(store.range_aggregate(5, 0, 1, 0), std::out_of_range);
+}
+
+TEST(RawStore, CrackedAndScanAgreeAcrossManyRanges) {
+  const Table t = small_dataset(2000, 2, 208);
+  RawStore fresh(csv_of(t));
+  RawStore cracked(csv_of(t));
+  for (int i = 0; i < 5; ++i) cracked.range_aggregate(1, 0.1, 0.9, 2);
+  Rng rng(209);
+  for (int i = 0; i < 15; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    const double lo = std::min(a, b), hi = std::max(a, b);
+    const auto f = fresh.range_aggregate(1, lo, hi, 2);
+    const auto c = cracked.range_aggregate(1, lo, hi, 2);
+    EXPECT_EQ(f.count, c.count);
+    EXPECT_NEAR(f.sum, c.sum, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace sea

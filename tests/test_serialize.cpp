@@ -1,0 +1,157 @@
+// Tests: agent (de)serialization — the model-shipping wire format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sea/agent.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace sea {
+namespace {
+
+using testing::brute_force_answer;
+using testing::small_dataset;
+
+struct SerializeFixture : public ::testing::Test {
+  Table table = small_dataset(3000, 2, 231);
+  AgentConfig cfg = [] {
+    AgentConfig c;
+    c.min_samples_to_predict = 12;
+    c.refit_interval = 8;
+    c.create_distance = 0.06;
+    return c;
+  }();
+  std::function<Rect(const std::vector<std::size_t>&)> provider =
+      [this](const std::vector<std::size_t>& cols) {
+        return table_bounds(table, cols);
+      };
+  DatalessAgent agent{cfg, provider};
+  WorkloadConfig wc = [this] {
+    WorkloadConfig w;
+    w.selection = SelectionType::kRange;
+    w.analytic = AnalyticType::kCount;
+    w.subspace_cols = {0, 1};
+    w.num_hotspots = 2;
+    w.seed = 232;
+    w.hotspot_anchors = sample_anchor_points(table, w.subspace_cols, 16, 233);
+    return w;
+  }();
+  QueryWorkload workload{wc, table_bounds(table,
+                                          std::vector<std::size_t>{0, 1})};
+
+  void train(std::size_t n = 300) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto q = workload.next();
+      agent.observe(q, brute_force_answer(table, q));
+    }
+  }
+
+  DatalessAgent round_trip() {
+    std::stringstream ss;
+    agent.serialize(ss);
+    return DatalessAgent::deserialize(ss, provider);
+  }
+};
+
+TEST_F(SerializeFixture, RoundTripPreservesPredictions) {
+  train();
+  DatalessAgent copy = round_trip();
+  std::size_t compared = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto q = workload.next();
+    const auto a = agent.maybe_predict(q);
+    const auto b = copy.maybe_predict(q);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_DOUBLE_EQ(a->value, b->value);
+      EXPECT_DOUBLE_EQ(a->expected_abs_error, b->expected_abs_error);
+      EXPECT_EQ(a->quantum, b->quantum);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 20u);
+}
+
+TEST_F(SerializeFixture, RoundTripPreservesGateDecisions) {
+  train();
+  DatalessAgent copy = round_trip();
+  for (int i = 0; i < 60; ++i) {
+    const auto q = workload.next();
+    EXPECT_EQ(agent.try_predict(q).has_value(),
+              copy.try_predict(q).has_value());
+  }
+}
+
+TEST_F(SerializeFixture, RoundTripPreservesStructure) {
+  train();
+  const auto q = workload.next();
+  const std::string sig = q.signature();
+  DatalessAgent copy = round_trip();
+  EXPECT_EQ(copy.num_signatures(), agent.num_signatures());
+  EXPECT_EQ(copy.num_quanta(sig), agent.num_quanta(sig));
+  EXPECT_EQ(copy.quanta_centers(sig).size(),
+            agent.quanta_centers(sig).size());
+  EXPECT_EQ(copy.config().create_distance, cfg.create_distance);
+}
+
+TEST_F(SerializeFixture, CopyKeepsLearningIndependently) {
+  train();
+  DatalessAgent copy = round_trip();
+  // New observations to the copy must not affect the original.
+  const auto before = agent.byte_size();
+  for (int i = 0; i < 50; ++i) {
+    const auto q = workload.next();
+    copy.observe(q, brute_force_answer(table, q));
+  }
+  EXPECT_EQ(agent.byte_size(), before);
+  EXPECT_GT(copy.stats().observations, 0u);
+}
+
+TEST_F(SerializeFixture, EmptyAgentRoundTrips) {
+  std::stringstream ss;
+  agent.serialize(ss);
+  DatalessAgent copy = DatalessAgent::deserialize(ss, provider);
+  EXPECT_EQ(copy.num_signatures(), 0u);
+}
+
+TEST_F(SerializeFixture, StalenessShipsWithTheModel) {
+  train();
+  agent.note_data_update(0.5);
+  const auto q = workload.next();
+  const auto orig = agent.maybe_predict(q);
+  DatalessAgent copy = round_trip();
+  const auto copied = copy.maybe_predict(q);
+  ASSERT_EQ(orig.has_value(), copied.has_value());
+  if (orig)
+    EXPECT_DOUBLE_EQ(orig->expected_abs_error, copied->expected_abs_error);
+}
+
+TEST_F(SerializeFixture, MalformedInputRejected) {
+  std::stringstream garbage("not an agent blob at all");
+  EXPECT_THROW(DatalessAgent::deserialize(garbage, provider),
+               std::runtime_error);
+
+  // Truncation: serialize then chop the tail.
+  train(50);
+  std::stringstream ss;
+  agent.serialize(ss);
+  std::string blob = ss.str();
+  blob.resize(blob.size() / 2);
+  std::stringstream truncated(blob);
+  EXPECT_THROW(DatalessAgent::deserialize(truncated, provider),
+               std::runtime_error);
+}
+
+TEST_F(SerializeFixture, SerializedSizeTracksByteSize) {
+  train();
+  std::stringstream ss;
+  agent.serialize(ss);
+  const std::size_t wire = ss.str().size();
+  // The wire format and the byte_size() estimate agree within ~3x.
+  EXPECT_GT(wire, agent.byte_size() / 3);
+  EXPECT_LT(wire, agent.byte_size() * 3);
+}
+
+}  // namespace
+}  // namespace sea

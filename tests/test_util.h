@@ -1,0 +1,135 @@
+// Shared helpers for the SEA test suite.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "data/generator.h"
+#include "data/table.h"
+#include "net/network.h"
+#include "sea/query.h"
+
+namespace sea::testing {
+
+/// Small clustered table: dims gaussian-mixture columns x0..x{d-1} plus a
+/// linearly dependent "y" column.
+inline Table small_dataset(std::size_t rows = 2000, std::size_t dims = 2,
+                           std::uint64_t seed = 7) {
+  return make_clustered_dataset(rows, dims, /*clusters=*/3, seed);
+}
+
+/// A single-zone cluster with `nodes` nodes holding `table` as `name`.
+inline Cluster make_cluster(const Table& table, const std::string& name,
+                            std::size_t nodes = 4,
+                            PartitionSpec spec = {}) {
+  Cluster cluster(nodes, Network::single_zone(nodes));
+  cluster.load_table(name, table, spec);
+  return cluster;
+}
+
+/// Brute-force ground truth for an analytical query over a plain table.
+inline double brute_force_answer(const Table& table,
+                                 const AnalyticalQuery& q) {
+  double sum_t = 0, sum_tt = 0, sum_u = 0, sum_uu = 0, sum_tu = 0;
+  std::size_t count = 0;
+  Point p;
+  std::vector<std::pair<double, std::size_t>> knn_dist;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    table.gather(r, q.subspace_cols, p);
+    bool hit = false;
+    switch (q.selection) {
+      case SelectionType::kRange:
+        hit = q.range.contains(p);
+        break;
+      case SelectionType::kRadius:
+        hit = q.ball.contains(p);
+        break;
+      case SelectionType::kNearestNeighbors:
+        knn_dist.emplace_back(euclidean_distance(p, q.knn_point), r);
+        continue;
+    }
+    if (!hit) continue;
+    const double t =
+        needs_target(q.analytic) ? table.at(r, q.target_col) : 0.0;
+    const double u = needs_second_target(q.analytic)
+                         ? table.at(r, q.target_col2)
+                         : 0.0;
+    ++count;
+    sum_t += t;
+    sum_tt += t * t;
+    sum_u += u;
+    sum_uu += u * u;
+    sum_tu += t * u;
+  }
+  if (q.selection == SelectionType::kNearestNeighbors) {
+    std::sort(knn_dist.begin(), knn_dist.end());
+    const std::size_t take = std::min(q.knn_k, knn_dist.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t r = knn_dist[i].second;
+      const double t =
+          needs_target(q.analytic) ? table.at(r, q.target_col) : 0.0;
+      const double u = needs_second_target(q.analytic)
+                           ? table.at(r, q.target_col2)
+                           : 0.0;
+      ++count;
+      sum_t += t;
+      sum_tt += t * t;
+      sum_u += u;
+      sum_uu += u * u;
+      sum_tu += t * u;
+    }
+  }
+  const double n = static_cast<double>(count);
+  switch (q.analytic) {
+    case AnalyticType::kCount:
+      return n;
+    case AnalyticType::kSum:
+      return sum_t;
+    case AnalyticType::kAvg:
+      return count ? sum_t / n : 0.0;
+    case AnalyticType::kVariance:
+      return count > 1 ? std::max(0.0, (sum_tt - sum_t * sum_t / n) / (n - 1))
+                       : 0.0;
+    case AnalyticType::kCorrelation: {
+      if (count < 2) return 0.0;
+      const double cov = sum_tu - sum_t * sum_u / n;
+      const double vt = sum_tt - sum_t * sum_t / n;
+      const double vu = sum_uu - sum_u * sum_u / n;
+      const double denom = std::sqrt(vt * vu);
+      return denom > 0 ? cov / denom : 0.0;
+    }
+    case AnalyticType::kRegressionSlope: {
+      if (count < 2) return 0.0;
+      const double cov = sum_tu - sum_t * sum_u / n;
+      const double vt = sum_tt - sum_t * sum_t / n;
+      return vt > 0 ? cov / vt : 0.0;
+    }
+    case AnalyticType::kRegressionIntercept: {
+      if (count < 2) return 0.0;
+      const double cov = sum_tu - sum_t * sum_u / n;
+      const double vt = sum_tt - sum_t * sum_t / n;
+      const double slope = vt > 0 ? cov / vt : 0.0;
+      return sum_u / n - slope * sum_t / n;
+    }
+  }
+  return 0.0;
+}
+
+/// Canonical 2-d range count query over x0/x1.
+inline AnalyticalQuery range_count_query(double lo0, double hi0, double lo1,
+                                         double hi1) {
+  AnalyticalQuery q;
+  q.selection = SelectionType::kRange;
+  q.analytic = AnalyticType::kCount;
+  q.subspace_cols = {0, 1};
+  q.range.lo = {lo0, lo1};
+  q.range.hi = {hi0, hi1};
+  return q;
+}
+
+}  // namespace sea::testing

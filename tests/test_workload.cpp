@@ -1,0 +1,175 @@
+// Tests: analyst workload generation (hotspots, anchors, drift).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace sea {
+namespace {
+
+using testing::small_dataset;
+
+WorkloadConfig base_config() {
+  WorkloadConfig wc;
+  wc.selection = SelectionType::kRange;
+  wc.analytic = AnalyticType::kCount;
+  wc.subspace_cols = {0, 1};
+  wc.num_hotspots = 3;
+  wc.seed = 241;
+  return wc;
+}
+
+const Rect kUnit{{0.0, 0.0}, {1.0, 1.0}};
+
+TEST(Workload, DeterministicForSameSeed) {
+  QueryWorkload a(base_config(), kUnit);
+  QueryWorkload b(base_config(), kUnit);
+  for (int i = 0; i < 50; ++i) {
+    const auto qa = a.next();
+    const auto qb = b.next();
+    EXPECT_EQ(qa.range.lo, qb.range.lo);
+    EXPECT_EQ(qa.range.hi, qb.range.hi);
+  }
+}
+
+TEST(Workload, QueriesAreValidAndInDomainNeighbourhood) {
+  QueryWorkload wl(base_config(), kUnit);
+  for (int i = 0; i < 200; ++i) {
+    const auto q = wl.next();
+    EXPECT_NO_THROW(q.validate());
+    const Point c = q.selection_center();
+    EXPECT_GE(c[0], -0.2);
+    EXPECT_LE(c[0], 1.2);
+  }
+}
+
+TEST(Workload, QueriesClusterAroundHotspots) {
+  WorkloadConfig wc = base_config();
+  wc.hotspot_spread = 0.02;
+  QueryWorkload wl(wc, kUnit);
+  const auto& hotspots = wl.hotspots();
+  ASSERT_EQ(hotspots.size(), 3u);
+  std::size_t near = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    const Point c = wl.next().selection_center();
+    for (const auto& h : hotspots) {
+      if (euclidean_distance(c, h) < 0.1) {
+        ++near;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(near) / n, 0.9);
+}
+
+TEST(Workload, WidthsRespectConfiguredRange) {
+  WorkloadConfig wc = base_config();
+  wc.min_width = 0.1;
+  wc.max_width = 0.2;
+  QueryWorkload wl(wc, kUnit);
+  for (int i = 0; i < 100; ++i) {
+    const auto q = wl.next();
+    for (std::size_t d = 0; d < 2; ++d) {
+      const double w = q.range.hi[d] - q.range.lo[d];
+      EXPECT_GE(w, 0.1 - 1e-9);
+      EXPECT_LE(w, 0.2 + 1e-9);
+    }
+  }
+}
+
+TEST(Workload, RadiusSelectionRespectsRange) {
+  WorkloadConfig wc = base_config();
+  wc.selection = SelectionType::kRadius;
+  wc.min_radius = 0.05;
+  wc.max_radius = 0.1;
+  QueryWorkload wl(wc, kUnit);
+  for (int i = 0; i < 100; ++i) {
+    const auto q = wl.next();
+    EXPECT_EQ(q.selection, SelectionType::kRadius);
+    EXPECT_GE(q.ball.radius, 0.05 - 1e-9);
+    EXPECT_LE(q.ball.radius, 0.1 + 1e-9);
+  }
+}
+
+TEST(Workload, KnnSelectionRespectsKRange) {
+  WorkloadConfig wc = base_config();
+  wc.selection = SelectionType::kNearestNeighbors;
+  wc.min_k = 3;
+  wc.max_k = 9;
+  QueryWorkload wl(wc, kUnit);
+  for (int i = 0; i < 100; ++i) {
+    const auto q = wl.next();
+    EXPECT_GE(q.knn_k, 3u);
+    EXPECT_LE(q.knn_k, 9u);
+  }
+}
+
+TEST(Workload, DriftMovesHotspots) {
+  QueryWorkload wl(base_config(), kUnit);
+  const auto before = wl.hotspots();
+  wl.drift_hotspots(0.3);
+  const auto after = wl.hotspots();
+  double moved = 0;
+  for (std::size_t h = 0; h < before.size(); ++h)
+    moved += euclidean_distance(before[h], after[h]);
+  EXPECT_GT(moved, 0.05);
+  // Hotspots stay inside the domain.
+  for (const auto& h : after) {
+    EXPECT_GE(h[0], 0.0);
+    EXPECT_LE(h[0], 1.0);
+  }
+}
+
+TEST(Workload, ResetReplacesHotspots) {
+  QueryWorkload wl(base_config(), kUnit);
+  const auto before = wl.hotspots();
+  wl.reset_hotspots();
+  const auto after = wl.hotspots();
+  double moved = 0;
+  for (std::size_t h = 0; h < before.size(); ++h)
+    moved += euclidean_distance(before[h], after[h]);
+  EXPECT_GT(moved, 0.05);
+}
+
+TEST(Workload, AnchorsPinHotspotsToData) {
+  const Table t = small_dataset(1000, 2, 242);
+  WorkloadConfig wc = base_config();
+  wc.hotspot_anchors = sample_anchor_points(t, wc.subspace_cols, 16, 243);
+  QueryWorkload wl(wc, table_bounds(t, std::vector<std::size_t>{0, 1}));
+  for (const auto& h : wl.hotspots()) {
+    bool found = false;
+    for (const auto& a : wc.hotspot_anchors)
+      if (a == h) found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Workload, SampleAnchorPointsProjectsRows) {
+  const Table t = small_dataset(500, 2, 244);
+  const std::vector<std::size_t> cols = {1, 0};  // reversed projection
+  const auto anchors = sample_anchor_points(t, cols, 10, 245);
+  ASSERT_EQ(anchors.size(), 10u);
+  for (const auto& a : anchors) EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Workload, InvalidConfigThrows) {
+  WorkloadConfig wc = base_config();
+  wc.subspace_cols.clear();
+  EXPECT_THROW(QueryWorkload(wc, kUnit), std::invalid_argument);
+
+  WorkloadConfig mismatch = base_config();
+  EXPECT_THROW(QueryWorkload(mismatch, Rect{{0.0}, {1.0}}),
+               std::invalid_argument);
+
+  WorkloadConfig zero = base_config();
+  zero.num_hotspots = 0;
+  EXPECT_THROW(QueryWorkload(zero, kUnit), std::invalid_argument);
+
+  Table empty{Schema({"a"})};
+  EXPECT_THROW(sample_anchor_points(empty, {0}, 3, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sea
