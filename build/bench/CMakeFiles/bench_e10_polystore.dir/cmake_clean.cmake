@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_polystore.dir/bench_e10_polystore.cpp.o"
+  "CMakeFiles/bench_e10_polystore.dir/bench_e10_polystore.cpp.o.d"
+  "bench_e10_polystore"
+  "bench_e10_polystore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_polystore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_imputation.dir/bench_e11_imputation.cpp.o"
+  "CMakeFiles/bench_e11_imputation.dir/bench_e11_imputation.cpp.o.d"
+  "bench_e11_imputation"
+  "bench_e11_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

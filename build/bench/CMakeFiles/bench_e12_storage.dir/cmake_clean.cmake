@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_storage.dir/bench_e12_storage.cpp.o"
+  "CMakeFiles/bench_e12_storage.dir/bench_e12_storage.cpp.o.d"
+  "bench_e12_storage"
+  "bench_e12_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

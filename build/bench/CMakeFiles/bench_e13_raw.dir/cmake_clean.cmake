@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_raw.dir/bench_e13_raw.cpp.o"
+  "CMakeFiles/bench_e13_raw.dir/bench_e13_raw.cpp.o.d"
+  "bench_e13_raw"
+  "bench_e13_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

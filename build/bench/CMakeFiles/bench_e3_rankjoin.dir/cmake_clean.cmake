@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_rankjoin.dir/bench_e3_rankjoin.cpp.o"
+  "CMakeFiles/bench_e3_rankjoin.dir/bench_e3_rankjoin.cpp.o.d"
+  "bench_e3_rankjoin"
+  "bench_e3_rankjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_rankjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

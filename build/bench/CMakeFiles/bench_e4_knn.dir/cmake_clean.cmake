@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_knn.dir/bench_e4_knn.cpp.o"
+  "CMakeFiles/bench_e4_knn.dir/bench_e4_knn.cpp.o.d"
+  "bench_e4_knn"
+  "bench_e4_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

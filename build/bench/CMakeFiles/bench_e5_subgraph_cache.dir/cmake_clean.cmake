@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_subgraph_cache.dir/bench_e5_subgraph_cache.cpp.o"
+  "CMakeFiles/bench_e5_subgraph_cache.dir/bench_e5_subgraph_cache.cpp.o.d"
+  "bench_e5_subgraph_cache"
+  "bench_e5_subgraph_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_subgraph_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

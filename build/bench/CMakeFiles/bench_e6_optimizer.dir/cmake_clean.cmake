@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_optimizer.dir/bench_e6_optimizer.cpp.o"
+  "CMakeFiles/bench_e6_optimizer.dir/bench_e6_optimizer.cpp.o.d"
+  "bench_e6_optimizer"
+  "bench_e6_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_geo.dir/bench_e7_geo.cpp.o"
+  "CMakeFiles/bench_e7_geo.dir/bench_e7_geo.cpp.o.d"
+  "bench_e7_geo"
+  "bench_e7_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

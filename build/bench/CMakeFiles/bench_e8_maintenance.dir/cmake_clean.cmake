@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_maintenance.dir/bench_e8_maintenance.cpp.o"
+  "CMakeFiles/bench_e8_maintenance.dir/bench_e8_maintenance.cpp.o.d"
+  "bench_e8_maintenance"
+  "bench_e8_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

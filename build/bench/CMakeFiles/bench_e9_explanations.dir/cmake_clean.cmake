@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_explanations.dir/bench_e9_explanations.cpp.o"
+  "CMakeFiles/bench_e9_explanations.dir/bench_e9_explanations.cpp.o.d"
+  "bench_e9_explanations"
+  "bench_e9_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_edge_analytics.dir/geo_edge_analytics.cpp.o"
+  "CMakeFiles/geo_edge_analytics.dir/geo_edge_analytics.cpp.o.d"
+  "geo_edge_analytics"
+  "geo_edge_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_edge_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

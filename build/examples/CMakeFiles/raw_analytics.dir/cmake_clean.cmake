@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_analytics.dir/raw_analytics.cpp.o"
+  "CMakeFiles/raw_analytics.dir/raw_analytics.cpp.o.d"
+  "raw_analytics"
+  "raw_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("data")
+subdirs("raw")
+subdirs("net")
+subdirs("cluster")
+subdirs("exec")
+subdirs("index")
+subdirs("ml")
+subdirs("aqp")
+subdirs("workload")
+subdirs("sea")
+subdirs("ops")
+subdirs("graph")
+subdirs("optimizer")
+subdirs("geo")

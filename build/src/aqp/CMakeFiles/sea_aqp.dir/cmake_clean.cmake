@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_aqp.dir/sampling.cpp.o"
+  "CMakeFiles/sea_aqp.dir/sampling.cpp.o.d"
+  "CMakeFiles/sea_aqp.dir/stat_cache.cpp.o"
+  "CMakeFiles/sea_aqp.dir/stat_cache.cpp.o.d"
+  "libsea_aqp.a"
+  "libsea_aqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_aqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/sea_cluster.dir/cluster.cpp.o.d"
+  "libsea_cluster.a"
+  "libsea_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

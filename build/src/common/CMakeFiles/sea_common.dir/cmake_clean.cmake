@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_common.dir/log.cpp.o"
+  "CMakeFiles/sea_common.dir/log.cpp.o.d"
+  "CMakeFiles/sea_common.dir/rng.cpp.o"
+  "CMakeFiles/sea_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sea_common.dir/stats.cpp.o"
+  "CMakeFiles/sea_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sea_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/sea_common.dir/thread_pool.cpp.o.d"
+  "libsea_common.a"
+  "libsea_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_data.dir/csv.cpp.o"
+  "CMakeFiles/sea_data.dir/csv.cpp.o.d"
+  "CMakeFiles/sea_data.dir/generator.cpp.o"
+  "CMakeFiles/sea_data.dir/generator.cpp.o.d"
+  "CMakeFiles/sea_data.dir/table.cpp.o"
+  "CMakeFiles/sea_data.dir/table.cpp.o.d"
+  "libsea_data.a"
+  "libsea_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_exec.dir/exec_report.cpp.o"
+  "CMakeFiles/sea_exec.dir/exec_report.cpp.o.d"
+  "libsea_exec.a"
+  "libsea_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

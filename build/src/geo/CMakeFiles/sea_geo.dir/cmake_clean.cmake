@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_geo.dir/geo_system.cpp.o"
+  "CMakeFiles/sea_geo.dir/geo_system.cpp.o.d"
+  "CMakeFiles/sea_geo.dir/polystore.cpp.o"
+  "CMakeFiles/sea_geo.dir/polystore.cpp.o.d"
+  "libsea_geo.a"
+  "libsea_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_graph.dir/graph.cpp.o"
+  "CMakeFiles/sea_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/sea_graph.dir/matcher.cpp.o"
+  "CMakeFiles/sea_graph.dir/matcher.cpp.o.d"
+  "CMakeFiles/sea_graph.dir/query_cache.cpp.o"
+  "CMakeFiles/sea_graph.dir/query_cache.cpp.o.d"
+  "libsea_graph.a"
+  "libsea_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsea_graph.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bloom.cpp" "src/index/CMakeFiles/sea_index.dir/bloom.cpp.o" "gcc" "src/index/CMakeFiles/sea_index.dir/bloom.cpp.o.d"
+  "/root/repo/src/index/count_min.cpp" "src/index/CMakeFiles/sea_index.dir/count_min.cpp.o" "gcc" "src/index/CMakeFiles/sea_index.dir/count_min.cpp.o.d"
+  "/root/repo/src/index/grid.cpp" "src/index/CMakeFiles/sea_index.dir/grid.cpp.o" "gcc" "src/index/CMakeFiles/sea_index.dir/grid.cpp.o.d"
+  "/root/repo/src/index/histogram.cpp" "src/index/CMakeFiles/sea_index.dir/histogram.cpp.o" "gcc" "src/index/CMakeFiles/sea_index.dir/histogram.cpp.o.d"
+  "/root/repo/src/index/kdtree.cpp" "src/index/CMakeFiles/sea_index.dir/kdtree.cpp.o" "gcc" "src/index/CMakeFiles/sea_index.dir/kdtree.cpp.o.d"
+  "/root/repo/src/index/score_index.cpp" "src/index/CMakeFiles/sea_index.dir/score_index.cpp.o" "gcc" "src/index/CMakeFiles/sea_index.dir/score_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/sea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_index.dir/bloom.cpp.o"
+  "CMakeFiles/sea_index.dir/bloom.cpp.o.d"
+  "CMakeFiles/sea_index.dir/count_min.cpp.o"
+  "CMakeFiles/sea_index.dir/count_min.cpp.o.d"
+  "CMakeFiles/sea_index.dir/grid.cpp.o"
+  "CMakeFiles/sea_index.dir/grid.cpp.o.d"
+  "CMakeFiles/sea_index.dir/histogram.cpp.o"
+  "CMakeFiles/sea_index.dir/histogram.cpp.o.d"
+  "CMakeFiles/sea_index.dir/kdtree.cpp.o"
+  "CMakeFiles/sea_index.dir/kdtree.cpp.o.d"
+  "CMakeFiles/sea_index.dir/score_index.cpp.o"
+  "CMakeFiles/sea_index.dir/score_index.cpp.o.d"
+  "libsea_index.a"
+  "libsea_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

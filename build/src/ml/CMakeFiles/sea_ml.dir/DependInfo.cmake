@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/drift.cpp" "src/ml/CMakeFiles/sea_ml.dir/drift.cpp.o" "gcc" "src/ml/CMakeFiles/sea_ml.dir/drift.cpp.o.d"
+  "/root/repo/src/ml/gbm.cpp" "src/ml/CMakeFiles/sea_ml.dir/gbm.cpp.o" "gcc" "src/ml/CMakeFiles/sea_ml.dir/gbm.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/sea_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/sea_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/knn_model.cpp" "src/ml/CMakeFiles/sea_ml.dir/knn_model.cpp.o" "gcc" "src/ml/CMakeFiles/sea_ml.dir/knn_model.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/sea_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/sea_ml.dir/linear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sea_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

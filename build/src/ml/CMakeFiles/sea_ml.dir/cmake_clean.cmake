@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_ml.dir/drift.cpp.o"
+  "CMakeFiles/sea_ml.dir/drift.cpp.o.d"
+  "CMakeFiles/sea_ml.dir/gbm.cpp.o"
+  "CMakeFiles/sea_ml.dir/gbm.cpp.o.d"
+  "CMakeFiles/sea_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/sea_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/sea_ml.dir/knn_model.cpp.o"
+  "CMakeFiles/sea_ml.dir/knn_model.cpp.o.d"
+  "CMakeFiles/sea_ml.dir/linear.cpp.o"
+  "CMakeFiles/sea_ml.dir/linear.cpp.o.d"
+  "libsea_ml.a"
+  "libsea_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

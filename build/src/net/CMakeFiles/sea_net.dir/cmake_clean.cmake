@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_net.dir/network.cpp.o"
+  "CMakeFiles/sea_net.dir/network.cpp.o.d"
+  "libsea_net.a"
+  "libsea_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_ops.dir/adhoc_ml.cpp.o"
+  "CMakeFiles/sea_ops.dir/adhoc_ml.cpp.o.d"
+  "CMakeFiles/sea_ops.dir/imputation.cpp.o"
+  "CMakeFiles/sea_ops.dir/imputation.cpp.o.d"
+  "CMakeFiles/sea_ops.dir/knn_variants.cpp.o"
+  "CMakeFiles/sea_ops.dir/knn_variants.cpp.o.d"
+  "CMakeFiles/sea_ops.dir/rank_join.cpp.o"
+  "CMakeFiles/sea_ops.dir/rank_join.cpp.o.d"
+  "CMakeFiles/sea_ops.dir/spatial.cpp.o"
+  "CMakeFiles/sea_ops.dir/spatial.cpp.o.d"
+  "libsea_ops.a"
+  "libsea_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

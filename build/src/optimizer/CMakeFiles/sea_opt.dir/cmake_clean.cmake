@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_opt.dir/adaptive.cpp.o"
+  "CMakeFiles/sea_opt.dir/adaptive.cpp.o.d"
+  "CMakeFiles/sea_opt.dir/selector.cpp.o"
+  "CMakeFiles/sea_opt.dir/selector.cpp.o.d"
+  "libsea_opt.a"
+  "libsea_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_raw.dir/raw_store.cpp.o"
+  "CMakeFiles/sea_raw.dir/raw_store.cpp.o.d"
+  "libsea_raw.a"
+  "libsea_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

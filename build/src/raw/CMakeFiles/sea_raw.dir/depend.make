@@ -1,0 +1,2 @@
+# Empty dependencies file for sea_raw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sea/agent.cpp" "src/sea/CMakeFiles/sea_core.dir/agent.cpp.o" "gcc" "src/sea/CMakeFiles/sea_core.dir/agent.cpp.o.d"
+  "/root/repo/src/sea/agent_serialize.cpp" "src/sea/CMakeFiles/sea_core.dir/agent_serialize.cpp.o" "gcc" "src/sea/CMakeFiles/sea_core.dir/agent_serialize.cpp.o.d"
+  "/root/repo/src/sea/aggregate.cpp" "src/sea/CMakeFiles/sea_core.dir/aggregate.cpp.o" "gcc" "src/sea/CMakeFiles/sea_core.dir/aggregate.cpp.o.d"
+  "/root/repo/src/sea/exact.cpp" "src/sea/CMakeFiles/sea_core.dir/exact.cpp.o" "gcc" "src/sea/CMakeFiles/sea_core.dir/exact.cpp.o.d"
+  "/root/repo/src/sea/explain.cpp" "src/sea/CMakeFiles/sea_core.dir/explain.cpp.o" "gcc" "src/sea/CMakeFiles/sea_core.dir/explain.cpp.o.d"
+  "/root/repo/src/sea/query.cpp" "src/sea/CMakeFiles/sea_core.dir/query.cpp.o" "gcc" "src/sea/CMakeFiles/sea_core.dir/query.cpp.o.d"
+  "/root/repo/src/sea/served.cpp" "src/sea/CMakeFiles/sea_core.dir/served.cpp.o" "gcc" "src/sea/CMakeFiles/sea_core.dir/served.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/sea_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sea_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sea_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sea_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sea_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

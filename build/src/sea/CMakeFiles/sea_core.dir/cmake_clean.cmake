@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_core.dir/agent.cpp.o"
+  "CMakeFiles/sea_core.dir/agent.cpp.o.d"
+  "CMakeFiles/sea_core.dir/agent_serialize.cpp.o"
+  "CMakeFiles/sea_core.dir/agent_serialize.cpp.o.d"
+  "CMakeFiles/sea_core.dir/aggregate.cpp.o"
+  "CMakeFiles/sea_core.dir/aggregate.cpp.o.d"
+  "CMakeFiles/sea_core.dir/exact.cpp.o"
+  "CMakeFiles/sea_core.dir/exact.cpp.o.d"
+  "CMakeFiles/sea_core.dir/explain.cpp.o"
+  "CMakeFiles/sea_core.dir/explain.cpp.o.d"
+  "CMakeFiles/sea_core.dir/query.cpp.o"
+  "CMakeFiles/sea_core.dir/query.cpp.o.d"
+  "CMakeFiles/sea_core.dir/served.cpp.o"
+  "CMakeFiles/sea_core.dir/served.cpp.o.d"
+  "libsea_core.a"
+  "libsea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

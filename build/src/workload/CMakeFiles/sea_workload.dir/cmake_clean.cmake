@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sea_workload.dir/workload.cpp.o"
+  "CMakeFiles/sea_workload.dir/workload.cpp.o.d"
+  "libsea_workload.a"
+  "libsea_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sea_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adhoc_ml.dir/test_adhoc_ml.cpp.o"
+  "CMakeFiles/test_adhoc_ml.dir/test_adhoc_ml.cpp.o.d"
+  "test_adhoc_ml"
+  "test_adhoc_ml.pdb"
+  "test_adhoc_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adhoc_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

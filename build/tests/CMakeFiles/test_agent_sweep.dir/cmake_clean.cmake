@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agent_sweep.dir/test_agent_sweep.cpp.o"
+  "CMakeFiles/test_agent_sweep.dir/test_agent_sweep.cpp.o.d"
+  "test_agent_sweep"
+  "test_agent_sweep.pdb"
+  "test_agent_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agent_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

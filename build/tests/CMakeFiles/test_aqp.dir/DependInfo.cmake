@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aqp.cpp" "tests/CMakeFiles/test_aqp.dir/test_aqp.cpp.o" "gcc" "tests/CMakeFiles/test_aqp.dir/test_aqp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/sea_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/sea_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/sea_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sea_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqp/CMakeFiles/sea_aqp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sea_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sea/CMakeFiles/sea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/raw/CMakeFiles/sea_raw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sea_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sea_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sea_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sea_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sea_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sea_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

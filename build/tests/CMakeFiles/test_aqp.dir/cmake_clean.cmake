@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aqp.dir/test_aqp.cpp.o"
+  "CMakeFiles/test_aqp.dir/test_aqp.cpp.o.d"
+  "test_aqp"
+  "test_aqp.pdb"
+  "test_aqp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knn_variants.dir/test_knn_variants.cpp.o"
+  "CMakeFiles/test_knn_variants.dir/test_knn_variants.cpp.o.d"
+  "test_knn_variants"
+  "test_knn_variants.pdb"
+  "test_knn_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knn_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

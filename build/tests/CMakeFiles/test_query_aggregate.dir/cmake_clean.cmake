@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_aggregate.dir/test_query_aggregate.cpp.o"
+  "CMakeFiles/test_query_aggregate.dir/test_query_aggregate.cpp.o.d"
+  "test_query_aggregate"
+  "test_query_aggregate.pdb"
+  "test_query_aggregate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
