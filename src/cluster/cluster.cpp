@@ -27,18 +27,33 @@ bool Cluster::node_is_down(NodeId node) const {
   return node_down_[node];
 }
 
+std::string Cluster::down_nodes_string() const {
+  std::string out;
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    if (!node_down_[n]) continue;
+    if (!out.empty()) out += ',';
+    out += std::to_string(n);
+  }
+  return out.empty() ? "none" : out;
+}
+
 NodeId Cluster::serving_node(const std::string& name,
                              std::size_t shard) const {
   const auto& st = stored(name);
   if (shard >= st.partitions.size())
-    throw std::out_of_range("Cluster::serving_node: bad shard");
+    throw std::out_of_range("Cluster::serving_node: shard " +
+                            std::to_string(shard) + " out of range for table " +
+                            name + " (" +
+                            std::to_string(st.partitions.size()) + " shards)");
   const std::size_t replicas = std::max<std::size_t>(1, st.spec.replicas);
   for (std::size_t r = 0; r < replicas; ++r) {
     const auto node = static_cast<NodeId>((shard + r) % num_nodes_);
     if (!node_down_[node]) return node;
   }
-  throw std::runtime_error("Cluster::serving_node: no live replica of shard " +
-                           std::to_string(shard) + " of " + name);
+  throw NoLiveReplicaError(
+      "Cluster::serving_node: no live replica of shard " +
+      std::to_string(shard) + " of table " + name + " (replicas=" +
+      std::to_string(replicas) + ", down nodes: " + down_nodes_string() + ")");
 }
 
 void Cluster::load_table(const std::string& name, const Table& table,
@@ -141,14 +156,21 @@ Cluster::StoredTable& Cluster::stored(const std::string& name) {
 const Table& Cluster::partition(const std::string& name, NodeId node) const {
   const auto& st = stored(name);
   if (node >= st.partitions.size())
-    throw std::out_of_range("Cluster::partition: bad node");
+    throw std::out_of_range(
+        "Cluster::partition: node " + std::to_string(node) +
+        " out of range for table " + name + " (" +
+        std::to_string(st.partitions.size()) + " nodes, down nodes: " +
+        down_nodes_string() + ")");
   return st.partitions[node];
 }
 
 Table& Cluster::mutable_partition(const std::string& name, NodeId node) {
   auto& st = stored(name);
   if (node >= st.partitions.size())
-    throw std::out_of_range("Cluster::mutable_partition: bad node");
+    throw std::out_of_range(
+        "Cluster::mutable_partition: node " + std::to_string(node) +
+        " out of range for table " + name + " (" +
+        std::to_string(st.partitions.size()) + " nodes)");
   ++st.versions[node];
   return st.partitions[node];
 }
@@ -195,7 +217,8 @@ std::vector<NodeId> Cluster::nodes_for_range(const std::string& name,
 void Cluster::account_task(NodeId node) {
   if (node >= num_nodes_) throw std::out_of_range("Cluster::account_task");
   if (node_down_[node])
-    throw std::runtime_error("Cluster::account_task: node is down");
+    throw NodeDownError(node, "Cluster::account_task: node " +
+                                  std::to_string(node) + " is down");
   ++stats_.tasks;
   ++stats_.node_touches;
   stats_.modelled_overhead_ms += cost_.task_overhead_ms();
@@ -212,7 +235,8 @@ void Cluster::account_probe(NodeId node, std::uint64_t probes,
                             std::uint64_t rows, std::uint64_t bytes) {
   if (node >= num_nodes_) throw std::out_of_range("Cluster::account_probe");
   if (node_down_[node])
-    throw std::runtime_error("Cluster::account_probe: node is down");
+    throw NodeDownError(node, "Cluster::account_probe: node " +
+                                  std::to_string(node) + " is down");
   stats_.index_probes += probes;
   stats_.rows_scanned += rows;
   stats_.bytes_read += bytes;

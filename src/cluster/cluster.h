@@ -14,14 +14,35 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "data/table.h"
+#include "fault/retry.h"
 #include "net/network.h"
 
 namespace sea {
+
+class FaultInjector;  // src/fault — ticked by executors via the cluster
+
+/// Work was issued against a node currently marked down (a transient flap
+/// raced the task placement). Executors catch this and re-route.
+class NodeDownError : public std::runtime_error {
+ public:
+  NodeDownError(NodeId node, const std::string& what)
+      : std::runtime_error(what), node(node) {}
+  NodeId node;
+};
+
+/// Every replica holder of a shard is down: the exact path is unavailable
+/// and callers must degrade (serve a model answer) or surface the outage.
+class NoLiveReplicaError : public std::runtime_error {
+ public:
+  explicit NoLiveReplicaError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// How a logical table is split across storage nodes.
 enum class Partitioning {
@@ -71,6 +92,14 @@ struct AccessStats {
   }
 };
 
+/// Combined access + traffic snapshot, so "oracle" executions (benchmark
+/// ground-truth audits) can be fully excluded from the accounting.
+/// reset_stats() clears both; restore_stats() must restore both too.
+struct ClusterStatsSnapshot {
+  AccessStats access;
+  TrafficStats traffic;
+};
+
 class Cluster {
  public:
   Cluster(std::size_t num_nodes, Network network, BdasCostModel cost = {});
@@ -117,8 +146,28 @@ class Cluster {
 
   /// The node currently serving `shard` of `name`: the primary (node id ==
   /// shard) when up, else the first live replica holder (shard + r) % N.
-  /// Throws std::runtime_error when no live copy exists.
+  /// Throws NoLiveReplicaError when no live copy exists.
   NodeId serving_node(const std::string& name, std::size_t shard) const;
+
+  /// Comma-separated ids of currently-down nodes ("none" when all up);
+  /// used in failure diagnostics.
+  std::string down_nodes_string() const;
+
+  // --- fault-injection & retry wiring (src/fault) ---
+
+  /// The injector (if any) executors must tick at task/RPC boundaries so
+  /// transient flap schedules progress. Set via FaultInjector::attach.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return fault_injector_; }
+
+  /// Retry/backoff policy applied by CohortSession::rpc and the MapReduce
+  /// engine's message delivery.
+  void set_retry_policy(const RetryPolicy& policy) noexcept {
+    retry_ = policy;
+  }
+  const RetryPolicy& retry_policy() const noexcept { return retry_; }
 
   /// For range partitioning: nodes whose range of the partition column
   /// intersects [lo, hi]. For other schemes, all nodes holding the table.
@@ -141,9 +190,17 @@ class Cluster {
     stats_ = AccessStats{};
     network_.reset_stats();
   }
-  /// Restores a previously snapshotted access-stats state (used to keep
-  /// benchmark "oracle" executions out of the accounting).
-  void restore_stats(const AccessStats& s) noexcept { stats_ = s; }
+  /// Snapshot/restore of the full accounting state — access *and* network
+  /// traffic — used to keep benchmark "oracle" executions out of the
+  /// accounting. (Restoring only access stats would silently leak oracle
+  /// network traffic into the numbers.)
+  ClusterStatsSnapshot snapshot_stats() const {
+    return ClusterStatsSnapshot{stats_, network_.stats()};
+  }
+  void restore_stats(const ClusterStatsSnapshot& s) noexcept {
+    stats_ = s.access;
+    network_.restore_stats(s.traffic);
+  }
 
  private:
   struct StoredTable {
@@ -162,6 +219,8 @@ class Cluster {
   std::unordered_map<std::string, StoredTable> tables_;
   std::vector<bool> node_down_;
   AccessStats stats_;
+  FaultInjector* fault_injector_ = nullptr;
+  RetryPolicy retry_;
 };
 
 }  // namespace sea

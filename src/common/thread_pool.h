@@ -24,6 +24,10 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Drains already-queued tasks, joins all workers, and rejects further
+  /// submits. Idempotent; also called by the destructor.
+  void shutdown();
+
   /// Enqueue a task; the returned future reports its completion/exception.
   template <typename F>
   std::future<void> submit(F&& f) {

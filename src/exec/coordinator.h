@@ -6,6 +6,14 @@
 // *which* nodes and *which* tuples matter. This is the paradigm behind the
 // paper's claimed orders-of-magnitude wins for rank-join [30] and kNN [33].
 //
+// Resilience: each rpc() applies the cluster's RetryPolicy — a dropped or
+// timed-out request/response is retried with exponential backoff (jitter
+// drawn from the fault injector's seeded RNG, so the whole recovery trace
+// is deterministic). A cohort node that flaps mid-call raises
+// NodeDownError so the caller can re-route to a replica holder. Retry
+// cost lands in the ExecReport (retries, dropped_messages,
+// modelled_backoff_ms) and therefore in makespan and money cost.
+//
 // The session accumulates an ExecReport comparable with MapReduce runs.
 #pragma once
 
@@ -17,6 +25,8 @@
 #include "cluster/cluster.h"
 #include "common/timer.h"
 #include "exec/exec_report.h"
+#include "fault/fault.h"
+#include "fault/retry.h"
 
 namespace sea {
 
@@ -30,21 +40,45 @@ class CohortSession {
 
   /// One round trip: request of `request_bytes` to `node`, server-side work
   /// `fn()` (measured; fn must do its own account_probe/account_scan), and
-  /// a `response_bytes` reply. Returns fn's value.
+  /// a `response_bytes` reply. Returns fn's value. Retries dropped/timed-out
+  /// legs per the cluster's RetryPolicy (fn re-executes on a lost response —
+  /// cohort reads are idempotent); throws RpcRetriesExhausted when attempts
+  /// run out and NodeDownError when the cohort node is down (re-route).
   template <typename F>
   auto rpc(NodeId node, std::size_t request_bytes, std::size_t response_bytes,
            F&& fn) -> decltype(fn()) {
-    const double out_ms =
-        cluster_.network().send(coordinator_, node, request_bytes);
-    Timer t;
-    if constexpr (std::is_void_v<decltype(fn())>) {
-      std::forward<F>(fn)();
-      finish_rpc(node, response_bytes, out_ms, t.elapsed_ms());
-      return;
-    } else {
-      auto result = std::forward<F>(fn)();
-      finish_rpc(node, response_bytes, out_ms, t.elapsed_ms());
-      return result;
+    const RetryPolicy& policy = cluster_.retry_policy();
+    FaultInjector* injector = cluster_.fault_injector();
+    for (std::size_t attempt = 0;; ++attempt) {
+      if (injector) injector->tick(cluster_);
+      if (cluster_.node_is_down(node))
+        throw NodeDownError(node, "CohortSession::rpc: cohort node " +
+                                      std::to_string(node) + " is down");
+      const SendOutcome out =
+          cluster_.network().try_send(coordinator_, node, request_bytes);
+      if (out.delivered && out.ms <= policy.rpc_timeout_ms) {
+        Timer t;
+        if constexpr (std::is_void_v<decltype(fn())>) {
+          fn();
+          if (deliver_response(node, response_bytes, out.ms, t.elapsed_ms(),
+                               policy)) {
+            return;
+          }
+        } else {
+          auto result = fn();
+          if (deliver_response(node, response_bytes, out.ms, t.elapsed_ms(),
+                               policy)) {
+            return result;
+          }
+        }
+      } else {
+        // Request leg lost (or modelled as timed out): the attempt still
+        // consumed its transfer/detection time on the critical path.
+        if (!out.delivered) ++report_.dropped_messages;
+        report_.modelled_network_ms += out.ms;
+        report_.modelled_network_ms_critical += out.ms;
+      }
+      note_retry(attempt, policy, injector, node);
     }
   }
 
@@ -72,6 +106,10 @@ class CohortSession {
     }
   }
 
+  /// Records that a task was moved to a replica holder after its serving
+  /// node flapped mid-query (called by executors on NodeDownError).
+  void note_reroute() noexcept { ++report_.tasks_rerouted; }
+
   const ExecReport& report() const noexcept { return report_; }
   ExecReport take_report() noexcept {
     ExecReport r = report_;
@@ -80,24 +118,47 @@ class CohortSession {
   }
 
  private:
-  void finish_rpc(NodeId node, std::size_t response_bytes, double out_ms,
-                  double server_ms) {
-    const double back_ms =
-        cluster_.network().send(node, coordinator_, response_bytes);
-    report_.modelled_network_ms += out_ms + back_ms;
+  /// Response leg of an attempt whose request+work succeeded. Returns true
+  /// when delivered; on a drop/timeout charges the wasted round trip so the
+  /// caller retries (server work is also wasted and re-measured).
+  bool deliver_response(NodeId node, std::size_t response_bytes, double out_ms,
+                        double server_ms, const RetryPolicy& policy) {
+    const SendOutcome back =
+        cluster_.network().try_send(node, coordinator_, response_bytes);
     // RPCs are issued in sequence by the coordinator, so every round trip
-    // is on the critical path.
-    report_.modelled_network_ms_critical += out_ms + back_ms;
-    report_.modelled_overhead_ms += cluster_.cost_model().coordinator_rpc_ms;
+    // (including failed ones) is on the critical path.
+    report_.modelled_network_ms += out_ms + back.ms;
+    report_.modelled_network_ms_critical += out_ms + back.ms;
     // RPCs run sequentially, so server-side work is critical-path compute.
     report_.coordinator_compute_ms += server_ms;
+    if (!back.delivered || back.ms > policy.rpc_timeout_ms) {
+      if (!back.delivered) ++report_.dropped_messages;
+      return false;
+    }
+    report_.modelled_overhead_ms += cluster_.cost_model().coordinator_rpc_ms;
     report_.result_bytes += response_bytes;
     ++report_.rpc_round_trips;
+    return true;
+  }
+
+  /// Bookkeeping between attempts; throws RpcRetriesExhausted at the cap.
+  void note_retry(std::size_t attempt, const RetryPolicy& policy,
+                  FaultInjector* injector, NodeId node) {
+    if (attempt + 1 >= policy.max_attempts)
+      throw RpcRetriesExhausted(
+          "CohortSession::rpc: " + std::to_string(policy.max_attempts) +
+          " attempts to node " + std::to_string(node) + " all failed");
+    ++report_.retries;
+    report_.modelled_backoff_ms +=
+        policy.backoff_ms(attempt, injector ? injector->rng() : backoff_rng_);
   }
 
   Cluster& cluster_;
   NodeId coordinator_;
   ExecReport report_;
+  /// Jitter source when no fault injector is attached (fixed seed keeps
+  /// even injector-less retry traces deterministic).
+  Rng backoff_rng_{0x5eabac0ffULL};
 };
 
 }  // namespace sea

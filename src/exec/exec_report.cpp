@@ -20,13 +20,19 @@ void ExecReport::merge(const ExecReport& o) noexcept {
   map_tasks += o.map_tasks;
   reduce_tasks += o.reduce_tasks;
   rpc_round_trips += o.rpc_round_trips;
+  retries += o.retries;
+  dropped_messages += o.dropped_messages;
+  tasks_rerouted += o.tasks_rerouted;
+  modelled_backoff_ms += o.modelled_backoff_ms;
 }
 
 double ExecReport::money_cost_usd(const CostRates& rates) const noexcept {
   // Node busy time: all real compute plus the stack overheads charged to
-  // nodes (tasks, RPC handling).
+  // nodes (tasks, RPC handling) and backoff waits — a retrying coordinator
+  // still occupies (and bills for) its node.
   const double node_ms = map_compute_ms_total + reduce_compute_ms_total +
-                         coordinator_compute_ms + modelled_overhead_ms;
+                         coordinator_compute_ms + modelled_overhead_ms +
+                         modelled_backoff_ms;
   const double node_hours = node_ms / 3.6e6;
   const double gb =
       static_cast<double>(shuffle_bytes + result_bytes) / 1.073741824e9;
@@ -40,6 +46,10 @@ std::string ExecReport::summary() const {
      << "ms shuffle=" << shuffle_bytes << "B result=" << result_bytes
      << "B map_tasks=" << map_tasks << " reduce_tasks=" << reduce_tasks
      << " rpcs=" << rpc_round_trips;
+  if (retries || dropped_messages || tasks_rerouted)
+    os << " retries=" << retries << " dropped=" << dropped_messages
+       << " rerouted=" << tasks_rerouted << " backoff=" << modelled_backoff_ms
+       << "ms";
   return os.str();
 }
 

@@ -39,20 +39,28 @@ struct ExecReport {
   std::uint64_t reduce_tasks = 0;
   std::uint64_t rpc_round_trips = 0;
 
+  // Fault-recovery accounting (src/fault): deterministic for a fixed
+  // FaultPlan seed, so resilience benchmarks are exactly repeatable.
+  std::uint64_t retries = 0;           ///< message/RPC re-attempts
+  std::uint64_t dropped_messages = 0;  ///< messages lost in flight
+  std::uint64_t tasks_rerouted = 0;    ///< tasks moved off a flapped node
+  double modelled_backoff_ms = 0.0;    ///< retry backoff waits (modelled)
+
   /// End-to-end modelled makespan: parallel map phase, then the critical
-  /// shuffle path, then parallel reduce, plus per-phase BDAS overheads.
+  /// shuffle path, then parallel reduce, plus per-phase BDAS overheads and
+  /// any retry backoff the coordinator sat through.
   double makespan_ms() const noexcept {
     return modelled_overhead_ms + map_compute_ms_max +
            modelled_network_ms_critical + reduce_compute_ms_max +
-           coordinator_compute_ms;
+           coordinator_compute_ms + modelled_backoff_ms;
   }
 
   /// Total resource consumption (what a cloud bill would charge for):
-  /// all compute everywhere plus all transfer time.
+  /// all compute everywhere plus all transfer time and backoff waits.
   double total_work_ms() const noexcept {
     return map_compute_ms_total + reduce_compute_ms_total +
            coordinator_compute_ms + modelled_network_ms +
-           modelled_overhead_ms;
+           modelled_overhead_ms + modelled_backoff_ms;
   }
 
   /// Estimated money cost under the given cloud rates — the paper's

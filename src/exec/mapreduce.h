@@ -6,6 +6,12 @@
 // to reducers, and reduced results are gathered at a coordinator. The
 // engine really executes the user's map and reduce functions on real
 // partition data; the network/overhead costs are modelled per DESIGN.md.
+//
+// Resilience: with a FaultInjector attached to the cluster, the engine
+// ticks the flap schedule at task boundaries, re-routes map/reduce tasks
+// whose placement node flapped (ExecReport::tasks_rerouted), and delivers
+// shuffle/result messages through the fallible send path with the
+// cluster's RetryPolicy (retries/dropped_messages/modelled_backoff_ms).
 #pragma once
 
 #include <algorithm>
@@ -19,6 +25,8 @@
 #include "cluster/cluster.h"
 #include "common/timer.h"
 #include "exec/exec_report.h"
+#include "fault/fault.h"
+#include "fault/retry.h"
 
 namespace sea {
 
@@ -58,7 +66,8 @@ struct MapReduceResult {
 ///  - one task + full partition scan per storage node (map phase),
 ///  - shuffle messages mapper->reducer sized by emitted pairs,
 ///  - one task per active reducer,
-///  - result messages reducer->coordinator.
+///  - result messages reducer->coordinator,
+///  - under injected faults: message retries, backoff, and task re-routes.
 template <typename K, typename V, typename R>
 MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
                                         const std::string& table_name,
@@ -67,6 +76,35 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   MapReduceResult<K, V, R> out;
   ExecReport& rep = out.report;
   const std::size_t n = cluster.num_nodes();
+  const RetryPolicy& policy = cluster.retry_policy();
+  FaultInjector* injector = cluster.fault_injector();
+  Rng fallback_backoff_rng(0x5eab0ffULL);
+  Rng& backoff_rng = injector ? injector->rng() : fallback_backoff_rng;
+
+  // Fault-aware message delivery: retries dropped/timed-out messages with
+  // backoff per the cluster's RetryPolicy. Returns the modelled time of
+  // all attempts plus backoff waits; throws RpcRetriesExhausted when the
+  // attempt budget runs out.
+  const auto deliver = [&](NodeId from, NodeId to,
+                           std::uint64_t bytes) -> double {
+    double total_ms = 0.0;
+    for (std::size_t attempt = 0;; ++attempt) {
+      const SendOutcome sent = cluster.network().try_send(
+          from, to, static_cast<std::size_t>(bytes));
+      total_ms += sent.ms;
+      if (sent.delivered && sent.ms <= policy.rpc_timeout_ms) return total_ms;
+      if (!sent.delivered) ++rep.dropped_messages;
+      if (attempt + 1 >= policy.max_attempts)
+        throw RpcRetriesExhausted(
+            "run_map_reduce: " + std::to_string(policy.max_attempts) +
+            " delivery attempts " + std::to_string(from) + "->" +
+            std::to_string(to) + " all failed");
+      ++rep.retries;
+      const double backoff = policy.backoff_ms(attempt, backoff_rng);
+      rep.modelled_backoff_ms += backoff;
+      total_ms += backoff;
+    }
+  };
 
   // Failover-aware placement: each shard's map task runs at its serving
   // node (primary, or a live replica holder when the primary is down);
@@ -74,6 +112,31 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   std::vector<NodeId> shard_node(n);
   for (std::size_t shard = 0; shard < n; ++shard)
     shard_node[shard] = cluster.serving_node(table_name, shard);
+
+  // --- map phase: full scans through the stack at every shard ---
+  std::vector<Emitter<K, V>> emitted(n);
+  for (std::size_t shard = 0; shard < n; ++shard) {
+    // The flap schedule advances at task boundaries; a task whose planned
+    // node went down since placement is re-routed to the shard's current
+    // serving node (a live replica holder), like a real scheduler would.
+    if (injector) injector->tick(cluster);
+    const NodeId node = cluster.serving_node(table_name, shard);
+    if (node != shard_node[shard]) {
+      ++rep.tasks_rerouted;
+      shard_node[shard] = node;
+    }
+    const Table& part = cluster.partition(table_name, shard);
+    cluster.account_task(node);
+    rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+    ++rep.map_tasks;
+    Timer t;
+    job.map(node, part, emitted[shard]);
+    const double ms = t.elapsed_ms();
+    rep.map_compute_ms_total += ms;
+    rep.map_compute_ms_max = std::max(rep.map_compute_ms_max, ms);
+    cluster.account_scan(node, part.num_rows(), part.byte_size());
+  }
+
   std::vector<NodeId> live;
   for (std::size_t node = 0; node < n; ++node)
     if (!cluster.node_is_down(static_cast<NodeId>(node)))
@@ -81,27 +144,16 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   const std::size_t num_reducers =
       job.num_reducers == 0 ? live.size()
                             : std::min(job.num_reducers, live.size());
-
-  // --- map phase: full scans through the stack at every shard ---
-  std::vector<Emitter<K, V>> emitted(n);
-  for (std::size_t shard = 0; shard < n; ++shard) {
-    const Table& part = cluster.partition(table_name, shard);
-    cluster.account_task(shard_node[shard]);
-    rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
-    ++rep.map_tasks;
-    Timer t;
-    job.map(shard_node[shard], part, emitted[shard]);
-    const double ms = t.elapsed_ms();
-    rep.map_compute_ms_total += ms;
-    rep.map_compute_ms_max = std::max(rep.map_compute_ms_max, ms);
-    cluster.account_scan(shard_node[shard], part.num_rows(),
-                         part.byte_size());
-  }
+  if (num_reducers == 0)
+    throw NoLiveReplicaError(
+        "run_map_reduce: no live node to place reducers on (down nodes: " +
+        cluster.down_nodes_string() + ")");
 
   // --- shuffle: route each key to hash(key) % num_reducers ---
   std::vector<std::unordered_map<K, std::vector<V>>> reducer_input(
       num_reducers);
   std::vector<double> inbound_ms(num_reducers, 0.0);
+  std::vector<std::uint64_t> inbound_bytes(num_reducers, 0);
   std::hash<K> hasher;
   for (std::size_t mapper = 0; mapper < n; ++mapper) {
     // Batch bytes per (mapper, reducer) pair: one message per pair, as a
@@ -114,21 +166,44 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
     }
     for (std::size_t r = 0; r < num_reducers; ++r) {
       if (batch_bytes[r] == 0) continue;
-      const double ms = cluster.network().send(shard_node[mapper], live[r],
-                                               batch_bytes[r]);
+      const double ms = deliver(shard_node[mapper], live[r], batch_bytes[r]);
       rep.modelled_network_ms += ms;
       inbound_ms[r] += ms;
+      inbound_bytes[r] += batch_bytes[r];
       rep.shuffle_bytes += batch_bytes[r];
     }
   }
-  for (const double ms : inbound_ms)
-    rep.modelled_network_ms_critical =
-        std::max(rep.modelled_network_ms_critical, ms);
 
   // --- reduce phase ---
   for (std::size_t r = 0; r < num_reducers; ++r) {
     if (reducer_input[r].empty()) continue;
-    cluster.account_task(live[r]);
+    NodeId rnode = live[r];
+    if (injector) injector->tick(cluster);
+    if (cluster.node_is_down(rnode)) {
+      // The reducer flapped after (or during) the shuffle: restart the
+      // reduce task on another live node, which bulk re-fetches its
+      // inbound partition (one re-sent batch, like a speculative restart).
+      NodeId fallback = rnode;
+      bool found = false;
+      for (std::size_t cand = 0; cand < n; ++cand) {
+        if (!cluster.node_is_down(static_cast<NodeId>(cand))) {
+          fallback = static_cast<NodeId>(cand);
+          found = true;
+          break;
+        }
+      }
+      if (!found)
+        throw NoLiveReplicaError(
+            "run_map_reduce: reduce task " + std::to_string(r) +
+            " has no live node to restart on (down nodes: " +
+            cluster.down_nodes_string() + ")");
+      ++rep.tasks_rerouted;
+      const double refetch_ms = deliver(rnode, fallback, inbound_bytes[r]);
+      rep.modelled_network_ms += refetch_ms;
+      inbound_ms[r] += refetch_ms;
+      rnode = fallback;
+    }
+    cluster.account_task(rnode);
     rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
     ++rep.reduce_tasks;
     Timer t;
@@ -140,11 +215,13 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
     const double ms = t.elapsed_ms();
     rep.reduce_compute_ms_total += ms;
     rep.reduce_compute_ms_max = std::max(rep.reduce_compute_ms_max, ms);
-    const double net_ms =
-        cluster.network().send(live[r], coordinator, result_batch);
+    const double net_ms = deliver(rnode, coordinator, result_batch);
     rep.modelled_network_ms += net_ms;
     rep.result_bytes += result_batch;
   }
+  for (const double ms : inbound_ms)
+    rep.modelled_network_ms_critical =
+        std::max(rep.modelled_network_ms_critical, ms);
   return out;
 }
 

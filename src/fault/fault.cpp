@@ -1,0 +1,57 @@
+#include "fault/fault.h"
+
+namespace sea {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultInjector::attach(Cluster& cluster) {
+  cluster.network().set_fault_model(this);
+  cluster.set_fault_injector(this);
+}
+
+void FaultInjector::detach(Cluster& cluster) {
+  if (cluster.network().fault_model() == this)
+    cluster.network().set_fault_model(nullptr);
+  if (cluster.fault_injector() == this) cluster.set_fault_injector(nullptr);
+  // Heal anything this injector's schedule left down.
+  for (const auto& flap : plan_.flaps)
+    if (flap.node < cluster.num_nodes())
+      cluster.set_node_down(flap.node, false);
+}
+
+void FaultInjector::tick(Cluster& cluster) {
+  const std::uint64_t t = ++stats_.ticks;
+  for (const auto& flap : plan_.flaps) {
+    if (flap.node >= cluster.num_nodes()) continue;
+    if (t == flap.down_at) {
+      cluster.set_node_down(flap.node, true);
+      ++stats_.flap_downs;
+    }
+    if (t == flap.up_at) {
+      cluster.set_node_down(flap.node, false);
+      ++stats_.flap_ups;
+    }
+  }
+}
+
+bool FaultInjector::should_drop(NodeId from, NodeId to) {
+  if (from == to || plan_.drop_probability <= 0.0) return false;
+  if (!rng_.bernoulli(plan_.drop_probability)) return false;
+  ++stats_.drops;
+  return true;
+}
+
+double FaultInjector::latency_multiplier(NodeId from, NodeId to) {
+  if (from == to || plan_.spike_probability <= 0.0) return 1.0;
+  if (!rng_.bernoulli(plan_.spike_probability)) return 1.0;
+  ++stats_.spikes;
+  return plan_.spike_multiplier;
+}
+
+void FaultInjector::reset() {
+  rng_.reseed(plan_.seed);
+  stats_ = FaultStats{};
+}
+
+}  // namespace sea

@@ -1,0 +1,91 @@
+// Deterministic, seeded fault injection for the simulated BDAS.
+//
+// The paper's metric list (P4) makes availability a first-class axis; the
+// seed only modelled permanent, binary node failure. This subsystem adds
+// the transient fault model real deployments face — node flaps, dropped
+// messages, latency spikes/stragglers — while keeping every decision
+// reproducible from a single seed so benchmark counters are exactly
+// repeatable (no wall-clock, no OS entropy).
+//
+// Time base: a *logical clock* of ticks. Executors tick the injector at
+// task/RPC boundaries (the points where a real scheduler would observe
+// failures), which advances the flap schedule. Message drops and latency
+// spikes are Bernoulli draws from the injector's own Rng, consumed in the
+// deterministic order the (single-threaded) executors issue sends.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "net/network.h"
+
+namespace sea {
+
+/// One transient node outage: the node goes down at logical tick `down_at`
+/// and recovers at tick `up_at` (half-open: down for [down_at, up_at)).
+struct NodeFlap {
+  NodeId node = 0;
+  std::uint64_t down_at = 0;
+  std::uint64_t up_at = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Per-message probability that a non-loopback send is lost in flight.
+  double drop_probability = 0.0;
+  /// Per-message probability of a latency spike (straggler link).
+  double spike_probability = 0.0;
+  /// Modelled transfer time multiplier applied to spiked messages.
+  double spike_multiplier = 8.0;
+  /// Transient node outages, driven by the injector's logical clock.
+  std::vector<NodeFlap> flaps;
+};
+
+struct FaultStats {
+  std::uint64_t ticks = 0;       ///< logical clock
+  std::uint64_t drops = 0;       ///< messages dropped
+  std::uint64_t spikes = 0;      ///< latency spikes injected
+  std::uint64_t flap_downs = 0;  ///< node-down transitions applied
+  std::uint64_t flap_ups = 0;    ///< node-recovery transitions applied
+};
+
+/// Drives a FaultPlan against a Cluster and its Network. Attach wires the
+/// injector into Network (drop/spike decisions on the fallible send path)
+/// and Cluster (so executors can tick the flap schedule); detach restores
+/// fault-free behavior and heals any nodes this injector downed.
+class FaultInjector final : public LinkFaultModel {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  void attach(Cluster& cluster);
+  void detach(Cluster& cluster);
+
+  /// Advances the logical clock one tick and applies any flap transitions
+  /// that fall due. Called by executors at task/RPC boundaries.
+  void tick(Cluster& cluster);
+
+  // LinkFaultModel — consulted by Network on the fallible send path.
+  bool should_drop(NodeId from, NodeId to) override;
+  double latency_multiplier(NodeId from, NodeId to) override;
+
+  /// The injector's RNG also drives retry-backoff jitter so that a single
+  /// seed reproduces the full fault + recovery trace.
+  Rng& rng() noexcept { return rng_; }
+
+  std::uint64_t now() const noexcept { return stats_.ticks; }
+  const FaultStats& stats() const noexcept { return stats_; }
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Rewinds the clock, reseeds the RNG, and zeroes stats (does not touch
+  /// cluster node state — detach/attach for that).
+  void reset();
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace sea

@@ -1,0 +1,51 @@
+// Retry/backoff policy for fault-tolerant RPC and message delivery.
+//
+// Header-only and dependent only on sea_common so that lower layers
+// (cluster) can carry a policy without linking the fault library. Backoff
+// waits are *modelled* time (like network transfer, see DESIGN.md): they
+// are charged to ExecReport::modelled_backoff_ms, never slept.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+
+namespace sea {
+
+struct RetryPolicy {
+  /// Total delivery attempts per message/RPC (1 = no retries).
+  std::size_t max_attempts = 4;
+  double base_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 64.0;
+  /// Proportional jitter: each wait is scaled by a uniform factor in
+  /// [1 - jitter_fraction, 1 + jitter_fraction].
+  double jitter_fraction = 0.2;
+  /// An attempt whose modelled one-way transfer exceeds this is treated as
+  /// timed out and retried (straggler defense). Effectively off by default.
+  double rpc_timeout_ms = 1e12;
+
+  /// Modelled wait before retry number `attempt` + 1 (0-based attempt that
+  /// just failed). Deterministic given the rng state.
+  double backoff_ms(std::size_t attempt, Rng& rng) const noexcept {
+    double wait = base_backoff_ms;
+    for (std::size_t i = 0; i < attempt && wait < max_backoff_ms; ++i)
+      wait *= backoff_multiplier;
+    wait = std::min(wait, max_backoff_ms);
+    return wait * (1.0 + jitter_fraction * (2.0 * rng.uniform() - 1.0));
+  }
+};
+
+/// A message/RPC failed on every allowed attempt (drop storm or persistent
+/// timeout). Callers treat this like replica exhaustion: fail over to the
+/// degraded (model-backed) path or surface the outage.
+class RpcRetriesExhausted : public std::runtime_error {
+ public:
+  explicit RpcRetriesExhausted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace sea

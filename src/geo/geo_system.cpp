@@ -58,6 +58,11 @@ void GeoSystem::maybe_refresh_registry() {
   ++since_registry_;
   if (since_registry_ < config_.registry_interval && stats_.queries > 1)
     return;
+  if (wan_partitioned_) return;  // centroids cannot cross a severed WAN
+  refresh_registry_now();
+}
+
+void GeoSystem::refresh_registry_now() {
   since_registry_ = 0;
   // Each edge publishes its quanta centroids per signature; the registry
   // is broadcast to all other edges (the RT5.2 "model state sharing").
@@ -114,19 +119,36 @@ std::size_t GeoSystem::route_peer(std::size_t edge,
 
 double GeoSystem::oracle(const AnalyticalQuery& query) {
   // Snapshot-and-restore so audits do not pollute the traffic accounting.
-  const AccessStats saved_access = cluster_->stats();
-  const TrafficStats saved_traffic = cluster_->network().stats();
+  const ClusterStatsSnapshot saved = cluster_->snapshot_stats();
   const double answer =
       exec_->execute(query, config_.core_paradigm).answer;
-  cluster_->restore_stats(saved_access);
-  cluster_->network().restore_stats(saved_traffic);
+  cluster_->restore_stats(saved);
   return answer;
+}
+
+void GeoSystem::set_wan_partitioned(bool partitioned) {
+  if (partitioned == wan_partitioned_) return;
+  wan_partitioned_ = partitioned;
+  if (partitioned) return;
+  // Heal: edges missed model/registry updates while cut off — ship the
+  // current state immediately rather than waiting for the next interval.
+  if (config_.mode == EdgeMode::kCoreTrainedSync) {
+    ++stats_.heal_resyncs;
+    sync_now();
+  } else if (config_.mode == EdgeMode::kEdgePeerRouting) {
+    ++stats_.heal_resyncs;
+    refresh_registry_now();
+  }
 }
 
 void GeoSystem::maybe_sync() {
   if (config_.mode != EdgeMode::kCoreTrainedSync) return;
   ++forwarded_since_sync_;
   if (forwarded_since_sync_ < config_.sync_interval) return;
+  sync_now();
+}
+
+void GeoSystem::sync_now() {
   forwarded_since_sync_ = 0;
   ++stats_.syncs;
   // Serialize once: the wire bytes are the real serialized size, and the
@@ -172,7 +194,7 @@ GeoAnswer GeoSystem::submit(std::size_t edge, const AnalyticalQuery& query) {
     }
     // Local miss: try the best-covering peer edge before the core
     // (RT5.4 analytical query routing; edge <-> edge is WAN).
-    if (config_.mode == EdgeMode::kEdgePeerRouting) {
+    if (config_.mode == EdgeMode::kEdgePeerRouting && !wan_partitioned_) {
       const std::size_t peer = route_peer(edge, query);
       if (peer != SIZE_MAX) {
         ++stats_.peer_attempts;
@@ -194,10 +216,43 @@ GeoAnswer GeoSystem::submit(std::size_t edge, const AnalyticalQuery& query) {
     }
   }
 
+  // Partition: the core is unreachable, so the edge serves its best local
+  // model answer (confidence gate bypassed) or the query goes unanswered.
+  if (wan_partitioned_) {
+    if (auto pred = edge_agents_[edge].maybe_predict(query)) {
+      out.value = pred->value;
+      out.served_at_edge = true;
+      out.degraded = true;
+      out.expected_abs_error = pred->expected_abs_error;
+      ++stats_.degraded_at_edge;
+    } else {
+      out.answered = false;
+      ++stats_.unanswered;
+    }
+    return out;
+  }
+
   // Forward to the core over the WAN; execute exactly; answer returns.
   const NodeId en = edge_node(edge);
   out.wan_ms += cluster_->network().send(en, 0, query_wire_bytes(query));
-  const ExactResult exact = exec_->execute(query, config_.core_paradigm);
+  ExactResult exact;
+  try {
+    exact = exec_->execute(query, config_.core_paradigm);
+  } catch (const std::runtime_error&) {
+    // Core-side outage (replicas down, retries exhausted): fall back to
+    // the edge model exactly as if the WAN were partitioned.
+    if (auto pred = edge_agents_[edge].maybe_predict(query)) {
+      out.value = pred->value;
+      out.served_at_edge = true;
+      out.degraded = true;
+      out.expected_abs_error = pred->expected_abs_error;
+      ++stats_.degraded_at_edge;
+    } else {
+      out.answered = false;
+      ++stats_.unanswered;
+    }
+    return out;
+  }
   out.wan_ms += cluster_->network().send(0, en, kAnswerWireBytes);
   out.value = exact.answer;
   ++stats_.forwarded;

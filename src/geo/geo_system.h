@@ -16,6 +16,12 @@
 //    subspaces overlap) and periodically ships the model state to every
 //    edge; edges then answer even subspaces they never queried themselves.
 //    Model bytes, not data bytes, cross the WAN.
+//
+// Partition tolerance (RT5.3): `set_wan_partitioned(true)` severs every
+// edge from the core (and from its peers). Edges with warm local models
+// keep answering — flagged `degraded` since the confidence gate is
+// bypassed and no audits can run — and a heal triggers an immediate
+// model resync / registry refresh so edges catch up on what they missed.
 #pragma once
 
 #include <cstdint>
@@ -68,8 +74,14 @@ struct GeoConfig {
 
 struct GeoAnswer {
   double value = 0.0;
+  /// False only when the WAN is partitioned AND the edge has no usable
+  /// model — the one case a geo query goes unanswered.
+  bool answered = true;
   bool served_at_edge = false;
   bool served_by_peer = false;
+  /// Served from the edge model during a WAN partition, bypassing the
+  /// confidence gate (value is best-effort; no audit possible).
+  bool degraded = false;
   double expected_abs_error = 0.0;
   /// Modelled WAN time this query incurred (0 when served at the edge).
   double wan_ms = 0.0;
@@ -84,6 +96,9 @@ struct GeoStats {
   std::uint64_t syncs = 0;
   std::uint64_t sync_bytes = 0;
   std::uint64_t registry_bytes = 0;
+  std::uint64_t degraded_at_edge = 0;  ///< answered locally during partition
+  std::uint64_t unanswered = 0;        ///< partition + no local model
+  std::uint64_t heal_resyncs = 0;      ///< syncs/refreshes forced by a heal
 };
 
 class GeoSystem {
@@ -93,6 +108,13 @@ class GeoSystem {
 
   /// A query arriving at edge `edge` (0-based).
   GeoAnswer submit(std::size_t edge, const AnalyticalQuery& query);
+
+  /// Sever (true) or heal (false) all WAN links: edges cannot reach the
+  /// core or each other. Healing triggers an immediate model resync
+  /// (kCoreTrainedSync) / registry refresh (kEdgePeerRouting) so edges
+  /// recover the state they missed.
+  void set_wan_partitioned(bool partitioned);
+  bool wan_partitioned() const noexcept { return wan_partitioned_; }
 
   /// Ground truth with NO cost accounting (for benchmark accuracy audits).
   double oracle(const AnalyticalQuery& query);
@@ -113,7 +135,9 @@ class GeoSystem {
     return (2 * q.subspace_cols.size() + 6) * sizeof(double);
   }
   void maybe_sync();
+  void sync_now();
   void maybe_refresh_registry();
+  void refresh_registry_now();
   /// Best peer (!= edge) for the query under the current registry;
   /// SIZE_MAX when none is close enough.
   std::size_t route_peer(std::size_t edge, const AnalyticalQuery& query);
@@ -133,6 +157,7 @@ class GeoSystem {
       registry_;
   std::vector<std::string> known_signatures_;
   std::size_t since_registry_ = 0;
+  bool wan_partitioned_ = false;
   GeoStats stats_;
 };
 

@@ -29,21 +29,41 @@ double Network::cost_ms(NodeId from, NodeId to, std::size_t bytes) const {
   return link.transfer_ms(bytes);
 }
 
+void Network::record(NodeId from, NodeId to, std::size_t bytes, double ms) {
+  ++stats_.messages;
+  stats_.bytes += bytes;
+  if (same_zone(from, to)) {
+    ++stats_.lan_messages;
+    stats_.lan_bytes += bytes;
+  } else {
+    ++stats_.wan_messages;
+    stats_.wan_bytes += bytes;
+  }
+  stats_.modelled_ms += ms;
+}
+
 double Network::send(NodeId from, NodeId to, std::size_t bytes) {
-  const double ms = cost_ms(from, to, bytes);
+  double ms = cost_ms(from, to, bytes);
   if (from != to) {
-    ++stats_.messages;
-    stats_.bytes += bytes;
-    if (same_zone(from, to)) {
-      ++stats_.lan_messages;
-      stats_.lan_bytes += bytes;
-    } else {
-      ++stats_.wan_messages;
-      stats_.wan_bytes += bytes;
-    }
-    stats_.modelled_ms += ms;
+    if (fault_) ms *= fault_->latency_multiplier(from, to);
+    record(from, to, bytes, ms);
   }
   return ms;
+}
+
+SendOutcome Network::try_send(NodeId from, NodeId to, std::size_t bytes) {
+  double ms = cost_ms(from, to, bytes);
+  if (from == to) return {true, ms};  // loopback is free and lossless
+  if (fault_) {
+    ms *= fault_->latency_multiplier(from, to);
+    if (fault_->should_drop(from, to)) {
+      ++stats_.dropped_messages;
+      stats_.dropped_bytes += bytes;
+      return {false, ms};
+    }
+  }
+  record(from, to, bytes, ms);
+  return {true, ms};
 }
 
 }  // namespace sea

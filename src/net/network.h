@@ -30,7 +30,9 @@ struct LinkSpec {
   }
 };
 
-/// Aggregate traffic accounting, split by link class.
+/// Aggregate traffic accounting, split by link class. Delivered payload
+/// (messages/bytes) is tracked separately from messages lost to injected
+/// faults so efficiency numbers keep meaning useful payload.
 struct TrafficStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
@@ -38,6 +40,8 @@ struct TrafficStats {
   std::uint64_t lan_bytes = 0;
   std::uint64_t wan_messages = 0;
   std::uint64_t wan_bytes = 0;
+  std::uint64_t dropped_messages = 0;  ///< lost on the fallible send path
+  std::uint64_t dropped_bytes = 0;
   double modelled_ms = 0.0;  ///< sum of per-message modelled transfer times
 
   void merge(const TrafficStats& o) noexcept {
@@ -47,8 +51,29 @@ struct TrafficStats {
     lan_bytes += o.lan_bytes;
     wan_messages += o.wan_messages;
     wan_bytes += o.wan_bytes;
+    dropped_messages += o.dropped_messages;
+    dropped_bytes += o.dropped_bytes;
     modelled_ms += o.modelled_ms;
   }
+};
+
+/// Hook consulted on the fallible send path (implemented by
+/// sea::FaultInjector; an interface here so sea_net stays dependency-free).
+class LinkFaultModel {
+ public:
+  virtual ~LinkFaultModel() = default;
+  /// True when this message is lost in flight.
+  virtual bool should_drop(NodeId from, NodeId to) = 0;
+  /// Multiplier on the modelled transfer time (straggler/latency spike).
+  virtual double latency_multiplier(NodeId from, NodeId to) = 0;
+};
+
+/// Outcome of one delivery attempt on the fallible path. `ms` is the
+/// modelled time the attempt consumed whether or not it was delivered
+/// (a lost message still costs the sender its transfer + detection time).
+struct SendOutcome {
+  bool delivered = true;
+  double ms = 0.0;
 };
 
 /// Zoned topology: nodes in the same zone talk over the LAN link class,
@@ -75,8 +100,18 @@ class Network {
   /// Modelled transfer time without recording it.
   double cost_ms(NodeId from, NodeId to, std::size_t bytes) const;
 
-  /// Records a message and returns its modelled transfer time.
+  /// Records a message and returns its modelled transfer time. Infallible:
+  /// never drops, but latency spikes from an attached fault model apply.
   double send(NodeId from, NodeId to, std::size_t bytes);
+
+  /// Fallible send: consults the attached fault model for drops and
+  /// latency spikes. Retry-aware callers (CohortSession::rpc, the
+  /// MapReduce shuffle) use this path; without a fault model it behaves
+  /// exactly like send().
+  SendOutcome try_send(NodeId from, NodeId to, std::size_t bytes);
+
+  void set_fault_model(LinkFaultModel* model) noexcept { fault_ = model; }
+  LinkFaultModel* fault_model() const noexcept { return fault_; }
 
   const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = TrafficStats{}; }
@@ -84,9 +119,12 @@ class Network {
   void restore_stats(const TrafficStats& s) noexcept { stats_ = s; }
 
  private:
+  void record(NodeId from, NodeId to, std::size_t bytes, double ms);
+
   std::vector<std::uint32_t> node_zone_;
   LinkSpec lan_;
   LinkSpec wan_;
+  LinkFaultModel* fault_ = nullptr;
   TrafficStats stats_;
 };
 

@@ -300,6 +300,22 @@ ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
   // Request = the query geometry: centre + extents, ~ (2d + 2) doubles.
   const std::size_t req_bytes = (2 * q.subspace_cols.size() + 2) * 8;
 
+  // Shard `n` is answered by its serving node (primary, or a live replica
+  // holder under failures). A node that flaps *mid-RPC* raises
+  // NodeDownError; the shard is then re-resolved and re-routed to the next
+  // live holder. Replica exhaustion (NoLiveReplicaError) propagates to the
+  // caller, where the serving layer degrades to a model-backed answer.
+  const auto rpc_with_reroute = [&](std::size_t shard, auto&& do_rpc) {
+    for (;;) {
+      const NodeId serving = cluster_.serving_node(table_, shard);
+      try {
+        return do_rpc(serving);
+      } catch (const NodeDownError&) {
+        session.note_reroute();
+      }
+    }
+  };
+
   if (q.selection == SelectionType::kNearestNeighbors) {
     // Each cohort node returns its local top-k (from its k-d tree); the
     // coordinator merges to the global k.
@@ -307,25 +323,23 @@ ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
     for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
       const Table& part = cluster_.partition(table_, static_cast<NodeId>(n));
       if (part.num_rows() == 0) continue;  // empty partitions never probed
-      // Shard n is answered by its serving node (primary, or a live
-      // replica holder under failures).
-      const NodeId serving = cluster_.serving_node(table_, n);
       const std::size_t resp_bytes = sizeof(KnnCand) * q.knn_k;
-      auto local = session.rpc(
-          serving, req_bytes, resp_bytes, [&]() {
-            std::uint64_t examined = 0;
-            auto nn = node_knn(n, q.knn_point, q.knn_k, examined);
-            cluster_.account_probe(serving, 1, examined,
-                                   examined * part.row_bytes());
-            std::vector<KnnCand> cands;
-            cands.reserve(nn.size());
-            double t, u;
-            for (const auto& [row, dist] : nn) {
-              targets(part, static_cast<std::size_t>(row), q, t, u);
-              cands.push_back(KnnCand{dist, t, u});
-            }
-            return cands;
-          });
+      auto local = rpc_with_reroute(n, [&](NodeId serving) {
+        return session.rpc(serving, req_bytes, resp_bytes, [&]() {
+          std::uint64_t examined = 0;
+          auto nn = node_knn(n, q.knn_point, q.knn_k, examined);
+          cluster_.account_probe(serving, 1, examined,
+                                 examined * part.row_bytes());
+          std::vector<KnnCand> cands;
+          cands.reserve(nn.size());
+          double t, u;
+          for (const auto& [row, dist] : nn) {
+            targets(part, static_cast<std::size_t>(row), q, t, u);
+            cands.push_back(KnnCand{dist, t, u});
+          }
+          return cands;
+        });
+      });
       merged.insert(merged.end(), local.begin(), local.end());
     }
     const std::size_t take = std::min<std::size_t>(q.knn_k, merged.size());
@@ -376,15 +390,17 @@ ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
   for (const NodeId n : nodes) {
     const Table& part = cluster_.partition(table_, n);
     if (part.num_rows() == 0) continue;  // empty partitions never probed
-    const NodeId serving = cluster_.serving_node(table_, n);
-    AggregateState node_agg = session.rpc(
-        serving, req_bytes, AggregateState::kWireBytes, [&]() {
-          std::uint64_t examined = 0;
-          const std::vector<std::uint64_t> rows = node_select(n, examined);
-          cluster_.account_probe(serving, 1, examined,
-                                 examined * part.row_bytes());
-          return aggregate_rows(part, rows, q);
-        });
+    AggregateState node_agg = rpc_with_reroute(n, [&](NodeId serving) {
+      return session.rpc(serving, req_bytes, AggregateState::kWireBytes,
+                         [&]() {
+                           std::uint64_t examined = 0;
+                           const std::vector<std::uint64_t> rows =
+                               node_select(n, examined);
+                           cluster_.account_probe(serving, 1, examined,
+                                                  examined * part.row_bytes());
+                           return aggregate_rows(part, rows, q);
+                         });
+    });
     total.merge(node_agg);
   }
   out.answer = total.finalize(q.analytic);

@@ -22,10 +22,16 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
       out.prediction = *pred;
       if (config_.audit_fraction > 0.0 &&
           audit_rng_.bernoulli(config_.audit_fraction)) {
-        out.audited = true;
-        out.exact = exec_.execute(query, config_.exact_paradigm);
-        agent_.observe(query, out.exact.answer);
-        ++stats_.exact_executed;
+        try {
+          out.exact = exec_.execute(query, config_.exact_paradigm);
+          out.audited = true;
+          agent_.observe(query, out.exact.answer);
+          ++stats_.exact_executed;
+        } catch (const std::runtime_error&) {
+          // Audit is best-effort: an outage skips the audit but never
+          // fails the (already confident) data-less answer.
+          ++stats_.exact_failures;
+        }
       }
       ++stats_.data_less_served;
       out.latency_ms = timer.elapsed_ms();
@@ -33,7 +39,25 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
     }
   }
 
-  out.exact = exec_.execute(query, config_.exact_paradigm);
+  try {
+    out.exact = exec_.execute(query, config_.exact_paradigm);
+  } catch (const std::runtime_error&) {
+    // Exact path unavailable (replicas exhausted / retries exhausted):
+    // serve the model's best answer, explicitly flagged degraded, instead
+    // of failing the query — the availability axis of the paper's P4.
+    ++stats_.exact_failures;
+    if (auto pred = agent_.maybe_predict(query)) {
+      out.degraded = true;
+      out.data_less = true;
+      out.value = pred->value;
+      out.prediction = *pred;
+      ++stats_.degraded_served;
+      out.latency_ms = timer.elapsed_ms();
+      return out;
+    }
+    ++stats_.unanswerable;
+    throw;
+  }
   out.value = out.exact.answer;
   agent_.observe(query, out.exact.answer);
   ++stats_.exact_executed;

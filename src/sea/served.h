@@ -8,6 +8,13 @@
 // served queries so accuracy can be tracked in production (and so the
 // drift detectors keep receiving residuals after the system goes
 // data-less — the paper's model-maintenance loop, RT1.4).
+//
+// Availability (paper P4): when exact execution fails — all replica
+// holders of a shard down, or an RPC exhausts its retries — the loop does
+// not throw: it serves the agent's best model answer flagged
+// `degraded=true` (the Fig. 2 data-less agent is uniquely positioned to
+// keep answering when base data is unreachable). Only a query whose
+// signature the agent has never modelled propagates the failure.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +40,9 @@ struct ServedAnswer {
   double value = 0.0;
   bool data_less = false;
   bool audited = false;
+  /// Exact execution failed (outage) and the value is the agent's model
+  /// answer served without the usual confidence gate.
+  bool degraded = false;
   Prediction prediction;    ///< valid when data_less
   ExactResult exact;        ///< valid when !data_less or audited
   double latency_ms = 0.0;  ///< measured end-to-end serve time
@@ -42,6 +52,9 @@ struct ServeStats {
   std::uint64_t queries = 0;
   std::uint64_t data_less_served = 0;
   std::uint64_t exact_executed = 0;  ///< includes bootstrap + declines + audits
+  std::uint64_t exact_failures = 0;  ///< exact executions that raised an outage
+  std::uint64_t degraded_served = 0; ///< model answers served during outages
+  std::uint64_t unanswerable = 0;    ///< outage + no model: failure propagated
 };
 
 class ServedAnalytics {

@@ -306,6 +306,44 @@ TEST(ThreadPool, SubmitReturnsFuture) {
   SUCCEED();
 }
 
+TEST(ThreadPool, ParallelForManyConcurrentFailures) {
+  // Half the tasks throw, from multiple workers at once; parallel_for must
+  // still run every task, rethrow exactly one error, and leave the pool
+  // usable afterwards.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(32);
+  EXPECT_THROW(pool.parallel_for(32,
+                                 [&](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i % 2 == 0)
+                                     throw std::runtime_error("boom " +
+                                                              std::to_string(i));
+                                 }),
+               std::runtime_error);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  std::atomic<int> ok{0};
+  pool.parallel_for(8, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto f = pool.submit([&] { ran.fetch_add(1); });
+  pool.shutdown();
+  f.get();  // queued work drains before the workers exit
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  EXPECT_THROW(pool.parallel_for(4, [](std::size_t) {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // second call must be a harmless no-op
+  EXPECT_EQ(pool.size(), 0u);
+}
+
 TEST(Log, LevelFiltering) {
   const LogLevel old = log_level();
   set_log_level(LogLevel::kError);

@@ -1,0 +1,480 @@
+// Tests: deterministic fault injection — flap schedules, message drops,
+// retry/backoff recovery, task re-routing, and model-backed degraded
+// serving (ISSUE: resilience tentpole; paper availability axis, P4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "exec/mapreduce.h"
+#include "fault/fault.h"
+#include "fault/retry.h"
+#include "geo/geo_system.h"
+#include "sea/exact.h"
+#include "sea/served.h"
+#include "test_util.h"
+
+namespace sea {
+namespace {
+
+using testing::brute_force_answer;
+using testing::range_count_query;
+using testing::small_dataset;
+
+TEST(FaultInjector, FlapScheduleFollowsLogicalClock) {
+  Cluster cluster(4, Network::single_zone(4));
+  FaultPlan plan;
+  plan.flaps = {{2, 3, 5}};  // node 2 down for ticks [3, 5)
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  EXPECT_FALSE(cluster.node_is_down(2));
+  inj.tick(cluster);  // t=1
+  inj.tick(cluster);  // t=2
+  EXPECT_FALSE(cluster.node_is_down(2));
+  inj.tick(cluster);  // t=3: down transition
+  EXPECT_TRUE(cluster.node_is_down(2));
+  inj.tick(cluster);  // t=4: still down
+  EXPECT_TRUE(cluster.node_is_down(2));
+  inj.tick(cluster);  // t=5: recovery
+  EXPECT_FALSE(cluster.node_is_down(2));
+  EXPECT_EQ(inj.stats().ticks, 5u);
+  EXPECT_EQ(inj.stats().flap_downs, 1u);
+  EXPECT_EQ(inj.stats().flap_ups, 1u);
+  inj.detach(cluster);
+  EXPECT_EQ(cluster.fault_injector(), nullptr);
+  EXPECT_EQ(cluster.network().fault_model(), nullptr);
+}
+
+TEST(FaultInjector, DetachHealsFlappedNodes) {
+  Cluster cluster(4, Network::single_zone(4));
+  FaultPlan plan;
+  plan.flaps = {{1, 1, 100}};
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  inj.tick(cluster);
+  EXPECT_TRUE(cluster.node_is_down(1));
+  inj.detach(cluster);
+  EXPECT_FALSE(cluster.node_is_down(1));
+}
+
+TEST(FaultInjector, DropSequenceIsSeedDeterministic) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_probability = 0.3;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(a.should_drop(0, 1), b.should_drop(0, 1)) << "at draw " << i;
+  EXPECT_GT(a.stats().drops, 0u);
+  EXPECT_EQ(a.stats().drops, b.stats().drops);
+  // reset() rewinds to the identical sequence.
+  a.reset();
+  FaultInjector c(plan);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(a.should_drop(2, 3), c.should_drop(2, 3));
+}
+
+TEST(FaultInjector, LoopbackIsNeverDroppedOrSpiked) {
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  plan.spike_probability = 1.0;
+  FaultInjector inj(plan);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(inj.should_drop(3, 3));
+    EXPECT_DOUBLE_EQ(inj.latency_multiplier(3, 3), 1.0);
+  }
+  EXPECT_TRUE(inj.should_drop(0, 1));
+  EXPECT_DOUBLE_EQ(inj.latency_multiplier(0, 1), plan.spike_multiplier);
+}
+
+TEST(Network, TrySendDropsAndAccountsSeparately) {
+  Network net = Network::single_zone(2);
+  FaultPlan plan;
+  plan.drop_probability = 1.0;  // every non-loopback message is lost
+  FaultInjector inj(plan);
+  net.set_fault_model(&inj);
+  const SendOutcome lost = net.try_send(0, 1, 1000);
+  EXPECT_FALSE(lost.delivered);
+  EXPECT_GT(lost.ms, 0.0);  // the attempt still cost modelled time
+  EXPECT_EQ(net.stats().dropped_messages, 1u);
+  EXPECT_EQ(net.stats().dropped_bytes, 1000u);
+  EXPECT_EQ(net.stats().messages, 0u);  // not counted as delivered payload
+  const SendOutcome loop = net.try_send(1, 1, 1000);
+  EXPECT_TRUE(loop.delivered);  // loopback is lossless
+  // Infallible send never drops even under p=1.
+  net.set_fault_model(nullptr);
+  const SendOutcome ok = net.try_send(0, 1, 500);
+  EXPECT_TRUE(ok.delivered);
+  EXPECT_EQ(net.stats().messages, 1u);
+}
+
+TEST(RetryPolicy, BackoffGrowsAndCaps) {
+  RetryPolicy p;
+  p.base_backoff_ms = 1.0;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_ms = 8.0;
+  p.jitter_fraction = 0.0;
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(0, rng), 1.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(1, rng), 2.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(2, rng), 4.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(3, rng), 8.0);
+  EXPECT_DOUBLE_EQ(p.backoff_ms(9, rng), 8.0);  // capped
+  p.jitter_fraction = 0.2;
+  for (int i = 0; i < 50; ++i) {
+    const double w = p.backoff_ms(2, rng);
+    EXPECT_GE(w, 4.0 * 0.8);
+    EXPECT_LE(w, 4.0 * 1.2);
+  }
+}
+
+struct FaultyClusterFixture : public ::testing::Test {
+  Table table = small_dataset(3000, 2, 281);
+  Cluster cluster{4, Network::single_zone(4)};
+
+  void SetUp() override {
+    PartitionSpec spec;
+    spec.replicas = 2;
+    cluster.load_table("t", table, spec);
+  }
+};
+
+TEST_F(FaultyClusterFixture, RetriesRecoverExactAnswersUnderDrops) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_probability = 0.15;
+  plan.spike_probability = 0.05;
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  RetryPolicy policy;
+  policy.max_attempts = 6;  // headroom so p=0.15 can never exhaust a message
+  cluster.set_retry_policy(policy);
+  ExactExecutor exec(cluster, "t");
+  ExecReport total;
+  for (int i = 0; i < 8; ++i) {
+    const auto q = range_count_query(0.1 * i, 0.1 * i + 0.4, 0.2, 0.8);
+    const double truth = brute_force_answer(table, q);
+    const auto indexed = exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+    EXPECT_NEAR(indexed.answer, truth, 1e-9);
+    total.merge(indexed.report);
+    const auto mr = exec.execute(q, ExecParadigm::kMapReduce);
+    EXPECT_NEAR(mr.answer, truth, 1e-9);
+    total.merge(mr.report);
+  }
+  inj.detach(cluster);
+  // Drops certainly happened across hundreds of messages at p=0.15, every
+  // one was retried (answers above are exact), and the backoff waits are
+  // charged into the makespan.
+  EXPECT_GT(total.dropped_messages, 0u);
+  EXPECT_GT(total.retries, 0u);
+  EXPECT_GT(total.modelled_backoff_ms, 0.0);
+  EXPECT_EQ(total.dropped_messages, cluster.network().stats().dropped_messages);
+  ExecReport no_backoff = total;
+  no_backoff.modelled_backoff_ms = 0.0;
+  EXPECT_GT(total.makespan_ms(), no_backoff.makespan_ms());
+  EXPECT_GT(total.money_cost_usd(CostRates{}),
+            no_backoff.money_cost_usd(CostRates{}));
+}
+
+TEST_F(FaultyClusterFixture, SameSeedSameFaultCounters) {
+  const auto run = [this]() {
+    cluster.reset_stats();
+    FaultPlan plan;
+    plan.seed = 77;
+    plan.drop_probability = 0.1;
+    plan.spike_probability = 0.05;
+    plan.flaps = {{1, 5, 25}, {3, 40, 55}};
+    FaultInjector inj(plan);
+    inj.attach(cluster);
+    ExactExecutor exec(cluster, "t");
+    ExecReport total;
+    for (int i = 0; i < 6; ++i) {
+      const auto q = range_count_query(0.05 * i, 0.05 * i + 0.5, 0.1, 0.9);
+      total.merge(exec.execute(q, ExecParadigm::kCoordinatorIndexed).report);
+      total.merge(exec.execute(q, ExecParadigm::kMapReduce).report);
+    }
+    const FaultStats fstats = inj.stats();
+    const std::uint64_t net_drops = cluster.network().stats().dropped_messages;
+    inj.detach(cluster);
+    return std::tuple(total.retries, total.dropped_messages,
+                      total.tasks_rerouted, total.modelled_backoff_ms,
+                      fstats.drops, fstats.spikes, fstats.ticks, net_drops);
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(std::get<1>(first), 0u);  // the runs actually exercised faults
+}
+
+TEST_F(FaultyClusterFixture, MapReduceReroutesTasksOffFlappedNode) {
+  FaultPlan plan;
+  plan.flaps = {{1, 2, 100}};  // node 1 flaps while map tasks launch
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  ExactExecutor exec(cluster, "t");
+  const auto q = range_count_query(0.0, 1.0, 0.0, 1.0);
+  const auto res = exec.execute(q, ExecParadigm::kMapReduce);
+  inj.detach(cluster);
+  EXPECT_NEAR(res.answer, brute_force_answer(table, q), 1e-9);
+  EXPECT_GE(res.report.tasks_rerouted, 1u);
+  EXPECT_EQ(res.report.map_tasks, 4u);  // every shard still mapped
+}
+
+TEST_F(FaultyClusterFixture, CoordinatorReroutesOnMidQueryFlap) {
+  FaultPlan plan;
+  plan.flaps = {{1, 2, 100}};
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  ExactExecutor exec(cluster, "t");
+  const auto q = range_count_query(0.0, 1.0, 0.0, 1.0);
+  const auto res = exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  inj.detach(cluster);
+  EXPECT_NEAR(res.answer, brute_force_answer(table, q), 1e-9);
+  EXPECT_GE(res.report.tasks_rerouted, 1u);
+}
+
+TEST_F(FaultyClusterFixture, RpcRetriesExhaustedSurfacesAsRuntimeError) {
+  FaultPlan plan;
+  plan.drop_probability = 1.0;  // nothing ever gets through
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  cluster.set_retry_policy(policy);
+  ExactExecutor exec(cluster, "t");
+  const auto q = range_count_query(0.2, 0.8, 0.2, 0.8);
+  EXPECT_THROW(exec.execute(q, ExecParadigm::kCoordinatorIndexed),
+               RpcRetriesExhausted);
+  EXPECT_THROW(exec.execute(q, ExecParadigm::kMapReduce), std::runtime_error);
+  inj.detach(cluster);
+  cluster.set_retry_policy(RetryPolicy{});
+}
+
+TEST_F(FaultyClusterFixture, ServedAnalyticsDegradesWhenAllReplicasDown) {
+  ExactExecutor exec(cluster, "t");
+  AgentConfig cfg;
+  cfg.min_samples_to_predict = 8;
+  cfg.create_distance = 0.3;
+  DatalessAgent agent(cfg, [&](const std::vector<std::size_t>& cols) {
+    return exec.domain(cols);
+  });
+  ServeConfig scfg;
+  scfg.bootstrap_queries = 40;
+  scfg.audit_fraction = 0.0;
+  ServedAnalytics served(agent, exec, scfg);
+  Rng qrng(5);
+  for (int i = 0; i < 60; ++i) {
+    const double lo0 = qrng.uniform(0.0, 0.6);
+    const double lo1 = qrng.uniform(0.0, 0.6);
+    served.serve(range_count_query(lo0, lo0 + 0.3, lo1, lo1 + 0.3));
+  }
+  for (NodeId n = 0; n < 4; ++n) cluster.set_node_down(n, true);
+  const auto q = range_count_query(0.25, 0.55, 0.25, 0.55);
+  const auto a = served.serve(q);  // must not throw: model-backed answer
+  EXPECT_TRUE(a.degraded);
+  EXPECT_TRUE(a.data_less);
+  EXPECT_TRUE(std::isfinite(a.value));
+  EXPECT_GE(served.stats().degraded_served, 1u);
+  EXPECT_GE(served.stats().exact_failures, 1u);
+  for (NodeId n = 0; n < 4; ++n) cluster.set_node_down(n, false);
+  // Healed: back to exact, not degraded.
+  const auto healed = served.serve(range_count_query(0.1, 0.9, 0.1, 0.9));
+  EXPECT_FALSE(healed.degraded);
+}
+
+TEST_F(FaultyClusterFixture, ColdAgentOutagePropagates) {
+  ExactExecutor exec(cluster, "t");
+  AgentConfig cfg;
+  DatalessAgent agent(cfg, [&](const std::vector<std::size_t>& cols) {
+    return exec.domain(cols);
+  });
+  ServedAnalytics served(agent, exec);  // never trained: nothing to degrade to
+  for (NodeId n = 0; n < 4; ++n) cluster.set_node_down(n, true);
+  EXPECT_THROW(served.serve(range_count_query(0.2, 0.8, 0.2, 0.8)),
+               NoLiveReplicaError);
+  EXPECT_EQ(served.stats().unanswerable, 1u);
+}
+
+TEST_F(FaultyClusterFixture, SnapshotRestoresAccessAndTraffic) {
+  cluster.account_task(0);
+  cluster.network().send(0, 1, 4096);
+  const ClusterStatsSnapshot snap = cluster.snapshot_stats();
+  cluster.account_task(1);
+  cluster.account_scan(1, 100, 8000);
+  cluster.network().send(1, 2, 1 << 20);
+  cluster.restore_stats(snap);
+  EXPECT_EQ(cluster.stats().tasks, 1u);
+  EXPECT_EQ(cluster.stats().rows_scanned, 0u);
+  EXPECT_EQ(cluster.network().stats().messages, 1u);
+  EXPECT_EQ(cluster.network().stats().bytes, 4096u);
+}
+
+TEST_F(FaultyClusterFixture, OutageDiagnosticsNameTheFailure) {
+  cluster.set_node_down(1, true);
+  cluster.set_node_down(2, true);
+  EXPECT_EQ(cluster.down_nodes_string(), "1,2");
+  try {
+    cluster.serving_node("t", 1);  // primary 1 and replica 2 both down
+    FAIL() << "expected NoLiveReplicaError";
+  } catch (const NoLiveReplicaError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("shard 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("table t"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1,2"), std::string::npos) << msg;
+  }
+  try {
+    cluster.serving_node("t", 99);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("shard 99"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("table t"), std::string::npos) << msg;
+  }
+  try {
+    cluster.partition("t", 42);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("node 42"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("table t"), std::string::npos) << msg;
+  }
+  try {
+    cluster.account_task(2);
+    FAIL() << "expected NodeDownError";
+  } catch (const NodeDownError& e) {
+    EXPECT_EQ(e.node, 2u);
+  }
+  cluster.set_node_down(1, false);
+  cluster.set_node_down(2, false);
+  EXPECT_EQ(cluster.down_nodes_string(), "none");
+}
+
+// Seeded randomized soak: train healthy, then serve through a fault storm
+// (drops + spikes + two flaps), then through a total outage. Every answer
+// must be exactly correct (when served from base data) or explicitly
+// flagged degraded; nothing may escape as an unhandled exception.
+TEST(FaultSoak, EveryAnswerExactOrFlaggedDegraded) {
+  Table table = small_dataset(3000, 2, 17);
+  Cluster cluster(4, Network::single_zone(4));
+  PartitionSpec spec;
+  spec.replicas = 2;
+  cluster.load_table("t", table, spec);
+  ExactExecutor exec(cluster, "t");
+  AgentConfig cfg;
+  cfg.min_samples_to_predict = 8;
+  cfg.create_distance = 0.3;
+  DatalessAgent agent(cfg, [&](const std::vector<std::size_t>& cols) {
+    return exec.domain(cols);
+  });
+  ServeConfig scfg;
+  scfg.bootstrap_queries = 50;
+  scfg.audit_fraction = 0.05;
+  ServedAnalytics served(agent, exec, scfg);
+
+  Rng qrng(99);
+  const auto random_query = [&]() {
+    const double lo0 = qrng.uniform(0.0, 0.6);
+    const double lo1 = qrng.uniform(0.0, 0.6);
+    return range_count_query(lo0, lo0 + 0.35, lo1, lo1 + 0.35);
+  };
+  const auto check = [&](const ServedAnswer& a, const AnalyticalQuery& q) {
+    if (!a.data_less)  // exact execution: must match ground truth
+      EXPECT_NEAR(a.value, brute_force_answer(table, q), 1e-9);
+    if (a.degraded) EXPECT_TRUE(a.data_less);
+    EXPECT_TRUE(std::isfinite(a.value));
+  };
+
+  // Phase 1: healthy training.
+  for (int i = 0; i < 100; ++i) {
+    const auto q = random_query();
+    check(served.serve(q), q);
+  }
+
+  // Phase 2: fault storm (non-overlapping flaps keep >= 1 replica alive).
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_probability = 0.05;
+  plan.spike_probability = 0.02;
+  plan.flaps = {{1, 30, 90}, {3, 150, 210}};
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  std::uint64_t degraded = 0;
+  for (int i = 0; i < 150; ++i) {
+    const auto q = random_query();
+    ServedAnswer a;
+    ASSERT_NO_THROW(a = served.serve(q)) << "query " << i;
+    check(a, q);
+    degraded += a.degraded ? 1 : 0;
+  }
+  inj.detach(cluster);
+
+  // Phase 3: total outage — everything the agent knows is still served,
+  // and every such answer carries the degraded flag.
+  for (NodeId n = 0; n < 4; ++n) cluster.set_node_down(n, true);
+  for (int i = 0; i < 25; ++i) {
+    const auto q = random_query();
+    ServedAnswer a;
+    ASSERT_NO_THROW(a = served.serve(q)) << "outage query " << i;
+    EXPECT_TRUE(a.data_less);
+    if (!a.degraded) {
+      // Served through the normal confident path; allowed.
+      continue;
+    }
+    EXPECT_TRUE(std::isfinite(a.value));
+  }
+  EXPECT_EQ(served.stats().unanswerable, 0u);
+  EXPECT_GE(served.stats().degraded_served, 1u);
+}
+
+TEST(GeoPartition, EdgesServeDegradedAcrossWanPartitionAndResync) {
+  GeoConfig cfg;
+  cfg.num_cores = 2;
+  cfg.num_edges = 2;
+  cfg.mode = EdgeMode::kCoreTrainedSync;
+  cfg.sync_interval = 16;
+  cfg.edge_bootstrap = 5;
+  cfg.agent.min_samples_to_predict = 8;
+  cfg.agent.create_distance = 0.3;
+  Table table = small_dataset(2000, 2, 11);
+  GeoSystem geo(cfg, table);
+  Rng qrng(21);
+  const auto random_query = [&]() {
+    const double lo0 = qrng.uniform(0.0, 0.6);
+    const double lo1 = qrng.uniform(0.0, 0.6);
+    return range_count_query(lo0, lo0 + 0.35, lo1, lo1 + 0.35);
+  };
+  for (int i = 0; i < 80; ++i) geo.submit(i % 2, random_query());
+  ASSERT_GT(geo.stats().syncs, 0u);  // edges hold shipped core models
+
+  geo.set_wan_partitioned(true);
+  EXPECT_TRUE(geo.wan_partitioned());
+  const std::uint64_t forwarded_before = geo.stats().forwarded;
+  std::uint64_t answered = 0, confident = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto a = geo.submit(i % 2, random_query());
+    if (a.answered) {
+      ++answered;
+      confident += a.degraded ? 0 : 1;
+      EXPECT_TRUE(a.served_at_edge);
+      EXPECT_DOUBLE_EQ(a.wan_ms, 0.0);  // nothing crossed the severed WAN
+    }
+  }
+  EXPECT_GT(answered, 0u);
+  EXPECT_EQ(geo.stats().forwarded, forwarded_before);  // core unreachable
+  // Every partition query was either served confidently at the edge,
+  // served degraded, or went unanswered — and nothing else.
+  EXPECT_EQ(confident + geo.stats().degraded_at_edge + geo.stats().unanswered,
+            40u);
+
+  const std::uint64_t syncs_before_heal = geo.stats().syncs;
+  geo.set_wan_partitioned(false);
+  EXPECT_EQ(geo.stats().heal_resyncs, 1u);
+  EXPECT_EQ(geo.stats().syncs, syncs_before_heal + 1);  // immediate resync
+  const auto a = geo.submit(0, random_query());
+  EXPECT_TRUE(a.answered);
+  EXPECT_FALSE(a.degraded);
+}
+
+}  // namespace
+}  // namespace sea
