@@ -3,13 +3,21 @@
 // per-operation costs the experiment harnesses compose.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <limits>
+
 #include "aqp/stat_cache.h"
+#include "bench_util.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "data/generator.h"
+#include "exec/mapreduce.h"
 #include "index/bloom.h"
 #include "index/count_min.h"
 #include "index/grid.h"
 #include "index/kdtree.h"
+#include "index/score_index.h"
 #include "ml/gbm.h"
 #include "ml/linear.h"
 #include "sea/agent.h"
@@ -210,4 +218,112 @@ void BM_AgentObserve(benchmark::State& state) {
 BENCHMARK(BM_AgentObserve);
 
 }  // namespace
+
+namespace bench {
+
+/// Threads sweep over the pool-parallel hot paths: kd-tree build,
+/// score-index build, and a MapReduce group-by aggregate, each re-run at
+/// SEA_THREADS = 1/2/4/8 (best of 3 reps). Results land in
+/// BENCH_micro.json so the perf trajectory is machine-readable across
+/// PRs. Two invariants to eyeball: wall_ms should fall as threads rise
+/// (on a multi-core host), and the MapReduce modelled_ms column
+/// (network + task overhead + backoff, no measured compute) must NOT
+/// move — the cost model is hardware-independent by design.
+void run_threads_sweep() {
+  constexpr std::size_t kReps = 3;
+  constexpr std::size_t kRows = 200000;
+  const std::size_t sweep[] = {1, 2, 4, 8};
+  BenchJsonWriter json;
+  std::printf("threads sweep (%zu rows, best of %zu reps)\n", kRows, kReps);
+  std::printf("%-22s %8s %12s %14s\n", "benchmark", "threads", "wall_ms",
+              "modelled_ms");
+
+  const auto best_of = [&](const auto& body) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      Timer t;
+      body();
+      best = std::min(best, t.elapsed_ms());
+    }
+    return best;
+  };
+
+  const auto pts = bench_points(kRows, 2);
+  const Table table = make_clustered_dataset(kRows, 2, 3, 23);
+  Cluster cluster(8, Network::single_zone(8));
+  cluster.load_table("t", table);
+  MapReduceJob<std::uint64_t, double, double> job;
+  job.map = [](NodeId, const Table& part, Emitter<std::uint64_t, double>& out) {
+    for (std::size_t r = 0; r < part.num_rows(); ++r)
+      out.emit(static_cast<std::uint64_t>(
+                   std::llround(part.at(r, 0) * 16.0) + (1 << 20)),
+               part.at(r, 2));
+  };
+  job.reduce = [](const std::uint64_t&, std::vector<double>& vals) {
+    double sum = 0.0;
+    for (const double v : vals) sum += v;
+    return sum / static_cast<double>(vals.size());
+  };
+
+  for (const std::size_t threads : sweep) {
+    set_configured_threads(threads);
+
+    const double kd_ms = best_of([&] {
+      KdTree tree(pts);
+      benchmark::DoNotOptimize(tree.size());
+    });
+    json.begin("kdtree_build");
+    json.num("threads", static_cast<std::uint64_t>(threads));
+    json.num("rows", static_cast<std::uint64_t>(kRows));
+    json.num("wall_ms", kd_ms);
+    std::printf("%-22s %8zu %12.2f %14s\n", "kdtree_build", threads, kd_ms,
+                "-");
+
+    const double si_ms = best_of([&] {
+      ScoreIndex idx(table, 0, 2, 1);
+      benchmark::DoNotOptimize(idx.size());
+    });
+    json.begin("score_index_build");
+    json.num("threads", static_cast<std::uint64_t>(threads));
+    json.num("rows", static_cast<std::uint64_t>(kRows));
+    json.num("wall_ms", si_ms);
+    std::printf("%-22s %8zu %12.2f %14s\n", "score_index_build", threads,
+                si_ms, "-");
+
+    double mr_ms = std::numeric_limits<double>::infinity();
+    double modelled_ms = 0.0;
+    double makespan_ms = 0.0;
+    std::size_t groups = 0;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      const auto res = run_map_reduce(cluster, "t", job);
+      mr_ms = std::min(mr_ms, res.report.wall_ms);
+      modelled_ms = res.report.modelled_network_ms +
+                    res.report.modelled_overhead_ms +
+                    res.report.modelled_backoff_ms;
+      makespan_ms = res.report.makespan_ms();
+      groups = res.results.size();
+    }
+    json.begin("mapreduce_aggregate");
+    json.num("threads", static_cast<std::uint64_t>(threads));
+    json.num("rows", static_cast<std::uint64_t>(kRows));
+    json.num("groups", static_cast<std::uint64_t>(groups));
+    json.num("wall_ms", mr_ms);
+    json.num("modelled_ms", modelled_ms);
+    json.num("makespan_ms", makespan_ms);
+    std::printf("%-22s %8zu %12.2f %14.2f\n", "mapreduce_aggregate", threads,
+                mr_ms, modelled_ms);
+  }
+  set_configured_threads(0);  // back to the SEA_THREADS / hardware default
+  json.write_file("BENCH_micro.json");
+}
+
+}  // namespace bench
 }  // namespace sea
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  sea::bench::run_threads_sweep();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

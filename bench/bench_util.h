@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -100,6 +101,59 @@ struct Scenario {
               return wc;
             }(),
             table_bounds(table, std::vector<std::size_t>{0, 1})) {}
+};
+
+/// Minimal machine-readable benchmark log: a flat JSON array of records,
+/// one per (benchmark, parameter point), written to e.g. BENCH_micro.json
+/// so the perf trajectory is trackable across PRs without parsing the
+/// human-oriented tables above.
+class BenchJsonWriter {
+ public:
+  /// Starts a new record; subsequent field calls attach to it.
+  void begin(const std::string& name) {
+    records_.emplace_back();
+    str("name", name);
+  }
+
+  void str(const std::string& key, const std::string& value) {
+    records_.back().emplace_back(key, "\"" + value + "\"");
+  }
+
+  void num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    records_.back().emplace_back(key, buf);
+  }
+
+  void num(const std::string& key, std::uint64_t value) {
+    records_.back().emplace_back(key, std::to_string(value));
+  }
+
+  /// Writes the accumulated records as a JSON array. Returns false (after
+  /// printing a warning) when the file cannot be opened.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::printf("warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "  {");
+      for (std::size_t i = 0; i < records_[r].size(); ++i)
+        std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                     records_[r][i].first.c_str(),
+                     records_[r][i].second.c_str());
+      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
 };
 
 /// Agent configuration used across experiments (tuned via the test suite).

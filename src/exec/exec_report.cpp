@@ -6,6 +6,7 @@
 namespace sea {
 
 void ExecReport::merge(const ExecReport& o) noexcept {
+  wall_ms += o.wall_ms;
   map_compute_ms_total += o.map_compute_ms_total;
   map_compute_ms_max = std::max(map_compute_ms_max, o.map_compute_ms_max);
   reduce_compute_ms_total += o.reduce_compute_ms_total;
@@ -42,7 +43,8 @@ double ExecReport::money_cost_usd(const CostRates& rates) const noexcept {
 
 std::string ExecReport::summary() const {
   std::ostringstream os;
-  os << "makespan=" << makespan_ms() << "ms work=" << total_work_ms()
+  os << "wall=" << wall_ms << "ms makespan=" << makespan_ms()
+     << "ms work=" << total_work_ms()
      << "ms shuffle=" << shuffle_bytes << "B result=" << result_bytes
      << "B map_tasks=" << map_tasks << " reduce_tasks=" << reduce_tasks
      << " rpcs=" << rpc_round_trips;

@@ -12,6 +12,13 @@
 // whose placement node flapped (ExecReport::tasks_rerouted), and delivers
 // shuffle/result messages through the fallible send path with the
 // cluster's RetryPolicy (retries/dropped_messages/modelled_backoff_ms).
+//
+// Concurrency (DESIGN.md "Concurrency model"): map tasks, per-reducer
+// shuffle bucketing, and reduce groups execute on the shared thread pool
+// (SEA_THREADS), but everything that consumes shared mutable state —
+// fault-injector ticks, retry RNG draws, cluster/network accounting —
+// runs on the calling thread in fixed task-index order, so results and
+// fault counters are bit-for-bit identical at any thread count.
 #pragma once
 
 #include <algorithm>
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "exec/exec_report.h"
 #include "fault/fault.h"
@@ -35,6 +43,9 @@ template <typename K, typename V>
 class Emitter {
  public:
   void emit(K key, V value) { pairs_.emplace_back(std::move(key), std::move(value)); }
+  /// Pre-sizes the pair buffer (the engine reserves by partition row count
+  /// so row-granular emitters never rehash/realloc mid-scan).
+  void reserve(std::size_t n) { pairs_.reserve(n); }
   std::vector<std::pair<K, V>>& pairs() noexcept { return pairs_; }
 
  private:
@@ -46,6 +57,10 @@ class Emitter {
 /// K must be hashable and equality comparable. `kv_bytes` sizes one (K,V)
 /// pair for shuffle accounting; `result_bytes` sizes one reduced result for
 /// the final gather. Defaults assume fixed-size binary encodings.
+///
+/// map and reduce run concurrently across shards / reducer groups: they
+/// must not touch shared mutable state beyond their own Emitter / value
+/// group (the engine's own accounting is handled outside the pool).
 template <typename K, typename V, typename R>
 struct MapReduceJob {
   std::function<void(NodeId, const Table&, Emitter<K, V>&)> map;
@@ -75,6 +90,7 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
                                         NodeId coordinator = 0) {
   MapReduceResult<K, V, R> out;
   ExecReport& rep = out.report;
+  Timer wall;
   const std::size_t n = cluster.num_nodes();
   const RetryPolicy& policy = cluster.retry_policy();
   FaultInjector* injector = cluster.fault_injector();
@@ -84,7 +100,8 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   // Fault-aware message delivery: retries dropped/timed-out messages with
   // backoff per the cluster's RetryPolicy. Returns the modelled time of
   // all attempts plus backoff waits; throws RpcRetriesExhausted when the
-  // attempt budget runs out.
+  // attempt budget runs out. Consumes injector/backoff RNG state — only
+  // ever called from the serial sections below.
   const auto deliver = [&](NodeId from, NodeId to,
                            std::uint64_t bytes) -> double {
     double total_ms = 0.0;
@@ -114,27 +131,42 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
     shard_node[shard] = cluster.serving_node(table_name, shard);
 
   // --- map phase: full scans through the stack at every shard ---
-  std::vector<Emitter<K, V>> emitted(n);
+  //
+  // Serial pre-pass (shard order): the flap schedule advances at task
+  // boundaries; a task whose planned node went down since placement is
+  // re-routed to the shard's current serving node (a live replica
+  // holder), like a real scheduler would. Task launch accounting happens
+  // here too, so the injector-visible sequence is identical to a serial
+  // run regardless of how the compute below is scheduled.
   for (std::size_t shard = 0; shard < n; ++shard) {
-    // The flap schedule advances at task boundaries; a task whose planned
-    // node went down since placement is re-routed to the shard's current
-    // serving node (a live replica holder), like a real scheduler would.
     if (injector) injector->tick(cluster);
     const NodeId node = cluster.serving_node(table_name, shard);
     if (node != shard_node[shard]) {
       ++rep.tasks_rerouted;
       shard_node[shard] = node;
     }
-    const Table& part = cluster.partition(table_name, shard);
     cluster.account_task(node);
     rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
     ++rep.map_tasks;
+  }
+  // Parallel compute: each map task owns its emitter and reads only its
+  // (immutable) partition.
+  std::vector<Emitter<K, V>> emitted(n);
+  std::vector<double> map_ms(n, 0.0);
+  ParallelFor(n, [&](std::size_t shard) {
+    const Table& part = cluster.partition(table_name, shard);
+    emitted[shard].reserve(part.num_rows());
     Timer t;
-    job.map(node, part, emitted[shard]);
-    const double ms = t.elapsed_ms();
-    rep.map_compute_ms_total += ms;
-    rep.map_compute_ms_max = std::max(rep.map_compute_ms_max, ms);
-    cluster.account_scan(node, part.num_rows(), part.byte_size());
+    job.map(shard_node[shard], part, emitted[shard]);
+    map_ms[shard] = t.elapsed_ms();
+  });
+  // Serial post-pass: fold timings and charge the scans in shard order.
+  for (std::size_t shard = 0; shard < n; ++shard) {
+    rep.map_compute_ms_total += map_ms[shard];
+    rep.map_compute_ms_max = std::max(rep.map_compute_ms_max, map_ms[shard]);
+    const Table& part = cluster.partition(table_name, shard);
+    cluster.account_scan(shard_node[shard], part.num_rows(),
+                         part.byte_size());
   }
 
   std::vector<NodeId> live;
@@ -150,31 +182,65 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
         cluster.down_nodes_string() + ")");
 
   // --- shuffle: route each key to hash(key) % num_reducers ---
+  //
+  // Hash every emitted pair once (parallel over mappers), then bucket in
+  // parallel over reducers: reducer r scans mappers in index order and
+  // takes only its own pairs, so each reducer group's content and
+  // insertion order are a pure function of the emitted data.
+  std::hash<K> hasher;
+  std::size_t total_pairs = 0;
+  std::vector<std::vector<std::uint32_t>> route(n);
+  for (std::size_t mapper = 0; mapper < n; ++mapper)
+    total_pairs += emitted[mapper].pairs().size();
+  ParallelFor(n, [&](std::size_t mapper) {
+    auto& pairs = emitted[mapper].pairs();
+    route[mapper].resize(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+      route[mapper][i] =
+          static_cast<std::uint32_t>(hasher(pairs[i].first) % num_reducers);
+  });
   std::vector<std::unordered_map<K, std::vector<V>>> reducer_input(
       num_reducers);
+  // Batch bytes per (mapper, reducer) pair: one message per pair, as a
+  // combiner-enabled framework would send.
+  std::vector<std::vector<std::uint64_t>> batch_bytes(
+      n, std::vector<std::uint64_t>(num_reducers, 0));
+  ParallelFor(num_reducers, [&](std::size_t r) {
+    auto& input = reducer_input[r];
+    // Pre-size by the expected key share to cut rehash churn; the exact
+    // count only matters for performance, never for content.
+    input.reserve(total_pairs / num_reducers + 1);
+    for (std::size_t mapper = 0; mapper < n; ++mapper) {
+      auto& pairs = emitted[mapper].pairs();
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (route[mapper][i] != r) continue;
+        batch_bytes[mapper][r] += job.kv_bytes;
+        input[pairs[i].first].push_back(std::move(pairs[i].second));
+      }
+    }
+  });
+  // Serial delivery in (mapper, reducer) order — the same message order a
+  // serial engine produces, so drop/spike/backoff draws line up exactly.
   std::vector<double> inbound_ms(num_reducers, 0.0);
   std::vector<std::uint64_t> inbound_bytes(num_reducers, 0);
-  std::hash<K> hasher;
   for (std::size_t mapper = 0; mapper < n; ++mapper) {
-    // Batch bytes per (mapper, reducer) pair: one message per pair, as a
-    // combiner-enabled framework would send.
-    std::vector<std::uint64_t> batch_bytes(num_reducers, 0);
-    for (auto& [k, v] : emitted[mapper].pairs()) {
-      const std::size_t r = hasher(k) % num_reducers;
-      batch_bytes[r] += job.kv_bytes;
-      reducer_input[r][k].push_back(std::move(v));
-    }
     for (std::size_t r = 0; r < num_reducers; ++r) {
-      if (batch_bytes[r] == 0) continue;
-      const double ms = deliver(shard_node[mapper], live[r], batch_bytes[r]);
+      if (batch_bytes[mapper][r] == 0) continue;
+      const double ms =
+          deliver(shard_node[mapper], live[r], batch_bytes[mapper][r]);
       rep.modelled_network_ms += ms;
       inbound_ms[r] += ms;
-      inbound_bytes[r] += batch_bytes[r];
-      rep.shuffle_bytes += batch_bytes[r];
+      inbound_bytes[r] += batch_bytes[mapper][r];
+      rep.shuffle_bytes += batch_bytes[mapper][r];
     }
   }
 
   // --- reduce phase ---
+  //
+  // Serial pre-pass (reducer order): ticks, flap re-routes, task launch
+  // accounting, and result-message delivery. The result batch size is a
+  // function of the group's key count, so delivery can be charged before
+  // the reduce functions actually run.
   for (std::size_t r = 0; r < num_reducers; ++r) {
     if (reducer_input[r].empty()) continue;
     NodeId rnode = live[r];
@@ -206,22 +272,37 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
     cluster.account_task(rnode);
     rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
     ++rep.reduce_tasks;
-    Timer t;
-    std::uint64_t result_batch = 0;
-    for (auto& [k, vals] : reducer_input[r]) {
-      out.results.emplace_back(k, job.reduce(k, vals));
-      result_batch += job.result_bytes;
-    }
-    const double ms = t.elapsed_ms();
-    rep.reduce_compute_ms_total += ms;
-    rep.reduce_compute_ms_max = std::max(rep.reduce_compute_ms_max, ms);
+    const std::uint64_t result_batch =
+        static_cast<std::uint64_t>(reducer_input[r].size()) * job.result_bytes;
     const double net_ms = deliver(rnode, coordinator, result_batch);
     rep.modelled_network_ms += net_ms;
     rep.result_bytes += result_batch;
   }
+  // Parallel compute: each reducer owns its input group and result buffer.
+  std::vector<std::vector<std::pair<K, R>>> reduced(num_reducers);
+  std::vector<double> reduce_ms(num_reducers, 0.0);
+  ParallelFor(num_reducers, [&](std::size_t r) {
+    if (reducer_input[r].empty()) return;
+    Timer t;
+    reduced[r].reserve(reducer_input[r].size());
+    for (auto& [k, vals] : reducer_input[r])
+      reduced[r].emplace_back(k, job.reduce(k, vals));
+    reduce_ms[r] = t.elapsed_ms();
+  });
+  // Serial gather in reducer order.
+  for (std::size_t r = 0; r < num_reducers; ++r) {
+    if (reduced[r].empty()) continue;
+    rep.reduce_compute_ms_total += reduce_ms[r];
+    rep.reduce_compute_ms_max =
+        std::max(rep.reduce_compute_ms_max, reduce_ms[r]);
+    out.results.insert(out.results.end(),
+                       std::make_move_iterator(reduced[r].begin()),
+                       std::make_move_iterator(reduced[r].end()));
+  }
   for (const double ms : inbound_ms)
     rep.modelled_network_ms_critical =
         std::max(rep.modelled_network_ms_critical, ms);
+  rep.wall_ms = wall.elapsed_ms();
   return out;
 }
 

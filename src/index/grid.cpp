@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace sea {
 
 GridIndex::GridIndex(std::vector<Point> points, Rect domain,
@@ -33,11 +35,19 @@ GridIndex::GridIndex(std::vector<Point> points, Rect domain,
   if (ids_.size() != points_.size())
     throw std::invalid_argument("GridIndex: ids/points size mismatch");
   cells_.resize(static_cast<std::size_t>(total));
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    if (points_[i].size() != domain_.dims())
-      throw std::invalid_argument("GridIndex: point dimensionality mismatch");
-    cells_[cell_of(points_[i])].push_back(static_cast<std::uint32_t>(i));
-  }
+  // Compute cell assignments in parallel (each point owns its slot), then
+  // fill the buckets serially in point order so every cell lists its point
+  // indices in exactly the order a fully serial build produces.
+  std::vector<std::uint32_t> cell_idx(points_.size());
+  ParallelChunks(points_.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (points_[i].size() != domain_.dims())
+        throw std::invalid_argument("GridIndex: point dimensionality mismatch");
+      cell_idx[i] = static_cast<std::uint32_t>(cell_of(points_[i]));
+    }
+  });
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    cells_[cell_idx[i]].push_back(static_cast<std::uint32_t>(i));
 }
 
 std::size_t GridIndex::cell_coord(double v, std::size_t dim) const noexcept {

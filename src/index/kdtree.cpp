@@ -1,13 +1,20 @@
 #include "index/kdtree.h"
 
 #include <algorithm>
+#include <deque>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "data/table.h"
 
 namespace sea {
+
+namespace {
+/// Below this size a subtree is built inline rather than fanned out.
+constexpr std::uint32_t kParallelBuildThreshold = 4096;
+}  // namespace
 
 KdTree::KdTree(std::vector<Point> points, std::vector<std::uint64_t> ids)
     : points_(std::move(points)), ids_(std::move(ids)) {
@@ -23,8 +30,54 @@ KdTree::KdTree(std::vector<Point> points, std::vector<std::uint64_t> ids)
   }
   order_.resize(points_.size());
   std::iota(order_.begin(), order_.end(), 0);
-  if (!points_.empty())
-    root_ = build(0, static_cast<std::uint32_t>(points_.size()));
+  if (points_.empty()) return;
+
+  const auto n = static_cast<std::uint32_t>(points_.size());
+  nodes_.resize(subtree_nodes(n));
+  root_ = 0;
+
+  const std::size_t threads = configured_threads();
+  if (threads <= 1 || n < kParallelBuildThreshold || in_parallel_region()) {
+    build_at(0, n, 0);
+    return;
+  }
+
+  // Parallel build by subtree: expand the top of the tree breadth-first on
+  // this thread until there is a task per worker (and then some), then
+  // build the remaining subtrees concurrently. Every subtree owns a
+  // disjoint slice of order_ and a disjoint, precomputed preorder slice of
+  // nodes_, so the resulting arrays are identical to a serial build.
+  struct Item {
+    std::uint32_t begin, end, self;
+  };
+  std::deque<Item> frontier{{0, n, 0}};
+  std::vector<Item> tasks;
+  const std::size_t target = threads * 4;
+  while (!frontier.empty() && frontier.size() + tasks.size() < target) {
+    const Item it = frontier.front();
+    frontier.pop_front();
+    if (it.end - it.begin <= kParallelBuildThreshold / 4) {
+      tasks.push_back(it);  // small enough: hand straight to the pool
+      continue;
+    }
+    std::uint32_t mid = 0;
+    if (!split_node(it.begin, it.end, it.self, &mid)) continue;  // leaf done
+    const std::uint32_t left_count = mid - it.begin;
+    frontier.push_back({it.begin, mid, it.self + 1});
+    frontier.push_back(
+        {mid, it.end,
+         it.self + 1 + static_cast<std::uint32_t>(subtree_nodes(left_count))});
+  }
+  tasks.insert(tasks.end(), frontier.begin(), frontier.end());
+  ParallelFor(tasks.size(), [&](std::size_t i) {
+    build_at(tasks[i].begin, tasks[i].end, tasks[i].self);
+  });
+}
+
+std::size_t KdTree::subtree_nodes(std::uint32_t count) noexcept {
+  if (count <= kLeafSize) return 1;
+  const std::uint32_t left = count / 2;
+  return 1 + subtree_nodes(left) + subtree_nodes(count - left);
 }
 
 Rect KdTree::compute_bounds(std::uint32_t begin, std::uint32_t end) const {
@@ -42,15 +95,16 @@ Rect KdTree::compute_bounds(std::uint32_t begin, std::uint32_t end) const {
   return r;
 }
 
-std::int32_t KdTree::build(std::uint32_t begin, std::uint32_t end) {
+bool KdTree::split_node(std::uint32_t begin, std::uint32_t end,
+                        std::uint32_t self, std::uint32_t* mid_out) {
   Node node;
   node.bounds = compute_bounds(begin, end);
   node.begin = begin;
   node.end = end;
   const std::uint32_t count = end - begin;
   if (count <= kLeafSize) {
-    nodes_.push_back(node);
-    return static_cast<std::int32_t>(nodes_.size() - 1);
+    nodes_[self] = std::move(node);
+    return false;
   }
   // Split on the widest axis at the median.
   const std::size_t d = node.bounds.dims();
@@ -71,13 +125,23 @@ std::int32_t KdTree::build(std::uint32_t begin, std::uint32_t end) {
                    });
   node.axis = static_cast<std::uint16_t>(axis);
   node.split = points_[order_[mid]][axis];
-  const auto self = static_cast<std::int32_t>(nodes_.size());
-  nodes_.push_back(node);
-  const std::int32_t left = build(begin, mid);
-  const std::int32_t right = build(mid, end);
-  nodes_[self].left = left;
-  nodes_[self].right = right;
-  return self;
+  node.left = static_cast<std::int32_t>(self + 1);
+  node.right = static_cast<std::int32_t>(
+      self + 1 + static_cast<std::uint32_t>(subtree_nodes(mid - begin)));
+  nodes_[self] = std::move(node);
+  *mid_out = mid;
+  return true;
+}
+
+void KdTree::build_at(std::uint32_t begin, std::uint32_t end,
+                      std::uint32_t self) {
+  std::uint32_t mid = 0;
+  if (!split_node(begin, end, self, &mid)) return;
+  const Node& node = nodes_[self];
+  const auto left = static_cast<std::uint32_t>(node.left);
+  const auto right = static_cast<std::uint32_t>(node.right);
+  build_at(begin, mid, left);
+  build_at(mid, end, right);
 }
 
 std::vector<std::uint64_t> KdTree::range_query(const Rect& rect,
@@ -185,13 +249,15 @@ std::vector<std::pair<std::uint64_t, double>> KdTree::knn(
 }
 
 KdTree build_kdtree(const Table& table, std::span<const std::size_t> cols) {
-  std::vector<Point> pts;
-  pts.reserve(table.num_rows());
-  Point p;
-  for (std::size_t r = 0; r < table.num_rows(); ++r) {
-    table.gather(r, cols, p);
-    pts.push_back(p);
-  }
+  // Gather rows in parallel chunks; each chunk writes its own slots.
+  std::vector<Point> pts(table.num_rows());
+  ParallelChunks(table.num_rows(), [&](std::size_t begin, std::size_t end) {
+    Point p;
+    for (std::size_t r = begin; r < end; ++r) {
+      table.gather(r, cols, p);
+      pts[r] = p;
+    }
+  });
   return KdTree(std::move(pts));
 }
 

@@ -61,7 +61,18 @@ class KdTree {
 
   static constexpr std::size_t kLeafSize = 16;
 
-  std::int32_t build(std::uint32_t begin, std::uint32_t end);
+  /// Nodes in the subtree over `count` points — the layout is preorder
+  /// (self, left subtree, right subtree), a pure function of the point
+  /// count, so parallel subtree builds write disjoint, precomputed slots
+  /// and produce the exact array a serial build would.
+  static std::size_t subtree_nodes(std::uint32_t count) noexcept;
+
+  /// Writes the node for [begin, end) at nodes_[self]; returns false for a
+  /// leaf, true after an internal split with `*mid_out` set.
+  bool split_node(std::uint32_t begin, std::uint32_t end, std::uint32_t self,
+                  std::uint32_t* mid_out);
+  /// Recursive build of the subtree at its preorder slot.
+  void build_at(std::uint32_t begin, std::uint32_t end, std::uint32_t self);
   Rect compute_bounds(std::uint32_t begin, std::uint32_t end) const;
 
   std::vector<Point> points_;

@@ -5,28 +5,72 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace sea {
+
+namespace {
+
+/// Strict total order (descending score, ascending source row): every
+/// build strategy — serial std::sort or parallel chunk-sort + merge —
+/// converges on the same unique rank order, score ties included.
+bool rank_before(const ScoredTuple& a, const ScoredTuple& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  return a.row < b.row;
+}
+
+}  // namespace
 
 ScoreIndex::ScoreIndex(const Table& table, std::size_t key_col,
                        std::size_t score_col, std::size_t payload_col) {
   if (key_col >= table.num_columns() || score_col >= table.num_columns())
     throw std::invalid_argument("ScoreIndex: bad column");
   const bool has_payload = payload_col < table.num_columns();
-  by_rank_.reserve(table.num_rows());
+  const std::size_t n = table.num_rows();
+  by_rank_.resize(n);
   const auto keys = table.column(key_col);
   const auto scores = table.column(score_col);
-  for (std::size_t r = 0; r < table.num_rows(); ++r) {
-    ScoredTuple t;
-    t.key = static_cast<std::uint64_t>(std::llround(keys[r]));
-    t.score = scores[r];
-    t.payload = has_payload ? table.at(r, payload_col) : 0.0;
-    t.row = static_cast<std::uint32_t>(r);
-    by_rank_.push_back(t);
+  ParallelChunks(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      ScoredTuple& t = by_rank_[r];
+      t.key = static_cast<std::uint64_t>(std::llround(keys[r]));
+      t.score = scores[r];
+      t.payload = has_payload ? table.at(r, payload_col) : 0.0;
+      t.row = static_cast<std::uint32_t>(r);
+    }
+  });
+
+  const std::size_t threads = configured_threads();
+  if (threads <= 1 || n < 8192 || in_parallel_region()) {
+    std::sort(by_rank_.begin(), by_rank_.end(), rank_before);
+  } else {
+    // Sort contiguous runs in parallel, then merge pairwise; each merge
+    // level runs its (disjoint) merges concurrently too.
+    const std::size_t parts = std::min(threads, n);
+    std::vector<std::size_t> bounds(parts + 1, 0);
+    for (std::size_t c = 0; c <= parts; ++c) bounds[c] = c * n / parts;
+    ParallelFor(parts, [&](std::size_t c) {
+      std::sort(by_rank_.begin() + static_cast<std::ptrdiff_t>(bounds[c]),
+                by_rank_.begin() + static_cast<std::ptrdiff_t>(bounds[c + 1]),
+                rank_before);
+    });
+    for (std::size_t step = 1; step < parts; step *= 2) {
+      std::vector<std::size_t> merges;
+      for (std::size_t i = 0; i + step < parts; i += 2 * step)
+        merges.push_back(i);
+      ParallelFor(merges.size(), [&](std::size_t m) {
+        const std::size_t i = merges[m];
+        const std::size_t hi = std::min(i + 2 * step, parts);
+        std::inplace_merge(
+            by_rank_.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
+            by_rank_.begin() + static_cast<std::ptrdiff_t>(bounds[i + step]),
+            by_rank_.begin() + static_cast<std::ptrdiff_t>(bounds[hi]),
+            rank_before);
+      });
+    }
   }
-  std::sort(by_rank_.begin(), by_rank_.end(),
-            [](const ScoredTuple& a, const ScoredTuple& b) {
-              return a.score > b.score;
-            });
+
+  key_index_.reserve(n);
   for (std::uint32_t i = 0; i < by_rank_.size(); ++i)
     key_index_[by_rank_[i].key].push_back(i);
 }

@@ -6,10 +6,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/rng.h"
+
 namespace sea {
 
 void GbmRegressor::fit(std::span<const std::vector<double>> x,
-                       std::span<const double> y) {
+                       std::span<const double> y, Rng* rng) {
   if (x.empty() || x.size() != y.size())
     throw std::invalid_argument("GbmRegressor::fit: bad shapes");
   const std::size_t d = x[0].size();
@@ -23,20 +25,37 @@ void GbmRegressor::fit(std::span<const std::vector<double>> x,
   base_ /= static_cast<double>(y.size());
   fitted_ = true;
 
-  std::vector<double> residual(y.size());
-  std::vector<double> current(y.size(), base_);
-  std::vector<std::size_t> idx(y.size());
+  const std::size_t rows = y.size();
+  const bool subsampling =
+      rng != nullptr && params_.subsample < 1.0 && rows > 2;
+  const std::size_t take =
+      subsampling ? std::max<std::size_t>(
+                        2, static_cast<std::size_t>(std::llround(
+                               params_.subsample * static_cast<double>(rows))))
+                  : rows;
+
+  std::vector<double> residual(rows);
+  std::vector<double> current(rows, base_);
+  std::vector<std::size_t> idx(rows);
   for (std::size_t m = 0; m < params_.num_trees; ++m) {
     double max_abs_res = 0.0;
-    for (std::size_t i = 0; i < y.size(); ++i) {
+    for (std::size_t i = 0; i < rows; ++i) {
       residual[i] = y[i] - current[i];
       max_abs_res = std::max(max_abs_res, std::abs(residual[i]));
     }
     if (max_abs_res < 1e-12) break;  // already perfect
+    idx.resize(rows);
     for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    if (subsampling) {
+      // Partial Fisher-Yates: the first `take` entries are a uniform sample
+      // without replacement, fully determined by the caller's stream.
+      for (std::size_t i = 0; i < take; ++i)
+        std::swap(idx[i], idx[i + rng->uniform_index(rows - i)]);
+      idx.resize(take);
+    }
     Tree tree;
     build_node(tree, idx, 0, idx.size(), x, residual, 0);
-    for (std::size_t i = 0; i < y.size(); ++i)
+    for (std::size_t i = 0; i < rows; ++i)
       current[i] += params_.learning_rate * tree_predict(tree, x[i]);
     trees_.push_back(std::move(tree));
   }

@@ -14,20 +14,30 @@
 
 namespace sea {
 
+class Rng;
+
 struct GbmParams {
   std::size_t num_trees = 100;
   std::size_t max_depth = 3;
   std::size_t min_leaf = 4;       ///< minimum samples per leaf
   double learning_rate = 0.1;
   std::size_t max_thresholds = 32;  ///< candidate split points per feature
+  /// Fraction of rows each tree trains on (stochastic gradient boosting,
+  /// Friedman 2002). 1.0 disables subsampling; values < 1.0 require an Rng
+  /// passed to fit(). The caller owns the stream, so fits are reproducible
+  /// regardless of which thread runs them.
+  double subsample = 1.0;
 };
 
 class GbmRegressor {
  public:
   explicit GbmRegressor(GbmParams params = {}) : params_(params) {}
 
-  /// Fits y ~ X from scratch (drops any previous ensemble).
-  void fit(std::span<const std::vector<double>> x, std::span<const double> y);
+  /// Fits y ~ X from scratch (drops any previous ensemble). `rng` drives
+  /// per-tree row subsampling when params.subsample < 1.0; ignored (and may
+  /// be null) otherwise.
+  void fit(std::span<const std::vector<double>> x, std::span<const double> y,
+           Rng* rng = nullptr);
 
   bool fitted() const noexcept { return fitted_; }
   double predict(std::span<const double> x) const;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "common/parallel.h"
 
 namespace sea {
 
@@ -91,7 +92,7 @@ void DatalessAgent::maybe_refit(QuantumModel& qm, std::size_t feature_dims) {
   if (config_.model_kind == QuantumModelKind::kGbm) {
     if (qm.since_refit < config_.refit_interval && qm.gbm.fitted()) return;
     qm.gbm = GbmRegressor(quantum_gbm_params());
-    qm.gbm.fit(qm.xs, qm.ys);
+    qm.gbm.fit(qm.xs, qm.ys, &qm.rng);
     qm.since_refit = 0;
     return;
   }
@@ -113,7 +114,7 @@ void DatalessAgent::maybe_refit(QuantumModel& qm, std::size_t feature_dims) {
     lin.fit(train_x, train_y, config_.ridge_lambda);
     const GbmParams params = quantum_gbm_params();
     GbmRegressor gbm(params);
-    gbm.fit(train_x, train_y);
+    gbm.fit(train_x, train_y, &qm.rng);
     double lin_sse = 0.0, gbm_sse = 0.0;
     for (std::size_t i = split; i < qm.xs.size(); ++i) {
       const double le = lin.predict(qm.xs[i]) - qm.ys[i];
@@ -125,7 +126,7 @@ void DatalessAgent::maybe_refit(QuantumModel& qm, std::size_t feature_dims) {
     if (qm.prefer_gbm) {
       // Refit the winner on all pairs for serving.
       qm.gbm = GbmRegressor(params);
-      qm.gbm.fit(qm.xs, qm.ys);
+      qm.gbm.fit(qm.xs, qm.ys, &qm.rng);
     }
   }
 }
@@ -207,13 +208,79 @@ std::optional<Prediction> DatalessAgent::maybe_predict(
   return p;
 }
 
+DatalessAgent::PeekResult DatalessAgent::peek_predict(
+    const AnalyticalQuery& query) const {
+  PeekResult out;
+  const auto it = signatures_.find(query.signature());
+  if (it == signatures_.end()) return out;
+  const SignatureState& st = it->second;
+  const QueryFeatures f = extract_features(query, st.domain);
+  const std::size_t qid = st.quantizer.assign(f.position);
+  if (qid == SIZE_MAX || qid >= st.models.size() || !st.models[qid]) return out;
+  const QuantumModel& qm = *st.models[qid];
+  auto value = model_predict(qm, f.model, f.model.size());
+  if (!value) return out;
+  value = *value * mass_scale(query, f.model);
+  if (query.analytic == AnalyticType::kCount ||
+      query.analytic == AnalyticType::kVariance)
+    value = std::max(0.0, *value);
+  Prediction& p = out.prediction;
+  p.value = *value;
+  p.expected_abs_error =
+      qm.abs_residuals.empty()
+          ? std::numeric_limits<double>::infinity()
+          : qm.abs_residuals.quantile(config_.confidence) *
+                staleness_multiplier();
+  p.expected_rel_error =
+      p.expected_abs_error / std::max(std::abs(p.value), config_.rel_floor);
+  p.quantum = qid;
+  p.quantum_population = qm.xs.size();
+  out.usable = true;
+  out.confident =
+      qm.xs.size() >= config_.min_samples_to_predict &&
+      qm.abs_residuals.count() >= config_.min_samples_to_predict / 2 &&
+      p.expected_rel_error <= config_.max_relative_error;
+  return out;
+}
+
 void DatalessAgent::observe(const AnalyticalQuery& query,
                             double exact_answer) {
+  absorb(query, exact_answer, /*defer_refit=*/false);
+}
+
+void DatalessAgent::observe_batch(
+    std::span<const std::pair<AnalyticalQuery, double>> batch) {
+  // Phase 1 (serial, batch order): every shared-state mutation —
+  // quantization, prequential residuals, drift handling, bounded stores,
+  // staleness and purge bookkeeping — exactly as repeated observe() calls
+  // would, except refits are marked pending instead of run inline.
+  for (const auto& [query, answer] : batch)
+    absorb(query, answer, /*defer_refit=*/true);
+
+  // Phase 2 (parallel fan-out): refit each touched quantum at most once.
+  // Quanta are independent — each owns its model state and its private RNG
+  // stream — so the fitted models are identical at any thread count.
+  std::vector<QuantumModel*> pending;
+  for (auto& [sig, st] : signatures_) {
+    (void)sig;
+    for (auto& m : st.models)
+      if (m && m->refit_pending) pending.push_back(&*m);
+  }
+  ParallelFor(pending.size(), [&](std::size_t i) {
+    QuantumModel& qm = *pending[i];
+    qm.refit_pending = false;
+    if (!qm.xs.empty()) maybe_refit(qm, qm.xs.back().size());
+  });
+}
+
+void DatalessAgent::absorb(const AnalyticalQuery& query, double exact_answer,
+                           bool defer_refit) {
   SignatureState& st = state_for(query);
   const QueryFeatures f = extract_features(query, st.domain);
   const std::size_t qid = st.quantizer.observe(f.position);
   if (qid >= st.models.size()) st.models.resize(qid + 1);
-  if (!st.models[qid]) st.models[qid].emplace(config_);
+  if (!st.models[qid])
+    st.models[qid].emplace(config_, quantum_stream_seed(config_.seed, qid));
   QuantumModel& qm = *st.models[qid];
 
   const double scale = mass_scale(query, f.model);
@@ -253,7 +320,10 @@ void DatalessAgent::observe(const AnalyticalQuery& query,
   qm.ys.push_back(exact_answer / scale);
   qm.knn.add(f.model, exact_answer / scale);
   ++qm.since_refit;
-  maybe_refit(qm, f.model.size());
+  if (defer_refit)
+    qm.refit_pending = true;
+  else
+    maybe_refit(qm, f.model.size());
 
   ++stats_.observations;
   if (staleness_ > 0.0) {

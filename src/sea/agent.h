@@ -24,10 +24,13 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/stats.h"
 #include "ml/drift.h"
 #include "ml/gbm.h"
@@ -80,6 +83,11 @@ struct AgentConfig {
   /// wins on the held-out newest 20%.
   bool auto_select_model = false;
   std::size_t select_min_samples = 60;
+  /// Root seed for the agent's stochastic components. Each quantum derives
+  /// its own RNG stream from this seed and its quantum id, so refits draw
+  /// identical randomness no matter which worker thread runs them
+  /// (DESIGN.md "Concurrency model").
+  std::uint64_t seed = 0x5ea00001ULL;
 };
 
 struct Prediction {
@@ -121,8 +129,41 @@ class DatalessAgent {
   /// does not count towards serve/decline statistics.
   std::optional<Prediction> maybe_predict(const AnalyticalQuery& query);
 
+  /// Result of a read-only prediction probe (peek_predict).
+  struct PeekResult {
+    Prediction prediction;
+    bool usable = false;     ///< a model produced a value (maybe_predict)
+    bool confident = false;  ///< it also passes the try_predict serving gate
+  };
+
+  /// Read-only analogue of try_predict / maybe_predict: never creates
+  /// signature state, never updates statistics, safe to call concurrently
+  /// with other const methods. Batched serving uses it to fan predictions
+  /// out across SEA_THREADS workers against a frozen agent.
+  PeekResult peek_predict(const AnalyticalQuery& query) const;
+
+  /// Serving-outcome bookkeeping for batch callers that gate predictions
+  /// obtained via peek_predict: counts a served / declined prediction
+  /// exactly as try_predict would have.
+  void record_serve_outcome(bool served) noexcept {
+    if (served)
+      ++stats_.predictions_served;
+    else
+      ++stats_.predictions_declined;
+  }
+
   /// Absorbs ground truth for a query (training / feedback path).
   void observe(const AnalyticalQuery& query, double exact_answer);
+
+  /// Absorbs a batch of (query, truth) pairs. Shared state — quantization,
+  /// prequential residuals, drift handling, bounded stores — is updated
+  /// serially in batch order, exactly as repeated observe() calls would;
+  /// model refits are deferred to the end of the batch and then run at most
+  /// once per touched quantum, in parallel (SEA_THREADS). Each quantum owns
+  /// an RNG stream derived from config().seed and its id, so the result is
+  /// identical at any thread count.
+  void observe_batch(
+      std::span<const std::pair<AnalyticalQuery, double>> batch);
 
   /// Signals that `fraction` of the base data changed (RT1.4-ii): inflates
   /// expected errors until staleness_recovery fresh observations arrive.
@@ -175,11 +216,19 @@ class DatalessAgent {
     SlidingQuantile abs_residuals;
     AdwinLiteDetector drift;
     std::size_t since_refit = 0;
+    /// Private RNG stream (seeded from the agent seed + quantum id) that
+    /// feeds stochastic refits; never shared across quanta, so parallel
+    /// refits stay reproducible. Not serialized.
+    Rng rng;
+    /// Set by observe_batch() when a refit is due; cleared by the deferred
+    /// refit pass. Transient, not serialized.
+    bool refit_pending = false;
 
-    explicit QuantumModel(const AgentConfig& cfg)
+    QuantumModel(const AgentConfig& cfg, std::uint64_t stream_seed)
         : knn(cfg.knn_k),
           abs_residuals(96),
-          drift(cfg.drift_window, cfg.drift_confidence) {}
+          drift(cfg.drift_window, cfg.drift_confidence),
+          rng(stream_seed) {}
   };
 
   struct SignatureState {
@@ -201,7 +250,20 @@ class DatalessAgent {
     return params;
   }
 
+  /// Seed of a quantum's private RNG stream: a pure function of the root
+  /// seed and the quantum id, so any worker (or a deserialized replica)
+  /// reconstructs the same stream.
+  static std::uint64_t quantum_stream_seed(std::uint64_t root_seed,
+                                           std::uint64_t quantum_id) noexcept {
+    SplitMix64 sm(root_seed + 0x9e3779b97f4a7c15ULL * (quantum_id + 1));
+    return sm.next();
+  }
+
   SignatureState& state_for(const AnalyticalQuery& query);
+  /// Shared observe body; defer_refit postpones maybe_refit (observe_batch
+  /// phase 2) instead of running it inline.
+  void absorb(const AnalyticalQuery& query, double exact_answer,
+              bool defer_refit);
   /// Model prediction for features within a quantum; nullopt when cold.
   std::optional<double> model_predict(const QuantumModel& qm,
                                       const std::vector<double>& features,

@@ -140,9 +140,12 @@ DatalessAgent DatalessAgent::deserialize(
 
     const auto num_models = read_pod<std::uint64_t>(in);
     st.models.resize(num_models);
-    for (auto& slot : st.models) {
+    for (std::size_t qid = 0; qid < st.models.size(); ++qid) {
+      auto& slot = st.models[qid];
       if (read_pod<std::uint8_t>(in) == 0) continue;
-      slot.emplace(config);
+      // The RNG stream seed is a pure function of (root seed, quantum id),
+      // so the replica reconstructs the same stream the source would use.
+      slot.emplace(config, quantum_stream_seed(config.seed, qid));
       QuantumModel& m = *slot;
       const auto n = read_pod<std::uint64_t>(in);
       m.xs.reserve(n);
@@ -171,7 +174,7 @@ DatalessAgent DatalessAgent::deserialize(
       // recovers an equivalent model.
       if (had_gbm && !m.xs.empty()) {
         m.gbm = GbmRegressor(quantum_gbm_params());
-        m.gbm.fit(m.xs, m.ys);
+        m.gbm.fit(m.xs, m.ys, &m.rng);
       }
     }
     agent.signatures_.emplace(sig, std::move(st));

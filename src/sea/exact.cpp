@@ -146,15 +146,23 @@ void ExactExecutor::invalidate_caches() {
 ExactResult ExactExecutor::execute(const AnalyticalQuery& query,
                                    ExecParadigm paradigm) {
   query.validate();
-  switch (paradigm) {
-    case ExecParadigm::kMapReduce:
-      return execute_mapreduce(query);
-    case ExecParadigm::kCoordinatorIndexed:
-      return execute_indexed(query, /*use_grid=*/false);
-    case ExecParadigm::kCoordinatorGrid:
-      return execute_indexed(query, /*use_grid=*/true);
-  }
-  throw std::logic_error("ExactExecutor::execute: bad paradigm");
+  // End-to-end wall clock of the whole call (index builds included), so
+  // every paradigm's report carries a measured wall_ms next to the
+  // modelled columns.
+  Timer wall;
+  ExactResult res = [&] {
+    switch (paradigm) {
+      case ExecParadigm::kMapReduce:
+        return execute_mapreduce(query);
+      case ExecParadigm::kCoordinatorIndexed:
+        return execute_indexed(query, /*use_grid=*/false);
+      case ExecParadigm::kCoordinatorGrid:
+        return execute_indexed(query, /*use_grid=*/true);
+    }
+    throw std::logic_error("ExactExecutor::execute: bad paradigm");
+  }();
+  res.report.wall_ms = wall.elapsed_ms();
+  return res;
 }
 
 AggregateState ExactExecutor::aggregate_rows(

@@ -1,5 +1,6 @@
 #include "sea/served.h"
 
+#include "common/parallel.h"
 #include "common/timer.h"
 
 namespace sea {
@@ -62,6 +63,83 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
   agent_.observe(query, out.exact.answer);
   ++stats_.exact_executed;
   out.latency_ms = timer.elapsed_ms();
+  return out;
+}
+
+std::vector<ServedAnswer> ServedAnalytics::serve_batch(
+    std::span<const AnalyticalQuery> queries) {
+  std::vector<ServedAnswer> out(queries.size());
+  if (queries.empty()) return out;
+
+  // Phase 1 (parallel): read-only model predictions against the agent state
+  // frozen at batch entry. Each query writes only its own slot.
+  std::vector<DatalessAgent::PeekResult> peek(queries.size());
+  std::vector<double> predict_ms(queries.size(), 0.0);
+  ParallelFor(queries.size(), [&](std::size_t i) {
+    Timer t;
+    peek[i] = agent_.peek_predict(queries[i]);
+    predict_ms[i] = t.elapsed_ms();
+  });
+
+  // Phase 2 (serial, batch order): all shared-state work — confidence
+  // gating, audit coin flips, exact executions (cluster + fault injector),
+  // statistics — in the same order at any thread count.
+  std::vector<std::pair<AnalyticalQuery, double>> train;
+  train.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const AnalyticalQuery& query = queries[i];
+    ServedAnswer& ans = out[i];
+    Timer timer;
+    ++stats_.queries;
+    const bool bootstrapping = stats_.queries <= config_.bootstrap_queries;
+    if (!bootstrapping) {
+      const bool served = peek[i].usable && peek[i].confident;
+      agent_.record_serve_outcome(served);
+      if (served) {
+        ans.data_less = true;
+        ans.value = peek[i].prediction.value;
+        ans.prediction = peek[i].prediction;
+        if (config_.audit_fraction > 0.0 &&
+            audit_rng_.bernoulli(config_.audit_fraction)) {
+          try {
+            ans.exact = exec_.execute(query, config_.exact_paradigm);
+            ans.audited = true;
+            train.emplace_back(query, ans.exact.answer);
+            ++stats_.exact_executed;
+          } catch (const std::runtime_error&) {
+            ++stats_.exact_failures;
+          }
+        }
+        ++stats_.data_less_served;
+        ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
+        continue;
+      }
+    }
+    try {
+      ans.exact = exec_.execute(query, config_.exact_paradigm);
+    } catch (const std::runtime_error&) {
+      ++stats_.exact_failures;
+      if (peek[i].usable) {
+        ans.degraded = true;
+        ans.data_less = true;
+        ans.value = peek[i].prediction.value;
+        ans.prediction = peek[i].prediction;
+        ++stats_.degraded_served;
+      } else {
+        ++stats_.unanswerable;
+        ans.failed = true;
+      }
+      ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
+      continue;
+    }
+    ans.value = ans.exact.answer;
+    train.emplace_back(query, ans.exact.answer);
+    ++stats_.exact_executed;
+    ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
+  }
+
+  // Phase 3: absorb the batch's ground truth; refits fan out per quantum.
+  if (!train.empty()) agent_.observe_batch(train);
   return out;
 }
 

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/rng.h"
 #include "sea/agent.h"
@@ -43,6 +45,10 @@ struct ServedAnswer {
   /// Exact execution failed (outage) and the value is the agent's model
   /// answer served without the usual confidence gate.
   bool degraded = false;
+  /// Batch serving only: outage + no model — serve() would have thrown;
+  /// serve_batch() flags the slot instead so the rest of the batch still
+  /// completes. `value` is meaningless when set.
+  bool failed = false;
   Prediction prediction;    ///< valid when data_less
   ExactResult exact;        ///< valid when !data_less or audited
   double latency_ms = 0.0;  ///< measured end-to-end serve time
@@ -63,6 +69,17 @@ class ServedAnalytics {
                   ServeConfig config = {});
 
   ServedAnswer serve(const AnalyticalQuery& query);
+
+  /// Serves a batch of independent queries. Model predictions run
+  /// concurrently (SEA_THREADS) against the agent state frozen at batch
+  /// entry; confidence gating, audit coin flips, exact executions, and
+  /// statistics updates then run serially in batch order, so answers and
+  /// every counter are identical at any thread count. Ground truth from
+  /// exact executions is absorbed once at the end via observe_batch().
+  /// Unlike serve(), an unanswerable query (outage + no model) does not
+  /// throw: its answer comes back with failed=true.
+  std::vector<ServedAnswer> serve_batch(
+      std::span<const AnalyticalQuery> queries);
 
   const ServeStats& stats() const noexcept { return stats_; }
   DatalessAgent& agent() noexcept { return agent_; }
