@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 CI: configure, build, and run the tier1-labelled test suite under
+# the default preset and again under ASan+UBSan, with every sanitizer
+# report made fatal (a finding fails the run instead of scrolling by).
+# Usage: scripts/ci.sh  (from anywhere; no arguments)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_preset() {
+  local preset="$1"
+  echo "=== [${preset}] configure ==="
+  cmake --preset "${preset}"
+  echo "=== [${preset}] build ==="
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "=== [${preset}] tier-1 tests ==="
+  ctest --preset "${preset}" -L tier1 -j "${jobs}" --output-on-failure
+}
+
+run_preset default
+
+# ASan aborts the process on its first report; UBSan prints and continues
+# unless halt_on_error is set — force both fatal so ctest sees a failure.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
+run_preset asan
+
+echo "CI: tier-1 suites passed under default and asan presets."

@@ -10,7 +10,7 @@ namespace sea {
 
 Cluster::Cluster(std::size_t num_nodes, Network network, BdasCostModel cost)
     : num_nodes_(num_nodes), network_(std::move(network)), cost_(cost),
-      node_down_(num_nodes, false) {
+      node_down_(num_nodes, false), breakers_(num_nodes) {
   if (num_nodes_ == 0)
     throw std::invalid_argument("Cluster: need at least one node");
   if (network_.num_nodes() < num_nodes_)
@@ -48,10 +48,10 @@ NodeId Cluster::serving_node(const std::string& name,
   const std::size_t replicas = std::max<std::size_t>(1, st.spec.replicas);
   for (std::size_t r = 0; r < replicas; ++r) {
     const auto node = static_cast<NodeId>((shard + r) % num_nodes_);
-    if (!node_down_[node]) return node;
+    if (!node_down_[node] && !breakers_.open_now(node)) return node;
   }
-  throw NoLiveReplicaError(
-      "Cluster::serving_node: no live replica of shard " +
+  throw ShardUnavailable(
+      "Cluster::serving_node: no available replica of shard " +
       std::to_string(shard) + " of table " + name + " (replicas=" +
       std::to_string(replicas) + ", down nodes: " + down_nodes_string() + ")");
 }

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "data/table.h"
+#include "fault/breaker.h"
+#include "fault/outage.h"
 #include "fault/retry.h"
 #include "net/network.h"
 
@@ -28,7 +30,8 @@ namespace sea {
 class FaultInjector;  // src/fault — ticked by executors via the cluster
 
 /// Work was issued against a node currently marked down (a transient flap
-/// raced the task placement). Executors catch this and re-route.
+/// raced the task placement) or whose circuit breaker is open. Executors
+/// catch this and re-route; it is a control-flow signal, not an outage.
 class NodeDownError : public std::runtime_error {
  public:
   NodeDownError(NodeId node, const std::string& what)
@@ -36,13 +39,9 @@ class NodeDownError : public std::runtime_error {
   NodeId node;
 };
 
-/// Every replica holder of a shard is down: the exact path is unavailable
-/// and callers must degrade (serve a model answer) or surface the outage.
-class NoLiveReplicaError : public std::runtime_error {
- public:
-  explicit NoLiveReplicaError(const std::string& what)
-      : std::runtime_error(what) {}
-};
+/// Legacy name for the typed outage raised when no holder of a shard is
+/// reachable (see fault/outage.h).
+using NoLiveReplicaError = ShardUnavailable;
 
 /// How a logical table is split across storage nodes.
 enum class Partitioning {
@@ -145,8 +144,10 @@ class Cluster {
   bool node_is_down(NodeId node) const;
 
   /// The node currently serving `shard` of `name`: the primary (node id ==
-  /// shard) when up, else the first live replica holder (shard + r) % N.
-  /// Throws NoLiveReplicaError when no live copy exists.
+  /// shard) when up, else the first available replica holder (shard + r)
+  /// % N. A holder is unavailable when down OR when its circuit breaker is
+  /// open and still cooling, so placement routes around grey-failing nodes
+  /// too. Throws ShardUnavailable when no available copy exists.
   NodeId serving_node(const std::string& name, std::size_t shard) const;
 
   /// Comma-separated ids of currently-down nodes ("none" when all up);
@@ -168,6 +169,21 @@ class Cluster {
     retry_ = policy;
   }
   const RetryPolicy& retry_policy() const noexcept { return retry_; }
+
+  /// Per-node circuit breakers (src/fault/breaker.h). Disabled by default;
+  /// enable via set_breaker_config. Consulted by CohortSession::rpc and
+  /// MapReduce delivery/placement; serving_node skips open breakers.
+  void set_breaker_config(const BreakerConfig& config) {
+    breakers_.configure(num_nodes_, config);
+  }
+  CircuitBreakerSet& breakers() noexcept { return breakers_; }
+  const CircuitBreakerSet& breakers() const noexcept { return breakers_; }
+
+  /// Hedged replica reads (tail-latency defense) for CohortSession::rpc.
+  void set_hedge_config(const HedgeConfig& config) noexcept {
+    hedge_ = config;
+  }
+  const HedgeConfig& hedge_config() const noexcept { return hedge_; }
 
   /// For range partitioning: nodes whose range of the partition column
   /// intersects [lo, hi]. For other schemes, all nodes holding the table.
@@ -221,6 +237,8 @@ class Cluster {
   AccessStats stats_;
   FaultInjector* fault_injector_ = nullptr;
   RetryPolicy retry_;
+  CircuitBreakerSet breakers_;
+  HedgeConfig hedge_;
 };
 
 }  // namespace sea

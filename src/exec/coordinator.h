@@ -14,69 +14,145 @@
 // cost lands in the ExecReport (retries, dropped_messages,
 // modelled_backoff_ms) and therefore in makespan and money cost.
 //
+// Overload control (DESIGN.md "Deadlines & overload"):
+//  * Deadline budgets — set_deadline() arms a per-query modelled-time
+//    budget; every transfer, backoff wait, and RPC overhead charge
+//    decrements it, and exhaustion raises DeadlineExceeded instead of
+//    retrying past the latency target.
+//  * Circuit breakers — every delivery failure feeds the cluster's
+//    per-node breaker; an open breaker short-circuits the call with
+//    NodeDownError (so callers re-route instead of burning retries), and
+//    the breaker's modelled cooldown clock advances with the same charges
+//    the cost model makes.
+//  * Hedged replica reads — rpc_to() accepts a backup replica holder;
+//    when the request leg's modelled latency exceeds a quantile of the
+//    session's observed round trips, a backup RPC is issued and the first
+//    success wins (classic tail-latency hedging, deterministic because
+//    every latency is modelled and every draw comes from seeded streams).
+//
 // The session accumulates an ExecReport comparable with MapReduce runs.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <type_traits>
 #include <utility>
 
 #include "cluster/cluster.h"
+#include "common/stats.h"
 #include "common/timer.h"
 #include "exec/exec_report.h"
 #include "fault/fault.h"
+#include "fault/outage.h"
 #include "fault/retry.h"
 
 namespace sea {
 
 class CohortSession {
  public:
+  /// Sentinel for "no backup replica available" (hedging disabled).
+  static constexpr NodeId kNoBackup = 0xffffffffu;
+
   CohortSession(Cluster& cluster, NodeId coordinator)
       : cluster_(cluster), coordinator_(coordinator) {}
 
   NodeId coordinator() const noexcept { return coordinator_; }
   Cluster& cluster() noexcept { return cluster_; }
 
+  /// Arms a modelled-time deadline budget for subsequent RPCs (nullptr
+  /// disarms). The budget object outlives the session's use of it.
+  void set_deadline(QueryDeadline* deadline) noexcept { deadline_ = deadline; }
+  QueryDeadline* deadline() const noexcept { return deadline_; }
+
   /// One round trip: request of `request_bytes` to `node`, server-side work
   /// `fn()` (measured; fn must do its own account_probe/account_scan), and
   /// a `response_bytes` reply. Returns fn's value. Retries dropped/timed-out
   /// legs per the cluster's RetryPolicy (fn re-executes on a lost response —
   /// cohort reads are idempotent); throws RpcRetriesExhausted when attempts
-  /// run out and NodeDownError when the cohort node is down (re-route).
+  /// run out and NodeDownError when the cohort node is down or its breaker
+  /// opens (re-route).
   template <typename F>
   auto rpc(NodeId node, std::size_t request_bytes, std::size_t response_bytes,
            F&& fn) -> decltype(fn()) {
+    return rpc_to(node, kNoBackup, request_bytes, response_bytes,
+                  [&](NodeId) { return fn(); });
+  }
+
+  /// Like rpc(), but the work function receives the node that actually
+  /// executes it, and `backup` (a live replica holder, or kNoBackup) may
+  /// serve a hedged read when the primary's request leg stalls.
+  template <typename F>
+  auto rpc_to(NodeId node, NodeId backup, std::size_t request_bytes,
+              std::size_t response_bytes, F&& fn)
+      -> decltype(fn(std::declval<NodeId>())) {
+    using R = decltype(fn(std::declval<NodeId>()));
     const RetryPolicy& policy = cluster_.retry_policy();
     FaultInjector* injector = cluster_.fault_injector();
+    CircuitBreakerSet& breakers = cluster_.breakers();
     for (std::size_t attempt = 0;; ++attempt) {
       if (injector) injector->tick(cluster_);
       if (cluster_.node_is_down(node))
         throw NodeDownError(node, "CohortSession::rpc: cohort node " +
                                       std::to_string(node) + " is down");
+      if (!breakers.allow(node)) {
+        ++report_.breaker_fast_fails;
+        throw NodeDownError(node, "CohortSession::rpc: circuit breaker open "
+                                  "for node " +
+                                      std::to_string(node));
+      }
       const SendOutcome out =
           cluster_.network().try_send(coordinator_, node, request_bytes);
       if (out.delivered && out.ms <= policy.rpc_timeout_ms) {
+        // Hedge: the request leg came in above the observed round-trip
+        // quantile (straggler link). Fire one backup RPC at the next
+        // replica holder; its success preempts the slow primary.
+        if constexpr (!std::is_void_v<R>) {
+          if (backup != kNoBackup && hedge_armed() &&
+              out.ms > hedge_threshold_ms() &&
+              !cluster_.node_is_down(backup) && breakers.allow(backup)) {
+            ++report_.hedged_rpcs;
+            std::optional<R> hedged = attempt_once<R>(
+                backup, request_bytes, response_bytes, fn, policy);
+            if (hedged) {
+              // The primary's in-flight request still consumed its time.
+              charge_network(out.ms);
+              ++report_.hedges_won;
+              return *hedged;
+            }
+          }
+        }
         Timer t;
-        if constexpr (std::is_void_v<decltype(fn())>) {
-          fn();
+        if constexpr (std::is_void_v<R>) {
+          fn(node);
           if (deliver_response(node, response_bytes, out.ms, t.elapsed_ms(),
                                policy)) {
+            breakers.record_success(node);
             return;
           }
         } else {
-          auto result = fn();
+          R result = fn(node);
           if (deliver_response(node, response_bytes, out.ms, t.elapsed_ms(),
                                policy)) {
+            breakers.record_success(node);
             return result;
           }
         }
+        breakers.record_failure(node);  // response leg lost / timed out
       } else {
         // Request leg lost (or modelled as timed out): the attempt still
         // consumed its transfer/detection time on the critical path.
         if (!out.delivered) ++report_.dropped_messages;
-        report_.modelled_network_ms += out.ms;
-        report_.modelled_network_ms_critical += out.ms;
+        charge_network(out.ms);
+        breakers.record_failure(node);
+      }
+      if (breakers.open_now(node)) {
+        // The breaker tripped on this failure: short-circuit the retry
+        // storm and let the caller re-route to a replica holder.
+        ++report_.breaker_fast_fails;
+        throw NodeDownError(node, "CohortSession::rpc: circuit breaker "
+                                  "opened for node " +
+                                      std::to_string(node) + " mid-call");
       }
       note_retry(attempt, policy, injector, node);
     }
@@ -86,8 +162,7 @@ class CohortSession {
   /// known after the RPC executed (e.g. variable-length match lists).
   void extra_response(NodeId node, std::size_t bytes) {
     const double ms = cluster_.network().send(node, coordinator_, bytes);
-    report_.modelled_network_ms += ms;
-    report_.modelled_network_ms_critical += ms;
+    charge_network(ms);
     report_.result_bytes += bytes;
   }
 
@@ -118,6 +193,53 @@ class CohortSession {
   }
 
  private:
+  /// Charges modelled transfer time everywhere it must land: the report,
+  /// the breaker cooldown clock, and the armed deadline budget (which may
+  /// throw DeadlineExceeded right here — the overload-control abort point).
+  void charge_network(double ms) {
+    // RPCs are issued in sequence by the coordinator, so every leg
+    // (including failed ones) is on the critical path.
+    report_.modelled_network_ms += ms;
+    report_.modelled_network_ms_critical += ms;
+    cluster_.breakers().advance(ms);
+    if (deadline_) deadline_->charge("rpc transfer", ms);
+  }
+
+  bool hedge_armed() const noexcept {
+    const HedgeConfig& h = cluster_.hedge_config();
+    return h.enabled && rtt_ms_.count() >= h.min_samples;
+  }
+  double hedge_threshold_ms() const {
+    const HedgeConfig& h = cluster_.hedge_config();
+    return rtt_ms_.quantile(h.quantile) * h.multiplier;
+  }
+
+  /// One non-retrying round trip at `node` (the hedged backup attempt).
+  /// Failure returns nullopt: the caller falls back to the primary.
+  template <typename R, typename F>
+  std::optional<R> attempt_once(NodeId node, std::size_t request_bytes,
+                                std::size_t response_bytes, F& fn,
+                                const RetryPolicy& policy) {
+    CircuitBreakerSet& breakers = cluster_.breakers();
+    const SendOutcome out =
+        cluster_.network().try_send(coordinator_, node, request_bytes);
+    if (!out.delivered || out.ms > policy.rpc_timeout_ms) {
+      if (!out.delivered) ++report_.dropped_messages;
+      charge_network(out.ms);
+      breakers.record_failure(node);
+      return std::nullopt;
+    }
+    Timer t;
+    R result = fn(node);
+    if (!deliver_response(node, response_bytes, out.ms, t.elapsed_ms(),
+                          policy)) {
+      breakers.record_failure(node);
+      return std::nullopt;
+    }
+    breakers.record_success(node);
+    return result;
+  }
+
   /// Response leg of an attempt whose request+work succeeded. Returns true
   /// when delivered; on a drop/timeout charges the wasted round trip so the
   /// caller retries (server work is also wasted and re-measured).
@@ -125,23 +247,24 @@ class CohortSession {
                         double server_ms, const RetryPolicy& policy) {
     const SendOutcome back =
         cluster_.network().try_send(node, coordinator_, response_bytes);
-    // RPCs are issued in sequence by the coordinator, so every round trip
-    // (including failed ones) is on the critical path.
-    report_.modelled_network_ms += out_ms + back.ms;
-    report_.modelled_network_ms_critical += out_ms + back.ms;
+    charge_network(out_ms + back.ms);
     // RPCs run sequentially, so server-side work is critical-path compute.
     report_.coordinator_compute_ms += server_ms;
     if (!back.delivered || back.ms > policy.rpc_timeout_ms) {
       if (!back.delivered) ++report_.dropped_messages;
       return false;
     }
-    report_.modelled_overhead_ms += cluster_.cost_model().coordinator_rpc_ms;
+    const double rpc_ms = cluster_.cost_model().coordinator_rpc_ms;
+    report_.modelled_overhead_ms += rpc_ms;
+    if (deadline_) deadline_->charge("rpc overhead", rpc_ms);
     report_.result_bytes += response_bytes;
     ++report_.rpc_round_trips;
+    rtt_ms_.add(out_ms + back.ms);  // hedge-threshold observation
     return true;
   }
 
-  /// Bookkeeping between attempts; throws RpcRetriesExhausted at the cap.
+  /// Bookkeeping between attempts; throws RpcRetriesExhausted at the cap
+  /// (before any backoff draw, so max_attempts=1 consumes no jitter RNG).
   void note_retry(std::size_t attempt, const RetryPolicy& policy,
                   FaultInjector* injector, NodeId node) {
     if (attempt + 1 >= policy.max_attempts)
@@ -149,13 +272,21 @@ class CohortSession {
           "CohortSession::rpc: " + std::to_string(policy.max_attempts) +
           " attempts to node " + std::to_string(node) + " all failed");
     ++report_.retries;
-    report_.modelled_backoff_ms +=
+    const double wait =
         policy.backoff_ms(attempt, injector ? injector->rng() : backoff_rng_);
+    report_.modelled_backoff_ms += wait;
+    cluster_.breakers().advance(wait);
+    if (deadline_) deadline_->charge("retry backoff", wait);
   }
 
   Cluster& cluster_;
   NodeId coordinator_;
   ExecReport report_;
+  QueryDeadline* deadline_ = nullptr;
+  /// Observed modelled round-trip times of successful RPCs — the quantile
+  /// source for the hedge threshold. Session-local and updated only on the
+  /// (serial) coordinator path, so it is deterministic.
+  SlidingQuantile rtt_ms_{128};
   /// Jitter source when no fault injector is attached (fixed seed keeps
   /// even injector-less retry traces deterministic).
   Rng backoff_rng_{0x5eabac0ffULL};

@@ -25,6 +25,9 @@ void ExecReport::merge(const ExecReport& o) noexcept {
   dropped_messages += o.dropped_messages;
   tasks_rerouted += o.tasks_rerouted;
   modelled_backoff_ms += o.modelled_backoff_ms;
+  hedged_rpcs += o.hedged_rpcs;
+  hedges_won += o.hedges_won;
+  breaker_fast_fails += o.breaker_fast_fails;
 }
 
 double ExecReport::money_cost_usd(const CostRates& rates) const noexcept {
@@ -52,6 +55,9 @@ std::string ExecReport::summary() const {
     os << " retries=" << retries << " dropped=" << dropped_messages
        << " rerouted=" << tasks_rerouted << " backoff=" << modelled_backoff_ms
        << "ms";
+  if (hedged_rpcs || breaker_fast_fails)
+    os << " hedged=" << hedged_rpcs << " hedges_won=" << hedges_won
+       << " breaker_fast_fails=" << breaker_fast_fails;
   return os.str();
 }
 

@@ -51,6 +51,11 @@ struct ExecReport {
   std::uint64_t tasks_rerouted = 0;    ///< tasks moved off a flapped node
   double modelled_backoff_ms = 0.0;    ///< retry backoff waits (modelled)
 
+  // Overload-control accounting (deadlines, breakers, hedges).
+  std::uint64_t hedged_rpcs = 0;        ///< backup requests issued
+  std::uint64_t hedges_won = 0;         ///< backups that answered first
+  std::uint64_t breaker_fast_fails = 0; ///< RPCs short-circuited by a breaker
+
   /// End-to-end modelled makespan: parallel map phase, then the critical
   /// shuffle path, then parallel reduce, plus per-phase BDAS overheads and
   /// any retry backoff the coordinator sat through.
@@ -66,6 +71,14 @@ struct ExecReport {
     return map_compute_ms_total + reduce_compute_ms_total +
            coordinator_compute_ms + modelled_network_ms +
            modelled_overhead_ms + modelled_backoff_ms;
+  }
+
+  /// Total *modelled* time of the execution (network + overheads +
+  /// backoff) — every term deterministic for a fixed seed, none measured.
+  /// This is the quantity deadline budgets and the admission queue charge,
+  /// so overload control is bit-identical across SEA_THREADS settings.
+  double modelled_ms() const noexcept {
+    return modelled_network_ms + modelled_overhead_ms + modelled_backoff_ms;
   }
 
   /// Estimated money cost under the given cloud rates — the paper's

@@ -34,6 +34,7 @@
 #include "common/timer.h"
 #include "exec/exec_report.h"
 #include "fault/fault.h"
+#include "fault/outage.h"
 #include "fault/retry.h"
 
 namespace sea {
@@ -83,25 +84,32 @@ struct MapReduceResult {
 ///  - one task per active reducer,
 ///  - result messages reducer->coordinator,
 ///  - under injected faults: message retries, backoff, and task re-routes.
+/// An armed `deadline` budget is charged with every modelled cost (task
+/// overheads, transfers, backoff waits) and aborts the run with
+/// DeadlineExceeded when exhausted.
 template <typename K, typename V, typename R>
 MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
                                         const std::string& table_name,
                                         const MapReduceJob<K, V, R>& job,
-                                        NodeId coordinator = 0) {
+                                        NodeId coordinator = 0,
+                                        QueryDeadline* deadline = nullptr) {
   MapReduceResult<K, V, R> out;
   ExecReport& rep = out.report;
   Timer wall;
   const std::size_t n = cluster.num_nodes();
   const RetryPolicy& policy = cluster.retry_policy();
   FaultInjector* injector = cluster.fault_injector();
+  CircuitBreakerSet& breakers = cluster.breakers();
   Rng fallback_backoff_rng(0x5eab0ffULL);
   Rng& backoff_rng = injector ? injector->rng() : fallback_backoff_rng;
 
   // Fault-aware message delivery: retries dropped/timed-out messages with
   // backoff per the cluster's RetryPolicy. Returns the modelled time of
   // all attempts plus backoff waits; throws RpcRetriesExhausted when the
-  // attempt budget runs out. Consumes injector/backoff RNG state — only
-  // ever called from the serial sections below.
+  // attempt budget runs out. Every outcome feeds the destination's circuit
+  // breaker and every modelled millisecond advances the breaker cooldown
+  // clock and decrements the deadline budget. Consumes injector/backoff
+  // RNG state — only ever called from the serial sections below.
   const auto deliver = [&](NodeId from, NodeId to,
                            std::uint64_t bytes) -> double {
     double total_ms = 0.0;
@@ -109,8 +117,14 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
       const SendOutcome sent = cluster.network().try_send(
           from, to, static_cast<std::size_t>(bytes));
       total_ms += sent.ms;
-      if (sent.delivered && sent.ms <= policy.rpc_timeout_ms) return total_ms;
+      breakers.advance(sent.ms);
+      if (deadline) deadline->charge("mapreduce transfer", sent.ms);
+      if (sent.delivered && sent.ms <= policy.rpc_timeout_ms) {
+        breakers.record_success(to);
+        return total_ms;
+      }
       if (!sent.delivered) ++rep.dropped_messages;
+      breakers.record_failure(to);
       if (attempt + 1 >= policy.max_attempts)
         throw RpcRetriesExhausted(
             "run_map_reduce: " + std::to_string(policy.max_attempts) +
@@ -119,6 +133,8 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
       ++rep.retries;
       const double backoff = policy.backoff_ms(attempt, backoff_rng);
       rep.modelled_backoff_ms += backoff;
+      breakers.advance(backoff);
+      if (deadline) deadline->charge("mapreduce backoff", backoff);
       total_ms += backoff;
     }
   };
@@ -147,6 +163,9 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
     }
     cluster.account_task(node);
     rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+    if (deadline)
+      deadline->charge("map task overhead",
+                       cluster.cost_model().task_overhead_ms());
     ++rep.map_tasks;
   }
   // Parallel compute: each map task owns its emitter and reads only its
@@ -169,9 +188,12 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
                          part.byte_size());
   }
 
+  // Reducers go on live nodes whose breaker is not open — a grey-failing
+  // node that just tripped its breaker is as unusable as a down one.
   std::vector<NodeId> live;
   for (std::size_t node = 0; node < n; ++node)
-    if (!cluster.node_is_down(static_cast<NodeId>(node)))
+    if (!cluster.node_is_down(static_cast<NodeId>(node)) &&
+        !breakers.open_now(static_cast<NodeId>(node)))
       live.push_back(static_cast<NodeId>(node));
   const std::size_t num_reducers =
       job.num_reducers == 0 ? live.size()
@@ -245,14 +267,16 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
     if (reducer_input[r].empty()) continue;
     NodeId rnode = live[r];
     if (injector) injector->tick(cluster);
-    if (cluster.node_is_down(rnode)) {
-      // The reducer flapped after (or during) the shuffle: restart the
-      // reduce task on another live node, which bulk re-fetches its
-      // inbound partition (one re-sent batch, like a speculative restart).
+    if (cluster.node_is_down(rnode) || breakers.open_now(rnode)) {
+      // The reducer flapped (or its breaker tripped) after the shuffle:
+      // restart the reduce task on another usable node, which bulk
+      // re-fetches its inbound partition (one re-sent batch, like a
+      // speculative restart).
       NodeId fallback = rnode;
       bool found = false;
       for (std::size_t cand = 0; cand < n; ++cand) {
-        if (!cluster.node_is_down(static_cast<NodeId>(cand))) {
+        if (!cluster.node_is_down(static_cast<NodeId>(cand)) &&
+            !breakers.open_now(static_cast<NodeId>(cand))) {
           fallback = static_cast<NodeId>(cand);
           found = true;
           break;
@@ -271,6 +295,9 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
     }
     cluster.account_task(rnode);
     rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+    if (deadline)
+      deadline->charge("reduce task overhead",
+                       cluster.cost_model().task_overhead_ms());
     ++rep.reduce_tasks;
     const std::uint64_t result_batch =
         static_cast<std::uint64_t>(reducer_input[r].size()) * job.result_bytes;

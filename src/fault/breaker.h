@@ -1,0 +1,166 @@
+// Per-node circuit breakers on the modelled clock.
+//
+// A node that grey-fails (drops most messages while still "up") turns
+// every RPC against it into a retry storm: each caller burns its full
+// attempt budget before failing over. The breaker ends the storm: after
+// `failure_threshold` consecutive delivery failures the node's breaker
+// opens and callers short-circuit immediately — placement (serving_node)
+// routes around it, feeding tasks_rerouted — until a modelled cooldown
+// elapses, after which a single half-open probe decides between closing
+// (success) and re-opening (failure).
+//
+// Time base: modelled milliseconds, advanced by the same charges the cost
+// model makes (network transfer, backoff waits), never wall-clock — so
+// breaker traces are bit-identical across runs and SEA_THREADS settings.
+// Header-only and dependency-light (like retry.h) so sea_cluster can hold
+// a breaker set without linking the fault library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+namespace sea {
+
+struct BreakerConfig {
+  bool enabled = false;
+  /// Consecutive delivery failures that trip the breaker open.
+  std::size_t failure_threshold = 3;
+  /// Modelled cooldown before an open breaker admits a half-open probe.
+  double cooldown_ms = 64.0;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+struct BreakerStats {
+  std::uint64_t opens = 0;           ///< closed/half-open -> open transitions
+  std::uint64_t closes = 0;          ///< successful recoveries
+  std::uint64_t half_open_probes = 0;
+  std::uint64_t short_circuits = 0;  ///< calls denied by an open breaker
+};
+
+/// One breaker per node, driven by RPC/delivery outcomes.
+class CircuitBreakerSet {
+ public:
+  explicit CircuitBreakerSet(std::size_t num_nodes = 0,
+                             BreakerConfig config = {}) {
+    configure(num_nodes, config);
+  }
+
+  void configure(std::size_t num_nodes, BreakerConfig config) {
+    config_ = config;
+    nodes_.assign(num_nodes, Node{});
+    stats_ = BreakerStats{};
+    now_ms_ = 0.0;
+  }
+  void set_config(BreakerConfig config) noexcept { config_ = config; }
+  const BreakerConfig& config() const noexcept { return config_; }
+
+  bool enabled() const noexcept { return config_.enabled; }
+  double now_ms() const noexcept { return now_ms_; }
+
+  /// Advances the modelled clock. Called with every modelled-time charge
+  /// (transfer, backoff) so cooldowns elapse with modelled activity.
+  void advance(double ms) noexcept { now_ms_ += ms; }
+
+  /// May a call be issued against `node` right now? An open breaker whose
+  /// cooldown has not elapsed denies (short-circuit); one whose cooldown
+  /// elapsed transitions to half-open and admits the probe.
+  bool allow(NodeId node) {
+    if (!config_.enabled || node >= nodes_.size()) return true;
+    Node& n = nodes_[node];
+    switch (n.state) {
+      case BreakerState::kClosed:
+        return true;
+      case BreakerState::kHalfOpen:
+        return true;  // the in-flight probe (serial executors: one caller)
+      case BreakerState::kOpen:
+        if (now_ms_ < n.open_until_ms) {
+          ++stats_.short_circuits;
+          return false;
+        }
+        n.state = BreakerState::kHalfOpen;
+        ++stats_.half_open_probes;
+        return true;
+    }
+    return true;
+  }
+
+  /// Placement-time check (const): is the breaker open and still cooling?
+  /// serving_node treats such nodes like down nodes and routes around
+  /// them; a cooled-down open breaker reads as available so the next call
+  /// becomes the half-open probe.
+  bool open_now(NodeId node) const noexcept {
+    if (!config_.enabled || node >= nodes_.size()) return false;
+    const Node& n = nodes_[node];
+    return n.state == BreakerState::kOpen && now_ms_ < n.open_until_ms;
+  }
+
+  void record_failure(NodeId node) {
+    if (!config_.enabled || node >= nodes_.size()) return;
+    Node& n = nodes_[node];
+    ++n.consecutive_failures;
+    if (n.state == BreakerState::kHalfOpen ||
+        (n.state == BreakerState::kClosed &&
+         n.consecutive_failures >= config_.failure_threshold)) {
+      n.state = BreakerState::kOpen;
+      n.open_until_ms = now_ms_ + config_.cooldown_ms;
+      ++stats_.opens;
+    }
+  }
+
+  void record_success(NodeId node) {
+    if (!config_.enabled || node >= nodes_.size()) return;
+    Node& n = nodes_[node];
+    n.consecutive_failures = 0;
+    if (n.state != BreakerState::kClosed) {
+      n.state = BreakerState::kClosed;
+      ++stats_.closes;
+    }
+  }
+
+  BreakerState state(NodeId node) const noexcept {
+    if (node >= nodes_.size()) return BreakerState::kClosed;
+    return nodes_[node].state;
+  }
+
+  const BreakerStats& stats() const noexcept { return stats_; }
+
+  /// Re-closes every breaker and rewinds the modelled clock and stats.
+  void reset() {
+    for (auto& n : nodes_) n = Node{};
+    stats_ = BreakerStats{};
+    now_ms_ = 0.0;
+  }
+
+ private:
+  struct Node {
+    BreakerState state = BreakerState::kClosed;
+    std::size_t consecutive_failures = 0;
+    double open_until_ms = 0.0;
+  };
+
+  BreakerConfig config_;
+  std::vector<Node> nodes_;
+  BreakerStats stats_;
+  double now_ms_ = 0.0;
+};
+
+/// Hedged replica reads (tail-latency defense): when an RPC's modelled
+/// request leg exceeds the `quantile` of recently observed round trips
+/// (times `multiplier`), the coordinator issues a backup request to the
+/// next replica holder and takes the first success. Deterministic: the
+/// trigger depends only on modelled latencies, and all draws come from the
+/// seeded fault-injector RNG streams.
+struct HedgeConfig {
+  bool enabled = false;
+  double quantile = 0.95;
+  /// Threshold = quantile(observed round trips) * multiplier.
+  double multiplier = 1.0;
+  /// Observations required before hedging arms (cold start guard).
+  std::size_t min_samples = 16;
+};
+
+}  // namespace sea

@@ -36,8 +36,12 @@ void FaultInjector::tick(Cluster& cluster) {
 }
 
 bool FaultInjector::should_drop(NodeId from, NodeId to) {
-  if (from == to || plan_.drop_probability <= 0.0) return false;
-  if (!rng_.bernoulli(plan_.drop_probability)) return false;
+  if (from == to) return false;
+  double p = plan_.drop_probability;
+  for (const auto& nd : plan_.node_drops)
+    if (nd.node == to) p = nd.drop_probability;
+  if (p <= 0.0) return false;
+  if (!rng_.bernoulli(p)) return false;
   ++stats_.drops;
   return true;
 }

@@ -31,6 +31,14 @@ struct NodeFlap {
   std::uint64_t up_at = 0;
 };
 
+/// A grey-failing node: still "up" (it is never marked down) but most
+/// messages *to* it are lost. This is the failure mode that turns retry
+/// policies into retry storms — and that circuit breakers exist to end.
+struct NodeDropRate {
+  NodeId node = 0;
+  double drop_probability = 0.0;  ///< replaces the plan-wide rate for this node
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
   /// Per-message probability that a non-loopback send is lost in flight.
@@ -41,6 +49,10 @@ struct FaultPlan {
   double spike_multiplier = 8.0;
   /// Transient node outages, driven by the injector's logical clock.
   std::vector<NodeFlap> flaps;
+  /// Per-destination drop-rate overrides (grey failures). Exactly one
+  /// Bernoulli draw is consumed per should_drop call either way, so adding
+  /// an override never shifts the seeded drop/spike sequence structure.
+  std::vector<NodeDropRate> node_drops;
 };
 
 struct FaultStats {

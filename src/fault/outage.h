@@ -1,0 +1,86 @@
+// Typed outage exceptions and the per-query deadline budget.
+//
+// The serving loop's availability contract (paper P4) hinges on telling
+// *recoverable infrastructure outages* — which degrade to a model-backed
+// answer — apart from genuine logic errors, which must propagate. Every
+// outage the execution layers can raise derives from OutageError, so the
+// serving layer catches exactly that and nothing broader.
+//
+// QueryDeadline is the overload-control budget: a modelled-milliseconds
+// allowance carried through ExactExecutor / CohortSession::rpc / MapReduce
+// delivery. Each modelled transfer, backoff wait, and per-task overhead
+// charge decrements it; exhaustion raises DeadlineExceeded instead of
+// letting a struggling query retry forever. Only *modelled* time is ever
+// charged (never measured wall-clock), so deadline behavior is bit-exact
+// across runs and SEA_THREADS settings.
+#pragma once
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace sea {
+
+/// Base of every recoverable infrastructure outage. The serving layer
+/// degrades these to model-backed answers; anything not derived from this
+/// (std::logic_error, std::out_of_range...) is a bug and propagates.
+class OutageError : public std::runtime_error {
+ public:
+  explicit OutageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Every holder of a shard is unavailable (down or breaker-open): the
+/// exact path cannot reach a live copy and callers must degrade.
+class ShardUnavailable : public OutageError {
+ public:
+  explicit ShardUnavailable(const std::string& what) : OutageError(what) {}
+};
+
+/// A message/RPC failed on every allowed attempt (drop storm or persistent
+/// timeout). Callers treat this like replica exhaustion: fail over to the
+/// degraded (model-backed) path or surface the outage.
+class RpcRetriesExhausted : public OutageError {
+ public:
+  explicit RpcRetriesExhausted(const std::string& what) : OutageError(what) {}
+};
+
+/// The query's modelled-time budget ran out mid-execution. Raised by the
+/// deadline charge points in CohortSession::rpc and MapReduce delivery so
+/// overloaded/straggling executions abort promptly instead of blowing the
+/// latency target.
+class DeadlineExceeded : public OutageError {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : OutageError(what) {}
+};
+
+/// Per-query modelled-time budget (overload control). Default-constructed
+/// deadlines are infinite (disabled); construct with a finite budget_ms to
+/// arm. charge() accumulates and throws DeadlineExceeded the moment the
+/// budget is exhausted.
+struct QueryDeadline {
+  double budget_ms = std::numeric_limits<double>::infinity();
+  double spent_ms = 0.0;
+
+  QueryDeadline() = default;
+  explicit QueryDeadline(double budget) noexcept : budget_ms(budget) {}
+
+  bool armed() const noexcept {
+    return budget_ms < std::numeric_limits<double>::infinity();
+  }
+  double remaining_ms() const noexcept {
+    return budget_ms - spent_ms;
+  }
+
+  /// Charges `ms` of modelled time against the budget; `what` names the
+  /// charge (transfer, backoff, task overhead) for the diagnostic.
+  void charge(const char* what, double ms) {
+    spent_ms += ms;
+    if (spent_ms > budget_ms)
+      throw DeadlineExceeded(
+          "QueryDeadline: budget of " + std::to_string(budget_ms) +
+          " ms exhausted (" + std::to_string(spent_ms) +
+          " ms modelled, last charge: " + what + ")");
+  }
+};
+
+}  // namespace sea

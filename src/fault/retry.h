@@ -8,10 +8,9 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <stdexcept>
-#include <string>
 
 #include "common/rng.h"
+#include "fault/outage.h"
 
 namespace sea {
 
@@ -37,15 +36,6 @@ struct RetryPolicy {
     wait = std::min(wait, max_backoff_ms);
     return wait * (1.0 + jitter_fraction * (2.0 * rng.uniform() - 1.0));
   }
-};
-
-/// A message/RPC failed on every allowed attempt (drop storm or persistent
-/// timeout). Callers treat this like replica exhaustion: fail over to the
-/// degraded (model-backed) path or surface the outage.
-class RpcRetriesExhausted : public std::runtime_error {
- public:
-  explicit RpcRetriesExhausted(const std::string& what)
-      : std::runtime_error(what) {}
 };
 
 }  // namespace sea

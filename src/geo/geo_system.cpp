@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/outage.h"
+
 namespace sea {
 
 namespace {
@@ -51,6 +53,7 @@ GeoSystem::GeoSystem(GeoConfig config, const Table& data)
     core_agent_.emplace(config_.agent, domain_provider);
   edge_seen_.assign(config_.num_edges, 0);
   registry_.resize(config_.num_edges);
+  wan_breakers_.configure(config_.num_edges, config_.wan_breaker);
 }
 
 void GeoSystem::maybe_refresh_registry() {
@@ -232,15 +235,9 @@ GeoAnswer GeoSystem::submit(std::size_t edge, const AnalyticalQuery& query) {
     return out;
   }
 
-  // Forward to the core over the WAN; execute exactly; answer returns.
-  const NodeId en = edge_node(edge);
-  out.wan_ms += cluster_->network().send(en, 0, query_wire_bytes(query));
-  ExactResult exact;
-  try {
-    exact = exec_->execute(query, config_.core_paradigm);
-  } catch (const std::runtime_error&) {
-    // Core-side outage (replicas down, retries exhausted): fall back to
-    // the edge model exactly as if the WAN were partitioned.
+  // The local fallback shared by every "core unreachable" case: WAN
+  // partitioned, core-side outage, or this edge's WAN breaker open.
+  const auto serve_degraded = [&]() {
     if (auto pred = edge_agents_[edge].maybe_predict(query)) {
       out.value = pred->value;
       out.served_at_edge = true;
@@ -251,9 +248,35 @@ GeoAnswer GeoSystem::submit(std::size_t edge, const AnalyticalQuery& query) {
       out.answered = false;
       ++stats_.unanswered;
     }
+  };
+
+  // WAN breaker: after consecutive core-side outages this edge stops
+  // paying for doomed round trips until the modelled cooldown elapses.
+  const NodeId breaker_key = static_cast<NodeId>(edge);
+  if (!wan_breakers_.allow(breaker_key)) {
+    ++stats_.wan_breaker_fast_fails;
+    serve_degraded();
     return out;
   }
-  out.wan_ms += cluster_->network().send(0, en, kAnswerWireBytes);
+
+  // Forward to the core over the WAN; execute exactly; answer returns.
+  const NodeId en = edge_node(edge);
+  out.wan_ms += cluster_->network().send(en, 0, query_wire_bytes(query));
+  wan_breakers_.advance(out.wan_ms);
+  ExactResult exact;
+  try {
+    exact = exec_->execute(query, config_.core_paradigm);
+  } catch (const OutageError&) {
+    // Core-side outage (replicas down, retries exhausted, deadline blown):
+    // fall back to the edge model exactly as if the WAN were partitioned.
+    wan_breakers_.record_failure(breaker_key);
+    serve_degraded();
+    return out;
+  }
+  wan_breakers_.record_success(breaker_key);
+  const double back_ms = cluster_->network().send(0, en, kAnswerWireBytes);
+  out.wan_ms += back_ms;
+  wan_breakers_.advance(back_ms);
   out.value = exact.answer;
   ++stats_.forwarded;
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "fault/breaker.h"
 #include "sea/agent.h"
 #include "sea/exact.h"
 
@@ -70,6 +71,12 @@ struct GeoConfig {
   /// kEdgePeerRouting: only route to a peer whose nearest quantum centre
   /// is within this normalized distance of the query.
   double peer_route_distance = 0.08;
+  /// Per-edge circuit breaker on the edge->core WAN path: after
+  /// `failure_threshold` consecutive core-side outages the edge stops
+  /// forwarding (serving degraded locally instead) until the modelled
+  /// cooldown elapses — a flaky core stops costing every edge query a
+  /// doomed WAN round trip. Disabled by default.
+  BreakerConfig wan_breaker;
 };
 
 struct GeoAnswer {
@@ -99,6 +106,7 @@ struct GeoStats {
   std::uint64_t degraded_at_edge = 0;  ///< answered locally during partition
   std::uint64_t unanswered = 0;        ///< partition + no local model
   std::uint64_t heal_resyncs = 0;      ///< syncs/refreshes forced by a heal
+  std::uint64_t wan_breaker_fast_fails = 0;  ///< forwards skipped: breaker open
 };
 
 class GeoSystem {
@@ -158,6 +166,9 @@ class GeoSystem {
   std::vector<std::string> known_signatures_;
   std::size_t since_registry_ = 0;
   bool wan_partitioned_ = false;
+  /// One breaker per *edge*, guarding that edge's WAN path to the core
+  /// (cooldown clock advanced by the modelled WAN time this edge spends).
+  CircuitBreakerSet wan_breakers_;
   GeoStats stats_;
 };
 

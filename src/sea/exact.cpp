@@ -144,7 +144,8 @@ void ExactExecutor::invalidate_caches() {
 }
 
 ExactResult ExactExecutor::execute(const AnalyticalQuery& query,
-                                   ExecParadigm paradigm) {
+                                   ExecParadigm paradigm,
+                                   QueryDeadline* deadline) {
   query.validate();
   // End-to-end wall clock of the whole call (index builds included), so
   // every paradigm's report carries a measured wall_ms next to the
@@ -153,11 +154,11 @@ ExactResult ExactExecutor::execute(const AnalyticalQuery& query,
   ExactResult res = [&] {
     switch (paradigm) {
       case ExecParadigm::kMapReduce:
-        return execute_mapreduce(query);
+        return execute_mapreduce(query, deadline);
       case ExecParadigm::kCoordinatorIndexed:
-        return execute_indexed(query, /*use_grid=*/false);
+        return execute_indexed(query, /*use_grid=*/false, deadline);
       case ExecParadigm::kCoordinatorGrid:
-        return execute_indexed(query, /*use_grid=*/true);
+        return execute_indexed(query, /*use_grid=*/true, deadline);
     }
     throw std::logic_error("ExactExecutor::execute: bad paradigm");
   }();
@@ -177,7 +178,8 @@ AggregateState ExactExecutor::aggregate_rows(
   return agg;
 }
 
-ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q) {
+ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q,
+                                             QueryDeadline* deadline) {
   ExactResult out;
   if (q.selection == SelectionType::kNearestNeighbors) {
     // Map: local top-k candidates from a full scan; reduce: global top-k.
@@ -218,7 +220,7 @@ ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q) {
       for (std::size_t i = 0; i < take; ++i) agg.add(cands[i].t, cands[i].u);
       return agg;
     };
-    auto mr = run_map_reduce(cluster_, table_, job, coordinator_);
+    auto mr = run_map_reduce(cluster_, table_, job, coordinator_, deadline);
     AggregateState total;
     for (auto& [key, agg] : mr.results) {
       (void)key;
@@ -256,7 +258,7 @@ ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q) {
     for (const auto& s : states) total.merge(s);
     return total;
   };
-  auto mr = run_map_reduce(cluster_, table_, job, coordinator_);
+  auto mr = run_map_reduce(cluster_, table_, job, coordinator_, deadline);
   AggregateState total;
   for (auto& [key, agg] : mr.results) {
     (void)key;
@@ -270,7 +272,8 @@ ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q) {
 }
 
 ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
-                                           bool use_grid) {
+                                           bool use_grid,
+                                           QueryDeadline* deadline) {
   ExactResult out;
   const NodeIndexes* kd = use_grid ? nullptr : &indexes_for(q.subspace_cols);
   const NodeGrids* grid = use_grid ? &grids_for(q.subspace_cols) : nullptr;
@@ -305,14 +308,16 @@ ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
     return rows;
   };
   CohortSession session(cluster_, coordinator_);
+  session.set_deadline(deadline);
   // Request = the query geometry: centre + extents, ~ (2d + 2) doubles.
   const std::size_t req_bytes = (2 * q.subspace_cols.size() + 2) * 8;
 
   // Shard `n` is answered by its serving node (primary, or a live replica
   // holder under failures). A node that flaps *mid-RPC* raises
-  // NodeDownError; the shard is then re-resolved and re-routed to the next
-  // live holder. Replica exhaustion (NoLiveReplicaError) propagates to the
-  // caller, where the serving layer degrades to a model-backed answer.
+  // NodeDownError (a tripped circuit breaker raises it too); the shard is
+  // then re-resolved and re-routed to the next available holder. Replica
+  // exhaustion (ShardUnavailable) propagates to the caller, where the
+  // serving layer degrades to a model-backed answer.
   const auto rpc_with_reroute = [&](std::size_t shard, auto&& do_rpc) {
     for (;;) {
       const NodeId serving = cluster_.serving_node(table_, shard);
@@ -322,6 +327,17 @@ ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
         session.note_reroute();
       }
     }
+  };
+  // Backup holder for hedged reads: the next live replica of `shard`
+  // other than the serving node (kNoBackup when unreplicated).
+  const auto backup_for = [&](std::size_t shard, NodeId serving) -> NodeId {
+    const PartitionSpec& spec = cluster_.partition_spec(table_);
+    for (std::size_t r = 0; r < spec.replicas; ++r) {
+      const NodeId cand =
+          static_cast<NodeId>((shard + r) % cluster_.num_nodes());
+      if (cand != serving && !cluster_.node_is_down(cand)) return cand;
+    }
+    return CohortSession::kNoBackup;
   };
 
   if (q.selection == SelectionType::kNearestNeighbors) {
@@ -333,20 +349,22 @@ ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
       if (part.num_rows() == 0) continue;  // empty partitions never probed
       const std::size_t resp_bytes = sizeof(KnnCand) * q.knn_k;
       auto local = rpc_with_reroute(n, [&](NodeId serving) {
-        return session.rpc(serving, req_bytes, resp_bytes, [&]() {
-          std::uint64_t examined = 0;
-          auto nn = node_knn(n, q.knn_point, q.knn_k, examined);
-          cluster_.account_probe(serving, 1, examined,
-                                 examined * part.row_bytes());
-          std::vector<KnnCand> cands;
-          cands.reserve(nn.size());
-          double t, u;
-          for (const auto& [row, dist] : nn) {
-            targets(part, static_cast<std::size_t>(row), q, t, u);
-            cands.push_back(KnnCand{dist, t, u});
-          }
-          return cands;
-        });
+        return session.rpc_to(
+            serving, backup_for(n, serving), req_bytes, resp_bytes,
+            [&](NodeId executing) {
+              std::uint64_t examined = 0;
+              auto nn = node_knn(n, q.knn_point, q.knn_k, examined);
+              cluster_.account_probe(executing, 1, examined,
+                                     examined * part.row_bytes());
+              std::vector<KnnCand> cands;
+              cands.reserve(nn.size());
+              double t, u;
+              for (const auto& [row, dist] : nn) {
+                targets(part, static_cast<std::size_t>(row), q, t, u);
+                cands.push_back(KnnCand{dist, t, u});
+              }
+              return cands;
+            });
       });
       merged.insert(merged.end(), local.begin(), local.end());
     }
@@ -399,15 +417,15 @@ ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
     const Table& part = cluster_.partition(table_, n);
     if (part.num_rows() == 0) continue;  // empty partitions never probed
     AggregateState node_agg = rpc_with_reroute(n, [&](NodeId serving) {
-      return session.rpc(serving, req_bytes, AggregateState::kWireBytes,
-                         [&]() {
-                           std::uint64_t examined = 0;
-                           const std::vector<std::uint64_t> rows =
-                               node_select(n, examined);
-                           cluster_.account_probe(serving, 1, examined,
-                                                  examined * part.row_bytes());
-                           return aggregate_rows(part, rows, q);
-                         });
+      return session.rpc_to(
+          serving, backup_for(n, serving), req_bytes,
+          AggregateState::kWireBytes, [&](NodeId executing) {
+            std::uint64_t examined = 0;
+            const std::vector<std::uint64_t> rows = node_select(n, examined);
+            cluster_.account_probe(executing, 1, examined,
+                                   examined * part.row_bytes());
+            return aggregate_rows(part, rows, q);
+          });
     });
     total.merge(node_agg);
   }

@@ -20,6 +20,7 @@
 
 #include "cluster/cluster.h"
 #include "exec/exec_report.h"
+#include "fault/outage.h"
 #include "index/grid.h"
 #include "index/kdtree.h"
 #include "sea/aggregate.h"
@@ -54,7 +55,11 @@ class ExactExecutor {
   /// Exact answer via the chosen paradigm. The kCoordinatorIndexed path
   /// lazily builds (and caches) per-node k-d trees over the query's
   /// subspace columns; build time is reported via index_build_ms().
-  ExactResult execute(const AnalyticalQuery& query, ExecParadigm paradigm);
+  /// When `deadline` is non-null, every modelled cost (transfers, task
+  /// overheads, retry backoff) is charged against its budget and the
+  /// execution aborts with DeadlineExceeded once it is spent.
+  ExactResult execute(const AnalyticalQuery& query, ExecParadigm paradigm,
+                      QueryDeadline* deadline = nullptr);
 
   /// Global bounds of the given columns (union over partitions); cached.
   /// Used for feature normalization by the agent and workload generators.
@@ -79,10 +84,12 @@ class ExactExecutor {
   const NodeIndexes& indexes_for(const std::vector<std::size_t>& cols);
   const NodeGrids& grids_for(const std::vector<std::size_t>& cols);
 
-  ExactResult execute_mapreduce(const AnalyticalQuery& query);
+  ExactResult execute_mapreduce(const AnalyticalQuery& query,
+                                QueryDeadline* deadline);
   /// Shared coordinator-cohort path; `use_grid` selects the access
   /// structure (RT3.1).
-  ExactResult execute_indexed(const AnalyticalQuery& query, bool use_grid);
+  ExactResult execute_indexed(const AnalyticalQuery& query, bool use_grid,
+                              QueryDeadline* deadline);
 
   /// Scans `rows` of a partition and accumulates qualifying tuples.
   AggregateState aggregate_rows(const Table& part,

@@ -1,7 +1,10 @@
 #include "sea/served.h"
 
+#include <algorithm>
+
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "fault/outage.h"
 
 namespace sea {
 
@@ -10,10 +13,43 @@ ServedAnalytics::ServedAnalytics(DatalessAgent& agent, ExactExecutor& exec,
     : agent_(agent), exec_(exec), config_(config),
       audit_rng_(config.audit_seed) {}
 
+bool ServedAnalytics::overloaded() const noexcept {
+  return config_.queue_capacity_ms > 0.0 &&
+         queue_backlog_ms_ >
+             config_.shed_high_water * config_.queue_capacity_ms;
+}
+
+ExactResult ServedAnalytics::execute_exact(const AnalyticalQuery& query) {
+  QueryDeadline budget(config_.deadline_ms);
+  QueryDeadline* dl = config_.deadline_ms > 0.0 ? &budget : nullptr;
+  ExactResult res;
+  try {
+    res = exec_.execute(query, config_.exact_paradigm, dl);
+  } catch (const DeadlineExceeded&) {
+    ++stats_.exact_failures;
+    ++stats_.deadline_exceeded;
+    throw;
+  } catch (const OutageError&) {
+    ++stats_.exact_failures;
+    throw;
+  }
+  ++stats_.exact_executed;
+  // Successful exact work joins the admission backlog at its modelled
+  // cost; failed attempts are not charged (their cost is unknowable here
+  // and the breaker/deadline layers already bounded it).
+  if (config_.queue_capacity_ms > 0.0)
+    queue_backlog_ms_ += res.report.modelled_ms();
+  return res;
+}
+
 ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
   ServedAnswer out;
   Timer timer;
   ++stats_.queries;
+  // One query's worth of service capacity elapses per arrival.
+  if (config_.queue_capacity_ms > 0.0)
+    queue_backlog_ms_ =
+        std::max(0.0, queue_backlog_ms_ - config_.drain_ms_per_query);
 
   const bool bootstrapping = stats_.queries <= config_.bootstrap_queries;
   if (!bootstrapping) {
@@ -24,44 +60,56 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
       if (config_.audit_fraction > 0.0 &&
           audit_rng_.bernoulli(config_.audit_fraction)) {
         try {
-          out.exact = exec_.execute(query, config_.exact_paradigm);
+          out.exact = execute_exact(query);
           out.audited = true;
           agent_.observe(query, out.exact.answer);
-          ++stats_.exact_executed;
-        } catch (const std::runtime_error&) {
-          // Audit is best-effort: an outage skips the audit but never
-          // fails the (already confident) data-less answer.
-          ++stats_.exact_failures;
+        } catch (const OutageError&) {
+          // Audit is best-effort: an outage (or blown deadline) skips the
+          // audit but never fails the (already confident) data-less answer.
         }
       }
       ++stats_.data_less_served;
       out.latency_ms = timer.elapsed_ms();
       return out;
     }
+    // Load shedding: the query would hit the BDAS, the admission queue is
+    // over its high-water mark, and the model can stand in — shed.
+    if (overloaded()) {
+      if (auto pred = agent_.maybe_predict(query)) {
+        out.shed = true;
+        out.data_less = true;
+        out.value = pred->value;
+        out.prediction = *pred;
+        ++stats_.shed;
+        out.latency_ms = timer.elapsed_ms();
+        return out;
+      }
+    }
   }
 
   try {
-    out.exact = exec_.execute(query, config_.exact_paradigm);
-  } catch (const std::runtime_error&) {
-    // Exact path unavailable (replicas exhausted / retries exhausted):
-    // serve the model's best answer, explicitly flagged degraded, instead
-    // of failing the query — the availability axis of the paper's P4.
-    ++stats_.exact_failures;
+    out.exact = execute_exact(query);
+  } catch (const OutageError&) {
+    // Exact path unavailable (replicas exhausted / retries exhausted /
+    // deadline blown): serve the model's best answer, explicitly flagged
+    // degraded, instead of failing the query — the availability axis of
+    // the paper's P4. execute_exact already classified the failure.
     if (auto pred = agent_.maybe_predict(query)) {
       out.degraded = true;
       out.data_less = true;
       out.value = pred->value;
       out.prediction = *pred;
       ++stats_.degraded_served;
+      ++stats_.data_less_served;
       out.latency_ms = timer.elapsed_ms();
       return out;
     }
-    ++stats_.unanswerable;
+    ++stats_.failed;
     throw;
   }
   out.value = out.exact.answer;
   agent_.observe(query, out.exact.answer);
-  ++stats_.exact_executed;
+  ++stats_.exact_answered;
   out.latency_ms = timer.elapsed_ms();
   return out;
 }
@@ -82,8 +130,9 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
   });
 
   // Phase 2 (serial, batch order): all shared-state work — confidence
-  // gating, audit coin flips, exact executions (cluster + fault injector),
-  // statistics — in the same order at any thread count.
+  // gating, audit coin flips, admission/shedding decisions, exact
+  // executions (cluster + fault injector), statistics — in the same order
+  // at any thread count.
   std::vector<std::pair<AnalyticalQuery, double>> train;
   train.reserve(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -91,6 +140,9 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
     ServedAnswer& ans = out[i];
     Timer timer;
     ++stats_.queries;
+    if (config_.queue_capacity_ms > 0.0)
+      queue_backlog_ms_ =
+          std::max(0.0, queue_backlog_ms_ - config_.drain_ms_per_query);
     const bool bootstrapping = stats_.queries <= config_.bootstrap_queries;
     if (!bootstrapping) {
       const bool served = peek[i].usable && peek[i].confident;
@@ -102,31 +154,39 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
         if (config_.audit_fraction > 0.0 &&
             audit_rng_.bernoulli(config_.audit_fraction)) {
           try {
-            ans.exact = exec_.execute(query, config_.exact_paradigm);
+            ans.exact = execute_exact(query);
             ans.audited = true;
             train.emplace_back(query, ans.exact.answer);
-            ++stats_.exact_executed;
-          } catch (const std::runtime_error&) {
-            ++stats_.exact_failures;
+          } catch (const OutageError&) {
+            // Best-effort audit (classified inside execute_exact).
           }
         }
         ++stats_.data_less_served;
         ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
         continue;
       }
+      if (overloaded() && peek[i].usable) {
+        ans.shed = true;
+        ans.data_less = true;
+        ans.value = peek[i].prediction.value;
+        ans.prediction = peek[i].prediction;
+        ++stats_.shed;
+        ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
+        continue;
+      }
     }
     try {
-      ans.exact = exec_.execute(query, config_.exact_paradigm);
-    } catch (const std::runtime_error&) {
-      ++stats_.exact_failures;
+      ans.exact = execute_exact(query);
+    } catch (const OutageError&) {
       if (peek[i].usable) {
         ans.degraded = true;
         ans.data_less = true;
         ans.value = peek[i].prediction.value;
         ans.prediction = peek[i].prediction;
         ++stats_.degraded_served;
+        ++stats_.data_less_served;
       } else {
-        ++stats_.unanswerable;
+        ++stats_.failed;
         ans.failed = true;
       }
       ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
@@ -134,7 +194,7 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
     }
     ans.value = ans.exact.answer;
     train.emplace_back(query, ans.exact.answer);
-    ++stats_.exact_executed;
+    ++stats_.exact_answered;
     ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
   }
 

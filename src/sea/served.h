@@ -10,11 +10,21 @@
 // data-less — the paper's model-maintenance loop, RT1.4).
 //
 // Availability (paper P4): when exact execution fails — all replica
-// holders of a shard down, or an RPC exhausts its retries — the loop does
-// not throw: it serves the agent's best model answer flagged
-// `degraded=true` (the Fig. 2 data-less agent is uniquely positioned to
-// keep answering when base data is unreachable). Only a query whose
-// signature the agent has never modelled propagates the failure.
+// holders of a shard down, an RPC exhausts its retries, or the query's
+// deadline budget runs out — the loop does not throw: it serves the
+// agent's best model answer flagged `degraded=true` (the Fig. 2 data-less
+// agent is uniquely positioned to keep answering when base data is
+// unreachable). Only a query whose signature the agent has never modelled
+// propagates the failure.
+//
+// Overload control (DESIGN.md "Deadlines & overload"): an optional
+// admission queue tracks a *modelled* backlog of exact-execution work.
+// Each arrival drains `drain_ms_per_query` of backlog; each exact
+// execution adds its modelled cost. Above the high-water mark, queries
+// that would hit the BDAS are shed to the model-backed path instead
+// (`ServedAnswer.shed = true`) — the agent absorbs overload the same way
+// it absorbs outages. All quantities are modelled, so shedding decisions
+// are bit-identical at any SEA_THREADS setting.
 #pragma once
 
 #include <cstdint>
@@ -36,15 +46,31 @@ struct ServeConfig {
   /// an accuracy audit + continued training signal.
   double audit_fraction = 0.05;
   std::uint64_t audit_seed = 99;
+  /// Per-query modelled-time budget (ms) for exact executions; a query
+  /// whose modelled cost exceeds it aborts with DeadlineExceeded and falls
+  /// back to the degraded model path. 0 disables deadlines.
+  double deadline_ms = 0.0;
+  /// Admission-queue capacity in modelled ms of backlog. 0 disables
+  /// admission control (no query is ever shed).
+  double queue_capacity_ms = 0.0;
+  /// Shed to the model path when the backlog exceeds this fraction of
+  /// queue_capacity_ms.
+  double shed_high_water = 0.7;
+  /// Modelled backlog drained per arriving query — the offered-load knob:
+  /// smaller drain than the typical exact cost means the queue grows.
+  double drain_ms_per_query = 0.0;
 };
 
 struct ServedAnswer {
   double value = 0.0;
   bool data_less = false;
   bool audited = false;
-  /// Exact execution failed (outage) and the value is the agent's model
-  /// answer served without the usual confidence gate.
+  /// Exact execution failed (outage or blown deadline) and the value is
+  /// the agent's model answer served without the usual confidence gate.
   bool degraded = false;
+  /// Load shedding: the admission queue was over its high-water mark, so
+  /// the query skipped the BDAS and was answered by the model.
+  bool shed = false;
   /// Batch serving only: outage + no model — serve() would have thrown;
   /// serve_batch() flags the slot instead so the rest of the batch still
   /// completes. `value` is meaningless when set.
@@ -54,13 +80,27 @@ struct ServedAnswer {
   double latency_ms = 0.0;  ///< measured end-to-end serve time
 };
 
+/// Serving counters. The top-level outcome classes partition the queries:
+/// every query lands in exactly one of data_less_served, exact_answered,
+/// shed, or failed (conserved() asserts this). degraded_served is a subset
+/// of data_less_served; exact_executed / exact_failures / deadline_exceeded
+/// count executions (including audits), not queries.
 struct ServeStats {
   std::uint64_t queries = 0;
-  std::uint64_t data_less_served = 0;
+  std::uint64_t data_less_served = 0;  ///< model answers (incl. degraded)
+  std::uint64_t exact_answered = 0;    ///< answered from an exact execution
+  std::uint64_t shed = 0;              ///< load-shed to the model path
+  std::uint64_t failed = 0;            ///< outage + no model: unanswerable
   std::uint64_t exact_executed = 0;  ///< includes bootstrap + declines + audits
   std::uint64_t exact_failures = 0;  ///< exact executions that raised an outage
   std::uint64_t degraded_served = 0; ///< model answers served during outages
-  std::uint64_t unanswerable = 0;    ///< outage + no model: failure propagated
+  std::uint64_t deadline_exceeded = 0;  ///< executions aborted on the budget
+
+  /// Query-conservation invariant: every query is counted in exactly one
+  /// outcome class.
+  bool conserved() const noexcept {
+    return queries == data_less_served + exact_answered + shed + failed;
+  }
 };
 
 class ServedAnalytics {
@@ -84,13 +124,23 @@ class ServedAnalytics {
   const ServeStats& stats() const noexcept { return stats_; }
   DatalessAgent& agent() noexcept { return agent_; }
   ExactExecutor& executor() noexcept { return exec_; }
+  /// Current modelled backlog of the admission queue (ms).
+  double queue_backlog_ms() const noexcept { return queue_backlog_ms_; }
 
  private:
+  /// Executes `query` exactly under the configured deadline, updating the
+  /// admission backlog on success. Throws typed outage errors.
+  ExactResult execute_exact(const AnalyticalQuery& query);
+  /// True when the admission queue is over its high-water mark.
+  bool overloaded() const noexcept;
+
   DatalessAgent& agent_;
   ExactExecutor& exec_;
   ServeConfig config_;
   ServeStats stats_;
   Rng audit_rng_;
+  /// Modelled ms of exact-execution work admitted but not yet drained.
+  double queue_backlog_ms_ = 0.0;
 };
 
 }  // namespace sea

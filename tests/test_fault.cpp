@@ -7,6 +7,7 @@
 #include <string>
 #include <tuple>
 
+#include "exec/coordinator.h"
 #include "exec/mapreduce.h"
 #include "fault/fault.h"
 #include "fault/retry.h"
@@ -251,6 +252,93 @@ TEST_F(FaultyClusterFixture, RpcRetriesExhaustedSurfacesAsRuntimeError) {
   cluster.set_retry_policy(RetryPolicy{});
 }
 
+TEST(RetryPolicy, JitterSequenceIsSeedDeterministic) {
+  RetryPolicy p;  // defaults carry jitter_fraction > 0
+  ASSERT_GT(p.jitter_fraction, 0.0);
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_DOUBLE_EQ(p.backoff_ms(i % 4, a), p.backoff_ms(i % 4, b))
+        << "at draw " << i;
+  // ...and the draws really are random: a different seed diverges.
+  Rng c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i)
+    any_diff |= p.backoff_ms(1, a) != p.backoff_ms(1, c);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(FaultyClusterFixture, SingleAttemptPolicyDrawsNoBackoffJitter) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_probability = 1.0;
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // fail fast: no retry, so no backoff either
+  cluster.set_retry_policy(policy);
+  CohortSession session(cluster, 0);
+  EXPECT_THROW(session.rpc(1, 64, 64, [] { return 0; }), RpcRetriesExhausted);
+  const ExecReport rep = session.take_report();
+  EXPECT_EQ(rep.retries, 0u);
+  EXPECT_EQ(rep.dropped_messages, 1u);
+  EXPECT_DOUBLE_EQ(rep.modelled_backoff_ms, 0.0);
+  // No jitter was drawn: the injector's RNG sits exactly where the single
+  // attempt's drop draw left it. A twin that consumes only that one draw
+  // must agree on the next value (a backoff draw would have advanced it).
+  FaultInjector twin(plan);
+  (void)twin.should_drop(0, 1);
+  EXPECT_DOUBLE_EQ(inj.rng().uniform(), twin.rng().uniform());
+  inj.detach(cluster);
+}
+
+TEST_F(FaultyClusterFixture, TimeoutTreatsStragglersAsFailures) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.spike_probability = 1.0;  // every message straggles...
+  plan.spike_multiplier = 50.0;  // ...far past the timeout
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.rpc_timeout_ms = 1.0;  // clean LAN leg is ~0.1 ms, spiked ~5 ms
+  cluster.set_retry_policy(policy);
+  CohortSession session(cluster, 0);
+  EXPECT_THROW(session.rpc(1, 1024, 1024, [] { return 1; }),
+               RpcRetriesExhausted);
+  const ExecReport rep = session.take_report();
+  EXPECT_EQ(rep.dropped_messages, 0u);  // nothing was lost in flight...
+  EXPECT_EQ(rep.retries, 2u);  // ...every attempt straggled past the timeout
+  EXPECT_GT(rep.modelled_backoff_ms, 0.0);
+  inj.detach(cluster);
+  cluster.set_retry_policy(RetryPolicy{});
+}
+
+TEST_F(FaultyClusterFixture, TimeoutRetriesRecoverFromOccasionalStragglers) {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.spike_probability = 0.15;
+  plan.spike_multiplier = 50.0;
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.rpc_timeout_ms = 1.0;
+  cluster.set_retry_policy(policy);
+  ExactExecutor exec(cluster, "t");
+  ExecReport total;
+  for (int i = 0; i < 6; ++i) {
+    const auto q = range_count_query(0.1 * i, 0.1 * i + 0.4, 0.1, 0.9);
+    const auto res = exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+    EXPECT_NEAR(res.answer, brute_force_answer(table, q), 1e-9);
+    total.merge(res.report);
+  }
+  inj.detach(cluster);
+  cluster.set_retry_policy(RetryPolicy{});
+  EXPECT_GT(total.retries, 0u);           // stragglers were retried...
+  EXPECT_EQ(total.dropped_messages, 0u);  // ...though no message was lost
+}
+
 TEST_F(FaultyClusterFixture, ServedAnalyticsDegradesWhenAllReplicasDown) {
   ExactExecutor exec(cluster, "t");
   AgentConfig cfg;
@@ -293,7 +381,7 @@ TEST_F(FaultyClusterFixture, ColdAgentOutagePropagates) {
   for (NodeId n = 0; n < 4; ++n) cluster.set_node_down(n, true);
   EXPECT_THROW(served.serve(range_count_query(0.2, 0.8, 0.2, 0.8)),
                NoLiveReplicaError);
-  EXPECT_EQ(served.stats().unanswerable, 1u);
+  EXPECT_EQ(served.stats().failed, 1u);
 }
 
 TEST_F(FaultyClusterFixture, SnapshotRestoresAccessAndTraffic) {
@@ -423,8 +511,9 @@ TEST(FaultSoak, EveryAnswerExactOrFlaggedDegraded) {
     }
     EXPECT_TRUE(std::isfinite(a.value));
   }
-  EXPECT_EQ(served.stats().unanswerable, 0u);
+  EXPECT_EQ(served.stats().failed, 0u);
   EXPECT_GE(served.stats().degraded_served, 1u);
+  EXPECT_TRUE(served.stats().conserved());
 }
 
 TEST(GeoPartition, EdgesServeDegradedAcrossWanPartitionAndResync) {

@@ -405,7 +405,7 @@ TEST(AgentDeterminism, BatchAndSerialObserveConvergeOnSamePairs) {
 struct ServeOutcome {
   std::vector<std::tuple<double, bool, bool, bool>> answers;
   std::uint64_t queries, data_less, exact_executed, exact_failures;
-  std::uint64_t degraded, unanswerable;
+  std::uint64_t degraded, failed;
   std::uint64_t agent_served, agent_declined;
 
   bool operator==(const ServeOutcome&) const = default;
@@ -461,7 +461,11 @@ ServeOutcome run_serve_batches(const Table& table) {
   out.exact_executed = st.exact_executed;
   out.exact_failures = st.exact_failures;
   out.degraded = st.degraded_served;
-  out.unanswerable = st.unanswerable;
+  out.failed = st.failed;
+  EXPECT_TRUE(st.conserved())
+      << "query conservation violated: " << st.queries << " != "
+      << st.data_less_served << "+" << st.exact_answered << "+" << st.shed
+      << "+" << st.failed;
   out.agent_served = agent.stats().predictions_served;
   out.agent_declined = agent.stats().predictions_declined;
   inj.detach(cluster);
