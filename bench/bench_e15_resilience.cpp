@@ -40,12 +40,15 @@ struct RunResult {
   std::uint64_t net_dropped = 0;
 };
 
-RunResult run_point(double drop_probability, std::uint64_t seed) {
+RunResult run_point(double drop_probability, std::uint64_t seed,
+                    obs::Tracer* tracer = nullptr,
+                    obs::MetricsRegistry* metrics = nullptr) {
   Table table = make_clustered_dataset(kRows, 2, 3, 7);
   Cluster cluster(kNodes, Network::single_zone(kNodes));
   PartitionSpec spec;
   spec.replicas = 2;  // flapped shards fail over to a replica holder
   cluster.load_table("t", table, spec);
+  if (tracer || metrics) cluster.set_observability(tracer, metrics);
   ExactExecutor exec(cluster, "t");
   AgentConfig acfg = default_agent_config();
   DatalessAgent agent(acfg, [&](const std::vector<std::size_t>& cols) {
@@ -122,7 +125,7 @@ RunResult run_point(double drop_probability, std::uint64_t seed) {
   return r;
 }
 
-void run() {
+void run(const std::string& trace_path) {
   banner("E15: resilience — availability and retry overhead under faults",
          "with retry/backoff + model-backed degradation, a served workload "
          "stays ~100% answered across drop storms and node flaps, and every "
@@ -163,12 +166,21 @@ void run() {
       static_cast<unsigned long long>(a.retries),
       static_cast<unsigned long long>(a.net_dropped),
       static_cast<unsigned long long>(a.rerouted), a.backoff_ms);
+
+  // --trace-out / SEA_TRACE: re-run the 5% drop point with observability
+  // attached and dump the deterministic trace+metrics JSON.
+  if (!trace_path.empty()) {
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    run_point(0.05, /*seed=*/31, &tracer, &metrics);
+    write_trace_file(trace_path, tracer, metrics);
+  }
 }
 
 }  // namespace
 }  // namespace sea::bench
 
-int main() {
-  sea::bench::run();
+int main(int argc, char** argv) {
+  sea::bench::run(sea::bench::trace_out_path(argc, argv));
   return 0;
 }

@@ -42,9 +42,12 @@ struct PointResult {
 
 /// One sweep point. `drain_fraction` is the service rate relative to the
 /// healthy exact cost (0.5 => offered load is 2x capacity); `defenses`
-/// toggles breakers + deadline + admission control together.
+/// toggles breakers + deadline + admission control together. When a
+/// tracer/registry is passed, the whole point (warm phase + storm) records
+/// into them (--trace-out hook).
 PointResult run_point(double drain_fraction, bool defenses,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, obs::Tracer* tracer = nullptr,
+                      obs::MetricsRegistry* metrics = nullptr) {
   Table table = make_clustered_dataset(kRows, 2, 3, 7);
   Cluster cluster(kNodes, Network::single_zone(kNodes));
   PartitionSpec spec;
@@ -60,6 +63,7 @@ PointResult run_point(double drain_fraction, bool defenses,
     bc.cooldown_ms = 50.0;
     cluster.set_breaker_config(bc);
   }
+  if (tracer || metrics) cluster.set_observability(tracer, metrics);
   ExactExecutor exec(cluster, "t");
 
   WorkloadConfig wc;
@@ -145,7 +149,7 @@ void emit(BenchJsonWriter& json, const char* name, double drain_fraction,
   json.num("backlog_ms", r.backlog_ms);
 }
 
-void run() {
+void run(const std::string& trace_path) {
   banner("E16: overload control — deadlines, breakers, load shedding",
          "under a grey-failing node + drops + a flap at up to 4x offered "
          "load, the defended serving loop answers every query (shed and "
@@ -214,12 +218,22 @@ void run() {
       static_cast<unsigned long long>(on.breaker_opens), on.backlog_ms);
 
   json.write_file("BENCH_e16.json");
+
+  // --trace-out / SEA_TRACE: re-run the defended 2x-overload storm point
+  // with observability attached and dump the deterministic trace+metrics
+  // JSON (bit-identical across runs and SEA_THREADS settings).
+  if (!trace_path.empty()) {
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    run_point(0.5, true, /*seed=*/31, &tracer, &metrics);
+    write_trace_file(trace_path, tracer, metrics);
+  }
 }
 
 }  // namespace
 }  // namespace sea::bench
 
-int main() {
-  sea::bench::run();
+int main(int argc, char** argv) {
+  sea::bench::run(sea::bench::trace_out_path(argc, argv));
   return 0;
 }

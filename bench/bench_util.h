@@ -12,11 +12,15 @@
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sea/agent.h"
 #include "data/generator.h"
 #include "sea/exact.h"
@@ -155,6 +159,43 @@ class BenchJsonWriter {
  private:
   std::vector<std::vector<std::pair<std::string, std::string>>> records_;
 };
+
+/// Where a harness should write its deterministic trace + metrics JSON:
+/// `--trace-out=PATH` (or `--trace-out PATH`) on the command line, else the
+/// SEA_TRACE environment variable, else "" (tracing disabled).
+inline std::string trace_out_path(int argc, char** argv) {
+  const std::string flag = "--trace-out";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(flag + "=", 0) == 0) return a.substr(flag.size() + 1);
+    if (a == flag && i + 1 < argc) return argv[i + 1];
+  }
+  if (const char* env = std::getenv("SEA_TRACE")) return env;
+  return {};
+}
+
+/// Writes one JSON object {"trace": <trace_dump>, "metrics":
+/// <metrics_snapshot>} to `path`. Both sub-documents are the deterministic
+/// exporters from src/obs, so the file is bit-identical for a seeded run
+/// at any SEA_THREADS setting. Returns false (after a warning) on I/O
+/// failure.
+inline bool write_trace_file(const std::string& path,
+                             const obs::Tracer& tracer,
+                             const obs::MetricsRegistry& metrics) {
+  std::ofstream f(path);
+  if (!f) {
+    std::printf("warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  f << "{\n\"trace\": ";
+  tracer.dump_json(f);
+  f << ",\n\"metrics\": ";
+  metrics.snapshot_json(f);
+  f << "}\n";
+  std::printf("wrote %s (%zu spans, %zu metrics)\n", path.c_str(),
+              tracer.spans().size(), metrics.size());
+  return true;
+}
 
 /// Agent configuration used across experiments (tuned via the test suite).
 inline AgentConfig default_agent_config() {

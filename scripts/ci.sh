@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 CI: configure, build, and run the tier1-labelled test suite under
-# the default preset and again under ASan+UBSan, with every sanitizer
-# report made fatal (a finding fails the run instead of scrolling by).
+# CI: configure, build, and test under four presets —
+#   default   tier1 suite, RelWithDebInfo
+#   asan      tier1 suite under ASan+UBSan (reports fatal)
+#   tsan      tier1 + tier2 (saturated-pool stress) under TSan
+#   coverage  tier1 suite instrumented with gcov; prints per-directory
+#             line coverage for src/ and fails if src/obs drops below 90%
 # Usage: scripts/ci.sh  (from anywhere; no arguments)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -9,13 +12,13 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 run_preset() {
-  local preset="$1"
+  local preset="$1" labels="${2:-tier1}"
   echo "=== [${preset}] configure ==="
   cmake --preset "${preset}"
   echo "=== [${preset}] build ==="
   cmake --build --preset "${preset}" -j "${jobs}"
-  echo "=== [${preset}] tier-1 tests ==="
-  ctest --preset "${preset}" -L tier1 -j "${jobs}" --output-on-failure
+  echo "=== [${preset}] tests (${labels}) ==="
+  ctest --preset "${preset}" -L "${labels}" -j "${jobs}" --output-on-failure
 }
 
 run_preset default
@@ -26,4 +29,65 @@ export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
 run_preset asan
 
-echo "CI: tier-1 suites passed under default and asan presets."
+# TSan gets the tier2 stress runs too: they re-run the fault soak, the
+# parallel-determinism suite, and the golden-trace storm with a saturated
+# pool (SEA_THREADS=8), which is where data races would actually surface.
+export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
+run_preset tsan 'tier1|tier2'
+
+# Coverage: the tier1 run fills .gcda files; gcov -n reports per-file line
+# coverage which we aggregate per src/ directory. A file seen from several
+# translation units (headers) keeps its best-covered instance.
+run_preset coverage
+
+echo "=== [coverage] per-directory line coverage (src/) ==="
+cov_rows="$(find build-coverage -name '*.gcda' -print0 \
+  | xargs -0 gcov -n 2>/dev/null \
+  | awk '
+      /^File / {
+        f = $0
+        sub(/^File '\''/, "", f); sub(/'\''$/, "", f)
+        file = f; next
+      }
+      /^Lines executed:/ {
+        if (file == "") next
+        s = $0; sub(/^Lines executed:/, "", s)
+        n = split(s, p, /% of /)
+        if (n == 2) {
+          covered = (p[1] / 100.0) * p[2]
+          if (!(file in best_tot) || covered > best_cov[file]) {
+            best_cov[file] = covered; best_tot[file] = p[2]
+          }
+        }
+        file = ""; next
+      }
+      END {
+        for (f in best_tot) {
+          if (f !~ /\/src\// && f !~ /^src\//) continue
+          d = f
+          sub(/^.*\/src\//, "src/", d)
+          sub(/\/[^\/]*$/, "", d)
+          dir_cov[d] += best_cov[f]; dir_tot[d] += best_tot[f]
+        }
+        for (d in dir_tot) {
+          pct = dir_tot[d] > 0 ? 100.0 * dir_cov[d] / dir_tot[d] : 0.0
+          printf "%s %d %.1f\n", d, dir_tot[d], pct
+        }
+      }')"
+if [ -z "${cov_rows}" ]; then
+  echo "FAIL: no gcov data found under build-coverage/"
+  exit 1
+fi
+echo "${cov_rows}" | sort | awk '{printf "  %-16s %6d lines  %5.1f%%\n", $1, $2, $3}'
+obs_pct="$(echo "${cov_rows}" | awk '$1 == "src/obs" {print $3}')"
+if [ -z "${obs_pct}" ]; then
+  echo "FAIL: no coverage data for src/obs"
+  exit 1
+fi
+if awk "BEGIN { exit !(${obs_pct} < 90.0) }"; then
+  echo "FAIL: src/obs line coverage ${obs_pct}% is below the 90% floor"
+  exit 1
+fi
+echo "coverage gate: src/obs at ${obs_pct}% (floor 90%)"
+
+echo "CI: default, asan, tsan, and coverage stages all passed."

@@ -24,6 +24,8 @@
 #include "fault/outage.h"
 #include "fault/retry.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sea {
 
@@ -185,6 +187,22 @@ class Cluster {
   }
   const HedgeConfig& hedge_config() const noexcept { return hedge_; }
 
+  // --- observability (src/obs) ---
+
+  /// Attaches a span tracer and/or metrics registry (either may be null).
+  /// Executors consult these at the same serial charge points that feed
+  /// ExecReport, so traces and metric values are bit-identical across runs
+  /// and SEA_THREADS settings. Attach before issuing queries; the caller
+  /// owns both objects and they must outlive the attached executions.
+  void set_observability(obs::Tracer* tracer,
+                         obs::MetricsRegistry* metrics) noexcept {
+    tracer_ = tracer;
+    metrics_ = metrics;
+    breakers_.bind_metrics(metrics);
+  }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+
   /// For range partitioning: nodes whose range of the partition column
   /// intersects [lo, hi]. For other schemes, all nodes holding the table.
   /// Callers must only pass bounds on the table's partition column.
@@ -239,6 +257,8 @@ class Cluster {
   RetryPolicy retry_;
   CircuitBreakerSet breakers_;
   HedgeConfig hedge_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sea

@@ -30,6 +30,13 @@
 //    success wins (classic tail-latency hedging, deterministic because
 //    every latency is modelled and every draw comes from seeded streams).
 //
+// Observability: when the cluster carries a Tracer/MetricsRegistry
+// (Cluster::set_observability), every rpc_to() records an "rpc" span with
+// an outcome tag, plus "hedge"/"backoff" child spans and breaker events,
+// all on the modelled clock — the tracer advances exactly where the
+// deadline budget and breaker cooldowns are charged, so traces are
+// bit-identical across runs and SEA_THREADS settings.
+//
 // The session accumulates an ExecReport comparable with MapReduce runs.
 #pragma once
 
@@ -46,6 +53,8 @@
 #include "fault/fault.h"
 #include "fault/outage.h"
 #include "fault/retry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sea {
 
@@ -55,7 +64,19 @@ class CohortSession {
   static constexpr NodeId kNoBackup = 0xffffffffu;
 
   CohortSession(Cluster& cluster, NodeId coordinator)
-      : cluster_(cluster), coordinator_(coordinator) {}
+      : cluster_(cluster),
+        coordinator_(coordinator),
+        tracer_(cluster.tracer()),
+        retry_obs_(RetryMetrics::bind(cluster.metrics())) {
+    if (obs::MetricsRegistry* reg = cluster.metrics()) {
+      m_round_trips_ = &reg->counter("rpc.round_trips");
+      m_hedged_ = &reg->counter("rpc.hedged");
+      m_hedges_won_ = &reg->counter("rpc.hedges_won");
+      m_breaker_fast_fails_ = &reg->counter("rpc.breaker_fast_fails");
+      m_rtt_ = &reg->histogram("rpc.rtt_ms",
+                               {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+    }
+  }
 
   NodeId coordinator() const noexcept { return coordinator_; }
   Cluster& cluster() noexcept { return cluster_; }
@@ -90,13 +111,24 @@ class CohortSession {
     const RetryPolicy& policy = cluster_.retry_policy();
     FaultInjector* injector = cluster_.fault_injector();
     CircuitBreakerSet& breakers = cluster_.breakers();
+    // Only a DeadlineExceeded (thrown mid-charge) leaves the default tag;
+    // every other exit overwrites it.
+    obs::SpanScope span(tracer_, "rpc", static_cast<std::int64_t>(node));
+    span.set_tag("deadline_exceeded");
     for (std::size_t attempt = 0;; ++attempt) {
       if (injector) injector->tick(cluster_);
-      if (cluster_.node_is_down(node))
+      if (cluster_.node_is_down(node)) {
+        span.set_tag("node_down");
         throw NodeDownError(node, "CohortSession::rpc: cohort node " +
                                       std::to_string(node) + " is down");
+      }
       if (!breakers.allow(node)) {
         ++report_.breaker_fast_fails;
+        if (m_breaker_fast_fails_) m_breaker_fast_fails_->inc();
+        if (tracer_)
+          tracer_->event("breaker_open", "fast_fail",
+                         static_cast<std::int64_t>(node));
+        span.set_tag("breaker_open");
         throw NodeDownError(node, "CohortSession::rpc: circuit breaker open "
                                   "for node " +
                                       std::to_string(node));
@@ -112,12 +144,20 @@ class CohortSession {
               out.ms > hedge_threshold_ms() &&
               !cluster_.node_is_down(backup) && breakers.allow(backup)) {
             ++report_.hedged_rpcs;
+            if (m_hedged_) m_hedged_->inc();
+            obs::SpanScope hedge_span(tracer_, "hedge",
+                                      static_cast<std::int64_t>(backup));
+            hedge_span.set_tag("lost");
             std::optional<R> hedged = attempt_once<R>(
                 backup, request_bytes, response_bytes, fn, policy);
             if (hedged) {
               // The primary's in-flight request still consumed its time.
               charge_network(out.ms);
               ++report_.hedges_won;
+              if (m_hedges_won_) m_hedges_won_->inc();
+              hedge_span.set_tag("won");
+              span.set_tag("hedge_won");
+              span.add_bytes(request_bytes + response_bytes);
               return *hedged;
             }
           }
@@ -128,6 +168,8 @@ class CohortSession {
           if (deliver_response(node, response_bytes, out.ms, t.elapsed_ms(),
                                policy)) {
             breakers.record_success(node);
+            span.set_tag("ok");
+            span.add_bytes(request_bytes + response_bytes);
             return;
           }
         } else {
@@ -135,6 +177,8 @@ class CohortSession {
           if (deliver_response(node, response_bytes, out.ms, t.elapsed_ms(),
                                policy)) {
             breakers.record_success(node);
+            span.set_tag("ok");
+            span.add_bytes(request_bytes + response_bytes);
             return result;
           }
         }
@@ -142,7 +186,10 @@ class CohortSession {
       } else {
         // Request leg lost (or modelled as timed out): the attempt still
         // consumed its transfer/detection time on the critical path.
-        if (!out.delivered) ++report_.dropped_messages;
+        if (!out.delivered) {
+          ++report_.dropped_messages;
+          retry_obs_.on_drop();
+        }
         charge_network(out.ms);
         breakers.record_failure(node);
       }
@@ -150,11 +197,16 @@ class CohortSession {
         // The breaker tripped on this failure: short-circuit the retry
         // storm and let the caller re-route to a replica holder.
         ++report_.breaker_fast_fails;
+        if (m_breaker_fast_fails_) m_breaker_fast_fails_->inc();
+        if (tracer_)
+          tracer_->event("breaker_open", "tripped_mid_call",
+                         static_cast<std::int64_t>(node));
+        span.set_tag("breaker_open");
         throw NodeDownError(node, "CohortSession::rpc: circuit breaker "
                                   "opened for node " +
                                       std::to_string(node) + " mid-call");
       }
-      note_retry(attempt, policy, injector, node);
+      note_retry(attempt, policy, injector, node, span);
     }
   }
 
@@ -202,6 +254,7 @@ class CohortSession {
     report_.modelled_network_ms += ms;
     report_.modelled_network_ms_critical += ms;
     cluster_.breakers().advance(ms);
+    if (tracer_) tracer_->advance(ms);
     if (deadline_) deadline_->charge("rpc transfer", ms);
   }
 
@@ -224,7 +277,10 @@ class CohortSession {
     const SendOutcome out =
         cluster_.network().try_send(coordinator_, node, request_bytes);
     if (!out.delivered || out.ms > policy.rpc_timeout_ms) {
-      if (!out.delivered) ++report_.dropped_messages;
+      if (!out.delivered) {
+        ++report_.dropped_messages;
+        retry_obs_.on_drop();
+      }
       charge_network(out.ms);
       breakers.record_failure(node);
       return std::nullopt;
@@ -251,14 +307,20 @@ class CohortSession {
     // RPCs run sequentially, so server-side work is critical-path compute.
     report_.coordinator_compute_ms += server_ms;
     if (!back.delivered || back.ms > policy.rpc_timeout_ms) {
-      if (!back.delivered) ++report_.dropped_messages;
+      if (!back.delivered) {
+        ++report_.dropped_messages;
+        retry_obs_.on_drop();
+      }
       return false;
     }
     const double rpc_ms = cluster_.cost_model().coordinator_rpc_ms;
     report_.modelled_overhead_ms += rpc_ms;
+    if (tracer_) tracer_->advance(rpc_ms);
     if (deadline_) deadline_->charge("rpc overhead", rpc_ms);
     report_.result_bytes += response_bytes;
     ++report_.rpc_round_trips;
+    if (m_round_trips_) m_round_trips_->inc();
+    if (m_rtt_) m_rtt_->observe(out_ms + back.ms);
     rtt_ms_.add(out_ms + back.ms);  // hedge-threshold observation
     return true;
   }
@@ -266,15 +328,21 @@ class CohortSession {
   /// Bookkeeping between attempts; throws RpcRetriesExhausted at the cap
   /// (before any backoff draw, so max_attempts=1 consumes no jitter RNG).
   void note_retry(std::size_t attempt, const RetryPolicy& policy,
-                  FaultInjector* injector, NodeId node) {
-    if (attempt + 1 >= policy.max_attempts)
+                  FaultInjector* injector, NodeId node, obs::SpanScope& span) {
+    if (attempt + 1 >= policy.max_attempts) {
+      span.set_tag("retries_exhausted");
       throw RpcRetriesExhausted(
           "CohortSession::rpc: " + std::to_string(policy.max_attempts) +
           " attempts to node " + std::to_string(node) + " all failed");
+    }
     ++report_.retries;
     const double wait =
         policy.backoff_ms(attempt, injector ? injector->rng() : backoff_rng_);
     report_.modelled_backoff_ms += wait;
+    retry_obs_.on_retry(wait);
+    if (tracer_)
+      tracer_->span_event("backoff", wait, "", 0,
+                          static_cast<std::int64_t>(node));
     cluster_.breakers().advance(wait);
     if (deadline_) deadline_->charge("retry backoff", wait);
   }
@@ -283,6 +351,15 @@ class CohortSession {
   NodeId coordinator_;
   ExecReport report_;
   QueryDeadline* deadline_ = nullptr;
+  /// Observability handles resolved once at construction (all null when
+  /// the cluster has no tracer/registry attached — zero-cost path).
+  obs::Tracer* tracer_ = nullptr;
+  RetryMetrics retry_obs_;
+  obs::Counter* m_round_trips_ = nullptr;
+  obs::Counter* m_hedged_ = nullptr;
+  obs::Counter* m_hedges_won_ = nullptr;
+  obs::Counter* m_breaker_fast_fails_ = nullptr;
+  obs::Histogram* m_rtt_ = nullptr;
   /// Observed modelled round-trip times of successful RPCs — the quantile
   /// source for the hedge threshold. Session-local and updated only on the
   /// (serial) coordinator path, so it is deterministic.

@@ -5,6 +5,13 @@
 
 namespace sea {
 
+// Completeness guard: merge() below must combine every field. ExecReport
+// is 21 trivially-copyable 8-byte fields; adding one changes the size and
+// fails this assert until merge() (and summary(), where relevant) are
+// updated to cover the new field.
+static_assert(sizeof(ExecReport) == 21 * 8,
+              "ExecReport gained/lost a field: update merge() and this guard");
+
 void ExecReport::merge(const ExecReport& o) noexcept {
   wall_ms += o.wall_ms;
   map_compute_ms_total += o.map_compute_ms_total;

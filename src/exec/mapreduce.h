@@ -18,7 +18,11 @@
 // (SEA_THREADS), but everything that consumes shared mutable state —
 // fault-injector ticks, retry RNG draws, cluster/network accounting —
 // runs on the calling thread in fixed task-index order, so results and
-// fault counters are bit-for-bit identical at any thread count.
+// fault counters are bit-for-bit identical at any thread count. Span and
+// metric updates (when the cluster carries observability, see
+// Cluster::set_observability) happen only in those serial sections too:
+// phase spans ("map_phase"/"shuffle"/"reduce_phase"), "backoff" leaf
+// spans, and "reroute" events are bit-identical at any SEA_THREADS.
 #pragma once
 
 #include <algorithm>
@@ -36,6 +40,8 @@
 #include "fault/fault.h"
 #include "fault/outage.h"
 #include "fault/retry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sea {
 
@@ -102,6 +108,16 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   CircuitBreakerSet& breakers = cluster.breakers();
   Rng fallback_backoff_rng(0x5eab0ffULL);
   Rng& backoff_rng = injector ? injector->rng() : fallback_backoff_rng;
+  obs::Tracer* tracer = cluster.tracer();
+  const RetryMetrics retry_obs = RetryMetrics::bind(cluster.metrics());
+  obs::Counter* m_map_tasks = nullptr;
+  obs::Counter* m_reduce_tasks = nullptr;
+  obs::Counter* m_rerouted = nullptr;
+  if (obs::MetricsRegistry* reg = cluster.metrics()) {
+    m_map_tasks = &reg->counter("mr.map_tasks");
+    m_reduce_tasks = &reg->counter("mr.reduce_tasks");
+    m_rerouted = &reg->counter("mr.tasks_rerouted");
+  }
 
   // Fault-aware message delivery: retries dropped/timed-out messages with
   // backoff per the cluster's RetryPolicy. Returns the modelled time of
@@ -118,12 +134,16 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
           from, to, static_cast<std::size_t>(bytes));
       total_ms += sent.ms;
       breakers.advance(sent.ms);
+      if (tracer) tracer->advance(sent.ms);
       if (deadline) deadline->charge("mapreduce transfer", sent.ms);
       if (sent.delivered && sent.ms <= policy.rpc_timeout_ms) {
         breakers.record_success(to);
         return total_ms;
       }
-      if (!sent.delivered) ++rep.dropped_messages;
+      if (!sent.delivered) {
+        ++rep.dropped_messages;
+        retry_obs.on_drop();
+      }
       breakers.record_failure(to);
       if (attempt + 1 >= policy.max_attempts)
         throw RpcRetriesExhausted(
@@ -133,6 +153,10 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
       ++rep.retries;
       const double backoff = policy.backoff_ms(attempt, backoff_rng);
       rep.modelled_backoff_ms += backoff;
+      retry_obs.on_retry(backoff);
+      if (tracer)
+        tracer->span_event("backoff", backoff, "", 0,
+                           static_cast<std::int64_t>(to));
       breakers.advance(backoff);
       if (deadline) deadline->charge("mapreduce backoff", backoff);
       total_ms += backoff;
@@ -154,38 +178,47 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   // holder), like a real scheduler would. Task launch accounting happens
   // here too, so the injector-visible sequence is identical to a serial
   // run regardless of how the compute below is scheduled.
-  for (std::size_t shard = 0; shard < n; ++shard) {
-    if (injector) injector->tick(cluster);
-    const NodeId node = cluster.serving_node(table_name, shard);
-    if (node != shard_node[shard]) {
-      ++rep.tasks_rerouted;
-      shard_node[shard] = node;
-    }
-    cluster.account_task(node);
-    rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
-    if (deadline)
-      deadline->charge("map task overhead",
-                       cluster.cost_model().task_overhead_ms());
-    ++rep.map_tasks;
-  }
-  // Parallel compute: each map task owns its emitter and reads only its
-  // (immutable) partition.
   std::vector<Emitter<K, V>> emitted(n);
-  std::vector<double> map_ms(n, 0.0);
-  ParallelFor(n, [&](std::size_t shard) {
-    const Table& part = cluster.partition(table_name, shard);
-    emitted[shard].reserve(part.num_rows());
-    Timer t;
-    job.map(shard_node[shard], part, emitted[shard]);
-    map_ms[shard] = t.elapsed_ms();
-  });
-  // Serial post-pass: fold timings and charge the scans in shard order.
-  for (std::size_t shard = 0; shard < n; ++shard) {
-    rep.map_compute_ms_total += map_ms[shard];
-    rep.map_compute_ms_max = std::max(rep.map_compute_ms_max, map_ms[shard]);
-    const Table& part = cluster.partition(table_name, shard);
-    cluster.account_scan(shard_node[shard], part.num_rows(),
-                         part.byte_size());
+  {
+    obs::SpanScope map_span(tracer, "map_phase");
+    for (std::size_t shard = 0; shard < n; ++shard) {
+      if (injector) injector->tick(cluster);
+      const NodeId node = cluster.serving_node(table_name, shard);
+      if (node != shard_node[shard]) {
+        ++rep.tasks_rerouted;
+        if (m_rerouted) m_rerouted->inc();
+        if (tracer)
+          tracer->event("reroute", "map", static_cast<std::int64_t>(node));
+        shard_node[shard] = node;
+      }
+      cluster.account_task(node);
+      rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+      if (tracer) tracer->advance(cluster.cost_model().task_overhead_ms());
+      if (deadline)
+        deadline->charge("map task overhead",
+                         cluster.cost_model().task_overhead_ms());
+      ++rep.map_tasks;
+      if (m_map_tasks) m_map_tasks->inc();
+    }
+    // Parallel compute: each map task owns its emitter and reads only its
+    // (immutable) partition.
+    std::vector<double> map_ms(n, 0.0);
+    ParallelFor(n, [&](std::size_t shard) {
+      const Table& part = cluster.partition(table_name, shard);
+      emitted[shard].reserve(part.num_rows());
+      Timer t;
+      job.map(shard_node[shard], part, emitted[shard]);
+      map_ms[shard] = t.elapsed_ms();
+    });
+    // Serial post-pass: fold timings and charge the scans in shard order.
+    for (std::size_t shard = 0; shard < n; ++shard) {
+      rep.map_compute_ms_total += map_ms[shard];
+      rep.map_compute_ms_max = std::max(rep.map_compute_ms_max, map_ms[shard]);
+      const Table& part = cluster.partition(table_name, shard);
+      cluster.account_scan(shard_node[shard], part.num_rows(),
+                           part.byte_size());
+      map_span.add_bytes(part.byte_size());
+    }
   }
 
   // Reducers go on live nodes whose breaker is not open — a grey-failing
@@ -245,15 +278,19 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   // serial engine produces, so drop/spike/backoff draws line up exactly.
   std::vector<double> inbound_ms(num_reducers, 0.0);
   std::vector<std::uint64_t> inbound_bytes(num_reducers, 0);
-  for (std::size_t mapper = 0; mapper < n; ++mapper) {
-    for (std::size_t r = 0; r < num_reducers; ++r) {
-      if (batch_bytes[mapper][r] == 0) continue;
-      const double ms =
-          deliver(shard_node[mapper], live[r], batch_bytes[mapper][r]);
-      rep.modelled_network_ms += ms;
-      inbound_ms[r] += ms;
-      inbound_bytes[r] += batch_bytes[mapper][r];
-      rep.shuffle_bytes += batch_bytes[mapper][r];
+  {
+    obs::SpanScope shuffle_span(tracer, "shuffle");
+    for (std::size_t mapper = 0; mapper < n; ++mapper) {
+      for (std::size_t r = 0; r < num_reducers; ++r) {
+        if (batch_bytes[mapper][r] == 0) continue;
+        const double ms =
+            deliver(shard_node[mapper], live[r], batch_bytes[mapper][r]);
+        rep.modelled_network_ms += ms;
+        inbound_ms[r] += ms;
+        inbound_bytes[r] += batch_bytes[mapper][r];
+        rep.shuffle_bytes += batch_bytes[mapper][r];
+        shuffle_span.add_bytes(batch_bytes[mapper][r]);
+      }
     }
   }
 
@@ -263,6 +300,7 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   // accounting, and result-message delivery. The result batch size is a
   // function of the group's key count, so delivery can be charged before
   // the reduce functions actually run.
+  obs::SpanScope reduce_span(tracer, "reduce_phase");
   for (std::size_t r = 0; r < num_reducers; ++r) {
     if (reducer_input[r].empty()) continue;
     NodeId rnode = live[r];
@@ -288,6 +326,9 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
             " has no live node to restart on (down nodes: " +
             cluster.down_nodes_string() + ")");
       ++rep.tasks_rerouted;
+      if (m_rerouted) m_rerouted->inc();
+      if (tracer)
+        tracer->event("reroute", "reduce", static_cast<std::int64_t>(fallback));
       const double refetch_ms = deliver(rnode, fallback, inbound_bytes[r]);
       rep.modelled_network_ms += refetch_ms;
       inbound_ms[r] += refetch_ms;
@@ -295,15 +336,18 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
     }
     cluster.account_task(rnode);
     rep.modelled_overhead_ms += cluster.cost_model().task_overhead_ms();
+    if (tracer) tracer->advance(cluster.cost_model().task_overhead_ms());
     if (deadline)
       deadline->charge("reduce task overhead",
                        cluster.cost_model().task_overhead_ms());
     ++rep.reduce_tasks;
+    if (m_reduce_tasks) m_reduce_tasks->inc();
     const std::uint64_t result_batch =
         static_cast<std::uint64_t>(reducer_input[r].size()) * job.result_bytes;
     const double net_ms = deliver(rnode, coordinator, result_batch);
     rep.modelled_network_ms += net_ms;
     rep.result_bytes += result_batch;
+    reduce_span.add_bytes(result_batch);
   }
   // Parallel compute: each reducer owns its input group and result buffer.
   std::vector<std::vector<std::pair<K, R>>> reduced(num_reducers);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/metrics.h"
 
 namespace sea {
 
@@ -58,6 +59,20 @@ class CircuitBreakerSet {
   void set_config(BreakerConfig config) noexcept { config_ = config; }
   const BreakerConfig& config() const noexcept { return config_; }
 
+  /// Mirrors BreakerStats transitions into `breaker.*` counters of a
+  /// metrics registry (null detaches). Survives configure()/reset() so a
+  /// registry attached once keeps counting across reconfiguration.
+  void bind_metrics(obs::MetricsRegistry* registry) {
+    if (!registry) {
+      metrics_ = Metrics{};
+      return;
+    }
+    metrics_.opens = &registry->counter("breaker.opens");
+    metrics_.closes = &registry->counter("breaker.closes");
+    metrics_.half_open_probes = &registry->counter("breaker.half_open_probes");
+    metrics_.short_circuits = &registry->counter("breaker.short_circuits");
+  }
+
   bool enabled() const noexcept { return config_.enabled; }
   double now_ms() const noexcept { return now_ms_; }
 
@@ -79,10 +94,12 @@ class CircuitBreakerSet {
       case BreakerState::kOpen:
         if (now_ms_ < n.open_until_ms) {
           ++stats_.short_circuits;
+          if (metrics_.short_circuits) metrics_.short_circuits->inc();
           return false;
         }
         n.state = BreakerState::kHalfOpen;
         ++stats_.half_open_probes;
+        if (metrics_.half_open_probes) metrics_.half_open_probes->inc();
         return true;
     }
     return true;
@@ -108,6 +125,7 @@ class CircuitBreakerSet {
       n.state = BreakerState::kOpen;
       n.open_until_ms = now_ms_ + config_.cooldown_ms;
       ++stats_.opens;
+      if (metrics_.opens) metrics_.opens->inc();
     }
   }
 
@@ -118,6 +136,7 @@ class CircuitBreakerSet {
     if (n.state != BreakerState::kClosed) {
       n.state = BreakerState::kClosed;
       ++stats_.closes;
+      if (metrics_.closes) metrics_.closes->inc();
     }
   }
 
@@ -142,9 +161,17 @@ class CircuitBreakerSet {
     double open_until_ms = 0.0;
   };
 
+  struct Metrics {
+    obs::Counter* opens = nullptr;
+    obs::Counter* closes = nullptr;
+    obs::Counter* half_open_probes = nullptr;
+    obs::Counter* short_circuits = nullptr;
+  };
+
   BreakerConfig config_;
   std::vector<Node> nodes_;
   BreakerStats stats_;
+  Metrics metrics_;
   double now_ms_ = 0.0;
 };
 

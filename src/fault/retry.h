@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "fault/outage.h"
+#include "obs/metrics.h"
 
 namespace sea {
 
@@ -35,6 +36,34 @@ struct RetryPolicy {
       wait *= backoff_multiplier;
     wait = std::min(wait, max_backoff_ms);
     return wait * (1.0 + jitter_fraction * (2.0 * rng.uniform() - 1.0));
+  }
+};
+
+/// Shared retry/delivery metric handles (coordinator RPC path and the
+/// MapReduce delivery loop report into the same series). All handles are
+/// resolved once at bind() — the per-event calls are allocation-free and
+/// no-ops when unbound, so hot paths can call them unconditionally.
+struct RetryMetrics {
+  obs::Counter* retries = nullptr;
+  obs::Counter* dropped_messages = nullptr;
+  obs::Histogram* backoff_ms = nullptr;
+
+  static RetryMetrics bind(obs::MetricsRegistry* registry) {
+    RetryMetrics m;
+    if (!registry) return m;
+    m.retries = &registry->counter("retry.retries");
+    m.dropped_messages = &registry->counter("net.dropped_messages");
+    m.backoff_ms = &registry->histogram(
+        "retry.backoff_ms", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+    return m;
+  }
+
+  void on_drop() const noexcept {
+    if (dropped_messages) dropped_messages->inc();
+  }
+  void on_retry(double wait_ms) const noexcept {
+    if (retries) retries->inc();
+    if (backoff_ms) backoff_ms->observe(wait_ms);
   }
 };
 

@@ -15,6 +15,13 @@ constexpr const char* kTable = "geo_data";
 constexpr std::size_t kAnswerWireBytes = 16;
 }  // namespace
 
+// Completeness guard: GeoStats is 12 uint64 counters; sync_metrics() below
+// must mirror every one. Adding a field changes the size and fails this
+// assert until sync_metrics() covers the new field.
+static_assert(sizeof(GeoStats) == 12 * 8,
+              "GeoStats gained/lost a field: update sync_metrics() and "
+              "this guard");
+
 const char* to_string(EdgeMode m) noexcept {
   switch (m) {
     case EdgeMode::kForwardAll:
@@ -56,6 +63,52 @@ GeoSystem::GeoSystem(GeoConfig config, const Table& data)
   wan_breakers_.configure(config_.num_edges, config_.wan_breaker);
 }
 
+void GeoSystem::set_observability(obs::Tracer* tracer,
+                                  obs::MetricsRegistry* metrics) {
+  cluster_->set_observability(tracer, metrics);
+  if (!metrics) {
+    m_ = GeoMetrics{};
+    return;
+  }
+  m_.queries = &metrics->counter("geo.queries");
+  m_.served_at_edge = &metrics->counter("geo.served_at_edge");
+  m_.served_by_peer = &metrics->counter("geo.served_by_peer");
+  m_.peer_attempts = &metrics->counter("geo.peer_attempts");
+  m_.forwarded = &metrics->counter("geo.forwarded");
+  m_.syncs = &metrics->counter("geo.syncs");
+  m_.sync_bytes = &metrics->counter("geo.sync_bytes");
+  m_.registry_bytes = &metrics->counter("geo.registry_bytes");
+  m_.degraded_at_edge = &metrics->counter("geo.degraded_at_edge");
+  m_.unanswered = &metrics->counter("geo.unanswered");
+  m_.heal_resyncs = &metrics->counter("geo.heal_resyncs");
+  m_.wan_breaker_fast_fails =
+      &metrics->counter("geo.wan_breaker_fast_fails");
+  m_.wan_ms = &metrics->histogram(
+      "geo.wan_ms", {50.0, 100.0, 200.0, 400.0, 800.0, 1600.0});
+  // Count from the moment of attachment (same contract as the serving
+  // layer's serve.* counters).
+  mirrored_ = stats_;
+}
+
+void GeoSystem::sync_metrics() {
+  if (!m_.queries) return;
+  m_.queries->inc(stats_.queries - mirrored_.queries);
+  m_.served_at_edge->inc(stats_.served_at_edge - mirrored_.served_at_edge);
+  m_.served_by_peer->inc(stats_.served_by_peer - mirrored_.served_by_peer);
+  m_.peer_attempts->inc(stats_.peer_attempts - mirrored_.peer_attempts);
+  m_.forwarded->inc(stats_.forwarded - mirrored_.forwarded);
+  m_.syncs->inc(stats_.syncs - mirrored_.syncs);
+  m_.sync_bytes->inc(stats_.sync_bytes - mirrored_.sync_bytes);
+  m_.registry_bytes->inc(stats_.registry_bytes - mirrored_.registry_bytes);
+  m_.degraded_at_edge->inc(stats_.degraded_at_edge -
+                           mirrored_.degraded_at_edge);
+  m_.unanswered->inc(stats_.unanswered - mirrored_.unanswered);
+  m_.heal_resyncs->inc(stats_.heal_resyncs - mirrored_.heal_resyncs);
+  m_.wan_breaker_fast_fails->inc(stats_.wan_breaker_fast_fails -
+                                 mirrored_.wan_breaker_fast_fails);
+  mirrored_ = stats_;
+}
+
 void GeoSystem::maybe_refresh_registry() {
   if (config_.mode != EdgeMode::kEdgePeerRouting) return;
   ++since_registry_;
@@ -84,7 +137,11 @@ void GeoSystem::refresh_registry_now() {
     // Publish to every other edge (edge zones differ => WAN).
     for (std::size_t other = 0; other < config_.num_edges; ++other) {
       if (other == e) continue;
-      cluster_->network().send(edge_node(e), edge_node(other), bytes + 16);
+      const double ms = cluster_->network().send(edge_node(e),
+                                                 edge_node(other), bytes + 16);
+      if (obs::Tracer* tr = tracer())
+        tr->span_event("registry_publish", ms, "", bytes + 16,
+                       static_cast<std::int64_t>(edge_node(other)));
       stats_.registry_bytes += bytes + 16;
     }
   }
@@ -165,7 +222,10 @@ void GeoSystem::sync_now() {
   for (std::size_t e = 0; e < config_.num_edges; ++e) {
     // Model state crosses the WAN — this is the entire data movement of
     // the sync, versus shipping base data in a traditional design.
-    cluster_->network().send(0, edge_node(e), blob.size());
+    const double ms = cluster_->network().send(0, edge_node(e), blob.size());
+    if (obs::Tracer* tr = tracer())
+      tr->span_event("model_sync", ms, "", blob.size(),
+                     static_cast<std::int64_t>(edge_node(e)));
     stats_.sync_bytes += blob.size();
     std::stringstream in(blob);
     edge_agents_[e] = DatalessAgent::deserialize(in, domain_provider);
@@ -175,6 +235,20 @@ void GeoSystem::sync_now() {
 GeoAnswer GeoSystem::submit(std::size_t edge, const AnalyticalQuery& query) {
   if (edge >= config_.num_edges)
     throw std::out_of_range("GeoSystem::submit: bad edge");
+  obs::SpanScope root(tracer(), "geo_submit", static_cast<std::int64_t>(edge));
+  const GeoAnswer out = submit_impl(edge, query);
+  root.set_tag(!out.answered        ? "unanswered"
+               : out.served_by_peer ? "peer"
+               : out.degraded       ? "degraded"
+               : out.served_at_edge ? "edge"
+                                    : "forwarded");
+  if (m_.wan_ms && out.wan_ms > 0.0) m_.wan_ms->observe(out.wan_ms);
+  sync_metrics();
+  return out;
+}
+
+GeoAnswer GeoSystem::submit_impl(std::size_t edge,
+                                 const AnalyticalQuery& query) {
   GeoAnswer out;
   ++stats_.queries;
   ++edge_seen_[edge];
@@ -203,10 +277,20 @@ GeoAnswer GeoSystem::submit(std::size_t edge, const AnalyticalQuery& query) {
         ++stats_.peer_attempts;
         const NodeId en = edge_node(edge);
         const NodeId pn = edge_node(peer);
-        out.wan_ms +=
+        const double to_peer_ms =
             cluster_->network().send(en, pn, query_wire_bytes(query));
+        out.wan_ms += to_peer_ms;
+        if (obs::Tracer* tr = tracer())
+          tr->span_event("wan_hop", to_peer_ms, "peer_query",
+                         query_wire_bytes(query),
+                         static_cast<std::int64_t>(pn));
         auto pred = edge_agents_[peer].try_predict(query);
-        out.wan_ms += cluster_->network().send(pn, en, kAnswerWireBytes);
+        const double from_peer_ms =
+            cluster_->network().send(pn, en, kAnswerWireBytes);
+        out.wan_ms += from_peer_ms;
+        if (obs::Tracer* tr = tracer())
+          tr->span_event("wan_hop", from_peer_ms, "peer_answer",
+                         kAnswerWireBytes, static_cast<std::int64_t>(en));
         if (pred) {
           out.value = pred->value;
           out.served_by_peer = true;
@@ -255,14 +339,21 @@ GeoAnswer GeoSystem::submit(std::size_t edge, const AnalyticalQuery& query) {
   const NodeId breaker_key = static_cast<NodeId>(edge);
   if (!wan_breakers_.allow(breaker_key)) {
     ++stats_.wan_breaker_fast_fails;
+    if (obs::Tracer* tr = tracer())
+      tr->event("breaker_open", "wan", static_cast<std::int64_t>(edge));
     serve_degraded();
     return out;
   }
 
   // Forward to the core over the WAN; execute exactly; answer returns.
   const NodeId en = edge_node(edge);
-  out.wan_ms += cluster_->network().send(en, 0, query_wire_bytes(query));
-  wan_breakers_.advance(out.wan_ms);
+  const double fwd_ms =
+      cluster_->network().send(en, 0, query_wire_bytes(query));
+  out.wan_ms += fwd_ms;
+  wan_breakers_.advance(fwd_ms);
+  if (obs::Tracer* tr = tracer())
+    tr->span_event("wan_hop", fwd_ms, "forward", query_wire_bytes(query),
+                   static_cast<std::int64_t>(en));
   ExactResult exact;
   try {
     exact = exec_->execute(query, config_.core_paradigm);
@@ -277,6 +368,9 @@ GeoAnswer GeoSystem::submit(std::size_t edge, const AnalyticalQuery& query) {
   const double back_ms = cluster_->network().send(0, en, kAnswerWireBytes);
   out.wan_ms += back_ms;
   wan_breakers_.advance(back_ms);
+  if (obs::Tracer* tr = tracer())
+    tr->span_event("wan_hop", back_ms, "answer", kAnswerWireBytes,
+                   static_cast<std::int64_t>(en));
   out.value = exact.answer;
   ++stats_.forwarded;
 

@@ -127,6 +127,12 @@ class GeoSystem {
   /// Ground truth with NO cost accounting (for benchmark accuracy audits).
   double oracle(const AnalyticalQuery& query);
 
+  /// Attaches a tracer/metrics registry (either may be null) to the whole
+  /// geo system: the internal core cluster (so exact executions trace as
+  /// children of the "geo_submit" root span) plus the geo.* metric series.
+  /// Caller owns both; they must outlive the system's use of them.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   const GeoStats& stats() const noexcept { return stats_; }
   /// WAN/LAN traffic counters (from the shared network).
   const TrafficStats& traffic() const noexcept {
@@ -150,6 +156,13 @@ class GeoSystem {
   /// SIZE_MAX when none is close enough.
   std::size_t route_peer(std::size_t edge, const AnalyticalQuery& query);
 
+  obs::Tracer* tracer() const noexcept { return cluster_->tracer(); }
+  /// submit() minus the root span / outcome tag / metrics sync, which the
+  /// public wrapper applies uniformly across all exit paths.
+  GeoAnswer submit_impl(std::size_t edge, const AnalyticalQuery& query);
+  /// Mirrors the GeoStats deltas since the last call into geo.* counters.
+  void sync_metrics();
+
   GeoConfig config_;
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<ExactExecutor> exec_;
@@ -170,6 +183,25 @@ class GeoSystem {
   /// (cooldown clock advanced by the modelled WAN time this edge spends).
   CircuitBreakerSet wan_breakers_;
   GeoStats stats_;
+  /// geo.* metric handles (all null until set_observability attaches a
+  /// registry); mirrored_ is stats_ as of the last sync_metrics().
+  struct GeoMetrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* served_at_edge = nullptr;
+    obs::Counter* served_by_peer = nullptr;
+    obs::Counter* peer_attempts = nullptr;
+    obs::Counter* forwarded = nullptr;
+    obs::Counter* syncs = nullptr;
+    obs::Counter* sync_bytes = nullptr;
+    obs::Counter* registry_bytes = nullptr;
+    obs::Counter* degraded_at_edge = nullptr;
+    obs::Counter* unanswered = nullptr;
+    obs::Counter* heal_resyncs = nullptr;
+    obs::Counter* wan_breaker_fast_fails = nullptr;
+    obs::Histogram* wan_ms = nullptr;
+  };
+  GeoMetrics m_;
+  GeoStats mirrored_;
 };
 
 }  // namespace sea

@@ -1,0 +1,104 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace sea::obs {
+
+namespace {
+
+void put_double(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(bounds)))
+      .first->second;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.value_ = 0;
+  for (auto& [name, g] : gauges_) g.value_ = 0.0;
+  for (auto& [name, h] : histograms_) {
+    h.count_ = 0;
+    h.sum_ = 0.0;
+    h.buckets_.assign(h.buckets_.size(), 0);
+  }
+}
+
+void MetricsRegistry::snapshot_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    put_string(os, name);
+    os << ": " << c.value();
+  }
+  os << (counters_.empty() ? "},\n" : "\n  },\n");
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    put_string(os, name);
+    os << ": ";
+    put_double(os, g.value());
+  }
+  os << (gauges_.empty() ? "},\n" : "\n  },\n");
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    put_string(os, name);
+    os << ": {\"count\": " << h.count() << ", \"sum\": ";
+    put_double(os, h.sum());
+    os << ", \"buckets\": [";
+    const auto& bounds = h.bounds();
+    const auto& buckets = h.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      os << (i ? ", " : "") << "{\"le\": ";
+      if (i < bounds.size())
+        put_double(os, bounds[i]);
+      else
+        os << "\"inf\"";
+      os << ", \"n\": " << buckets[i] << '}';
+    }
+    os << "]}";
+  }
+  os << (histograms_.empty() ? "}\n}\n" : "\n  }\n}\n");
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::ostringstream os;
+  snapshot_json(os);
+  return os.str();
+}
+
+}  // namespace sea::obs

@@ -1,0 +1,123 @@
+// MetricsRegistry — named counters, gauges, and fixed-bucket histograms
+// for the serving/execution layers (DESIGN.md "Observability").
+//
+// Contract:
+//  * Registration (counter()/gauge()/histogram()) may allocate and look up
+//    by name; it happens once per component wiring. After registration the
+//    returned handles are stable for the registry's lifetime and updating
+//    them never allocates — inc/set/observe are plain arithmetic, safe on
+//    the hot serving path.
+//  * Every value recorded here must be *modelled* time, a byte count, or
+//    an event count — never measured wall-clock — so a metrics_snapshot of
+//    a seeded run is bit-identical across runs and SEA_THREADS settings
+//    (the same determinism contract as ExecReport's modelled columns).
+//  * Updates must happen on the serial executor/serving paths only (the
+//    registry is deliberately unsynchronized, like the rest of the
+//    accounting state).
+//
+// ExecReport and ServeStats remain the per-execution / per-loop views of
+// the same events; the registry is the cross-query aggregate a monitoring
+// system would scrape. tests/test_properties.cpp asserts the two stay
+// consistent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sea::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (e.g. queue backlog).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double d) noexcept { value_ += d; }
+  double value() const noexcept { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket bounds are upper edges (le semantics);
+/// one implicit +inf bucket catches the tail. Bounds are fixed at
+/// registration, so observe() is a linear probe over a handful of doubles
+/// with no allocation.
+class Histogram {
+ public:
+  void observe(double v) noexcept {
+    ++count_;
+    sum_ += v;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (v <= bounds_[i]) {
+        ++buckets_[i];
+        return;
+      }
+    }
+    ++buckets_.back();  // +inf bucket
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the +inf bucket.
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the named metric, registering it on first use. Handles are
+  /// stable for the registry's lifetime (node-based storage).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` must be sorted ascending; they bind on first registration
+  /// (later calls with the same name return the existing histogram).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Zeroes every value but keeps all registrations (and handles) intact.
+  void reset();
+
+  /// Deterministic JSON export: metrics sorted by name within each
+  /// section, doubles printed at full round-trip precision — byte-stable
+  /// for bit-identical values.
+  void snapshot_json(std::ostream& os) const;
+  std::string snapshot_json() const;
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  // std::map: stable node addresses (handle stability) + sorted iteration
+  // (deterministic snapshots) in one structure.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sea::obs

@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace sea::obs {
+
+namespace {
+
+/// Full round-trip precision: two bit-identical doubles print identically,
+/// and any drift — however small — shows up in a byte comparison.
+void put_double(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+/// Span names/tags are call-site literals, but escape defensively so the
+/// dump stays valid JSON whatever a future call site passes.
+void put_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t max_spans) : max_spans_(max_spans) {
+  spans_.reserve(max_spans_ < 4096 ? max_spans_ : 4096);
+}
+
+SpanId Tracer::begin_span(const char* name, std::int64_t node) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  TraceSpan span;
+  span.parent = stack_.empty() ? kNoSpan : stack_.back();
+  span.name = name;
+  span.node = node;
+  span.start_ms = now_ms_;
+  span.end_ms = now_ms_;
+  const SpanId id = static_cast<SpanId>(spans_.size());
+  spans_.push_back(span);
+  stack_.push_back(id);
+  return id;
+}
+
+void Tracer::end_span(SpanId id, const char* tag, std::uint64_t bytes) {
+  if (id == kNoSpan) return;  // dropped at begin (capacity)
+  assert(!stack_.empty() && stack_.back() == id &&
+         "Tracer: spans must close innermost-first");
+  stack_.pop_back();
+  TraceSpan& span = spans_[id];
+  span.end_ms = now_ms_;
+  span.tag = tag;
+  span.bytes = bytes;
+}
+
+void Tracer::span_event(const char* name, double duration_ms, const char* tag,
+                        std::uint64_t bytes, std::int64_t node) {
+  const SpanId id = begin_span(name, node);
+  advance(duration_ms);
+  end_span(id, tag, bytes);
+}
+
+void Tracer::reset() {
+  spans_.clear();
+  stack_.clear();
+  dropped_ = 0;
+  now_ms_ = 0.0;
+}
+
+void Tracer::dump_json(std::ostream& os) const {
+  os << "{\n  \"clock_ms\": ";
+  put_double(os, now_ms_);
+  os << ",\n  \"dropped_spans\": " << dropped_ << ",\n  \"spans\": [";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    os << (i ? ",\n    " : "\n    ");
+    os << "{\"id\": " << i << ", \"parent\": ";
+    if (s.parent == kNoSpan)
+      os << -1;
+    else
+      os << s.parent;
+    os << ", \"name\": ";
+    put_string(os, s.name);
+    os << ", \"start_ms\": ";
+    put_double(os, s.start_ms);
+    os << ", \"end_ms\": ";
+    put_double(os, s.end_ms);
+    os << ", \"bytes\": " << s.bytes << ", \"node\": " << s.node
+       << ", \"tag\": ";
+    put_string(os, s.tag);
+    os << '}';
+  }
+  os << (spans_.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+std::string Tracer::dump_json() const {
+  std::ostringstream os;
+  dump_json(os);
+  return os.str();
+}
+
+}  // namespace sea::obs

@@ -1,0 +1,123 @@
+// TraceSpan trees on the modelled clock (DESIGN.md "Observability").
+//
+// One Tracer records a forest of spans: a root span per served query,
+// child spans for exact-path legs (RPCs, retry backoffs, hedge races,
+// MapReduce phases, WAN hops), model-path peeks, and overload events
+// (shed, deadline-exceeded, breaker-open). Each span carries its modelled
+// interval [start_ms, end_ms], a byte count, an optional node id, and an
+// outcome tag.
+//
+// Determinism contract (the headline guarantee, same as ExecReport's
+// modelled columns): span timestamps come from the tracer's *modelled*
+// clock — advanced only by the deterministic charges the cost model makes
+// (transfers, backoff waits, task overheads) — and span ids are assigned
+// in creation order on the serial executor paths. A trace_dump of a
+// seeded run is therefore bit-identical across runs and at any
+// SEA_THREADS setting; tests/test_obs.cpp asserts exactly that.
+//
+// Nesting discipline: spans form a stack (begin/end are LIFO, enforced by
+// SpanScope's destructor ordering), so every child interval is contained
+// in its parent's and parent ids always precede child ids — the
+// structural invariants the seed-sweep property test checks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sea::obs {
+
+/// Id of a recorded span (index into the tracer's span vector, i.e.
+/// creation order).
+using SpanId = std::uint32_t;
+inline constexpr SpanId kNoSpan = 0xffffffffu;
+
+struct TraceSpan {
+  SpanId parent = kNoSpan;  ///< kNoSpan for a root span
+  const char* name = "";    ///< call-site literal ("serve", "rpc", ...)
+  const char* tag = "";     ///< outcome ("ok", "shed", "dropped", ...)
+  double start_ms = 0.0;    ///< modelled clock at begin
+  double end_ms = 0.0;      ///< modelled clock at end
+  std::uint64_t bytes = 0;  ///< payload attributed to this span
+  std::int64_t node = -1;   ///< node/edge id when meaningful
+
+  double duration_ms() const noexcept { return end_ms - start_ms; }
+};
+
+class Tracer {
+ public:
+  /// `max_spans` bounds memory on long runs: spans beyond it are counted
+  /// (dropped_spans) but not recorded — deterministically, since all span
+  /// creation happens on serial paths.
+  explicit Tracer(std::size_t max_spans = 1u << 20);
+
+  // --- modelled clock ---
+  double now_ms() const noexcept { return now_ms_; }
+  /// Advances the modelled clock; called with the same deterministic
+  /// charges the cost model makes (never wall-clock).
+  void advance(double ms) noexcept { now_ms_ += ms; }
+
+  // --- span recording (serial paths only) ---
+  /// Opens a span starting now, child of the innermost open span.
+  SpanId begin_span(const char* name, std::int64_t node = -1);
+  /// Closes the innermost open span (which must be `id`) at the current
+  /// clock, attaching the outcome tag and payload bytes.
+  void end_span(SpanId id, const char* tag = "", std::uint64_t bytes = 0);
+  /// Records a complete leaf span covering [now, now + duration_ms] and
+  /// advances the clock past it (backoff waits, WAN hops, transfers).
+  void span_event(const char* name, double duration_ms, const char* tag = "",
+                  std::uint64_t bytes = 0, std::int64_t node = -1);
+  /// Records an instantaneous marker span at the current clock (shed,
+  /// breaker-open, deadline-exceeded).
+  void event(const char* name, const char* tag = "", std::int64_t node = -1) {
+    span_event(name, 0.0, tag, 0, node);
+  }
+
+  const std::vector<TraceSpan>& spans() const noexcept { return spans_; }
+  std::uint64_t dropped_spans() const noexcept { return dropped_; }
+  std::size_t open_depth() const noexcept { return stack_.size(); }
+
+  /// Clears all spans, the open-span stack, and rewinds the clock.
+  void reset();
+
+  /// Deterministic JSON export: one record per span in id order, doubles
+  /// at full round-trip precision.
+  void dump_json(std::ostream& os) const;
+  std::string dump_json() const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<SpanId> stack_;  ///< open spans, innermost last
+  std::size_t max_spans_;
+  std::uint64_t dropped_ = 0;
+  double now_ms_ = 0.0;
+};
+
+/// RAII span: begins on construction, ends (with the stored tag/bytes) on
+/// destruction — exception-safe, and destructor ordering enforces the
+/// tracer's LIFO nesting discipline. All methods no-op on a null tracer,
+/// so call sites need no `if (tracer)` guards.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, const char* name, std::int64_t node = -1)
+      : tracer_(tracer) {
+    if (tracer_) id_ = tracer_->begin_span(name, node);
+  }
+  ~SpanScope() {
+    if (tracer_) tracer_->end_span(id_, tag_, bytes_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void set_tag(const char* tag) noexcept { tag_ = tag; }
+  void add_bytes(std::uint64_t bytes) noexcept { bytes_ += bytes; }
+
+ private:
+  Tracer* tracer_;
+  SpanId id_ = kNoSpan;
+  const char* tag_ = "";
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace sea::obs

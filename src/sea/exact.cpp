@@ -151,6 +151,8 @@ ExactResult ExactExecutor::execute(const AnalyticalQuery& query,
   // every paradigm's report carries a measured wall_ms next to the
   // modelled columns.
   Timer wall;
+  obs::SpanScope span(cluster_.tracer(), "exact");
+  span.set_tag(to_string(paradigm));
   ExactResult res = [&] {
     switch (paradigm) {
       case ExecParadigm::kMapReduce:
@@ -323,8 +325,10 @@ ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
       const NodeId serving = cluster_.serving_node(table_, shard);
       try {
         return do_rpc(serving);
-      } catch (const NodeDownError&) {
+      } catch (const NodeDownError& e) {
         session.note_reroute();
+        if (obs::Tracer* tr = cluster_.tracer())
+          tr->event("reroute", "rpc", static_cast<std::int64_t>(e.node));
       }
     }
   };

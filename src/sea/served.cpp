@@ -8,10 +8,59 @@
 
 namespace sea {
 
+// Completeness guard: ServeStats is 9 uint64 outcome/execution counters;
+// conserved() and sync_metrics() below must cover every one. Adding a
+// field changes the size and fails this assert until both are updated.
+static_assert(sizeof(ServeStats) == 9 * 8,
+              "ServeStats gained/lost a field: update conserved(), "
+              "sync_metrics(), and this guard");
+
 ServedAnalytics::ServedAnalytics(DatalessAgent& agent, ExactExecutor& exec,
                                  ServeConfig config)
     : agent_(agent), exec_(exec), config_(config),
       audit_rng_(config.audit_seed) {}
+
+void ServedAnalytics::bind_obs() {
+  obs::MetricsRegistry* reg = exec_.cluster().metrics();
+  if (reg == bound_registry_) return;
+  bound_registry_ = reg;
+  if (!reg) {
+    m_ = ServeMetrics{};
+    return;
+  }
+  m_.queries = &reg->counter("serve.queries");
+  m_.data_less_served = &reg->counter("serve.data_less_served");
+  m_.exact_answered = &reg->counter("serve.exact_answered");
+  m_.shed = &reg->counter("serve.shed");
+  m_.failed = &reg->counter("serve.failed");
+  m_.exact_executed = &reg->counter("serve.exact_executed");
+  m_.exact_failures = &reg->counter("serve.exact_failures");
+  m_.degraded_served = &reg->counter("serve.degraded_served");
+  m_.deadline_exceeded = &reg->counter("serve.deadline_exceeded");
+  m_.queue_backlog = &reg->gauge("serve.queue_backlog_ms");
+  m_.exact_modelled_ms = &reg->histogram(
+      "serve.exact_modelled_ms", {25.0, 50.0, 100.0, 200.0, 400.0, 800.0});
+  // Count from the moment of attachment: a registry wired mid-run sees
+  // only the serving activity that happens while it is attached.
+  mirrored_ = stats_;
+}
+
+void ServedAnalytics::sync_metrics() {
+  if (!m_.queries) return;
+  m_.queries->inc(stats_.queries - mirrored_.queries);
+  m_.data_less_served->inc(stats_.data_less_served -
+                           mirrored_.data_less_served);
+  m_.exact_answered->inc(stats_.exact_answered - mirrored_.exact_answered);
+  m_.shed->inc(stats_.shed - mirrored_.shed);
+  m_.failed->inc(stats_.failed - mirrored_.failed);
+  m_.exact_executed->inc(stats_.exact_executed - mirrored_.exact_executed);
+  m_.exact_failures->inc(stats_.exact_failures - mirrored_.exact_failures);
+  m_.degraded_served->inc(stats_.degraded_served - mirrored_.degraded_served);
+  m_.deadline_exceeded->inc(stats_.deadline_exceeded -
+                            mirrored_.deadline_exceeded);
+  m_.queue_backlog->set(queue_backlog_ms_);
+  mirrored_ = stats_;
+}
 
 bool ServedAnalytics::overloaded() const noexcept {
   return config_.queue_capacity_ms > 0.0 &&
@@ -22,17 +71,25 @@ bool ServedAnalytics::overloaded() const noexcept {
 ExactResult ServedAnalytics::execute_exact(const AnalyticalQuery& query) {
   QueryDeadline budget(config_.deadline_ms);
   QueryDeadline* dl = config_.deadline_ms > 0.0 ? &budget : nullptr;
+  obs::Tracer* tr = tracer();
+  obs::SpanScope span(tr, "exact_exec");
   ExactResult res;
   try {
     res = exec_.execute(query, config_.exact_paradigm, dl);
   } catch (const DeadlineExceeded&) {
     ++stats_.exact_failures;
     ++stats_.deadline_exceeded;
+    span.set_tag("deadline_exceeded");
+    if (tr) tr->event("deadline_exceeded");
     throw;
   } catch (const OutageError&) {
     ++stats_.exact_failures;
+    span.set_tag("outage");
     throw;
   }
+  span.set_tag("ok");
+  if (m_.exact_modelled_ms)
+    m_.exact_modelled_ms->observe(res.report.modelled_ms());
   ++stats_.exact_executed;
   // Successful exact work joins the admission backlog at its modelled
   // cost; failed attempts are not charged (their cost is unknowable here
@@ -45,6 +102,12 @@ ExactResult ServedAnalytics::execute_exact(const AnalyticalQuery& query) {
 ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
   ServedAnswer out;
   Timer timer;
+  bind_obs();
+  obs::Tracer* tr = tracer();
+  // Root span per served query; only the unanswerable throw keeps the
+  // default tag — every other exit overwrites it with its outcome.
+  obs::SpanScope root(tr, "serve");
+  root.set_tag("failed");
   ++stats_.queries;
   // One query's worth of service capacity elapses per arrival.
   if (config_.queue_capacity_ms > 0.0)
@@ -69,6 +132,8 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
         }
       }
       ++stats_.data_less_served;
+      root.set_tag(out.audited ? "audited" : "data_less");
+      sync_metrics();
       out.latency_ms = timer.elapsed_ms();
       return out;
     }
@@ -81,6 +146,9 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
         out.value = pred->value;
         out.prediction = *pred;
         ++stats_.shed;
+        if (tr) tr->event("shed", "overloaded");
+        root.set_tag("shed");
+        sync_metrics();
         out.latency_ms = timer.elapsed_ms();
         return out;
       }
@@ -101,15 +169,20 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
       out.prediction = *pred;
       ++stats_.degraded_served;
       ++stats_.data_less_served;
+      root.set_tag("degraded");
+      sync_metrics();
       out.latency_ms = timer.elapsed_ms();
       return out;
     }
     ++stats_.failed;
+    sync_metrics();
     throw;
   }
   out.value = out.exact.answer;
   agent_.observe(query, out.exact.answer);
   ++stats_.exact_answered;
+  root.set_tag("exact");
+  sync_metrics();
   out.latency_ms = timer.elapsed_ms();
   return out;
 }
@@ -118,9 +191,14 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
     std::span<const AnalyticalQuery> queries) {
   std::vector<ServedAnswer> out(queries.size());
   if (queries.empty()) return out;
+  bind_obs();
+  obs::Tracer* tr = tracer();
 
   // Phase 1 (parallel): read-only model predictions against the agent state
-  // frozen at batch entry. Each query writes only its own slot.
+  // frozen at batch entry. Each query writes only its own slot. No span or
+  // metric is recorded here — the model peek is traced serially in phase 2
+  // (as a zero-duration marker: prediction compute is measured wall time,
+  // which must never enter the modelled trace).
   std::vector<DatalessAgent::PeekResult> peek(queries.size());
   std::vector<double> predict_ms(queries.size(), 0.0);
   ParallelFor(queries.size(), [&](std::size_t i) {
@@ -139,6 +217,12 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
     const AnalyticalQuery& query = queries[i];
     ServedAnswer& ans = out[i];
     Timer timer;
+    obs::SpanScope root(tr, "serve");
+    root.set_tag("failed");
+    if (tr)
+      tr->event("peek", !peek[i].usable        ? "unusable"
+                        : peek[i].confident    ? "confident"
+                                               : "usable");
     ++stats_.queries;
     if (config_.queue_capacity_ms > 0.0)
       queue_backlog_ms_ =
@@ -162,6 +246,7 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
           }
         }
         ++stats_.data_less_served;
+        root.set_tag(ans.audited ? "audited" : "data_less");
         ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
         continue;
       }
@@ -171,6 +256,8 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
         ans.value = peek[i].prediction.value;
         ans.prediction = peek[i].prediction;
         ++stats_.shed;
+        if (tr) tr->event("shed", "overloaded");
+        root.set_tag("shed");
         ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
         continue;
       }
@@ -185,6 +272,7 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
         ans.prediction = peek[i].prediction;
         ++stats_.degraded_served;
         ++stats_.data_less_served;
+        root.set_tag("degraded");
       } else {
         ++stats_.failed;
         ans.failed = true;
@@ -195,8 +283,10 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
     ans.value = ans.exact.answer;
     train.emplace_back(query, ans.exact.answer);
     ++stats_.exact_answered;
+    root.set_tag("exact");
     ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
   }
+  sync_metrics();
 
   // Phase 3: absorb the batch's ground truth; refits fan out per quantum.
   if (!train.empty()) agent_.observe_batch(train);

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sea/agent.h"
 #include "sea/exact.h"
 
@@ -134,6 +136,16 @@ class ServedAnalytics {
   /// True when the admission queue is over its high-water mark.
   bool overloaded() const noexcept;
 
+  /// Observability plumbing: the tracer/registry live on the executor's
+  /// cluster (Cluster::set_observability). bind_obs() re-resolves the
+  /// serve.* metric handles when the attached registry changes (cheap
+  /// pointer compare per serve call); sync_metrics() mirrors the ServeStats
+  /// deltas since the last sync into the registry, so the counters track
+  /// stats_ exactly from the moment of attachment.
+  obs::Tracer* tracer() const noexcept { return exec_.cluster().tracer(); }
+  void bind_obs();
+  void sync_metrics();
+
   DatalessAgent& agent_;
   ExactExecutor& exec_;
   ServeConfig config_;
@@ -141,6 +153,23 @@ class ServedAnalytics {
   Rng audit_rng_;
   /// Modelled ms of exact-execution work admitted but not yet drained.
   double queue_backlog_ms_ = 0.0;
+
+  struct ServeMetrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* data_less_served = nullptr;
+    obs::Counter* exact_answered = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* exact_executed = nullptr;
+    obs::Counter* exact_failures = nullptr;
+    obs::Counter* degraded_served = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Gauge* queue_backlog = nullptr;
+    obs::Histogram* exact_modelled_ms = nullptr;
+  };
+  obs::MetricsRegistry* bound_registry_ = nullptr;
+  ServeMetrics m_;
+  ServeStats mirrored_;  ///< stats_ as of the last sync_metrics()
 };
 
 }  // namespace sea

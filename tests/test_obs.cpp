@@ -1,0 +1,406 @@
+// Tests: deterministic observability layer (ISSUE PR4 tentpole) — the
+// modelled-clock Tracer + SpanScope primitives, the MetricsRegistry, the
+// wiring through the execution stack (registry counters stay consistent
+// with ExecReport), and the golden-trace guarantee: replaying the E16
+// overload storm records a trace_dump and metrics_snapshot that are
+// *byte-identical* across runs and at any SEA_THREADS setting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/parallel.h"
+#include "exec/coordinator.h"
+#include "fault/breaker.h"
+#include "fault/fault.h"
+#include "geo/geo_system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sea/exact.h"
+#include "sea/served.h"
+#include "test_util.h"
+
+namespace sea {
+namespace {
+
+using testing::range_count_query;
+using testing::small_dataset;
+
+/// Runs `f` under a fixed worker count and restores serial mode after.
+template <typename F>
+auto with_threads(std::size_t threads, F&& f) {
+  set_configured_threads(threads);
+  auto result = f();
+  set_configured_threads(0);
+  return result;
+}
+
+// --- Tracer primitives ---
+
+TEST(Tracer, NestingModelledClockAndJsonShape) {
+  obs::Tracer t;
+  EXPECT_DOUBLE_EQ(t.now_ms(), 0.0);
+  const obs::SpanId root = t.begin_span("serve");
+  t.advance(2.0);
+  const obs::SpanId child = t.begin_span("rpc", 3);
+  EXPECT_EQ(t.open_depth(), 2u);
+  t.advance(1.5);
+  t.end_span(child, "ok", 256);
+  t.span_event("backoff", 4.0, "", 0, 3);  // leaf: advances the clock
+  t.end_span(root, "exact");
+  EXPECT_EQ(t.open_depth(), 0u);
+  EXPECT_DOUBLE_EQ(t.now_ms(), 7.5);
+
+  const auto& spans = t.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].parent, obs::kNoSpan);
+  EXPECT_EQ(spans[1].parent, 0u);  // nested under the open root
+  EXPECT_EQ(spans[2].parent, 0u);
+  EXPECT_DOUBLE_EQ(spans[1].start_ms, 2.0);
+  EXPECT_DOUBLE_EQ(spans[1].end_ms, 3.5);
+  EXPECT_DOUBLE_EQ(spans[1].duration_ms(), 1.5);
+  EXPECT_EQ(spans[1].bytes, 256u);
+  EXPECT_EQ(spans[1].node, 3);
+  EXPECT_STREQ(spans[1].tag, "ok");
+  EXPECT_DOUBLE_EQ(spans[2].start_ms, 3.5);
+  EXPECT_DOUBLE_EQ(spans[2].end_ms, 7.5);
+  EXPECT_DOUBLE_EQ(spans[0].start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(spans[0].end_ms, 7.5);  // closed after the backoff
+
+  const std::string json = t.dump_json();
+  EXPECT_NE(json.find("\"clock_ms\": 7.5"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"backoff\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\": -1"), std::string::npos);
+  EXPECT_NE(json.find("\"tag\": \"exact\""), std::string::npos);
+
+  t.reset();
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_EQ(t.open_depth(), 0u);
+  EXPECT_DOUBLE_EQ(t.now_ms(), 0.0);
+  // Same operations after reset => same dump, byte for byte.
+  const obs::SpanId again = t.begin_span("serve");
+  t.advance(2.0);
+  const obs::SpanId again_child = t.begin_span("rpc", 3);
+  t.advance(1.5);
+  t.end_span(again_child, "ok", 256);
+  t.span_event("backoff", 4.0, "", 0, 3);
+  t.end_span(again, "exact");
+  EXPECT_EQ(t.dump_json(), json);
+}
+
+TEST(Tracer, CapacityDropsSpansDeterministically) {
+  obs::Tracer t(/*max_spans=*/2);
+  const obs::SpanId a = t.begin_span("a");
+  t.event("b");
+  const obs::SpanId c = t.begin_span("c");  // over capacity: dropped
+  EXPECT_EQ(c, obs::kNoSpan);
+  t.end_span(c);  // dropped-span close is a no-op
+  t.end_span(a, "done");
+  EXPECT_EQ(t.open_depth(), 0u);
+  EXPECT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.dropped_spans(), 1u);
+  // A dropped leaf still advances the modelled clock — the timeline stays
+  // exact even when the recording is capped.
+  const double before = t.now_ms();
+  t.span_event("d", 5.0);
+  EXPECT_DOUBLE_EQ(t.now_ms(), before + 5.0);
+  EXPECT_EQ(t.dropped_spans(), 2u);
+}
+
+TEST(Tracer, SpanScopeIsNullSafeAndRaii) {
+  {
+    obs::SpanScope off(nullptr, "nothing");  // null tracer: all no-ops
+    off.set_tag("x");
+    off.add_bytes(10);
+  }
+  obs::Tracer t;
+  {
+    obs::SpanScope outer(&t, "outer");
+    outer.set_tag("tagged");
+    outer.add_bytes(3);
+    outer.add_bytes(4);
+    obs::SpanScope inner(&t, "inner", 2);
+    t.advance(1.0);
+  }  // destructor order closes inner before outer
+  EXPECT_EQ(t.open_depth(), 0u);
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_STREQ(t.spans()[0].name, "outer");
+  EXPECT_STREQ(t.spans()[0].tag, "tagged");
+  EXPECT_EQ(t.spans()[0].bytes, 7u);
+  EXPECT_EQ(t.spans()[1].parent, 0u);
+  EXPECT_EQ(t.spans()[1].node, 2);
+  EXPECT_DOUBLE_EQ(t.spans()[1].end_ms, 1.0);
+}
+
+// --- MetricsRegistry primitives ---
+
+TEST(Metrics, CounterGaugeHistogramSemantics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("x.count");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(&reg.counter("x.count"), &c);  // stable handle on re-lookup
+
+  obs::Gauge& g = reg.gauge("x.gauge");
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+
+  obs::Histogram& h = reg.histogram("x.hist", {1.0, 2.0, 4.0});
+  h.observe(1.0);    // le semantics: the bound itself lands in its bucket
+  h.observe(1.5);
+  h.observe(100.0);  // past every bound: the implicit +inf bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 102.5);
+  ASSERT_EQ(h.buckets().size(), 4u);  // 3 bounds + inf
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 0u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  // Re-registration with different bounds returns the existing histogram.
+  EXPECT_EQ(&reg.histogram("x.hist", {9.0}), &h);
+  EXPECT_EQ(h.bounds().size(), 3u);
+
+  EXPECT_EQ(reg.size(), 3u);
+  // reset() zeroes values but keeps every registration and handle live.
+  reg.reset();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.buckets()[3], 0u);
+  c.inc(2);
+  EXPECT_EQ(reg.counter("x.count").value(), 2u);
+}
+
+TEST(Metrics, SnapshotIsSortedAndRegistrationOrderIndependent) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("zz.last").inc(7);
+  a.counter("aa.first").inc(3);
+  a.gauge("mid.gauge").set(1.25);
+  a.histogram("hh.hist", {2.0}).observe(5.0);
+  // Same metrics, reverse registration order.
+  b.histogram("hh.hist", {2.0}).observe(5.0);
+  b.gauge("mid.gauge").set(1.25);
+  b.counter("aa.first").inc(3);
+  b.counter("zz.last").inc(7);
+  EXPECT_EQ(a.snapshot_json(), b.snapshot_json());
+
+  const std::string s = a.snapshot_json();
+  EXPECT_LT(s.find("\"aa.first\""), s.find("\"zz.last\""));
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(s.find("\"mid.gauge\": 1.25"), std::string::npos);
+  EXPECT_NE(s.find("{\"le\": 2, \"n\": 0}"), std::string::npos);
+  EXPECT_NE(s.find("{\"le\": \"inf\", \"n\": 1}"), std::string::npos);
+  // An empty registry still snapshots to the full (empty) three-section
+  // document.
+  obs::MetricsRegistry empty;
+  EXPECT_NE(empty.snapshot_json().find("\"histograms\""), std::string::npos);
+}
+
+// --- Wiring: the registry mirrors the execution layer's accounting ---
+
+TEST(ObsWiring, RegistryAndTraceMatchExecReport) {
+  const Table table = small_dataset(2000, 2, 11);
+  Cluster cluster(4, Network::single_zone(4));
+  PartitionSpec spec;
+  spec.replicas = 2;
+  cluster.load_table("t", table, spec);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  cluster.set_observability(&tracer, &metrics);
+  ExactExecutor exec(cluster, "t");
+
+  ExecReport total;
+  for (int i = 0; i < 4; ++i) {
+    const auto q =
+        range_count_query(0.1 * i, 0.1 * i + 0.4, 0.2, 0.8);
+    const auto res = exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+    EXPECT_NEAR(res.answer, testing::brute_force_answer(table, q), 1e-9);
+    total.merge(res.report);
+  }
+  const auto mr_res = exec.execute(range_count_query(0.1, 0.6, 0.1, 0.6),
+                                   ExecParadigm::kMapReduce);
+  total.merge(mr_res.report);
+
+  // Counters mirror the per-execution reports exactly.
+  EXPECT_EQ(metrics.counter("rpc.round_trips").value(),
+            total.rpc_round_trips);
+  EXPECT_EQ(metrics.counter("retry.retries").value(), total.retries);
+  EXPECT_EQ(metrics.histogram("rpc.rtt_ms", {}).count(),
+            total.rpc_round_trips);
+  EXPECT_GT(metrics.counter("mr.map_tasks").value(), 0u);
+  EXPECT_EQ(metrics.counter("net.dropped_messages").value(), 0u);
+
+  // The trace has one "exact" root per execution, tagged with the
+  // paradigm; the MapReduce execution contributed its three phase spans.
+  std::size_t exact_roots = 0, rpcs = 0, phases = 0;
+  for (const auto& s : tracer.spans()) {
+    const std::string_view name(s.name);
+    if (name == "exact") {
+      EXPECT_EQ(s.parent, obs::kNoSpan);
+      ++exact_roots;
+    } else if (name == "rpc") {
+      ++rpcs;
+    } else if (name == "map_phase" || name == "shuffle" ||
+               name == "reduce_phase") {
+      ++phases;
+    }
+  }
+  EXPECT_EQ(exact_roots, 5u);
+  EXPECT_GT(rpcs, 0u);
+  EXPECT_EQ(phases, 3u);
+  EXPECT_EQ(tracer.open_depth(), 0u);
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+}
+
+TEST(ObsWiring, GeoSubmitRecordsWanHopsAndGeoSeries) {
+  const Table table = small_dataset(2000, 2, 31);
+  GeoConfig gcfg;
+  gcfg.num_cores = 2;
+  gcfg.num_edges = 4;
+  gcfg.mode = EdgeMode::kForwardAll;  // every query crosses the WAN
+  GeoSystem geo(gcfg, table);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  geo.set_observability(&tracer, &metrics);
+
+  Rng qrng(77);
+  for (int i = 0; i < 20; ++i) {
+    const double lo0 = qrng.uniform(0.0, 0.6);
+    const double lo1 = qrng.uniform(0.0, 0.6);
+    const auto a = geo.submit(i % 4, range_count_query(lo0, lo0 + 0.35,
+                                                       lo1, lo1 + 0.35));
+    EXPECT_TRUE(a.answered);
+  }
+  EXPECT_EQ(metrics.counter("geo.queries").value(), geo.stats().queries);
+  EXPECT_EQ(metrics.counter("geo.forwarded").value(),
+            geo.stats().forwarded);
+  EXPECT_EQ(metrics.histogram("geo.wan_ms", {}).count(), 20u);
+
+  std::size_t roots = 0, hops = 0;
+  for (const auto& s : tracer.spans()) {
+    const std::string_view name(s.name);
+    if (name == "geo_submit") {
+      EXPECT_EQ(s.parent, obs::kNoSpan);
+      EXPECT_STREQ(s.tag, "forwarded");
+      ++roots;
+    } else if (name == "wan_hop") {
+      EXPECT_GT(s.duration_ms(), 0.0);  // the WAN leg is modelled time
+      ++hops;
+    }
+  }
+  EXPECT_EQ(roots, 20u);
+  EXPECT_GE(hops, 40u);  // at least query out + answer back per query
+  EXPECT_EQ(tracer.open_depth(), 0u);
+}
+
+// --- The golden trace: E16 storm, bit-identical at any SEA_THREADS ---
+
+struct GoldenObs {
+  std::string trace;
+  std::string metrics;
+};
+
+/// The defended E16/test_overload storm scenario with observability
+/// attached: warm-up + a seeded storm (ambient drops, one grey node, one
+/// flap) at 2x offered load, served through serve_batch. Returns the two
+/// deterministic JSON exports.
+GoldenObs run_golden_storm(const Table& table) {
+  Cluster cluster(4, Network::single_zone(4));
+  PartitionSpec spec;
+  spec.replicas = 2;
+  cluster.load_table("t", table, spec);
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  cluster.set_retry_policy(policy);
+  BreakerConfig bc;
+  bc.enabled = true;
+  bc.failure_threshold = 3;
+  bc.cooldown_ms = 50.0;
+  cluster.set_breaker_config(bc);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  cluster.set_observability(&tracer, &metrics);
+  ExactExecutor exec(cluster, "t");
+  AgentConfig cfg;
+  cfg.min_samples_to_predict = 8;
+  cfg.create_distance = 0.3;
+  DatalessAgent agent(cfg, [&](const std::vector<std::size_t>& cols) {
+    return exec.domain(cols);
+  });
+  ServeConfig scfg;
+  scfg.bootstrap_queries = 60;
+  scfg.audit_fraction = 0.05;
+  scfg.deadline_ms = 200.0;
+  scfg.queue_capacity_ms = 10.0;
+  scfg.shed_high_water = 0.5;
+  scfg.drain_ms_per_query = 1.0;
+  ServedAnalytics served(agent, exec, scfg);
+
+  Rng qrng(99);
+  const auto random_query = [&]() {
+    const double lo0 = qrng.uniform(0.0, 0.6);
+    const double lo1 = qrng.uniform(0.0, 0.6);
+    return range_count_query(lo0, lo0 + 0.35, lo1, lo1 + 0.35);
+  };
+  std::vector<AnalyticalQuery> warm(100);
+  for (auto& q : warm) q = random_query();
+  std::vector<AnalyticalQuery> storm(160);
+  for (auto& q : storm) q = random_query();
+
+  served.serve_batch(warm);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_probability = 0.10;
+  plan.node_drops = {{3, 0.85}};
+  plan.flaps = {{1, 40, 80}};
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  served.serve_batch(storm);
+  inj.detach(cluster);
+
+  EXPECT_TRUE(served.stats().conserved());
+  EXPECT_GT(served.stats().shed, 0u);  // the storm actually overloads
+  EXPECT_EQ(tracer.open_depth(), 0u);
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+  return {tracer.dump_json(), metrics.snapshot_json()};
+}
+
+TEST(GoldenTrace, StormTraceBitIdenticalAcrossThreadCounts) {
+  const Table table = small_dataset(3000, 2, 17);
+  const GoldenObs serial =
+      with_threads(1, [&] { return run_golden_storm(table); });
+  const GoldenObs threaded =
+      with_threads(8, [&] { return run_golden_storm(table); });
+  // EXPECT_TRUE (not EXPECT_EQ) so a failure doesn't dump two full traces.
+  EXPECT_TRUE(serial.trace == threaded.trace)
+      << "trace_dump differs between SEA_THREADS=1 and 8";
+  EXPECT_TRUE(serial.metrics == threaded.metrics)
+      << "metrics_snapshot differs between SEA_THREADS=1 and 8";
+  // Same-seed double run: bit-identical again.
+  const GoldenObs again =
+      with_threads(8, [&] { return run_golden_storm(table); });
+  EXPECT_TRUE(threaded.trace == again.trace)
+      << "trace_dump differs between same-seed runs";
+  EXPECT_TRUE(threaded.metrics == again.metrics)
+      << "metrics_snapshot differs between same-seed runs";
+  // The trace really recorded the storm: overload events and outcome tags
+  // from every layer show up in the export.
+  EXPECT_NE(serial.trace.find("\"name\": \"shed\""), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"name\": \"backoff\""), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"name\": \"peek\""), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"tag\": \"shed\""), std::string::npos);
+  EXPECT_NE(serial.metrics.find("\"serve.shed\""), std::string::npos);
+  EXPECT_NE(serial.metrics.find("\"breaker.opens\""), std::string::npos);
+  EXPECT_NE(serial.metrics.find("\"rpc.rtt_ms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sea

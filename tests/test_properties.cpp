@@ -1,0 +1,230 @@
+// Seed-sweep property harness (ISSUE PR4 satellite): 100+ seeds of
+// randomized workload x fault plan x serving config pushed through
+// ServedAnalytics with the observability layer attached. Per seed:
+//  * ServeStats::conserved() — every query lands in exactly one outcome
+//    class — and the per-answer flags re-derive the same partition;
+//  * every query is answered-or-accounted: finite value unless failed;
+//  * the span tree is structurally valid — no negative intervals, every
+//    child interval contained in its parent's, parent ids precede child
+//    ids, no span left open, nothing silently dropped;
+//  * the serve.* metric counters equal the ServeStats fields, so the
+//    registry and the per-loop view never drift apart.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/coordinator.h"
+#include "fault/breaker.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sea/exact.h"
+#include "sea/served.h"
+#include "test_util.h"
+
+namespace sea {
+namespace {
+
+using testing::range_count_query;
+
+constexpr std::uint64_t kSeeds = 100;
+constexpr std::size_t kQueriesPerSeed = 40;
+
+/// Everything a single seed produced, checked by the property assertions.
+struct SeedRun {
+  std::vector<ServedAnswer> answers;
+  ServeStats stats;
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+};
+
+/// One randomized scenario: table size, cluster shape, retry policy,
+/// breakers, serving config (deadline / admission control sometimes on),
+/// and a FaultPlan (drops, spikes, a grey node, a flap) all drawn from the
+/// seed. The workload itself is a stream of random range-count queries.
+void run_seed(std::uint64_t seed, SeedRun& out) {
+  Rng rng(seed * 7919 + 1);
+  const std::size_t rows = 300 + rng.uniform_index(500);
+  const std::size_t nodes = 3 + rng.uniform_index(3);  // 3..5
+  const Table table = testing::small_dataset(rows, 2, seed + 100);
+  Cluster cluster(nodes, Network::single_zone(nodes));
+  PartitionSpec spec;
+  spec.replicas = 1 + rng.uniform_index(2);
+  cluster.load_table("t", table, spec);
+  RetryPolicy policy;
+  policy.max_attempts = 4 + rng.uniform_index(3);
+  cluster.set_retry_policy(policy);
+  if (rng.bernoulli(0.5)) {
+    BreakerConfig bc;
+    bc.enabled = true;
+    bc.failure_threshold = 3;
+    bc.cooldown_ms = rng.uniform(20.0, 80.0);
+    cluster.set_breaker_config(bc);
+  }
+  cluster.set_observability(&out.tracer, &out.metrics);
+  ExactExecutor exec(cluster, "t");
+  AgentConfig cfg;
+  cfg.min_samples_to_predict = 8;
+  cfg.create_distance = 0.3;
+  DatalessAgent agent(cfg, [&](const std::vector<std::size_t>& cols) {
+    return exec.domain(cols);
+  });
+  ServeConfig scfg;
+  scfg.bootstrap_queries = 5 + rng.uniform_index(15);
+  scfg.audit_fraction = rng.uniform(0.0, 0.1);
+  if (rng.bernoulli(0.5)) scfg.deadline_ms = rng.uniform(5.0, 100.0);
+  if (rng.bernoulli(0.5)) {
+    scfg.queue_capacity_ms = rng.uniform(4.0, 20.0);
+    scfg.shed_high_water = 0.5;
+    scfg.drain_ms_per_query = rng.uniform(0.0, 2.0);
+  }
+  ServedAnalytics served(agent, exec, scfg);
+
+  FaultPlan plan;
+  plan.seed = seed + 13;
+  plan.drop_probability = rng.uniform(0.0, 0.3);
+  if (rng.bernoulli(0.4)) {
+    plan.spike_probability = rng.uniform(0.0, 0.3);
+    plan.spike_multiplier = rng.uniform(2.0, 10.0);
+  }
+  if (rng.bernoulli(0.4))
+    plan.node_drops = {{static_cast<NodeId>(rng.uniform_index(nodes)),
+                        rng.uniform(0.5, 0.95)}};
+  if (rng.bernoulli(0.3)) {
+    const std::uint64_t down = 10 + rng.uniform_index(40);
+    plan.flaps = {{static_cast<NodeId>(rng.uniform_index(nodes)), down,
+                   down + 20 + rng.uniform_index(60)}};
+  }
+
+  std::vector<AnalyticalQuery> queries(kQueriesPerSeed);
+  for (auto& q : queries) {
+    const double lo0 = rng.uniform(0.0, 0.6);
+    const double lo1 = rng.uniform(0.0, 0.6);
+    q = range_count_query(lo0, lo0 + 0.35, lo1, lo1 + 0.35);
+  }
+
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  out.answers = served.serve_batch(queries);
+  inj.detach(cluster);
+  out.stats = served.stats();
+}
+
+/// The outcome partition as served.cpp counts it: failed beats shed beats
+/// data-less beats exact (shed/degraded answers also carry data_less).
+struct OutcomeCounts {
+  std::uint64_t data_less = 0, exact = 0, shed = 0, failed = 0;
+};
+
+OutcomeCounts classify(const std::vector<ServedAnswer>& answers) {
+  OutcomeCounts c;
+  for (const auto& a : answers) {
+    if (a.failed)
+      ++c.failed;
+    else if (a.shed)
+      ++c.shed;
+    else if (a.data_less)
+      ++c.data_less;
+    else
+      ++c.exact;
+  }
+  return c;
+}
+
+void check_span_tree(const obs::Tracer& tracer) {
+  EXPECT_EQ(tracer.open_depth(), 0u) << "spans left open";
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+  const auto& spans = tracer.spans();
+  std::size_t roots = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::TraceSpan& s = spans[i];
+    EXPECT_GE(s.start_ms, 0.0) << "span " << i;
+    EXPECT_GE(s.end_ms, s.start_ms) << "span " << i << " negative interval";
+    if (s.parent == obs::kNoSpan) {
+      if (std::string_view(s.name) == "serve") ++roots;
+      continue;
+    }
+    ASSERT_LT(s.parent, i) << "span " << i << " precedes its parent";
+    const obs::TraceSpan& p = spans[s.parent];
+    EXPECT_GE(s.start_ms, p.start_ms)
+        << "span " << i << " starts before parent " << s.parent;
+    EXPECT_LE(s.end_ms, p.end_ms)
+        << "span " << i << " overlaps beyond parent " << s.parent;
+  }
+  EXPECT_EQ(roots, kQueriesPerSeed) << "one root span per served query";
+  ASSERT_FALSE(spans.empty());
+  EXPECT_LE(spans.back().end_ms, tracer.now_ms());
+}
+
+TEST(SeedSweep, ConservationAnswersAndSpanTreesHoldOnEverySeed) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SeedRun run;
+    run_seed(seed, run);
+
+    // Conservation: the loop's own invariant, then re-derived from the
+    // per-answer flags — the two views must agree field by field.
+    EXPECT_TRUE(run.stats.conserved());
+    EXPECT_EQ(run.stats.queries, kQueriesPerSeed);
+    ASSERT_EQ(run.answers.size(), kQueriesPerSeed);
+    const OutcomeCounts c = classify(run.answers);
+    EXPECT_EQ(c.shed, run.stats.shed);
+    EXPECT_EQ(c.failed, run.stats.failed);
+    EXPECT_EQ(c.exact, run.stats.exact_answered);
+    EXPECT_EQ(c.data_less, run.stats.data_less_served);
+    EXPECT_EQ(c.data_less + c.exact + c.shed + c.failed, kQueriesPerSeed);
+
+    // Answered-or-accounted: every non-failed answer is a finite number.
+    for (std::size_t i = 0; i < run.answers.size(); ++i) {
+      if (!run.answers[i].failed)
+        EXPECT_TRUE(std::isfinite(run.answers[i].value)) << "query " << i;
+    }
+    EXPECT_GE(run.stats.degraded_served, 0u);
+    EXPECT_LE(run.stats.degraded_served, run.stats.data_less_served);
+
+    // Structural span-tree invariants.
+    check_span_tree(run.tracer);
+
+    // The registry never drifts from the loop's ServeStats view.
+    EXPECT_EQ(run.metrics.counter("serve.queries").value(),
+              run.stats.queries);
+    EXPECT_EQ(run.metrics.counter("serve.data_less_served").value(),
+              run.stats.data_less_served);
+    EXPECT_EQ(run.metrics.counter("serve.exact_answered").value(),
+              run.stats.exact_answered);
+    EXPECT_EQ(run.metrics.counter("serve.shed").value(), run.stats.shed);
+    EXPECT_EQ(run.metrics.counter("serve.failed").value(),
+              run.stats.failed);
+    EXPECT_EQ(run.metrics.counter("serve.exact_executed").value(),
+              run.stats.exact_executed);
+    EXPECT_EQ(run.metrics.counter("serve.exact_failures").value(),
+              run.stats.exact_failures);
+    EXPECT_EQ(run.metrics.counter("serve.degraded_served").value(),
+              run.stats.degraded_served);
+    EXPECT_EQ(run.metrics.counter("serve.deadline_exceeded").value(),
+              run.stats.deadline_exceeded);
+  }
+}
+
+// A focused re-run of one seed twice must reproduce identical exports —
+// the property harness itself is deterministic (so a failing seed can be
+// replayed in isolation).
+TEST(SeedSweep, SingleSeedReplaysBitIdentically) {
+  SeedRun a;
+  SeedRun b;
+  run_seed(42, a);
+  run_seed(42, b);
+  EXPECT_TRUE(a.tracer.dump_json() == b.tracer.dump_json());
+  EXPECT_TRUE(a.metrics.snapshot_json() == b.metrics.snapshot_json());
+  EXPECT_EQ(a.stats.queries, b.stats.queries);
+  EXPECT_EQ(a.stats.shed, b.stats.shed);
+  EXPECT_EQ(a.stats.failed, b.stats.failed);
+}
+
+}  // namespace
+}  // namespace sea
