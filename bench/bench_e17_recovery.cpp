@@ -1,0 +1,243 @@
+// E17: crash recovery — durable checkpoints, WAL replay, anti-entropy
+// (ISSUE PR5 tentpole; paper P4 availability under crash-restart faults).
+//
+// A served workload warms up healthy, then rides out a seeded chaos
+// schedule (crash-restarts + ambient drops + a grey node + a load spike)
+// while the serving model is hosted on a ModelReplicaSet whose home
+// replica is one of the chaos crash targets. The sweep varies exactly one
+// knob — the checkpoint cadence — and reports the trade it buys: snapshot
+// overhead (modelled ms charged to the serving clock) against the
+// recovery window (WAL replay + anti-entropy on the modelled clock) and
+// the stale answers served from the replayed pre-crash state while the
+// home catches up. checkpoint_interval_ms=0 is the degenerate point:
+// full-log replay from genesis. A same-seed double run checks the
+// determinism contract, and the sweep lands in BENCH_e17.json. The chaos
+// seed honors SEA_CHAOS_SEED (chaos_seed_from_env) for seed sweeps.
+#include <cstdint>
+#include <vector>
+
+#include "bench_util.h"
+#include "fault/breaker.h"
+#include "fault/fault.h"
+#include "fault/outage.h"
+#include "fault/retry.h"
+#include "recovery/chaos.h"
+#include "recovery/replica.h"
+#include "sea/served.h"
+
+namespace sea::bench {
+namespace {
+
+constexpr std::size_t kRows = 20000;
+constexpr std::size_t kNodes = 8;
+constexpr std::size_t kWarmQueries = 300;
+constexpr std::size_t kStormQueries = 450;
+
+struct PointResult {
+  ServeStats serve;
+  recovery::RecoveryStats rec;
+  std::vector<recovery::RecoveryEvent> events;
+  std::uint64_t committed = 0;
+  bool home_recovered = false;
+};
+
+/// One sweep point: the chaos storm with the given snapshot cadence. When
+/// a tracer/registry is passed, the whole point records into them
+/// (--trace-out hook).
+PointResult run_point(double checkpoint_interval_ms, std::uint64_t seed,
+                      obs::Tracer* tracer = nullptr,
+                      obs::MetricsRegistry* metrics = nullptr) {
+  recovery::ChaosConfig cc;
+  cc.seed = seed;
+  cc.num_nodes = kNodes;
+  const recovery::ChaosSchedule sched = recovery::make_chaos_schedule(cc);
+
+  Table table = make_clustered_dataset(kRows, 2, 3, 17);
+  Cluster cluster(kNodes, Network::single_zone(kNodes));
+  PartitionSpec spec;
+  spec.replicas = 2;
+  cluster.load_table("t", table, spec);
+  RetryPolicy rp;
+  rp.max_attempts = 6;
+  cluster.set_retry_policy(rp);
+  // Short cooldown: failed queries barely advance the modelled clock, so
+  // a long cooldown would leave a tripped shard dark for hundreds of
+  // queries (see tests/test_recovery.cpp ChaosScenario).
+  BreakerConfig bc;
+  bc.enabled = true;
+  bc.failure_threshold = 6;
+  bc.cooldown_ms = 8.0;
+  cluster.set_breaker_config(bc);
+  if (tracer || metrics) cluster.set_observability(tracer, metrics);
+  ExactExecutor exec(cluster, "t");
+
+  WorkloadConfig wc;
+  wc.selection = SelectionType::kRange;
+  wc.analytic = AnalyticType::kCount;
+  wc.subspace_cols = {0, 1};
+  wc.num_hotspots = 3;
+  wc.seed = 18;
+  wc.hotspot_anchors = sample_anchor_points(table, wc.subspace_cols, 24, 19);
+  QueryWorkload workload(wc,
+                         table_bounds(table, std::vector<std::size_t>{0, 1}));
+
+  const AgentConfig acfg = default_agent_config();
+  DatalessAgent agent(acfg, [&](const std::vector<std::size_t>& cols) {
+    return exec.domain(cols);
+  });
+  ServeConfig scfg;
+  scfg.bootstrap_queries = 150;
+  scfg.audit_fraction = 0.3;
+  scfg.deadline_ms = 400.0;
+  scfg.queue_capacity_ms = 60.0;
+  scfg.drain_ms_per_query = 2.0 / sched.load_multiplier;
+  ServedAnalytics served(agent, exec, scfg);
+
+  recovery::ReplicaSetConfig rcfg;
+  rcfg.nodes = {sched.crash_nodes.front(), 0};  // home = a crash target
+  rcfg.agent = acfg;
+  rcfg.checkpoint_interval_ms = checkpoint_interval_ms;
+  rcfg.replay_ms_per_update = 0.5;
+  recovery::ModelReplicaSet rs(rcfg,
+                               [&](const std::vector<std::size_t>& cols) {
+                                 return exec.domain(cols);
+                               });
+  if (tracer || metrics) rs.bind_obs(tracer, metrics);
+  served.set_model_provider(&rs);
+
+  // Phase 1: healthy warm-up — bootstrap, confidence, committed history.
+  for (std::size_t i = 0; i < kWarmQueries; ++i)
+    served.serve(workload.next());
+
+  // Phase 2: the storm. Per-arrival injector ticks keep the fault
+  // timeline moving even when confident model answers execute no RPCs.
+  FaultInjector inj(sched.plan);
+  inj.add_crash_listener(&rs);
+  inj.attach(cluster);
+  for (std::size_t i = 0; i < kStormQueries; ++i) {
+    try {
+      served.serve(workload.next());
+    } catch (const OutageError&) {
+      // Counted in ServeStats::failed; the sweep reports it.
+    }
+    inj.tick(cluster);
+    inj.tick(cluster);
+  }
+  while (inj.now() < cc.horizon_ticks + 1) inj.tick(cluster);
+  rs.settle();
+  inj.remove_crash_listener(&rs);
+  inj.detach(cluster);
+
+  PointResult r;
+  r.serve = served.stats();
+  r.rec = rs.stats();
+  r.events = rs.recovery_events();
+  r.committed = rs.committed_version();
+  const NodeId home = sched.crash_nodes.front();
+  r.home_recovered = rs.replica_up(home) && !rs.replica_recovering(home) &&
+                     rs.replica_version(home) == rs.committed_version();
+  return r;
+}
+
+void emit(BenchJsonWriter& json, double interval, const PointResult& r) {
+  json.begin("e17_recovery");
+  json.num("checkpoint_interval_ms", interval);
+  json.num("queries", r.serve.queries);
+  json.num("exact_answered", r.serve.exact_answered);
+  json.num("data_less_served", r.serve.data_less_served);
+  json.num("degraded_served", r.serve.degraded_served);
+  json.num("shed", r.serve.shed);
+  json.num("failed", r.serve.failed);
+  json.num("stale_model_serves", r.serve.stale_model_serves);
+  json.num("committed_version", r.committed);
+  json.num("crashes", r.rec.crashes);
+  json.num("recoveries", r.rec.recoveries);
+  json.num("checkpoints", r.rec.checkpoints);
+  json.num("checkpoint_bytes", r.rec.checkpoint_bytes);
+  json.num("checkpoint_ms_model", r.rec.modelled_checkpoint_ms);
+  json.num("replayed_updates", r.rec.replayed_updates);
+  json.num("anti_entropy_rounds", r.rec.anti_entropy_rounds);
+  json.num("anti_entropy_updates", r.rec.anti_entropy_updates);
+  json.num("anti_entropy_bytes", r.rec.anti_entropy_bytes);
+  json.num("recovery_ms_model", r.rec.modelled_recovery_ms);
+  json.num("max_recovery_ms_model", r.rec.max_recovery_ms);
+  json.str("conserved", r.serve.conserved() ? "ok" : "VIOLATED");
+  json.str("home_recovered", r.home_recovered ? "yes" : "NO");
+}
+
+void run(const std::string& trace_path) {
+  const std::uint64_t seed = recovery::chaos_seed_from_env(0xE17);
+  banner("E17: crash recovery — checkpoints vs replay vs staleness",
+         "under a seeded chaos schedule (crash-restarts + drops + a grey "
+         "node + a load spike), a faster checkpoint cadence buys a shorter "
+         "modelled recovery window and fewer stale model answers, at the "
+         "cost of modelled snapshot time on the serving clock; "
+         "checkpoint_interval_ms=0 (full-log replay from genesis) is the "
+         "worst case, and every query is answered-or-accounted throughout");
+  row("%-9s %-7s %-8s %-6s %-8s %-7s %-9s %-9s %-10s %-9s %-10s %-9s",
+      "ckpt(ms)", "queries", "dataless", "shed", "degraded", "failed",
+      "stale", "ckpts", "ckpt(model)", "replayed", "rec(model)", "conserved");
+  BenchJsonWriter json;
+  PointResult at_zero;
+  for (const double interval : {0.0, 100.0, 200.0, 400.0, 800.0, 1600.0}) {
+    const PointResult r = run_point(interval, seed);
+    if (interval == 0.0) at_zero = r;
+    row("%-9.0f %-7llu %-8llu %-6llu %-8llu %-7llu %-9llu %-9llu %-10.2f "
+        "%-9llu %-10.2f %-9s",
+        interval, static_cast<unsigned long long>(r.serve.queries),
+        static_cast<unsigned long long>(r.serve.data_less_served),
+        static_cast<unsigned long long>(r.serve.shed),
+        static_cast<unsigned long long>(r.serve.degraded_served),
+        static_cast<unsigned long long>(r.serve.failed),
+        static_cast<unsigned long long>(r.serve.stale_model_serves),
+        static_cast<unsigned long long>(r.rec.checkpoints),
+        r.rec.modelled_checkpoint_ms,
+        static_cast<unsigned long long>(r.rec.replayed_updates),
+        r.rec.modelled_recovery_ms,
+        r.serve.conserved() && r.home_recovered ? "ok" : "VIOLATED");
+    emit(json, interval, r);
+  }
+
+  // Determinism contract: identical seed => identical counters.
+  const PointResult a = run_point(100.0, seed);
+  const PointResult b = run_point(100.0, seed);
+  const bool deterministic =
+      a.serve.queries == b.serve.queries &&
+      a.serve.stale_model_serves == b.serve.stale_model_serves &&
+      a.serve.data_less_served == b.serve.data_less_served &&
+      a.serve.degraded_served == b.serve.degraded_served &&
+      a.rec.checkpoints == b.rec.checkpoints &&
+      a.rec.replayed_updates == b.rec.replayed_updates &&
+      a.rec.modelled_recovery_ms == b.rec.modelled_recovery_ms &&
+      a.committed == b.committed;
+  row("same-seed double run at ckpt=100ms: %s (stale=%llu replayed=%llu "
+      "recovery=%.2fms)",
+      deterministic ? "identical counters" : "MISMATCH",
+      static_cast<unsigned long long>(a.serve.stale_model_serves),
+      static_cast<unsigned long long>(a.rec.replayed_updates),
+      a.rec.modelled_recovery_ms);
+  row("full-log baseline: replayed=%llu recovery=%.2fms stale=%llu",
+      static_cast<unsigned long long>(at_zero.rec.replayed_updates),
+      at_zero.rec.modelled_recovery_ms,
+      static_cast<unsigned long long>(at_zero.serve.stale_model_serves));
+
+  json.write_file("BENCH_e17.json");
+
+  // --trace-out / SEA_TRACE: re-run the ckpt=100ms point with
+  // observability attached and dump the deterministic trace+metrics JSON
+  // (bit-identical across runs and SEA_THREADS settings).
+  if (!trace_path.empty()) {
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    run_point(100.0, seed, &tracer, &metrics);
+    write_trace_file(trace_path, tracer, metrics);
+  }
+}
+
+}  // namespace
+}  // namespace sea::bench
+
+int main(int argc, char** argv) {
+  sea::bench::run(sea::bench::trace_out_path(argc, argv));
+  return 0;
+}

@@ -113,14 +113,48 @@ struct Scenario {
 /// human-oriented tables above.
 class BenchJsonWriter {
  public:
+  /// Record-format version stamped on every record. Bump when the shape
+  /// of existing fields changes (consumers key parsers off this).
+  /// v2: schema_version field added; string values JSON-escaped.
+  static constexpr std::uint64_t kSchemaVersion = 2;
+
   /// Starts a new record; subsequent field calls attach to it.
   void begin(const std::string& name) {
     records_.emplace_back();
     str("name", name);
+    num("schema_version", kSchemaVersion);
+  }
+
+  /// Escapes a string for embedding in a JSON document: quote, backslash,
+  /// and control characters (the latter as \u00XX).
+  static std::string json_escape(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
   }
 
   void str(const std::string& key, const std::string& value) {
-    records_.back().emplace_back(key, "\"" + value + "\"");
+    records_.back().emplace_back(key, "\"" + json_escape(value) + "\"");
   }
 
   void num(const std::string& key, double value) {
@@ -146,7 +180,7 @@ class BenchJsonWriter {
       std::fprintf(f, "  {");
       for (std::size_t i = 0; i < records_[r].size(); ++i)
         std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
-                     records_[r][i].first.c_str(),
+                     json_escape(records_[r][i].first).c_str(),
                      records_[r][i].second.c_str());
       std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
     }

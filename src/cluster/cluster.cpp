@@ -10,7 +10,8 @@ namespace sea {
 
 Cluster::Cluster(std::size_t num_nodes, Network network, BdasCostModel cost)
     : num_nodes_(num_nodes), network_(std::move(network)), cost_(cost),
-      node_down_(num_nodes, false), breakers_(num_nodes) {
+      node_down_(num_nodes, false), placement_lost_(num_nodes, false),
+      breakers_(num_nodes) {
   if (num_nodes_ == 0)
     throw std::invalid_argument("Cluster: need at least one node");
   if (network_.num_nodes() < num_nodes_)
@@ -48,12 +49,103 @@ NodeId Cluster::serving_node(const std::string& name,
   const std::size_t replicas = std::max<std::size_t>(1, st.spec.replicas);
   for (std::size_t r = 0; r < replicas; ++r) {
     const auto node = static_cast<NodeId>((shard + r) % num_nodes_);
-    if (!node_down_[node] && !breakers_.open_now(node)) return node;
+    if (!node_down_[node] && !placement_lost_[node] &&
+        !breakers_.open_now(node))
+      return node;
   }
   throw ShardUnavailable(
       "Cluster::serving_node: no available replica of shard " +
       std::to_string(shard) + " of table " + name + " (replicas=" +
       std::to_string(replicas) + ", down nodes: " + down_nodes_string() + ")");
+}
+
+void Cluster::crash_node(NodeId node) {
+  if (node >= num_nodes_) throw std::out_of_range("Cluster::crash_node");
+  node_down_[node] = true;
+  placement_lost_[node] = true;
+  ++recovery_stats_.crashes;
+  if (tracer_) tracer_->event("crash", "", static_cast<std::int64_t>(node));
+}
+
+bool Cluster::placement_lost(NodeId node) const {
+  if (node >= num_nodes_) throw std::out_of_range("Cluster::placement_lost");
+  return placement_lost_[node];
+}
+
+std::uint64_t Cluster::rebuild_placement(NodeId node) {
+  struct Copy {
+    NodeId donor;
+    std::uint64_t bytes;
+  };
+  // Stable table order so the send/trace sequence is deterministic
+  // (tables_ is an unordered_map).
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& kv : tables_) names.push_back(kv.first);
+  std::sort(names.begin(), names.end());
+
+  // All-or-nothing: first verify every shard copy the node holds has a
+  // live donor, then charge the transfers. A partial rebuild would let
+  // placement route reads to shards the node does not hold yet.
+  std::vector<Copy> copies;
+  for (const auto& name : names) {
+    const StoredTable& st = tables_.at(name);
+    const std::size_t replicas = std::max<std::size_t>(1, st.spec.replicas);
+    for (std::size_t shard = 0; shard < st.partitions.size(); ++shard) {
+      bool holds = false;
+      for (std::size_t r = 0; r < replicas && !holds; ++r)
+        holds = (shard + r) % num_nodes_ == node;
+      if (!holds) continue;
+      const std::uint64_t bytes = st.partitions[shard].byte_size();
+      if (bytes == 0) continue;  // empty shard: nothing to re-replicate
+      NodeId donor = node;
+      bool found = false;
+      for (std::size_t r = 0; r < replicas && !found; ++r) {
+        const auto holder = static_cast<NodeId>((shard + r) % num_nodes_);
+        if (holder == node || node_down_[holder] || placement_lost_[holder])
+          continue;
+        donor = holder;
+        found = true;
+      }
+      if (!found) return 0;  // no live donor: stay lost, retry next tick
+      copies.push_back({donor, bytes});
+    }
+  }
+  std::uint64_t total = 0;
+  for (const auto& c : copies) {
+    const double ms = network_.send(c.donor, node, c.bytes);
+    recovery_stats_.modelled_restore_ms += ms;
+    ++recovery_stats_.shards_restored;
+    recovery_stats_.restore_bytes += c.bytes;
+    total += c.bytes;
+    if (tracer_)
+      tracer_->span_event("shard_rebuild", ms, "", c.bytes,
+                          static_cast<std::int64_t>(node));
+    if (metrics_) {
+      metrics_->counter("recovery.shard_rebuilds").inc();
+      metrics_->counter("recovery.shard_rebuild_bytes").inc(c.bytes);
+    }
+  }
+  placement_lost_[node] = false;
+  return total;
+}
+
+std::uint64_t Cluster::restart_node(NodeId node) {
+  if (node >= num_nodes_) throw std::out_of_range("Cluster::restart_node");
+  if (!node_down_[node] && !placement_lost_[node]) return 0;  // healthy
+  node_down_[node] = false;
+  ++recovery_stats_.restarts;
+  if (tracer_) tracer_->event("restart", "", static_cast<std::int64_t>(node));
+  if (!placement_lost_[node]) return 0;
+  return rebuild_placement(node);
+}
+
+std::uint64_t Cluster::restore_lost_placements() {
+  std::uint64_t total = 0;
+  for (std::size_t n = 0; n < num_nodes_; ++n)
+    if (placement_lost_[n] && !node_down_[n])
+      total += rebuild_placement(static_cast<NodeId>(n));
+  return total;
 }
 
 void Cluster::load_table(const std::string& name, const Table& table,

@@ -101,6 +101,17 @@ struct ClusterStatsSnapshot {
   TrafficStats traffic;
 };
 
+/// Crash-recovery accounting: shard re-replication work done to bring
+/// crashed nodes back into placement (all quantities modelled, so
+/// recovery benchmarks are exactly repeatable).
+struct NodeRecoveryStats {
+  std::uint64_t crashes = 0;          ///< crash_node calls
+  std::uint64_t restarts = 0;         ///< restart_node calls that did work
+  std::uint64_t shards_restored = 0;  ///< shard copies re-replicated
+  std::uint64_t restore_bytes = 0;    ///< bytes shipped to restarted nodes
+  double modelled_restore_ms = 0.0;   ///< transfer time of those rebuilds
+};
+
 class Cluster {
  public:
   Cluster(std::size_t num_nodes, Network network, BdasCostModel cost = {});
@@ -147,10 +158,35 @@ class Cluster {
 
   /// The node currently serving `shard` of `name`: the primary (node id ==
   /// shard) when up, else the first available replica holder (shard + r)
-  /// % N. A holder is unavailable when down OR when its circuit breaker is
-  /// open and still cooling, so placement routes around grey-failing nodes
-  /// too. Throws ShardUnavailable when no available copy exists.
+  /// % N. A holder is unavailable when down, when its circuit breaker is
+  /// open and still cooling, OR when its local shard copies were wiped by a
+  /// crash and not yet rebuilt (placement_lost), so placement routes around
+  /// grey-failing and freshly-restarted nodes alike. Throws
+  /// ShardUnavailable when no available copy exists.
   NodeId serving_node(const std::string& name, std::size_t shard) const;
+
+  // --- crash-restart (src/fault NodeCrash schedules) ---
+
+  /// A crash is a down transition that also wipes the node's local state:
+  /// until restart_node rebuilds its shard copies, placement routes around
+  /// it even once it is back up.
+  void crash_node(NodeId node);
+  /// Brings a crashed node back up and re-replicates every shard copy it
+  /// held from the first live holder; the copy bytes cross the (accounted)
+  /// network and are traced as "shard_rebuild" spans. All-or-nothing: when
+  /// any copy has no live donor the node stays placement-lost and the
+  /// rebuild is retried by restore_lost_placements(). No-ops on a healthy
+  /// node. Returns the bytes re-replicated by this call.
+  std::uint64_t restart_node(NodeId node);
+  /// True while the node's shard copies are wiped and not yet rebuilt.
+  bool placement_lost(NodeId node) const;
+  /// Retries the shard rebuild for any up-but-placement-lost node (its
+  /// donors may have recovered since its restart). Called once per
+  /// injector tick; cheap no-op when nothing is lost.
+  std::uint64_t restore_lost_placements();
+  const NodeRecoveryStats& recovery_stats() const noexcept {
+    return recovery_stats_;
+  }
 
   /// Comma-separated ids of currently-down nodes ("none" when all up);
   /// used in failure diagnostics.
@@ -246,12 +282,19 @@ class Cluster {
 
   const StoredTable& stored(const std::string& name) const;
   StoredTable& stored(const std::string& name);
+  /// Re-replicates every shard copy `node` holds from live holders (tables
+  /// in sorted-name order for deterministic traffic/trace order). Returns
+  /// the bytes shipped, or 0 — leaving the node placement-lost — when any
+  /// copy lacks a live donor.
+  std::uint64_t rebuild_placement(NodeId node);
 
   std::size_t num_nodes_;
   Network network_;
   BdasCostModel cost_;
   std::unordered_map<std::string, StoredTable> tables_;
   std::vector<bool> node_down_;
+  std::vector<bool> placement_lost_;
+  NodeRecoveryStats recovery_stats_;
   AccessStats stats_;
   FaultInjector* fault_injector_ = nullptr;
   RetryPolicy retry_;

@@ -116,7 +116,11 @@ class CohortSession {
     obs::SpanScope span(tracer_, "rpc", static_cast<std::int64_t>(node));
     span.set_tag("deadline_exceeded");
     for (std::size_t attempt = 0;; ++attempt) {
-      if (injector) injector->tick(cluster_);
+      if (injector) {
+        const TickEffects fx = injector->tick(cluster_);
+        report_.recoveries += fx.restarts;
+        report_.shard_restore_bytes += fx.restore_bytes;
+      }
       if (cluster_.node_is_down(node)) {
         span.set_tag("node_down");
         throw NodeDownError(node, "CohortSession::rpc: cohort node " +

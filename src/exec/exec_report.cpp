@@ -6,10 +6,10 @@
 namespace sea {
 
 // Completeness guard: merge() below must combine every field. ExecReport
-// is 21 trivially-copyable 8-byte fields; adding one changes the size and
+// is 23 trivially-copyable 8-byte fields; adding one changes the size and
 // fails this assert until merge() (and summary(), where relevant) are
 // updated to cover the new field.
-static_assert(sizeof(ExecReport) == 21 * 8,
+static_assert(sizeof(ExecReport) == 23 * 8,
               "ExecReport gained/lost a field: update merge() and this guard");
 
 void ExecReport::merge(const ExecReport& o) noexcept {
@@ -35,6 +35,8 @@ void ExecReport::merge(const ExecReport& o) noexcept {
   hedged_rpcs += o.hedged_rpcs;
   hedges_won += o.hedges_won;
   breaker_fast_fails += o.breaker_fast_fails;
+  recoveries += o.recoveries;
+  shard_restore_bytes += o.shard_restore_bytes;
 }
 
 double ExecReport::money_cost_usd(const CostRates& rates) const noexcept {
@@ -65,6 +67,9 @@ std::string ExecReport::summary() const {
   if (hedged_rpcs || breaker_fast_fails)
     os << " hedged=" << hedged_rpcs << " hedges_won=" << hedges_won
        << " breaker_fast_fails=" << breaker_fast_fails;
+  if (recoveries || shard_restore_bytes)
+    os << " recoveries=" << recoveries << " restored=" << shard_restore_bytes
+       << "B";
   return os.str();
 }
 

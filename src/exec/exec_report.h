@@ -56,6 +56,10 @@ struct ExecReport {
   std::uint64_t hedges_won = 0;         ///< backups that answered first
   std::uint64_t breaker_fast_fails = 0; ///< RPCs short-circuited by a breaker
 
+  // Crash-recovery accounting (src/fault node_crashes + shard rebuild).
+  std::uint64_t recoveries = 0;  ///< node restarts observed mid-execution
+  std::uint64_t shard_restore_bytes = 0;  ///< bytes re-replicated on restart
+
   /// End-to-end modelled makespan: parallel map phase, then the critical
   /// shuffle path, then parallel reduce, plus per-phase BDAS overheads and
   /// any retry backoff the coordinator sat through.

@@ -182,7 +182,11 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   {
     obs::SpanScope map_span(tracer, "map_phase");
     for (std::size_t shard = 0; shard < n; ++shard) {
-      if (injector) injector->tick(cluster);
+      if (injector) {
+        const TickEffects fx = injector->tick(cluster);
+        rep.recoveries += fx.restarts;
+        rep.shard_restore_bytes += fx.restore_bytes;
+      }
       const NodeId node = cluster.serving_node(table_name, shard);
       if (node != shard_node[shard]) {
         ++rep.tasks_rerouted;
@@ -304,7 +308,11 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   for (std::size_t r = 0; r < num_reducers; ++r) {
     if (reducer_input[r].empty()) continue;
     NodeId rnode = live[r];
-    if (injector) injector->tick(cluster);
+    if (injector) {
+      const TickEffects fx = injector->tick(cluster);
+      rep.recoveries += fx.restarts;
+      rep.shard_restore_bytes += fx.restore_bytes;
+    }
     if (cluster.node_is_down(rnode) || breakers.open_now(rnode)) {
       // The reducer flapped (or its breaker tripped) after the shuffle:
       // restart the reduce task on another usable node, which bulk

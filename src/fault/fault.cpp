@@ -1,9 +1,94 @@
 #include "fault/fault.h"
 
+#include <algorithm>
+
 namespace sea {
 
+namespace {
+
+/// A half-open [start, end) unavailability window for overlap checking,
+/// unifying flaps and crashes.
+struct Window {
+  NodeId node;
+  std::uint64_t start;
+  std::uint64_t end;
+  const char* kind;
+};
+
+std::string window_string(const Window& w) {
+  return std::string(w.kind) + " [" + std::to_string(w.start) + ", " +
+         std::to_string(w.end) + ") on node " + std::to_string(w.node);
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  const auto check_probability = [](double p, const std::string& what) {
+    if (!(p >= 0.0 && p <= 1.0))
+      throw FaultPlanError("FaultPlan: " + what + " = " + std::to_string(p) +
+                           " is outside [0, 1]");
+  };
+  check_probability(drop_probability, "drop_probability");
+  check_probability(spike_probability, "spike_probability");
+  for (const auto& nd : node_drops)
+    check_probability(nd.drop_probability,
+                      "node_drops[" + std::to_string(nd.node) +
+                          "].drop_probability");
+
+  std::vector<Window> windows;
+  windows.reserve(flaps.size() + node_crashes.size());
+  for (const auto& f : flaps) {
+    // The logical clock starts at 1 (tick() pre-increments), so a tick-0
+    // transition would silently never fire.
+    if (f.down_at == 0)
+      throw FaultPlanError("FaultPlan: flap on node " +
+                           std::to_string(f.node) +
+                           " has down_at=0, which never fires (the logical "
+                           "clock starts at tick 1)");
+    if (f.up_at <= f.down_at)
+      throw FaultPlanError("FaultPlan: inverted/empty flap window [" +
+                           std::to_string(f.down_at) + ", " +
+                           std::to_string(f.up_at) + ") on node " +
+                           std::to_string(f.node));
+    windows.push_back({f.node, f.down_at, f.up_at, "flap"});
+  }
+  for (const auto& c : node_crashes) {
+    if (c.crash_at == 0)
+      throw FaultPlanError("FaultPlan: crash on node " +
+                           std::to_string(c.node) +
+                           " has crash_at=0, which never fires (the logical "
+                           "clock starts at tick 1)");
+    if (c.restart_at <= c.crash_at)
+      throw FaultPlanError("FaultPlan: inverted/empty crash window [" +
+                           std::to_string(c.crash_at) + ", " +
+                           std::to_string(c.restart_at) + ") on node " +
+                           std::to_string(c.node));
+    windows.push_back({c.node, c.crash_at, c.restart_at, "crash"});
+  }
+  // Two windows on the same node may not overlap: the second down/crash
+  // transition would be swallowed (or a restart would "heal" a flap it
+  // never owned), producing schedules that silently diverge from the plan.
+  // Back-to-back windows (prev.end == next.start) are fine: half-open.
+  std::sort(windows.begin(), windows.end(),
+            [](const Window& a, const Window& b) {
+              if (a.node != b.node) return a.node < b.node;
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    const Window& prev = windows[i - 1];
+    const Window& cur = windows[i];
+    if (prev.node == cur.node && cur.start < prev.end)
+      throw FaultPlanError("FaultPlan: overlapping windows: " +
+                           window_string(prev) + " and " +
+                           window_string(cur));
+  }
+}
+
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(std::move(plan)), rng_(plan_.seed) {}
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  plan_.validate();
+}
 
 void FaultInjector::attach(Cluster& cluster) {
   cluster.network().set_fault_model(this);
@@ -18,9 +103,30 @@ void FaultInjector::detach(Cluster& cluster) {
   for (const auto& flap : plan_.flaps)
     if (flap.node < cluster.num_nodes())
       cluster.set_node_down(flap.node, false);
+  // Crashed (or still-placement-lost) nodes are restarted so the cluster is
+  // fully serviceable again; restart_node no-ops on healthy nodes.
+  for (const auto& crash : plan_.node_crashes) {
+    if (crash.node >= cluster.num_nodes()) continue;
+    if (cluster.node_is_down(crash.node) ||
+        cluster.placement_lost(crash.node)) {
+      cluster.restart_node(crash.node);
+      for (auto* l : listeners_) l->on_restart(crash.node, stats_.ticks);
+    }
+  }
 }
 
-void FaultInjector::tick(Cluster& cluster) {
+void FaultInjector::add_crash_listener(CrashListener* listener) {
+  if (listener) listeners_.push_back(listener);
+}
+
+void FaultInjector::remove_crash_listener(CrashListener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+TickEffects FaultInjector::tick(Cluster& cluster) {
+  TickEffects fx;
   const std::uint64_t t = ++stats_.ticks;
   for (const auto& flap : plan_.flaps) {
     if (flap.node >= cluster.num_nodes()) continue;
@@ -33,6 +139,25 @@ void FaultInjector::tick(Cluster& cluster) {
       ++stats_.flap_ups;
     }
   }
+  for (const auto& crash : plan_.node_crashes) {
+    if (crash.node >= cluster.num_nodes()) continue;
+    if (t == crash.crash_at) {
+      cluster.crash_node(crash.node);
+      ++stats_.crashes;
+      ++fx.crashes;
+      for (auto* l : listeners_) l->on_crash(crash.node, t);
+    }
+    if (t == crash.restart_at) {
+      fx.restore_bytes += cluster.restart_node(crash.node);
+      ++stats_.restarts;
+      ++fx.restarts;
+      for (auto* l : listeners_) l->on_restart(crash.node, t);
+    }
+  }
+  // Shard rebuilds that found no live donor at restart time retry once per
+  // tick until a donor node is back (no-op when nothing is lost).
+  fx.restore_bytes += cluster.restore_lost_placements();
+  return fx;
 }
 
 bool FaultInjector::should_drop(NodeId from, NodeId to) {

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -31,12 +33,30 @@ struct NodeFlap {
   std::uint64_t up_at = 0;
 };
 
+/// A crash-restart: unlike a flap, the node comes back *empty* — its local
+/// shard copies and any model replicas it held are wiped at `crash_at` and
+/// must be rebuilt after `restart_at` (half-open window, like flaps).
+/// Cluster-side shard re-replication is modelled by Cluster::restart_node;
+/// model-state recovery is the business of src/recovery via CrashListener.
+struct NodeCrash {
+  NodeId node = 0;
+  std::uint64_t crash_at = 0;
+  std::uint64_t restart_at = 0;
+};
+
 /// A grey-failing node: still "up" (it is never marked down) but most
 /// messages *to* it are lost. This is the failure mode that turns retry
 /// policies into retry storms — and that circuit breakers exist to end.
 struct NodeDropRate {
   NodeId node = 0;
   double drop_probability = 0.0;  ///< replaces the plan-wide rate for this node
+};
+
+/// A FaultPlan failed validation (see FaultPlan::validate). Typed so tests
+/// and callers can distinguish a malformed plan from other argument errors.
+class FaultPlanError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
 };
 
 struct FaultPlan {
@@ -53,6 +73,16 @@ struct FaultPlan {
   /// Bernoulli draw is consumed per should_drop call either way, so adding
   /// an override never shifts the seeded drop/spike sequence structure.
   std::vector<NodeDropRate> node_drops;
+  /// Crash-restarts (state wiped), driven by the same logical clock.
+  std::vector<NodeCrash> node_crashes;
+
+  /// Rejects malformed plans with FaultPlanError instead of letting them
+  /// silently misbehave mid-run: probabilities outside [0, 1], inverted or
+  /// empty flap/crash windows, windows starting at tick 0 (the logical
+  /// clock starts at 1, so a tick-0 transition would never fire — the
+  /// unsigned stand-in for a "negative tick"), and overlapping flap/crash
+  /// windows on the same node. Called by the FaultInjector constructor.
+  void validate() const;
 };
 
 struct FaultStats {
@@ -61,6 +91,27 @@ struct FaultStats {
   std::uint64_t spikes = 0;      ///< latency spikes injected
   std::uint64_t flap_downs = 0;  ///< node-down transitions applied
   std::uint64_t flap_ups = 0;    ///< node-recovery transitions applied
+  std::uint64_t crashes = 0;     ///< crash transitions applied
+  std::uint64_t restarts = 0;    ///< restart transitions applied
+};
+
+/// Observer of crash/restart transitions (src/recovery model replicas):
+/// on_crash must wipe whatever the node held in memory; on_restart should
+/// begin checkpoint/WAL replay + anti-entropy. Called synchronously from
+/// FaultInjector::tick in registration order (deterministic).
+class CrashListener {
+ public:
+  virtual ~CrashListener() = default;
+  virtual void on_crash(NodeId node, std::uint64_t tick) = 0;
+  virtual void on_restart(NodeId node, std::uint64_t tick) = 0;
+};
+
+/// What a single injector tick did, so executors can fold recovery work
+/// into the ExecReport they are building (recoveries / restore bytes).
+struct TickEffects {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t restore_bytes = 0;  ///< shard bytes re-replicated this tick
 };
 
 /// Drives a FaultPlan against a Cluster and its Network. Attach wires the
@@ -74,9 +125,19 @@ class FaultInjector final : public LinkFaultModel {
   void attach(Cluster& cluster);
   void detach(Cluster& cluster);
 
-  /// Advances the logical clock one tick and applies any flap transitions
-  /// that fall due. Called by executors at task/RPC boundaries.
-  void tick(Cluster& cluster);
+  /// Advances the logical clock one tick and applies any flap and
+  /// crash/restart transitions that fall due (plus retries of shard
+  /// rebuilds that found no live donor earlier). Called by executors at
+  /// task/RPC boundaries; the returned effects let them account recovery
+  /// work to the ExecReport in flight.
+  TickEffects tick(Cluster& cluster);
+
+  /// Registers/removes an observer of crash/restart transitions (e.g. a
+  /// recovery::ModelReplicaSet). Listeners are notified synchronously, in
+  /// registration order; the caller owns the listener and must remove it
+  /// before destroying it.
+  void add_crash_listener(CrashListener* listener);
+  void remove_crash_listener(CrashListener* listener);
 
   // LinkFaultModel — consulted by Network on the fallible send path.
   bool should_drop(NodeId from, NodeId to) override;
@@ -98,6 +159,7 @@ class FaultInjector final : public LinkFaultModel {
   FaultPlan plan_;
   Rng rng_;
   FaultStats stats_;
+  std::vector<CrashListener*> listeners_;
 };
 
 }  // namespace sea

@@ -15,10 +15,10 @@ constexpr const char* kTable = "geo_data";
 constexpr std::size_t kAnswerWireBytes = 16;
 }  // namespace
 
-// Completeness guard: GeoStats is 12 uint64 counters; sync_metrics() below
+// Completeness guard: GeoStats is 14 uint64 counters; sync_metrics() below
 // must mirror every one. Adding a field changes the size and fails this
 // assert until sync_metrics() covers the new field.
-static_assert(sizeof(GeoStats) == 12 * 8,
+static_assert(sizeof(GeoStats) == 14 * 8,
               "GeoStats gained/lost a field: update sync_metrics() and "
               "this guard");
 
@@ -59,6 +59,7 @@ GeoSystem::GeoSystem(GeoConfig config, const Table& data)
   if (config_.mode == EdgeMode::kCoreTrainedSync)
     core_agent_.emplace(config_.agent, domain_provider);
   edge_seen_.assign(config_.num_edges, 0);
+  edge_model_version_.assign(config_.num_edges, 0);
   registry_.resize(config_.num_edges);
   wan_breakers_.configure(config_.num_edges, config_.wan_breaker);
 }
@@ -83,6 +84,8 @@ void GeoSystem::set_observability(obs::Tracer* tracer,
   m_.heal_resyncs = &metrics->counter("geo.heal_resyncs");
   m_.wan_breaker_fast_fails =
       &metrics->counter("geo.wan_breaker_fast_fails");
+  m_.stale_model_serves = &metrics->counter("geo.stale_model_serves");
+  m_.edge_crash_resyncs = &metrics->counter("geo.edge_crash_resyncs");
   m_.wan_ms = &metrics->histogram(
       "geo.wan_ms", {50.0, 100.0, 200.0, 400.0, 800.0, 1600.0});
   // Count from the moment of attachment (same contract as the serving
@@ -106,7 +109,18 @@ void GeoSystem::sync_metrics() {
   m_.heal_resyncs->inc(stats_.heal_resyncs - mirrored_.heal_resyncs);
   m_.wan_breaker_fast_fails->inc(stats_.wan_breaker_fast_fails -
                                  mirrored_.wan_breaker_fast_fails);
+  m_.stale_model_serves->inc(stats_.stale_model_serves -
+                             mirrored_.stale_model_serves);
+  m_.edge_crash_resyncs->inc(stats_.edge_crash_resyncs -
+                             mirrored_.edge_crash_resyncs);
   mirrored_ = stats_;
+}
+
+void GeoSystem::note_edge_model_answer(std::size_t edge, GeoAnswer& out) {
+  if (config_.mode != EdgeMode::kCoreTrainedSync) return;
+  if (edge_model_version_[edge] >= core_model_version_) return;
+  out.stale_model = true;
+  ++stats_.stale_model_serves;
 }
 
 void GeoSystem::maybe_refresh_registry() {
@@ -213,23 +227,64 @@ void GeoSystem::sync_now() {
   ++stats_.syncs;
   // Serialize once: the wire bytes are the real serialized size, and the
   // shipped snapshot is reconstructed at each edge from those bytes.
+  // Every ship — interval syncs and heal resyncs alike — bumps the edge's
+  // model version to the core's, so post-heal edge answers are no longer
+  // reported stale (they really do carry the current model).
   std::stringstream wire;
   core_agent_->serialize(wire);
   const std::string blob = wire.str();
+  for (std::size_t e = 0; e < config_.num_edges; ++e)
+    ship_model_to_edge(e, blob, "");
+}
+
+void GeoSystem::ship_model_to_edge(std::size_t edge, const std::string& blob,
+                                   const char* tag) {
+  // Model state crosses the WAN — this is the entire data movement of
+  // the sync, versus shipping base data in a traditional design.
+  const double ms =
+      cluster_->network().send(0, edge_node(edge), blob.size());
+  if (obs::Tracer* tr = tracer())
+    tr->span_event("model_sync", ms, tag, blob.size(),
+                   static_cast<std::int64_t>(edge_node(edge)));
+  stats_.sync_bytes += blob.size();
   const auto domain_provider = [this](const std::vector<std::size_t>& cols) {
     return exec_->domain(cols);
   };
-  for (std::size_t e = 0; e < config_.num_edges; ++e) {
-    // Model state crosses the WAN — this is the entire data movement of
-    // the sync, versus shipping base data in a traditional design.
-    const double ms = cluster_->network().send(0, edge_node(e), blob.size());
-    if (obs::Tracer* tr = tracer())
-      tr->span_event("model_sync", ms, "", blob.size(),
-                     static_cast<std::int64_t>(edge_node(e)));
-    stats_.sync_bytes += blob.size();
-    std::stringstream in(blob);
-    edge_agents_[e] = DatalessAgent::deserialize(in, domain_provider);
+  std::stringstream in(blob);
+  edge_agents_[edge] = DatalessAgent::deserialize(in, domain_provider);
+  edge_model_version_[edge] = core_model_version_;
+}
+
+void GeoSystem::crash_edge(std::size_t edge) {
+  if (edge >= config_.num_edges)
+    throw std::out_of_range("GeoSystem::crash_edge: bad edge");
+  // The edge's in-memory state is wiped (crash semantics match the fault
+  // layer's NodeCrash): model, learned quanta, and its version claim.
+  const auto domain_provider = [this](const std::vector<std::size_t>& cols) {
+    return exec_->domain(cols);
+  };
+  edge_agents_[edge] = DatalessAgent(config_.agent, domain_provider);
+  edge_model_version_[edge] = 0;
+  if (obs::Tracer* tr = tracer())
+    tr->event("edge_crash", "", static_cast<std::int64_t>(edge_node(edge)));
+}
+
+void GeoSystem::restart_edge(std::size_t edge) {
+  if (edge >= config_.num_edges)
+    throw std::out_of_range("GeoSystem::restart_edge: bad edge");
+  if (wan_partitioned_) return;  // the heal's full resync covers it
+  if (config_.mode == EdgeMode::kCoreTrainedSync) {
+    ++stats_.edge_crash_resyncs;
+    std::stringstream wire;
+    core_agent_->serialize(wire);
+    ship_model_to_edge(edge, wire.str(), "crash_resync");
+  } else if (config_.mode == EdgeMode::kEdgePeerRouting) {
+    // Nothing to ship (edges learn locally), but the restarted edge's
+    // empty registry entry must not keep attracting peer detours.
+    ++stats_.edge_crash_resyncs;
+    refresh_registry_now();
   }
+  sync_metrics();
 }
 
 GeoAnswer GeoSystem::submit(std::size_t edge, const AnalyticalQuery& query) {
@@ -266,6 +321,7 @@ GeoAnswer GeoSystem::submit_impl(std::size_t edge,
       out.value = pred->value;
       out.served_at_edge = true;
       out.expected_abs_error = pred->expected_abs_error;
+      note_edge_model_answer(edge, out);
       ++stats_.served_at_edge;
       return out;
     }
@@ -311,6 +367,7 @@ GeoAnswer GeoSystem::submit_impl(std::size_t edge,
       out.served_at_edge = true;
       out.degraded = true;
       out.expected_abs_error = pred->expected_abs_error;
+      note_edge_model_answer(edge, out);
       ++stats_.degraded_at_edge;
     } else {
       out.answered = false;
@@ -327,6 +384,7 @@ GeoAnswer GeoSystem::submit_impl(std::size_t edge,
       out.served_at_edge = true;
       out.degraded = true;
       out.expected_abs_error = pred->expected_abs_error;
+      note_edge_model_answer(edge, out);
       ++stats_.degraded_at_edge;
     } else {
       out.answered = false;
@@ -383,6 +441,9 @@ GeoAnswer GeoSystem::submit_impl(std::size_t edge,
       break;
     case EdgeMode::kCoreTrainedSync:
       core_agent_->observe(query, exact.answer);
+      // Every absorbed truth advances the core's model version; edges
+      // only catch up when a ship sets their version to the core's.
+      ++core_model_version_;
       maybe_sync();
       break;
   }

@@ -89,6 +89,10 @@ struct GeoAnswer {
   /// Served from the edge model during a WAN partition, bypassing the
   /// confidence gate (value is best-effort; no audit possible).
   bool degraded = false;
+  /// kCoreTrainedSync only: the answering edge's model version predates
+  /// the core's current version (the core learned updates this edge has
+  /// not yet been shipped — e.g. during a partition or after a crash).
+  bool stale_model = false;
   double expected_abs_error = 0.0;
   /// Modelled WAN time this query incurred (0 when served at the edge).
   double wan_ms = 0.0;
@@ -107,6 +111,8 @@ struct GeoStats {
   std::uint64_t unanswered = 0;        ///< partition + no local model
   std::uint64_t heal_resyncs = 0;      ///< syncs/refreshes forced by a heal
   std::uint64_t wan_breaker_fast_fails = 0;  ///< forwards skipped: breaker open
+  std::uint64_t stale_model_serves = 0;  ///< edge answers from an old version
+  std::uint64_t edge_crash_resyncs = 0;  ///< resyncs forced by an edge crash
 };
 
 class GeoSystem {
@@ -123,6 +129,27 @@ class GeoSystem {
   /// recover the state they missed.
   void set_wan_partitioned(bool partitioned);
   bool wan_partitioned() const noexcept { return wan_partitioned_; }
+
+  /// Crash of edge node `edge`: its in-memory model (and learned state)
+  /// is wiped. The edge keeps receiving queries — they forward, or go
+  /// unanswered during a partition — until restart_edge() resyncs it.
+  void crash_edge(std::size_t edge);
+  /// Restart after crash_edge: kCoreTrainedSync ships the current core
+  /// model to just this edge (kEdgePeerRouting refreshes the registry),
+  /// counted in stats().edge_crash_resyncs. During a WAN partition the
+  /// resync cannot run; the heal's full resync covers it instead.
+  void restart_edge(std::size_t edge);
+
+  /// Model-version bookkeeping (kCoreTrainedSync): the core version
+  /// increments per absorbed ground truth; an edge's version is set to
+  /// the core's at every model ship. An edge serving with an older
+  /// version is *stale* (GeoAnswer::stale_model).
+  std::uint64_t core_model_version() const noexcept {
+    return core_model_version_;
+  }
+  std::uint64_t edge_model_version(std::size_t edge) const {
+    return edge_model_version_.at(edge);
+  }
 
   /// Ground truth with NO cost accounting (for benchmark accuracy audits).
   double oracle(const AnalyticalQuery& query);
@@ -150,6 +177,14 @@ class GeoSystem {
   }
   void maybe_sync();
   void sync_now();
+  /// Ships `blob` (the serialized core agent) to one edge: WAN send +
+  /// span + sync_bytes accounting, reconstructs the edge agent, and bumps
+  /// its model version to the core's. `tag` must be a string literal.
+  void ship_model_to_edge(std::size_t edge, const std::string& blob,
+                          const char* tag);
+  /// Flags (and counts) a stale edge-model answer; no-op outside
+  /// kCoreTrainedSync, where versions are not tracked.
+  void note_edge_model_answer(std::size_t edge, GeoAnswer& out);
   void maybe_refresh_registry();
   void refresh_registry_now();
   /// Best peer (!= edge) for the query under the current registry;
@@ -170,6 +205,9 @@ class GeoSystem {
   /// kCoreTrainedSync: replaced wholesale by shipped core snapshots).
   std::vector<DatalessAgent> edge_agents_;
   std::optional<DatalessAgent> core_agent_;  ///< kCoreTrainedSync only
+  /// kCoreTrainedSync version clocks (see core_model_version()).
+  std::uint64_t core_model_version_ = 0;
+  std::vector<std::uint64_t> edge_model_version_;
   std::vector<std::size_t> edge_seen_;       ///< queries per edge
   std::size_t forwarded_since_sync_ = 0;
   /// kEdgePeerRouting: registry snapshot — per edge, per signature, the
@@ -198,6 +236,8 @@ class GeoSystem {
     obs::Counter* unanswered = nullptr;
     obs::Counter* heal_resyncs = nullptr;
     obs::Counter* wan_breaker_fast_fails = nullptr;
+    obs::Counter* stale_model_serves = nullptr;
+    obs::Counter* edge_crash_resyncs = nullptr;
     obs::Histogram* wan_ms = nullptr;
   };
   GeoMetrics m_;

@@ -1,0 +1,91 @@
+#include "recovery/chaos.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace sea::recovery {
+
+ChaosSchedule make_chaos_schedule(const ChaosConfig& config) {
+  const std::size_t needed =
+      config.crashes + config.flaps + config.grey_nodes;
+  std::vector<NodeId> eligible;
+  for (std::size_t n = 0; n < config.num_nodes; ++n) {
+    const NodeId id = static_cast<NodeId>(n);
+    bool prot = false;
+    for (const NodeId p : config.protected_nodes) prot = prot || (p == id);
+    if (!prot) eligible.push_back(id);
+  }
+  if (eligible.size() < needed)
+    throw std::invalid_argument(
+        "make_chaos_schedule: not enough non-protected nodes for the "
+        "requested crashes + flaps + grey nodes");
+  if (config.max_crash_down_ticks < config.min_crash_down_ticks ||
+      config.max_flap_down_ticks < config.min_flap_down_ticks)
+    throw std::invalid_argument(
+        "make_chaos_schedule: max window below min window");
+  if (config.horizon_ticks < config.max_crash_down_ticks + 2 ||
+      config.horizon_ticks < config.max_flap_down_ticks + 2)
+    throw std::invalid_argument(
+        "make_chaos_schedule: horizon too short for the fault windows");
+
+  Rng rng(config.seed);
+  rng.shuffle(eligible);
+
+  ChaosSchedule out;
+  out.load_multiplier = config.load_multiplier;
+  out.plan.seed = config.seed;
+  out.plan.drop_probability = config.drop_probability;
+  out.plan.spike_probability = config.spike_probability;
+  out.plan.spike_multiplier = config.spike_multiplier;
+
+  // Deal disjoint node sets off the shuffled deck, so per-node windows
+  // can never overlap by construction.
+  std::size_t next = 0;
+  const auto draw_window = [&](std::uint64_t min_down,
+                               std::uint64_t max_down) {
+    const std::uint64_t down =
+        min_down + static_cast<std::uint64_t>(rng.uniform_index(
+                       max_down - min_down + 1));
+    // Start in [1, horizon - down]: tick 0 never fires and the window
+    // must close inside the horizon.
+    const std::uint64_t start =
+        1 + static_cast<std::uint64_t>(
+                rng.uniform_index(config.horizon_ticks - down));
+    return std::pair<std::uint64_t, std::uint64_t>(start, start + down);
+  };
+  for (std::size_t c = 0; c < config.crashes; ++c) {
+    const NodeId node = eligible[next++];
+    const auto [crash_at, restart_at] = draw_window(
+        config.min_crash_down_ticks, config.max_crash_down_ticks);
+    out.plan.node_crashes.push_back(NodeCrash{node, crash_at, restart_at});
+    out.crash_nodes.push_back(node);
+  }
+  for (std::size_t f = 0; f < config.flaps; ++f) {
+    const NodeId node = eligible[next++];
+    const auto [down_at, up_at] = draw_window(config.min_flap_down_ticks,
+                                              config.max_flap_down_ticks);
+    out.plan.flaps.push_back(NodeFlap{node, down_at, up_at});
+    out.flap_nodes.push_back(node);
+  }
+  for (std::size_t g = 0; g < config.grey_nodes; ++g) {
+    const NodeId node = eligible[next++];
+    out.plan.node_drops.push_back(
+        NodeDropRate{node, config.grey_drop_probability});
+    out.grey_nodes.push_back(node);
+  }
+  out.plan.validate();
+  return out;
+}
+
+std::uint64_t chaos_seed_from_env(std::uint64_t fallback) {
+  const char* env = std::getenv("SEA_CHAOS_SEED");
+  if (!env || !*env) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || (end && *end != '\0')) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace sea::recovery

@@ -1,0 +1,68 @@
+// Seeded chaos-schedule generation: composes crash-restarts, flaps,
+// message drops, grey nodes, latency spikes, and a load multiplier into
+// one valid FaultPlan, from a single seed.
+//
+// Used by the acceptance scenario in tests/test_recovery.cpp and the E17
+// recovery bench: one seed fully determines which nodes crash, when, and
+// for how long, so every counter in a chaos run is exactly repeatable.
+// The seed can be swept from the environment (SEA_CHAOS_SEED) without
+// recompiling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "net/network.h"
+
+namespace sea::recovery {
+
+struct ChaosConfig {
+  std::uint64_t seed = 0xC4A05;
+  std::size_t num_nodes = 8;
+  /// Logical-tick horizon all windows must fit inside.
+  std::uint64_t horizon_ticks = 1200;
+  /// Crash-restarts (state wiped; distinct nodes).
+  std::size_t crashes = 2;
+  std::uint64_t min_crash_down_ticks = 60;
+  std::uint64_t max_crash_down_ticks = 160;
+  /// Transient flaps (state kept; distinct from crash nodes).
+  std::size_t flaps = 1;
+  std::uint64_t min_flap_down_ticks = 20;
+  std::uint64_t max_flap_down_ticks = 60;
+  /// Grey-failing nodes (up, but most inbound messages lost).
+  std::size_t grey_nodes = 1;
+  double grey_drop_probability = 0.85;
+  /// Plan-wide message chaos.
+  double drop_probability = 0.10;
+  double spike_probability = 0.02;
+  double spike_multiplier = 8.0;
+  /// Offered-load multiplier the harness applies on top of the faults
+  /// (passed through; the plan itself cannot express load).
+  double load_multiplier = 2.0;
+  /// Nodes exempt from every fault (node 0 hosts the coordinator: a
+  /// crashed coordinator is a different experiment).
+  std::vector<NodeId> protected_nodes = {0};
+};
+
+struct ChaosSchedule {
+  FaultPlan plan;
+  double load_multiplier = 1.0;
+  std::vector<NodeId> crash_nodes;
+  std::vector<NodeId> flap_nodes;
+  std::vector<NodeId> grey_nodes;
+};
+
+/// Builds a schedule from `config.seed`: shuffles the non-protected nodes
+/// and deals them out to crashes, flaps, and grey failures (all node sets
+/// disjoint, so windows can never overlap per node), then draws window
+/// positions inside the horizon. The result always passes
+/// FaultPlan::validate(). Throws std::invalid_argument when the cluster
+/// has too few eligible nodes or the horizon cannot fit the windows.
+ChaosSchedule make_chaos_schedule(const ChaosConfig& config);
+
+/// SEA_CHAOS_SEED from the environment, or `fallback` when unset or
+/// unparseable.
+std::uint64_t chaos_seed_from_env(std::uint64_t fallback);
+
+}  // namespace sea::recovery

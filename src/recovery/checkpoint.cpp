@@ -1,0 +1,45 @@
+#include "recovery/checkpoint.h"
+
+#include <algorithm>
+
+namespace sea::recovery {
+
+void CheckpointStore::put_checkpoint(NodeId node, CheckpointRecord record) {
+  NodeState& st = nodes_[node];
+  // Drop the WAL prefix the snapshot covers; the log keeps only deltas
+  // newer than the checkpoint.
+  const std::uint64_t covered = record.version;
+  const auto keep = std::find_if(
+      st.wal.begin(), st.wal.end(),
+      [covered](const WalRecord& w) { return w.version > covered; });
+  stats_.wal_truncated +=
+      static_cast<std::uint64_t>(keep - st.wal.begin());
+  st.wal.erase(st.wal.begin(), keep);
+  st.checkpoint = std::move(record);
+  ++stats_.checkpoints_taken;
+}
+
+const CheckpointRecord* CheckpointStore::checkpoint(NodeId node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || !it->second.checkpoint) return nullptr;
+  return &*it->second.checkpoint;
+}
+
+void CheckpointStore::append_wal(NodeId node, WalRecord record) {
+  nodes_[node].wal.push_back(std::move(record));
+  ++stats_.wal_appends;
+}
+
+const std::vector<WalRecord>& CheckpointStore::wal(NodeId node) const {
+  static const std::vector<WalRecord> kEmpty;
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? kEmpty : it->second.wal;
+}
+
+std::uint64_t CheckpointStore::wal_bytes(NodeId node) const {
+  std::uint64_t bytes = 0;
+  for (const WalRecord& w : wal(node)) bytes += wal_record_bytes(w.query);
+  return bytes;
+}
+
+}  // namespace sea::recovery

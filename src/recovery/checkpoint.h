@@ -1,0 +1,90 @@
+// Durable state for crash recovery (DESIGN.md "Crash recovery &
+// anti-entropy"): per-node model checkpoints plus a write-ahead delta log
+// of observe() updates since the last checkpoint.
+//
+// The store models a node's *durable* medium: a crash wipes the node's
+// in-memory model (src/fault node_crashes) but never the checkpoint or
+// WAL held here. On restart the node replays checkpoint + log locally,
+// then an anti-entropy pass (replica.h) fetches whatever was committed
+// while it was down.
+//
+// The WAL is append-only and always written; taking a checkpoint
+// truncates the prefix the snapshot already covers. With checkpointing
+// disabled the log is never truncated, so a restart replays the entire
+// observation history from genesis — correct, but slow, which is exactly
+// the trade-off experiment E17 measures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sea/query.h"
+
+namespace sea::recovery {
+
+/// One logged model update: the (query, truth) pair absorbed at `version`
+/// (versions are 1-based positions in the global committed history).
+struct WalRecord {
+  std::uint64_t version = 0;
+  AnalyticalQuery query;
+  double answer = 0.0;
+};
+
+/// A full serialized model snapshot covering history up to `version`.
+struct CheckpointRecord {
+  std::string blob;            ///< DatalessAgent::serialize bytes
+  std::uint64_t version = 0;   ///< last update included in the snapshot
+  double taken_at_ms = 0.0;    ///< modelled time the snapshot completed
+};
+
+struct CheckpointStoreStats {
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_truncated = 0;  ///< records dropped by checkpoints
+};
+
+/// Modelled wire/disk footprint of one WAL record (mirrors the geo
+/// layer's query_wire_bytes plus version + answer framing).
+inline std::size_t wal_record_bytes(const AnalyticalQuery& q) noexcept {
+  return (2 * q.subspace_cols.size() + 6) * sizeof(double) + 16;
+}
+
+/// Per-node durable storage: at most one checkpoint (newer replaces
+/// older) plus the ordered WAL suffix not yet covered by it. Keyed by a
+/// std::map so any iteration is deterministic.
+class CheckpointStore {
+ public:
+  /// Replaces the node's checkpoint and truncates every WAL record the
+  /// snapshot already covers (version <= record.version).
+  void put_checkpoint(NodeId node, CheckpointRecord record);
+
+  /// Latest checkpoint, or nullptr if the node never took one.
+  const CheckpointRecord* checkpoint(NodeId node) const;
+
+  /// Appends one update to the node's log (always durable, even if a
+  /// crash follows immediately).
+  void append_wal(NodeId node, WalRecord record);
+
+  /// The node's WAL suffix in append order (empty if none).
+  const std::vector<WalRecord>& wal(NodeId node) const;
+
+  /// Modelled byte footprint of the node's current WAL suffix.
+  std::uint64_t wal_bytes(NodeId node) const;
+
+  const CheckpointStoreStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct NodeState {
+    std::optional<CheckpointRecord> checkpoint;
+    std::vector<WalRecord> wal;
+  };
+  std::map<NodeId, NodeState> nodes_;
+  CheckpointStoreStats stats_;
+};
+
+}  // namespace sea::recovery

@@ -1,0 +1,366 @@
+#include "recovery/replica.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sea::recovery {
+
+// Completeness guard: RecoveryStats is 12 trivially-copyable 8-byte
+// fields; sync_metrics() below must mirror every one. Adding a field
+// changes the size and fails this assert until it is covered.
+static_assert(sizeof(RecoveryStats) == 12 * 8,
+              "RecoveryStats gained/lost a field: update sync_metrics() "
+              "and this guard");
+
+ModelReplicaSet::ModelReplicaSet(ReplicaSetConfig config,
+                                 DomainProvider domain_provider)
+    : config_(std::move(config)),
+      domain_provider_(std::move(domain_provider)) {
+  if (config_.nodes.empty())
+    throw std::invalid_argument("ModelReplicaSet: need at least one node");
+  replicas_.reserve(config_.nodes.size());
+  for (const NodeId node : config_.nodes) {
+    if (find(node))
+      throw std::invalid_argument(
+          "ModelReplicaSet: duplicate replica node");
+    replicas_.emplace_back(node,
+                           DatalessAgent(config_.agent, domain_provider_));
+    replicas_.back().next_checkpoint_ms = config_.checkpoint_interval_ms;
+  }
+}
+
+ModelReplicaSet::Replica* ModelReplicaSet::find(NodeId node) {
+  for (Replica& r : replicas_)
+    if (r.node == node) return &r;
+  return nullptr;
+}
+
+const ModelReplicaSet::Replica* ModelReplicaSet::find(NodeId node) const {
+  for (const Replica& r : replicas_)
+    if (r.node == node) return &r;
+  return nullptr;
+}
+
+const ModelReplicaSet::Replica* ModelReplicaSet::find_peer(
+    const Replica& r) const {
+  for (const Replica& p : replicas_) {
+    if (&p == &r) continue;
+    if (p.up && !p.recovering && p.version == committed_version_) return &p;
+  }
+  return nullptr;
+}
+
+DatalessAgent* ModelReplicaSet::primary() {
+  // Home affinity: replicas_[0] serves whenever it is up — including its
+  // catch-up window, when its replayed pre-crash state is *stale* (the
+  // window E17 measures). Failover to a live peer only while it is down.
+  for (Replica& r : replicas_)
+    if (r.up) return &r.agent;
+  return nullptr;
+}
+
+bool ModelReplicaSet::primary_stale() const {
+  for (const Replica& r : replicas_)
+    if (r.up) return r.version < committed_version_;
+  return false;
+}
+
+void ModelReplicaSet::observe(const AnalyticalQuery& query, double truth) {
+  ++committed_version_;
+  history_.emplace_back(query, truth);
+  for (Replica& r : replicas_) {
+    // A recovering replica skips the live stream; the gap is closed by
+    // its anti-entropy rounds (which also backfill its WAL).
+    if (!r.up || r.recovering) continue;
+    r.agent.observe(query, truth);
+    r.version = committed_version_;
+    store_.append_wal(r.node, WalRecord{committed_version_, query, truth});
+  }
+}
+
+void ModelReplicaSet::advance(double modelled_ms) {
+  now_ms_ += std::max(modelled_ms, config_.min_query_advance_ms);
+  for (Replica& r : replicas_) step_recovery(r);
+  if (config_.checkpoint_interval_ms > 0.0) {
+    for (Replica& r : replicas_)
+      if (r.up && !r.recovering && now_ms_ >= r.next_checkpoint_ms)
+        take_checkpoint(r);
+  }
+  sync_metrics();
+}
+
+ServingModelProvider::RecoveryDelta ModelReplicaSet::take_recovery_delta() {
+  const RecoveryDelta d = pending_delta_;
+  pending_delta_ = RecoveryDelta{};
+  return d;
+}
+
+void ModelReplicaSet::on_crash(NodeId node, std::uint64_t /*tick*/) {
+  Replica* r = find(node);
+  if (!r || !r->up) return;
+  r->up = false;
+  r->recovering = false;
+  r->catching_up = false;
+  // State wiped: only the durable checkpoint + WAL survive. Assigning a
+  // fresh agent into the same object keeps outstanding pointers valid.
+  r->agent = DatalessAgent(config_.agent, domain_provider_);
+  r->version = 0;
+  ++stats_.crashes;
+  if (tracer_)
+    tracer_->event("model_crash", "", static_cast<std::int64_t>(node));
+  sync_metrics();
+}
+
+void ModelReplicaSet::on_restart(NodeId node, std::uint64_t /*tick*/) {
+  Replica* r = find(node);
+  if (!r || r->up) return;
+  r->up = true;
+  begin_recovery(*r);
+  sync_metrics();
+}
+
+void ModelReplicaSet::begin_recovery(Replica& r) {
+  r.event = RecoveryEvent{};
+  r.event.node = r.node;
+  r.event.restart_at_ms = now_ms_;
+  double local_ms = 0.0;
+  if (const CheckpointRecord* cp = store_.checkpoint(r.node)) {
+    std::stringstream in(cp->blob);
+    r.agent = DatalessAgent::deserialize(in, domain_provider_);
+    r.version = cp->version;
+    r.event.checkpoint_version = cp->version;
+    r.event.checkpoint_bytes = cp->blob.size();
+    local_ms += config_.checkpoint_load_ms_per_kb *
+                static_cast<double>(cp->blob.size()) / 1024.0;
+  }
+  // WAL replay: every durably logged update past the checkpoint — the
+  // *entire* history when checkpointing is disabled.
+  std::uint64_t replayed = 0;
+  std::uint64_t replay_bytes = 0;
+  for (const WalRecord& w : store_.wal(r.node)) {
+    if (w.version <= r.version) continue;
+    r.agent.observe(w.query, w.answer);
+    r.version = w.version;
+    replay_bytes += wal_record_bytes(w.query);
+    ++replayed;
+  }
+  local_ms += config_.replay_ms_per_update * static_cast<double>(replayed);
+  r.event.replayed_updates = replayed;
+  stats_.replayed_updates += replayed;
+  pending_delta_.replayed_updates += replayed;
+  if (tracer_)
+    tracer_->span_event("wal_replay", local_ms,
+                        r.event.checkpoint_version ? "from_checkpoint"
+                                                   : "full_log",
+                        replay_bytes, static_cast<std::int64_t>(r.node));
+  // The local replay is a *timed* stage: until the modelled clock pays
+  // for it (and for any anti-entropy rounds after it), the node stays
+  // `recovering`, serving its replayed pre-crash state — the stale-serve
+  // window E17 measures. Recovery stages chain off catchup_ready_ms, so
+  // the recovery duration is exactly the sum of its modelled charges no
+  // matter how often the serving loop polls advance().
+  r.recovering = true;
+  r.catching_up = true;
+  r.catchup_target = r.version;  // replay stage applies nothing new
+  r.catchup_ready_ms = now_ms_ + local_ms;
+  step_recovery(r);  // zero-cost recoveries complete immediately
+}
+
+void ModelReplicaSet::start_catchup_round(Replica& r) {
+  // Source preference: a live caught-up peer; else the coordinator's own
+  // committed log. The fallback keeps recovery live for single-replica
+  // sets and when every peer is down or itself recovering.
+  const Replica* peer = find_peer(r);
+  const std::uint64_t gap = committed_version_ - r.version;
+  ++stats_.anti_entropy_rounds;
+  ++r.event.rounds;
+  std::uint64_t bytes = 0;
+  const char* tag = peer ? "delta" : "coordinator_log";
+  if (peer && r.version == 0) {
+    // Nothing local at all (no checkpoint, empty WAL): ship the peer's
+    // full serialized model state instead of every historic delta.
+    std::stringstream wire;
+    peer->agent.serialize(wire);
+    bytes = wire.str().size();
+    tag = "full_state";
+    r.event.full_state_transfer = true;
+    ++stats_.full_state_transfers;
+  } else {
+    for (std::uint64_t v = r.version + 1; v <= committed_version_; ++v)
+      bytes += wal_record_bytes(history_[v - 1].first);
+  }
+  const double ms =
+      config_.transfer_base_ms +
+      config_.transfer_ms_per_kb * static_cast<double>(bytes) / 1024.0 +
+      config_.replay_ms_per_update * static_cast<double>(gap);
+  r.catchup_target = committed_version_;
+  r.catchup_ready_ms += ms;  // chained off the previous stage, not now_ms_
+  r.catching_up = true;
+  stats_.anti_entropy_bytes += bytes;
+  r.event.transferred_bytes += bytes;
+  if (tracer_)
+    tracer_->span_event("anti_entropy", ms, tag, bytes,
+                        static_cast<std::int64_t>(r.node));
+}
+
+void ModelReplicaSet::apply_catchup(Replica& r) {
+  // Replay the fetched history slice and backfill the node's WAL with it,
+  // so the durable log stays a contiguous prefix of the history (a later
+  // crash replays a complete sequence, keeping recovered replicas
+  // bit-identical to never-crashed ones).
+  const std::uint64_t from = r.version;
+  for (std::uint64_t v = from + 1; v <= r.catchup_target; ++v) {
+    const auto& [query, truth] = history_[v - 1];
+    r.agent.observe(query, truth);
+    store_.append_wal(r.node, WalRecord{v, query, truth});
+  }
+  const std::uint64_t applied = r.catchup_target - from;
+  stats_.anti_entropy_updates += applied;
+  r.event.delta_updates += applied;
+  r.version = r.catchup_target;
+  r.catching_up = false;
+}
+
+void ModelReplicaSet::finish_recovery(Replica& r) {
+  r.recovering = false;
+  r.catching_up = false;
+  r.event.target_version = r.version;
+  ++stats_.recoveries;
+  ++pending_delta_.recoveries;
+  const double rec_ms = r.event.recovery_ms();
+  stats_.modelled_recovery_ms += rec_ms;
+  stats_.max_recovery_ms = std::max(stats_.max_recovery_ms, rec_ms);
+  events_.push_back(r.event);
+  if (tracer_)
+    tracer_->event("recovered", "", static_cast<std::int64_t>(r.node));
+  if (m_.recovery_ms) m_.recovery_ms->observe(rec_ms);
+  // Checkpoint cadence restarts relative to recovery completion.
+  r.next_checkpoint_ms = std::max(now_ms_, r.event.caught_up_at_ms) +
+                         config_.checkpoint_interval_ms;
+}
+
+void ModelReplicaSet::step_recovery(Replica& r) {
+  if (!r.up || !r.recovering) return;
+  while (r.recovering && r.catching_up && now_ms_ >= r.catchup_ready_ms) {
+    apply_catchup(r);
+    if (committed_version_ - r.version <= config_.cutover_updates) {
+      // Final cutover: once the remaining gap is small enough, the tail
+      // committed while the last stage was in flight is applied
+      // synchronously — recovery terminates even under a continuous
+      // observe stream.
+      if (r.version < committed_version_) {
+        r.catchup_target = committed_version_;
+        apply_catchup(r);
+      }
+      r.event.caught_up_at_ms = r.catchup_ready_ms;
+      finish_recovery(r);
+      return;
+    }
+    // More was committed while this stage was in flight: go again (the
+    // gap shrinks each round; the cutover bound ends the chase).
+    start_catchup_round(r);
+  }
+}
+
+void ModelReplicaSet::take_checkpoint(Replica& r) {
+  std::stringstream wire;
+  r.agent.serialize(wire);
+  std::string blob = wire.str();
+  const double cost =
+      config_.checkpoint_base_ms +
+      config_.checkpoint_ms_per_kb * static_cast<double>(blob.size()) /
+          1024.0;
+  // Snapshot work happens on the serving node's modelled clock.
+  now_ms_ += cost;
+  ++stats_.checkpoints;
+  stats_.checkpoint_bytes += blob.size();
+  stats_.modelled_checkpoint_ms += cost;
+  if (tracer_)
+    tracer_->span_event("checkpoint", cost, "", blob.size(),
+                        static_cast<std::int64_t>(r.node));
+  store_.put_checkpoint(
+      r.node, CheckpointRecord{std::move(blob), r.version, now_ms_});
+  r.next_checkpoint_ms = now_ms_ + config_.checkpoint_interval_ms;
+}
+
+void ModelReplicaSet::settle(double step_ms, std::size_t max_steps) {
+  for (std::size_t i = 0; i < max_steps && any_recovering(); ++i)
+    advance(step_ms);
+}
+
+bool ModelReplicaSet::replica_up(NodeId node) const {
+  const Replica* r = find(node);
+  return r && r->up;
+}
+
+bool ModelReplicaSet::replica_recovering(NodeId node) const {
+  const Replica* r = find(node);
+  return r && r->recovering;
+}
+
+bool ModelReplicaSet::any_recovering() const {
+  for (const Replica& r : replicas_)
+    if (r.recovering) return true;
+  return false;
+}
+
+std::uint64_t ModelReplicaSet::replica_version(NodeId node) const {
+  const Replica* r = find(node);
+  return r ? r->version : 0;
+}
+
+void ModelReplicaSet::bind_obs(obs::Tracer* tracer,
+                               obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (!metrics) {
+    m_ = RecoveryMetrics{};
+    return;
+  }
+  m_.crashes = &metrics->counter("recovery.crashes");
+  m_.recoveries = &metrics->counter("recovery.recoveries");
+  m_.replayed_updates = &metrics->counter("recovery.replayed_updates");
+  m_.anti_entropy_rounds =
+      &metrics->counter("recovery.anti_entropy_rounds");
+  m_.anti_entropy_updates =
+      &metrics->counter("recovery.anti_entropy_updates");
+  m_.anti_entropy_bytes = &metrics->counter("recovery.anti_entropy_bytes");
+  m_.full_state_transfers =
+      &metrics->counter("recovery.full_state_transfers");
+  m_.checkpoints = &metrics->counter("recovery.checkpoints");
+  m_.checkpoint_bytes = &metrics->counter("recovery.checkpoint_bytes");
+  m_.modelled_checkpoint_ms =
+      &metrics->gauge("recovery.modelled_checkpoint_ms");
+  m_.modelled_recovery_ms =
+      &metrics->gauge("recovery.modelled_recovery_ms");
+  m_.max_recovery_ms = &metrics->gauge("recovery.max_recovery_ms");
+  m_.recovery_ms = &metrics->histogram(
+      "recovery.recovery_ms", {5.0, 10.0, 25.0, 50.0, 100.0, 250.0});
+  // Count from the moment of attachment (serving-layer contract).
+  mirrored_ = stats_;
+}
+
+void ModelReplicaSet::sync_metrics() {
+  if (!m_.crashes) return;
+  m_.crashes->inc(stats_.crashes - mirrored_.crashes);
+  m_.recoveries->inc(stats_.recoveries - mirrored_.recoveries);
+  m_.replayed_updates->inc(stats_.replayed_updates -
+                           mirrored_.replayed_updates);
+  m_.anti_entropy_rounds->inc(stats_.anti_entropy_rounds -
+                              mirrored_.anti_entropy_rounds);
+  m_.anti_entropy_updates->inc(stats_.anti_entropy_updates -
+                               mirrored_.anti_entropy_updates);
+  m_.anti_entropy_bytes->inc(stats_.anti_entropy_bytes -
+                             mirrored_.anti_entropy_bytes);
+  m_.full_state_transfers->inc(stats_.full_state_transfers -
+                               mirrored_.full_state_transfers);
+  m_.checkpoints->inc(stats_.checkpoints - mirrored_.checkpoints);
+  m_.checkpoint_bytes->inc(stats_.checkpoint_bytes -
+                           mirrored_.checkpoint_bytes);
+  m_.modelled_checkpoint_ms->set(stats_.modelled_checkpoint_ms);
+  m_.modelled_recovery_ms->set(stats_.modelled_recovery_ms);
+  m_.max_recovery_ms->set(stats_.max_recovery_ms);
+  mirrored_ = stats_;
+}
+
+}  // namespace sea::recovery

@@ -1,0 +1,226 @@
+// Replicated serving models with durable checkpoints, WAL replay, and
+// anti-entropy catch-up (the tentpole of DESIGN.md "Crash recovery &
+// anti-entropy").
+//
+// A ModelReplicaSet keeps one DatalessAgent replica per configured node.
+// Ground truth flows through observe(): each update is committed to a
+// global history (monotonic version), appended to every live replica's
+// write-ahead log (checkpoint.h), and applied to every live replica.
+//
+// Crash model (wired to FaultInjector via CrashListener): on_crash wipes
+// the replica's in-memory model — the durable checkpoint + WAL survive.
+// on_restart replays checkpoint + WAL locally (modelled replay cost),
+// then runs anti-entropy rounds against a live caught-up peer to fetch
+// the updates committed while the node was down. Deterministic replay:
+// every replica is a pure function of the observation sequence (quantum
+// RNG streams are derived from the root seed), so a recovered replica is
+// bit-identical to one that never crashed.
+//
+// Serving affinity: the home replica (nodes[0]) owns serving whenever it
+// is up; serving fails over to a live peer only while the home is down
+// and returns to the home at restart. During the home's catch-up window
+// it serves its replayed (pre-crash) state — those answers are *stale*,
+// flagged through ServingModelProvider::primary_stale() and counted as
+// ServeStats::stale_model_serves. Shortening that window is what
+// checkpoints buy (experiment E17): with checkpointing disabled a restart
+// replays the entire history from genesis; with it, checkpoint + short
+// WAL suffix.
+//
+// Every method runs on the serial serving path; the modelled clock
+// (advance()) is what recovery and checkpoint deadlines are measured
+// against, so all counters, spans, and metrics are bit-identical at any
+// SEA_THREADS setting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "recovery/checkpoint.h"
+#include "sea/agent.h"
+#include "sea/served.h"
+
+namespace sea::recovery {
+
+struct ReplicaSetConfig {
+  /// Replica placement; nodes[0] is the *home* replica (serving affinity).
+  std::vector<NodeId> nodes;
+  /// Model configuration shared by every replica.
+  AgentConfig agent;
+  /// Snapshot cadence on the modelled clock; 0 disables checkpoints
+  /// entirely (restart = full-log replay from genesis).
+  double checkpoint_interval_ms = 400.0;
+  /// Modelled cost of taking a snapshot: base + per-KB of serialized
+  /// model state, charged to the modelled clock (the serving node is busy
+  /// snapshotting).
+  double checkpoint_base_ms = 2.0;
+  double checkpoint_ms_per_kb = 0.02;
+  /// Modelled cost of loading a snapshot at restart, per KB.
+  double checkpoint_load_ms_per_kb = 0.01;
+  /// Modelled cost of re-applying one logged update (WAL replay and
+  /// anti-entropy deltas alike).
+  double replay_ms_per_update = 0.05;
+  /// Modelled cost of one anti-entropy transfer round: base + per-KB of
+  /// shipped delta (or full model state when the restarted node has
+  /// nothing local).
+  double transfer_base_ms = 1.0;
+  double transfer_ms_per_kb = 0.08;
+  /// Final-round cutover: once the remaining gap is this small the tail
+  /// is applied synchronously, so recovery terminates even under a
+  /// continuous observe stream.
+  std::uint64_t cutover_updates = 32;
+  /// Minimum modelled-clock advance per advance() call — pure model
+  /// answers still move time forward.
+  double min_query_advance_ms = 0.05;
+};
+
+/// One completed recovery, from restart to fully caught up. The duration
+/// is exactly the sum of its modelled charges, so tests can bound it from
+/// the config knobs and these counters.
+struct RecoveryEvent {
+  NodeId node = 0;
+  double restart_at_ms = 0.0;
+  double caught_up_at_ms = 0.0;
+  std::uint64_t checkpoint_version = 0;  ///< 0 = no checkpoint (full-log)
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t replayed_updates = 0;    ///< local WAL replay
+  std::uint64_t delta_updates = 0;       ///< fetched via anti-entropy
+  std::uint64_t transferred_bytes = 0;
+  std::uint64_t rounds = 0;              ///< anti-entropy rounds
+  bool full_state_transfer = false;
+  std::uint64_t target_version = 0;      ///< version at completion
+
+  double recovery_ms() const noexcept {
+    return caught_up_at_ms - restart_at_ms;
+  }
+};
+
+/// Counters guarded by a sizeof static_assert in replica.cpp.
+struct RecoveryStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t replayed_updates = 0;
+  std::uint64_t anti_entropy_rounds = 0;
+  std::uint64_t anti_entropy_updates = 0;
+  std::uint64_t anti_entropy_bytes = 0;
+  std::uint64_t full_state_transfers = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  double modelled_checkpoint_ms = 0.0;
+  double modelled_recovery_ms = 0.0;  ///< sum over completed recoveries
+  double max_recovery_ms = 0.0;
+};
+
+class ModelReplicaSet final : public ServingModelProvider,
+                             public CrashListener {
+ public:
+  using DomainProvider =
+      std::function<Rect(const std::vector<std::size_t>&)>;
+
+  /// Throws std::invalid_argument when `config.nodes` is empty or lists a
+  /// node twice.
+  ModelReplicaSet(ReplicaSetConfig config, DomainProvider domain_provider);
+
+  // ServingModelProvider (the serial serving path).
+  DatalessAgent* primary() override;
+  bool primary_stale() const override;
+  void observe(const AnalyticalQuery& query, double truth) override;
+  void advance(double modelled_ms) override;
+  RecoveryDelta take_recovery_delta() override;
+
+  // CrashListener (notified by FaultInjector at crash/restart ticks).
+  void on_crash(NodeId node, std::uint64_t tick) override;
+  void on_restart(NodeId node, std::uint64_t tick) override;
+
+  /// Attaches a tracer / metrics registry (either may be null; caller
+  /// owns both). recovery.* counters track stats() from the moment of
+  /// attachment, mirroring the serving layer's contract.
+  void bind_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// Drives the modelled clock until no replica is mid-recovery (or the
+  /// step budget runs out) — lets tests and benches settle in-flight
+  /// catch-ups after the query stream ends.
+  void settle(double step_ms = 5.0, std::size_t max_steps = 10000);
+
+  std::uint64_t committed_version() const noexcept {
+    return committed_version_;
+  }
+  double now_ms() const noexcept { return now_ms_; }
+  bool replica_up(NodeId node) const;
+  bool replica_recovering(NodeId node) const;
+  bool any_recovering() const;
+  std::uint64_t replica_version(NodeId node) const;
+  const RecoveryStats& stats() const noexcept { return stats_; }
+  const std::vector<RecoveryEvent>& recovery_events() const noexcept {
+    return events_;
+  }
+  const CheckpointStore& store() const noexcept { return store_; }
+
+ private:
+  struct Replica {
+    NodeId node = 0;
+    DatalessAgent agent;  ///< by value: pointers survive a wipe-by-assign
+    std::uint64_t version = 0;
+    bool up = true;
+    bool recovering = false;   ///< restarted, not yet caught up
+    bool catching_up = false;  ///< a timed anti-entropy round in flight
+    double next_checkpoint_ms = 0.0;
+    double catchup_ready_ms = 0.0;  ///< modelled completion of work so far
+    std::uint64_t catchup_target = 0;
+    RecoveryEvent event;            ///< in-flight recovery accumulator
+
+    Replica(NodeId n, DatalessAgent a)
+        : node(n), agent(std::move(a)) {}
+  };
+
+  Replica* find(NodeId node);
+  const Replica* find(NodeId node) const;
+  /// First live, caught-up replica other than `r` — the preferred
+  /// anti-entropy source. nullptr means the round sources from the
+  /// coordinator's committed log instead (single-replica deployments, or
+  /// every peer down/recovering).
+  const Replica* find_peer(const Replica& r) const;
+  void begin_recovery(Replica& r);
+  void start_catchup_round(Replica& r);
+  void apply_catchup(Replica& r);
+  void finish_recovery(Replica& r);
+  void step_recovery(Replica& r);
+  void take_checkpoint(Replica& r);
+  void sync_metrics();
+
+  ReplicaSetConfig config_;
+  DomainProvider domain_provider_;
+  CheckpointStore store_;
+  std::vector<Replica> replicas_;
+  /// Global committed history; entry i is version i+1.
+  std::vector<std::pair<AnalyticalQuery, double>> history_;
+  std::uint64_t committed_version_ = 0;
+  double now_ms_ = 0.0;
+  RecoveryStats stats_;
+  RecoveryDelta pending_delta_;
+  std::vector<RecoveryEvent> events_;
+
+  obs::Tracer* tracer_ = nullptr;
+  struct RecoveryMetrics {
+    obs::Counter* crashes = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* replayed_updates = nullptr;
+    obs::Counter* anti_entropy_rounds = nullptr;
+    obs::Counter* anti_entropy_updates = nullptr;
+    obs::Counter* anti_entropy_bytes = nullptr;
+    obs::Counter* full_state_transfers = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* checkpoint_bytes = nullptr;
+    obs::Gauge* modelled_checkpoint_ms = nullptr;
+    obs::Gauge* modelled_recovery_ms = nullptr;
+    obs::Gauge* max_recovery_ms = nullptr;
+    obs::Histogram* recovery_ms = nullptr;
+  };
+  RecoveryMetrics m_;
+  RecoveryStats mirrored_;
+};
+
+}  // namespace sea::recovery

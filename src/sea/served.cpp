@@ -8,10 +8,11 @@
 
 namespace sea {
 
-// Completeness guard: ServeStats is 9 uint64 outcome/execution counters;
-// conserved() and sync_metrics() below must cover every one. Adding a
-// field changes the size and fails this assert until both are updated.
-static_assert(sizeof(ServeStats) == 9 * 8,
+// Completeness guard: ServeStats is 12 uint64 outcome/execution/recovery
+// counters; conserved() and sync_metrics() below must cover every one.
+// Adding a field changes the size and fails this assert until both are
+// updated.
+static_assert(sizeof(ServeStats) == 12 * 8,
               "ServeStats gained/lost a field: update conserved(), "
               "sync_metrics(), and this guard");
 
@@ -37,6 +38,9 @@ void ServedAnalytics::bind_obs() {
   m_.exact_failures = &reg->counter("serve.exact_failures");
   m_.degraded_served = &reg->counter("serve.degraded_served");
   m_.deadline_exceeded = &reg->counter("serve.deadline_exceeded");
+  m_.recoveries = &reg->counter("serve.recoveries");
+  m_.replayed_updates = &reg->counter("serve.replayed_updates");
+  m_.stale_model_serves = &reg->counter("serve.stale_model_serves");
   m_.queue_backlog = &reg->gauge("serve.queue_backlog_ms");
   m_.exact_modelled_ms = &reg->histogram(
       "serve.exact_modelled_ms", {25.0, 50.0, 100.0, 200.0, 400.0, 800.0});
@@ -58,8 +62,36 @@ void ServedAnalytics::sync_metrics() {
   m_.degraded_served->inc(stats_.degraded_served - mirrored_.degraded_served);
   m_.deadline_exceeded->inc(stats_.deadline_exceeded -
                             mirrored_.deadline_exceeded);
+  m_.recoveries->inc(stats_.recoveries - mirrored_.recoveries);
+  m_.replayed_updates->inc(stats_.replayed_updates -
+                           mirrored_.replayed_updates);
+  m_.stale_model_serves->inc(stats_.stale_model_serves -
+                             mirrored_.stale_model_serves);
   m_.queue_backlog->set(queue_backlog_ms_);
   mirrored_ = stats_;
+}
+
+void ServedAnalytics::note_model_answer(ServedAnswer& out) {
+  if (!provider_ || !provider_->primary_stale()) return;
+  out.stale_model = true;
+  ++stats_.stale_model_serves;
+}
+
+void ServedAnalytics::absorb_truth(const AnalyticalQuery& query,
+                                   double truth) {
+  if (provider_)
+    provider_->observe(query, truth);
+  else
+    agent_.observe(query, truth);
+}
+
+void ServedAnalytics::advance_provider(double modelled_ms) {
+  if (!provider_) return;
+  provider_->advance(modelled_ms);
+  const ServingModelProvider::RecoveryDelta d =
+      provider_->take_recovery_delta();
+  stats_.recoveries += d.recoveries;
+  stats_.replayed_updates += d.replayed_updates;
 }
 
 bool ServedAnalytics::overloaded() const noexcept {
@@ -114,18 +146,25 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
     queue_backlog_ms_ =
         std::max(0.0, queue_backlog_ms_ - config_.drain_ms_per_query);
 
+  // Modelled cost of this serve's successful exact work — the amount the
+  // attached model provider's clock advances (0 for pure model answers;
+  // the provider applies its own minimum per-query advance).
+  double modelled = 0.0;
   const bool bootstrapping = stats_.queries <= config_.bootstrap_queries;
-  if (!bootstrapping) {
-    if (auto pred = agent_.try_predict(query)) {
+  DatalessAgent* model = serving_model();
+  if (!bootstrapping && model) {
+    if (auto pred = model->try_predict(query)) {
       out.data_less = true;
       out.value = pred->value;
       out.prediction = *pred;
+      note_model_answer(out);
       if (config_.audit_fraction > 0.0 &&
           audit_rng_.bernoulli(config_.audit_fraction)) {
         try {
           out.exact = execute_exact(query);
           out.audited = true;
-          agent_.observe(query, out.exact.answer);
+          modelled += out.exact.report.modelled_ms();
+          absorb_truth(query, out.exact.answer);
         } catch (const OutageError&) {
           // Audit is best-effort: an outage (or blown deadline) skips the
           // audit but never fails the (already confident) data-less answer.
@@ -133,6 +172,7 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
       }
       ++stats_.data_less_served;
       root.set_tag(out.audited ? "audited" : "data_less");
+      advance_provider(modelled);
       sync_metrics();
       out.latency_ms = timer.elapsed_ms();
       return out;
@@ -140,14 +180,16 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
     // Load shedding: the query would hit the BDAS, the admission queue is
     // over its high-water mark, and the model can stand in — shed.
     if (overloaded()) {
-      if (auto pred = agent_.maybe_predict(query)) {
+      if (auto pred = model->maybe_predict(query)) {
         out.shed = true;
         out.data_less = true;
         out.value = pred->value;
         out.prediction = *pred;
+        note_model_answer(out);
         ++stats_.shed;
         if (tr) tr->event("shed", "overloaded");
         root.set_tag("shed");
+        advance_provider(0.0);
         sync_metrics();
         out.latency_ms = timer.elapsed_ms();
         return out;
@@ -162,26 +204,36 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
     // deadline blown): serve the model's best answer, explicitly flagged
     // degraded, instead of failing the query — the availability axis of
     // the paper's P4. execute_exact already classified the failure.
-    if (auto pred = agent_.maybe_predict(query)) {
+    // Re-resolve the model: the injector ticks inside the failed execution
+    // may have crashed the primary replica and failed serving over.
+    model = serving_model();
+    std::optional<Prediction> pred =
+        model ? model->maybe_predict(query) : std::nullopt;
+    if (pred) {
       out.degraded = true;
       out.data_less = true;
       out.value = pred->value;
       out.prediction = *pred;
+      note_model_answer(out);
       ++stats_.degraded_served;
       ++stats_.data_less_served;
       root.set_tag("degraded");
+      advance_provider(0.0);
       sync_metrics();
       out.latency_ms = timer.elapsed_ms();
       return out;
     }
     ++stats_.failed;
+    advance_provider(0.0);
     sync_metrics();
     throw;
   }
   out.value = out.exact.answer;
-  agent_.observe(query, out.exact.answer);
+  modelled += out.exact.report.modelled_ms();
+  absorb_truth(query, out.exact.answer);
   ++stats_.exact_answered;
   root.set_tag("exact");
+  advance_provider(modelled);
   sync_metrics();
   out.latency_ms = timer.elapsed_ms();
   return out;
@@ -199,13 +251,20 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
   // metric is recorded here — the model peek is traced serially in phase 2
   // (as a zero-duration marker: prediction compute is measured wall time,
   // which must never enter the modelled trace).
+  // The model is resolved once and frozen for the whole batch (the
+  // provider's primary replica, or the own agent). A crash mid-batch can
+  // wipe its *contents*, but replicas are stored by value so the pointer
+  // stays valid; the pre-computed peeks simply reflect pre-crash state.
+  DatalessAgent* model = serving_model();
   std::vector<DatalessAgent::PeekResult> peek(queries.size());
   std::vector<double> predict_ms(queries.size(), 0.0);
-  ParallelFor(queries.size(), [&](std::size_t i) {
-    Timer t;
-    peek[i] = agent_.peek_predict(queries[i]);
-    predict_ms[i] = t.elapsed_ms();
-  });
+  if (model) {
+    ParallelFor(queries.size(), [&](std::size_t i) {
+      Timer t;
+      peek[i] = model->peek_predict(queries[i]);
+      predict_ms[i] = t.elapsed_ms();
+    });
+  }
 
   // Phase 2 (serial, batch order): all shared-state work — confidence
   // gating, audit coin flips, admission/shedding decisions, exact
@@ -228,18 +287,21 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
       queue_backlog_ms_ =
           std::max(0.0, queue_backlog_ms_ - config_.drain_ms_per_query);
     const bool bootstrapping = stats_.queries <= config_.bootstrap_queries;
+    double modelled = 0.0;
     if (!bootstrapping) {
       const bool served = peek[i].usable && peek[i].confident;
-      agent_.record_serve_outcome(served);
+      if (model) model->record_serve_outcome(served);
       if (served) {
         ans.data_less = true;
         ans.value = peek[i].prediction.value;
         ans.prediction = peek[i].prediction;
+        note_model_answer(ans);
         if (config_.audit_fraction > 0.0 &&
             audit_rng_.bernoulli(config_.audit_fraction)) {
           try {
             ans.exact = execute_exact(query);
             ans.audited = true;
+            modelled += ans.exact.report.modelled_ms();
             train.emplace_back(query, ans.exact.answer);
           } catch (const OutageError&) {
             // Best-effort audit (classified inside execute_exact).
@@ -247,6 +309,7 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
         }
         ++stats_.data_less_served;
         root.set_tag(ans.audited ? "audited" : "data_less");
+        advance_provider(modelled);
         ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
         continue;
       }
@@ -255,9 +318,11 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
         ans.data_less = true;
         ans.value = peek[i].prediction.value;
         ans.prediction = peek[i].prediction;
+        note_model_answer(ans);
         ++stats_.shed;
         if (tr) tr->event("shed", "overloaded");
         root.set_tag("shed");
+        advance_provider(0.0);
         ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
         continue;
       }
@@ -270,6 +335,7 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
         ans.data_less = true;
         ans.value = peek[i].prediction.value;
         ans.prediction = peek[i].prediction;
+        note_model_answer(ans);
         ++stats_.degraded_served;
         ++stats_.data_less_served;
         root.set_tag("degraded");
@@ -277,19 +343,30 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
         ++stats_.failed;
         ans.failed = true;
       }
+      advance_provider(0.0);
       ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
       continue;
     }
     ans.value = ans.exact.answer;
+    modelled += ans.exact.report.modelled_ms();
     train.emplace_back(query, ans.exact.answer);
     ++stats_.exact_answered;
     root.set_tag("exact");
+    advance_provider(modelled);
     ans.latency_ms = predict_ms[i] + timer.elapsed_ms();
   }
   sync_metrics();
 
-  // Phase 3: absorb the batch's ground truth; refits fan out per quantum.
-  if (!train.empty()) agent_.observe_batch(train);
+  // Phase 3: absorb the batch's ground truth. Without a provider, refits
+  // fan out per quantum via observe_batch; with one, truth is committed
+  // through the replicated log (serially — the WAL order is the history).
+  if (!train.empty()) {
+    if (provider_) {
+      for (const auto& [q, truth] : train) provider_->observe(q, truth);
+    } else {
+      agent_.observe_batch(train);
+    }
+  }
   return out;
 }
 

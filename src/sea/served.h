@@ -63,10 +63,45 @@ struct ServeConfig {
   double drain_ms_per_query = 0.0;
 };
 
+/// Abstraction over where the serving model lives. By default the serve
+/// loop reads and trains its own in-process agent; a crash-recovery
+/// deployment plugs in src/recovery's ModelReplicaSet here so serving
+/// survives model-host crashes and stale answers are accounted. All calls
+/// happen on the serial serving path, so implementations need no locking.
+class ServingModelProvider {
+ public:
+  /// Recovery activity accumulated since the last drain (mirrored into
+  /// ServeStats so the serving layer's counters stay self-contained).
+  struct RecoveryDelta {
+    std::uint64_t recoveries = 0;
+    std::uint64_t replayed_updates = 0;
+  };
+
+  virtual ~ServingModelProvider() = default;
+  /// The replica currently serving predictions; nullptr while no replica
+  /// is up (the model path is unusable and every query goes exact).
+  virtual DatalessAgent* primary() = 0;
+  /// True when the primary's model version lags the latest committed
+  /// update — answers produced from it are *stale* (pre-crash state).
+  virtual bool primary_stale() const = 0;
+  /// Ground truth routed into the replicated model (replaces the direct
+  /// agent.observe call).
+  virtual void observe(const AnalyticalQuery& query, double truth) = 0;
+  /// Advances the provider's modelled clock by this serve's modelled
+  /// exact-execution cost (checkpoints fall due, catch-ups complete).
+  virtual void advance(double modelled_ms) = 0;
+  /// Drains recovery counters accumulated since the last call.
+  virtual RecoveryDelta take_recovery_delta() = 0;
+};
+
 struct ServedAnswer {
   double value = 0.0;
   bool data_less = false;
   bool audited = false;
+  /// The model answer came from a replica whose version predates the
+  /// latest committed update (it is mid crash-recovery catch-up). Only
+  /// ever set when a ServingModelProvider is attached.
+  bool stale_model = false;
   /// Exact execution failed (outage or blown deadline) and the value is
   /// the agent's model answer served without the usual confidence gate.
   bool degraded = false;
@@ -98,6 +133,12 @@ struct ServeStats {
   std::uint64_t degraded_served = 0; ///< model answers served during outages
   std::uint64_t deadline_exceeded = 0;  ///< executions aborted on the budget
 
+  // Crash-recovery accounting (populated only when a ServingModelProvider
+  // is attached; see src/recovery).
+  std::uint64_t recoveries = 0;         ///< model replicas fully recovered
+  std::uint64_t replayed_updates = 0;   ///< WAL updates replayed on restart
+  std::uint64_t stale_model_serves = 0; ///< model answers from a stale replica
+
   /// Query-conservation invariant: every query is counted in exactly one
   /// outcome class.
   bool conserved() const noexcept {
@@ -123,6 +164,14 @@ class ServedAnalytics {
   std::vector<ServedAnswer> serve_batch(
       std::span<const AnalyticalQuery> queries);
 
+  /// Attaches (or detaches, with nullptr) a replicated model provider.
+  /// While attached, predictions read provider->primary(), ground truth
+  /// flows through provider->observe(), and stale/recovery counters are
+  /// folded into stats(). Caller owns the provider; it must outlive use.
+  void set_model_provider(ServingModelProvider* provider) noexcept {
+    provider_ = provider;
+  }
+
   const ServeStats& stats() const noexcept { return stats_; }
   DatalessAgent& agent() noexcept { return agent_; }
   ExactExecutor& executor() noexcept { return exec_; }
@@ -135,6 +184,18 @@ class ServedAnalytics {
   ExactResult execute_exact(const AnalyticalQuery& query);
   /// True when the admission queue is over its high-water mark.
   bool overloaded() const noexcept;
+  /// The model answering this serve call: the provider's primary replica
+  /// when one is attached (may be null mid-outage), else the own agent.
+  DatalessAgent* serving_model() noexcept {
+    return provider_ ? provider_->primary() : &agent_;
+  }
+  /// Flags `out` (and counts) a stale model answer; no-op without provider.
+  void note_model_answer(ServedAnswer& out);
+  /// Ground truth: provider when attached, else the own agent.
+  void absorb_truth(const AnalyticalQuery& query, double truth);
+  /// Advances the attached provider's modelled clock and folds its
+  /// recovery counters into stats_. No-op without a provider.
+  void advance_provider(double modelled_ms);
 
   /// Observability plumbing: the tracer/registry live on the executor's
   /// cluster (Cluster::set_observability). bind_obs() re-resolves the
@@ -148,6 +209,7 @@ class ServedAnalytics {
 
   DatalessAgent& agent_;
   ExactExecutor& exec_;
+  ServingModelProvider* provider_ = nullptr;
   ServeConfig config_;
   ServeStats stats_;
   Rng audit_rng_;
@@ -164,6 +226,9 @@ class ServedAnalytics {
     obs::Counter* exact_failures = nullptr;
     obs::Counter* degraded_served = nullptr;
     obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* replayed_updates = nullptr;
+    obs::Counter* stale_model_serves = nullptr;
     obs::Gauge* queue_backlog = nullptr;
     obs::Histogram* exact_modelled_ms = nullptr;
   };

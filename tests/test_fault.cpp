@@ -89,6 +89,88 @@ TEST(FaultInjector, LoopbackIsNeverDroppedOrSpiked) {
   EXPECT_DOUBLE_EQ(inj.latency_multiplier(0, 1), plan.spike_multiplier);
 }
 
+// One test per FaultPlan::validate rejection class, so a regression in any
+// single check fails by name. Every rejection is the typed FaultPlanError
+// (callers distinguish malformed plans from other invalid_argument uses).
+
+TEST(FaultPlanValidation, RejectsOutOfRangeDropProbability) {
+  FaultPlan plan;
+  plan.drop_probability = 1.5;
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+  plan.drop_probability = -0.1;
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsOutOfRangeSpikeProbability) {
+  FaultPlan plan;
+  plan.spike_probability = 2.0;
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsOutOfRangeGreyNodeOverride) {
+  FaultPlan plan;
+  plan.node_drops = {{3, 1.01}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsFlapWindowStartingAtTickZero) {
+  // The logical clock starts at 1, so a tick-0 down transition would
+  // silently never fire.
+  FaultPlan plan;
+  plan.flaps = {{2, 0, 5}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsInvertedOrEmptyFlapWindow) {
+  FaultPlan plan;
+  plan.flaps = {{2, 5, 5}};  // empty half-open window
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+  plan.flaps = {{2, 7, 5}};  // inverted
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsCrashWindowStartingAtTickZero) {
+  FaultPlan plan;
+  plan.node_crashes = {{1, 0, 9}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsInvertedOrEmptyCrashWindow) {
+  FaultPlan plan;
+  plan.node_crashes = {{1, 9, 9}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+  plan.node_crashes = {{1, 9, 4}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsOverlappingWindowsOnTheSameNode) {
+  // A flap and a crash overlapping on one node would swallow the second
+  // down transition (or "heal" a window it never owned).
+  FaultPlan plan;
+  plan.flaps = {{2, 3, 8}};
+  plan.node_crashes = {{2, 6, 12}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+  // Two flaps overlapping on the same node are just as malformed.
+  plan.node_crashes.clear();
+  plan.flaps = {{2, 3, 8}, {2, 7, 10}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, AcceptsBackToBackWindowsAndDistinctNodes) {
+  FaultPlan plan;
+  plan.drop_probability = 0.1;
+  plan.node_drops = {{3, 0.85}};
+  plan.flaps = {{2, 3, 8}, {2, 8, 10}};  // prev.end == next.start: half-open
+  plan.node_crashes = {{1, 3, 8}};       // same window, different node
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlanValidation, InjectorConstructorValidates) {
+  FaultPlan plan;
+  plan.flaps = {{2, 5, 4}};
+  EXPECT_THROW(FaultInjector{plan}, FaultPlanError);
+}
+
 TEST(Network, TrySendDropsAndAccountsSeparately) {
   Network net = Network::single_zone(2);
   FaultPlan plan;

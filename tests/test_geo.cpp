@@ -129,6 +129,84 @@ TEST(Geo, CoreTrainedSyncSharesModelsAcrossEdges) {
   EXPECT_GT(edge3_served, 10u);
 }
 
+TEST(Geo, HealResyncBumpsEdgeModelVersionsToCore) {
+  // Regression: a WAN heal must ship the *current* core model and bump
+  // every edge's version claim to the core's. Before the fix the heal
+  // resync left edge_model_version behind, so every post-heal edge answer
+  // was flagged stale even though it carried the freshly shipped model.
+  const Table t = small_dataset(3000, 2, 146);
+  GeoConfig cfg = geo_config(EdgeMode::kCoreTrainedSync);
+  cfg.edge_bootstrap = 0;
+  GeoSystem geo(cfg, t);
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+  QueryWorkload wl(geo_workload_config(t), domain);
+  for (int i = 0; i < 500; ++i) geo.submit(i % 3, wl.next());
+  ASSERT_GT(geo.stats().syncs, 0u);
+  // Build version skew past the last interval sync (each forwarded truth
+  // bumps the core's version; syncs only run every sync_interval).
+  int guard = 0;
+  while (geo.edge_model_version(0) >= geo.core_model_version() &&
+         ++guard < 200)
+    geo.submit(0, wl.next());
+  ASSERT_LT(geo.edge_model_version(0), geo.core_model_version());
+
+  geo.set_wan_partitioned(true);
+  geo.set_wan_partitioned(false);  // heal
+  EXPECT_GE(geo.stats().heal_resyncs, 1u);
+  for (std::size_t e = 0; e < cfg.num_edges; ++e)
+    EXPECT_EQ(geo.edge_model_version(e), geo.core_model_version())
+        << "edge " << e << " left stale by the heal resync";
+  // The first post-heal answer (before any new truth is absorbed) cannot
+  // be stale — in particular an edge-served one.
+  const GeoAnswer a = geo.submit(0, wl.next());
+  EXPECT_FALSE(a.stale_model);
+}
+
+TEST(Geo, EdgeCrashRestartResyncShipsCurrentCoreModel) {
+  // An edge crash wipes the edge's model; the restart resync ships the
+  // live core model to just that edge and restores its version claim.
+  const Table t = small_dataset(3000, 2, 147);
+  GeoConfig cfg = geo_config(EdgeMode::kCoreTrainedSync);
+  cfg.edge_bootstrap = 0;
+  GeoSystem geo(cfg, t);
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+  QueryWorkload wl(geo_workload_config(t), domain);
+  for (int i = 0; i < 500; ++i) geo.submit(i % 3, wl.next());
+
+  geo.crash_edge(1);
+  EXPECT_EQ(geo.edge_model_version(1), 0u);
+  const auto bytes_before = geo.stats().sync_bytes;
+  geo.restart_edge(1);
+  EXPECT_EQ(geo.stats().edge_crash_resyncs, 1u);
+  EXPECT_EQ(geo.edge_model_version(1), geo.core_model_version());
+  EXPECT_GT(geo.stats().sync_bytes, bytes_before);  // the model crossed WAN
+  // The resynced edge serves locally again from the shipped model.
+  std::size_t edge1_served = 0;
+  for (int i = 0; i < 60; ++i)
+    if (geo.submit(1, wl.next()).served_at_edge) ++edge1_served;
+  EXPECT_GT(edge1_served, 0u);
+}
+
+TEST(Geo, CrashDuringPartitionIsCoveredByHealResync) {
+  // A restart during a WAN partition cannot resync (no core reachability);
+  // the heal's full resync covers the crashed edge instead.
+  const Table t = small_dataset(3000, 2, 148);
+  GeoConfig cfg = geo_config(EdgeMode::kCoreTrainedSync);
+  cfg.edge_bootstrap = 0;
+  GeoSystem geo(cfg, t);
+  const Rect domain = table_bounds(t, std::vector<std::size_t>{0, 1});
+  QueryWorkload wl(geo_workload_config(t), domain);
+  for (int i = 0; i < 300; ++i) geo.submit(i % 3, wl.next());
+
+  geo.set_wan_partitioned(true);
+  geo.crash_edge(2);
+  geo.restart_edge(2);  // no-op while partitioned
+  EXPECT_EQ(geo.stats().edge_crash_resyncs, 0u);
+  EXPECT_EQ(geo.edge_model_version(2), 0u);
+  geo.set_wan_partitioned(false);  // heal resyncs every edge, including 2
+  EXPECT_EQ(geo.edge_model_version(2), geo.core_model_version());
+}
+
 TEST(Geo, PeerRoutingServesLocalMissesFromPeers) {
   // Edge 0 trains on hotspot region A; edges 1..3 train on region B. A
   // region-A query arriving at edge 1 should be served by peer edge 0

@@ -98,6 +98,55 @@ TEST(CircuitBreaker, StateMachineOpensCoolsProbesAndRecovers) {
   EXPECT_FALSE(off.open_now(0));
 }
 
+TEST(CircuitBreaker, ProbeFailureReopensWithFreshCooldown) {
+  // A failed half-open probe must restart the cooldown from the probe's
+  // clock, not resume the original window — otherwise a grey node gets
+  // probed (and hammered) on every call once the first cooldown elapses.
+  BreakerConfig cfg;
+  cfg.enabled = true;
+  cfg.failure_threshold = 2;
+  cfg.cooldown_ms = 10.0;
+  CircuitBreakerSet b(2, cfg);
+  b.record_failure(0);
+  b.record_failure(0);  // trips at t=0; cooling until t=10
+  b.advance(10.0);
+  ASSERT_TRUE(b.allow(0));  // half-open probe at t=10
+  b.record_failure(0);      // probe fails: re-open, cooling until t=20
+  EXPECT_EQ(b.state(0), BreakerState::kOpen);
+  b.advance(5.0);  // t=15: inside the *fresh* cooldown
+  EXPECT_TRUE(b.open_now(0));
+  EXPECT_FALSE(b.allow(0));
+  EXPECT_EQ(b.stats().short_circuits, 1u);
+  b.advance(5.0);  // t=20: fresh cooldown elapsed
+  EXPECT_TRUE(b.allow(0));
+  b.record_success(0);
+  EXPECT_EQ(b.state(0), BreakerState::kClosed);
+  EXPECT_EQ(b.stats().opens, 2u);
+  EXPECT_EQ(b.stats().half_open_probes, 2u);
+}
+
+TEST(CircuitBreaker, CooldownExpiringExactlyOnTheBoundaryAdmitsProbe) {
+  // The cooldown window is half-open: at now == open_until the breaker is
+  // done cooling — placement sees the node and the next call is the probe.
+  // One modelled-ms earlier it still denies.
+  BreakerConfig cfg;
+  cfg.enabled = true;
+  cfg.failure_threshold = 1;
+  cfg.cooldown_ms = 8.0;
+  CircuitBreakerSet b(2, cfg);
+  b.advance(3.0);
+  b.record_failure(1);  // opens at t=3; open_until = 11
+  b.advance(7.0);       // t=10: one short of the boundary
+  EXPECT_TRUE(b.open_now(1));
+  EXPECT_FALSE(b.allow(1));
+  b.advance(1.0);  // t=11: exactly the deadline boundary
+  EXPECT_FALSE(b.open_now(1));
+  EXPECT_TRUE(b.allow(1));
+  EXPECT_EQ(b.state(1), BreakerState::kHalfOpen);
+  EXPECT_EQ(b.stats().half_open_probes, 1u);
+  EXPECT_EQ(b.stats().short_circuits, 1u);
+}
+
 // --- Deadlines through the execution paradigms ---
 
 struct OverloadClusterFixture : public ::testing::Test {
