@@ -1,0 +1,199 @@
+// E18: partition tolerance — gossip detection, epoch-fenced leases, and
+// split-brain-safe serving (ISSUE PR6 tentpole; paper P4 availability
+// under network partitions).
+//
+// A multi-entry serving simulation (every node serves, knowledge travels
+// only in droppable messages) rides out seeded chaos schedules whose
+// partition windows sweep one knob: the cut duration. Each duration runs
+// twice on the *same* schedule — lease-less (routing by SWIM membership
+// views + static failover: the seed's implicit behavior) and epoch-fenced
+// leases (quorum grants, TTL self-fencing on the shared clock). The sweep
+// reports the trade the leases buy: split-brain serves (dual authority,
+// the correctness hole) drop to zero by construction, while availability
+// degrades gracefully — fenced minority holders answer model-backed
+// instead of authoritatively. Every query is answered-or-accounted in
+// both modes. A same-seed double run checks the determinism contract, and
+// the sweep lands in BENCH_e18.json. The chaos seed honors SEA_CHAOS_SEED
+// (chaos_seed_from_env) for seed sweeps.
+#include <cstdint>
+#include <string>
+
+#include "bench_util.h"
+#include "fault/fault.h"
+#include "membership/lease.h"
+#include "membership/sim.h"
+#include "membership/swim.h"
+#include "recovery/chaos.h"
+
+namespace sea::bench {
+namespace {
+
+constexpr std::size_t kNodes = 8;
+constexpr std::uint64_t kHorizon = 600;
+
+struct PointResult {
+  PartitionSimStats stats;
+  std::uint64_t split_brain = 0;
+  LeaseStats lease;
+  GossipStats gossip;
+};
+
+/// One (duration, mode) point: the chaos storm with two partition windows
+/// of exactly `cut_ticks` each (0 = no partitions at all). When a
+/// tracer/registry is passed, membership + lease events record into them
+/// (--trace-out hook).
+PointResult run_point(std::uint64_t cut_ticks, bool leases_on,
+                      std::uint64_t seed, obs::Tracer* tracer = nullptr,
+                      obs::MetricsRegistry* metrics = nullptr) {
+  recovery::ChaosConfig cc;
+  cc.seed = seed;
+  cc.num_nodes = kNodes;
+  cc.horizon_ticks = kHorizon;
+  cc.crashes = 1;
+  cc.flaps = 1;
+  cc.grey_nodes = 1;
+  cc.drop_probability = 0.05;
+  if (cut_ticks > 0) {
+    cc.partitions = 2;
+    cc.min_partition_ticks = cut_ticks;
+    cc.max_partition_ticks = cut_ticks;
+  }
+  const recovery::ChaosSchedule sched = recovery::make_chaos_schedule(cc);
+
+  Cluster cluster(kNodes, Network::single_zone(kNodes));
+  FaultInjector inj(sched.plan);
+  inj.attach(cluster);
+  GossipMembership gm(cluster);
+  if (tracer || metrics) gm.bind_obs(tracer, metrics);
+
+  PointResult r;
+  if (leases_on) {
+    LeaseDirectory dir(cluster, gm, "sim", kNodes);
+    if (tracer || metrics) dir.bind_obs(tracer, metrics);
+    PartitionServingSim sim(cluster, inj, gm, &dir);
+    sim.run(kHorizon);
+    r.stats = sim.stats();
+    r.split_brain = sim.split_brain_serves();
+    r.lease = dir.stats();
+  } else {
+    PartitionServingSim sim(cluster, inj, gm, nullptr);
+    sim.run(kHorizon);
+    r.stats = sim.stats();
+    r.split_brain = sim.split_brain_serves();
+  }
+  r.gossip = gm.stats();
+  inj.detach(cluster);
+  return r;
+}
+
+/// Answered at all (authoritatively or model-backed) per query arriving at
+/// a live entry node.
+double availability_pct(const PartitionSimStats& s) {
+  const std::uint64_t arrived = s.queries - s.entry_down;
+  if (arrived == 0) return 100.0;
+  const std::uint64_t answered =
+      s.owner_serves + s.fenced_serves + s.degraded_serves;
+  return 100.0 * static_cast<double>(answered) /
+         static_cast<double>(arrived);
+}
+
+void emit(BenchJsonWriter& json, std::uint64_t cut_ticks, bool leases_on,
+          const PointResult& r) {
+  json.begin("e18_partition");
+  json.str("mode", leases_on ? "leases" : "baseline");
+  json.num("partition_ticks", cut_ticks);
+  json.num("queries", r.stats.queries);
+  json.num("owner_serves", r.stats.owner_serves);
+  json.num("fenced_serves", r.stats.fenced_serves);
+  json.num("degraded_serves", r.stats.degraded_serves);
+  json.num("entry_down", r.stats.entry_down);
+  json.num("split_brain_serves", r.split_brain);
+  json.num("availability_pct", availability_pct(r.stats));
+  json.num("suspicions", r.gossip.suspicions);
+  json.num("confirms", r.gossip.confirms);
+  json.num("refutations", r.gossip.refutations);
+  if (leases_on) {
+    json.num("lease_grants", r.lease.grants);
+    json.num("lease_transfers", r.lease.transfers);
+    json.num("lease_expiries", r.lease.expiries);
+    json.num("lease_deferrals", r.lease.deferrals);
+    json.num("fenced_checks", r.lease.fenced_checks);
+  }
+  json.str("conserved", r.stats.conserved() ? "ok" : "VIOLATED");
+}
+
+void run(const std::string& trace_path) {
+  const std::uint64_t seed = recovery::chaos_seed_from_env(0xE18);
+  banner("E18: partition tolerance — leases vs split-brain",
+         "under seeded chaos schedules with network partitions, membership"
+         "-view routing dual-serves (split-brain grows with the cut "
+         "duration) while epoch-fenced quorum leases hold split-brain at "
+         "exactly zero on the same schedules, trading a bounded slice of "
+         "authoritative serves for fenced model-backed answers; every "
+         "query is answered-or-accounted in both modes");
+  row("%-10s %-9s %-7s %-7s %-7s %-9s %-10s %-11s %-9s %-9s",
+      "cut(ticks)", "mode", "queries", "owner", "fenced", "degraded",
+      "splitbrain", "avail(%)", "transfers", "conserved");
+  BenchJsonWriter json;
+  for (const std::uint64_t cut : {std::uint64_t{0}, std::uint64_t{40},
+                                  std::uint64_t{80}, std::uint64_t{120},
+                                  std::uint64_t{160}}) {
+    for (const bool leases_on : {false, true}) {
+      const PointResult r = run_point(cut, leases_on, seed);
+      row("%-10llu %-9s %-7llu %-7llu %-7llu %-9llu %-10llu %-11.2f "
+          "%-9llu %-9s",
+          static_cast<unsigned long long>(cut),
+          leases_on ? "leases" : "baseline",
+          static_cast<unsigned long long>(r.stats.queries),
+          static_cast<unsigned long long>(r.stats.owner_serves),
+          static_cast<unsigned long long>(r.stats.fenced_serves),
+          static_cast<unsigned long long>(r.stats.degraded_serves),
+          static_cast<unsigned long long>(r.split_brain),
+          availability_pct(r.stats),
+          static_cast<unsigned long long>(r.lease.transfers),
+          r.stats.conserved() ? "ok" : "VIOLATED");
+      if (leases_on && r.split_brain != 0)
+        row("  ^^ INVARIANT VIOLATED: split-brain under leases");
+      emit(json, cut, leases_on, r);
+    }
+  }
+
+  // Determinism contract: identical seed => identical counters.
+  const PointResult a = run_point(120, true, seed);
+  const PointResult b = run_point(120, true, seed);
+  const bool deterministic =
+      a.stats.queries == b.stats.queries &&
+      a.stats.owner_serves == b.stats.owner_serves &&
+      a.stats.fenced_serves == b.stats.fenced_serves &&
+      a.stats.degraded_serves == b.stats.degraded_serves &&
+      a.split_brain == b.split_brain &&
+      a.lease.grants == b.lease.grants &&
+      a.lease.transfers == b.lease.transfers &&
+      a.gossip.confirms == b.gossip.confirms;
+  row("same-seed double run at cut=120: %s (owner=%llu fenced=%llu "
+      "transfers=%llu)",
+      deterministic ? "identical counters" : "MISMATCH",
+      static_cast<unsigned long long>(a.stats.owner_serves),
+      static_cast<unsigned long long>(a.stats.fenced_serves),
+      static_cast<unsigned long long>(a.lease.transfers));
+
+  json.write_file("BENCH_e18.json");
+
+  // --trace-out / SEA_TRACE: re-run the cut=120 leased point with
+  // observability attached and dump the deterministic trace+metrics JSON
+  // (bit-identical across runs and SEA_THREADS settings).
+  if (!trace_path.empty()) {
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    run_point(120, true, seed, &tracer, &metrics);
+    write_trace_file(trace_path, tracer, metrics);
+  }
+}
+
+}  // namespace
+}  // namespace sea::bench
+
+int main(int argc, char** argv) {
+  sea::bench::run(sea::bench::trace_out_path(argc, argv));
+  return 0;
+}

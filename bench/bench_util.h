@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sea/agent.h"
@@ -118,11 +119,19 @@ class BenchJsonWriter {
   /// v2: schema_version field added; string values JSON-escaped.
   static constexpr std::uint64_t kSchemaVersion = 2;
 
-  /// Starts a new record; subsequent field calls attach to it.
+  /// Starts a new record; subsequent field calls attach to it. Every
+  /// record carries the run environment that can change the numbers:
+  /// the SEA_THREADS worker count (0 = serial) and the SEA_CHAOS_SEED
+  /// override ("default" when unset) — so cross-PR diffs of BENCH_*.json
+  /// never compare records produced under different settings unnoticed.
   void begin(const std::string& name) {
     records_.emplace_back();
     str("name", name);
     num("schema_version", kSchemaVersion);
+    num("sea_threads",
+        static_cast<std::uint64_t>(sea::configured_threads()));
+    const char* chaos_seed = std::getenv("SEA_CHAOS_SEED");
+    str("chaos_seed", chaos_seed ? chaos_seed : "default");
   }
 
   /// Escapes a string for embedding in a JSON document: quote, backslash,

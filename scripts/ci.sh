@@ -6,8 +6,8 @@
 #             runs (incl. the chaos soak) that ASan's overhead prices out
 #   tsan      tier1 + tier2 (saturated-pool stress) under TSan
 #   coverage  tier1 suite instrumented with gcov; prints per-directory
-#             line coverage for src/ and fails if src/obs or src/recovery
-#             drops below 90%
+#             line coverage for src/ and fails if src/obs, src/recovery,
+#             or src/membership drops below 90%
 # Usage: scripts/ci.sh  (from anywhere; no arguments)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -87,7 +87,7 @@ if [ -z "${cov_rows}" ]; then
 fi
 echo "${cov_rows}" | sort | awk '{printf "  %-16s %6d lines  %5.1f%%\n", $1, $2, $3}'
 # Gated directories: each must hold the 90% line-coverage floor.
-for gated in src/obs src/recovery; do
+for gated in src/obs src/recovery src/membership; do
   pct="$(echo "${cov_rows}" | awk -v d="${gated}" '$1 == d {print $3}')"
   if [ -z "${pct}" ]; then
     echo "FAIL: no coverage data for ${gated}"

@@ -47,6 +47,17 @@ NodeId Cluster::serving_node(const std::string& name,
                             name + " (" +
                             std::to_string(st.partitions.size()) + " shards)");
   const std::size_t replicas = std::max<std::size_t>(1, st.spec.replicas);
+  // Lease-first routing: a valid lease names the one node allowed to serve
+  // this shard (epoch fencing, src/membership). The holder must still be
+  // usable — a leased-but-down node falls through to static placement
+  // rather than serving nothing (the lease will expire and move).
+  if (lease_router_ != nullptr) {
+    const NodeId holder = lease_router_->lease_holder(name, shard);
+    if (holder != ShardLeaseRouter::kNoLeaseHolder && holder < num_nodes_ &&
+        !node_down_[holder] && !placement_lost_[holder] &&
+        !breakers_.open_now(holder))
+      return holder;
+  }
   for (std::size_t r = 0; r < replicas; ++r) {
     const auto node = static_cast<NodeId>((shard + r) % num_nodes_);
     if (!node_down_[node] && !placement_lost_[node] &&

@@ -45,6 +45,26 @@ class NodeDownError : public std::runtime_error {
 /// reachable (see fault/outage.h).
 using NoLiveReplicaError = ShardUnavailable;
 
+/// Routing authority for epoch-fenced shard leases. Implemented by the
+/// membership layer's LeaseDirectory (src/membership); the interface lives
+/// here — dependency inversion, like Network's LinkFaultModel — so the
+/// cluster can route reads to the current lease holder without linking the
+/// membership library. When a router is attached, serving_node() consults
+/// it first and falls back to static placement only when no valid lease
+/// exists for the shard.
+class ShardLeaseRouter {
+ public:
+  /// Sentinel: no valid lease for this shard right now.
+  static constexpr NodeId kNoLeaseHolder = 0xffffffffu;
+
+  virtual ~ShardLeaseRouter() = default;
+  /// The node currently holding an unexpired lease on `shard` of `table`,
+  /// or kNoLeaseHolder. Must be cheap and side-effect free: the cluster
+  /// calls it on every placement decision.
+  virtual NodeId lease_holder(const std::string& table,
+                              std::size_t shard) const = 0;
+};
+
 /// How a logical table is split across storage nodes.
 enum class Partitioning {
   kRoundRobin,  ///< row i -> node i % N
@@ -223,6 +243,14 @@ class Cluster {
   }
   const HedgeConfig& hedge_config() const noexcept { return hedge_; }
 
+  /// Attaches (or detaches, with nullptr) a shard-lease routing authority;
+  /// serving_node() then prefers the lease holder over static placement.
+  /// The caller owns the router and must detach before destroying it.
+  void set_lease_router(ShardLeaseRouter* router) noexcept {
+    lease_router_ = router;
+  }
+  ShardLeaseRouter* lease_router() const noexcept { return lease_router_; }
+
   // --- observability (src/obs) ---
 
   /// Attaches a span tracer and/or metrics registry (either may be null).
@@ -297,6 +325,7 @@ class Cluster {
   NodeRecoveryStats recovery_stats_;
   AccessStats stats_;
   FaultInjector* fault_injector_ = nullptr;
+  ShardLeaseRouter* lease_router_ = nullptr;
   RetryPolicy retry_;
   CircuitBreakerSet breakers_;
   HedgeConfig hedge_;

@@ -86,6 +86,9 @@ class CohortSession {
   void set_deadline(QueryDeadline* deadline) noexcept { deadline_ = deadline; }
   QueryDeadline* deadline() const noexcept { return deadline_; }
 
+  /// Retry tokens consumed so far (against RetryPolicy::retry_budget).
+  std::size_t retry_tokens_used() const noexcept { return retry_tokens_used_; }
+
   /// One round trip: request of `request_bytes` to `node`, server-side work
   /// `fn()` (measured; fn must do its own account_probe/account_scan), and
   /// a `response_bytes` reply. Returns fn's value. Retries dropped/timed-out
@@ -331,6 +334,9 @@ class CohortSession {
 
   /// Bookkeeping between attempts; throws RpcRetriesExhausted at the cap
   /// (before any backoff draw, so max_attempts=1 consumes no jitter RNG).
+  /// The session-wide retry token budget (RetryPolicy::retry_budget) is
+  /// checked here too: once spent, every further failure fails fast —
+  /// the retry-storm guard for correlated outages (partitions).
   void note_retry(std::size_t attempt, const RetryPolicy& policy,
                   FaultInjector* injector, NodeId node, obs::SpanScope& span) {
     if (attempt + 1 >= policy.max_attempts) {
@@ -339,6 +345,17 @@ class CohortSession {
           "CohortSession::rpc: " + std::to_string(policy.max_attempts) +
           " attempts to node " + std::to_string(node) + " all failed");
     }
+    if (policy.retry_budget > 0 && retry_tokens_used_ >= policy.retry_budget) {
+      ++report_.retry_budget_exhausted;
+      retry_obs_.on_budget_exhausted();
+      span.set_tag("retry_budget_exhausted");
+      throw RpcRetriesExhausted(
+          "CohortSession::rpc: session retry budget of " +
+          std::to_string(policy.retry_budget) +
+          " tokens exhausted (failing call to node " + std::to_string(node) +
+          ")");
+    }
+    ++retry_tokens_used_;
     ++report_.retries;
     const double wait =
         policy.backoff_ms(attempt, injector ? injector->rng() : backoff_rng_);
@@ -355,6 +372,9 @@ class CohortSession {
   NodeId coordinator_;
   ExecReport report_;
   QueryDeadline* deadline_ = nullptr;
+  /// Retry tokens spent so far this session (retry-storm guard; compared
+  /// against RetryPolicy::retry_budget in note_retry).
+  std::size_t retry_tokens_used_ = 0;
   /// Observability handles resolved once at construction (all null when
   /// the cluster has no tracer/registry attached — zero-cost path).
   obs::Tracer* tracer_ = nullptr;

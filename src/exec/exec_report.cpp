@@ -6,10 +6,10 @@
 namespace sea {
 
 // Completeness guard: merge() below must combine every field. ExecReport
-// is 23 trivially-copyable 8-byte fields; adding one changes the size and
+// is 24 trivially-copyable 8-byte fields; adding one changes the size and
 // fails this assert until merge() (and summary(), where relevant) are
 // updated to cover the new field.
-static_assert(sizeof(ExecReport) == 23 * 8,
+static_assert(sizeof(ExecReport) == 24 * 8,
               "ExecReport gained/lost a field: update merge() and this guard");
 
 void ExecReport::merge(const ExecReport& o) noexcept {
@@ -32,6 +32,7 @@ void ExecReport::merge(const ExecReport& o) noexcept {
   dropped_messages += o.dropped_messages;
   tasks_rerouted += o.tasks_rerouted;
   modelled_backoff_ms += o.modelled_backoff_ms;
+  retry_budget_exhausted += o.retry_budget_exhausted;
   hedged_rpcs += o.hedged_rpcs;
   hedges_won += o.hedges_won;
   breaker_fast_fails += o.breaker_fast_fails;
@@ -64,6 +65,8 @@ std::string ExecReport::summary() const {
     os << " retries=" << retries << " dropped=" << dropped_messages
        << " rerouted=" << tasks_rerouted << " backoff=" << modelled_backoff_ms
        << "ms";
+  if (retry_budget_exhausted)
+    os << " retry_budget_exhausted=" << retry_budget_exhausted;
   if (hedged_rpcs || breaker_fast_fails)
     os << " hedged=" << hedged_rpcs << " hedges_won=" << hedges_won
        << " breaker_fast_fails=" << breaker_fast_fails;

@@ -50,6 +50,9 @@ struct ExecReport {
   std::uint64_t dropped_messages = 0;  ///< messages lost in flight
   std::uint64_t tasks_rerouted = 0;    ///< tasks moved off a flapped node
   double modelled_backoff_ms = 0.0;    ///< retry backoff waits (modelled)
+  /// Failures refused a retry because the session/run retry token budget
+  /// (RetryPolicy::retry_budget, the retry-storm guard) was already spent.
+  std::uint64_t retry_budget_exhausted = 0;
 
   // Overload-control accounting (deadlines, breakers, hedges).
   std::uint64_t hedged_rpcs = 0;        ///< backup requests issued

@@ -126,6 +126,11 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   // breaker and every modelled millisecond advances the breaker cooldown
   // clock and decrements the deadline budget. Consumes injector/backoff
   // RNG state — only ever called from the serial sections below.
+  // Run-scoped retry token budget (retry-storm guard): shared across every
+  // deliver() call this run makes, so a correlated outage (partition) stops
+  // amplifying once the budget is spent instead of paying the full per-call
+  // retry ladder on each of O(mappers x reducers) messages.
+  std::size_t retry_tokens_used = 0;
   const auto deliver = [&](NodeId from, NodeId to,
                            std::uint64_t bytes) -> double {
     double total_ms = 0.0;
@@ -150,6 +155,16 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
             "run_map_reduce: " + std::to_string(policy.max_attempts) +
             " delivery attempts " + std::to_string(from) + "->" +
             std::to_string(to) + " all failed");
+      if (policy.retry_budget > 0 && retry_tokens_used >= policy.retry_budget) {
+        ++rep.retry_budget_exhausted;
+        retry_obs.on_budget_exhausted();
+        throw RpcRetriesExhausted(
+            "run_map_reduce: run retry budget of " +
+            std::to_string(policy.retry_budget) +
+            " tokens exhausted (failing delivery " + std::to_string(from) +
+            "->" + std::to_string(to) + ")");
+      }
+      ++retry_tokens_used;
       ++rep.retries;
       const double backoff = policy.backoff_ms(attempt, backoff_rng);
       rep.modelled_backoff_ms += backoff;

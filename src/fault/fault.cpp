@@ -65,6 +65,48 @@ void FaultPlan::validate() const {
                            std::to_string(c.node));
     windows.push_back({c.node, c.crash_at, c.restart_at, "crash"});
   }
+  // Partition windows: same window rules as flaps/crashes, plus node-set
+  // sanity. Overlap is rejected across *all* partition pairs (not per
+  // node): two concurrent cuts compose into a topology the plan never
+  // named, so the schedule would silently diverge from intent.
+  std::vector<Window> cuts;
+  cuts.reserve(partitions.size());
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    const NetworkPartition& p = partitions[i];
+    const std::string which = "partition[" + std::to_string(i) + "]";
+    if (p.start_at == 0)
+      throw FaultPlanError("FaultPlan: " + which +
+                           " has start_at=0, which never fires (the logical "
+                           "clock starts at tick 1)");
+    if (p.heal_at <= p.start_at)
+      throw FaultPlanError("FaultPlan: inverted/empty partition window [" +
+                           std::to_string(p.start_at) + ", " +
+                           std::to_string(p.heal_at) + ") in " + which);
+    if (!p.zone_cut) {
+      if (p.nodes.empty())
+        throw FaultPlanError("FaultPlan: " + which +
+                             " is a node-set cut with no nodes");
+      std::vector<NodeId> sorted = p.nodes;
+      std::sort(sorted.begin(), sorted.end());
+      if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+        throw FaultPlanError("FaultPlan: " + which +
+                             " lists a node twice in its cut set");
+    }
+    cuts.push_back({0, p.start_at, p.heal_at, "partition"});
+  }
+  std::sort(cuts.begin(), cuts.end(), [](const Window& a, const Window& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  });
+  const auto cut_string = [](const Window& w) {
+    return "[" + std::to_string(w.start) + ", " + std::to_string(w.end) + ")";
+  };
+  for (std::size_t i = 1; i < cuts.size(); ++i)
+    if (cuts[i].start < cuts[i - 1].end)
+      throw FaultPlanError("FaultPlan: overlapping partition windows " +
+                           cut_string(cuts[i - 1]) + " and " +
+                           cut_string(cuts[i]));
+
   // Two windows on the same node may not overlap: the second down/crash
   // transition would be swallowed (or a restart would "heal" a flap it
   // never owned), producing schedules that silently diverge from the plan.
@@ -93,6 +135,11 @@ FaultInjector::FaultInjector(FaultPlan plan)
 void FaultInjector::attach(Cluster& cluster) {
   cluster.network().set_fault_model(this);
   cluster.set_fault_injector(this);
+  // Snapshot the zone map so zone-cut partitions evaluate without touching
+  // the network per message.
+  node_zone_.resize(cluster.network().num_nodes());
+  for (std::size_t n = 0; n < node_zone_.size(); ++n)
+    node_zone_[n] = cluster.network().zone_of(static_cast<NodeId>(n));
 }
 
 void FaultInjector::detach(Cluster& cluster) {
@@ -154,14 +201,60 @@ TickEffects FaultInjector::tick(Cluster& cluster) {
       for (auto* l : listeners_) l->on_restart(crash.node, t);
     }
   }
+  for (const auto& p : plan_.partitions) {
+    const std::int64_t zone =
+        p.zone_cut ? static_cast<std::int64_t>(p.zone) : -1;
+    if (t == p.start_at) {
+      ++stats_.partition_cuts;
+      if (cluster.tracer()) cluster.tracer()->event("partition", "cut", zone);
+    }
+    if (t == p.heal_at) {
+      ++stats_.partition_heals;
+      if (cluster.tracer()) cluster.tracer()->event("partition", "heal", zone);
+    }
+  }
   // Shard rebuilds that found no live donor at restart time retry once per
   // tick until a donor node is back (no-op when nothing is lost).
   fx.restore_bytes += cluster.restore_lost_placements();
   return fx;
 }
 
+bool FaultInjector::partition_active() const noexcept {
+  const std::uint64_t t = stats_.ticks;
+  for (const auto& p : plan_.partitions)
+    if (t >= p.start_at && t < p.heal_at) return true;
+  return false;
+}
+
+bool FaultInjector::link_cut(NodeId from, NodeId to) const noexcept {
+  if (from == to) return false;
+  const std::uint64_t t = stats_.ticks;
+  for (const auto& p : plan_.partitions) {
+    if (t < p.start_at || t >= p.heal_at) continue;
+    bool from_in, to_in;
+    if (p.zone_cut) {
+      from_in = zone_of(from) == p.zone;
+      to_in = zone_of(to) == p.zone;
+    } else {
+      from_in = to_in = false;
+      for (const NodeId n : p.nodes) {
+        from_in = from_in || n == from;
+        to_in = to_in || n == to;
+      }
+    }
+    if (from_in != to_in) return true;
+  }
+  return false;
+}
+
 bool FaultInjector::should_drop(NodeId from, NodeId to) {
   if (from == to) return false;
+  // Partition cuts are deterministic (no RNG draw): adding a partition to a
+  // plan never shifts the seeded drop sequence of intra-side messages.
+  if (link_cut(from, to)) {
+    ++stats_.partition_drops;
+    return true;
+  }
   double p = plan_.drop_probability;
   for (const auto& nd : plan_.node_drops)
     if (nd.node == to) p = nd.drop_probability;

@@ -52,6 +52,25 @@ struct NodeDropRate {
   double drop_probability = 0.0;  ///< replaces the plan-wide rate for this node
 };
 
+/// A network partition window: while active (half-open [start_at, heal_at),
+/// like flaps), every message *crossing the cut* is dropped — both
+/// directions, deterministically, without consuming an RNG draw (so adding
+/// a partition never shifts the seeded drop/spike sequence of the messages
+/// that still flow within each side). Nodes stay up; only connectivity is
+/// severed — the failure mode that makes "down" and "unreachable"
+/// observably different, and the one membership/leases (src/membership)
+/// exist to survive.
+struct NetworkPartition {
+  /// Node-set cut: `nodes` vs everyone else. Ignored when zone_cut is set.
+  std::vector<NodeId> nodes;
+  /// Zone cut: sever every link between `zone` and all other zones (the
+  /// Network's zone assignment, snapshotted at FaultInjector::attach).
+  bool zone_cut = false;
+  std::uint32_t zone = 0;
+  std::uint64_t start_at = 0;
+  std::uint64_t heal_at = 0;
+};
+
 /// A FaultPlan failed validation (see FaultPlan::validate). Typed so tests
 /// and callers can distinguish a malformed plan from other argument errors.
 class FaultPlanError : public std::invalid_argument {
@@ -75,24 +94,33 @@ struct FaultPlan {
   std::vector<NodeDropRate> node_drops;
   /// Crash-restarts (state wiped), driven by the same logical clock.
   std::vector<NodeCrash> node_crashes;
+  /// Network partition windows, driven by the same logical clock.
+  std::vector<NetworkPartition> partitions;
 
   /// Rejects malformed plans with FaultPlanError instead of letting them
   /// silently misbehave mid-run: probabilities outside [0, 1], inverted or
   /// empty flap/crash windows, windows starting at tick 0 (the logical
   /// clock starts at 1, so a tick-0 transition would never fire — the
   /// unsigned stand-in for a "negative tick"), and overlapping flap/crash
-  /// windows on the same node. Called by the FaultInjector constructor.
+  /// windows on the same node. Partition windows get the same treatment:
+  /// tick-0 starts, inverted/empty windows, node-set cuts with no (or
+  /// duplicate) nodes, and *any* time overlap between two partition windows
+  /// are rejected (two concurrent cuts compose into a topology the plan
+  /// never named). Called by the FaultInjector constructor.
   void validate() const;
 };
 
 struct FaultStats {
   std::uint64_t ticks = 0;       ///< logical clock
-  std::uint64_t drops = 0;       ///< messages dropped
+  std::uint64_t drops = 0;       ///< messages dropped (random, non-partition)
   std::uint64_t spikes = 0;      ///< latency spikes injected
   std::uint64_t flap_downs = 0;  ///< node-down transitions applied
   std::uint64_t flap_ups = 0;    ///< node-recovery transitions applied
   std::uint64_t crashes = 0;     ///< crash transitions applied
   std::uint64_t restarts = 0;    ///< restart transitions applied
+  std::uint64_t partition_cuts = 0;   ///< partition windows opened
+  std::uint64_t partition_heals = 0;  ///< partition windows healed
+  std::uint64_t partition_drops = 0;  ///< messages lost to an active cut
 };
 
 /// Observer of crash/restart transitions (src/recovery model replicas):
@@ -143,6 +171,14 @@ class FaultInjector final : public LinkFaultModel {
   bool should_drop(NodeId from, NodeId to) override;
   double latency_multiplier(NodeId from, NodeId to) override;
 
+  /// True while any partition window is active at the current tick.
+  bool partition_active() const noexcept;
+  /// True when an active partition cuts the from->to link (deterministic —
+  /// no RNG involved; this is what should_drop consults first). Requires a
+  /// prior attach() for zone cuts (the zone map is snapshotted there);
+  /// unattached zone cuts sever nothing.
+  bool link_cut(NodeId from, NodeId to) const noexcept;
+
   /// The injector's RNG also drives retry-backoff jitter so that a single
   /// seed reproduces the full fault + recovery trace.
   Rng& rng() noexcept { return rng_; }
@@ -156,10 +192,19 @@ class FaultInjector final : public LinkFaultModel {
   void reset();
 
  private:
+  /// Zone of `node` per the attach-time snapshot (0 when never attached —
+  /// single-zone behavior).
+  std::uint32_t zone_of(NodeId node) const noexcept {
+    return node < node_zone_.size() ? node_zone_[node] : 0;
+  }
+
   FaultPlan plan_;
   Rng rng_;
   FaultStats stats_;
   std::vector<CrashListener*> listeners_;
+  /// Network zone assignment, snapshotted at attach() so zone-cut
+  /// partitions can be evaluated without a Network dependency per call.
+  std::vector<std::uint32_t> node_zone_;
 };
 
 }  // namespace sea

@@ -53,6 +53,17 @@ class DeadlineExceeded : public OutageError {
   explicit DeadlineExceeded(const std::string& what) : OutageError(what) {}
 };
 
+/// An operation carried a shard-lease epoch that is no longer current: the
+/// caller is a *fenced* ex-holder (typically the minority side of a network
+/// partition whose lease expired and was re-granted elsewhere). Serving
+/// degrades to a model-backed read-only answer; writes/refits/checkpoints
+/// under the stale epoch must not be applied (split-brain prevention, see
+/// src/membership).
+class StaleEpoch : public OutageError {
+ public:
+  explicit StaleEpoch(const std::string& what) : OutageError(what) {}
+};
+
 /// Per-query modelled-time budget (overload control). Default-constructed
 /// deadlines are infinite (disabled); construct with a finite budget_ms to
 /// arm. charge() accumulates and throws DeadlineExceeded the moment the

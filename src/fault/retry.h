@@ -27,6 +27,13 @@ struct RetryPolicy {
   /// An attempt whose modelled one-way transfer exceeds this is treated as
   /// timed out and retried (straggler defense). Effectively off by default.
   double rpc_timeout_ms = 1e12;
+  /// Retry-storm guard: a *session-wide* token budget on retries (one token
+  /// per retry, across every RPC/delivery the session issues). Correlated
+  /// failures — a partition severing half the cohort at once — otherwise
+  /// multiply per-call retry costs into a modelled retry storm; once the
+  /// budget is spent, further failures throw RpcRetriesExhausted
+  /// immediately instead of backing off again. 0 = unlimited (off).
+  std::size_t retry_budget = 0;
 
   /// Modelled wait before retry number `attempt` + 1 (0-based attempt that
   /// just failed). Deterministic given the rng state.
@@ -46,6 +53,7 @@ struct RetryPolicy {
 struct RetryMetrics {
   obs::Counter* retries = nullptr;
   obs::Counter* dropped_messages = nullptr;
+  obs::Counter* budget_exhausted = nullptr;
   obs::Histogram* backoff_ms = nullptr;
 
   static RetryMetrics bind(obs::MetricsRegistry* registry) {
@@ -53,6 +61,7 @@ struct RetryMetrics {
     if (!registry) return m;
     m.retries = &registry->counter("retry.retries");
     m.dropped_messages = &registry->counter("net.dropped_messages");
+    m.budget_exhausted = &registry->counter("retry.budget_exhausted");
     m.backoff_ms = &registry->histogram(
         "retry.backoff_ms", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
     return m;
@@ -64,6 +73,9 @@ struct RetryMetrics {
   void on_retry(double wait_ms) const noexcept {
     if (retries) retries->inc();
     if (backoff_ms) backoff_ms->observe(wait_ms);
+  }
+  void on_budget_exhausted() const noexcept {
+    if (budget_exhausted) budget_exhausted->inc();
   }
 };
 

@@ -160,6 +160,14 @@ class GeoSystem {
   /// Caller owns both; they must outlive the system's use of them.
   void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  /// Attaches (or detaches, with nullptr) a shard-lease routing authority
+  /// to the internal core cluster (Cluster::set_lease_router): exact
+  /// executions then route to current lease holders instead of static
+  /// placement. Caller owns the router; it must outlive use.
+  void set_lease_router(ShardLeaseRouter* router) noexcept {
+    cluster_->set_lease_router(router);
+  }
+
   const GeoStats& stats() const noexcept { return stats_; }
   /// WAN/LAN traffic counters (from the shared network).
   const TrafficStats& traffic() const noexcept {

@@ -1,0 +1,202 @@
+// Epoch-fenced shard leases: split-brain-safe serving authority.
+//
+// Failure detection (swim.h) is only ever a *hint* — a partitioned node
+// looks exactly like a dead one. What makes serving safe is the lease
+// protocol layered here:
+//
+//  - Exactly one node holds the serving lease for a shard at a time, for a
+//    bounded TTL on the shared logical clock, under a monotonically
+//    increasing *epoch* number.
+//  - A lease is granted or renewed only with acknowledgements from a
+//    quorum of nodes, collected over the fallible network: the minority
+//    side of a partition can neither renew nor grant.
+//  - A new epoch is granted only after the previous lease's TTL has
+//    expired on the shared clock. The clock has zero modelled skew, so the
+//    old holder *knows* its lease is gone before the new holder can exist:
+//    two holders of the same shard never overlap in time, and two holders
+//    under the same epoch never exist at all — split-brain is impossible
+//    by construction, not by luck.
+//  - Every serve under a lease states its epoch; check_serve() rejects a
+//    stale epoch with the typed StaleEpoch outage (fault/outage.h), which
+//    the serving layer degrades to a model-backed read-only answer.
+//
+// Membership views gate *liveness* only: a candidate defers takeover while
+// its own view still believes the previous holder alive (suspicion must
+// run its timeout first), which keeps lease transfers from flapping — but
+// no view ever shortcuts the TTL-expiry safety rule.
+//
+// The directory implements cluster.h's ShardLeaseRouter, so an attached
+// Cluster routes serving_node() through the lease table; LeaseFence
+// implements sea/served.h's EpochFence so ServedAnalytics fences its exact
+// path. Lease transfers notify LeaseTransferListeners — src/recovery
+// bridges them into anti-entropy catch-up for the new holder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "membership/swim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sea/query.h"
+#include "sea/served.h"
+
+namespace sea {
+
+struct LeaseConfig {
+  /// Lease lifetime in logical ticks; the availability/safety dial. The
+  /// minority side serves (then self-fences) for at most this long after
+  /// a cut; the majority side cannot take over sooner.
+  std::uint64_t lease_ttl_ticks = 32;
+  /// Holders attempt renewal this often; must be < lease_ttl_ticks so a
+  /// healthy holder never expires.
+  std::uint64_t renew_period_ticks = 8;
+  /// Acks (including the candidate's own) required to grant or renew.
+  /// 0 = majority (num_nodes / 2 + 1) — the only partition-safe setting
+  /// for symmetric deployments; explicit values are for tests.
+  std::size_t quorum = 0;
+  /// Wire size of one grant/renew request or ack message.
+  std::size_t message_bytes = 96;
+
+  std::size_t effective_quorum(std::size_t num_nodes) const noexcept {
+    return quorum != 0 ? quorum : num_nodes / 2 + 1;
+  }
+};
+
+/// One shard's authoritative lease record.
+struct ShardLease {
+  NodeId holder = ShardLeaseRouter::kNoLeaseHolder;
+  std::uint64_t epoch = 0;       ///< 0 = never granted
+  std::uint64_t granted_at = 0;
+  std::uint64_t expires_at = 0;  ///< half-open: valid for [granted_at, expires_at)
+
+  bool valid_at(std::uint64_t tick) const noexcept {
+    return epoch != 0 && tick < expires_at;
+  }
+};
+
+/// Observer of lease transfers (epoch changes that move the holder).
+/// Called synchronously on the serial advance_to path, in registration
+/// order. src/recovery's LeaseCatchupBridge forwards these into
+/// ModelReplicaSet::request_catchup so the new holder catches up on the
+/// committed history it may have missed.
+class LeaseTransferListener {
+ public:
+  virtual ~LeaseTransferListener() = default;
+  virtual void on_lease_transfer(const std::string& table, std::size_t shard,
+                                 NodeId new_holder, NodeId old_holder,
+                                 std::uint64_t epoch, std::uint64_t tick) = 0;
+};
+
+struct LeaseStats {
+  std::uint64_t grants = 0;          ///< new epochs granted
+  std::uint64_t renewals = 0;        ///< successful holder renewals
+  std::uint64_t renewal_failures = 0;///< renew rounds that missed quorum
+  std::uint64_t grant_failures = 0;  ///< grant rounds that missed quorum
+  std::uint64_t expiries = 0;        ///< leases that ran out un-renewed
+  std::uint64_t transfers = 0;       ///< grants that moved the holder
+  std::uint64_t deferrals = 0;       ///< takeovers deferred on an alive view
+  std::uint64_t fenced_checks = 0;   ///< check_serve rejections (StaleEpoch)
+};
+
+/// The lease directory for the shards of one logical table. Logically this
+/// is a replicated state machine over all nodes; what the simulation makes
+/// explicit is its *communication*: every grant/renew round really crosses
+/// the fallible network, so partitions deny quorum exactly where they
+/// would in a real deployment. advance_to() is driven serially with the
+/// fault injector's clock.
+class LeaseDirectory final : public ShardLeaseRouter {
+ public:
+  LeaseDirectory(Cluster& cluster, GossipMembership& membership,
+                 std::string table, std::size_t num_shards,
+                 LeaseConfig config = {});
+
+  /// Drives grant/renew rounds for every tick in (last_advanced, tick],
+  /// shard-major within each tick. Call after FaultInjector::tick and
+  /// GossipMembership::advance_to.
+  void advance_to(std::uint64_t tick);
+
+  // ShardLeaseRouter — consulted by Cluster::serving_node.
+  NodeId lease_holder(const std::string& table,
+                      std::size_t shard) const override;
+
+  /// The fencing check: `node` may serve `shard` at `tick` only while it
+  /// holds the current, unexpired lease. Throws StaleEpoch otherwise
+  /// (counting the rejection); the serving layer degrades to the model.
+  void check_serve(const std::string& table, std::size_t shard, NodeId node,
+                   std::uint64_t tick) const;
+
+  const ShardLease& lease(std::size_t shard) const {
+    return leases_.at(shard);
+  }
+  std::size_t num_shards() const noexcept { return leases_.size(); }
+  const std::string& table() const noexcept { return table_; }
+  std::uint64_t now() const noexcept { return now_; }
+  const LeaseConfig& config() const noexcept { return config_; }
+  const LeaseStats& stats() const noexcept { return stats_; }
+
+  void add_transfer_listener(LeaseTransferListener* listener);
+  void remove_transfer_listener(LeaseTransferListener* listener);
+
+  /// Attaches a tracer / metrics registry (either may be null; caller owns
+  /// both). lease.* counters plus "lease_transfer" span events.
+  void bind_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+ private:
+  /// One quorum round initiated by `initiator`: request + ack legs to the
+  /// other nodes in node order, stopping once quorum is reached. Every leg
+  /// crosses the fallible network (partition cuts deny acks).
+  bool quorum_round(NodeId initiator);
+  void try_renew(std::size_t shard, std::uint64_t tick);
+  void try_grant(std::size_t shard, std::uint64_t tick);
+  bool node_usable(NodeId node) const;
+
+  Cluster& cluster_;
+  GossipMembership& membership_;
+  std::string table_;
+  LeaseConfig config_;
+  std::vector<ShardLease> leases_;
+  std::vector<std::uint64_t> last_renewed_;  ///< per shard
+  std::vector<LeaseTransferListener*> listeners_;
+  std::uint64_t now_ = 0;
+  std::uint64_t last_advanced_ = 0;
+  // mutable: check_serve is a read-side validation on the serve path (and
+  // const through the EpochFence adapter) but counts its rejections.
+  mutable LeaseStats stats_;
+
+  obs::Tracer* tracer_ = nullptr;
+  struct Metrics {
+    obs::Counter* grants = nullptr;
+    obs::Counter* renewals = nullptr;
+    obs::Counter* renewal_failures = nullptr;
+    obs::Counter* grant_failures = nullptr;
+    obs::Counter* expiries = nullptr;
+    obs::Counter* transfers = nullptr;
+    obs::Counter* deferrals = nullptr;
+    obs::Counter* fenced_checks = nullptr;
+  };
+  Metrics m_;
+};
+
+/// EpochFence adapter for ServedAnalytics: maps each query to its home
+/// shard (a stable hash of the query-family signature) and requires the
+/// serving process's node to hold that shard's current lease. Attach with
+/// ServedAnalytics::set_epoch_fence.
+class LeaseFence final : public EpochFence {
+ public:
+  LeaseFence(const LeaseDirectory& directory, NodeId local_node)
+      : directory_(directory), local_node_(local_node) {}
+
+  void check(const AnalyticalQuery& query) const override;
+
+  /// The home shard the fence checks for `query`.
+  std::size_t shard_of(const AnalyticalQuery& query) const;
+
+ private:
+  const LeaseDirectory& directory_;
+  NodeId local_node_;
+};
+
+}  // namespace sea

@@ -1,0 +1,135 @@
+// Multi-site serving simulation under partitions: the E18 harness.
+//
+// ServedAnalytics is a single serving loop, so it cannot *exhibit* the
+// failure leases exist to prevent — two processes answering as authority
+// for the same shard on opposite sides of a cut. This component simulates
+// exactly that: every node is an entry point, every node can serve, and
+// what each node knows travels only in messages over the fallible network.
+//
+// Two modes, same fault schedule:
+//  - leases off: nodes route by their SWIM membership views and static
+//    replica placement — the entry fails over to a replica the moment its
+//    view says the primary is dead. Under a partition both sides do this,
+//    and both sides serve: split-brain, measured.
+//  - leases on: serving requires the shard's current lease. Holders cache
+//    the lease they were granted and self-fence at its TTL on the shared
+//    clock; routing tables travel in (droppable) broadcast messages, so a
+//    minority-side entry keeps routing to the fenced ex-holder and gets a
+//    degraded model-backed answer instead of a stale authoritative one.
+//
+// Every query lands in exactly one outcome bucket (conserved()), and every
+// authoritative serve is logged as (shard, epoch, node, tick) — the record
+// the split-brain invariant (and BENCH_e18) is computed from. Everything
+// runs on the serial path: byte-identical traces at any SEA_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "fault/fault.h"
+#include "membership/lease.h"
+#include "membership/swim.h"
+
+namespace sea {
+
+struct PartitionSimConfig {
+  /// Shards served (shard s has static primary s % num_nodes and replicas
+  /// on the following `replicas - 1` nodes).
+  std::size_t num_shards = 0;  ///< 0 = one per node
+  std::size_t replicas = 2;
+  std::size_t query_bytes = 128;
+  std::size_t answer_bytes = 64;
+};
+
+/// One authoritative ("owner") serve: `node` answered for `shard` claiming
+/// current authority under `epoch` (0 in the lease-less mode, which has no
+/// epochs — precisely its defect).
+struct OwnerServe {
+  std::uint32_t shard = 0;
+  NodeId node = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t tick = 0;
+};
+
+struct PartitionSimStats {
+  std::uint64_t queries = 0;
+  std::uint64_t owner_serves = 0;    ///< authoritative answers
+  std::uint64_t fenced_serves = 0;   ///< StaleEpoch -> model-backed answer
+  std::uint64_t degraded_serves = 0; ///< authority unreachable -> model answer
+  std::uint64_t entry_down = 0;      ///< the entry node itself was down
+
+  /// Answered-or-accounted: every query lands in exactly one bucket.
+  bool conserved() const noexcept {
+    return queries ==
+           owner_serves + fenced_serves + degraded_serves + entry_down;
+  }
+};
+
+/// Drives rounds of (fault tick, membership, leases, fan-in of queries
+/// from every entry node). The caller owns all four collaborators; pass
+/// `leases == nullptr` for the lease-less baseline.
+class PartitionServingSim {
+ public:
+  PartitionServingSim(Cluster& cluster, FaultInjector& injector,
+                      GossipMembership& membership, LeaseDirectory* leases,
+                      PartitionSimConfig config = {});
+
+  /// One round: advances the fault clock one tick, drives membership (and
+  /// leases, when on) to it, then serves one query per entry node for the
+  /// round's shard (round-robin over shards — so concurrent entries on
+  /// both sides of a cut contend for the *same* shard every round,
+  /// maximizing split-brain exposure).
+  void step();
+  void run(std::size_t rounds);
+
+  const PartitionSimStats& stats() const noexcept { return stats_; }
+  const std::vector<OwnerServe>& serve_log() const noexcept {
+    return serve_log_;
+  }
+
+  /// Split-brain serves: the number of ordered serve pairs that violate
+  /// single-authority. With leases, two distinct nodes owner-serving the
+  /// same (shard, epoch) — the invariant the protocol makes impossible.
+  /// Without leases (epoch 0 everywhere), two distinct nodes owner-serving
+  /// the same shard at the same tick: simultaneous dual authority.
+  std::uint64_t split_brain_serves() const;
+
+ private:
+  /// Serves one query arriving at `entry` for `shard`; updates exactly one
+  /// outcome bucket.
+  void serve_one(NodeId entry, std::uint32_t shard, std::uint64_t tick);
+  void serve_with_lease(NodeId entry, std::uint32_t shard,
+                        std::uint64_t tick);
+  void serve_without_lease(NodeId entry, std::uint32_t shard,
+                           std::uint64_t tick);
+  bool message(NodeId from, NodeId to, std::size_t bytes);
+  /// The holder `entry` believes serves `shard` (lease mode): its routing
+  /// cache, updated only by delivered grant broadcasts.
+  NodeId routed_holder(NodeId entry, std::uint32_t shard) const {
+    return routing_[entry * num_shards_ + shard];
+  }
+
+  Cluster& cluster_;
+  FaultInjector& injector_;
+  GossipMembership& membership_;
+  LeaseDirectory* leases_;
+  PartitionSimConfig config_;
+  std::size_t num_shards_;
+  std::uint64_t round_ = 0;
+  PartitionSimStats stats_;
+  std::vector<OwnerServe> serve_log_;
+
+  // Lease mode per-node knowledge, all updated only by delivered messages:
+  // routing_[entry][shard] = holder the entry last heard of;
+  // cached_* [holder][shard] = the lease the holder itself was granted
+  // (its self-fencing authority: serve iff cached epoch current by TTL on
+  // the shared clock).
+  std::vector<NodeId> routing_;
+  std::vector<std::uint64_t> cached_epoch_;
+  std::vector<std::uint64_t> cached_expires_;
+  /// Epochs whose grant this sim has already broadcast/caches (per shard).
+  std::vector<std::uint64_t> announced_epoch_;
+};
+
+}  // namespace sea

@@ -1,0 +1,216 @@
+#include "membership/swim.h"
+
+#include <stdexcept>
+
+namespace sea {
+
+GossipMembership::GossipMembership(Cluster& cluster, GossipConfig config)
+    : cluster_(cluster),
+      config_(config),
+      num_nodes_(cluster.num_nodes()),
+      views_(num_nodes_ * num_nodes_),
+      incarnation_(num_nodes_, 0),
+      rng_(config.seed) {
+  if (config_.probe_period_ticks == 0)
+    throw std::invalid_argument(
+        "GossipMembership: probe_period_ticks must be > 0");
+  if (config_.suspicion_timeout_ticks == 0)
+    throw std::invalid_argument(
+        "GossipMembership: suspicion_timeout_ticks must be > 0");
+}
+
+void GossipMembership::bind_obs(obs::Tracer* tracer,
+                                obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  m_ = Metrics{};
+  if (!metrics) return;
+  m_.probes = &metrics->counter("membership.probes");
+  m_.probe_failures = &metrics->counter("membership.probe_failures");
+  m_.indirect_probes = &metrics->counter("membership.indirect_probes");
+  m_.suspicions = &metrics->counter("membership.suspicions");
+  m_.confirms = &metrics->counter("membership.confirms");
+  m_.refutations = &metrics->counter("membership.refutations");
+  m_.gossip_messages = &metrics->counter("membership.gossip_messages");
+}
+
+MemberState GossipMembership::view(NodeId observer, NodeId subject) const {
+  if (observer == subject) return MemberState::kAlive;
+  return view_of(observer, subject).state;
+}
+
+void GossipMembership::advance_to(std::uint64_t tick) {
+  for (std::uint64_t t = last_advanced_ + 1; t <= tick; ++t) {
+    if (t % config_.probe_period_ticks == 0) probe_round(t);
+    expire_suspicions(t);
+  }
+  last_advanced_ = std::max(last_advanced_, tick);
+}
+
+bool GossipMembership::leg(NodeId from, NodeId to) {
+  const SendOutcome sent =
+      cluster_.network().try_send(from, to, config_.message_bytes);
+  return sent.delivered && !cluster_.node_is_down(to);
+}
+
+void GossipMembership::probe_round(std::uint64_t tick) {
+  if (num_nodes_ < 2) return;
+  const std::uint64_t round = tick / config_.probe_period_ticks;
+  for (NodeId observer = 0; observer < num_nodes_; ++observer) {
+    // A down node runs no detector (its views freeze until it returns).
+    if (cluster_.node_is_down(observer)) continue;
+    // Deterministic rotation over the other members — every peer is
+    // probed once per (num_nodes - 1) rounds, the SWIM round-robin that
+    // bounds detection time without randomness.
+    const NodeId target = static_cast<NodeId>(
+        (observer + 1 + round % (num_nodes_ - 1)) % num_nodes_);
+    if (target == observer) continue;  // unreachable; defensive
+    if (probe(observer, target)) {
+      mark_alive(observer, target, incarnation_[target], tick);
+    } else {
+      mark_suspect(observer, target, tick);
+    }
+  }
+}
+
+bool GossipMembership::probe(NodeId observer, NodeId target) {
+  ++stats_.probes;
+  if (m_.probes) m_.probes->inc();
+  if (leg(observer, target) && leg(target, observer)) return true;
+  ++stats_.probe_failures;
+  if (m_.probe_failures) m_.probe_failures->inc();
+  // Indirect probes: ask k relays (peers the observer believes alive) to
+  // ping the target on its behalf — SWIM's defense against a lossy or cut
+  // observer->target link that the relay's links may not share.
+  std::vector<NodeId> relays;
+  relays.reserve(num_nodes_);
+  for (NodeId n = 0; n < num_nodes_; ++n)
+    if (n != observer && n != target && alive_in_view(observer, n))
+      relays.push_back(n);
+  rng_.shuffle(relays);
+  const std::size_t k = std::min(config_.indirect_probes, relays.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId relay = relays[i];
+    ++stats_.indirect_probes;
+    if (m_.indirect_probes) m_.indirect_probes->inc();
+    if (leg(observer, relay) && leg(relay, target) && leg(target, relay) &&
+        leg(relay, observer))
+      return true;
+  }
+  return false;
+}
+
+void GossipMembership::mark_alive(NodeId observer, NodeId subject,
+                                  std::uint64_t inc, std::uint64_t tick) {
+  View& v = view_of(observer, subject);
+  if (v.state == MemberState::kAlive) {
+    v.incarnation = std::max(v.incarnation, inc);
+    return;
+  }
+  // The subject answered a probe while this observer held it suspect or
+  // dead: the subject refutes by bumping its own incarnation, which
+  // dominates the suspicion in every view the refutation reaches.
+  const std::uint64_t refuted_inc = ++incarnation_[subject];
+  v.state = MemberState::kAlive;
+  v.incarnation = refuted_inc;
+  v.suspected_at = 0;
+  ++stats_.refutations;
+  if (m_.refutations) m_.refutations->inc();
+  if (tracer_)
+    tracer_->event("membership", "refute", static_cast<std::int64_t>(subject));
+  gossip(observer, subject, MemberState::kAlive, refuted_inc, tick);
+}
+
+void GossipMembership::mark_suspect(NodeId observer, NodeId subject,
+                                    std::uint64_t tick) {
+  View& v = view_of(observer, subject);
+  if (v.state != MemberState::kAlive) return;  // already suspect or dead
+  v.state = MemberState::kSuspect;
+  v.suspected_at = tick;
+  ++stats_.suspicions;
+  if (m_.suspicions) m_.suspicions->inc();
+  if (tracer_)
+    tracer_->event("membership", "suspect", static_cast<std::int64_t>(subject));
+  gossip(observer, subject, MemberState::kSuspect, v.incarnation, tick);
+}
+
+void GossipMembership::mark_dead(NodeId observer, NodeId subject,
+                                 std::uint64_t tick) {
+  View& v = view_of(observer, subject);
+  if (v.state == MemberState::kDead) return;
+  v.state = MemberState::kDead;
+  ++stats_.confirms;
+  if (m_.confirms) m_.confirms->inc();
+  if (tracer_)
+    tracer_->event("membership", "confirm", static_cast<std::int64_t>(subject));
+  gossip(observer, subject, MemberState::kDead, v.incarnation, tick);
+}
+
+void GossipMembership::expire_suspicions(std::uint64_t tick) {
+  for (NodeId observer = 0; observer < num_nodes_; ++observer) {
+    if (cluster_.node_is_down(observer)) continue;
+    for (NodeId subject = 0; subject < num_nodes_; ++subject) {
+      if (subject == observer) continue;
+      const View& v = view_of(observer, subject);
+      if (v.state == MemberState::kSuspect &&
+          tick - v.suspected_at >= config_.suspicion_timeout_ticks)
+        mark_dead(observer, subject, tick);
+    }
+  }
+}
+
+void GossipMembership::gossip(NodeId from, NodeId subject, MemberState state,
+                              std::uint64_t inc, std::uint64_t tick) {
+  // Peers may include the subject itself: gossip reaching the accused is
+  // what lets it refute a false suspicion (adopt()'s self branch).
+  std::vector<NodeId> peers;
+  peers.reserve(num_nodes_);
+  for (NodeId n = 0; n < num_nodes_; ++n)
+    if (n != from && alive_in_view(from, n)) peers.push_back(n);
+  rng_.shuffle(peers);
+  const std::size_t fanout = std::min(config_.gossip_fanout, peers.size());
+  for (std::size_t i = 0; i < fanout; ++i) {
+    ++stats_.gossip_messages;
+    if (m_.gossip_messages) m_.gossip_messages->inc();
+    // Dissemination rides the fallible network too: updates do not cross
+    // an active partition cut.
+    if (leg(from, peers[i])) adopt(peers[i], subject, state, inc, tick);
+  }
+}
+
+void GossipMembership::adopt(NodeId observer, NodeId subject,
+                             MemberState state, std::uint64_t inc,
+                             std::uint64_t tick) {
+  if (observer == subject) {
+    // Gossip about oneself: a suspicion/death claim is refuted by bumping
+    // the own incarnation and gossiping alive (SWIM's self-defense).
+    if (state != MemberState::kAlive)
+      gossip(observer, subject, MemberState::kAlive, ++incarnation_[subject],
+             tick);
+    return;
+  }
+  View& v = view_of(observer, subject);
+  // SWIM precedence: a higher incarnation always wins; at the same
+  // incarnation, dead overrides suspect overrides alive (dead is sticky —
+  // only a higher incarnation resurrects).
+  if (inc < v.incarnation) return;
+  if (inc == v.incarnation &&
+      static_cast<std::uint8_t>(state) <= static_cast<std::uint8_t>(v.state))
+    return;
+  const MemberState before = v.state;
+  v.state = state;
+  v.incarnation = inc;
+  if (state == MemberState::kSuspect && before == MemberState::kAlive) {
+    v.suspected_at = tick;
+    ++stats_.suspicions;
+    if (m_.suspicions) m_.suspicions->inc();
+  } else if (state == MemberState::kDead && before != MemberState::kDead) {
+    ++stats_.confirms;
+    if (m_.confirms) m_.confirms->inc();
+  } else if (state == MemberState::kAlive && before != MemberState::kAlive) {
+    v.suspected_at = 0;
+    ++stats_.refutations;
+    if (m_.refutations) m_.refutations->inc();
+  }
+}
+
+}  // namespace sea

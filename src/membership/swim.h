@@ -1,0 +1,161 @@
+// SWIM-style gossip failure detection on the modelled logical clock.
+//
+// A partition makes "down" and "unreachable" observably different: a node
+// on the far side of a cut is perfectly healthy, yet every probe to it
+// fails. The seed's executors only ever consulted the cluster's ground
+// truth (node_is_down), which no real deployment has — this subsystem
+// gives every node its *own* view of every other node, maintained the way
+// real clusters maintain it: periodic probes, indirect probes through
+// peers, suspicion with a timeout before declaring death, incarnation
+// numbers so a falsely-accused node can refute, and piggybacked gossip
+// dissemination. All probe traffic crosses the accounted Network through
+// the fallible send path, so partitions (FaultPlan::partitions), drops,
+// and flaps shape the views exactly as they shape query traffic.
+//
+// Determinism: advance_to() runs every due probe round serially in
+// (tick, observer) order, and relay/gossip peer selection draws from the
+// detector's own seeded Rng — never the injector's — so attaching a
+// detector perturbs no existing drop/spike/backoff sequence, and the full
+// suspect/confirm/refute event stream is a pure function of
+// (seed, fault plan, config) at any SEA_THREADS setting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sea {
+
+/// One observer's belief about one subject. kSuspect is the SWIM limbo:
+/// probes failed, but the subject gets suspicion_timeout_ticks to refute
+/// (via a higher incarnation) before the observer confirms it dead.
+enum class MemberState : std::uint8_t { kAlive = 0, kSuspect = 1, kDead = 2 };
+
+struct GossipConfig {
+  /// Every node probes one peer each probe period (ticks of the fault
+  /// injector's logical clock).
+  std::uint64_t probe_period_ticks = 4;
+  /// Ticks a suspicion stands before the observer confirms death. The
+  /// liveness/accuracy dial: shorter confirms (and hands leases over)
+  /// faster but false-positives more under drop storms.
+  std::uint64_t suspicion_timeout_ticks = 24;
+  /// Relays asked to probe on the observer's behalf when the direct probe
+  /// fails (SWIM's k indirect probes).
+  std::size_t indirect_probes = 2;
+  /// Peers each new suspicion/confirmation/refutation is gossiped to.
+  std::size_t gossip_fanout = 3;
+  /// Wire size of one probe/ack/gossip message.
+  std::size_t message_bytes = 64;
+  /// Seed of the detector's private Rng (peer selection only).
+  std::uint64_t seed = 0x5ea5e11ULL;
+};
+
+struct GossipStats {
+  std::uint64_t probes = 0;           ///< direct probe attempts
+  std::uint64_t probe_failures = 0;   ///< direct probes with no ack
+  std::uint64_t indirect_probes = 0;  ///< relay probe attempts
+  std::uint64_t suspicions = 0;       ///< alive -> suspect transitions
+  std::uint64_t confirms = 0;         ///< suspect -> dead transitions
+  std::uint64_t refutations = 0;      ///< suspect/dead -> alive transitions
+  std::uint64_t gossip_messages = 0;  ///< dissemination messages sent
+};
+
+/// The failure detector. One instance models the detector state of *all*
+/// nodes (per-observer views), driven to a tick with advance_to(). Views
+/// feed lease-candidate selection (src/membership/lease.h) and the
+/// partition-serving simulation; they never override lease safety, which
+/// rests on quorum grants and TTL expiry alone.
+class GossipMembership {
+ public:
+  GossipMembership(Cluster& cluster, GossipConfig config = {});
+
+  /// Runs every probe round due in (last_advanced, tick] — serially, in
+  /// (tick, observer) order. Call after FaultInjector::tick with the
+  /// injector's clock so views chase the fault schedule.
+  void advance_to(std::uint64_t tick);
+
+  /// `observer`'s current belief about `subject` (self is always alive).
+  MemberState view(NodeId observer, NodeId subject) const;
+  /// Convenience: view() != kDead — the predicate routing/lease code uses
+  /// (suspects are still routable; only confirmed-dead nodes are not).
+  bool alive_in_view(NodeId observer, NodeId subject) const {
+    return view(observer, subject) != MemberState::kDead;
+  }
+  /// `subject`'s own incarnation number (bumped on each refutation).
+  std::uint64_t incarnation(NodeId subject) const {
+    return incarnation_.at(subject);
+  }
+
+  const GossipStats& stats() const noexcept { return stats_; }
+  const GossipConfig& config() const noexcept { return config_; }
+
+  /// Attaches a tracer / metrics registry (either may be null; caller owns
+  /// both). membership.* counters track stats() from attachment; suspect /
+  /// confirm / refute transitions emit trace events.
+  void bind_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+ private:
+  struct View {
+    MemberState state = MemberState::kAlive;
+    std::uint64_t incarnation = 0;   ///< subject incarnation last heard
+    std::uint64_t suspected_at = 0;  ///< tick the suspicion started
+  };
+
+  View& view_of(NodeId observer, NodeId subject) {
+    return views_[observer * num_nodes_ + subject];
+  }
+  const View& view_of(NodeId observer, NodeId subject) const {
+    return views_[observer * num_nodes_ + subject];
+  }
+
+  /// One message leg through the fallible network; false when dropped (a
+  /// partition cut, a random drop) or the destination is down.
+  bool leg(NodeId from, NodeId to);
+
+  void probe_round(std::uint64_t tick);
+  void expire_suspicions(std::uint64_t tick);
+  /// Direct probe + up to k indirect probes; true when any path acked.
+  bool probe(NodeId observer, NodeId target);
+  /// Observer marks subject alive at `inc` (refuting any suspicion) and
+  /// gossips the refutation when it was a transition.
+  void mark_alive(NodeId observer, NodeId subject, std::uint64_t inc,
+                  std::uint64_t tick);
+  void mark_suspect(NodeId observer, NodeId subject, std::uint64_t tick);
+  void mark_dead(NodeId observer, NodeId subject, std::uint64_t tick);
+  /// Piggybacked dissemination: sends the (subject, state, incarnation)
+  /// update from `from` to gossip_fanout live-view peers; delivered
+  /// recipients adopt it under SWIM's rules (higher incarnation wins;
+  /// dead overrides alive/suspect at the same incarnation).
+  void gossip(NodeId from, NodeId subject, MemberState state,
+              std::uint64_t inc, std::uint64_t tick);
+  void adopt(NodeId observer, NodeId subject, MemberState state,
+             std::uint64_t inc, std::uint64_t tick);
+
+  Cluster& cluster_;
+  GossipConfig config_;
+  std::size_t num_nodes_;
+  std::vector<View> views_;                 ///< num_nodes^2, row = observer
+  std::vector<std::uint64_t> incarnation_;  ///< per subject, self-owned
+  Rng rng_;
+  std::uint64_t last_advanced_ = 0;
+  GossipStats stats_;
+
+  obs::Tracer* tracer_ = nullptr;
+  struct Metrics {
+    obs::Counter* probes = nullptr;
+    obs::Counter* probe_failures = nullptr;
+    obs::Counter* indirect_probes = nullptr;
+    obs::Counter* suspicions = nullptr;
+    obs::Counter* confirms = nullptr;
+    obs::Counter* refutations = nullptr;
+    obs::Counter* gossip_messages = nullptr;
+  };
+  Metrics m_;
+};
+
+}  // namespace sea

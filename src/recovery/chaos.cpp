@@ -1,6 +1,8 @@
 #include "recovery/chaos.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/rng.h"
@@ -75,8 +77,102 @@ ChaosSchedule make_chaos_schedule(const ChaosConfig& config) {
         NodeDropRate{node, config.grey_drop_probability});
     out.grey_nodes.push_back(node);
   }
+
+  // Partition windows: validate() rejects any two cuts that overlap in
+  // time, so each window is drawn inside its own equal slice of the
+  // horizon — disjoint by construction, for every seed.
+  if (config.partitions > 0) {
+    if (config.max_partition_ticks < config.min_partition_ticks ||
+        config.min_partition_ticks == 0)
+      throw std::invalid_argument(
+          "make_chaos_schedule: bad partition window bounds");
+    const std::uint64_t segment =
+        (config.horizon_ticks - 1) / config.partitions;
+    if (segment <= config.max_partition_ticks)
+      throw std::invalid_argument(
+          "make_chaos_schedule: horizon too short for the requested "
+          "partition windows (need > max_partition_ticks per window)");
+    std::size_t side = config.partition_side_nodes;
+    if (side == 0) side = (config.num_nodes - 1) / 2;
+    if (!config.partition_zone_cut &&
+        (side == 0 || side >= config.num_nodes))
+      throw std::invalid_argument(
+          "make_chaos_schedule: partition side must cut a proper, "
+          "non-empty subset of the cluster");
+    for (std::size_t p = 0; p < config.partitions; ++p) {
+      const std::uint64_t duration =
+          config.min_partition_ticks +
+          static_cast<std::uint64_t>(rng.uniform_index(
+              config.max_partition_ticks - config.min_partition_ticks + 1));
+      const std::uint64_t seg_start = 1 + p * segment;
+      const std::uint64_t start =
+          seg_start + static_cast<std::uint64_t>(
+                          rng.uniform_index(segment - duration + 1));
+      NetworkPartition cut;
+      cut.start_at = start;
+      cut.heal_at = start + duration;
+      if (config.partition_zone_cut) {
+        cut.zone_cut = true;
+        cut.zone = config.partition_zone;
+      } else {
+        // A fresh shuffle per window: the severed side varies across
+        // windows and may include crash/flap/grey nodes (faults compose).
+        std::vector<NodeId> deck = eligible;
+        rng.shuffle(deck);
+        cut.nodes.assign(deck.begin(),
+                         deck.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min(side, deck.size())));
+      }
+      out.plan.partitions.push_back(std::move(cut));
+    }
+  }
+
   out.plan.validate();
   return out;
+}
+
+std::string ChaosSchedule::dump_json() const {
+  std::ostringstream os;
+  os << "{\"seed\":" << plan.seed
+     << ",\"load_multiplier\":" << load_multiplier
+     << ",\"drop_probability\":" << plan.drop_probability
+     << ",\"spike_probability\":" << plan.spike_probability
+     << ",\"spike_multiplier\":" << plan.spike_multiplier << ",\"crashes\":[";
+  for (std::size_t i = 0; i < plan.node_crashes.size(); ++i) {
+    const NodeCrash& c = plan.node_crashes[i];
+    os << (i ? "," : "") << "{\"node\":" << c.node
+       << ",\"crash_at\":" << c.crash_at
+       << ",\"restart_at\":" << c.restart_at << "}";
+  }
+  os << "],\"flaps\":[";
+  for (std::size_t i = 0; i < plan.flaps.size(); ++i) {
+    const NodeFlap& f = plan.flaps[i];
+    os << (i ? "," : "") << "{\"node\":" << f.node
+       << ",\"down_at\":" << f.down_at << ",\"up_at\":" << f.up_at << "}";
+  }
+  os << "],\"grey\":[";
+  for (std::size_t i = 0; i < plan.node_drops.size(); ++i) {
+    const NodeDropRate& d = plan.node_drops[i];
+    os << (i ? "," : "") << "{\"node\":" << d.node
+       << ",\"drop_probability\":" << d.drop_probability << "}";
+  }
+  os << "],\"partitions\":[";
+  for (std::size_t i = 0; i < plan.partitions.size(); ++i) {
+    const NetworkPartition& p = plan.partitions[i];
+    os << (i ? "," : "") << "{\"start_at\":" << p.start_at
+       << ",\"heal_at\":" << p.heal_at;
+    if (p.zone_cut) {
+      os << ",\"zone\":" << p.zone;
+    } else {
+      os << ",\"nodes\":[";
+      for (std::size_t n = 0; n < p.nodes.size(); ++n)
+        os << (n ? "," : "") << p.nodes[n];
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 std::uint64_t chaos_seed_from_env(std::uint64_t fallback) {

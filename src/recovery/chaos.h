@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/fault.h"
@@ -40,6 +41,19 @@ struct ChaosConfig {
   /// Offered-load multiplier the harness applies on top of the faults
   /// (passed through; the plan itself cannot express load).
   double load_multiplier = 2.0;
+  /// Network partition windows (FaultPlan::partitions). Drawn inside
+  /// disjoint, equal segments of the horizon so no two windows can ever
+  /// overlap (validate() rejects overlapping cuts).
+  std::size_t partitions = 0;
+  std::uint64_t min_partition_ticks = 40;
+  std::uint64_t max_partition_ticks = 120;
+  /// Zone cut (sever `partition_zone` from the rest) vs node-set cut.
+  bool partition_zone_cut = false;
+  std::uint32_t partition_zone = 1;
+  /// Node-set cuts: nodes on the severed side (drawn from non-protected
+  /// nodes, so the coordinator stays majority-side). 0 = a minority of
+  /// (num_nodes - 1) / 2 nodes.
+  std::size_t partition_side_nodes = 0;
   /// Nodes exempt from every fault (node 0 hosts the coordinator: a
   /// crashed coordinator is a different experiment).
   std::vector<NodeId> protected_nodes = {0};
@@ -51,6 +65,11 @@ struct ChaosSchedule {
   std::vector<NodeId> crash_nodes;
   std::vector<NodeId> flap_nodes;
   std::vector<NodeId> grey_nodes;
+
+  /// The full derived schedule as single-line JSON (seed, probabilities,
+  /// every crash/flap/grey/partition window). Chaos-test failure messages
+  /// embed this, so any failure is reproducible from its log line alone.
+  std::string dump_json() const;
 };
 
 /// Builds a schedule from `config.seed`: shuffles the non-protected nodes

@@ -1,0 +1,41 @@
+// Lease-transfer -> crash-recovery bridge.
+//
+// When a shard lease moves (src/membership), the new holder may have been
+// serving cold for a while — its model replica can lag the committed
+// history. This adapter turns every lease transfer into a
+// ModelReplicaSet::request_catchup for the new holder, so the handoff
+// triggers the same anti-entropy catch-up machinery a crash restart gets
+// and the new authority serves current state as soon as the modelled
+// catch-up completes. Register with LeaseDirectory::add_transfer_listener.
+#pragma once
+
+#include "membership/lease.h"
+#include "recovery/replica.h"
+
+namespace sea {
+
+class LeaseCatchupBridge final : public LeaseTransferListener {
+ public:
+  explicit LeaseCatchupBridge(recovery::ModelReplicaSet& replicas)
+      : replicas_(replicas) {}
+
+  void on_lease_transfer(const std::string& /*table*/, std::size_t /*shard*/,
+                         NodeId new_holder, NodeId /*old_holder*/,
+                         std::uint64_t /*epoch*/,
+                         std::uint64_t /*tick*/) override {
+    ++transfers_seen_;
+    if (replicas_.request_catchup(new_holder)) ++catchups_started_;
+  }
+
+  std::uint64_t transfers_seen() const noexcept { return transfers_seen_; }
+  std::uint64_t catchups_started() const noexcept {
+    return catchups_started_;
+  }
+
+ private:
+  recovery::ModelReplicaSet& replicas_;
+  std::uint64_t transfers_seen_ = 0;
+  std::uint64_t catchups_started_ = 0;
+};
+
+}  // namespace sea

@@ -46,7 +46,9 @@ const ModelReplicaSet::Replica* ModelReplicaSet::find_peer(
     const Replica& r) const {
   for (const Replica& p : replicas_) {
     if (&p == &r) continue;
-    if (p.up && !p.recovering && p.version == committed_version_) return &p;
+    if (p.up && !p.isolated && !p.recovering &&
+        p.version == committed_version_)
+      return &p;
   }
   return nullptr;
 }
@@ -71,8 +73,10 @@ void ModelReplicaSet::observe(const AnalyticalQuery& query, double truth) {
   history_.emplace_back(query, truth);
   for (Replica& r : replicas_) {
     // A recovering replica skips the live stream; the gap is closed by
-    // its anti-entropy rounds (which also backfill its WAL).
-    if (!r.up || r.recovering) continue;
+    // its anti-entropy rounds (which also backfill its WAL). An isolated
+    // replica (partitioned off) misses the stream the same way — the gap
+    // it accumulates is what a post-heal lease handoff must close.
+    if (!r.up || r.recovering || r.isolated) continue;
     r.agent.observe(query, truth);
     r.version = committed_version_;
     store_.append_wal(r.node, WalRecord{committed_version_, query, truth});
@@ -165,6 +169,40 @@ void ModelReplicaSet::begin_recovery(Replica& r) {
   r.catchup_target = r.version;  // replay stage applies nothing new
   r.catchup_ready_ms = now_ms_ + local_ms;
   step_recovery(r);  // zero-cost recoveries complete immediately
+}
+
+void ModelReplicaSet::set_isolated(NodeId node, bool isolated) {
+  Replica* r = find(node);
+  if (r) r->isolated = isolated;
+}
+
+bool ModelReplicaSet::isolated(NodeId node) const {
+  const Replica* r = find(node);
+  return r != nullptr && r->isolated;
+}
+
+bool ModelReplicaSet::request_catchup(NodeId node) {
+  Replica* r = find(node);
+  // A still-isolated node cannot run anti-entropy rounds either — the
+  // handoff must wait for the heal (leases guarantee it does: a minority-
+  // side node can never win the quorum grant that triggers this).
+  if (!r || !r->up || r->isolated || r->recovering) return false;
+  if (r->version >= committed_version_) return false;
+  // Same staged machinery as a restart recovery, but with no local replay
+  // stage: the node's memory survived, it just lags the committed log.
+  r->event = RecoveryEvent{};
+  r->event.node = r->node;
+  r->event.restart_at_ms = now_ms_;
+  r->recovering = true;
+  r->catching_up = false;
+  r->catchup_target = r->version;
+  r->catchup_ready_ms = now_ms_;
+  if (tracer_)
+    tracer_->event("lease_catchup", "", static_cast<std::int64_t>(node));
+  start_catchup_round(*r);
+  step_recovery(*r);
+  sync_metrics();
+  return true;
 }
 
 void ModelReplicaSet::start_catchup_round(Replica& r) {

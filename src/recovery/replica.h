@@ -145,6 +145,24 @@ class ModelReplicaSet final : public ServingModelProvider,
   /// catch-ups after the query stream ends.
   void settle(double step_ms = 5.0, std::size_t max_steps = 10000);
 
+  /// Lease-transfer handoff (src/membership): starts an anti-entropy
+  /// catch-up for a live replica lagging the committed history — the node
+  /// just acquired a shard lease and must serve current state, exactly the
+  /// WAL-replay handoff a crash restart gets, minus the local replay (its
+  /// in-memory state never died). No-op (returns false) when the node is
+  /// unknown, down, still isolated, already recovering, or already caught
+  /// up.
+  bool request_catchup(NodeId node);
+
+  /// Marks `node` connectivity-isolated (minority side of a partition):
+  /// while isolated the replica misses the live observe stream — its model
+  /// and WAL freeze at their current version — but it is not down and can
+  /// keep serving its (increasingly stale) state. Clearing isolation does
+  /// NOT catch the replica up by itself; the handoff that makes it an
+  /// authority again (request_catchup, via a lease transfer) does.
+  void set_isolated(NodeId node, bool isolated);
+  bool isolated(NodeId node) const;
+
   std::uint64_t committed_version() const noexcept {
     return committed_version_;
   }
@@ -165,6 +183,7 @@ class ModelReplicaSet final : public ServingModelProvider,
     DatalessAgent agent;  ///< by value: pointers survive a wipe-by-assign
     std::uint64_t version = 0;
     bool up = true;
+    bool isolated = false;     ///< partitioned off the live observe stream
     bool recovering = false;   ///< restarted, not yet caught up
     bool catching_up = false;  ///< a timed anti-entropy round in flight
     double next_checkpoint_ms = 0.0;

@@ -8,11 +8,11 @@
 
 namespace sea {
 
-// Completeness guard: ServeStats is 12 uint64 outcome/execution/recovery
+// Completeness guard: ServeStats is 13 uint64 outcome/execution/recovery
 // counters; conserved() and sync_metrics() below must cover every one.
 // Adding a field changes the size and fails this assert until both are
 // updated.
-static_assert(sizeof(ServeStats) == 12 * 8,
+static_assert(sizeof(ServeStats) == 13 * 8,
               "ServeStats gained/lost a field: update conserved(), "
               "sync_metrics(), and this guard");
 
@@ -38,6 +38,7 @@ void ServedAnalytics::bind_obs() {
   m_.exact_failures = &reg->counter("serve.exact_failures");
   m_.degraded_served = &reg->counter("serve.degraded_served");
   m_.deadline_exceeded = &reg->counter("serve.deadline_exceeded");
+  m_.fenced_serves = &reg->counter("serve.fenced_serves");
   m_.recoveries = &reg->counter("serve.recoveries");
   m_.replayed_updates = &reg->counter("serve.replayed_updates");
   m_.stale_model_serves = &reg->counter("serve.stale_model_serves");
@@ -62,6 +63,7 @@ void ServedAnalytics::sync_metrics() {
   m_.degraded_served->inc(stats_.degraded_served - mirrored_.degraded_served);
   m_.deadline_exceeded->inc(stats_.deadline_exceeded -
                             mirrored_.deadline_exceeded);
+  m_.fenced_serves->inc(stats_.fenced_serves - mirrored_.fenced_serves);
   m_.recoveries->inc(stats_.recoveries - mirrored_.recoveries);
   m_.replayed_updates->inc(stats_.replayed_updates -
                            mirrored_.replayed_updates);
@@ -107,7 +109,15 @@ ExactResult ServedAnalytics::execute_exact(const AnalyticalQuery& query) {
   obs::SpanScope span(tr, "exact_exec");
   ExactResult res;
   try {
+    // Epoch fence first: a fenced ex-holder must not even start exact
+    // execution under its stale lease (split-brain prevention).
+    if (fence_) fence_->check(query);
     res = exec_.execute(query, config_.exact_paradigm, dl);
+  } catch (const StaleEpoch&) {
+    ++stats_.exact_failures;
+    span.set_tag("stale_epoch");
+    if (tr) tr->event("stale_epoch");
+    throw;
   } catch (const DeadlineExceeded&) {
     ++stats_.exact_failures;
     ++stats_.deadline_exceeded;
@@ -199,25 +209,29 @@ ServedAnswer ServedAnalytics::serve(const AnalyticalQuery& query) {
 
   try {
     out.exact = execute_exact(query);
-  } catch (const OutageError&) {
+  } catch (const OutageError& err) {
     // Exact path unavailable (replicas exhausted / retries exhausted /
-    // deadline blown): serve the model's best answer, explicitly flagged
-    // degraded, instead of failing the query — the availability axis of
-    // the paper's P4. execute_exact already classified the failure.
+    // deadline blown / fenced by a stale lease epoch): serve the model's
+    // best answer, explicitly flagged degraded, instead of failing the
+    // query — the availability axis of the paper's P4. execute_exact
+    // already classified the failure.
     // Re-resolve the model: the injector ticks inside the failed execution
     // may have crashed the primary replica and failed serving over.
+    const bool fenced = dynamic_cast<const StaleEpoch*>(&err) != nullptr;
     model = serving_model();
     std::optional<Prediction> pred =
         model ? model->maybe_predict(query) : std::nullopt;
     if (pred) {
       out.degraded = true;
+      out.fenced = fenced;
       out.data_less = true;
       out.value = pred->value;
       out.prediction = *pred;
       note_model_answer(out);
       ++stats_.degraded_served;
+      if (fenced) ++stats_.fenced_serves;
       ++stats_.data_less_served;
-      root.set_tag("degraded");
+      root.set_tag(fenced ? "fenced" : "degraded");
       advance_provider(0.0);
       sync_metrics();
       out.latency_ms = timer.elapsed_ms();
@@ -329,16 +343,19 @@ std::vector<ServedAnswer> ServedAnalytics::serve_batch(
     }
     try {
       ans.exact = execute_exact(query);
-    } catch (const OutageError&) {
+    } catch (const OutageError& err) {
+      const bool fenced = dynamic_cast<const StaleEpoch*>(&err) != nullptr;
       if (peek[i].usable) {
         ans.degraded = true;
+        ans.fenced = fenced;
         ans.data_less = true;
         ans.value = peek[i].prediction.value;
         ans.prediction = peek[i].prediction;
         note_model_answer(ans);
         ++stats_.degraded_served;
+        if (fenced) ++stats_.fenced_serves;
         ++stats_.data_less_served;
-        root.set_tag("degraded");
+        root.set_tag(fenced ? "fenced" : "degraded");
       } else {
         ++stats_.failed;
         ans.failed = true;

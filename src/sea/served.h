@@ -94,6 +94,19 @@ class ServingModelProvider {
   virtual RecoveryDelta take_recovery_delta() = 0;
 };
 
+/// Epoch fencing for the exact-serving path (implemented by the membership
+/// layer's lease directory, src/membership; interface lives here so the
+/// serving loop needs no membership dependency). check() throws StaleEpoch
+/// when this serving process no longer holds a current lease for the data
+/// the query touches — the ex-holder side of a partition must not serve
+/// exact answers that a new holder may already be contradicting. Fenced
+/// queries degrade to the model-backed read-only path.
+class EpochFence {
+ public:
+  virtual ~EpochFence() = default;
+  virtual void check(const AnalyticalQuery& query) const = 0;
+};
+
 struct ServedAnswer {
   double value = 0.0;
   bool data_less = false;
@@ -108,6 +121,10 @@ struct ServedAnswer {
   /// Load shedding: the admission queue was over its high-water mark, so
   /// the query skipped the BDAS and was answered by the model.
   bool shed = false;
+  /// The exact path was fenced (StaleEpoch: this process's shard-lease
+  /// epoch is no longer current) and the value is a model answer. Always
+  /// implies degraded.
+  bool fenced = false;
   /// Batch serving only: outage + no model — serve() would have thrown;
   /// serve_batch() flags the slot instead so the rest of the batch still
   /// completes. `value` is meaningless when set.
@@ -132,6 +149,10 @@ struct ServeStats {
   std::uint64_t exact_failures = 0;  ///< exact executions that raised an outage
   std::uint64_t degraded_served = 0; ///< model answers served during outages
   std::uint64_t deadline_exceeded = 0;  ///< executions aborted on the budget
+  /// Degraded serves caused by epoch fencing (StaleEpoch): this process is
+  /// a fenced ex-holder and answered read-only from the model. Subset of
+  /// degraded_served.
+  std::uint64_t fenced_serves = 0;
 
   // Crash-recovery accounting (populated only when a ServingModelProvider
   // is attached; see src/recovery).
@@ -172,6 +193,10 @@ class ServedAnalytics {
     provider_ = provider;
   }
 
+  /// Attaches (or detaches, with nullptr) an epoch fence consulted before
+  /// every exact execution. Caller owns the fence; it must outlive use.
+  void set_epoch_fence(const EpochFence* fence) noexcept { fence_ = fence; }
+
   const ServeStats& stats() const noexcept { return stats_; }
   DatalessAgent& agent() noexcept { return agent_; }
   ExactExecutor& executor() noexcept { return exec_; }
@@ -210,6 +235,7 @@ class ServedAnalytics {
   DatalessAgent& agent_;
   ExactExecutor& exec_;
   ServingModelProvider* provider_ = nullptr;
+  const EpochFence* fence_ = nullptr;
   ServeConfig config_;
   ServeStats stats_;
   Rng audit_rng_;
@@ -226,6 +252,7 @@ class ServedAnalytics {
     obs::Counter* exact_failures = nullptr;
     obs::Counter* degraded_served = nullptr;
     obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* fenced_serves = nullptr;
     obs::Counter* recoveries = nullptr;
     obs::Counter* replayed_updates = nullptr;
     obs::Counter* stale_model_serves = nullptr;

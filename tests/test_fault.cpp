@@ -165,10 +165,119 @@ TEST(FaultPlanValidation, AcceptsBackToBackWindowsAndDistinctNodes) {
   EXPECT_NO_THROW(plan.validate());
 }
 
+TEST(FaultPlanValidation, RejectsPartitionWindowStartingAtTickZero) {
+  FaultPlan plan;
+  plan.partitions = {{{1, 2}, false, 0, 0, 9}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsInvertedOrEmptyPartitionWindow) {
+  FaultPlan plan;
+  plan.partitions = {{{1, 2}, false, 0, 5, 5}};  // empty half-open window
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+  plan.partitions = {{{1, 2}, false, 0, 7, 5}};  // inverted
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsNodeSetCutWithNoNodes) {
+  FaultPlan plan;
+  plan.partitions = {{{}, false, 0, 3, 9}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsNodeSetCutListingANodeTwice) {
+  FaultPlan plan;
+  plan.partitions = {{{2, 1, 2}, false, 0, 3, 9}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, RejectsOverlappingPartitionWindows) {
+  // Overlap is rejected across *all* pairs — two simultaneous cuts would
+  // make "which side has quorum" ill-defined.
+  FaultPlan plan;
+  plan.partitions = {{{1, 2}, false, 0, 3, 9}, {{3}, false, 0, 8, 12}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+  // A zone cut overlapping a node-set cut is just as malformed.
+  plan.partitions = {{{1, 2}, false, 0, 3, 9}, {{}, true, 1, 5, 7}};
+  EXPECT_THROW(plan.validate(), FaultPlanError);
+}
+
+TEST(FaultPlanValidation, AcceptsBackToBackPartitionWindows) {
+  FaultPlan plan;
+  plan.partitions = {{{1, 2}, false, 0, 3, 9},
+                     {{2, 3}, false, 0, 9, 14}};  // half-open: 9 touches, no overlap
+  EXPECT_NO_THROW(plan.validate());
+}
+
 TEST(FaultPlanValidation, InjectorConstructorValidates) {
   FaultPlan plan;
   plan.flaps = {{2, 5, 4}};
   EXPECT_THROW(FaultInjector{plan}, FaultPlanError);
+}
+
+TEST(NetworkPartitionFaults, NodeSetCutSeversBothDirectionsAndHeals) {
+  Cluster cluster(4, Network::single_zone(4));
+  FaultPlan plan;
+  plan.partitions = {{{2, 3}, false, 0, 2, 5}};
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  inj.tick(cluster);  // tick 1: window not yet open
+  EXPECT_FALSE(inj.partition_active());
+  EXPECT_FALSE(inj.should_drop(0, 2));
+  inj.tick(cluster);  // tick 2: cut opens
+  EXPECT_TRUE(inj.partition_active());
+  EXPECT_EQ(inj.stats().partition_cuts, 1u);
+  // Both directions across the cut, deterministically.
+  EXPECT_TRUE(inj.link_cut(0, 2));
+  EXPECT_TRUE(inj.link_cut(2, 0));
+  EXPECT_TRUE(inj.should_drop(0, 3));
+  EXPECT_TRUE(inj.should_drop(3, 1));
+  // Within either side the link is untouched.
+  EXPECT_FALSE(inj.should_drop(0, 1));
+  EXPECT_FALSE(inj.should_drop(2, 3));
+  EXPECT_GE(inj.stats().partition_drops, 2u);
+  inj.tick(cluster);
+  inj.tick(cluster);
+  inj.tick(cluster);  // tick 5: heal
+  EXPECT_FALSE(inj.partition_active());
+  EXPECT_EQ(inj.stats().partition_heals, 1u);
+  EXPECT_FALSE(inj.should_drop(0, 2));
+  inj.detach(cluster);
+}
+
+TEST(NetworkPartitionFaults, CutDropsConsumeNoRngDraws) {
+  // A partitioned link drops before the Bernoulli draw, so adding a
+  // partition never shifts the seeded drop/spike sequence of the messages
+  // that still flow within each side.
+  Cluster cluster(4, Network::single_zone(4));
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.partitions = {{{3}, false, 0, 1, 100}};
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  inj.tick(cluster);
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(inj.should_drop(0, 3));
+  FaultInjector twin(plan);  // same seed, no cut-link queries at all
+  twin.tick(cluster);
+  EXPECT_DOUBLE_EQ(inj.rng().uniform(), twin.rng().uniform());
+  inj.detach(cluster);
+}
+
+TEST(NetworkPartitionFaults, ZoneCutUsesTheAttachedZoneMap) {
+  // Nodes 0,1 in zone 0; nodes 2,3 in zone 1. Cutting zone 1 severs every
+  // cross-zone link and nothing else.
+  Network net({0, 0, 1, 1}, LinkSpec{}, LinkSpec{});
+  Cluster cluster(4, std::move(net));
+  FaultPlan plan;
+  plan.partitions = {{{}, true, 1, 1, 50}};
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  inj.tick(cluster);
+  EXPECT_TRUE(inj.link_cut(0, 2));
+  EXPECT_TRUE(inj.link_cut(3, 1));
+  EXPECT_FALSE(inj.link_cut(0, 1));
+  EXPECT_FALSE(inj.link_cut(2, 3));
+  inj.detach(cluster);
 }
 
 TEST(Network, TrySendDropsAndAccountsSeparately) {
@@ -330,6 +439,92 @@ TEST_F(FaultyClusterFixture, RpcRetriesExhaustedSurfacesAsRuntimeError) {
   EXPECT_THROW(exec.execute(q, ExecParadigm::kCoordinatorIndexed),
                RpcRetriesExhausted);
   EXPECT_THROW(exec.execute(q, ExecParadigm::kMapReduce), std::runtime_error);
+  inj.detach(cluster);
+  cluster.set_retry_policy(RetryPolicy{});
+}
+
+// --- Retry-storm guard: the session/run-scoped retry token budget ---
+
+TEST(RetryPolicy, BudgetDefaultsToUnlimited) {
+  EXPECT_EQ(RetryPolicy{}.retry_budget, 0u);  // 0 = unlimited (seed behavior)
+}
+
+TEST_F(FaultyClusterFixture, SessionRetryBudgetFailsFastAcrossCalls) {
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  RetryPolicy policy;
+  policy.max_attempts = 10;  // per-call ladder alone would retry 9 times
+  policy.retry_budget = 3;
+  cluster.set_retry_policy(policy);
+  CohortSession session(cluster, 0);
+  try {
+    session.rpc(1, 64, 64, [] { return 0; });
+    FAIL() << "expected RpcRetriesExhausted";
+  } catch (const RpcRetriesExhausted& e) {
+    EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(session.retry_tokens_used(), 3u);
+  // Session-scoped, not per-call: the next failing call has no tokens
+  // left and fails fast on its first failure — a correlated outage stops
+  // amplifying instead of paying the full ladder per call.
+  try {
+    session.rpc(2, 64, 64, [] { return 0; });
+    FAIL() << "expected RpcRetriesExhausted";
+  } catch (const RpcRetriesExhausted& e) {
+    EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(session.retry_tokens_used(), 3u);  // nothing more was spent
+  const ExecReport rep = session.take_report();
+  EXPECT_EQ(rep.retries, 3u);
+  EXPECT_EQ(rep.retry_budget_exhausted, 2u);
+  inj.detach(cluster);
+  cluster.set_retry_policy(RetryPolicy{});
+}
+
+TEST_F(FaultyClusterFixture, MapReduceRunSharesOneRetryBudget) {
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.retry_budget = 2;
+  cluster.set_retry_policy(policy);
+  ExactExecutor exec(cluster, "t");
+  const auto q = range_count_query(0.2, 0.8, 0.2, 0.8);
+  try {
+    exec.execute(q, ExecParadigm::kMapReduce);
+    FAIL() << "expected RpcRetriesExhausted";
+  } catch (const RpcRetriesExhausted& e) {
+    EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos)
+        << e.what();
+  }
+  inj.detach(cluster);
+  cluster.set_retry_policy(RetryPolicy{});
+}
+
+TEST_F(FaultyClusterFixture, GenerousBudgetLeavesRecoveryUntouched) {
+  // A budget larger than the retries a run needs changes nothing: same
+  // answer, same retry count as the unlimited default.
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_probability = 0.15;
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.retry_budget = 1000;
+  cluster.set_retry_policy(policy);
+  ExactExecutor exec(cluster, "t");
+  const auto q = range_count_query(0.1, 0.9, 0.1, 0.9);
+  const auto res = exec.execute(q, ExecParadigm::kCoordinatorIndexed);
+  EXPECT_NEAR(res.answer, brute_force_answer(table, q), 1e-9);
+  EXPECT_GT(res.report.retries, 0u);
+  EXPECT_EQ(res.report.retry_budget_exhausted, 0u);
   inj.detach(cluster);
   cluster.set_retry_policy(RetryPolicy{});
 }

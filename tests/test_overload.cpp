@@ -502,5 +502,66 @@ TEST_F(OverloadClusterFixture, AdmissionQueueShedsAboveHighWaterAndDrains) {
   EXPECT_DOUBLE_EQ(unlimited.queue_backlog_ms(), 0.0);
 }
 
+// --- Breakers x partitions: unreachable is not down ---
+
+TEST(BreakerPartition, PartitionOpensBreakerAndHealClosesItWithoutProbeStorm) {
+  // A partitioned node is perfectly healthy — every request to it just
+  // times out. The breaker must open on those timeouts (ending the retry
+  // hammering), must NOT flap through half-open probes while the cut
+  // stands, and must close cleanly on the first probe after the heal.
+  Cluster cluster(4, Network::single_zone(4));
+  FaultPlan plan;
+  plan.partitions = {{{3}, false, 0, 1, 500}};
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  BreakerConfig bc;
+  bc.enabled = true;
+  bc.failure_threshold = 4;
+  bc.cooldown_ms = 50.0;
+  cluster.set_breaker_config(bc);
+  RetryPolicy rp;
+  rp.max_attempts = 2;
+  cluster.set_retry_policy(rp);
+
+  CohortSession session(cluster, 0);
+  std::uint64_t retries_exhausted = 0;
+  std::uint64_t breaker_fast_fails = 0;
+  for (int i = 0; i < 30; ++i) {
+    try {
+      session.rpc(3, 64, 64, [] { return 0; });
+      FAIL() << "rpc across the cut cannot succeed";
+    } catch (const RpcRetriesExhausted&) {
+      ++retries_exhausted;
+    } catch (const NodeDownError&) {
+      ++breaker_fast_fails;
+    }
+  }
+  // The cut was mistaken for a dead node by the breaker (correctly — it
+  // cannot tell), while ground truth says the node never went down.
+  EXPECT_GT(retries_exhausted, 0u);
+  EXPECT_GT(breaker_fast_fails, 0u);
+  EXPECT_EQ(cluster.breakers().state(3), BreakerState::kOpen);
+  EXPECT_FALSE(cluster.node_is_down(3));
+  // No spurious half-open storm while the cut stands: fast-fails advance
+  // no modelled time, so the breaker probes at most once per elapsed
+  // cooldown, not once per call.
+  EXPECT_LE(cluster.breakers().stats().half_open_probes, 3u);
+  EXPECT_GT(cluster.breakers().stats().short_circuits, 0u);
+
+  // Heal the cut, let the cooldown elapse: the first call is the probe,
+  // it succeeds, and the breaker closes for good.
+  while (inj.partition_active() || inj.now() < 500) inj.tick(cluster);
+  cluster.breakers().advance(bc.cooldown_ms);
+  EXPECT_EQ(session.rpc(3, 64, 64, [] { return 7; }), 7);
+  EXPECT_EQ(cluster.breakers().state(3), BreakerState::kClosed);
+  const std::uint64_t probes_after_heal =
+      cluster.breakers().stats().half_open_probes;
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(session.rpc(3, 64, 64, [i] { return i; }), i);
+  EXPECT_EQ(cluster.breakers().stats().half_open_probes, probes_after_heal);
+  EXPECT_EQ(cluster.breakers().state(3), BreakerState::kClosed);
+  inj.detach(cluster);
+}
+
 }  // namespace
 }  // namespace sea

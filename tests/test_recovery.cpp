@@ -472,6 +472,81 @@ TEST(ChaosSchedule, RejectsInfeasibleConfigs) {
   EXPECT_THROW(make_chaos_schedule(short_horizon), std::invalid_argument);
 }
 
+TEST(ChaosSchedule, PartitionWindowsAreDisjointForEverySeed) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    ChaosConfig cc;
+    cc.seed = seed;
+    cc.partitions = 3;
+    cc.min_partition_ticks = 40;
+    cc.max_partition_ticks = 120;
+    const ChaosSchedule s = make_chaos_schedule(cc);
+    ASSERT_EQ(s.plan.partitions.size(), 3u);
+    EXPECT_NO_THROW(s.plan.validate());
+    for (const NetworkPartition& p : s.plan.partitions) {
+      EXPECT_FALSE(p.zone_cut);
+      // Default side: a minority of the 8-node cluster, never node 0.
+      EXPECT_EQ(p.nodes.size(), 3u);
+      for (const NodeId n : p.nodes) EXPECT_NE(n, 0u);
+      EXPECT_GE(p.start_at, 1u);
+      EXPECT_LE(p.heal_at, cc.horizon_ticks);
+      const std::uint64_t len = p.heal_at - p.start_at;
+      EXPECT_GE(len, cc.min_partition_ticks);
+      EXPECT_LE(len, cc.max_partition_ticks);
+    }
+  }
+}
+
+TEST(ChaosSchedule, ZoneCutPartitionsCarryTheZone) {
+  ChaosConfig cc;
+  cc.partitions = 2;
+  cc.partition_zone_cut = true;
+  cc.partition_zone = 1;
+  const ChaosSchedule s = make_chaos_schedule(cc);
+  ASSERT_EQ(s.plan.partitions.size(), 2u);
+  for (const NetworkPartition& p : s.plan.partitions) {
+    EXPECT_TRUE(p.zone_cut);
+    EXPECT_EQ(p.zone, 1u);
+    EXPECT_TRUE(p.nodes.empty());
+  }
+}
+
+TEST(ChaosSchedule, RejectsInfeasiblePartitionConfigs) {
+  ChaosConfig tight;
+  tight.partitions = 4;
+  tight.horizon_ticks = 400;  // 99-tick segments < max_partition_ticks
+  tight.max_partition_ticks = 120;
+  EXPECT_THROW(make_chaos_schedule(tight), std::invalid_argument);
+
+  ChaosConfig inverted;
+  inverted.partitions = 1;
+  inverted.min_partition_ticks = 80;
+  inverted.max_partition_ticks = 40;
+  EXPECT_THROW(make_chaos_schedule(inverted), std::invalid_argument);
+
+  ChaosConfig whole_cluster;
+  whole_cluster.partitions = 1;
+  whole_cluster.partition_side_nodes = 8;  // cuts nobody off from nobody
+  EXPECT_THROW(make_chaos_schedule(whole_cluster), std::invalid_argument);
+}
+
+TEST(ChaosSchedule, DumpJsonReproducesTheDerivedPlan) {
+  ChaosConfig cc;
+  cc.seed = 77;
+  cc.partitions = 2;
+  const ChaosSchedule s = make_chaos_schedule(cc);
+  const std::string j = s.dump_json();
+  EXPECT_NE(j.find("\"seed\":77"), std::string::npos);
+  EXPECT_NE(j.find("\"crashes\":["), std::string::npos);
+  EXPECT_NE(j.find("\"flaps\":["), std::string::npos);
+  EXPECT_NE(j.find("\"grey\":["), std::string::npos);
+  EXPECT_NE(j.find("\"partitions\":["), std::string::npos);
+  std::ostringstream first_cut;
+  first_cut << "\"start_at\":" << s.plan.partitions[0].start_at;
+  EXPECT_NE(j.find(first_cut.str()), std::string::npos);
+  // Same seed, same dump: the line is a complete repro token.
+  EXPECT_EQ(j, make_chaos_schedule(cc).dump_json());
+}
+
 TEST(ChaosSchedule, SeedSweepsFromEnvironment) {
   ::unsetenv("SEA_CHAOS_SEED");
   EXPECT_EQ(chaos_seed_from_env(5), 5u);
@@ -495,6 +570,7 @@ struct ChaosRun {
   bool home_recovered = false;
   std::string trace_json;
   std::string metrics_json;
+  std::string schedule_json;
 };
 
 ChaosRun run_chaos(double checkpoint_interval_ms, std::uint64_t seed) {
@@ -595,11 +671,15 @@ ChaosRun run_chaos(double checkpoint_interval_ms, std::uint64_t seed) {
                        rs.replica_version(home) == rs.committed_version();
   out.trace_json = tracer.dump_json();
   out.metrics_json = metrics.snapshot_json();
+  out.schedule_json = sched.dump_json();
   return out;
 }
 
 TEST(ChaosScenario, EveryQueryAnsweredOrAccountedAndReplicasRecover) {
   const ChaosRun r = run_chaos(300.0, chaos_seed_from_env(0xC4A05));
+  // Any failure below prints the full derived schedule: one log line is a
+  // complete repro (re-run with SEA_CHAOS_SEED from the dump).
+  SCOPED_TRACE("chaos schedule: " + r.schedule_json);
   // 100% answered-or-accounted: the outcome classes partition the queries
   // (300 warm + 450 storm).
   EXPECT_EQ(r.serve.queries, 750u);
@@ -634,6 +714,7 @@ TEST(ChaosScenario, CheckpointingStrictlyReducesStaleServes) {
   const std::uint64_t seed = 0xC4A05;
   const ChaosRun on = run_chaos(100.0, seed);
   const ChaosRun off = run_chaos(0.0, seed);
+  SCOPED_TRACE("chaos schedule: " + on.schedule_json);
   EXPECT_GT(on.rec.checkpoints, 0u);
   EXPECT_EQ(off.rec.checkpoints, 0u);
   EXPECT_LT(on.serve.stale_model_serves, off.serve.stale_model_serves);
@@ -648,6 +729,7 @@ TEST(ChaosScenario, TraceAndMetricsByteIdenticalAcrossThreadCounts) {
   set_configured_threads(8);
   const ChaosRun eight = run_chaos(300.0, seed);
   set_configured_threads(0);  // back to the environment default
+  SCOPED_TRACE("chaos schedule: " + one.schedule_json);
   EXPECT_EQ(one.trace_json, eight.trace_json);
   EXPECT_EQ(one.metrics_json, eight.metrics_json);
 }
