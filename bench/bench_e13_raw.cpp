@@ -36,16 +36,29 @@ void run() {
   row("%8s %14s %16s %14s %12s %10s", "query#", "time_ms(meas)",
       "bytes_parsed", "values_scanned", "aux_KiB", "cracked");
 
+  // Machine-readable record per query: measured wall time next to the
+  // deterministic cost counters (bytes parsed / values scanned), the
+  // hardware-independent half of the story.
+  BenchJsonWriter json;
   Rng rng(132);
   for (int i = 0; i < 10; ++i) {
     const double lo = rng.uniform(0.2, 0.5);
     RawQueryCost cost;
     Timer t;
     store.range_aggregate(0, lo, lo + 0.2, 4, &cost);
-    row("%8d %14.2f %16llu %14llu %12zu %10s", i + 1, t.elapsed_ms(),
+    const double wall_ms = t.elapsed_ms();
+    row("%8d %14.2f %16llu %14llu %12zu %10s", i + 1, wall_ms,
         static_cast<unsigned long long>(cost.bytes_parsed),
         static_cast<unsigned long long>(cost.values_scanned),
         store.aux_bytes() / 1024, cost.used_sorted_piece ? "yes" : "no");
+    json.begin("e13_raw_query");
+    json.num("query", static_cast<std::uint64_t>(i + 1));
+    json.num("wall_ms", wall_ms);
+    json.num("bytes_parsed", cost.bytes_parsed);
+    json.num("values_scanned", cost.values_scanned);
+    json.num("aux_bytes", static_cast<std::uint64_t>(store.aux_bytes()));
+    json.num("used_sorted_piece",
+             std::uint64_t{cost.used_sorted_piece ? 1u : 0u});
   }
   row("columns materialized: %zu of %zu (the rest never left the raw "
       "bytes)",
@@ -58,8 +71,13 @@ void run() {
     write_csv(table, ss2);
     return read_csv(ss2);
   }();
+  const double eager_ms = eager.elapsed_ms();
   row("\neager full parse (all columns): %.1f ms, %zu KiB resident",
-      eager.elapsed_ms(), parsed.byte_size() / 1024);
+      eager_ms, parsed.byte_size() / 1024);
+  json.begin("e13_eager_parse");
+  json.num("wall_ms", eager_ms);
+  json.num("resident_bytes", static_cast<std::uint64_t>(parsed.byte_size()));
+  json.write_file("BENCH_e13.json");
   std::printf(
       "\nExpected shape: query 1 pays one column's parse; queries 2-3 scan\n"
       "the cached column; from query 4 the sorted piece answers in\n"

@@ -24,6 +24,10 @@ void run() {
   row("%10s %14s %16s %15s %14s %16s %12s %12s %12s", "rows",
       "mr_ms(model)", "mr_wall_ms(meas)", "mr_cpu_ms(meas)", "idx_ms(model)",
       "agent_us(meas)", "hit_rate", "agent_rows", "mr_rows");
+  // Machine-readable record per rows point: modelled makespan (hardware-
+  // independent) side by side with measured wall time, so cross-PR diffs
+  // can tell a cost-model change from a real perf change.
+  BenchJsonWriter json;
 
   for (const std::size_t rows : {10000u, 30000u, 100000u, 300000u}) {
     Scenario s(rows, 16, AnalyticType::kCount);
@@ -77,7 +81,18 @@ void run() {
         static_cast<double>(hits) / static_cast<double>(asked),
         static_cast<unsigned long long>(s.cluster.stats().rows_scanned),
         static_cast<unsigned long long>(mr_rows));
+    json.begin("e1_rows_sweep");
+    json.num("rows", static_cast<std::uint64_t>(rows));
+    json.num("mr_modelled_ms", mr_ms.mean());
+    json.num("mr_wall_ms", mr_wall.mean());
+    json.num("mr_cpu_ms", mr_cpu.mean());
+    json.num("idx_modelled_ms", idx_ms.mean());
+    json.num("agent_us", agent_us.mean());
+    json.num("hit_rate",
+             static_cast<double>(hits) / static_cast<double>(asked));
+    json.num("agent_rows_scanned", s.cluster.stats().rows_scanned);
   }
+  json.write_file("BENCH_e1.json");
   std::printf(
       "\nExpected shape: mr_ms grows ~linearly with rows; agent_us flat and\n"
       "orders of magnitude below; agent_rows (base rows touched while\n"

@@ -4,13 +4,18 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <string_view>
+#include <thread>
 
 #include "aqp/stat_cache.h"
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "common/primitives.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "data/columnar.h"
 #include "data/generator.h"
 #include "exec/mapreduce.h"
 #include "index/bloom.h"
@@ -221,6 +226,411 @@ BENCHMARK(BM_AgentObserve);
 
 namespace bench {
 
+/// Best-of-N wall clock (ms) of `body`.
+template <typename F>
+double best_of_ms(std::size_t reps, F&& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    Timer t;
+    body();
+    best = std::min(best, t.elapsed_ms());
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive benchmarks (src/common/primitives.h) with naive serial
+// references. Each case returns a checksum so the perf-smoke gate can
+// verify the primitive computes the same answer as the reference it is
+// timed against. `exact` cases must match bitwise (stable sorts, integer
+// histograms, the serial-fold-identical scan); tree-combined folds
+// (reduce_add, collect_reduce) match to relative tolerance only.
+// ---------------------------------------------------------------------------
+
+struct PrimData {
+  std::vector<double> vals;        ///< uniform doubles
+  std::vector<std::uint32_t> keys; ///< keys in [0, buckets)
+  std::vector<std::uint32_t> idx;  ///< random permutation of [0, n)
+  std::size_t buckets = 0;
+};
+
+PrimData make_prim_data(std::size_t n, std::size_t buckets) {
+  PrimData d;
+  d.buckets = buckets;
+  Rng rng(101);
+  d.vals.resize(n);
+  for (auto& v : d.vals) v = rng.uniform();
+  d.keys.resize(n);
+  for (auto& k : d.keys)
+    k = static_cast<std::uint32_t>(rng.uniform_index(buckets));
+  d.idx.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    d.idx[i] = static_cast<std::uint32_t>(i);
+  rng.shuffle(d.idx);
+  return d;
+}
+
+struct PrimCase {
+  const char* name;
+  bool exact;  ///< checksum must equal the reference's bitwise
+  std::function<double()> run;    ///< the primitive; returns a checksum
+  std::function<double()> naive;  ///< serial reference; same checksum formula
+};
+
+std::vector<PrimCase> make_prim_cases(const PrimData& d) {
+  const std::size_t n = d.vals.size();
+  const std::size_t buckets = d.buckets;
+  const auto hist_sum = [buckets](const std::vector<std::uint64_t>& h) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < buckets; ++k)
+      s += static_cast<double>(k + 1) * static_cast<double>(h[k]);
+    return s;
+  };
+  std::vector<PrimCase> cases;
+  cases.push_back(
+      {"reduce_add", false,
+       [&d] { return par::reduce_add(d.vals); },
+       [&d] {
+         double s = 0.0;
+         for (const double v : d.vals) s += v;
+         return s;
+       }});
+  cases.push_back(
+      {"scan_exclusive", false,  // double scan: deterministic, not
+                                 // serial-fold-identical (see primitives.h)
+       [&d, n] {
+         std::vector<double> out(n);
+         const double total = par::scan_exclusive(
+             std::span<const double>(d.vals), std::span<double>(out));
+         return total + out[n / 2];
+       },
+       [&d, n] {
+         std::vector<double> out(n);
+         double acc = 0.0;
+         for (std::size_t i = 0; i < n; ++i) {
+           out[i] = acc;
+           acc += d.vals[i];
+         }
+         return acc + out[n / 2];
+       }});
+  cases.push_back(
+      {"histogram", true,
+       [&d, hist_sum] { return hist_sum(par::histogram(d.keys, d.buckets)); },
+       [&d, buckets, hist_sum] {
+         std::vector<std::uint64_t> h(buckets, 0);
+         for (const auto k : d.keys) ++h[k];
+         return hist_sum(h);
+       }});
+  cases.push_back(
+      {"counting_sort", true,
+       [&d, n, buckets] {
+         const par::CountingSort cs = par::counting_sort(d.keys, buckets);
+         return static_cast<double>(cs.order[n / 2]) +
+                static_cast<double>(cs.offsets[buckets / 2]);
+       },
+       [&d, n, buckets] {
+         std::vector<std::uint32_t> offsets(buckets + 1, 0);
+         for (const auto k : d.keys) ++offsets[k + 1];
+         for (std::size_t k = 0; k < buckets; ++k)
+           offsets[k + 1] += offsets[k];
+         std::vector<std::uint32_t> cur(offsets.begin(),
+                                        offsets.end() - 1);
+         std::vector<std::uint32_t> order(n);
+         for (std::size_t i = 0; i < n; ++i)
+           order[cur[d.keys[i]]++] = static_cast<std::uint32_t>(i);
+         return static_cast<double>(order[n / 2]) +
+                static_cast<double>(offsets[buckets / 2]);
+       }});
+  cases.push_back(
+      {"collect_reduce", false,
+       [&d] {
+         const auto out = par::collect_reduce(
+             std::span<const std::uint32_t>(d.keys),
+             std::span<const double>(d.vals), d.buckets, 0.0,
+             [](double a, double b) { return a + b; });
+         double s = 0.0;
+         for (const double v : out) s += v;
+         return s;
+       },
+       [&d, buckets] {
+         std::vector<double> out(buckets, 0.0);
+         for (std::size_t i = 0; i < d.keys.size(); ++i)
+           out[d.keys[i]] += d.vals[i];
+         double s = 0.0;
+         for (const double v : out) s += v;
+         return s;
+       }});
+  cases.push_back(
+      {"gather", true,
+       [&d, n] {
+         std::vector<double> out(n);
+         par::gather(std::span<const double>(d.vals),
+                     std::span<const std::uint32_t>(d.idx),
+                     std::span<double>(out));
+         return out[n / 2] + out[n - 1];
+       },
+       [&d, n] {
+         std::vector<double> out(n);
+         for (std::size_t i = 0; i < n; ++i) out[i] = d.vals[d.idx[i]];
+         return out[n / 2] + out[n - 1];
+       }});
+  cases.push_back(
+      {"sample_sort", true,
+       [&d, n] {
+         std::vector<double> v = d.vals;
+         par::sample_sort(std::span<double>(v));
+         return v[n / 4] + v[n / 2];
+       },
+       [&d, n] {
+         std::vector<double> v = d.vals;
+         std::sort(v.begin(), v.end());
+         return v[n / 4] + v[n / 2];
+       }});
+  return cases;
+}
+
+// ---------------------------------------------------------------------------
+// Columnar scan/aggregate kernel vs the row-at-a-time baseline it replaced
+// (Table::gather into a Point per row). Byte-identical answers by design.
+// ---------------------------------------------------------------------------
+
+struct ScanBench {
+  Table table;
+  std::vector<std::size_t> cols;
+  Rect query;
+};
+
+ScanBench make_scan_bench(std::size_t rows) {
+  ScanBench s{make_clustered_dataset(rows, 2, 3, 31), {0, 1}, {}};
+  s.query = table_bounds(s.table, s.cols);
+  // Central box covering roughly a quarter of each dimension's extent.
+  for (std::size_t i = 0; i < s.query.lo.size(); ++i) {
+    const double w = s.query.hi[i] - s.query.lo[i];
+    s.query.lo[i] += 0.25 * w;
+    s.query.hi[i] -= 0.25 * w;
+  }
+  return s;
+}
+
+double row_scan_aggregate(const ScanBench& s) {
+  AggregateState agg;
+  Point p;
+  for (std::size_t r = 0; r < s.table.num_rows(); ++r) {
+    s.table.gather(r, s.cols, p);
+    if (s.query.contains(p)) agg.add(s.table.at(r, 2), 0.0);
+  }
+  return agg.finalize(AnalyticType::kAvg) + static_cast<double>(agg.count);
+}
+
+double columnar_scan_aggregate(const ScanBench& s,
+                               std::vector<std::uint32_t>& sel) {
+  select_range(s.table, s.cols, s.query, sel);
+  const auto t_col = s.table.column(2);
+  AggregateState agg;
+  for (const std::uint32_t r : sel) agg.add(t_col[r], 0.0);
+  return agg.finalize(AnalyticType::kAvg) + static_cast<double>(agg.count);
+}
+
+/// Per-primitive threads sweep at 1M and 10M elements, plus the columnar
+/// kernel and index builds at 1M rows. Each record carries wall_ms and
+/// speedup_vs_1t (this host's hw_threads field says how much parallelism
+/// was physically available — on a 1-core container the speedups sit at
+/// ~1.0 by construction, which is the determinism contract's cheap half:
+/// same results, graceful degradation).
+void run_primitives_sweep(BenchJsonWriter& json) {
+  const std::size_t threads_sweep[] = {1, 2, 4, 8};
+  const std::uint64_t hw = std::thread::hardware_concurrency();
+  std::printf("\nprimitives sweep (hw_threads=%llu)\n",
+              static_cast<unsigned long long>(hw));
+  std::printf("%-22s %10s %8s %12s %12s\n", "primitive", "n", "threads",
+              "wall_ms", "speedup_1t");
+
+  for (const std::size_t n : {std::size_t{1000000}, std::size_t{10000000}}) {
+    const std::size_t reps = n >= 10000000 ? 2 : 3;
+    const PrimData d = make_prim_data(n, 1024);
+    for (const auto& c : make_prim_cases(d)) {
+      double wall_1t = 0.0;
+      for (const std::size_t threads : threads_sweep) {
+        set_configured_threads(threads);
+        double checksum = 0.0;
+        const double wall =
+            best_of_ms(reps, [&] { checksum = c.run(); });
+        if (threads == 1) wall_1t = wall;
+        json.begin(c.name);
+        json.num("threads", static_cast<std::uint64_t>(threads));
+        json.num("n", static_cast<std::uint64_t>(n));
+        json.num("hw_threads", hw);
+        json.num("wall_ms", wall);
+        json.num("speedup_vs_1t", wall > 0.0 ? wall_1t / wall : 1.0);
+        json.num("checksum", checksum);
+        std::printf("%-22s %10zu %8zu %12.2f %12.2f\n", c.name, n, threads,
+                    wall, wall > 0.0 ? wall_1t / wall : 1.0);
+      }
+    }
+  }
+
+  // Columnar kernel + index builds at 1M rows.
+  constexpr std::size_t kRows = 1000000;
+  constexpr std::size_t kReps = 3;
+  const ScanBench sb = make_scan_bench(kRows);
+  set_configured_threads(1);
+  const double row_ms = best_of_ms(kReps, [&] {
+    benchmark::DoNotOptimize(row_scan_aggregate(sb));
+  });
+  json.begin("row_scan_aggregate");
+  json.num("threads", std::uint64_t{1});
+  json.num("n", static_cast<std::uint64_t>(kRows));
+  json.num("hw_threads", hw);
+  json.num("wall_ms", row_ms);
+  std::printf("%-22s %10zu %8d %12.2f %12s\n", "row_scan_aggregate", kRows, 1,
+              row_ms, "-");
+
+  const auto pts1m = bench_points(kRows, 2);
+  const Rect domain{{0, 0}, {1, 1}};
+  double col_1t = 0.0, grid_1t = 0.0, si_1t = 0.0;
+  for (const std::size_t threads : threads_sweep) {
+    set_configured_threads(threads);
+    std::vector<std::uint32_t> sel;
+    const double col_ms = best_of_ms(kReps, [&] {
+      benchmark::DoNotOptimize(columnar_scan_aggregate(sb, sel));
+    });
+    if (threads == 1) col_1t = col_ms;
+    json.begin("columnar_scan_aggregate");
+    json.num("threads", static_cast<std::uint64_t>(threads));
+    json.num("n", static_cast<std::uint64_t>(kRows));
+    json.num("hw_threads", hw);
+    json.num("wall_ms", col_ms);
+    json.num("speedup_vs_1t", col_ms > 0.0 ? col_1t / col_ms : 1.0);
+    json.num("speedup_vs_row", col_ms > 0.0 ? row_ms / col_ms : 1.0);
+    std::printf("%-22s %10zu %8zu %12.2f %12.2f\n", "columnar_scan_aggregate",
+                kRows, threads, col_ms,
+                col_ms > 0.0 ? col_1t / col_ms : 1.0);
+
+    const double grid_ms = best_of_ms(kReps, [&] {
+      GridIndex grid(pts1m, domain, 64);
+      benchmark::DoNotOptimize(grid.num_cells());
+    });
+    if (threads == 1) grid_1t = grid_ms;
+    json.begin("grid_build");
+    json.num("threads", static_cast<std::uint64_t>(threads));
+    json.num("n", static_cast<std::uint64_t>(kRows));
+    json.num("hw_threads", hw);
+    json.num("wall_ms", grid_ms);
+    json.num("speedup_vs_1t", grid_ms > 0.0 ? grid_1t / grid_ms : 1.0);
+    std::printf("%-22s %10zu %8zu %12.2f %12.2f\n", "grid_build", kRows,
+                threads, grid_ms, grid_ms > 0.0 ? grid_1t / grid_ms : 1.0);
+
+    const double si_ms = best_of_ms(kReps, [&] {
+      ScoreIndex idx(sb.table, 0, 2, 1);
+      benchmark::DoNotOptimize(idx.size());
+    });
+    if (threads == 1) si_1t = si_ms;
+    json.begin("score_index_build_1m");
+    json.num("threads", static_cast<std::uint64_t>(threads));
+    json.num("n", static_cast<std::uint64_t>(kRows));
+    json.num("hw_threads", hw);
+    json.num("wall_ms", si_ms);
+    json.num("speedup_vs_1t", si_ms > 0.0 ? si_1t / si_ms : 1.0);
+    std::printf("%-22s %10zu %8zu %12.2f %12.2f\n", "score_index_build_1m",
+                kRows, threads, si_ms, si_ms > 0.0 ? si_1t / si_ms : 1.0);
+  }
+  set_configured_threads(0);
+}
+
+/// CI perf-smoke over the primitives at n=1M (best of 3). Two gates, both
+/// relative to references measured in the same process — never an absolute
+/// ms threshold, so the stage is stable across host speeds:
+///  (a) correctness — every primitive computes the same answer as its
+///      naive serial reference (bitwise for the exact cases);
+///  (b) thread monotonicity — wall at SEA_THREADS=2 must not exceed
+///      1.5x the wall at SEA_THREADS=1 (+1ms slack for tiny cases). On a
+///      multi-core host 2 threads should win outright; on a 1-core CI
+///      runner the two runs do identical work, so anything beyond the
+///      tolerance is a real regression (e.g. a primitive that started
+///      scaling its work with the worker count).
+/// The ratio vs the naive serial reference is recorded (not gated): the
+/// blocked two-pass structure costs a bounded constant factor serially,
+/// which parallel hosts buy back.
+/// Writes BENCH_micro.json; returns a process exit code.
+int run_perf_smoke() {
+  constexpr std::size_t kReps = 3;
+  constexpr std::size_t kRows = 1000000;
+  constexpr double kTolerance = 1.5;
+  constexpr double kSlackMs = 1.0;
+  BenchJsonWriter json;
+  bool ok = true;
+  std::printf("perf-smoke: n=%zu, best of %zu, gate wall(2t) <= %.1fx "
+              "wall(1t) + %.0fms and answers == naive serial\n",
+              kRows, kReps, kTolerance, kSlackMs);
+  std::printf("%-26s %10s %10s %10s %7s %6s\n", "case", "wall_1t",
+              "wall_2t", "naive_ms", "2t/1t", "pass");
+
+  const auto gate = [&](const std::string& name, double wall_1t,
+                        double wall_2t, double naive, bool answers_match) {
+    const double ratio = wall_1t > 0.0 ? wall_2t / wall_1t : 1.0;
+    const bool pass =
+        answers_match && wall_2t <= kTolerance * wall_1t + kSlackMs;
+    json.begin("smoke_" + name);
+    json.num("n", static_cast<std::uint64_t>(kRows));
+    json.num("wall_ms_1t", wall_1t);
+    json.num("wall_ms_2t", wall_2t);
+    json.num("naive_ms", naive);
+    json.num("ratio_2t_vs_1t", ratio);
+    json.num("ratio_vs_naive", naive > 0.0 ? wall_2t / naive : 1.0);
+    json.num("answers_match", std::uint64_t{answers_match ? 1u : 0u});
+    json.num("pass", std::uint64_t{pass ? 1u : 0u});
+    std::printf("%-26s %10.2f %10.2f %10.2f %7.2f %6s\n", name.c_str(),
+                wall_1t, wall_2t, naive, ratio, pass ? "ok" : "FAIL");
+    if (!pass) ok = false;
+  };
+  const auto matches = [](double a, double b, bool exact) {
+    if (exact) return a == b;
+    return std::abs(a - b) <= 1e-9 * std::max(1.0, std::abs(a));
+  };
+
+  const PrimData d = make_prim_data(kRows, 1024);
+  for (const auto& c : make_prim_cases(d)) {
+    double par_sum = 0.0, naive_sum = 0.0;
+    set_configured_threads(1);
+    const double wall_1t = best_of_ms(kReps, [&] { par_sum = c.run(); });
+    const double naive = best_of_ms(kReps, [&] { naive_sum = c.naive(); });
+    const bool match_1t = matches(par_sum, naive_sum, c.exact);
+    set_configured_threads(2);
+    const double wall_2t = best_of_ms(kReps, [&] { par_sum = c.run(); });
+    gate(c.name, wall_1t, wall_2t, naive,
+         match_1t && matches(par_sum, naive_sum, c.exact));
+  }
+
+  // The columnar kernel is additionally gated against the row-at-a-time
+  // scan it replaced: identical answer, and it must not be slower (the
+  // kernel strictly removes work — per-row Point stores and per-access
+  // bounds checks — so this holds even serially).
+  const ScanBench sb = make_scan_bench(kRows);
+  std::vector<std::uint32_t> sel;
+  double col_sum = 0.0, row_sum = 0.0;
+  set_configured_threads(1);
+  const double col_1t =
+      best_of_ms(kReps, [&] { col_sum = columnar_scan_aggregate(sb, sel); });
+  const double row_ms =
+      best_of_ms(kReps, [&] { row_sum = row_scan_aggregate(sb); });
+  set_configured_threads(2);
+  const double col_2t =
+      best_of_ms(kReps, [&] { col_sum = columnar_scan_aggregate(sb, sel); });
+  gate("columnar_scan_aggregate", col_1t, col_2t, row_ms,
+       col_sum == row_sum);
+  if (col_2t > kTolerance * row_ms + kSlackMs) {
+    std::printf("%-26s %10s %10.2f %10.2f %7.2f %6s\n",
+                "columnar_vs_row", "-", col_2t, row_ms, col_2t / row_ms,
+                "FAIL");
+    ok = false;
+  }
+
+  set_configured_threads(0);
+  json.write_file("BENCH_micro.json");
+  std::printf("perf-smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 /// Threads sweep over the pool-parallel hot paths: kd-tree build,
 /// score-index build, and a MapReduce group-by aggregate, each re-run at
 /// SEA_THREADS = 1/2/4/8 (best of 3 reps). Results land in
@@ -229,24 +639,15 @@ namespace bench {
 /// (on a multi-core host), and the MapReduce modelled_ms column
 /// (network + task overhead + backoff, no measured compute) must NOT
 /// move — the cost model is hardware-independent by design.
-void run_threads_sweep() {
+void run_threads_sweep(BenchJsonWriter& json) {
   constexpr std::size_t kReps = 3;
   constexpr std::size_t kRows = 200000;
   const std::size_t sweep[] = {1, 2, 4, 8};
-  BenchJsonWriter json;
   std::printf("threads sweep (%zu rows, best of %zu reps)\n", kRows, kReps);
   std::printf("%-22s %8s %12s %14s\n", "benchmark", "threads", "wall_ms",
               "modelled_ms");
 
-  const auto best_of = [&](const auto& body) {
-    double best = std::numeric_limits<double>::infinity();
-    for (std::size_t rep = 0; rep < kReps; ++rep) {
-      Timer t;
-      body();
-      best = std::min(best, t.elapsed_ms());
-    }
-    return best;
-  };
+  const auto best_of = [&](const auto& body) { return best_of_ms(kReps, body); };
 
   const auto pts = bench_points(kRows, 2);
   const Table table = make_clustered_dataset(kRows, 2, 3, 23);
@@ -314,16 +715,21 @@ void run_threads_sweep() {
                 mr_ms, modelled_ms);
   }
   set_configured_threads(0);  // back to the SEA_THREADS / hardware default
-  json.write_file("BENCH_micro.json");
 }
 
 }  // namespace bench
 }  // namespace sea
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--perf-smoke")
+      return sea::bench::run_perf_smoke();
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  sea::bench::run_threads_sweep();
+  sea::bench::BenchJsonWriter json;
+  sea::bench::run_threads_sweep(json);
+  sea::bench::run_primitives_sweep(json);
+  json.write_file("BENCH_micro.json");
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -20,6 +20,7 @@
 
 #include "cluster/cluster.h"
 #include "common/parallel.h"
+#include "data/columnar.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sea/agent.h"
@@ -45,35 +46,37 @@ inline void row(const char* fmt, ...) {
   std::printf("\n");
 }
 
-/// Ground truth over the raw table (no accounting), via a direct scan.
+/// Ground truth over the raw table (no accounting), via the columnar
+/// selection kernels. Row-order aggregation over the ascending selection
+/// vector keeps the arithmetic identical to the old gathered-Point scan.
 inline double truth_of(const Table& table, const AnalyticalQuery& q) {
   AggregateState agg;
-  Point p;
-  std::vector<std::pair<double, std::size_t>> knn;
-  for (std::size_t r = 0; r < table.num_rows(); ++r) {
-    table.gather(r, q.subspace_cols, p);
-    if (q.selection == SelectionType::kNearestNeighbors) {
-      knn.emplace_back(squared_distance(p, q.knn_point), r);
-      continue;
-    }
-    const bool hit = q.selection == SelectionType::kRange
-                         ? q.range.contains(p)
-                         : q.ball.contains(p);
-    if (!hit) continue;
-    agg.add(needs_target(q.analytic) ? table.at(r, q.target_col) : 0.0,
-            needs_second_target(q.analytic) ? table.at(r, q.target_col2)
-                                            : 0.0);
-  }
+  const std::span<const double> t_col =
+      needs_target(q.analytic) ? table.column(q.target_col)
+                               : std::span<const double>();
+  const std::span<const double> u_col =
+      needs_second_target(q.analytic) ? table.column(q.target_col2)
+                                      : std::span<const double>();
+  const auto add_row = [&](std::size_t r) {
+    agg.add(t_col.empty() ? 0.0 : t_col[r], u_col.empty() ? 0.0 : u_col[r]);
+  };
   if (q.selection == SelectionType::kNearestNeighbors) {
+    std::vector<double> d2;
+    squared_distances(table, q.subspace_cols, q.knn_point, d2);
+    std::vector<std::pair<double, std::size_t>> knn;
+    knn.reserve(d2.size());
+    for (std::size_t r = 0; r < d2.size(); ++r) knn.emplace_back(d2[r], r);
     std::sort(knn.begin(), knn.end());
     const std::size_t take = std::min(q.knn_k, knn.size());
-    for (std::size_t i = 0; i < take; ++i) {
-      const std::size_t r = knn[i].second;
-      agg.add(needs_target(q.analytic) ? table.at(r, q.target_col) : 0.0,
-              needs_second_target(q.analytic) ? table.at(r, q.target_col2)
-                                              : 0.0);
-    }
+    for (std::size_t i = 0; i < take; ++i) add_row(knn[i].second);
+    return agg.finalize(q.analytic);
   }
+  std::vector<std::uint32_t> sel;
+  if (q.selection == SelectionType::kRange)
+    select_range(table, q.subspace_cols, q.range, sel);
+  else
+    select_ball(table, q.subspace_cols, q.ball, sel);
+  for (const std::uint32_t r : sel) add_row(r);
   return agg.finalize(q.analytic);
 }
 

@@ -7,7 +7,11 @@
 #   tsan      tier1 + tier2 (saturated-pool stress) under TSan
 #   coverage  tier1 suite instrumented with gcov; prints per-directory
 #             line coverage for src/ and fails if src/obs, src/recovery,
-#             or src/membership drops below 90%
+#             src/membership, or src/common drops below 90%
+# plus a perf-smoke stage after the default preset: bench_micro
+# --perf-smoke gates the parallel primitives against naive serial
+# references (relative, host-speed-independent) and writes
+# BENCH_micro.json
 # Usage: scripts/ci.sh  (from anywhere; no arguments)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +29,15 @@ run_preset() {
 }
 
 run_preset default
+
+# Perf smoke: the parallel-primitives sweep at SEA_THREADS=2 (bench_micro
+# --perf-smoke) gates on answers matching naive serial references and on
+# thread monotonicity (2-thread wall <= 1.5x 1-thread wall) — relative
+# checks, never absolute ms thresholds, so the stage is stable on any
+# host. Writes BENCH_micro.json as the machine-readable perf record.
+echo "=== [default] perf-smoke (bench_micro --perf-smoke) ==="
+cmake --build --preset default -j "${jobs}" --target bench_micro
+(cd build && ./bench/bench_micro --perf-smoke)
 
 # ASan aborts the process on its first report; UBSan prints and continues
 # unless halt_on_error is set — force both fatal so ctest sees a failure.
@@ -87,7 +100,7 @@ if [ -z "${cov_rows}" ]; then
 fi
 echo "${cov_rows}" | sort | awk '{printf "  %-16s %6d lines  %5.1f%%\n", $1, $2, $3}'
 # Gated directories: each must hold the 90% line-coverage floor.
-for gated in src/obs src/recovery src/membership; do
+for gated in src/obs src/recovery src/membership src/common; do
   pct="$(echo "${cov_rows}" | awk -v d="${gated}" '$1 == d {print $3}')"
   if [ -z "${pct}" ]; then
     echo "FAIL: no coverage data for ${gated}"

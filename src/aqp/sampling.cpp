@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "data/columnar.h"
 #include "exec/mapreduce.h"
 
 namespace sea {
@@ -256,22 +257,25 @@ AqpAnswer SamplingEngine::answer(const AnalyticalQuery& query) {
   job.result_bytes = sizeof(WeightedAgg);
   job.map = [&query, wcol](NodeId, const Table& part,
                            Emitter<int, WeightedAgg>& out_) {
+    // Columnar selection (ascending row ids, same per-row arithmetic as
+    // the old gathered-Point scan), then span reads of the weight/target
+    // columns in selection order — byte-identical accumulation.
+    std::vector<std::uint32_t> sel;
+    if (query.selection == SelectionType::kRange)
+      select_range(part, query.subspace_cols, query.range, sel);
+    else
+      select_ball(part, query.subspace_cols, query.ball, sel);
+    const auto w_col = part.column(wcol);
+    const std::span<const double> t_col = needs_target(query.analytic)
+                                              ? part.column(query.target_col)
+                                              : std::span<const double>();
+    const std::span<const double> u_col =
+        needs_second_target(query.analytic) ? part.column(query.target_col2)
+                                            : std::span<const double>();
     WeightedAgg agg;
-    Point p;
-    for (std::size_t r = 0; r < part.num_rows(); ++r) {
-      part.gather(r, query.subspace_cols, p);
-      const bool hit = query.selection == SelectionType::kRange
-                           ? query.range.contains(p)
-                           : query.ball.contains(p);
-      if (!hit) continue;
-      const double w = part.at(r, wcol);
-      const double t =
-          needs_target(query.analytic) ? part.at(r, query.target_col) : 0.0;
-      const double u = needs_second_target(query.analytic)
-                           ? part.at(r, query.target_col2)
-                           : 0.0;
-      agg.add(w, t, u);
-    }
+    for (const std::uint32_t r : sel)
+      agg.add(w_col[r], t_col.empty() ? 0.0 : t_col[r],
+              u_col.empty() ? 0.0 : u_col[r]);
     out_.emit(0, agg);
   };
   job.reduce = [](const int&, std::vector<WeightedAgg>& states) {

@@ -94,14 +94,17 @@ ExecReport GridStatCache::build() {
     ++report.map_tasks;
     cluster_.account_scan(static_cast<NodeId>(n), part.num_rows(),
                           part.byte_size());
-    Point p;
+    // Column spans instead of a gathered Point per row: one indexed load
+    // per (row, column), same cell assignment and add order as before.
+    std::vector<std::span<const double>> sub_cols;
+    sub_cols.reserve(subspace_cols_.size());
+    for (const auto c : subspace_cols_) sub_cols.push_back(part.column(c));
+    const auto t_col = part.column(target_col_);
+    const auto u_col = part.column(target_col2_);
     for (std::size_t r = 0; r < part.num_rows(); ++r) {
-      part.gather(r, subspace_cols_, p);
-      for (std::size_t i = 0; i < p.size(); ++i)
-        coords[i] = cell_coord(p[i], i);
-      const double t = part.at(r, target_col_);
-      const double u = part.at(r, target_col2_);
-      cells_[flatten(coords)].add(t, u);
+      for (std::size_t i = 0; i < sub_cols.size(); ++i)
+        coords[i] = cell_coord(sub_cols[i][r], i);
+      cells_[flatten(coords)].add(t_col[r], u_col[r]);
     }
     const double net = cluster_.network().send(
         static_cast<NodeId>(n), 0, byte_size() / cluster_.num_nodes());

@@ -1,0 +1,146 @@
+#include "data/columnar.h"
+
+#include <stdexcept>
+
+#include "common/primitives.h"
+
+namespace sea {
+
+namespace {
+
+/// Collects per-block partial selections (each a pure function of the
+/// block's rows), then concatenates them in block order — ascending row
+/// ids, independent of the worker count.
+template <typename BlockSelect>
+void blocked_select(std::size_t num_rows, std::vector<std::uint32_t>& sel,
+                    BlockSelect&& block_select) {
+  sel.clear();
+  const par::BlockPlan p = par::plan(num_rows);
+  if (p.blocks == 0) return;
+  std::vector<std::vector<std::uint32_t>> partial(p.blocks);
+  ParallelFor(p.blocks, [&](std::size_t b) {
+    block_select(p.begin(b), p.end(b), partial[b]);
+  });
+  std::size_t total = 0;
+  for (const auto& part : partial) total += part.size();
+  sel.reserve(total);
+  for (const auto& part : partial)
+    sel.insert(sel.end(), part.begin(), part.end());
+}
+
+}  // namespace
+
+void select_range(const Table& table, std::span<const std::size_t> cols,
+                  const Rect& rect, std::vector<std::uint32_t>& sel) {
+  if (rect.dims() != cols.size())
+    throw std::invalid_argument("select_range: dims mismatch");
+  std::vector<std::span<const double>> spans;
+  spans.reserve(cols.size());
+  for (const std::size_t c : cols) spans.push_back(table.column(c));
+  blocked_select(
+      table.num_rows(), sel,
+      [&](std::size_t begin, std::size_t end,
+          std::vector<std::uint32_t>& out) {
+        if (cols.empty()) {  // empty subspace: every row qualifies
+          out.reserve(end - begin);
+          for (std::size_t r = begin; r < end; ++r)
+            out.push_back(static_cast<std::uint32_t>(r));
+          return;
+        }
+        // First column seeds the candidate list; each further column
+        // compacts it in place (column-at-a-time, one span streamed per
+        // pass over the surviving candidates).
+        const auto c0 = spans[0];
+        const double lo0 = rect.lo[0], hi0 = rect.hi[0];
+        for (std::size_t r = begin; r < end; ++r)
+          if (c0[r] >= lo0 && c0[r] <= hi0)
+            out.push_back(static_cast<std::uint32_t>(r));
+        for (std::size_t d = 1; d < cols.size() && !out.empty(); ++d) {
+          const auto cd = spans[d];
+          const double lo = rect.lo[d], hi = rect.hi[d];
+          std::size_t kept = 0;
+          for (const std::uint32_t r : out)
+            if (cd[r] >= lo && cd[r] <= hi) out[kept++] = r;
+          out.resize(kept);
+        }
+      });
+}
+
+void squared_distances(const Table& table, std::span<const std::size_t> cols,
+                       std::span<const double> center,
+                       std::vector<double>& out) {
+  if (center.size() != cols.size())
+    throw std::invalid_argument("squared_distances: dims mismatch");
+  std::vector<std::span<const double>> spans;
+  spans.reserve(cols.size());
+  for (const std::size_t c : cols) spans.push_back(table.column(c));
+  out.assign(table.num_rows(), 0.0);
+  const par::BlockPlan p = par::plan(table.num_rows());
+  if (p.blocks == 0) return;
+  ParallelFor(p.blocks, [&](std::size_t b) {
+    const std::size_t begin = p.begin(b), end = p.end(b);
+    // Column-at-a-time accumulation: per row the adds happen in dimension
+    // order, exactly like squared_distance() over a gathered Point.
+    for (std::size_t d = 0; d < cols.size(); ++d) {
+      const auto cd = spans[d];
+      const double c = center[d];
+      for (std::size_t r = begin; r < end; ++r) {
+        const double diff = cd[r] - c;
+        out[r] += diff * diff;
+      }
+    }
+  });
+}
+
+void select_ball(const Table& table, std::span<const std::size_t> cols,
+                 const Ball& ball, std::vector<std::uint32_t>& sel) {
+  if (ball.dims() != cols.size())
+    throw std::invalid_argument("select_ball: dims mismatch");
+  std::vector<std::span<const double>> spans;
+  spans.reserve(cols.size());
+  for (const std::size_t c : cols) spans.push_back(table.column(c));
+  const double r2 = ball.radius * ball.radius;
+  blocked_select(
+      table.num_rows(), sel,
+      [&](std::size_t begin, std::size_t end,
+          std::vector<std::uint32_t>& out) {
+        // Block-local distance buffer, accumulated column-at-a-time in
+        // dimension order (bit-equal to squared_distance on each row).
+        std::vector<double> d2(end - begin, 0.0);
+        for (std::size_t d = 0; d < cols.size(); ++d) {
+          const auto cd = spans[d];
+          const double c = ball.center[d];
+          for (std::size_t r = begin; r < end; ++r) {
+            const double diff = cd[r] - c;
+            d2[r - begin] += diff * diff;
+          }
+        }
+        for (std::size_t r = begin; r < end; ++r)
+          if (d2[r - begin] <= r2) out.push_back(static_cast<std::uint32_t>(r));
+      });
+}
+
+ColumnAggregates aggregate_column(std::span<const double> column,
+                                  std::span<const std::uint32_t> sel) {
+  return par::blocked_reduce(
+      sel.size(), ColumnAggregates{},
+      [&](std::size_t begin, std::size_t end) {
+        ColumnAggregates a;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double v = column[sel[i]];
+          ++a.count;
+          a.sum += v;
+          a.sum_sq += v * v;
+        }
+        return a;
+      },
+      [](const ColumnAggregates& a, const ColumnAggregates& b) {
+        ColumnAggregates r;
+        r.count = a.count + b.count;
+        r.sum = a.sum + b.sum;
+        r.sum_sq = a.sum_sq + b.sum_sq;
+        return r;
+      });
+}
+
+}  // namespace sea

@@ -1,0 +1,61 @@
+// Cache-blocked columnar scan kernels over Table.
+//
+// The row-at-a-time alternative (Table::gather into a Point per row) pays
+// an allocation-free but cache-hostile price: one bounds-checked indirect
+// load per (row, column) plus a Rect/Ball predicate on a materialized
+// Point. These kernels flip the loop: column-at-a-time over fixed blocks
+// of rows, refining a block-local candidate list — the selection vector —
+// so each column's span is streamed sequentially and rows failing an
+// earlier column are never touched again.
+//
+// Determinism: selection vectors list qualifying row ids in ascending row
+// order (block results are concatenated in block order), and the per-row
+// arithmetic (squared distance accumulated in column order) matches the
+// row-at-a-time code bit for bit — so callers that aggregate over the
+// selection in row order produce byte-identical answers to the old scans
+// at any SEA_THREADS. Kernels parallelize over blocks via the primitives
+// BlockPlan (thread-count-independent boundaries); invoked inside a map
+// task (already parallel) they degrade to serial automatically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/point.h"
+#include "data/table.h"
+
+namespace sea {
+
+/// Row ids (ascending) of rows whose `cols` values lie inside `rect`.
+/// `sel` is cleared first; its capacity is reused across calls.
+void select_range(const Table& table, std::span<const std::size_t> cols,
+                  const Rect& rect, std::vector<std::uint32_t>& sel);
+
+/// Row ids (ascending) of rows within `ball` (closed) over `cols`.
+void select_ball(const Table& table, std::span<const std::size_t> cols,
+                 const Ball& ball, std::vector<std::uint32_t>& sel);
+
+/// Squared distance of every row to `center` over `cols` (out resized to
+/// num_rows). Per-row accumulation runs in column order — the same adds,
+/// in the same order, as squared_distance() on a gathered Point.
+void squared_distances(const Table& table, std::span<const std::size_t> cols,
+                       std::span<const double> center,
+                       std::vector<double>& out);
+
+/// Count / sum / sum-of-squares of one column restricted to a selection
+/// vector — the blocked tree-combined aggregate used by the bench kernels.
+struct ColumnAggregates {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+};
+
+/// Tree-combined aggregate of column[sel[i]] over the whole selection.
+/// Parallel over fixed blocks of the selection; combine order depends only
+/// on sel.size(), so the result is thread-count-invariant (though not
+/// bit-equal to a serial left fold — callers needing that fold serially).
+ColumnAggregates aggregate_column(std::span<const double> column,
+                                  std::span<const std::uint32_t> sel);
+
+}  // namespace sea

@@ -35,8 +35,11 @@ Table generate_table(const DatasetSpec& spec) {
   std::vector<std::string> names;
   names.reserve(spec.columns.size());
   for (const auto& c : spec.columns) names.push_back(c.name);
-  Table table{Schema(names)};
-  table.reserve(spec.rows);
+  // Filled column-wise and assembled via the bulk from_columns path; the
+  // draw order (row-major, column RNG streams) is unchanged, so generated
+  // values are identical to the old append_row construction.
+  std::vector<std::vector<double>> cols(spec.columns.size());
+  for (auto& c : cols) c.reserve(spec.rows);
 
   for (std::size_t i = 0; i < spec.columns.size(); ++i) {
     const auto& c = spec.columns[i];
@@ -97,10 +100,10 @@ Table generate_table(const DatasetSpec& spec) {
           break;
       }
       row[i] = v;
+      cols[i].push_back(v);
     }
-    table.append_row(row);
   }
-  return table;
+  return Table::from_columns(Schema(names), std::move(cols));
 }
 
 Table make_clustered_dataset(std::size_t rows, std::size_t dims, int clusters,

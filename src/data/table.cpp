@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/primitives.h"
+
 namespace sea {
 
 Schema::Schema(std::vector<std::string> column_names)
@@ -32,6 +34,13 @@ bool Schema::has_column(const std::string& name) const noexcept {
                      [&](const std::string& n) { return n == name; });
 }
 
+void Schema::add_column(std::string name) {
+  if (has_column(name))
+    throw std::invalid_argument("Schema::add_column: duplicate column name " +
+                                name);
+  names_.push_back(std::move(name));
+}
+
 Table::Table(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.num_columns());
 }
@@ -42,6 +51,28 @@ void Table::append_row(std::span<const double> row) {
   for (std::size_t c = 0; c < columns_.size(); ++c)
     columns_[c].push_back(row[c]);
   ++num_rows_;
+}
+
+void Table::append_column(std::string name, std::vector<double> values) {
+  if (!columns_.empty() && values.size() != num_rows_)
+    throw std::invalid_argument("Table::append_column: row count mismatch");
+  schema_.add_column(std::move(name));
+  if (columns_.empty()) num_rows_ = values.size();
+  columns_.push_back(std::move(values));
+}
+
+Table Table::from_columns(Schema schema,
+                          std::vector<std::vector<double>> columns) {
+  if (schema.num_columns() != columns.size())
+    throw std::invalid_argument("Table::from_columns: arity mismatch");
+  for (const auto& c : columns)
+    if (c.size() != columns.front().size())
+      throw std::invalid_argument("Table::from_columns: ragged columns");
+  Table t;
+  t.schema_ = std::move(schema);
+  t.num_rows_ = columns.empty() ? 0 : columns.front().size();
+  t.columns_ = std::move(columns);
+  return t;
 }
 
 void Table::reserve(std::size_t n) {
@@ -103,10 +134,10 @@ Rect table_bounds(const Table& table, std::span<const std::size_t> cols) {
   r.hi.assign(cols.size(), 0.0);
   if (table.num_rows() == 0) return r;
   for (std::size_t i = 0; i < cols.size(); ++i) {
-    const auto col = table.column(cols[i]);
-    const auto [mn, mx] = std::minmax_element(col.begin(), col.end());
-    r.lo[i] = *mn;
-    r.hi[i] = *mx;
+    // Blocked parallel min/max: exact, so identical to a serial scan.
+    const auto [mn, mx] = par::minmax(table.column(cols[i]));
+    r.lo[i] = mn;
+    r.hi[i] = mx;
   }
   return r;
 }

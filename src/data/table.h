@@ -28,6 +28,10 @@ class Schema {
   std::size_t index_of(const std::string& name) const;
   bool has_column(const std::string& name) const noexcept;
 
+  /// Appends a column name (bulk columnar construction path); throws
+  /// std::invalid_argument on a duplicate.
+  void add_column(std::string name);
+
  private:
   std::vector<std::string> names_;
 };
@@ -44,6 +48,16 @@ class Table {
 
   /// Appends one row; row.size() must equal num_columns().
   void append_row(std::span<const double> row);
+
+  /// Appends a whole named column in one move (bulk columnar path beside
+  /// append_row). On a table that already has columns, values.size() must
+  /// equal num_rows(); on an empty schema the column defines the row count.
+  void append_column(std::string name, std::vector<double> values);
+
+  /// Builds a table directly from column vectors (moved, no per-row
+  /// copying). All columns must share one length.
+  static Table from_columns(Schema schema,
+                            std::vector<std::vector<double>> columns);
 
   /// Reserves storage for n rows.
   void reserve(std::size_t n);

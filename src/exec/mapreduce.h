@@ -35,6 +35,7 @@
 
 #include "cluster/cluster.h"
 #include "common/parallel.h"
+#include "common/primitives.h"
 #include "common/timer.h"
 #include "exec/exec_report.h"
 #include "fault/fault.h"
@@ -83,6 +84,24 @@ struct MapReduceResult {
   ExecReport report;
 };
 
+/// Reusable shuffle buffers for run_map_reduce. A caller issuing many runs
+/// over the same cluster (ExactExecutor, the sampling engine) passes one of
+/// these to keep the emitter pair arenas, route tables, per-(mapper,
+/// reducer) counters, and the shuffled-pair arena warm across runs instead
+/// of growing each from empty every time. Purely an allocation cache:
+/// every field is fully overwritten per run, so reuse never changes
+/// results. Requires K and V default-constructible (the shuffled arena is
+/// resized, not rebuilt).
+template <typename K, typename V>
+struct MapReduceScratch {
+  std::vector<Emitter<K, V>> emitted;             ///< per-mapper pair arenas
+  std::vector<std::vector<std::uint32_t>> route;  ///< per-pair reducer id
+  std::vector<std::uint64_t> route_counts;  ///< (mapper, reducer) histogram
+  std::vector<std::uint64_t> batch_bytes;   ///< (mapper, reducer) bytes
+  std::vector<std::uint64_t> seg_begin;     ///< per-reducer segment bounds
+  std::vector<std::pair<K, V>> shuffled;    ///< reducer-partitioned pairs
+};
+
 /// Runs the job over every partition of `table_name`, gathering reduced
 /// results at `coordinator` (default node 0). Accounts:
 ///  - one task + full partition scan per storage node (map phase),
@@ -98,10 +117,13 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
                                         const std::string& table_name,
                                         const MapReduceJob<K, V, R>& job,
                                         NodeId coordinator = 0,
-                                        QueryDeadline* deadline = nullptr) {
+                                        QueryDeadline* deadline = nullptr,
+                                        MapReduceScratch<K, V>* scratch = nullptr) {
   MapReduceResult<K, V, R> out;
   ExecReport& rep = out.report;
   Timer wall;
+  MapReduceScratch<K, V> local_scratch;
+  MapReduceScratch<K, V>& scr = scratch ? *scratch : local_scratch;
   const std::size_t n = cluster.num_nodes();
   const RetryPolicy& policy = cluster.retry_policy();
   FaultInjector* injector = cluster.fault_injector();
@@ -193,7 +215,9 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   // holder), like a real scheduler would. Task launch accounting happens
   // here too, so the injector-visible sequence is identical to a serial
   // run regardless of how the compute below is scheduled.
-  std::vector<Emitter<K, V>> emitted(n);
+  std::vector<Emitter<K, V>>& emitted = scr.emitted;
+  emitted.resize(n);
+  for (auto& e : emitted) e.pairs().clear();  // keeps capacity across runs
   {
     obs::SpanScope map_span(tracer, "map_phase");
     for (std::size_t shard = 0; shard < n; ++shard) {
@@ -255,42 +279,95 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
         "run_map_reduce: no live node to place reducers on (down nodes: " +
         cluster.down_nodes_string() + ")");
 
-  // --- shuffle: route each key to hash(key) % num_reducers ---
+  // --- shuffle: counting-sort partition by reducer route ---
   //
-  // Hash every emitted pair once (parallel over mappers), then bucket in
-  // parallel over reducers: reducer r scans mappers in index order and
-  // takes only its own pairs, so each reducer group's content and
-  // insertion order are a pure function of the emitted data.
+  // A two-pass counting sort with mappers as the blocks: (1) hash every
+  // pair to its reducer and histogram per (mapper, reducer); (2) a
+  // column-major exclusive scan turns the histogram into per-mapper write
+  // cursors; (3) each mapper scatters its pairs into its pre-assigned
+  // slots of one contiguous arena. Reducer r's segment then holds its
+  // pairs in (mapper, emit-index) order — exactly the order the old
+  // per-reducer scan over all mappers observed — with no per-pair hash-map
+  // insertions and no O(reducers x total_pairs) re-scan.
   std::hash<K> hasher;
   std::size_t total_pairs = 0;
-  std::vector<std::vector<std::uint32_t>> route(n);
   for (std::size_t mapper = 0; mapper < n; ++mapper)
     total_pairs += emitted[mapper].pairs().size();
+  std::vector<std::vector<std::uint32_t>>& route = scr.route;
+  route.resize(n);
+  std::vector<std::uint64_t>& counts = scr.route_counts;
+  counts.assign(n * num_reducers, 0);
   ParallelFor(n, [&](std::size_t mapper) {
     auto& pairs = emitted[mapper].pairs();
     route[mapper].resize(pairs.size());
-    for (std::size_t i = 0; i < pairs.size(); ++i)
-      route[mapper][i] =
+    std::uint64_t* c = counts.data() + mapper * num_reducers;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto r =
           static_cast<std::uint32_t>(hasher(pairs[i].first) % num_reducers);
+      route[mapper][i] = r;
+      ++c[r];
+    }
   });
-  std::vector<std::unordered_map<K, std::vector<V>>> reducer_input(
-      num_reducers);
-  // Batch bytes per (mapper, reducer) pair: one message per pair, as a
-  // combiner-enabled framework would send.
-  std::vector<std::vector<std::uint64_t>> batch_bytes(
-      n, std::vector<std::uint64_t>(num_reducers, 0));
-  ParallelFor(num_reducers, [&](std::size_t r) {
-    auto& input = reducer_input[r];
-    // Pre-size by the expected key share to cut rehash churn; the exact
-    // count only matters for performance, never for content.
-    input.reserve(total_pairs / num_reducers + 1);
-    for (std::size_t mapper = 0; mapper < n; ++mapper) {
-      auto& pairs = emitted[mapper].pairs();
-      for (std::size_t i = 0; i < pairs.size(); ++i) {
-        if (route[mapper][i] != r) continue;
-        batch_bytes[mapper][r] += job.kv_bytes;
-        input[pairs[i].first].push_back(std::move(pairs[i].second));
+  // Batch bytes per (mapper, reducer): one message per batch, as a
+  // combiner-enabled framework would send. Snapshotted before the counts
+  // become write cursors.
+  std::vector<std::uint64_t>& batch_bytes = scr.batch_bytes;
+  batch_bytes.assign(n * num_reducers, 0);
+  std::vector<std::uint64_t>& seg_begin = scr.seg_begin;
+  seg_begin.assign(num_reducers + 1, 0);
+  {
+    std::uint64_t running = 0;
+    for (std::size_t r = 0; r < num_reducers; ++r) {
+      seg_begin[r] = running;
+      for (std::size_t mapper = 0; mapper < n; ++mapper) {
+        const std::uint64_t c = counts[mapper * num_reducers + r];
+        batch_bytes[mapper * num_reducers + r] = c * job.kv_bytes;
+        counts[mapper * num_reducers + r] = running;
+        running += c;
       }
+    }
+    seg_begin[num_reducers] = running;
+  }
+  std::vector<std::pair<K, V>>& shuffled = scr.shuffled;
+  shuffled.resize(total_pairs);
+  ParallelFor(n, [&](std::size_t mapper) {
+    auto& pairs = emitted[mapper].pairs();
+    std::uint64_t* cur = counts.data() + mapper * num_reducers;
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+      shuffled[cur[route[mapper][i]]++] = std::move(pairs[i]);
+  });
+
+  // Group each reducer's segment by key: ids assigned at first occurrence
+  // (segment order), then a stable counting sort over group ids yields
+  // each group's value run — collect_reduce for arbitrary hashable keys.
+  // Group content *and order* are a pure function of the emitted data: no
+  // dependence on unordered_map iteration order (the old bucketing's one
+  // stdlib-specific artifact) or on SEA_THREADS.
+  struct ReducerGroups {
+    std::vector<K> keys;
+    std::vector<std::vector<V>> values;
+  };
+  std::vector<ReducerGroups> groups(num_reducers);
+  ParallelFor(num_reducers, [&](std::size_t r) {
+    const std::uint64_t lo = seg_begin[r], hi = seg_begin[r + 1];
+    if (lo == hi) return;
+    ReducerGroups& g = groups[r];
+    std::unordered_map<K, std::uint32_t> group_of;
+    group_of.reserve(static_cast<std::size_t>(hi - lo));
+    std::vector<std::uint32_t> gid(static_cast<std::size_t>(hi - lo));
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      const auto [it, inserted] = group_of.emplace(
+          shuffled[i].first, static_cast<std::uint32_t>(g.keys.size()));
+      if (inserted) g.keys.push_back(shuffled[i].first);
+      gid[i - lo] = it->second;
+    }
+    const par::CountingSort cs = par::counting_sort(gid, g.keys.size());
+    g.values.resize(g.keys.size());
+    for (std::size_t k = 0; k < g.keys.size(); ++k) {
+      auto& vals = g.values[k];
+      vals.reserve(cs.offsets[k + 1] - cs.offsets[k]);
+      for (std::uint32_t j = cs.offsets[k]; j < cs.offsets[k + 1]; ++j)
+        vals.push_back(std::move(shuffled[lo + cs.order[j]].second));
     }
   });
   // Serial delivery in (mapper, reducer) order — the same message order a
@@ -301,14 +378,14 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
     obs::SpanScope shuffle_span(tracer, "shuffle");
     for (std::size_t mapper = 0; mapper < n; ++mapper) {
       for (std::size_t r = 0; r < num_reducers; ++r) {
-        if (batch_bytes[mapper][r] == 0) continue;
-        const double ms =
-            deliver(shard_node[mapper], live[r], batch_bytes[mapper][r]);
+        const std::uint64_t bytes = batch_bytes[mapper * num_reducers + r];
+        if (bytes == 0) continue;
+        const double ms = deliver(shard_node[mapper], live[r], bytes);
         rep.modelled_network_ms += ms;
         inbound_ms[r] += ms;
-        inbound_bytes[r] += batch_bytes[mapper][r];
-        rep.shuffle_bytes += batch_bytes[mapper][r];
-        shuffle_span.add_bytes(batch_bytes[mapper][r]);
+        inbound_bytes[r] += bytes;
+        rep.shuffle_bytes += bytes;
+        shuffle_span.add_bytes(bytes);
       }
     }
   }
@@ -321,7 +398,7 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   // the reduce functions actually run.
   obs::SpanScope reduce_span(tracer, "reduce_phase");
   for (std::size_t r = 0; r < num_reducers; ++r) {
-    if (reducer_input[r].empty()) continue;
+    if (seg_begin[r] == seg_begin[r + 1]) continue;
     NodeId rnode = live[r];
     if (injector) {
       const TickEffects fx = injector->tick(cluster);
@@ -366,7 +443,7 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
     ++rep.reduce_tasks;
     if (m_reduce_tasks) m_reduce_tasks->inc();
     const std::uint64_t result_batch =
-        static_cast<std::uint64_t>(reducer_input[r].size()) * job.result_bytes;
+        static_cast<std::uint64_t>(groups[r].keys.size()) * job.result_bytes;
     const double net_ms = deliver(rnode, coordinator, result_batch);
     rep.modelled_network_ms += net_ms;
     rep.result_bytes += result_batch;
@@ -376,11 +453,12 @@ MapReduceResult<K, V, R> run_map_reduce(Cluster& cluster,
   std::vector<std::vector<std::pair<K, R>>> reduced(num_reducers);
   std::vector<double> reduce_ms(num_reducers, 0.0);
   ParallelFor(num_reducers, [&](std::size_t r) {
-    if (reducer_input[r].empty()) return;
+    ReducerGroups& g = groups[r];
+    if (g.keys.empty()) return;
     Timer t;
-    reduced[r].reserve(reducer_input[r].size());
-    for (auto& [k, vals] : reducer_input[r])
-      reduced[r].emplace_back(k, job.reduce(k, vals));
+    reduced[r].reserve(g.keys.size());
+    for (std::size_t k = 0; k < g.keys.size(); ++k)
+      reduced[r].emplace_back(g.keys[k], job.reduce(g.keys[k], g.values[k]));
     reduce_ms[r] = t.elapsed_ms();
   });
   // Serial gather in reducer order.

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "common/primitives.h"
 
 namespace sea {
 
@@ -34,10 +35,11 @@ GridIndex::GridIndex(std::vector<Point> points, Rect domain,
   }
   if (ids_.size() != points_.size())
     throw std::invalid_argument("GridIndex: ids/points size mismatch");
-  cells_.resize(static_cast<std::size_t>(total));
   // Compute cell assignments in parallel (each point owns its slot), then
-  // fill the buckets serially in point order so every cell lists its point
-  // indices in exactly the order a fully serial build produces.
+  // build the CSR cell table with a stable parallel counting sort: each
+  // cell's point-index run is ascending — exactly the order the old
+  // per-cell push_back loop produced — with one flat array instead of a
+  // vector-of-vectors (one allocation, contiguous query scans).
   std::vector<std::uint32_t> cell_idx(points_.size());
   ParallelChunks(points_.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
@@ -46,8 +48,10 @@ GridIndex::GridIndex(std::vector<Point> points, Rect domain,
       cell_idx[i] = static_cast<std::uint32_t>(cell_of(points_[i]));
     }
   });
-  for (std::size_t i = 0; i < points_.size(); ++i)
-    cells_[cell_idx[i]].push_back(static_cast<std::uint32_t>(i));
+  par::CountingSort cs =
+      par::counting_sort(cell_idx, static_cast<std::size_t>(total));
+  cell_offsets_ = std::move(cs.offsets);
+  cell_points_ = std::move(cs.order);
 }
 
 std::size_t GridIndex::cell_coord(double v, std::size_t dim) const noexcept {
@@ -121,9 +125,9 @@ std::vector<std::uint64_t> GridIndex::range_query(const Rect& rect,
     hi[d] = cell_coord(rect.hi[d], d);
   }
   for (CoordIterator it(lo, hi); !it.done(); it.advance()) {
-    const auto& cell = cells_[flatten(it.coords())];
+    const auto cell_pts = cell(flatten(it.coords()));
     if (cost) ++cost->cells_visited;
-    for (const std::uint32_t i : cell) {
+    for (const std::uint32_t i : cell_pts) {
       if (cost) ++cost->points_examined;
       if (rect.contains(points_[i])) out.push_back(ids_[i]);
     }
@@ -145,9 +149,9 @@ std::vector<std::uint64_t> GridIndex::radius_query(const Ball& ball,
     hi[d] = cell_coord(box.hi[d], d);
   }
   for (CoordIterator it(lo, hi); !it.done(); it.advance()) {
-    const auto& cell = cells_[flatten(it.coords())];
+    const auto cell_pts = cell(flatten(it.coords()));
     if (cost) ++cost->cells_visited;
-    for (const std::uint32_t i : cell) {
+    for (const std::uint32_t i : cell_pts) {
       if (cost) ++cost->points_examined;
       if (squared_distance(ball.center, points_[i]) <= r2)
         out.push_back(ids_[i]);
@@ -209,9 +213,9 @@ std::vector<std::pair<double, std::uint64_t>> GridIndex::radius_candidates(
     hi[d] = cell_coord(box.hi[d], d);
   }
   for (CoordIterator it(lo, hi); !it.done(); it.advance()) {
-    const auto& cell = cells_[flatten(it.coords())];
+    const auto cell_pts = cell(flatten(it.coords()));
     if (cost) ++cost->cells_visited;
-    for (const std::uint32_t i : cell) {
+    for (const std::uint32_t i : cell_pts) {
       if (cost) ++cost->points_examined;
       const double d2 = squared_distance(ball.center, points_[i]);
       if (d2 <= r2) out.emplace_back(d2, ids_[i]);

@@ -34,7 +34,9 @@ class GridIndex {
   bool empty() const noexcept { return points_.empty(); }
   std::size_t dims() const noexcept { return domain_.dims(); }
   std::size_t cells_per_dim() const noexcept { return cells_per_dim_; }
-  std::size_t num_cells() const noexcept { return cells_.size(); }
+  std::size_t num_cells() const noexcept {
+    return cell_offsets_.empty() ? 0 : cell_offsets_.size() - 1;
+  }
 
   std::vector<std::uint64_t> range_query(const Rect& rect,
                                          GridQueryCost* cost = nullptr) const;
@@ -54,12 +56,20 @@ class GridIndex {
   std::size_t cell_of(std::span<const double> p) const noexcept;
   /// Flattens per-dim coordinates into a cell index.
   std::size_t flatten(std::span<const std::size_t> coords) const noexcept;
+  /// Point indices of one cell (ascending — the serial insertion order).
+  std::span<const std::uint32_t> cell(std::size_t idx) const noexcept {
+    return std::span<const std::uint32_t>(cell_points_)
+        .subspan(cell_offsets_[idx], cell_offsets_[idx + 1] - cell_offsets_[idx]);
+  }
 
   std::vector<Point> points_;
   std::vector<std::uint64_t> ids_;
   Rect domain_;
   std::size_t cells_per_dim_ = 0;
-  std::vector<std::vector<std::uint32_t>> cells_;  ///< point indices per cell
+  /// CSR cell table (built by a stable parallel counting sort): cell c's
+  /// point indices are cell_points_[cell_offsets_[c] .. cell_offsets_[c+1]).
+  std::vector<std::uint32_t> cell_offsets_;
+  std::vector<std::uint32_t> cell_points_;
 };
 
 }  // namespace sea

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.h"
+#include "common/primitives.h"
+
 namespace sea {
 
 EquiWidthHistogram::EquiWidthHistogram(double lo, double hi,
@@ -29,7 +32,17 @@ void EquiWidthHistogram::add(double v) noexcept {
 }
 
 void EquiWidthHistogram::add_all(std::span<const double> values) noexcept {
-  for (const double v : values) add(v);
+  // Bulk path: bucketize in parallel, then add the (exact, integer)
+  // two-pass parallel histogram — identical counts to the per-value loop.
+  std::vector<std::uint32_t> bucket(values.size());
+  ParallelChunks(values.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      bucket[i] = static_cast<std::uint32_t>(bucket_of(values[i]));
+  });
+  const std::vector<std::uint64_t> bulk =
+      par::histogram(bucket, counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += bulk[b];
+  total_ += values.size();
 }
 
 std::uint64_t EquiWidthHistogram::bucket_count(std::size_t b) const {
@@ -69,7 +82,9 @@ EquiDepthHistogram::EquiDepthHistogram(std::span<const double> values,
   total_ = values.size();
   if (values.empty()) return;
   std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+  // Deterministic parallel sample sort; equal doubles are interchangeable,
+  // so the result matches std::sort exactly.
+  par::sample_sort(std::span<double>(sorted));
   buckets = std::min(buckets, sorted.size());
   edges_.reserve(buckets + 1);
   edges_.push_back(sorted.front());
@@ -116,6 +131,18 @@ ProductHistogram::ProductHistogram(std::span<const Point> points,
   for (std::size_t j = 0; j < d; ++j) {
     for (std::size_t i = 0; i < points.size(); ++i) column[i] = points[i][j];
     dims_.emplace_back(column, buckets);
+  }
+}
+
+ProductHistogram::ProductHistogram(
+    std::span<const std::span<const double>> columns, std::size_t buckets) {
+  if (columns.empty()) return;
+  total_ = columns[0].size();
+  dims_.reserve(columns.size());
+  for (const auto col : columns) {
+    if (col.size() != columns[0].size())
+      throw std::invalid_argument("ProductHistogram: ragged columns");
+    dims_.emplace_back(col, buckets);
   }
 }
 

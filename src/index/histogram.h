@@ -84,6 +84,12 @@ class ProductHistogram {
   /// One equi-depth histogram per column of `points`.
   ProductHistogram(std::span<const Point> points, std::size_t buckets);
 
+  /// Columnar build: one equi-depth histogram per span of `columns`, all
+  /// sharing one length. Identical to the Point overload on the same data
+  /// without materializing a row-major copy.
+  ProductHistogram(std::span<const std::span<const double>> columns,
+                   std::size_t buckets);
+
   std::size_t dims() const noexcept { return dims_.size(); }
   std::uint64_t total() const noexcept { return total_; }
 

@@ -249,13 +249,14 @@ std::vector<std::pair<std::uint64_t, double>> KdTree::knn(
 }
 
 KdTree build_kdtree(const Table& table, std::span<const std::size_t> cols) {
-  // Gather rows in parallel chunks; each chunk writes its own slots.
+  // Fill the points column-at-a-time from contiguous column spans (no
+  // per-row gather); each chunk writes its own slots.
   std::vector<Point> pts(table.num_rows());
   ParallelChunks(table.num_rows(), [&](std::size_t begin, std::size_t end) {
-    Point p;
-    for (std::size_t r = begin; r < end; ++r) {
-      table.gather(r, cols, p);
-      pts[r] = p;
+    for (std::size_t r = begin; r < end; ++r) pts[r].resize(cols.size());
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const auto col = table.column(cols[c]);
+      for (std::size_t r = begin; r < end; ++r) pts[r][c] = col[r];
     }
   });
   return KdTree(std::move(pts));

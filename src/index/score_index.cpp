@@ -5,15 +5,18 @@
 #include <limits>
 #include <stdexcept>
 
+#include <span>
+
 #include "common/parallel.h"
+#include "common/primitives.h"
 
 namespace sea {
 
 namespace {
 
 /// Strict total order (descending score, ascending source row): every
-/// build strategy — serial std::sort or parallel chunk-sort + merge —
-/// converges on the same unique rank order, score ties included.
+/// build strategy — serial std::sort or parallel sample sort — converges
+/// on the same unique rank order, score ties included.
 bool rank_before(const ScoredTuple& a, const ScoredTuple& b) noexcept {
   if (a.score != b.score) return a.score > b.score;
   return a.row < b.row;
@@ -40,35 +43,11 @@ ScoreIndex::ScoreIndex(const Table& table, std::size_t key_col,
     }
   });
 
-  const std::size_t threads = configured_threads();
-  if (threads <= 1 || n < 8192 || in_parallel_region()) {
-    std::sort(by_rank_.begin(), by_rank_.end(), rank_before);
-  } else {
-    // Sort contiguous runs in parallel, then merge pairwise; each merge
-    // level runs its (disjoint) merges concurrently too.
-    const std::size_t parts = std::min(threads, n);
-    std::vector<std::size_t> bounds(parts + 1, 0);
-    for (std::size_t c = 0; c <= parts; ++c) bounds[c] = c * n / parts;
-    ParallelFor(parts, [&](std::size_t c) {
-      std::sort(by_rank_.begin() + static_cast<std::ptrdiff_t>(bounds[c]),
-                by_rank_.begin() + static_cast<std::ptrdiff_t>(bounds[c + 1]),
-                rank_before);
-    });
-    for (std::size_t step = 1; step < parts; step *= 2) {
-      std::vector<std::size_t> merges;
-      for (std::size_t i = 0; i + step < parts; i += 2 * step)
-        merges.push_back(i);
-      ParallelFor(merges.size(), [&](std::size_t m) {
-        const std::size_t i = merges[m];
-        const std::size_t hi = std::min(i + 2 * step, parts);
-        std::inplace_merge(
-            by_rank_.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
-            by_rank_.begin() + static_cast<std::ptrdiff_t>(bounds[i + step]),
-            by_rank_.begin() + static_cast<std::ptrdiff_t>(bounds[hi]),
-            rank_before);
-      });
-    }
-  }
+  // Deterministic parallel sample sort; rank_before is a strict total
+  // order, so the output is identical to a serial std::sort at any
+  // SEA_THREADS (and sample_sort itself falls back to std::sort below its
+  // serial cutoff or inside nested parallel regions).
+  par::sample_sort(std::span<ScoredTuple>(by_rank_), rank_before);
 
   key_index_.reserve(n);
   for (std::uint32_t i = 0; i < by_rank_.size(); ++i)

@@ -52,21 +52,41 @@ void LinearModel::fit(std::span<const std::vector<double>> x,
   for (const auto& row : x)
     if (row.size() != d)
       throw std::invalid_argument("LinearModel::fit: ragged features");
+  // Transpose once and run the columnar fit (bit-identical, see header).
+  std::vector<double> cols(n * d);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t i = 0; i < d; ++i) cols[i * n + r] = x[r][i];
+  fit_columns(cols, n, d, y, lambda);
+}
+
+void LinearModel::fit_columns(std::span<const double> x_cols, std::size_t rows,
+                              std::size_t dims, std::span<const double> y,
+                              double lambda) {
+  if (rows == 0 || y.size() != rows || x_cols.size() != rows * dims)
+    throw std::invalid_argument("LinearModel::fit_columns: bad shapes");
   if (lambda < 0.0)
-    throw std::invalid_argument("LinearModel::fit: negative lambda");
+    throw std::invalid_argument("LinearModel::fit_columns: negative lambda");
+  const std::size_t n = rows;
+  const std::size_t d = dims;
 
   // Augmented design [X | 1]; regularize only the first d coefficients.
+  // Each entry is a contiguous dot product accumulated over rows in index
+  // order — the same per-entry addition order as a row-at-a-time fit.
   const std::size_t m = d + 1;
   Matrix ata(m, m);
   std::vector<double> atb(m, 0.0);
-  for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t i = 0; i < m; ++i) {
-      const double xi = i < d ? x[r][i] : 1.0;
-      atb[i] += xi * y[r];
-      for (std::size_t j = i; j < m; ++j) {
-        const double xj = j < d ? x[r][j] : 1.0;
-        ata(i, j) += xi * xj;
-      }
+  const auto col = [&](std::size_t i) { return x_cols.data() + i * n; };
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ci = i < d ? col(i) : nullptr;
+    double b = 0.0;
+    for (std::size_t r = 0; r < n; ++r) b += (ci ? ci[r] : 1.0) * y[r];
+    atb[i] = b;
+    for (std::size_t j = i; j < m; ++j) {
+      const double* cj = j < d ? col(j) : nullptr;
+      double s = 0.0;
+      for (std::size_t r = 0; r < n; ++r)
+        s += (ci ? ci[r] : 1.0) * (cj ? cj[r] : 1.0);
+      ata(i, j) = s;
     }
   }
   for (std::size_t i = 0; i < m; ++i)
@@ -107,13 +127,16 @@ void LinearModel::fit(std::span<const std::vector<double>> x,
     intercept_ = sol[d];
   }
 
-  // In-sample R^2.
+  // In-sample R^2. The per-row prediction accumulates weights in feature
+  // order, matching predict() on a materialized row exactly.
   double mean_y = 0.0;
   for (const double v : y) mean_y += v;
   mean_y /= static_cast<double>(n);
   double ss_res = 0.0, ss_tot = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
-    const double e = y[r] - predict(x[r]);
+    double pred = intercept_;
+    for (std::size_t i = 0; i < d; ++i) pred += weights_[i] * col(i)[r];
+    const double e = y[r] - pred;
     ss_res += e * e;
     const double t = y[r] - mean_y;
     ss_tot += t * t;

@@ -22,8 +22,20 @@ class LinearModel {
 
   /// Fits y ~ X. X is n rows of d features. lambda >= 0 is the L2 penalty.
   /// Throws std::invalid_argument on shape mismatch or empty input.
+  /// Delegates to fit_columns (transposing once); both entry points produce
+  /// bit-identical models on the same data.
   void fit(std::span<const std::vector<double>> x, std::span<const double> y,
            double lambda = 1e-6);
+
+  /// Columnar fit: x_cols is `dims` feature columns of length `rows`, laid
+  /// out column-major (column i spans x_cols[i*rows .. (i+1)*rows)). The
+  /// normal equations accumulate each X^T X / X^T y entry over rows in
+  /// index order — the same per-entry addition order as the row-major fit —
+  /// so the fitted model is bit-identical to fit() on the same data, while
+  /// every inner loop runs over contiguous memory.
+  void fit_columns(std::span<const double> x_cols, std::size_t rows,
+                   std::size_t dims, std::span<const double> y,
+                   double lambda = 1e-6);
 
   bool fitted() const noexcept { return !weights_.empty(); }
   std::size_t dims() const noexcept { return weights_.size(); }

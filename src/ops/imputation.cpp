@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "common/timer.h"
@@ -44,14 +45,20 @@ struct MissingRow {
 std::vector<MissingRow> find_missing(Cluster& cluster,
                                      const ImputationSpec& spec) {
   std::vector<MissingRow> missing;
-  Point p;
+  const std::size_t d = spec.feature_cols.size();
+  Point p(d);
   for (std::size_t n = 0; n < cluster.num_nodes(); ++n) {
     const Table& part = cluster.partition(spec.table,
                                           static_cast<NodeId>(n));
     const auto target = part.column(spec.target_col);
+    // Feature columns as spans: the NaN filter streams target_col and only
+    // the (rare) missing rows touch the feature columns.
+    std::vector<std::span<const double>> fcols;
+    fcols.reserve(d);
+    for (const auto c : spec.feature_cols) fcols.push_back(part.column(c));
     for (std::size_t r = 0; r < part.num_rows(); ++r) {
       if (!std::isnan(target[r])) continue;
-      part.gather(r, spec.feature_cols, p);
+      for (std::size_t i = 0; i < d; ++i) p[i] = fcols[i][r];
       missing.push_back(MissingRow{static_cast<NodeId>(n),
                                    static_cast<std::uint32_t>(r), p});
     }
@@ -106,10 +113,13 @@ ImputationOutcome impute_mapreduce(Cluster& cluster,
     ++rep.map_tasks;
     Timer t;
     const auto target = part.column(spec.target_col);
-    Point p;
+    std::vector<std::span<const double>> fcols;
+    fcols.reserve(d);
+    for (const auto c : spec.feature_cols) fcols.push_back(part.column(c));
+    Point p(d);
     for (std::size_t r = 0; r < part.num_rows(); ++r) {
       if (std::isnan(target[r])) continue;
-      part.gather(r, spec.feature_cols, p);
+      for (std::size_t i = 0; i < d; ++i) p[i] = fcols[i][r];
       for (std::size_t m = 0; m < missing.size(); ++m) {
         const double dist = euclidean_distance(p, missing[m].features);
         auto& list = cands[m];
@@ -186,11 +196,14 @@ ImputationOutcome impute_indexed(Cluster& cluster, const ImputationSpec& spec,
     const Table& part = cluster.partition(spec.table,
                                           static_cast<NodeId>(node));
     const auto target = part.column(spec.target_col);
+    std::vector<std::span<const double>> fcols;
+    fcols.reserve(d);
+    for (const auto c : spec.feature_cols) fcols.push_back(part.column(c));
     std::vector<Point> pts;
-    Point p;
+    Point p(d);
     for (std::size_t r = 0; r < part.num_rows(); ++r) {
       if (std::isnan(target[r])) continue;
-      part.gather(r, spec.feature_cols, p);
+      for (std::size_t i = 0; i < d; ++i) p[i] = fcols[i][r];
       pts.push_back(p);
       targets[node].push_back(target[r]);
     }

@@ -1,6 +1,7 @@
 #include "optimizer/adaptive.h"
 
 #include <cmath>
+#include <span>
 #include <sstream>
 
 namespace sea {
@@ -16,19 +17,22 @@ const ProductHistogram& AdaptiveExecutor::histogram_for(
   auto it = histograms_.find(key.str());
   if (it != histograms_.end()) return it->second;
   // Built once from the stored partitions (a metadata/synopsis pass that
-  // persistent systems would maintain anyway).
-  std::vector<Point> pts;
+  // persistent systems would maintain anyway). Concatenate each queried
+  // column across partitions and hand the histogram contiguous spans — no
+  // row-major Point materialization.
   Cluster& cluster = exec_.cluster();
-  Point p;
+  std::vector<std::vector<double>> cols_data(cols.size());
   for (std::size_t n = 0; n < cluster.num_nodes(); ++n) {
     const Table& part = cluster.partition(exec_.table_name(),
                                           static_cast<NodeId>(n));
-    for (std::size_t r = 0; r < part.num_rows(); ++r) {
-      part.gather(r, cols, p);
-      pts.push_back(p);
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const auto col = part.column(cols[c]);
+      cols_data[c].insert(cols_data[c].end(), col.begin(), col.end());
     }
   }
-  return histograms_.emplace(key.str(), ProductHistogram(pts, 64))
+  std::vector<std::span<const double>> spans(cols_data.begin(),
+                                             cols_data.end());
+  return histograms_.emplace(key.str(), ProductHistogram(spans, 64))
       .first->second;
 }
 

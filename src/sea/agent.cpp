@@ -99,7 +99,16 @@ void DatalessAgent::maybe_refit(QuantumModel& qm, std::size_t feature_dims) {
   if (qm.since_refit < config_.refit_interval &&
       qm.linear.fitted())
     return;
-  qm.linear.fit(qm.xs, qm.ys, config_.ridge_lambda);
+  // Columnar refit: transpose the quantum's training store once and hand
+  // the linear fit contiguous column spans (bit-identical to the row-major
+  // fit, see linear.h; the normal-equation dot products then run over
+  // contiguous memory).
+  const std::size_t rows = qm.xs.size();
+  const std::size_t dims = qm.xs[0].size();
+  std::vector<double> x_cols(rows * dims);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t i = 0; i < dims; ++i) x_cols[i * rows + r] = qm.xs[r][i];
+  qm.linear.fit_columns(x_cols, rows, dims, qm.ys, config_.ridge_lambda);
   qm.since_refit = 0;
 
   // Query-driven model selection (paper [48]): compare linear vs GBM on a
@@ -110,8 +119,13 @@ void DatalessAgent::maybe_refit(QuantumModel& qm, std::size_t feature_dims) {
     const std::size_t split = qm.xs.size() * 4 / 5;
     const std::span<const std::vector<double>> train_x(qm.xs.data(), split);
     const std::span<const double> train_y(qm.ys.data(), split);
+    // Train-prefix columns, re-packed at the prefix length.
+    std::vector<double> train_cols(split * dims);
+    for (std::size_t r = 0; r < split; ++r)
+      for (std::size_t i = 0; i < dims; ++i)
+        train_cols[i * split + r] = qm.xs[r][i];
     LinearModel lin;
-    lin.fit(train_x, train_y, config_.ridge_lambda);
+    lin.fit_columns(train_cols, split, dims, train_y, config_.ridge_lambda);
     const GbmParams params = quantum_gbm_params();
     GbmRegressor gbm(params);
     gbm.fit(train_x, train_y, &qm.rng);

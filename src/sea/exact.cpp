@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/timer.h"
+#include "data/columnar.h"
 #include "exec/coordinator.h"
 #include "exec/mapreduce.h"
 
@@ -14,12 +15,22 @@ namespace sea {
 
 namespace {
 
-/// Target values of row r for the query's analytic.
-inline void targets(const Table& part, std::size_t r,
-                    const AnalyticalQuery& q, double& t, double& u) {
-  t = needs_target(q.analytic) ? part.at(r, q.target_col) : 0.0;
-  u = needs_second_target(q.analytic) ? part.at(r, q.target_col2) : 0.0;
-}
+/// Contiguous spans of the query's target columns (empty spans when the
+/// analytic has no / no second target): row-r targets are one indexed load
+/// each instead of a bounds-checked Table::at per row.
+struct TargetColumns {
+  std::span<const double> t;
+  std::span<const double> u;
+
+  TargetColumns(const Table& part, const AnalyticalQuery& q)
+      : t(needs_target(q.analytic) ? part.column(q.target_col)
+                                   : std::span<const double>()),
+        u(needs_second_target(q.analytic) ? part.column(q.target_col2)
+                                          : std::span<const double>()) {}
+
+  double t_of(std::size_t r) const noexcept { return t.empty() ? 0.0 : t[r]; }
+  double u_of(std::size_t r) const noexcept { return u.empty() ? 0.0 : u[r]; }
+};
 
 /// Candidate for distributed kNN selections: distance + target values.
 struct KnnCand {
@@ -29,6 +40,12 @@ struct KnnCand {
 };
 
 }  // namespace
+
+/// Reusable shuffle buffers, one per MapReduce job shape the executor runs.
+struct ExactExecutor::MrScratch {
+  MapReduceScratch<int, KnnCand> knn;
+  MapReduceScratch<int, AggregateState> agg;
+};
 
 const char* to_string(ExecParadigm p) noexcept {
   switch (p) {
@@ -45,10 +62,13 @@ const char* to_string(ExecParadigm p) noexcept {
 ExactExecutor::ExactExecutor(Cluster& cluster, std::string table_name,
                              NodeId coordinator)
     : cluster_(cluster), table_(std::move(table_name)),
-      coordinator_(coordinator) {
+      coordinator_(coordinator),
+      mr_scratch_(std::make_unique<MrScratch>()) {
   if (!cluster_.has_table(table_))
     throw std::invalid_argument("ExactExecutor: unknown table " + table_);
 }
+
+ExactExecutor::~ExactExecutor() = default;
 
 std::string ExactExecutor::colset_key(const std::vector<std::size_t>& cols) {
   std::ostringstream os;
@@ -82,12 +102,11 @@ const ExactExecutor::NodeGrids& ExactExecutor::grids_for(
   grids.per_node.reserve(cluster_.num_nodes());
   for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
     const Table& part = cluster_.partition(table_, static_cast<NodeId>(n));
-    std::vector<Point> pts;
-    pts.reserve(part.num_rows());
-    Point p;
-    for (std::size_t r = 0; r < part.num_rows(); ++r) {
-      part.gather(r, cols, p);
-      pts.push_back(p);
+    // Column-at-a-time fill from contiguous spans (no per-row gather).
+    std::vector<Point> pts(part.num_rows(), Point(cols.size()));
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const auto col = part.column(cols[c]);
+      for (std::size_t r = 0; r < part.num_rows(); ++r) pts[r][c] = col[r];
     }
     Rect dom = part.num_rows() ? table_bounds(part, cols) : Rect{};
     if (part.num_rows() == 0) {
@@ -172,10 +191,10 @@ AggregateState ExactExecutor::aggregate_rows(
     const Table& part, const std::vector<std::uint64_t>& rows,
     const AnalyticalQuery& q) const {
   AggregateState agg;
-  double t, u;
+  const TargetColumns tc(part, q);
   for (const auto r : rows) {
-    targets(part, static_cast<std::size_t>(r), q, t, u);
-    agg.add(t, u);
+    const auto i = static_cast<std::size_t>(r);
+    agg.add(tc.t_of(i), tc.u_of(i));
   }
   return agg;
 }
@@ -190,18 +209,17 @@ ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q,
     job.result_bytes = AggregateState::kWireBytes;
     const std::size_t k = q.knn_k;
     job.map = [&q, k](NodeId, const Table& part, Emitter<int, KnnCand>& out_) {
-      std::vector<KnnCand> local;
-      local.reserve(part.num_rows());
-      Point p;
-      double t, u;
+      // Columnar distance kernel: per-row accumulation runs in column
+      // order, so sqrt(d2[r]) is bit-equal to euclidean_distance on a
+      // gathered Point (see columnar.h).
+      std::vector<double> d2;
+      squared_distances(part, q.subspace_cols, q.knn_point, d2);
+      const TargetColumns tc(part, q);
+      std::vector<KnnCand> local(part.num_rows());
       for (std::size_t r = 0; r < part.num_rows(); ++r) {
-        part.gather(r, q.subspace_cols, p);
-        KnnCand c;
-        c.dist = euclidean_distance(p, q.knn_point);
-        targets(part, r, q, t, u);
-        c.t = t;
-        c.u = u;
-        local.push_back(c);
+        local[r].dist = std::sqrt(d2[r]);
+        local[r].t = tc.t_of(r);
+        local[r].u = tc.u_of(r);
       }
       const std::size_t take = std::min(k, local.size());
       std::partial_sort(local.begin(),
@@ -222,7 +240,8 @@ ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q,
       for (std::size_t i = 0; i < take; ++i) agg.add(cands[i].t, cands[i].u);
       return agg;
     };
-    auto mr = run_map_reduce(cluster_, table_, job, coordinator_, deadline);
+    auto mr = run_map_reduce(cluster_, table_, job, coordinator_, deadline,
+                             &mr_scratch_->knn);
     AggregateState total;
     for (auto& [key, agg] : mr.results) {
       (void)key;
@@ -241,18 +260,18 @@ ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q,
   job.result_bytes = AggregateState::kWireBytes;
   job.map = [&q](NodeId, const Table& part,
                  Emitter<int, AggregateState>& out_) {
+    // Columnar selection kernel: the selection vector lists qualifying
+    // rows in ascending order, and the ball test accumulates distance in
+    // column order — so the aggregate below adds the same values in the
+    // same order as the old gather-per-row scan (byte-identical answer).
+    std::vector<std::uint32_t> sel;
+    if (q.selection == SelectionType::kRange)
+      select_range(part, q.subspace_cols, q.range, sel);
+    else
+      select_ball(part, q.subspace_cols, q.ball, sel);
+    const TargetColumns tc(part, q);
     AggregateState agg;
-    Point p;
-    double t, u;
-    for (std::size_t r = 0; r < part.num_rows(); ++r) {
-      part.gather(r, q.subspace_cols, p);
-      const bool hit = q.selection == SelectionType::kRange
-                           ? q.range.contains(p)
-                           : q.ball.contains(p);
-      if (!hit) continue;
-      targets(part, r, q, t, u);
-      agg.add(t, u);
-    }
+    for (const std::uint32_t r : sel) agg.add(tc.t_of(r), tc.u_of(r));
     out_.emit(0, agg);
   };
   job.reduce = [](const int&, std::vector<AggregateState>& states) {
@@ -260,7 +279,8 @@ ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q,
     for (const auto& s : states) total.merge(s);
     return total;
   };
-  auto mr = run_map_reduce(cluster_, table_, job, coordinator_, deadline);
+  auto mr = run_map_reduce(cluster_, table_, job, coordinator_, deadline,
+                           &mr_scratch_->agg);
   AggregateState total;
   for (auto& [key, agg] : mr.results) {
     (void)key;
@@ -362,10 +382,10 @@ ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
                                      examined * part.row_bytes());
               std::vector<KnnCand> cands;
               cands.reserve(nn.size());
-              double t, u;
+              const TargetColumns tc(part, q);
               for (const auto& [row, dist] : nn) {
-                targets(part, static_cast<std::size_t>(row), q, t, u);
-                cands.push_back(KnnCand{dist, t, u});
+                const auto r = static_cast<std::size_t>(row);
+                cands.push_back(KnnCand{dist, tc.t_of(r), tc.u_of(r)});
               }
               return cands;
             });

@@ -51,6 +51,7 @@ class ExactExecutor {
   /// `coordinator` is the node issuing queries (also reducer target).
   ExactExecutor(Cluster& cluster, std::string table_name,
                 NodeId coordinator = 0);
+  ~ExactExecutor();  // out-of-line: MrScratch is complete only in exact.cpp
 
   /// Exact answer via the chosen paradigm. The kCoordinatorIndexed path
   /// lazily builds (and caches) per-node k-d trees over the query's
@@ -96,6 +97,10 @@ class ExactExecutor {
                                 const std::vector<std::uint64_t>& rows,
                                 const AnalyticalQuery& q) const;
 
+  /// Reusable MapReduce shuffle buffers (one per job key/value shape),
+  /// kept warm across the executor's query stream — see MapReduceScratch.
+  struct MrScratch;
+
   Cluster& cluster_;
   std::string table_;
   NodeId coordinator_;
@@ -103,6 +108,7 @@ class ExactExecutor {
   std::unordered_map<std::string, NodeIndexes> index_cache_;
   std::unordered_map<std::string, NodeGrids> grid_cache_;
   std::unordered_map<std::string, Rect> domain_cache_;
+  std::unique_ptr<MrScratch> mr_scratch_;
 };
 
 }  // namespace sea

@@ -1,0 +1,515 @@
+// Tests: deterministic parallel primitives (src/common/primitives.h) and
+// the columnar scan kernels built on them (src/data/columnar.h).
+//
+// Three families of guarantees:
+//  * correctness — every primitive matches a naive serial reference
+//    (bitwise for stable sorts / integer folds, tight tolerance for
+//    tree-combined double folds);
+//  * determinism — results are bit-identical at SEA_THREADS 0 vs 8 (the
+//    block decomposition depends only on the input, never the pool);
+//  * edges — empty inputs, single elements, sizes straddling the block
+//    size and the sample-sort serial cutoff, duplicate-heavy keys, and
+//    every documented exception path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/primitives.h"
+#include "common/rng.h"
+#include "data/columnar.h"
+#include "data/generator.h"
+#include "data/table.h"
+#include "index/histogram.h"
+
+namespace sea {
+namespace {
+
+/// Runs `f` under a fixed worker count and restores serial mode after.
+template <typename F>
+auto with_threads(std::size_t threads, F&& f) {
+  set_configured_threads(threads);
+  auto result = f();
+  set_configured_threads(0);
+  return result;
+}
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+std::vector<std::uint32_t> random_keys(std::size_t n, std::size_t buckets,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> k(n);
+  for (auto& x : k)
+    x = static_cast<std::uint32_t>(rng.uniform_index(buckets));
+  return k;
+}
+
+/// Sizes that straddle every boundary the block plan cares about.
+const std::size_t kAdversarialSizes[] = {
+    0, 1, 2, 7, 8, par::kBlockSize - 1, par::kBlockSize,
+    par::kBlockSize + 1, 3 * par::kBlockSize + 17, 50000};
+
+// --- BlockPlan ---
+
+TEST(BlockPlan, CoversRangeContiguously) {
+  for (const std::size_t n : kAdversarialSizes) {
+    const par::BlockPlan p = par::plan(n);
+    if (n == 0) {
+      EXPECT_EQ(p.blocks, 0u);
+      continue;
+    }
+    EXPECT_EQ(p.begin(0), 0u);
+    EXPECT_EQ(p.end(p.blocks - 1), n);
+    for (std::size_t b = 0; b + 1 < p.blocks; ++b) {
+      EXPECT_EQ(p.end(b), p.begin(b + 1));
+      EXPECT_LT(p.begin(b), p.end(b));
+    }
+  }
+}
+
+TEST(BlockPlan, KeyedPlanCapsCounterCells) {
+  const std::size_t n = 1 << 20;
+  const std::size_t buckets = 1 << 16;
+  const par::BlockPlan p = par::plan_keyed(n, buckets);
+  EXPECT_LE(p.blocks * buckets, par::kMaxCounterCells);
+  EXPECT_GE(p.blocks, 1u);
+  EXPECT_EQ(p.end(p.blocks - 1), n);
+  // Small bucket counts keep the unkeyed plan.
+  EXPECT_EQ(par::plan_keyed(n, 4).blocks, par::plan(n).blocks);
+  EXPECT_EQ(par::plan_keyed(0, 64).blocks, 0u);
+}
+
+// --- reduce / minmax ---
+
+TEST(ReduceAdd, MatchesSerialSumWithinTolerance) {
+  for (const std::size_t n : kAdversarialSizes) {
+    const auto v = random_doubles(n, 11 + n);
+    const double got = par::reduce_add(v);
+    const double want = std::accumulate(v.begin(), v.end(), 0.0);
+    EXPECT_NEAR(got, want, 1e-9 * std::max(1.0, std::abs(want))) << n;
+  }
+}
+
+TEST(ReduceAdd, BitIdenticalAcrossThreadCounts) {
+  const auto v = random_doubles(50000, 13);
+  const double serial = with_threads(0, [&] { return par::reduce_add(v); });
+  const double pooled = with_threads(8, [&] { return par::reduce_add(v); });
+  EXPECT_EQ(serial, pooled);  // bitwise: same block combine tree
+}
+
+TEST(Minmax, MatchesStdMinmaxAndHandlesEmpty) {
+  EXPECT_EQ(par::minmax(std::span<const double>{}),
+            (std::pair<double, double>{0.0, 0.0}));
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4097}}) {
+    const auto v = random_doubles(n, 17 + n);
+    const auto [lo, hi] = par::minmax(v);
+    const auto [it_lo, it_hi] = std::minmax_element(v.begin(), v.end());
+    EXPECT_EQ(lo, *it_lo);
+    EXPECT_EQ(hi, *it_hi);
+  }
+}
+
+// --- scan_exclusive ---
+
+TEST(ScanExclusive, ExactForIntegers) {
+  for (const std::size_t n : kAdversarialSizes) {
+    std::vector<std::uint64_t> in(n);
+    Rng rng(23 + n);
+    for (auto& x : in) x = rng.uniform_index(1000);
+    std::vector<std::uint64_t> out(n);
+    const std::uint64_t total = par::scan_exclusive(
+        std::span<const std::uint64_t>(in), std::span<std::uint64_t>(out));
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], acc);
+      acc += in[i];
+    }
+    EXPECT_EQ(total, acc);
+  }
+}
+
+TEST(ScanExclusive, SupportsAliasedInputOutput) {
+  std::vector<std::uint64_t> v(10000, 1);
+  const std::uint64_t total = par::scan_exclusive(
+      std::span<const std::uint64_t>(v), std::span<std::uint64_t>(v));
+  EXPECT_EQ(total, 10000u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(ScanExclusive, DoublesBitIdenticalAcrossThreadCounts) {
+  const auto in = random_doubles(30000, 29);
+  const auto run = [&] {
+    std::vector<double> out(in.size());
+    const double total = par::scan_exclusive(std::span<const double>(in),
+                                             std::span<double>(out));
+    out.push_back(total);
+    return out;
+  };
+  EXPECT_EQ(with_threads(0, run), with_threads(8, run));
+}
+
+TEST(ScanExclusive, ThrowsOnSizeMismatch) {
+  std::vector<double> in(4), out(3);
+  EXPECT_THROW(par::scan_exclusive(std::span<const double>(in),
+                                   std::span<double>(out)),
+               std::invalid_argument);
+}
+
+// --- histogram ---
+
+TEST(Histogram, MatchesNaiveCounts) {
+  for (const std::size_t n : kAdversarialSizes) {
+    const std::size_t buckets = 37;
+    const auto keys = random_keys(n, buckets, 31 + n);
+    const auto got = par::histogram(keys, buckets);
+    std::vector<std::uint64_t> want(buckets, 0);
+    for (const auto k : keys) ++want[k];
+    EXPECT_EQ(got, want) << n;
+  }
+}
+
+TEST(Histogram, ExceptionPaths) {
+  std::vector<std::uint32_t> keys = {0, 1, 5};
+  EXPECT_THROW(par::histogram(keys, 5), std::out_of_range);
+  EXPECT_THROW(par::histogram(keys, 0), std::invalid_argument);
+  // Empty input: any bucket count is fine, all-zero result.
+  EXPECT_EQ(par::histogram(std::span<const std::uint32_t>{}, 3),
+            (std::vector<std::uint64_t>{0, 0, 0}));
+}
+
+// --- counting_sort ---
+
+void expect_counting_sort_matches_naive(std::span<const std::uint32_t> keys,
+                                        std::size_t buckets) {
+  const par::CountingSort got = par::counting_sort(keys, buckets);
+  // Naive stable counting sort.
+  std::vector<std::uint32_t> offsets(buckets + 1, 0);
+  for (const auto k : keys) ++offsets[k + 1];
+  for (std::size_t k = 0; k < buckets; ++k) offsets[k + 1] += offsets[k];
+  std::vector<std::uint32_t> cur(offsets.begin(), offsets.end() - 1);
+  std::vector<std::uint32_t> order(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    order[cur[keys[i]]++] = static_cast<std::uint32_t>(i);
+  EXPECT_EQ(got.order, order);
+  EXPECT_EQ(got.offsets, offsets);
+}
+
+TEST(CountingSort, StableAndMatchesNaive) {
+  for (const std::size_t n : kAdversarialSizes) {
+    const std::size_t buckets = 19;
+    const auto keys = random_keys(n, buckets, 41 + n);
+    expect_counting_sort_matches_naive(keys, buckets);
+  }
+  // Duplicate-heavy: every key identical (stability = identity order).
+  std::vector<std::uint32_t> same(10000, 3);
+  const auto cs = par::counting_sort(same, 7);
+  for (std::size_t i = 0; i < same.size(); ++i) EXPECT_EQ(cs.order[i], i);
+  EXPECT_EQ(cs.offsets[3], 0u);
+  EXPECT_EQ(cs.offsets[4], 10000u);
+}
+
+TEST(CountingSort, EmptyAndExceptionPaths) {
+  const auto empty = par::counting_sort(std::span<const std::uint32_t>{}, 4);
+  EXPECT_TRUE(empty.order.empty());
+  EXPECT_EQ(empty.offsets, (std::vector<std::uint32_t>{0, 0, 0, 0, 0}));
+  std::vector<std::uint32_t> keys = {2};
+  EXPECT_THROW(par::counting_sort(keys, 2), std::out_of_range);
+  EXPECT_THROW(par::counting_sort(keys, 0), std::invalid_argument);
+}
+
+TEST(CountingSort, BitIdenticalAcrossThreadCounts) {
+  const auto keys = random_keys(60000, 256, 43);
+  const auto run = [&] { return par::counting_sort(keys, 256).order; };
+  EXPECT_EQ(with_threads(0, run), with_threads(8, run));
+}
+
+// --- collect_reduce ---
+
+TEST(CollectReduce, ExactForIntegerValues) {
+  for (const std::size_t n : kAdversarialSizes) {
+    const std::size_t buckets = 13;
+    const auto keys = random_keys(n, buckets, 47 + n);
+    std::vector<std::uint64_t> vals(n);
+    Rng rng(48 + n);
+    for (auto& v : vals) v = rng.uniform_index(100);
+    const auto got = par::collect_reduce(
+        std::span<const std::uint32_t>(keys),
+        std::span<const std::uint64_t>(vals), buckets, std::uint64_t{0},
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    std::vector<std::uint64_t> want(buckets, 0);
+    for (std::size_t i = 0; i < n; ++i) want[keys[i]] += vals[i];
+    EXPECT_EQ(got, want) << n;
+  }
+}
+
+TEST(CollectReduce, DoublesNearNaiveAndThreadInvariant) {
+  const std::size_t n = 40000, buckets = 64;
+  const auto keys = random_keys(n, buckets, 53);
+  const auto vals = random_doubles(n, 54);
+  const auto run = [&] {
+    return par::collect_reduce(std::span<const std::uint32_t>(keys),
+                               std::span<const double>(vals), buckets, 0.0,
+                               [](double a, double b) { return a + b; });
+  };
+  const auto serial = with_threads(0, run);
+  const auto pooled = with_threads(8, run);
+  EXPECT_EQ(serial, pooled);  // bitwise thread invariance
+  std::vector<double> want(buckets, 0.0);
+  for (std::size_t i = 0; i < n; ++i) want[keys[i]] += vals[i];
+  for (std::size_t k = 0; k < buckets; ++k)
+    EXPECT_NEAR(serial[k], want[k], 1e-9 * std::max(1.0, std::abs(want[k])));
+}
+
+TEST(CollectReduce, ExceptionPaths) {
+  std::vector<std::uint32_t> keys = {0, 1};
+  std::vector<double> vals = {1.0};
+  const auto add = [](double a, double b) { return a + b; };
+  EXPECT_THROW(par::collect_reduce(std::span<const std::uint32_t>(keys),
+                                   std::span<const double>(vals), 2, 0.0,
+                                   add),
+               std::invalid_argument);
+  vals.push_back(2.0);
+  EXPECT_THROW(par::collect_reduce(std::span<const std::uint32_t>(keys),
+                                   std::span<const double>(vals), 1, 0.0,
+                                   add),
+               std::out_of_range);
+  EXPECT_THROW(par::collect_reduce(std::span<const std::uint32_t>(keys),
+                                   std::span<const double>(vals), 0, 0.0,
+                                   add),
+               std::invalid_argument);
+}
+
+// --- gather ---
+
+TEST(Gather, PermutesExactly) {
+  for (const std::size_t n : kAdversarialSizes) {
+    const auto src = random_doubles(n, 59 + n);
+    std::vector<std::uint32_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+      idx[i] = static_cast<std::uint32_t>(i);
+    Rng rng(60 + n);
+    rng.shuffle(idx);
+    std::vector<double> out(n);
+    par::gather(std::span<const double>(src),
+                std::span<const std::uint32_t>(idx), std::span<double>(out));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], src[idx[i]]);
+  }
+}
+
+TEST(Gather, ThrowsOnSizeMismatch) {
+  std::vector<double> src(4), out(3);
+  std::vector<std::uint32_t> idx = {0, 1, 2, 3};
+  EXPECT_THROW(par::gather(std::span<const double>(src),
+                           std::span<const std::uint32_t>(idx),
+                           std::span<double>(out)),
+               std::invalid_argument);
+}
+
+// --- sample_sort ---
+
+TEST(SampleSort, MatchesStdSortBelowAndAboveCutoff) {
+  // 1<<14 is the serial cutoff; cover both regimes plus the boundary.
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{100},
+        std::size_t{(1 << 14) - 1}, std::size_t{1 << 14},
+        std::size_t{(1 << 14) + 1}, std::size_t{100000}}) {
+    auto v = random_doubles(n, 61 + n);
+    auto want = v;
+    par::sample_sort(std::span<double>(v));
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(v, want) << n;
+  }
+}
+
+TEST(SampleSort, DuplicateHeavyAndPresortedInputs) {
+  std::vector<double> dup(50000);
+  for (std::size_t i = 0; i < dup.size(); ++i)
+    dup[i] = static_cast<double>(i % 7);
+  auto want = dup;
+  par::sample_sort(std::span<double>(dup));
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(dup, want);
+
+  std::vector<double> sorted(40000);
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    sorted[i] = static_cast<double>(i);
+  auto asc = sorted;
+  par::sample_sort(std::span<double>(asc));
+  EXPECT_EQ(asc, sorted);
+  std::vector<double> desc(sorted.rbegin(), sorted.rend());
+  par::sample_sort(std::span<double>(desc));
+  EXPECT_EQ(desc, sorted);
+}
+
+TEST(SampleSort, CustomComparatorAndThreadInvariance) {
+  const auto base = random_doubles(70000, 67);
+  const auto run = [&] {
+    auto v = base;
+    par::sample_sort(std::span<double>(v), std::greater<double>());
+    return v;
+  };
+  const auto serial = with_threads(0, run);
+  const auto pooled = with_threads(8, run);
+  EXPECT_EQ(serial, pooled);
+  auto want = base;
+  std::sort(want.begin(), want.end(), std::greater<double>());
+  EXPECT_EQ(serial, want);
+}
+
+// --- 100-seed property sweep ---
+
+TEST(PrimitiveProperties, HundredSeedSweepAgainstNaiveReferences) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(1000 + seed);
+    const std::size_t n = rng.uniform_index(5000);
+    const std::size_t buckets = 1 + rng.uniform_index(97);
+    const auto keys = random_keys(n, buckets, seed * 3 + 1);
+    const auto vals = random_doubles(n, seed * 3 + 2);
+
+    expect_counting_sort_matches_naive(keys, buckets);
+
+    std::vector<std::uint64_t> want_hist(buckets, 0);
+    for (const auto k : keys) ++want_hist[k];
+    EXPECT_EQ(par::histogram(keys, buckets), want_hist) << seed;
+
+    const double want_sum = std::accumulate(vals.begin(), vals.end(), 0.0);
+    EXPECT_NEAR(par::reduce_add(vals), want_sum,
+                1e-9 * std::max(1.0, std::abs(want_sum)))
+        << seed;
+
+    auto sorted = vals;
+    par::sample_sort(std::span<double>(sorted));
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end())) << seed;
+    auto want_sorted = vals;
+    std::sort(want_sorted.begin(), want_sorted.end());
+    EXPECT_EQ(sorted, want_sorted) << seed;
+  }
+}
+
+// --- columnar kernels ---
+
+TEST(ColumnarKernels, SelectionMatchesRowScanAndIsAscending) {
+  const Table table = make_clustered_dataset(20000, 3, 3, 71);
+  const std::vector<std::size_t> cols = {0, 1};
+  Rect rect = table_bounds(table, cols);
+  for (std::size_t i = 0; i < rect.lo.size(); ++i) {
+    const double w = rect.hi[i] - rect.lo[i];
+    rect.lo[i] += 0.3 * w;
+    rect.hi[i] -= 0.3 * w;
+  }
+  const Ball ball{{rect.lo[0], rect.lo[1]}, 0.2};
+
+  std::vector<std::uint32_t> sel_range, sel_ball;
+  select_range(table, cols, rect, sel_range);
+  select_ball(table, cols, ball, sel_ball);
+  EXPECT_TRUE(std::is_sorted(sel_range.begin(), sel_range.end()));
+  EXPECT_TRUE(std::is_sorted(sel_ball.begin(), sel_ball.end()));
+
+  std::vector<std::uint32_t> want_range, want_ball;
+  Point p;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    table.gather(r, cols, p);
+    if (rect.contains(p)) want_range.push_back(static_cast<std::uint32_t>(r));
+    if (ball.contains(p)) want_ball.push_back(static_cast<std::uint32_t>(r));
+  }
+  EXPECT_EQ(sel_range, want_range);
+  EXPECT_EQ(sel_ball, want_ball);
+  EXPECT_FALSE(sel_range.empty());  // the shrunken box still selects rows
+}
+
+TEST(ColumnarKernels, SquaredDistancesBitEqualRowArithmetic) {
+  const Table table = make_clustered_dataset(5000, 3, 3, 73);
+  const std::vector<std::size_t> cols = {0, 2};
+  const Point center = {0.4, 0.6};
+  std::vector<double> d2;
+  squared_distances(table, cols, center, d2);
+  ASSERT_EQ(d2.size(), table.num_rows());
+  Point p;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    table.gather(r, cols, p);
+    EXPECT_EQ(d2[r], squared_distance(p, center)) << r;  // bitwise
+  }
+}
+
+TEST(ColumnarKernels, AggregateColumnThreadInvariantAndNearNaive) {
+  const auto col = random_doubles(60000, 79);
+  std::vector<std::uint32_t> sel;
+  for (std::uint32_t r = 0; r < col.size(); r += 3) sel.push_back(r);
+  const auto run = [&] { return aggregate_column(col, sel); };
+  const auto serial = with_threads(0, run);
+  const auto pooled = with_threads(8, run);
+  EXPECT_EQ(serial.count, pooled.count);
+  EXPECT_EQ(serial.sum, pooled.sum);        // bitwise
+  EXPECT_EQ(serial.sum_sq, pooled.sum_sq);  // bitwise
+  double want_sum = 0.0;
+  for (const auto r : sel) want_sum += col[r];
+  EXPECT_EQ(serial.count, sel.size());
+  EXPECT_NEAR(serial.sum, want_sum, 1e-9 * std::max(1.0, std::abs(want_sum)));
+}
+
+// --- bulk columnar Table construction ---
+
+TEST(TableColumnar, FromColumnsMatchesAppendRow) {
+  Schema schema({"a", "b"});
+  std::vector<std::vector<double>> cols = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Table bulk = Table::from_columns(schema, cols);
+  Table rowwise(schema);
+  for (std::size_t r = 0; r < 3; ++r)
+    rowwise.append_row(std::vector<double>{cols[0][r], cols[1][r]});
+  ASSERT_EQ(bulk.num_rows(), rowwise.num_rows());
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t r = 0; r < 3; ++r)
+      EXPECT_EQ(bulk.at(r, c), rowwise.at(r, c));
+}
+
+TEST(TableColumnar, ErrorPaths) {
+  // from_columns: schema/column count mismatch and ragged columns.
+  EXPECT_THROW(Table::from_columns(Schema({"a", "b"}), {{1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(Table::from_columns(Schema({"a", "b"}), {{1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+  // append_column: length mismatch against existing rows, duplicate name.
+  Table t;
+  t.append_column("a", {1.0, 2.0});
+  EXPECT_EQ(t.num_rows(), 2u);  // first column defines the row count
+  EXPECT_THROW(t.append_column("b", {1.0}), std::invalid_argument);
+  EXPECT_THROW(t.append_column("a", {3.0, 4.0}), std::invalid_argument);
+  t.append_column("b", {3.0, 4.0});
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.at(1, 1), 4.0);
+}
+
+TEST(ProductHistogramColumnar, MatchesPointBuildAndRejectsRagged) {
+  const auto c0 = random_doubles(4000, 83);
+  const auto c1 = random_doubles(4000, 84);
+  std::vector<Point> pts(c0.size(), Point(2));
+  for (std::size_t r = 0; r < c0.size(); ++r) {
+    pts[r][0] = c0[r];
+    pts[r][1] = c1[r];
+  }
+  const ProductHistogram from_points(pts, 32);
+  const std::vector<std::span<const double>> spans = {c0, c1};
+  const ProductHistogram from_cols(spans, 32);
+  const Rect probe{{-0.5, -0.5}, {0.5, 0.5}};
+  EXPECT_EQ(from_points.total(), from_cols.total());
+  EXPECT_EQ(from_points.estimate_count(probe),
+            from_cols.estimate_count(probe));
+
+  const std::vector<double> shorter(c1.begin(), c1.begin() + 100);
+  const std::vector<std::span<const double>> ragged = {c0, shorter};
+  EXPECT_THROW(ProductHistogram(ragged, 32), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sea
