@@ -7,7 +7,7 @@
 #   tsan      tier1 + tier2 (saturated-pool stress) under TSan
 #   coverage  tier1 suite instrumented with gcov; prints per-directory
 #             line coverage for src/ and fails if src/obs, src/recovery,
-#             src/membership, or src/common drops below 90%
+#             src/membership, src/fault, or src/common drops below 90%
 # plus a perf-smoke stage after the default preset: bench_micro
 # --perf-smoke gates the parallel primitives against naive serial
 # references (relative, host-speed-independent) and writes
@@ -41,6 +41,9 @@ cmake --build --preset default -j "${jobs}" --target bench_micro
 
 # ASan aborts the process on its first report; UBSan prints and continues
 # unless halt_on_error is set — force both fatal so ctest sees a failure.
+# tier1 includes test_integrity's 100-seed storage-corruption sweep, so
+# every seeded torn-write/bit-flip/lost-flush schedule replays under both
+# sanitizers here (and again threaded, via tier2, under ubsan/tsan below).
 export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:${UBSAN_OPTIONS:-}"
 run_preset asan
@@ -100,7 +103,7 @@ if [ -z "${cov_rows}" ]; then
 fi
 echo "${cov_rows}" | sort | awk '{printf "  %-16s %6d lines  %5.1f%%\n", $1, $2, $3}'
 # Gated directories: each must hold the 90% line-coverage floor.
-for gated in src/obs src/recovery src/membership src/common; do
+for gated in src/obs src/recovery src/membership src/fault src/common; do
   pct="$(echo "${cov_rows}" | awk -v d="${gated}" '$1 == d {print $3}')"
   if [ -z "${pct}" ]; then
     echo "FAIL: no coverage data for ${gated}"

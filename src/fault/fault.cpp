@@ -34,6 +34,23 @@ void FaultPlan::validate() const {
     check_probability(nd.drop_probability,
                       "node_drops[" + std::to_string(nd.node) +
                           "].drop_probability");
+  for (std::size_t i = 0; i < storage_faults.size(); ++i) {
+    const StorageFaultProfile& sf = storage_faults[i];
+    const std::string which =
+        "storage_faults[node " + std::to_string(sf.node) + "]";
+    check_probability(sf.torn_write_probability,
+                      which + ".torn_write_probability");
+    check_probability(sf.bit_flip_probability,
+                      which + ".bit_flip_probability");
+    check_probability(sf.lost_flush_probability,
+                      which + ".lost_flush_probability");
+    for (std::size_t j = 0; j < i; ++j)
+      if (storage_faults[j].node == sf.node)
+        throw FaultPlanError(
+            "FaultPlan: node " + std::to_string(sf.node) +
+            " has two storage-fault profiles (rates would silently "
+            "shadow each other)");
+  }
 
   std::vector<Window> windows;
   windows.reserve(flaps.size() + node_crashes.size());
@@ -107,6 +124,44 @@ void FaultPlan::validate() const {
                            cut_string(cuts[i - 1]) + " and " +
                            cut_string(cuts[i]));
 
+  // Stall windows: same tick-0 / inverted-window rules, a multiplier >= 1
+  // (a sub-unit stall would *speed up* writes), and no same-node overlap
+  // (two active multipliers compose into a slowdown the plan never named).
+  // Stalls may freely overlap crash/flap windows on other axes: a brown-out
+  // disk on a flapping node is a composition the plan *can* mean.
+  std::vector<Window> stalls;
+  stalls.reserve(storage_stalls.size());
+  for (const auto& s : storage_stalls) {
+    if (s.start_at == 0)
+      throw FaultPlanError("FaultPlan: storage stall on node " +
+                           std::to_string(s.node) +
+                           " has start_at=0, which never fires (the logical "
+                           "clock starts at tick 1)");
+    if (s.end_at <= s.start_at)
+      throw FaultPlanError("FaultPlan: inverted/empty storage stall window [" +
+                           std::to_string(s.start_at) + ", " +
+                           std::to_string(s.end_at) + ") on node " +
+                           std::to_string(s.node));
+    if (!(s.multiplier >= 1.0))
+      throw FaultPlanError("FaultPlan: storage stall on node " +
+                           std::to_string(s.node) + " has multiplier " +
+                           std::to_string(s.multiplier) +
+                           " < 1 (a stall cannot speed writes up)");
+    stalls.push_back({s.node, s.start_at, s.end_at, "storage stall"});
+  }
+  std::sort(stalls.begin(), stalls.end(),
+            [](const Window& a, const Window& b) {
+              if (a.node != b.node) return a.node < b.node;
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+  for (std::size_t i = 1; i < stalls.size(); ++i)
+    if (stalls[i].node == stalls[i - 1].node &&
+        stalls[i].start < stalls[i - 1].end)
+      throw FaultPlanError("FaultPlan: overlapping windows: " +
+                           window_string(stalls[i - 1]) + " and " +
+                           window_string(stalls[i]));
+
   // Two windows on the same node may not overlap: the second down/crash
   // transition would be swallowed (or a restart would "heal" a flap it
   // never owned), producing schedules that silently diverge from the plan.
@@ -127,8 +182,21 @@ void FaultPlan::validate() const {
   }
 }
 
+namespace {
+
+/// Storage draws come from their own stream so that adding storage faults
+/// to a plan never shifts the network drop/spike sequence. SplitMix64 over
+/// a domain-separated seed keeps the two streams statistically independent.
+std::uint64_t storage_stream_seed(std::uint64_t seed) noexcept {
+  return SplitMix64(seed ^ 0x5707A6EFA017ULL).next();
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(std::move(plan)), rng_(plan_.seed) {
+    : plan_(std::move(plan)),
+      rng_(plan_.seed),
+      storage_rng_(storage_stream_seed(plan_.seed)) {
   plan_.validate();
 }
 
@@ -271,8 +339,56 @@ double FaultInjector::latency_multiplier(NodeId from, NodeId to) {
   return plan_.spike_multiplier;
 }
 
+WriteFault FaultInjector::on_durable_write(NodeId node,
+                                           std::size_t frame_bytes) {
+  WriteFault f;
+  f.stall_multiplier = stall_multiplier(node);
+  if (f.stall_multiplier > 1.0) ++stats_.stalled_writes;
+  const StorageFaultProfile* prof = nullptr;
+  for (const auto& p : plan_.storage_faults)
+    if (p.node == node) prof = &p;
+  if (!prof) return f;
+  // Fixed draw structure: three Bernoullis per write on a profiled node,
+  // in lost/torn/flip order, regardless of outcome. Precedence lost > torn
+  // > flip: a write that never landed cannot also be torn or flipped.
+  const bool lost = storage_rng_.bernoulli(prof->lost_flush_probability);
+  const bool torn = storage_rng_.bernoulli(prof->torn_write_probability);
+  const bool flip = storage_rng_.bernoulli(prof->bit_flip_probability);
+  if (lost) {
+    f.lost = true;
+    ++stats_.lost_flushes;
+    return f;
+  }
+  if (torn && frame_bytes > 0) {
+    f.torn = true;
+    f.keep_bytes = static_cast<std::size_t>(
+        storage_rng_.uniform_index(frame_bytes));  // always a strict prefix
+    ++stats_.torn_writes;
+    return f;
+  }
+  if (flip && frame_bytes > 0) {
+    f.flipped = true;
+    f.flip_offset =
+        static_cast<std::size_t>(storage_rng_.uniform_index(frame_bytes));
+    f.flip_mask = static_cast<std::uint8_t>(
+        1u << storage_rng_.uniform_index(8));
+    ++stats_.bit_flips;
+  }
+  return f;
+}
+
+double FaultInjector::stall_multiplier(NodeId node) const {
+  const std::uint64_t t = stats_.ticks;
+  double m = 1.0;
+  for (const auto& s : plan_.storage_stalls)
+    if (s.node == node && t >= s.start_at && t < s.end_at)
+      m = std::max(m, s.multiplier);
+  return m;
+}
+
 void FaultInjector::reset() {
   rng_.reseed(plan_.seed);
+  storage_rng_.reseed(storage_stream_seed(plan_.seed));
   stats_ = FaultStats{};
 }
 

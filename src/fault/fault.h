@@ -21,6 +21,7 @@
 
 #include "cluster/cluster.h"
 #include "common/rng.h"
+#include "fault/storage.h"
 #include "net/network.h"
 
 namespace sea {
@@ -71,6 +72,28 @@ struct NetworkPartition {
   std::uint64_t heal_at = 0;
 };
 
+/// Per-node silent-storage-fault rates: each durable write on `node` may
+/// be torn (prefix-only persistence), bit-flipped, or lost entirely (the
+/// flush was acknowledged but never hit the medium). Independent Bernoulli
+/// draws per write from the injector's dedicated storage RNG stream, so
+/// adding a profile never shifts the seeded network drop/spike sequence.
+struct StorageFaultProfile {
+  NodeId node = 0;
+  double torn_write_probability = 0.0;
+  double bit_flip_probability = 0.0;
+  double lost_flush_probability = 0.0;
+};
+
+/// A stalled-I/O window: while active (half-open [start_at, end_at), like
+/// flaps), every durable write on `node` costs `multiplier`x its modelled
+/// time — the brown-out disk that slows checkpoints without failing them.
+struct StorageStall {
+  NodeId node = 0;
+  std::uint64_t start_at = 0;
+  std::uint64_t end_at = 0;
+  double multiplier = 4.0;
+};
+
 /// A FaultPlan failed validation (see FaultPlan::validate). Typed so tests
 /// and callers can distinguish a malformed plan from other argument errors.
 class FaultPlanError : public std::invalid_argument {
@@ -96,6 +119,10 @@ struct FaultPlan {
   std::vector<NodeCrash> node_crashes;
   /// Network partition windows, driven by the same logical clock.
   std::vector<NetworkPartition> partitions;
+  /// Per-node silent storage corruption rates (at most one per node).
+  std::vector<StorageFaultProfile> storage_faults;
+  /// Stalled-I/O windows, driven by the same logical clock.
+  std::vector<StorageStall> storage_stalls;
 
   /// Rejects malformed plans with FaultPlanError instead of letting them
   /// silently misbehave mid-run: probabilities outside [0, 1], inverted or
@@ -106,7 +133,11 @@ struct FaultPlan {
   /// tick-0 starts, inverted/empty windows, node-set cuts with no (or
   /// duplicate) nodes, and *any* time overlap between two partition windows
   /// are rejected (two concurrent cuts compose into a topology the plan
-  /// never named). Called by the FaultInjector constructor.
+  /// never named). Storage faults too: out-of-range probabilities,
+  /// duplicate per-node profiles, stall windows that start at tick 0, are
+  /// inverted/empty, overlap on the same node, or carry a multiplier < 1
+  /// (a sub-unit stall would *speed up* writes). Called by the
+  /// FaultInjector constructor.
   void validate() const;
 };
 
@@ -121,6 +152,10 @@ struct FaultStats {
   std::uint64_t partition_cuts = 0;   ///< partition windows opened
   std::uint64_t partition_heals = 0;  ///< partition windows healed
   std::uint64_t partition_drops = 0;  ///< messages lost to an active cut
+  std::uint64_t torn_writes = 0;      ///< durable writes torn to a prefix
+  std::uint64_t bit_flips = 0;        ///< durable writes with a flipped bit
+  std::uint64_t lost_flushes = 0;     ///< durable writes that never landed
+  std::uint64_t stalled_writes = 0;   ///< durable writes inside a stall window
 };
 
 /// Observer of crash/restart transitions (src/recovery model replicas):
@@ -146,7 +181,8 @@ struct TickEffects {
 /// injector into Network (drop/spike decisions on the fallible send path)
 /// and Cluster (so executors can tick the flap schedule); detach restores
 /// fault-free behavior and heals any nodes this injector downed.
-class FaultInjector final : public LinkFaultModel {
+class FaultInjector final : public LinkFaultModel,
+                            public StorageFaultModel {
  public:
   explicit FaultInjector(FaultPlan plan);
 
@@ -171,6 +207,15 @@ class FaultInjector final : public LinkFaultModel {
   bool should_drop(NodeId from, NodeId to) override;
   double latency_multiplier(NodeId from, NodeId to) override;
 
+  // StorageFaultModel — consulted by CheckpointStore per persisted frame.
+  // Draws come from a dedicated storage RNG stream derived from the plan
+  // seed, so storage faults never perturb the network drop/spike sequence
+  // (and vice versa). Exactly three Bernoullis are consumed per write on a
+  // profiled node — lost, torn, flip, in that order — regardless of
+  // outcome, so the draw structure is stable across fault severities.
+  WriteFault on_durable_write(NodeId node, std::size_t frame_bytes) override;
+  double stall_multiplier(NodeId node) const override;
+
   /// True while any partition window is active at the current tick.
   bool partition_active() const noexcept;
   /// True when an active partition cuts the from->to link (deterministic —
@@ -187,8 +232,8 @@ class FaultInjector final : public LinkFaultModel {
   const FaultStats& stats() const noexcept { return stats_; }
   const FaultPlan& plan() const noexcept { return plan_; }
 
-  /// Rewinds the clock, reseeds the RNG, and zeroes stats (does not touch
-  /// cluster node state — detach/attach for that).
+  /// Rewinds the clock, reseeds both RNG streams, and zeroes stats (does
+  /// not touch cluster node state — detach/attach for that).
   void reset();
 
  private:
@@ -200,6 +245,9 @@ class FaultInjector final : public LinkFaultModel {
 
   FaultPlan plan_;
   Rng rng_;
+  /// Dedicated stream for storage-fault draws (seed-derived via SplitMix64
+  /// so plans with and without storage faults share the network sequence).
+  Rng storage_rng_;
   FaultStats stats_;
   std::vector<CrashListener*> listeners_;
   /// Network zone assignment, snapshotted at attach() so zone-cut

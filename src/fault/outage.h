@@ -64,6 +64,19 @@ class StaleEpoch : public OutageError {
   explicit StaleEpoch(const std::string& what) : OutageError(what) {}
 };
 
+/// Durable state failed integrity verification: a checkpoint or WAL frame
+/// whose magic/length/checksum no longer matches what was written (torn
+/// write, bit flip, lost flush — src/fault/storage.h). Raised by the
+/// strict CheckpointStore read paths instead of returning garbage bytes;
+/// recovery treats it as data *loss* — truncate at the bad frame, fall
+/// back to the previous checkpoint epoch, rebuild via anti-entropy — never
+/// as data.
+class CorruptedStateError : public OutageError {
+ public:
+  explicit CorruptedStateError(const std::string& what)
+      : OutageError(what) {}
+};
+
 /// Per-query modelled-time budget (overload control). Default-constructed
 /// deadlines are infinite (disabled); construct with a finite budget_ms to
 /// arm. charge() accumulates and throws DeadlineExceeded the moment the

@@ -1,0 +1,63 @@
+// Storage-fault modelling: the fate of bytes a node writes to its durable
+// medium.
+//
+// The fault stack so far covers processes (crashes, flaps) and the network
+// (drops, spikes, partitions) — failures that make state *unavailable*.
+// Storage faults are worse: a torn write, a flipped bit, or a lost flush
+// leaves state that is still readable but silently wrong, and a model
+// replica that loads it serves silently wrong answers (the paper's
+// data-less models ARE the system of record, so corrupt model state is
+// corrupt data). This interface is the injection point: the durable store
+// (recovery/checkpoint.h) asks it what happens to each frame it persists.
+//
+// Faults are decided by the FaultInjector from its own seeded storage RNG
+// stream (fault.h), so a single seed reproduces the full corruption
+// schedule without perturbing the network drop/spike draw sequence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/network.h"
+
+namespace sea {
+
+/// What happened to one durable write. At most one of lost/torn/flipped is
+/// set (a write that never hit the medium cannot also be torn).
+struct WriteFault {
+  /// Lost flush: the write was acknowledged but never reached the medium —
+  /// the frame simply does not exist on disk.
+  bool lost = false;
+  /// Torn write: only the first `keep_bytes` of the frame persisted
+  /// (always a strict prefix).
+  bool torn = false;
+  std::size_t keep_bytes = 0;
+  /// Bit flip: the byte at `flip_offset` had `flip_mask` XORed into it.
+  bool flipped = false;
+  std::size_t flip_offset = 0;
+  std::uint8_t flip_mask = 0;
+  /// Stalled-I/O multiplier on the modelled cost of this write (>= 1;
+  /// 1 = no stall window active on the node).
+  double stall_multiplier = 1.0;
+
+  bool clean() const noexcept { return !lost && !torn && !flipped; }
+};
+
+/// Decides the fate of durable writes. Implemented by FaultInjector; a
+/// null model (the default everywhere) means every write is clean.
+class StorageFaultModel {
+ public:
+  virtual ~StorageFaultModel() = default;
+
+  /// Called once per frame persisted by a durable store. `frame_bytes` is
+  /// the encoded frame size (offsets in the returned fault are relative to
+  /// it). Not const: consumes seeded RNG draws.
+  virtual WriteFault on_durable_write(NodeId node,
+                                      std::size_t frame_bytes) = 0;
+
+  /// The stalled-I/O multiplier currently active for `node` (>= 1). Reads
+  /// the injector's logical clock; consumes no RNG draws.
+  virtual double stall_multiplier(NodeId node) const = 0;
+};
+
+}  // namespace sea

@@ -59,7 +59,11 @@ void LeaseDirectory::remove_transfer_listener(
 }
 
 bool LeaseDirectory::node_usable(NodeId node) const {
-  return !cluster_.node_is_down(node) && !cluster_.placement_lost(node);
+  // Cluster state first (down / placement-lost), then the external veto:
+  // a scrub-quarantined node is alive and reachable but must not hold a
+  // lease while its state is known-corrupt.
+  return !cluster_.node_is_down(node) && !cluster_.placement_lost(node) &&
+         (eligibility_ == nullptr || eligibility_->lease_eligible(node));
 }
 
 NodeId LeaseDirectory::lease_holder(const std::string& table,

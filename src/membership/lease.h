@@ -90,6 +90,19 @@ class LeaseTransferListener {
                                  std::uint64_t epoch, std::uint64_t tick) = 0;
 };
 
+/// External veto on a node's fitness to hold (or keep) a lease, beyond
+/// what the cluster's own crash/partition state says. src/recovery's
+/// QuarantineLeaseGate implements this so a replica quarantined mid-repair
+/// by the integrity scrubber can neither win a grant nor renew: fencing is
+/// how "never serve known-corrupt state" is enforced on the lease path
+/// too, not just at the serving-model lookup.
+class LeaseEligibility {
+ public:
+  virtual ~LeaseEligibility() = default;
+  /// True while `node` may hold a lease.
+  virtual bool lease_eligible(NodeId node) const = 0;
+};
+
 struct LeaseStats {
   std::uint64_t grants = 0;          ///< new epochs granted
   std::uint64_t renewals = 0;        ///< successful holder renewals
@@ -140,6 +153,12 @@ class LeaseDirectory final : public ShardLeaseRouter {
   void add_transfer_listener(LeaseTransferListener* listener);
   void remove_transfer_listener(LeaseTransferListener* listener);
 
+  /// Installs (or clears, with nullptr) the external eligibility veto
+  /// consulted on every grant and renewal. Caller owns the gate.
+  void set_eligibility(const LeaseEligibility* gate) noexcept {
+    eligibility_ = gate;
+  }
+
   /// Attaches a tracer / metrics registry (either may be null; caller owns
   /// both). lease.* counters plus "lease_transfer" span events.
   void bind_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
@@ -160,6 +179,7 @@ class LeaseDirectory final : public ShardLeaseRouter {
   std::vector<ShardLease> leases_;
   std::vector<std::uint64_t> last_renewed_;  ///< per shard
   std::vector<LeaseTransferListener*> listeners_;
+  const LeaseEligibility* eligibility_ = nullptr;
   std::uint64_t now_ = 0;
   std::uint64_t last_advanced_ = 0;
   // mutable: check_serve is a read-side validation on the serve path (and

@@ -127,6 +127,51 @@ ChaosSchedule make_chaos_schedule(const ChaosConfig& config) {
     }
   }
 
+  // Storage faults ride on the *crash* nodes: their durable state is the
+  // one that actually gets re-read (recovery replays it), so that is
+  // where a lying medium can change answers.
+  const bool storage_faulty = config.torn_write_probability > 0.0 ||
+                              config.bit_flip_probability > 0.0 ||
+                              config.lost_flush_probability > 0.0;
+  if ((storage_faulty || config.storage_stalls > 0) &&
+      out.crash_nodes.empty())
+    throw std::invalid_argument(
+        "make_chaos_schedule: storage faults require at least one crash "
+        "node (only re-read durable state can surface them)");
+  if (storage_faulty)
+    for (const NodeId node : out.crash_nodes)
+      out.plan.storage_faults.push_back(StorageFaultProfile{
+          node, config.torn_write_probability, config.bit_flip_probability,
+          config.lost_flush_probability});
+  if (config.storage_stalls > 0) {
+    if (config.max_stall_ticks < config.min_stall_ticks ||
+        config.min_stall_ticks == 0)
+      throw std::invalid_argument(
+          "make_chaos_schedule: bad stall window bounds");
+    // Disjoint horizon segments, like partitions: same-node stall windows
+    // can never overlap (validate() rejects that), for every seed.
+    const std::uint64_t segment =
+        (config.horizon_ticks - 1) / config.storage_stalls;
+    if (segment <= config.max_stall_ticks)
+      throw std::invalid_argument(
+          "make_chaos_schedule: horizon too short for the requested stall "
+          "windows (need > max_stall_ticks per window)");
+    for (std::size_t s = 0; s < config.storage_stalls; ++s) {
+      const std::uint64_t duration =
+          config.min_stall_ticks +
+          static_cast<std::uint64_t>(rng.uniform_index(
+              config.max_stall_ticks - config.min_stall_ticks + 1));
+      const std::uint64_t seg_start = 1 + s * segment;
+      const std::uint64_t start =
+          seg_start + static_cast<std::uint64_t>(
+                          rng.uniform_index(segment - duration + 1));
+      const NodeId node = out.crash_nodes[rng.uniform_index(
+          out.crash_nodes.size())];
+      out.plan.storage_stalls.push_back(StorageStall{
+          node, start, start + duration, config.stall_multiplier});
+    }
+  }
+
   out.plan.validate();
   return out;
 }
@@ -171,8 +216,214 @@ std::string ChaosSchedule::dump_json() const {
     }
     os << "}";
   }
+  os << "],\"storage\":[";
+  for (std::size_t i = 0; i < plan.storage_faults.size(); ++i) {
+    const StorageFaultProfile& s = plan.storage_faults[i];
+    os << (i ? "," : "") << "{\"node\":" << s.node
+       << ",\"torn\":" << s.torn_write_probability
+       << ",\"flip\":" << s.bit_flip_probability
+       << ",\"lost\":" << s.lost_flush_probability << "}";
+  }
+  os << "],\"stalls\":[";
+  for (std::size_t i = 0; i < plan.storage_stalls.size(); ++i) {
+    const StorageStall& s = plan.storage_stalls[i];
+    os << (i ? "," : "") << "{\"node\":" << s.node
+       << ",\"start_at\":" << s.start_at << ",\"end_at\":" << s.end_at
+       << ",\"multiplier\":" << s.multiplier << "}";
+  }
   os << "]}";
   return os.str();
+}
+
+namespace {
+
+/// Minimal JSON reader for the dump_json() grammar: numbers, arrays,
+/// objects with unquoted-number values — no strings-as-values, bools, or
+/// escapes, because the dump never emits them. Strict: anything outside
+/// that grammar throws.
+struct JsonValue {
+  enum Kind { kNumber, kArray, kObject };
+  Kind kind = kNumber;
+  double num = 0.0;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  std::uint64_t u64() const { return static_cast<std::uint64_t>(num); }
+};
+
+struct JsonParser {
+  const std::string& s;
+  std::size_t i = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("parse_chaos_token: " + why +
+                                " at offset " + std::to_string(i));
+  }
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  char peek() {
+    ws();
+    if (i >= s.size()) fail("unexpected end of token");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i;
+  }
+  std::string key() {
+    expect('"');
+    const std::size_t begin = i;
+    while (i < s.size() && s[i] != '"') ++i;
+    if (i >= s.size()) fail("unterminated key");
+    std::string k = s.substr(begin, i - begin);
+    ++i;
+    return k;
+  }
+  double number() {
+    ws();
+    const char* begin = s.c_str() + i;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number");
+    i += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      v.kind = JsonValue::kObject;
+      ++i;
+      if (peek() == '}') {
+        ++i;
+        return v;
+      }
+      while (true) {
+        std::string k = key();
+        expect(':');
+        v.obj.emplace_back(std::move(k), value());
+        if (peek() == ',') {
+          ++i;
+          continue;
+        }
+        expect('}');
+        break;
+      }
+      return v;
+    }
+    if (c == '[') {
+      v.kind = JsonValue::kArray;
+      ++i;
+      if (peek() == ']') {
+        ++i;
+        return v;
+      }
+      while (true) {
+        v.arr.push_back(value());
+        if (peek() == ',') {
+          ++i;
+          continue;
+        }
+        expect(']');
+        break;
+      }
+      return v;
+    }
+    v.num = number();
+    return v;
+  }
+};
+
+const JsonValue& json_need(const JsonValue& obj, const char* field) {
+  const JsonValue* v = obj.get(field);
+  if (!v)
+    throw std::invalid_argument(
+        std::string("parse_chaos_token: missing field \"") + field + "\"");
+  return *v;
+}
+
+}  // namespace
+
+ChaosSchedule parse_chaos_token(const std::string& token) {
+  JsonParser p{token};
+  const JsonValue root = p.value();
+  p.ws();
+  if (p.i != token.size()) p.fail("trailing characters after the schedule");
+  if (root.kind != JsonValue::kObject)
+    throw std::invalid_argument(
+        "parse_chaos_token: token is not a JSON object");
+
+  ChaosSchedule out;
+  out.plan.seed = json_need(root, "seed").u64();
+  out.load_multiplier = json_need(root, "load_multiplier").num;
+  out.plan.drop_probability = json_need(root, "drop_probability").num;
+  out.plan.spike_probability = json_need(root, "spike_probability").num;
+  out.plan.spike_multiplier = json_need(root, "spike_multiplier").num;
+  for (const JsonValue& c : json_need(root, "crashes").arr) {
+    const NodeId node = static_cast<NodeId>(json_need(c, "node").u64());
+    out.plan.node_crashes.push_back(NodeCrash{
+        node, json_need(c, "crash_at").u64(),
+        json_need(c, "restart_at").u64()});
+    out.crash_nodes.push_back(node);
+  }
+  for (const JsonValue& f : json_need(root, "flaps").arr) {
+    const NodeId node = static_cast<NodeId>(json_need(f, "node").u64());
+    out.plan.flaps.push_back(NodeFlap{node, json_need(f, "down_at").u64(),
+                                      json_need(f, "up_at").u64()});
+    out.flap_nodes.push_back(node);
+  }
+  for (const JsonValue& g : json_need(root, "grey").arr) {
+    const NodeId node = static_cast<NodeId>(json_need(g, "node").u64());
+    out.plan.node_drops.push_back(
+        NodeDropRate{node, json_need(g, "drop_probability").num});
+    out.grey_nodes.push_back(node);
+  }
+  for (const JsonValue& pt : json_need(root, "partitions").arr) {
+    NetworkPartition cut;
+    cut.start_at = json_need(pt, "start_at").u64();
+    cut.heal_at = json_need(pt, "heal_at").u64();
+    if (const JsonValue* zone = pt.get("zone")) {
+      cut.zone_cut = true;
+      cut.zone = static_cast<std::uint32_t>(zone->u64());
+    } else {
+      for (const JsonValue& n : json_need(pt, "nodes").arr)
+        cut.nodes.push_back(static_cast<NodeId>(n.u64()));
+    }
+    out.plan.partitions.push_back(std::move(cut));
+  }
+  // Pre-integrity tokens simply lack these sections; treat them as empty.
+  if (const JsonValue* storage = root.get("storage"))
+    for (const JsonValue& s : storage->arr)
+      out.plan.storage_faults.push_back(StorageFaultProfile{
+          static_cast<NodeId>(json_need(s, "node").u64()),
+          json_need(s, "torn").num, json_need(s, "flip").num,
+          json_need(s, "lost").num});
+  if (const JsonValue* stalls = root.get("stalls"))
+    for (const JsonValue& s : stalls->arr)
+      out.plan.storage_stalls.push_back(StorageStall{
+          static_cast<NodeId>(json_need(s, "node").u64()),
+          json_need(s, "start_at").u64(), json_need(s, "end_at").u64(),
+          json_need(s, "multiplier").num});
+
+  out.plan.validate();
+  return out;
+}
+
+ChaosSchedule chaos_schedule_from_env(const ChaosConfig& config) {
+  const char* token = std::getenv("SEA_CHAOS_TOKEN");
+  // Set-but-malformed throws (inside parse): a repro run must never
+  // silently test a different schedule than the one pinned.
+  if (token && *token) return parse_chaos_token(token);
+  return make_chaos_schedule(config);
 }
 
 std::uint64_t chaos_seed_from_env(std::uint64_t fallback) {

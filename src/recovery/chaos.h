@@ -1,12 +1,15 @@
 // Seeded chaos-schedule generation: composes crash-restarts, flaps,
-// message drops, grey nodes, latency spikes, and a load multiplier into
-// one valid FaultPlan, from a single seed.
+// message drops, grey nodes, latency spikes, storage faults (torn writes,
+// bit flips, lost flushes, stalled-I/O windows), and a load multiplier
+// into one valid FaultPlan, from a single seed.
 //
-// Used by the acceptance scenario in tests/test_recovery.cpp and the E17
-// recovery bench: one seed fully determines which nodes crash, when, and
-// for how long, so every counter in a chaos run is exactly repeatable.
-// The seed can be swept from the environment (SEA_CHAOS_SEED) without
-// recompiling.
+// Used by the acceptance scenarios in tests/test_recovery.cpp and
+// tests/test_integrity.cpp and the E17/E19 benches: one seed fully
+// determines which nodes crash, when, and for how long, so every counter
+// in a chaos run is exactly repeatable. The seed can be swept from the
+// environment (SEA_CHAOS_SEED) without recompiling; a full schedule can
+// be replayed verbatim from a dump_json() line via SEA_CHAOS_TOKEN
+// (chaos_schedule_from_env / parse_chaos_token below).
 #pragma once
 
 #include <cstdint>
@@ -57,6 +60,20 @@ struct ChaosConfig {
   /// Nodes exempt from every fault (node 0 hosts the coordinator: a
   /// crashed coordinator is a different experiment).
   std::vector<NodeId> protected_nodes = {0};
+  /// Storage-fault profiles attached to every *crash* node (the nodes
+  /// whose durable state actually gets re-read): each profiled durable
+  /// write tears, flips, or loses with these probabilities. All 0 =
+  /// clean storage. Requires crashes > 0 when any is nonzero.
+  double torn_write_probability = 0.0;
+  double bit_flip_probability = 0.0;
+  double lost_flush_probability = 0.0;
+  /// Stalled-I/O windows (FaultPlan::storage_stalls) on the crash nodes,
+  /// drawn in disjoint segments of the horizon like partitions so same-
+  /// node windows never overlap (validate() rejects that).
+  std::size_t storage_stalls = 0;
+  std::uint64_t min_stall_ticks = 20;
+  std::uint64_t max_stall_ticks = 80;
+  double stall_multiplier = 4.0;
 };
 
 struct ChaosSchedule {
@@ -83,5 +100,21 @@ ChaosSchedule make_chaos_schedule(const ChaosConfig& config);
 /// SEA_CHAOS_SEED from the environment, or `fallback` when unset or
 /// unparseable.
 std::uint64_t chaos_seed_from_env(std::uint64_t fallback);
+
+/// Parses a dump_json() line back into the exact schedule it described
+/// (round-trip: parse_chaos_token(s.dump_json()).dump_json() ==
+/// s.dump_json()). The rebuilt plan is re-validated. Throws
+/// std::invalid_argument on malformed JSON, unknown structure, or a plan
+/// that fails FaultPlan::validate().
+ChaosSchedule parse_chaos_token(const std::string& token);
+
+/// Replays a schedule pinned in the environment: when SEA_CHAOS_TOKEN is
+/// set (to a dump_json() line — exactly what a chaos-test failure message
+/// embeds), parses and returns it, overriding generation entirely;
+/// otherwise generates from `config` (with SEA_CHAOS_SEED still applied
+/// by the caller as before). A set-but-malformed token throws rather than
+/// silently falling back: a repro run must never quietly test the wrong
+/// schedule.
+ChaosSchedule chaos_schedule_from_env(const ChaosConfig& config);
 
 }  // namespace sea::recovery

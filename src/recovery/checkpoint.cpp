@@ -1,45 +1,254 @@
 #include "recovery/checkpoint.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "fault/outage.h"
+#include "recovery/frame.h"
 
 namespace sea::recovery {
 
-void CheckpointStore::put_checkpoint(NodeId node, CheckpointRecord record) {
-  NodeState& st = nodes_[node];
-  // Drop the WAL prefix the snapshot covers; the log keeps only deltas
-  // newer than the checkpoint.
-  const std::uint64_t covered = record.version;
-  const auto keep = std::find_if(
-      st.wal.begin(), st.wal.end(),
-      [covered](const WalRecord& w) { return w.version > covered; });
-  stats_.wal_truncated +=
-      static_cast<std::uint64_t>(keep - st.wal.begin());
-  st.wal.erase(st.wal.begin(), keep);
-  st.checkpoint = std::move(record);
-  ++stats_.checkpoints_taken;
+// Completeness guard: CheckpointStoreStats is 10 trivially-copyable
+// 8-byte fields; ModelReplicaSet::sync_metrics mirrors them into
+// storage.* counters. Adding a field changes the size and fails this
+// assert until it is covered.
+static_assert(sizeof(CheckpointStoreStats) == 10 * 8,
+              "CheckpointStoreStats gained/lost a field: update "
+              "ModelReplicaSet::sync_metrics and this guard");
+
+void CheckpointStore::set_checkpoint_retention(std::size_t epochs) {
+  if (epochs == 0)
+    throw std::invalid_argument(
+        "CheckpointStore: checkpoint retention must be >= 1");
+  retention_ = epochs;
 }
 
-const CheckpointRecord* CheckpointStore::checkpoint(NodeId node) const {
-  const auto it = nodes_.find(node);
-  if (it == nodes_.end() || !it->second.checkpoint) return nullptr;
-  return &*it->second.checkpoint;
+CheckpointStore::StoredFrame CheckpointStore::make_frame(
+    NodeId node, std::string payload, std::uint64_t version, bool tainted) {
+  StoredFrame f;
+  f.version = version;
+  f.tainted = tainted;
+  f.bytes = encode_frame(payload);
+  if (faults_) {
+    const WriteFault fate = faults_->on_durable_write(node, f.bytes.size());
+    if (fate.stall_multiplier > 1.0) ++stats_.stalled_writes;
+    if (fate.lost) {
+      // The flush never reached the medium: no bytes, no trace — readers
+      // see only the version gap it leaves behind.
+      f.bytes.clear();
+      f.lost = true;
+      f.corrupted = true;
+      ++stats_.lost_flushes;
+    } else if (fate.torn) {
+      f.bytes.resize(std::min(fate.keep_bytes, f.bytes.size()));
+      f.corrupted = true;
+      ++stats_.torn_writes;
+    } else if (fate.flipped && fate.flip_offset < f.bytes.size()) {
+      f.bytes[fate.flip_offset] = static_cast<char>(
+          static_cast<unsigned char>(f.bytes[fate.flip_offset]) ^
+          fate.flip_mask);
+      f.corrupted = true;
+      ++stats_.bit_flips;
+    }
+  }
+  ++stats_.frames_written;
+  stats_.frame_bytes_written += f.bytes.size();
+  return f;
+}
+
+void CheckpointStore::put_checkpoint(NodeId node, CheckpointRecord record,
+                                     bool tainted) {
+  NodeState& st = nodes_[node];
+  const std::uint64_t version = record.version;
+  st.checkpoints.push_back(make_frame(
+      node,
+      encode_checkpoint_payload(version, record.taken_at_ms, record.blob),
+      version, tainted));
+  while (st.checkpoints.size() > retention_)
+    st.checkpoints.erase(st.checkpoints.begin());
+  ++stats_.checkpoints_taken;
+  // Deferred truncation: drop only the WAL prefix covered by the *oldest
+  // retained* epoch, so a fallback load always finds a contiguous log
+  // from its version (eager truncation would leave an undetectable hole
+  // between epochs).
+  const std::uint64_t covered = st.checkpoints.front().version;
+  const auto keep = std::find_if(
+      st.wal.begin(), st.wal.end(),
+      [covered](const StoredFrame& w) { return w.version > covered; });
+  stats_.wal_truncated += static_cast<std::uint64_t>(keep - st.wal.begin());
+  st.wal.erase(st.wal.begin(), keep);
 }
 
 void CheckpointStore::append_wal(NodeId node, WalRecord record) {
-  nodes_[node].wal.push_back(std::move(record));
+  nodes_[node].wal.push_back(
+      make_frame(node,
+                 encode_wal_payload(record.version, record.query,
+                                    record.answer),
+                 record.version, false));
   ++stats_.wal_appends;
 }
 
-const std::vector<WalRecord>& CheckpointStore::wal(NodeId node) const {
-  static const std::vector<WalRecord> kEmpty;
+std::optional<CheckpointRecord> CheckpointStore::checkpoint(
+    NodeId node) const {
   const auto it = nodes_.find(node);
-  return it == nodes_.end() ? kEmpty : it->second.wal;
+  if (it == nodes_.end() || it->second.checkpoints.empty())
+    return std::nullopt;
+  const StoredFrame& f = it->second.checkpoints.back();
+  const FrameView v = decode_frame(f.bytes, 0, /*verify=*/true);
+  if (v.status != FrameStatus::kOk)
+    throw CorruptedStateError(
+        "CheckpointStore: node " + std::to_string(node) +
+        " newest checkpoint frame failed verification (" +
+        to_string(v.status) + ")");
+  CheckpointPayload p = decode_checkpoint_payload(v.payload);
+  if (!p.ok)
+    throw CorruptedStateError(
+        "CheckpointStore: node " + std::to_string(node) +
+        " newest checkpoint payload is undecodable");
+  return CheckpointRecord{std::move(p.blob), p.version, p.taken_at_ms};
+}
+
+std::vector<WalRecord> CheckpointStore::wal(NodeId node) const {
+  std::vector<WalRecord> out;
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return out;
+  for (std::size_t i = 0; i < it->second.wal.size(); ++i) {
+    const StoredFrame& f = it->second.wal[i];
+    if (f.bytes.empty()) continue;  // a lost flush leaves no frame at all
+    const FrameView v = decode_frame(f.bytes, 0, /*verify=*/true);
+    if (v.status != FrameStatus::kOk)
+      throw CorruptedStateError(
+          "CheckpointStore: node " + std::to_string(node) + " WAL frame " +
+          std::to_string(i) + " failed verification (" +
+          to_string(v.status) + ")");
+    WalPayload p = decode_wal_payload(v.payload);
+    if (!p.ok)
+      throw CorruptedStateError(
+          "CheckpointStore: node " + std::to_string(node) + " WAL frame " +
+          std::to_string(i) + " payload is undecodable");
+    out.push_back(WalRecord{p.version, std::move(p.query), p.answer});
+  }
+  return out;
 }
 
 std::uint64_t CheckpointStore::wal_bytes(NodeId node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return 0;
   std::uint64_t bytes = 0;
-  for (const WalRecord& w : wal(node)) bytes += wal_record_bytes(w.query);
+  for (const StoredFrame& f : it->second.wal) bytes += f.bytes.size();
   return bytes;
+}
+
+CheckpointLoad CheckpointStore::load_checkpoint(NodeId node,
+                                                bool verify) const {
+  CheckpointLoad out;
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return out;
+  const auto& epochs = it->second.checkpoints;
+  for (auto e = epochs.rbegin(); e != epochs.rend(); ++e) {
+    const FrameView v = decode_frame(e->bytes, 0, verify);
+    if (v.status == FrameStatus::kOk) {
+      CheckpointPayload p = decode_checkpoint_payload(v.payload);
+      if (p.ok) {
+        out.loaded = true;
+        out.blob = std::move(p.blob);
+        out.version = p.version;
+        out.taken_at_ms = p.taken_at_ms;
+        out.tainted = e->tainted || e->corrupted;
+        return out;
+      }
+    }
+    // Rejected — by CRC (verify) or structure (any loader trips on a torn
+    // or garbled frame loudly). Fall back to the previous retained epoch.
+    ++out.corrupt_detected;
+    out.fell_back = true;
+  }
+  return out;
+}
+
+WalReplay CheckpointStore::replay_wal(NodeId node,
+                                      std::uint64_t after_version,
+                                      bool verify) const {
+  WalReplay out;
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return out;
+  std::uint64_t expect = after_version;  // last version accounted for
+  for (const StoredFrame& f : it->second.wal) {
+    if (f.bytes.empty()) continue;  // lost flush: nothing on the medium
+    ++out.frames_total;
+    const FrameView v = decode_frame(f.bytes, 0, verify);
+    if (v.status != FrameStatus::kOk) {
+      // Structural damage stops any reader; kBadChecksum stops only the
+      // verified one (unchecked walks never see that status). Either way
+      // the walk truncates here — nothing past a derailed frame is
+      // reachable in a real log.
+      ++out.corrupt_detected;
+      out.truncated = true;
+      return out;
+    }
+    WalPayload p = decode_wal_payload(v.payload);
+    if (!p.ok) {
+      ++out.corrupt_detected;
+      out.truncated = true;
+      return out;
+    }
+    if (p.version <= after_version) {
+      // Covered by the loaded snapshot. A corrupted frame whose flipped
+      // version field ducked it *under* the snapshot horizon silently
+      // drops an update (omnisciently: a gap).
+      if (f.corrupted) out.silent_gap = true;
+      continue;
+    }
+    if (p.version != expect + 1) {
+      if (verify) {
+        // Version discontinuity: the only durable trace of a lost flush
+        // (or a flipped version field). Truncate — anti-entropy refills
+        // the tail from the committed history.
+        ++out.corrupt_detected;
+        out.truncated = true;
+        return out;
+      }
+      out.silent_gap = true;
+    }
+    expect = std::max(expect, p.version);
+    out.record_tainted.push_back(f.corrupted);
+    out.records.push_back(WalRecord{p.version, std::move(p.query), p.answer});
+  }
+  return out;
+}
+
+NodeIntegrityReport CheckpointStore::verify_node(NodeId node) const {
+  NodeIntegrityReport rep;
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return rep;
+  for (const StoredFrame& f : it->second.checkpoints) {
+    ++rep.frames;
+    const FrameView v = decode_frame(f.bytes, 0, /*verify=*/true);
+    if (v.status != FrameStatus::kOk ||
+        !decode_checkpoint_payload(v.payload).ok)
+      ++rep.checkpoint_corrupt;
+  }
+  for (const StoredFrame& f : it->second.wal) {
+    if (f.bytes.empty()) continue;  // lost: detectable only by replay gaps
+    ++rep.frames;
+    const FrameView v = decode_frame(f.bytes, 0, /*verify=*/true);
+    if (v.status != FrameStatus::kOk || !decode_wal_payload(v.payload).ok)
+      ++rep.wal_corrupt;
+  }
+  return rep;
+}
+
+void CheckpointStore::reset_node(NodeId node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  nodes_.erase(it);
+  ++stats_.nodes_reset;
+}
+
+std::size_t CheckpointStore::retained_checkpoints(NodeId node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0 : it->second.checkpoints.size();
 }
 
 }  // namespace sea::recovery

@@ -1,18 +1,30 @@
 // Durable state for crash recovery (DESIGN.md "Crash recovery &
-// anti-entropy"): per-node model checkpoints plus a write-ahead delta log
-// of observe() updates since the last checkpoint.
+// anti-entropy" + "Storage faults & integrity"): per-node model
+// checkpoints plus a write-ahead delta log of observe() updates.
 //
 // The store models a node's *durable* medium: a crash wipes the node's
-// in-memory model (src/fault node_crashes) but never the checkpoint or
-// WAL held here. On restart the node replays checkpoint + log locally,
-// then an anti-entropy pass (replica.h) fetches whatever was committed
-// while it was down.
+// in-memory model (src/fault node_crashes) but never the frames held
+// here. What a crash does NOT protect against is the medium itself lying:
+// every record is persisted through an optional StorageFaultModel
+// (fault/storage.h) that may tear the write to a prefix, flip a bit, or
+// lose the flush outright — so every stored frame is exactly what a
+// faulty disk would return, and readers must cope.
 //
-// The WAL is append-only and always written; taking a checkpoint
-// truncates the prefix the snapshot already covers. With checkpointing
-// disabled the log is never truncated, so a restart replays the entire
-// observation history from genesis — correct, but slow, which is exactly
-// the trade-off experiment E17 measures.
+// They cope with framing (frame.h): each checkpoint and WAL record is a
+// length-prefixed, CRC-checksummed frame. Verified reads
+// (load_checkpoint / replay_wal with verify=true) detect torn tails,
+// flipped bits, and lost-flush version gaps deterministically; replay
+// truncates at the first bad frame and checkpoint loads fall back to the
+// previous retained epoch. Unchecked reads model a checksum-oblivious
+// reader: structural damage still stops them loudly, but flipped values
+// and silent gaps are applied as-is (the store tracks that omnisciently —
+// the `tainted` bookkeeping the E19 wrong-answer accounting is built on).
+//
+// Checkpoint retention is 2 epochs by default, and taking a checkpoint
+// truncates only the WAL prefix covered by the *oldest retained* epoch:
+// falling back one epoch therefore always finds a contiguous WAL from the
+// fallback version (truncating eagerly would leave a hole between the
+// epochs that even a verified reader could not detect).
 #pragma once
 
 #include <cstddef>
@@ -22,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/storage.h"
 #include "net/network.h"
 #include "sea/query.h"
 
@@ -42,10 +55,59 @@ struct CheckpointRecord {
   double taken_at_ms = 0.0;    ///< modelled time the snapshot completed
 };
 
+/// Counters guarded by a sizeof static_assert in checkpoint.cpp.
 struct CheckpointStoreStats {
   std::uint64_t checkpoints_taken = 0;
   std::uint64_t wal_appends = 0;
-  std::uint64_t wal_truncated = 0;  ///< records dropped by checkpoints
+  std::uint64_t wal_truncated = 0;   ///< records dropped by checkpoints
+  std::uint64_t frames_written = 0;  ///< checkpoint + WAL frames persisted
+  std::uint64_t frame_bytes_written = 0;  ///< physical bytes (post-fault)
+  std::uint64_t torn_writes = 0;     ///< frames torn to a prefix
+  std::uint64_t bit_flips = 0;       ///< frames with a flipped bit
+  std::uint64_t lost_flushes = 0;    ///< frames that never landed
+  std::uint64_t stalled_writes = 0;  ///< frames written inside a stall
+  std::uint64_t nodes_reset = 0;     ///< reset_node calls (scrub repairs)
+};
+
+/// Result of a (verified or unchecked) checkpoint load.
+struct CheckpointLoad {
+  bool loaded = false;
+  std::string blob;
+  std::uint64_t version = 0;
+  double taken_at_ms = 0.0;
+  /// The newest epoch was rejected and an older one (or nothing) was used.
+  bool fell_back = false;
+  /// Epoch frames rejected during the walk (verification or structure).
+  std::size_t corrupt_detected = 0;
+  /// Omniscient: the returned blob came from a corrupted frame that still
+  /// decoded (unchecked mode), or from a checkpoint of divergent state.
+  bool tainted = false;
+};
+
+/// Result of a (verified or unchecked) WAL replay walk.
+struct WalReplay {
+  std::vector<WalRecord> records;    ///< decoded records, in walk order
+  std::vector<bool> record_tainted;  ///< omniscient, parallel to records
+  std::size_t frames_total = 0;      ///< frames physically present
+  std::size_t corrupt_detected = 0;  ///< frames rejected (stops the walk)
+  bool truncated = false;            ///< stopped before the end of the log
+  /// Omniscient: an unchecked walk silently skipped committed versions
+  /// (lost flush / flipped version field) — the replica is missing
+  /// updates it believes it has.
+  bool silent_gap = false;
+};
+
+/// Verified integrity scan of one node's durable state (the scrubber's
+/// durable pass): counts frames that fail structural or CRC checks.
+struct NodeIntegrityReport {
+  std::size_t frames = 0;
+  std::size_t checkpoint_corrupt = 0;
+  std::size_t wal_corrupt = 0;
+
+  std::size_t corrupt_frames() const noexcept {
+    return checkpoint_corrupt + wal_corrupt;
+  }
+  bool clean() const noexcept { return corrupt_frames() == 0; }
 };
 
 /// Modelled wire/disk footprint of one WAL record (mirrors the geo
@@ -54,37 +116,96 @@ inline std::size_t wal_record_bytes(const AnalyticalQuery& q) noexcept {
   return (2 * q.subspace_cols.size() + 6) * sizeof(double) + 16;
 }
 
-/// Per-node durable storage: at most one checkpoint (newer replaces
-/// older) plus the ordered WAL suffix not yet covered by it. Keyed by a
-/// std::map so any iteration is deterministic.
+/// Per-node durable storage: up to `checkpoint_retention` checkpoint
+/// epochs (oldest evicted) plus the ordered WAL suffix not yet covered by
+/// the oldest retained epoch. Keyed by a std::map so any iteration is
+/// deterministic.
 class CheckpointStore {
  public:
-  /// Replaces the node's checkpoint and truncates every WAL record the
-  /// snapshot already covers (version <= record.version).
-  void put_checkpoint(NodeId node, CheckpointRecord record);
+  /// Routes every subsequent durable write through `model` (nullptr
+  /// restores clean writes). The caller owns the model.
+  void attach_faults(StorageFaultModel* model) noexcept { faults_ = model; }
 
-  /// Latest checkpoint, or nullptr if the node never took one.
-  const CheckpointRecord* checkpoint(NodeId node) const;
+  /// Retained checkpoint epochs per node (>= 1). 2 (the default) is the
+  /// minimum that makes fallback sound; 1 restores the seed's
+  /// truncate-eagerly behavior for comparison experiments.
+  void set_checkpoint_retention(std::size_t epochs);
 
-  /// Appends one update to the node's log (always durable, even if a
-  /// crash follows immediately).
+  /// Persists a new checkpoint epoch (evicting beyond retention) and
+  /// truncates every WAL record covered by the *oldest retained* epoch.
+  /// `tainted` is omniscient bookkeeping: the snapshot was taken from a
+  /// replica already known to have diverged.
+  void put_checkpoint(NodeId node, CheckpointRecord record,
+                      bool tainted = false);
+
+  /// Appends one update to the node's log (through the fault model: the
+  /// durable image may be torn/flipped/absent).
   void append_wal(NodeId node, WalRecord record);
 
-  /// The node's WAL suffix in append order (empty if none).
-  const std::vector<WalRecord>& wal(NodeId node) const;
+  /// Strict read of the newest checkpoint epoch: throws
+  /// CorruptedStateError (fault/outage.h) if its frame fails
+  /// verification; nullopt when the node never took one.
+  std::optional<CheckpointRecord> checkpoint(NodeId node) const;
 
-  /// Modelled byte footprint of the node's current WAL suffix.
+  /// Strict decode of the node's full WAL suffix: throws
+  /// CorruptedStateError at the first frame that fails verification.
+  std::vector<WalRecord> wal(NodeId node) const;
+
+  /// Physical durable bytes of the node's WAL suffix (frames included).
   std::uint64_t wal_bytes(NodeId node) const;
 
+  /// Recovery read of the best usable checkpoint, newest epoch first.
+  /// verify=true re-checks CRCs and falls back one epoch on failure;
+  /// verify=false models the checksum-oblivious reader (structural damage
+  /// still rejects an epoch — a torn frame crashes any loader — but a
+  /// flipped-yet-decodable epoch is returned as-is, flagged `tainted`).
+  CheckpointLoad load_checkpoint(NodeId node, bool verify) const;
+
+  /// Recovery walk of the WAL: decodes records in order, skipping those
+  /// at or below `after_version` (covered by the loaded snapshot).
+  /// verify=true additionally enforces version continuity from
+  /// `after_version` (lost flushes leave no frame behind — the gap in the
+  /// version sequence is their only trace) and truncates at the first bad
+  /// frame; verify=false applies flipped values and crosses gaps
+  /// silently, with the taint recorded omnisciently.
+  WalReplay replay_wal(NodeId node, std::uint64_t after_version,
+                       bool verify) const;
+
+  /// Verified integrity scan (no decode-apply): the scrubber's durable
+  /// pass over every retained frame of `node`.
+  NodeIntegrityReport verify_node(NodeId node) const;
+
+  /// Discards all durable state of `node` (quarantine repair: untrusted
+  /// frames are wiped before the replica is rebuilt from peers).
+  void reset_node(NodeId node);
+
+  std::size_t retained_checkpoints(NodeId node) const;
   const CheckpointStoreStats& stats() const noexcept { return stats_; }
 
  private:
-  struct NodeState {
-    std::optional<CheckpointRecord> checkpoint;
-    std::vector<WalRecord> wal;
+  /// One durable frame exactly as the medium holds it, plus omniscient
+  /// bookkeeping no reader consults: `version` drives truncation/eviction
+  /// (readers decode their own), `corrupted`/`lost` record what the write
+  /// fault did, `tainted` marks frames encoded from divergent state.
+  struct StoredFrame {
+    std::string bytes;
+    std::uint64_t version = 0;
+    bool corrupted = false;
+    bool lost = false;
+    bool tainted = false;
   };
+  struct NodeState {
+    std::vector<StoredFrame> checkpoints;  ///< oldest..newest
+    std::vector<StoredFrame> wal;          ///< append order
+  };
+
+  StoredFrame make_frame(NodeId node, std::string payload,
+                         std::uint64_t version, bool tainted);
+
   std::map<NodeId, NodeState> nodes_;
   CheckpointStoreStats stats_;
+  StorageFaultModel* faults_ = nullptr;
+  std::size_t retention_ = 2;
 };
 
 }  // namespace sea::recovery

@@ -1,0 +1,68 @@
+#include "recovery/digest.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sea::recovery {
+
+namespace {
+
+/// Pairwise combine for the fold levels: a strong 64-bit mix so sibling
+/// swaps and level collisions don't cancel (murmur3-style finalizer).
+std::uint64_t combine(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t x =
+      a * 0x9E3779B97F4A7C15ULL + (b ^ (b >> 29)) + 0x517CC1B727220A95ULL;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char ch : bytes) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+DigestTree digest_state(std::string_view state, std::size_t page_bytes) {
+  if (page_bytes == 0)
+    throw std::invalid_argument("digest_state: page_bytes must be >= 1");
+  DigestTree t;
+  t.state_bytes = state.size();
+  t.pages.reserve(state.size() / page_bytes + 1);
+  for (std::size_t off = 0; off < state.size(); off += page_bytes)
+    t.pages.push_back(
+        fnv1a64(state.substr(off, std::min(page_bytes, state.size() - off))));
+  // Fold pairwise; an odd tail promotes. Seed the root with the byte count
+  // so a truncated state never collides with its own prefix's tree.
+  std::vector<std::uint64_t> level = t.pages;
+  if (level.empty()) level.push_back(fnv1a64({}));
+  while (level.size() > 1) {
+    std::vector<std::uint64_t> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(combine(level[i], level[i + 1]));
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level.swap(next);
+  }
+  t.root = combine(level.front(), static_cast<std::uint64_t>(t.state_bytes));
+  return t;
+}
+
+std::size_t digest_diff_pages(const DigestTree& a,
+                              const DigestTree& b) noexcept {
+  const std::size_t common = std::min(a.pages.size(), b.pages.size());
+  std::size_t diff = std::max(a.pages.size(), b.pages.size()) - common;
+  for (std::size_t i = 0; i < common; ++i)
+    if (a.pages[i] != b.pages[i]) ++diff;
+  return diff;
+}
+
+}  // namespace sea::recovery

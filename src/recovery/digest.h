@@ -1,0 +1,46 @@
+// Merkle-style digest trees over serialized agent state, for the scrubber
+// (replica.h).
+//
+// A replica's full state is its DatalessAgent::serialize stream. Scrubbing
+// digests that stream in fixed-size pages (FNV-1a 64 per page — the
+// leaves), then folds the leaves pairwise into a single root. Replicas at
+// the same committed version are byte-identical when healthy (every
+// replica is a pure function of the observation sequence), so root
+// disagreement IS divergence; the per-page leaves localize *where* two
+// states differ, which prices the modelled repair at pages-differing
+// rather than whole-state when callers want it.
+//
+// Pure functions of the bytes: no RNG, no clock — digests are bit-equal
+// at any SEA_THREADS setting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sea::recovery {
+
+struct DigestTree {
+  std::uint64_t root = 0;
+  std::vector<std::uint64_t> pages;  ///< FNV-1a 64 per fixed-size page
+  std::size_t state_bytes = 0;
+
+  bool operator==(const DigestTree& other) const noexcept {
+    return root == other.root && pages == other.pages &&
+           state_bytes == other.state_bytes;
+  }
+};
+
+/// FNV-1a 64-bit over `bytes`.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Digests `state` in pages of `page_bytes` (>= 1; the last page may be
+/// short) and folds the page hashes pairwise into the root.
+DigestTree digest_state(std::string_view state, std::size_t page_bytes);
+
+/// Number of leaf positions where the two trees differ (counting length
+/// mismatch tails). 0 iff the trees are equal page-for-page.
+std::size_t digest_diff_pages(const DigestTree& a, const DigestTree& b) noexcept;
+
+}  // namespace sea::recovery

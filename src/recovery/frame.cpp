@@ -1,0 +1,256 @@
+#include "recovery/frame.h"
+
+#include <array>
+#include <cstring>
+
+namespace sea::recovery {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+std::uint32_t crc32_feed(std::uint32_t state, std::string_view bytes) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  for (const char ch : bytes) {
+    const auto b = static_cast<unsigned char>(ch);
+    state = table[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+// Little-endian primitive writers/readers: explicit byte layout, never a
+// struct memcpy, so frames are host-independent and flipped bytes decode
+// to wrong values instead of UB.
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint32_t read_u32(const char* p) noexcept {
+  const auto b = [p](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+/// Bounds-checked sequential reader; any overrun latches fail.
+struct Reader {
+  std::string_view buf;
+  std::size_t pos = 0;
+  bool fail = false;
+
+  bool need(std::size_t n) noexcept {
+    if (fail || buf.size() - pos < n) {
+      fail = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint32_t u32() noexcept {
+    if (!need(4)) return 0;
+    const std::uint32_t v = read_u32(buf.data() + pos);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() noexcept {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  double f64() noexcept {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool done() const noexcept { return !fail && pos == buf.size(); }
+};
+
+/// Embedded counts (columns, dimensions) above this are structural
+/// garbage: no real query carries them, and honoring one would let a
+/// flipped count drive allocation.
+constexpr std::uint32_t kMaxCount = 1u << 16;
+
+void put_point(std::string& out, const Point& p) {
+  put_u32(out, static_cast<std::uint32_t>(p.size()));
+  for (const double v : p) put_f64(out, v);
+}
+
+bool read_point(Reader& r, Point& out) {
+  const std::uint32_t n = r.u32();
+  if (r.fail || n > kMaxCount || !r.need(8 * n)) return false;
+  out.resize(n);
+  for (auto& v : out) v = r.f64();
+  return !r.fail;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  return crc32_feed(0xFFFFFFFFu, bytes) ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::string_view first, std::string_view second) noexcept {
+  return crc32_feed(crc32_feed(0xFFFFFFFFu, first), second) ^ 0xFFFFFFFFu;
+}
+
+const char* to_string(FrameStatus s) noexcept {
+  switch (s) {
+    case FrameStatus::kOk:
+      return "ok";
+    case FrameStatus::kTornTail:
+      return "torn_tail";
+    case FrameStatus::kBadMagic:
+      return "bad_magic";
+    case FrameStatus::kBadLength:
+      return "bad_length";
+    case FrameStatus::kBadChecksum:
+      return "bad_checksum";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(std::string_view payload) {
+  std::string prefix;
+  prefix.reserve(8);
+  put_u32(prefix, kFrameMagic);
+  put_u32(prefix, static_cast<std::uint32_t>(payload.size()));
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out += prefix;
+  put_u32(out, crc32(prefix, payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+FrameView decode_frame(std::string_view log, std::size_t offset,
+                       bool verify) noexcept {
+  FrameView v;
+  if (offset > log.size() || log.size() - offset < kFrameHeaderBytes)
+    return v;  // kTornTail
+  const char* p = log.data() + offset;
+  const std::uint32_t magic = read_u32(p);
+  const std::uint32_t len = read_u32(p + 4);
+  const std::uint32_t crc = read_u32(p + 8);
+  if (magic != kFrameMagic) {
+    v.status = FrameStatus::kBadMagic;
+    return v;
+  }
+  if (len > kMaxFramePayloadBytes) {
+    v.status = FrameStatus::kBadLength;
+    return v;
+  }
+  if (log.size() - offset - kFrameHeaderBytes < len) return v;  // kTornTail
+  const std::string_view payload =
+      log.substr(offset + kFrameHeaderBytes, len);
+  if (verify && crc != crc32(log.substr(offset, 8), payload)) {
+    v.status = FrameStatus::kBadChecksum;
+    return v;
+  }
+  v.status = FrameStatus::kOk;
+  v.payload = payload;
+  v.consumed = kFrameHeaderBytes + len;
+  return v;
+}
+
+std::string encode_wal_payload(std::uint64_t version,
+                               const AnalyticalQuery& query, double answer) {
+  std::string out;
+  put_u64(out, version);
+  put_f64(out, answer);
+  out.push_back(static_cast<char>(query.selection));
+  out.push_back(static_cast<char>(query.analytic));
+  put_u32(out, static_cast<std::uint32_t>(query.subspace_cols.size()));
+  for (const std::size_t c : query.subspace_cols)
+    put_u32(out, static_cast<std::uint32_t>(c));
+  put_point(out, query.range.lo);
+  put_point(out, query.range.hi);
+  put_point(out, query.ball.center);
+  put_f64(out, query.ball.radius);
+  put_point(out, query.knn_point);
+  put_u32(out, static_cast<std::uint32_t>(query.knn_k));
+  put_u32(out, static_cast<std::uint32_t>(query.target_col));
+  put_u32(out, static_cast<std::uint32_t>(query.target_col2));
+  return out;
+}
+
+WalPayload decode_wal_payload(std::string_view payload) {
+  WalPayload out;
+  Reader r{payload};
+  out.version = r.u64();
+  out.answer = r.f64();
+  if (!r.need(2)) return out;
+  const auto sel = static_cast<unsigned char>(payload[r.pos++]);
+  const auto ana = static_cast<unsigned char>(payload[r.pos++]);
+  if (sel > static_cast<unsigned char>(SelectionType::kNearestNeighbors) ||
+      ana > static_cast<unsigned char>(AnalyticType::kRegressionIntercept))
+    return out;
+  out.query.selection = static_cast<SelectionType>(sel);
+  out.query.analytic = static_cast<AnalyticType>(ana);
+  const std::uint32_t cols = r.u32();
+  if (r.fail || cols > kMaxCount || !r.need(4 * cols)) return out;
+  out.query.subspace_cols.resize(cols);
+  for (auto& c : out.query.subspace_cols) c = r.u32();
+  if (!read_point(r, out.query.range.lo) ||
+      !read_point(r, out.query.range.hi) ||
+      !read_point(r, out.query.ball.center))
+    return out;
+  out.query.ball.radius = r.f64();
+  if (!read_point(r, out.query.knn_point)) return out;
+  out.query.knn_k = r.u32();
+  out.query.target_col = r.u32();
+  out.query.target_col2 = r.u32();
+  out.ok = r.done();  // trailing garbage is structural damage too
+  return out;
+}
+
+std::string encode_checkpoint_payload(std::uint64_t version,
+                                      double taken_at_ms,
+                                      std::string_view blob) {
+  std::string out;
+  out.reserve(20 + blob.size());
+  put_u64(out, version);
+  put_f64(out, taken_at_ms);
+  put_u32(out, static_cast<std::uint32_t>(blob.size()));
+  out.append(blob.data(), blob.size());
+  return out;
+}
+
+CheckpointPayload decode_checkpoint_payload(std::string_view payload) {
+  CheckpointPayload out;
+  Reader r{payload};
+  out.version = r.u64();
+  out.taken_at_ms = r.f64();
+  const std::uint32_t blob_len = r.u32();
+  if (r.fail || blob_len > kMaxFramePayloadBytes || !r.need(blob_len))
+    return out;
+  out.blob.assign(payload.data() + r.pos, blob_len);
+  r.pos += blob_len;
+  out.ok = r.done();
+  return out;
+}
+
+}  // namespace sea::recovery

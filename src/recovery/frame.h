@@ -1,0 +1,105 @@
+// Self-verifying durable encodings for the checkpoint/WAL store.
+//
+// Every record the CheckpointStore persists is wrapped in a frame:
+//
+//   [magic u32][payload_len u32][crc u32][payload bytes]
+//
+// all fields little-endian, with the CRC-32 (IEEE 802.3 polynomial)
+// computed over the magic+length prefix and the payload together, so a
+// flip anywhere in the frame — including the length field — fails
+// verification. Decoding distinguishes *structural* damage (torn tail,
+// bad magic, absurd length), which even a checksum-oblivious reader trips
+// over loudly, from *silent* damage (flipped bits with intact framing),
+// which only CRC verification catches. That split is what the
+// verify-on/verify-off experiment arms in E19 measure.
+//
+// Payload codecs for WAL records and checkpoints are explicit
+// little-endian byte layouts (never memcpy of structs), so a frame
+// written on any host decodes identically on any other and a flipped
+// payload byte decodes to *wrong values*, not undefined behavior. Decoders
+// cap every embedded count so garbage never drives allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sea/query.h"
+
+namespace sea::recovery {
+
+/// One-shot CRC-32 (IEEE, reflected, init/xorout 0xFFFFFFFF): the
+/// known-answer for "123456789" is 0xCBF43926.
+std::uint32_t crc32(std::string_view bytes) noexcept;
+/// CRC-32 of the concatenation `first + second` without materializing it.
+std::uint32_t crc32(std::string_view first, std::string_view second) noexcept;
+
+inline constexpr std::uint32_t kFrameMagic = 0x5EAF14A3u;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Frames larger than this are structurally invalid (a flipped length
+/// field must not drive a giant allocation).
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 1u << 28;
+
+enum class FrameStatus {
+  kOk,
+  kTornTail,     ///< log ends mid-header or mid-payload
+  kBadMagic,     ///< header does not start a frame
+  kBadLength,    ///< length field exceeds kMaxFramePayloadBytes
+  kBadChecksum,  ///< framing intact but the CRC does not match (verify only)
+};
+
+const char* to_string(FrameStatus s) noexcept;
+
+/// Result of decoding one frame at an offset. `payload` views into the
+/// caller's log buffer (valid while the buffer lives); `consumed` is the
+/// total frame size. Both are zero unless status == kOk.
+struct FrameView {
+  FrameStatus status = FrameStatus::kTornTail;
+  std::string_view payload;
+  std::size_t consumed = 0;
+};
+
+std::string encode_frame(std::string_view payload);
+
+/// Decodes the frame starting at `offset`. Structural checks (torn tail,
+/// magic, length) always run — a real reader derails on those with or
+/// without checksums; `verify` additionally recomputes the CRC, which is
+/// what turns a silent bit flip into a detected kBadChecksum.
+FrameView decode_frame(std::string_view log, std::size_t offset,
+                       bool verify) noexcept;
+
+// --- WAL record payload ---------------------------------------------------
+
+std::string encode_wal_payload(std::uint64_t version,
+                               const AnalyticalQuery& query, double answer);
+
+/// `ok == false` means the payload was structurally undecodable (bad
+/// count, short buffer, trailing garbage) — damage even an unchecked
+/// reader notices. A flipped *value* byte still decodes with ok == true
+/// and simply carries wrong numbers; only frame verification catches it.
+struct WalPayload {
+  bool ok = false;
+  std::uint64_t version = 0;
+  AnalyticalQuery query;
+  double answer = 0.0;
+};
+
+WalPayload decode_wal_payload(std::string_view payload);
+
+// --- Checkpoint payload ---------------------------------------------------
+
+std::string encode_checkpoint_payload(std::uint64_t version,
+                                      double taken_at_ms,
+                                      std::string_view blob);
+
+struct CheckpointPayload {
+  bool ok = false;
+  std::uint64_t version = 0;
+  double taken_at_ms = 0.0;
+  std::string blob;
+};
+
+CheckpointPayload decode_checkpoint_payload(std::string_view payload);
+
+}  // namespace sea::recovery

@@ -1,12 +1,18 @@
-// Lease-transfer -> crash-recovery bridge.
+// Lease-transfer <-> crash-recovery bridges.
 //
-// When a shard lease moves (src/membership), the new holder may have been
-// serving cold for a while — its model replica can lag the committed
-// history. This adapter turns every lease transfer into a
-// ModelReplicaSet::request_catchup for the new holder, so the handoff
+// LeaseCatchupBridge: when a shard lease moves (src/membership), the new
+// holder may have been serving cold for a while — its model replica can
+// lag the committed history. This adapter turns every lease transfer into
+// a ModelReplicaSet::request_catchup for the new holder, so the handoff
 // triggers the same anti-entropy catch-up machinery a crash restart gets
 // and the new authority serves current state as soon as the modelled
 // catch-up completes. Register with LeaseDirectory::add_transfer_listener.
+//
+// QuarantineLeaseGate: the reverse direction — scrub verdicts flow back
+// into the lease protocol. A replica the integrity scrubber quarantined
+// (digest-divergent, mid-repair) is fenced out of every grant and renewal
+// until its repair completes, so known-corrupt state can never acquire
+// serving authority. Install with LeaseDirectory::set_eligibility.
 #pragma once
 
 #include "membership/lease.h"
@@ -36,6 +42,22 @@ class LeaseCatchupBridge final : public LeaseTransferListener {
   recovery::ModelReplicaSet& replicas_;
   std::uint64_t transfers_seen_ = 0;
   std::uint64_t catchups_started_ = 0;
+};
+
+/// LeaseEligibility veto backed by scrub quarantine state: a quarantined
+/// replica can neither win a shard lease nor renew one it holds (its
+/// current lease simply expires un-renewed and a clean peer takes over).
+class QuarantineLeaseGate final : public LeaseEligibility {
+ public:
+  explicit QuarantineLeaseGate(const recovery::ModelReplicaSet& replicas)
+      : replicas_(replicas) {}
+
+  bool lease_eligible(NodeId node) const override {
+    return !replicas_.quarantined(node);
+  }
+
+ private:
+  const recovery::ModelReplicaSet& replicas_;
 };
 
 }  // namespace sea

@@ -40,10 +40,26 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "recovery/checkpoint.h"
+#include "recovery/digest.h"
 #include "sea/agent.h"
 #include "sea/served.h"
 
 namespace sea::recovery {
+
+/// Scrub pass knobs (DESIGN.md "Storage faults & integrity"). A pass
+/// digests every live caught-up replica's serialized state (modelled
+/// cost below), compares roots, quarantines divergent replicas for
+/// repair through the anti-entropy path, and CRC-walks each clean
+/// replica's durable frames, rebuilding any that fail.
+struct ScrubConfig {
+  /// Scrub cadence on the modelled clock; 0 disables scrubbing.
+  double interval_ms = 0.0;
+  /// Modelled cost of digesting one replica: base + per-KB of state.
+  double digest_base_ms = 0.5;
+  double digest_ms_per_kb = 0.004;
+  /// Digest-tree leaf size over the serialized state.
+  std::size_t page_bytes = 4096;
+};
 
 struct ReplicaSetConfig {
   /// Replica placement; nodes[0] is the *home* replica (serving affinity).
@@ -75,6 +91,13 @@ struct ReplicaSetConfig {
   /// Minimum modelled-clock advance per advance() call — pure model
   /// answers still move time forward.
   double min_query_advance_ms = 0.05;
+  /// Verify frame checksums on every checkpoint load / WAL replay (the
+  /// silent-corruption defense). false models the checksum-oblivious
+  /// reader E19 uses as its baseline arm: structural damage still fails
+  /// loudly, but flipped bits and lost-flush gaps are applied silently.
+  bool verify_checksums = true;
+  /// Periodic digest scrub + durable CRC walk (off by default).
+  ScrubConfig scrub;
 };
 
 /// One completed recovery, from restart to fully caught up. The duration
@@ -112,6 +135,28 @@ struct RecoveryStats {
   double modelled_checkpoint_ms = 0.0;
   double modelled_recovery_ms = 0.0;  ///< sum over completed recoveries
   double max_recovery_ms = 0.0;
+  // --- integrity (storage faults, scrub/repair) ---
+  std::uint64_t corrupt_frames_detected = 0;  ///< frames verification caught
+  std::uint64_t checkpoint_fallbacks = 0;  ///< loads that fell back an epoch
+  std::uint64_t tainted_loads = 0;  ///< omniscient: loads that applied
+                                    ///< corrupt data undetected (0 whenever
+                                    ///< verify_checksums is on)
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t scrub_checks = 0;     ///< replica digests compared
+  std::uint64_t scrub_clean = 0;      ///< checks matching the canonical root
+  std::uint64_t scrub_divergent = 0;  ///< checks quarantined for repair
+  std::uint64_t scrub_repairs = 0;    ///< quarantines fully repaired
+  std::uint64_t scrub_durable_repairs = 0;  ///< durable states rebuilt
+  std::uint64_t scrub_referee_replays = 0;  ///< canonical-replay tie-breaks
+  double modelled_scrub_ms = 0.0;
+
+  /// Scrub accounting invariant (mirrors ServeStats::conserved): every
+  /// digest check resolved clean or divergent, and every divergence was
+  /// repaired or is still quarantined now.
+  bool scrub_conserved(std::uint64_t quarantined_now) const noexcept {
+    return scrub_checks == scrub_clean + scrub_divergent &&
+           scrub_divergent == scrub_repairs + quarantined_now;
+  }
 };
 
 class ModelReplicaSet final : public ServingModelProvider,
@@ -136,9 +181,19 @@ class ModelReplicaSet final : public ServingModelProvider,
   void on_restart(NodeId node, std::uint64_t tick) override;
 
   /// Attaches a tracer / metrics registry (either may be null; caller
-  /// owns both). recovery.* counters track stats() from the moment of
-  /// attachment, mirroring the serving layer's contract.
+  /// owns both). recovery.*, scrub.*, and storage.* counters track
+  /// stats() from the moment of attachment, mirroring the serving
+  /// layer's contract.
   void bind_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// Routes durable writes through `model` (torn writes / bit flips /
+  /// lost flushes) and prices checkpoint and load costs by its stall
+  /// multiplier. nullptr restores clean storage. Caller owns the model.
+  void set_storage_faults(StorageFaultModel* model);
+
+  /// Runs one scrub pass immediately (tests/benches; the cadence path
+  /// calls this from advance()).
+  void scrub_now();
 
   /// Drives the modelled clock until no replica is mid-recovery (or the
   /// step budget runs out) — lets tests and benches settle in-flight
@@ -171,6 +226,20 @@ class ModelReplicaSet final : public ServingModelProvider,
   bool replica_recovering(NodeId node) const;
   bool any_recovering() const;
   std::uint64_t replica_version(NodeId node) const;
+  /// True while `node` is quarantined mid-repair: it neither serves
+  /// (primary() skips it) nor may win a lease (QuarantineLeaseGate).
+  bool quarantined(NodeId node) const;
+  std::size_t quarantined_now() const;
+  /// Omniscient ground truth for harnesses: whether the replica (or the
+  /// one primary() would serve) silently applied corrupted data. Invisible
+  /// to the defense logic — this is the E19 wrong-answer-serve account.
+  bool replica_tainted(NodeId node) const;
+  bool primary_tainted() const;
+  /// Digest tree of the replica's current serialized state (no modelled
+  /// cost charged — harness instrumentation, not a scrub).
+  DigestTree replica_digest(NodeId node) const;
+  /// True when every up, caught-up replica shares one digest root.
+  bool digests_converged() const;
   const RecoveryStats& stats() const noexcept { return stats_; }
   const std::vector<RecoveryEvent>& recovery_events() const noexcept {
     return events_;
@@ -186,6 +255,8 @@ class ModelReplicaSet final : public ServingModelProvider,
     bool isolated = false;     ///< partitioned off the live observe stream
     bool recovering = false;   ///< restarted, not yet caught up
     bool catching_up = false;  ///< a timed anti-entropy round in flight
+    bool quarantined = false;  ///< scrub-divergent, mid-repair
+    bool tainted = false;      ///< omniscient: state silently diverged
     double next_checkpoint_ms = 0.0;
     double catchup_ready_ms = 0.0;  ///< modelled completion of work so far
     std::uint64_t catchup_target = 0;
@@ -208,7 +279,10 @@ class ModelReplicaSet final : public ServingModelProvider,
   void finish_recovery(Replica& r);
   void step_recovery(Replica& r);
   void take_checkpoint(Replica& r);
+  void run_scrub();
+  void quarantine(Replica& r);
   void sync_metrics();
+  double storage_stall(NodeId node) const;
 
   ReplicaSetConfig config_;
   DomainProvider domain_provider_;
@@ -218,6 +292,8 @@ class ModelReplicaSet final : public ServingModelProvider,
   std::vector<std::pair<AnalyticalQuery, double>> history_;
   std::uint64_t committed_version_ = 0;
   double now_ms_ = 0.0;
+  double next_scrub_ms_ = 0.0;
+  StorageFaultModel* storage_ = nullptr;
   RecoveryStats stats_;
   RecoveryDelta pending_delta_;
   std::vector<RecoveryEvent> events_;
@@ -237,9 +313,28 @@ class ModelReplicaSet final : public ServingModelProvider,
     obs::Gauge* modelled_recovery_ms = nullptr;
     obs::Gauge* max_recovery_ms = nullptr;
     obs::Histogram* recovery_ms = nullptr;
+    // storage.* (frame verification + write-fault mirror of store stats)
+    obs::Counter* corrupt_frames = nullptr;
+    obs::Counter* checkpoint_fallbacks = nullptr;
+    obs::Counter* tainted_loads = nullptr;
+    obs::Counter* torn_writes = nullptr;
+    obs::Counter* bit_flips = nullptr;
+    obs::Counter* lost_flushes = nullptr;
+    obs::Counter* stalled_writes = nullptr;
+    obs::Counter* frames_written = nullptr;
+    // scrub.*
+    obs::Counter* scrub_passes = nullptr;
+    obs::Counter* scrub_checks = nullptr;
+    obs::Counter* scrub_clean = nullptr;
+    obs::Counter* scrub_divergent = nullptr;
+    obs::Counter* scrub_repairs = nullptr;
+    obs::Counter* scrub_durable_repairs = nullptr;
+    obs::Counter* scrub_referee_replays = nullptr;
+    obs::Gauge* modelled_scrub_ms = nullptr;
   };
   RecoveryMetrics m_;
   RecoveryStats mirrored_;
+  CheckpointStoreStats mirrored_store_;
 };
 
 }  // namespace sea::recovery

@@ -43,26 +43,46 @@ TEST(CheckpointStore, CheckpointTruncatesCoveredWalPrefix) {
     store.append_wal(7, WalRecord{v, q, static_cast<double>(v)});
   ASSERT_EQ(store.wal(7).size(), 5u);
   EXPECT_EQ(store.stats().wal_appends, 5u);
-  EXPECT_EQ(store.checkpoint(7), nullptr);
+  EXPECT_FALSE(store.checkpoint(7).has_value());
   EXPECT_GT(store.wal_bytes(7), 0u);
 
   store.put_checkpoint(7, CheckpointRecord{"blob", 3, 10.0});
-  ASSERT_NE(store.checkpoint(7), nullptr);
+  ASSERT_TRUE(store.checkpoint(7).has_value());
   EXPECT_EQ(store.checkpoint(7)->version, 3u);
   ASSERT_EQ(store.wal(7).size(), 2u);
   EXPECT_EQ(store.wal(7).front().version, 4u);
   EXPECT_EQ(store.stats().wal_truncated, 3u);
 
-  // A newer checkpoint covers the rest; the old blob is replaced.
+  // A newer checkpoint epoch: truncation is *deferred* to the oldest
+  // retained epoch (v3, with the default retention of 2), so the WAL
+  // keeps the records a fallback load from v3 would need. The newest blob
+  // is what a plain load returns.
   store.put_checkpoint(7, CheckpointRecord{"blob2", 5, 20.0});
-  EXPECT_TRUE(store.wal(7).empty());
-  EXPECT_EQ(store.wal_bytes(7), 0u);
+  ASSERT_EQ(store.wal(7).size(), 2u);
+  EXPECT_EQ(store.wal(7).front().version, 4u);
   EXPECT_EQ(store.checkpoint(7)->blob, "blob2");
   EXPECT_EQ(store.stats().checkpoints_taken, 2u);
+  EXPECT_EQ(store.retained_checkpoints(7), 2u);
+
+  // A third epoch evicts v3; now v5 is the oldest retained epoch and the
+  // records it covers finally go.
+  store.put_checkpoint(7, CheckpointRecord{"blob3", 5, 30.0});
+  EXPECT_TRUE(store.wal(7).empty());
+  EXPECT_EQ(store.wal_bytes(7), 0u);
+  EXPECT_EQ(store.retained_checkpoints(7), 2u);
 
   // Unknown node: empty WAL, no checkpoint, no crash.
   EXPECT_TRUE(store.wal(99).empty());
-  EXPECT_EQ(store.checkpoint(99), nullptr);
+  EXPECT_FALSE(store.checkpoint(99).has_value());
+
+  // Retention 1 restores eager truncation for comparison experiments.
+  CheckpointStore eager;
+  eager.set_checkpoint_retention(1);
+  for (std::uint64_t v = 1; v <= 5; ++v)
+    eager.append_wal(3, WalRecord{v, q, static_cast<double>(v)});
+  eager.put_checkpoint(3, CheckpointRecord{"b", 5, 10.0});
+  EXPECT_TRUE(eager.wal(3).empty());
+  EXPECT_THROW(eager.set_checkpoint_retention(0), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------
@@ -151,8 +171,8 @@ TEST_F(ReplicaSetFixture, CheckpointsFollowTheModelledClock) {
   EXPECT_GE(rs.stats().checkpoints, 3u);
   EXPECT_GT(rs.stats().checkpoint_bytes, 0u);
   EXPECT_GT(rs.stats().modelled_checkpoint_ms, 0.0);
-  ASSERT_NE(rs.store().checkpoint(1), nullptr);
-  // The WAL holds only the suffix past the latest snapshot.
+  ASSERT_TRUE(rs.store().checkpoint(1).has_value());
+  // The WAL holds only the suffix past the oldest retained snapshot.
   EXPECT_LT(rs.store().wal(1).size(), 40u);
 }
 
