@@ -55,8 +55,10 @@ void run() {
     stream.push_back(q);
   }
 
-  double cost_mr = 0, cost_idx = 0, cost_grid = 0, cost_oracle = 0;
-  std::size_t oracle_mr = 0, oracle_idx = 0, oracle_grid = 0;
+  double cost_mr = 0, cost_idx = 0, cost_grid = 0, cost_learned = 0,
+         cost_oracle = 0;
+  std::size_t oracle_mr = 0, oracle_idx = 0, oracle_grid = 0,
+              oracle_learned = 0;
   for (const auto& q : stream) {
     const double mr =
         exec.execute(q, ExecParadigm::kMapReduce).report.makespan_ms();
@@ -64,17 +66,22 @@ void run() {
                            .report.makespan_ms();
     const double grid = exec.execute(q, ExecParadigm::kCoordinatorGrid)
                             .report.makespan_ms();
+    const double learned = exec.execute(q, ExecParadigm::kCoordinatorLearned)
+                               .report.makespan_ms();
     cost_mr += mr;
     cost_idx += idx;
     cost_grid += grid;
-    const double best = std::min({mr, idx, grid});
+    cost_learned += learned;
+    const double best = std::min({mr, idx, grid, learned});
     cost_oracle += best;
     if (best == mr)
       ++oracle_mr;
     else if (best == idx)
       ++oracle_idx;
-    else
+    else if (best == grid)
       ++oracle_grid;
+    else
+      ++oracle_learned;
   }
 
   SelectorConfig scfg;
@@ -92,15 +99,20 @@ void run() {
       cost_idx / cost_oracle);
   row("%-18s %16.1f %12.2f", "always_grid", cost_grid,
       cost_grid / cost_oracle);
+  row("%-18s %16.1f %12.2f", "always_learned", cost_learned,
+      cost_learned / cost_oracle);
   row("%-18s %16.1f %12.2f", "learned_selector", cost_adaptive,
       cost_adaptive / cost_oracle);
   row("%-18s %16.1f %12.2f", "oracle", cost_oracle, 1.0);
-  row("oracle picks: mapreduce=%zu kdtree=%zu grid=%zu of %zu",
-      oracle_mr, oracle_idx, oracle_grid, stream.size());
-  row("selector picks: mapreduce=%llu kdtree=%llu grid=%llu explored=%llu",
+  row("oracle picks: mapreduce=%zu kdtree=%zu grid=%zu learned_grid=%zu "
+      "of %zu",
+      oracle_mr, oracle_idx, oracle_grid, oracle_learned, stream.size());
+  row("selector picks: mapreduce=%llu kdtree=%llu grid=%llu "
+      "learned_grid=%llu explored=%llu",
       static_cast<unsigned long long>(adaptive.stats().chose_mapreduce),
       static_cast<unsigned long long>(adaptive.stats().chose_indexed),
       static_cast<unsigned long long>(adaptive.stats().chose_grid),
+      static_cast<unsigned long long>(adaptive.stats().chose_learned_grid),
       static_cast<unsigned long long>(adaptive.selector().stats().explored));
   std::printf(
       "\nExpected shape: neither static policy wins (oracle uses both);\n"

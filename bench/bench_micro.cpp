@@ -3,6 +3,8 @@
 // per-operation costs the experiment harnesses compose.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -22,6 +24,7 @@
 #include "index/count_min.h"
 #include "index/grid.h"
 #include "index/kdtree.h"
+#include "index/learned.h"
 #include "index/score_index.h"
 #include "ml/gbm.h"
 #include "ml/linear.h"
@@ -537,6 +540,126 @@ void run_primitives_sweep(BenchJsonWriter& json) {
   set_configured_threads(0);
 }
 
+/// Learned-vs-exact access-structure sweep (ISSUE PR9 tentpole): build
+/// wall, lookup wall and resident bytes for the learned score index vs
+/// the hash-map score index, and the learned grid vs the uniform grid,
+/// at 1M and 10M rows x SEA_THREADS 1/2/4/8. Lookup cost should be flat
+/// across thread counts (probes are serial by design); build should
+/// scale like the sort it is built from. The memory column is the paper
+/// trade: the learned layer replaces per-key hash freight with two flat
+/// arrays and a few dozen line segments.
+void run_learned_sweep(BenchJsonWriter& json) {
+  const std::size_t threads_sweep[] = {1, 2, 4, 8};
+  constexpr std::size_t kProbes = 100000;
+  std::printf("\nlearned-index sweep\n");
+  std::printf("%-24s %10s %8s %12s %12s %12s\n", "structure", "rows",
+              "threads", "build_ms", "lookup_ms", "bytes");
+
+  for (const std::size_t rows :
+       {std::size_t{1000000}, std::size_t{10000000}}) {
+    const std::size_t reps = rows >= 10000000 ? 2 : 3;
+    // Scored relation with mostly-distinct keys — the score index's
+    // designed workload (rank-join keys), where the hash map pays per-key
+    // freight the learned layer does not.
+    Table table;
+    {
+      Rng trng(47);
+      std::vector<double> key(rows), score(rows), payload(rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        key[r] = static_cast<double>(trng.uniform_index(rows * 4));
+        score[r] = trng.uniform();
+        payload[r] = trng.uniform();
+      }
+      table = Table::from_columns(Schema({"key", "score", "payload"}),
+                                  {std::move(key), std::move(score),
+                                   std::move(payload)});
+    }
+    // Probe keys drawn from the table's own key column (mostly hits)
+    // plus a slice of random misses.
+    std::vector<std::uint64_t> probes(kProbes);
+    Rng prng(48);
+    for (auto& k : probes)
+      k = prng.uniform() < 0.8
+              ? static_cast<std::uint64_t>(std::llround(
+                    table.at(prng.uniform_index(rows), 0)))
+              : prng.uniform_index(std::uint64_t{1} << 40);
+    const auto pts = bench_points(rows, 2);
+    const Rect domain{{0, 0}, {1, 1}};
+    Rng qrng(49);
+    std::vector<Rect> boxes(64);
+    for (auto& b : boxes) {
+      b.lo = {qrng.uniform(0.0, 0.9), qrng.uniform(0.0, 0.9)};
+      b.hi = {b.lo[0] + 0.05, b.lo[1] + 0.05};
+    }
+
+    for (const std::size_t threads : threads_sweep) {
+      set_configured_threads(threads);
+      const auto emit = [&](const char* name, double build_ms,
+                            double lookup_ms, std::size_t bytes) {
+        json.begin(name);
+        json.num("threads", static_cast<std::uint64_t>(threads));
+        json.num("rows", static_cast<std::uint64_t>(rows));
+        json.num("build_ms", build_ms);
+        json.num("lookup_ms", lookup_ms);
+        json.num("bytes", static_cast<std::uint64_t>(bytes));
+        std::printf("%-24s %10zu %8zu %12.2f %12.2f %12zu\n", name, rows,
+                    threads, build_ms, lookup_ms, bytes);
+      };
+
+      double sum = 0.0;
+      const double ls_build = best_of_ms(reps, [&] {
+        LearnedScoreIndex idx(table, 0, 1, 2);
+        benchmark::DoNotOptimize(idx.size());
+      });
+      const LearnedScoreIndex learned(table, 0, 1, 2);
+      const double ls_lookup = best_of_ms(reps, [&] {
+        sum = 0.0;
+        for (const auto k : probes) sum += learned.best_score_for_key(k);
+        benchmark::DoNotOptimize(sum);
+      });
+      emit("learned_score_index", ls_build, ls_lookup, learned.byte_size());
+
+      const double si_build = best_of_ms(reps, [&] {
+        ScoreIndex idx(table, 0, 1, 2);
+        benchmark::DoNotOptimize(idx.size());
+      });
+      const ScoreIndex exact(table, 0, 1, 2);
+      const double si_lookup = best_of_ms(reps, [&] {
+        sum = 0.0;
+        for (const auto k : probes) sum += exact.best_score_for_key(k);
+        benchmark::DoNotOptimize(sum);
+      });
+      emit("hash_score_index", si_build, si_lookup, exact.byte_size());
+
+      const double lg_build = best_of_ms(reps, [&] {
+        LearnedGrid g(pts, domain, 64);
+        benchmark::DoNotOptimize(g.num_cells());
+      });
+      const LearnedGrid lgrid(pts, domain, 64);
+      std::size_t hits = 0;
+      const double lg_lookup = best_of_ms(reps, [&] {
+        hits = 0;
+        for (const auto& b : boxes) hits += lgrid.range_query(b).size();
+        benchmark::DoNotOptimize(hits);
+      });
+      emit("learned_grid", lg_build, lg_lookup, lgrid.byte_size());
+
+      const double ug_build = best_of_ms(reps, [&] {
+        GridIndex g(pts, domain, 64);
+        benchmark::DoNotOptimize(g.num_cells());
+      });
+      const GridIndex ugrid(pts, domain, 64);
+      const double ug_lookup = best_of_ms(reps, [&] {
+        hits = 0;
+        for (const auto& b : boxes) hits += ugrid.range_query(b).size();
+        benchmark::DoNotOptimize(hits);
+      });
+      emit("uniform_grid", ug_build, ug_lookup, ugrid.byte_size());
+    }
+  }
+  set_configured_threads(0);
+}
+
 /// CI perf-smoke over the primitives at n=1M (best of 3). Two gates, both
 /// relative to references measured in the same process — never an absolute
 /// ms threshold, so the stage is stable across host speeds:
@@ -623,6 +746,91 @@ int run_perf_smoke() {
                 "columnar_vs_row", "-", col_2t, row_ms, col_2t / row_ms,
                 "FAIL");
     ok = false;
+  }
+
+  // Learned-index gates (ISSUE PR9): the learned tier ships only if it is
+  // (a) exact — every probe answers bitwise-identically to the reference
+  // structure — and (b) thread-monotone, same relative gate as the
+  // primitives. The naive column is the reference structure's build.
+  {
+    Rng trng(53);
+    std::vector<double> key(kRows), score(kRows), payload(kRows);
+    for (std::size_t r = 0; r < kRows; ++r) {
+      key[r] = static_cast<double>(trng.uniform_index(kRows * 4));
+      score[r] = trng.uniform();
+      payload[r] = trng.uniform();
+    }
+    const Table scored =
+        Table::from_columns(Schema({"key", "score", "payload"}),
+                            {std::move(key), std::move(score),
+                             std::move(payload)});
+    std::vector<std::uint64_t> probes(10000);
+    for (auto& k : probes)
+      k = trng.uniform() < 0.8
+              ? static_cast<std::uint64_t>(
+                    std::llround(scored.at(trng.uniform_index(kRows), 0)))
+              : trng.uniform_index(std::uint64_t{1} << 40);
+
+    set_configured_threads(1);
+    const double ls_1t = best_of_ms(kReps, [&] {
+      LearnedScoreIndex idx(scored, 0, 1, 2);
+      benchmark::DoNotOptimize(idx.size());
+    });
+    const double si_ms = best_of_ms(kReps, [&] {
+      ScoreIndex idx(scored, 0, 1, 2);
+      benchmark::DoNotOptimize(idx.size());
+    });
+    set_configured_threads(2);
+    const double ls_2t = best_of_ms(kReps, [&] {
+      LearnedScoreIndex idx(scored, 0, 1, 2);
+      benchmark::DoNotOptimize(idx.size());
+    });
+    const LearnedScoreIndex learned(scored, 0, 1, 2);
+    const ScoreIndex exact(scored, 0, 1, 2);
+    bool same = learned.size() == exact.size();
+    for (const auto k : probes) {
+      const auto lr = learned.ranks_for_key(k);
+      const auto er = exact.ranks_for_key(k);
+      same = same && lr.size() == er.size() &&
+             std::equal(lr.begin(), lr.end(), er.begin());
+      const double a = learned.best_score_for_key(k);
+      const double b = exact.best_score_for_key(k);
+      same = same && std::bit_cast<std::uint64_t>(a) ==
+                         std::bit_cast<std::uint64_t>(b);
+    }
+    gate("learned_score_index", ls_1t, ls_2t, si_ms, same);
+
+    const auto pts = bench_points(kRows, 2);
+    const Rect domain{{0, 0}, {1, 1}};
+    set_configured_threads(1);
+    const double lg_1t = best_of_ms(kReps, [&] {
+      LearnedGrid g(pts, domain, 64);
+      benchmark::DoNotOptimize(g.num_cells());
+    });
+    const double ug_ms = best_of_ms(kReps, [&] {
+      GridIndex g(pts, domain, 64);
+      benchmark::DoNotOptimize(g.num_cells());
+    });
+    set_configured_threads(2);
+    const double lg_2t = best_of_ms(kReps, [&] {
+      LearnedGrid g(pts, domain, 64);
+      benchmark::DoNotOptimize(g.num_cells());
+    });
+    const LearnedGrid lgrid(pts, domain, 64);
+    const GridIndex ugrid(pts, domain, 64);
+    bool grid_same = true;
+    Rng qrng(54);
+    for (int i = 0; i < 16; ++i) {
+      Rect b;
+      b.lo = {qrng.uniform(0.0, 0.9), qrng.uniform(0.0, 0.9)};
+      b.hi = {b.lo[0] + 0.05, b.lo[1] + 0.05};
+      auto lv = lgrid.range_query(b);
+      auto uv = ugrid.range_query(b);
+      std::sort(lv.begin(), lv.end());
+      std::sort(uv.begin(), uv.end());
+      grid_same = grid_same && lv == uv;
+    }
+    gate("learned_grid", lg_1t, lg_2t, ug_ms, grid_same);
   }
 
   set_configured_threads(0);
@@ -729,6 +937,7 @@ int main(int argc, char** argv) {
   sea::bench::BenchJsonWriter json;
   sea::bench::run_threads_sweep(json);
   sea::bench::run_primitives_sweep(json);
+  sea::bench::run_learned_sweep(json);
   json.write_file("BENCH_micro.json");
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,6 +8,7 @@
 
 #include "common/parallel.h"
 #include "common/primitives.h"
+#include "index/cell_iter.h"
 
 namespace sea {
 
@@ -81,37 +82,7 @@ std::size_t GridIndex::flatten(
   return idx;
 }
 
-namespace {
-
-/// Iterates the cross product of per-dimension coordinate ranges.
-class CoordIterator {
- public:
-  CoordIterator(std::vector<std::size_t> lo, std::vector<std::size_t> hi)
-      : lo_(std::move(lo)), hi_(std::move(hi)), cur_(lo_), done_(false) {
-    for (std::size_t d = 0; d < lo_.size(); ++d)
-      if (lo_[d] > hi_[d]) done_ = true;
-  }
-
-  bool done() const noexcept { return done_; }
-  const std::vector<std::size_t>& coords() const noexcept { return cur_; }
-
-  void advance() noexcept {
-    for (std::size_t d = cur_.size(); d-- > 0;) {
-      if (cur_[d] < hi_[d]) {
-        ++cur_[d];
-        for (std::size_t j = d + 1; j < cur_.size(); ++j) cur_[j] = lo_[j];
-        return;
-      }
-    }
-    done_ = true;
-  }
-
- private:
-  std::vector<std::size_t> lo_, hi_, cur_;
-  bool done_;
-};
-
-}  // namespace
+using detail::CoordIterator;
 
 std::vector<std::uint64_t> GridIndex::range_query(const Rect& rect,
                                                   GridQueryCost* cost) const {
@@ -175,18 +146,35 @@ std::vector<std::pair<std::uint64_t, double>> GridIndex::knn(
         cell_width, (domain_.hi[d] - domain_.lo[d]) /
                         static_cast<double>(cells_per_dim_));
   double radius = std::max(cell_width, 1e-9);
-  // Domain diagonal bounds the search.
-  double diag2 = 0.0;
+  // A ball of max_radius around the query covers the whole domain box even
+  // when the query lies outside it (per-dim distance to the farther face);
+  // the domain diagonal alone under-covers exactly those queries, and a
+  // degenerate lo==hi domain would stop the expansion at radius ~0.
+  double far2 = 0.0;
   for (std::size_t d = 0; d < dims(); ++d) {
-    const double w = domain_.hi[d] - domain_.lo[d];
-    diag2 += w * w;
+    const double w = std::max(std::abs(query[d] - domain_.lo[d]),
+                              std::abs(query[d] - domain_.hi[d]));
+    far2 += w * w;
   }
-  const double max_radius = std::sqrt(diag2) + cell_width;
+  const double max_radius = std::sqrt(far2) + std::max(cell_width, 1e-9);
 
   for (;;) {
     const Ball ball{Point(query.begin(), query.end()), radius};
     auto ranked = radius_candidates(ball, cost);
-    if (ranked.size() >= k || radius >= max_radius) {
+    const bool exhausted = radius >= max_radius;
+    if (ranked.size() >= k || exhausted) {
+      if (exhausted && ranked.size() < k) {
+        // The covering ball still found < k points: only possible when
+        // points were clamped into border cells from outside the domain
+        // (their true distance exceeds any in-domain bound) or k exceeds
+        // the in-ball population. Fall back to an exact scan of every
+        // point so the answer matches the tree's.
+        ranked.clear();
+        ranked.reserve(points_.size());
+        for (std::size_t i = 0; i < points_.size(); ++i)
+          ranked.emplace_back(squared_distance(query, points_[i]), ids_[i]);
+        if (cost) cost->points_examined += points_.size();
+      }
       // If k candidates lie within radius r, the true k nearest all lie
       // within r too, so they are among the candidates.
       const std::size_t take = std::min(k, ranked.size());

@@ -49,6 +49,19 @@ class GridIndex {
       std::span<const double> query, std::size_t k,
       GridQueryCost* cost = nullptr) const;
 
+  /// CSR cell table (property suite: counts must sum to size()).
+  std::span<const std::uint32_t> cell_offsets() const noexcept {
+    return cell_offsets_;
+  }
+
+  /// Modelled resident footprint: points, ids, and the CSR cell table.
+  std::size_t byte_size() const noexcept {
+    return points_.size() * (dims() * sizeof(double)) +
+           ids_.size() * sizeof(std::uint64_t) +
+           (cell_offsets_.size() + cell_points_.size()) *
+               sizeof(std::uint32_t);
+  }
+
  private:
   std::vector<std::pair<double, std::uint64_t>> radius_candidates(
       const Ball& ball, GridQueryCost* cost) const;

@@ -24,18 +24,20 @@ bool rank_before(const ScoredTuple& a, const ScoredTuple& b) noexcept {
 
 }  // namespace
 
-ScoreIndex::ScoreIndex(const Table& table, std::size_t key_col,
-                       std::size_t score_col, std::size_t payload_col) {
+std::vector<ScoredTuple> build_rank_order(const Table& table,
+                                          std::size_t key_col,
+                                          std::size_t score_col,
+                                          std::size_t payload_col) {
   if (key_col >= table.num_columns() || score_col >= table.num_columns())
     throw std::invalid_argument("ScoreIndex: bad column");
   const bool has_payload = payload_col < table.num_columns();
   const std::size_t n = table.num_rows();
-  by_rank_.resize(n);
+  std::vector<ScoredTuple> by_rank(n);
   const auto keys = table.column(key_col);
   const auto scores = table.column(score_col);
   ParallelChunks(n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
-      ScoredTuple& t = by_rank_[r];
+      ScoredTuple& t = by_rank[r];
       t.key = static_cast<std::uint64_t>(std::llround(keys[r]));
       t.score = scores[r];
       t.payload = has_payload ? table.at(r, payload_col) : 0.0;
@@ -47,8 +49,14 @@ ScoreIndex::ScoreIndex(const Table& table, std::size_t key_col,
   // order, so the output is identical to a serial std::sort at any
   // SEA_THREADS (and sample_sort itself falls back to std::sort below its
   // serial cutoff or inside nested parallel regions).
-  par::sample_sort(std::span<ScoredTuple>(by_rank_), rank_before);
+  par::sample_sort(std::span<ScoredTuple>(by_rank), rank_before);
+  return by_rank;
+}
 
+ScoreIndex::ScoreIndex(const Table& table, std::size_t key_col,
+                       std::size_t score_col, std::size_t payload_col)
+    : by_rank_(build_rank_order(table, key_col, score_col, payload_col)) {
+  const std::size_t n = by_rank_.size();
   key_index_.reserve(n);
   for (std::uint32_t i = 0; i < by_rank_.size(); ++i)
     key_index_[by_rank_[i].key].push_back(i);

@@ -23,6 +23,16 @@ struct ScoredTuple {
   std::uint32_t row = 0;  ///< row index in the source partition
 };
 
+/// The canonical rank order every score index builds on: tuples sorted by
+/// (score desc, row asc) — a strict total order, so the deterministic
+/// parallel sample sort yields the same array at any SEA_THREADS. Shared
+/// by ScoreIndex and LearnedScoreIndex so the two are byte-identical by
+/// construction on the sorted-access path.
+std::vector<ScoredTuple> build_rank_order(const Table& table,
+                                          std::size_t key_col,
+                                          std::size_t score_col,
+                                          std::size_t payload_col);
+
 class ScoreIndex {
  public:
   ScoreIndex() = default;
@@ -44,9 +54,16 @@ class ScoreIndex {
   /// Highest score present for `key`, or -inf when absent.
   double best_score_for_key(std::uint64_t key) const;
 
+  /// Modelled resident footprint: the rank array plus the hash map's
+  /// real freight — per-key node (key, vector header, chain link), the
+  /// rank arrays themselves, and the bucket table.
   std::size_t byte_size() const noexcept {
-    return by_rank_.size() * sizeof(ScoredTuple) +
-           key_index_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+    std::size_t b = by_rank_.size() * sizeof(ScoredTuple) +
+                    key_index_.bucket_count() * sizeof(void*);
+    for (const auto& [key, ranks] : key_index_)
+      b += sizeof(key) + sizeof(ranks) + sizeof(void*) +
+           ranks.capacity() * sizeof(std::uint32_t);
+    return b;
   }
 
  private:

@@ -8,7 +8,7 @@ namespace sea {
 
 AdaptiveExecutor::AdaptiveExecutor(ExactExecutor& exec, CostMetric metric,
                                    SelectorConfig selector_config)
-    : exec_(exec), metric_(metric), selector_(3, selector_config) {}
+    : exec_(exec), metric_(metric), selector_(4, selector_config) {}
 
 const ProductHistogram& AdaptiveExecutor::histogram_for(
     const std::vector<std::size_t>& cols) {
@@ -68,15 +68,28 @@ std::vector<double> AdaptiveExecutor::featurize(const AnalyticalQuery& q) {
     est_sel = static_cast<double>(q.knn_k) / std::max(1.0, table_rows);
   }
   features.push_back(est_sel);
+  // Modelled access-structure cost priors (index/learned.h): the selector's
+  // online models correct these from observed cost, but they give the cold
+  // models a head start on the build-amortization trade-off.
+  const auto rows = static_cast<std::size_t>(table_rows);
+  const std::size_t dims = q.subspace_cols.size();
+  const IndexCostEstimate kd = modelled_kdtree_cost(rows, dims, est_sel);
+  const IndexCostEstimate gr = modelled_grid_cost(rows, dims, est_sel);
+  const IndexCostEstimate lg = modelled_learned_grid_cost(rows, dims, est_sel);
+  features.push_back(std::log1p(kd.lookup_ms));
+  features.push_back(std::log1p(gr.lookup_ms));
+  features.push_back(std::log1p(lg.lookup_ms));
   return features;
 }
 
 ExactResult AdaptiveExecutor::execute(const AnalyticalQuery& query) {
   const std::vector<double> features = featurize(query);
   const std::size_t method = selector_.choose(features);
-  const ExecParadigm paradigm = method == 0   ? ExecParadigm::kMapReduce
-                                : method == 1 ? ExecParadigm::kCoordinatorIndexed
-                                              : ExecParadigm::kCoordinatorGrid;
+  const ExecParadigm paradigm =
+      method == 0   ? ExecParadigm::kMapReduce
+      : method == 1 ? ExecParadigm::kCoordinatorIndexed
+      : method == 2 ? ExecParadigm::kCoordinatorGrid
+                    : ExecParadigm::kCoordinatorLearned;
   ExactResult result = exec_.execute(query, paradigm);
   const double cost = metric_ == CostMetric::kMakespan
                           ? result.report.makespan_ms()
@@ -87,8 +100,10 @@ ExactResult AdaptiveExecutor::execute(const AnalyticalQuery& query) {
     ++stats_.chose_mapreduce;
   else if (method == 1)
     ++stats_.chose_indexed;
-  else
+  else if (method == 2)
     ++stats_.chose_grid;
+  else
+    ++stats_.chose_learned_grid;
   stats_.total_cost += cost;
   return result;
 }

@@ -1,12 +1,15 @@
 // AdaptiveExecutor: ExactExecutor wrapped with a learned execution choice:
 // the paradigm (RT3.2, MapReduce vs coordinator-cohort) *and* the access
-// structure behind the coordinator (RT3.1, k-d tree vs grid) — three
-// alternatives decided on the fly per query (experiment E6).
+// structure behind the coordinator (RT3.1, k-d tree vs uniform grid vs
+// CDF-learned grid) — four alternatives decided on the fly per query
+// (experiment E6).
 //
 // Features fed to the selector are cheap coordinator-side estimates: query
 // geometry (normalized volume / radius / k), dimensionality, log data
-// size, and the estimated selectivity from a per-table ProductHistogram —
-// the "statistical structures" P3 keeps at the coordinator.
+// size, the estimated selectivity from a per-table ProductHistogram — the
+// "statistical structures" P3 keeps at the coordinator — and modelled
+// per-structure build/lookup cost priors (index/learned.h), which is how
+// the planner learns when *not* to use the learned tier.
 #pragma once
 
 #include <memory>
@@ -26,8 +29,9 @@ enum class CostMetric {
 struct AdaptiveStats {
   std::uint64_t queries = 0;
   std::uint64_t chose_mapreduce = 0;
-  std::uint64_t chose_indexed = 0;  ///< coordinator + k-d tree
-  std::uint64_t chose_grid = 0;     ///< coordinator + grid (RT3.1)
+  std::uint64_t chose_indexed = 0;      ///< coordinator + k-d tree
+  std::uint64_t chose_grid = 0;         ///< coordinator + grid (RT3.1)
+  std::uint64_t chose_learned_grid = 0; ///< coordinator + learned grid
   double total_cost = 0.0;
 };
 

@@ -39,6 +39,41 @@ struct KnnCand {
   double u = 0.0;
 };
 
+/// Per-node grid-build inputs, shared by the uniform and the learned grid
+/// caches so both structures see identical points, domains and cell counts.
+struct GridBuildInput {
+  std::vector<Point> pts;
+  Rect dom;
+  std::size_t cells = 2;
+};
+
+GridBuildInput grid_build_input(const Table& part,
+                                const std::vector<std::size_t>& cols) {
+  GridBuildInput in;
+  // Column-at-a-time fill from contiguous spans (no per-row gather).
+  in.pts.assign(part.num_rows(), Point(cols.size()));
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const auto col = part.column(cols[c]);
+    for (std::size_t r = 0; r < part.num_rows(); ++r) in.pts[r][c] = col[r];
+  }
+  in.dom = part.num_rows() ? table_bounds(part, cols) : Rect{};
+  if (part.num_rows() == 0) {
+    in.dom.lo.assign(cols.size(), 0.0);
+    in.dom.hi.assign(cols.size(), 1.0);
+  }
+  // Pad the upper edge so maxima land inside the last cell.
+  for (std::size_t i = 0; i < cols.size(); ++i)
+    in.dom.hi[i] = std::nextafter(in.dom.hi[i] + 1e-12,
+                                  std::numeric_limits<double>::max());
+  // Cells per dimension: ~rows^(1/d) capped to keep memory sane.
+  const double per_dim = std::pow(
+      std::max<double>(1.0, static_cast<double>(part.num_rows())),
+      1.0 / static_cast<double>(cols.size()));
+  in.cells = std::clamp<std::size_t>(
+      static_cast<std::size_t>(per_dim / 2.0), 2, 32);
+  return in;
+}
+
 }  // namespace
 
 /// Reusable shuffle buffers, one per MapReduce job shape the executor runs.
@@ -55,6 +90,8 @@ const char* to_string(ExecParadigm p) noexcept {
       return "coordinator_indexed";
     case ExecParadigm::kCoordinatorGrid:
       return "coordinator_grid";
+    case ExecParadigm::kCoordinatorLearned:
+      return "coordinator_learned";
   }
   return "?";
 }
@@ -102,31 +139,30 @@ const ExactExecutor::NodeGrids& ExactExecutor::grids_for(
   grids.per_node.reserve(cluster_.num_nodes());
   for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
     const Table& part = cluster_.partition(table_, static_cast<NodeId>(n));
-    // Column-at-a-time fill from contiguous spans (no per-row gather).
-    std::vector<Point> pts(part.num_rows(), Point(cols.size()));
-    for (std::size_t c = 0; c < cols.size(); ++c) {
-      const auto col = part.column(cols[c]);
-      for (std::size_t r = 0; r < part.num_rows(); ++r) pts[r][c] = col[r];
-    }
-    Rect dom = part.num_rows() ? table_bounds(part, cols) : Rect{};
-    if (part.num_rows() == 0) {
-      dom.lo.assign(cols.size(), 0.0);
-      dom.hi.assign(cols.size(), 1.0);
-    }
-    // Pad the upper edge so maxima land inside the last cell.
-    for (std::size_t i = 0; i < cols.size(); ++i)
-      dom.hi[i] = std::nextafter(dom.hi[i] + 1e-12,
-                                 std::numeric_limits<double>::max());
-    // Cells per dimension: ~rows^(1/d) capped to keep memory sane.
-    const double per_dim = std::pow(
-        std::max<double>(1.0, static_cast<double>(part.num_rows())),
-        1.0 / static_cast<double>(cols.size()));
-    const std::size_t cells = std::clamp<std::size_t>(
-        static_cast<std::size_t>(per_dim / 2.0), 2, 32);
-    grids.per_node.emplace_back(std::move(pts), std::move(dom), cells);
+    GridBuildInput in = grid_build_input(part, cols);
+    grids.per_node.emplace_back(std::move(in.pts), std::move(in.dom),
+                                in.cells);
   }
   index_build_ms_ += t.elapsed_ms();
   return grid_cache_.emplace(key, std::move(grids)).first->second;
+}
+
+const ExactExecutor::NodeLearnedGrids& ExactExecutor::learned_for(
+    const std::vector<std::size_t>& cols) {
+  const std::string key = colset_key(cols);
+  auto it = learned_cache_.find(key);
+  if (it != learned_cache_.end()) return it->second;
+  Timer t;
+  NodeLearnedGrids grids;
+  grids.per_node.reserve(cluster_.num_nodes());
+  for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+    const Table& part = cluster_.partition(table_, static_cast<NodeId>(n));
+    GridBuildInput in = grid_build_input(part, cols);
+    grids.per_node.emplace_back(std::move(in.pts), std::move(in.dom),
+                                in.cells);
+  }
+  index_build_ms_ += t.elapsed_ms();
+  return learned_cache_.emplace(key, std::move(grids)).first->second;
 }
 
 const Rect& ExactExecutor::domain(const std::vector<std::size_t>& cols) {
@@ -159,6 +195,7 @@ const Rect& ExactExecutor::domain(const std::vector<std::size_t>& cols) {
 void ExactExecutor::invalidate_caches() {
   index_cache_.clear();
   grid_cache_.clear();
+  learned_cache_.clear();
   domain_cache_.clear();
 }
 
@@ -177,9 +214,9 @@ ExactResult ExactExecutor::execute(const AnalyticalQuery& query,
       case ExecParadigm::kMapReduce:
         return execute_mapreduce(query, deadline);
       case ExecParadigm::kCoordinatorIndexed:
-        return execute_indexed(query, /*use_grid=*/false, deadline);
       case ExecParadigm::kCoordinatorGrid:
-        return execute_indexed(query, /*use_grid=*/true, deadline);
+      case ExecParadigm::kCoordinatorLearned:
+        return execute_indexed(query, paradigm, deadline);
     }
     throw std::logic_error("ExactExecutor::execute: bad paradigm");
   }();
@@ -294,17 +331,23 @@ ExactResult ExactExecutor::execute_mapreduce(const AnalyticalQuery& q,
 }
 
 ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
-                                           bool use_grid,
+                                           ExecParadigm access,
                                            QueryDeadline* deadline) {
   ExactResult out;
-  const NodeIndexes* kd = use_grid ? nullptr : &indexes_for(q.subspace_cols);
+  const bool use_grid = access == ExecParadigm::kCoordinatorGrid;
+  const bool use_learned = access == ExecParadigm::kCoordinatorLearned;
+  const NodeIndexes* kd =
+      (use_grid || use_learned) ? nullptr : &indexes_for(q.subspace_cols);
   const NodeGrids* grid = use_grid ? &grids_for(q.subspace_cols) : nullptr;
-  // Uniform access wrappers over the two access structures (RT3.1).
+  const NodeLearnedGrids* learned =
+      use_learned ? &learned_for(q.subspace_cols) : nullptr;
+  // Uniform access wrappers over the three access structures (RT3.1).
   const auto node_knn = [&](std::size_t n, std::span<const double> point,
                             std::size_t k, std::uint64_t& examined) {
-    if (use_grid) {
+    if (use_grid || use_learned) {
       GridQueryCost cost;
-      auto nn = grid->per_node[n].knn(point, k, &cost);
+      auto nn = use_learned ? learned->per_node[n].knn(point, k, &cost)
+                            : grid->per_node[n].knn(point, k, &cost);
       examined = cost.points_examined;
       return nn;
     }
@@ -314,11 +357,18 @@ ExactResult ExactExecutor::execute_indexed(const AnalyticalQuery& q,
     return nn;
   };
   const auto node_select = [&](std::size_t n, std::uint64_t& examined) {
-    if (use_grid) {
+    if (use_grid || use_learned) {
       GridQueryCost cost;
-      auto rows = q.selection == SelectionType::kRange
-                      ? grid->per_node[n].range_query(q.range, &cost)
-                      : grid->per_node[n].radius_query(q.ball, &cost);
+      std::vector<std::uint64_t> rows;
+      if (use_learned) {
+        rows = q.selection == SelectionType::kRange
+                   ? learned->per_node[n].range_query(q.range, &cost)
+                   : learned->per_node[n].radius_query(q.ball, &cost);
+      } else {
+        rows = q.selection == SelectionType::kRange
+                   ? grid->per_node[n].range_query(q.range, &cost)
+                   : grid->per_node[n].radius_query(q.ball, &cost);
+      }
       examined = cost.points_examined;
       return rows;
     }

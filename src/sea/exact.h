@@ -23,6 +23,7 @@
 #include "fault/outage.h"
 #include "index/grid.h"
 #include "index/kdtree.h"
+#include "index/learned.h"
 #include "sea/aggregate.h"
 #include "sea/query.h"
 
@@ -32,6 +33,7 @@ enum class ExecParadigm {
   kMapReduce,
   kCoordinatorIndexed,  ///< per-node k-d trees
   kCoordinatorGrid,     ///< per-node uniform grids (RT3.1 alternative)
+  kCoordinatorLearned,  ///< per-node CDF-learned grids (exact, see learned.h)
 };
 
 const char* to_string(ExecParadigm p) noexcept;
@@ -80,17 +82,21 @@ class ExactExecutor {
   struct NodeGrids {
     std::vector<GridIndex> per_node;
   };
+  struct NodeLearnedGrids {
+    std::vector<LearnedGrid> per_node;
+  };
 
   static std::string colset_key(const std::vector<std::size_t>& cols);
   const NodeIndexes& indexes_for(const std::vector<std::size_t>& cols);
   const NodeGrids& grids_for(const std::vector<std::size_t>& cols);
+  const NodeLearnedGrids& learned_for(const std::vector<std::size_t>& cols);
 
   ExactResult execute_mapreduce(const AnalyticalQuery& query,
                                 QueryDeadline* deadline);
-  /// Shared coordinator-cohort path; `use_grid` selects the access
-  /// structure (RT3.1).
-  ExactResult execute_indexed(const AnalyticalQuery& query, bool use_grid,
-                              QueryDeadline* deadline);
+  /// Shared coordinator-cohort path; `access` selects the per-node access
+  /// structure (RT3.1): k-d tree, uniform grid, or learned grid.
+  ExactResult execute_indexed(const AnalyticalQuery& query,
+                              ExecParadigm access, QueryDeadline* deadline);
 
   /// Scans `rows` of a partition and accumulates qualifying tuples.
   AggregateState aggregate_rows(const Table& part,
@@ -107,6 +113,7 @@ class ExactExecutor {
   double index_build_ms_ = 0.0;
   std::unordered_map<std::string, NodeIndexes> index_cache_;
   std::unordered_map<std::string, NodeGrids> grid_cache_;
+  std::unordered_map<std::string, NodeLearnedGrids> learned_cache_;
   std::unordered_map<std::string, Rect> domain_cache_;
   std::unique_ptr<MrScratch> mr_scratch_;
 };

@@ -242,6 +242,77 @@ TEST(Grid, RejectsCellExplosion) {
   EXPECT_THROW(GridIndex({}, domain, 100), std::invalid_argument);
 }
 
+// ---- degenerate-input regressions (the cases cell arithmetic gets wrong) ----
+
+TEST(Grid, KnnQueryFarOutsideDomain) {
+  // A query far outside the domain clamps to a border cell; the ring walk
+  // must still expand until every point is reachable, not stop at the
+  // domain diagonal.
+  auto pts = random_points(200, 2, 910);
+  Rect domain{{0, 0}, {1, 1}};
+  GridIndex grid(pts, domain, 8);
+  for (const Point q : {Point{50.0, -50.0}, Point{-3.0, 0.5}, Point{0.5, 9.0}}) {
+    auto got = grid.knn(q, 5);
+    auto expected = brute_knn(pts, q, 5);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_NEAR(got[i].second, euclidean_distance(q, pts[expected[i]]), 1e-9);
+  }
+}
+
+TEST(Grid, KnnDegenerateAllEqualPoints) {
+  // lo == hi in every dimension: zero-width cells must not divide by zero,
+  // and every point still has to be found.
+  std::vector<Point> pts(17, Point{0.25, 0.25});
+  Rect domain{{0.25, 0.25}, {0.25, 0.25}};
+  GridIndex grid(pts, domain, 4);
+  const Point at{0.25, 0.25};
+  auto got = grid.knn(at, 5);
+  ASSERT_EQ(got.size(), 5u);
+  for (const auto& [id, dist] : got) EXPECT_DOUBLE_EQ(dist, 0.0);
+  const Point away{100.0, -100.0};
+  auto far = grid.knn(away, 3);
+  ASSERT_EQ(far.size(), 3u);
+}
+
+TEST(Grid, KnnSingleRowAndOverAsk) {
+  std::vector<Point> pts = {{0.3, 0.7}};
+  Rect domain{{0, 0}, {1, 1}};
+  GridIndex grid(pts, domain, 4);
+  const Point corner{0.9, 0.9};
+  auto one = grid.knn(corner, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].first, 0u);
+  // k larger than the population: return everything, never loop forever.
+  const Point origin{0.0, 0.0};
+  auto all = grid.knn(origin, 10);
+  EXPECT_EQ(all.size(), 1u);
+  GridIndex empty({}, domain, 4);
+  const Point center{0.5, 0.5};
+  EXPECT_TRUE(empty.knn(center, 3).empty());
+}
+
+TEST(Grid, RangeQueryOutsideDomainIsEmpty) {
+  auto pts = random_points(100, 2, 911);
+  Rect domain{{0, 0}, {1, 1}};
+  GridIndex grid(pts, domain, 8);
+  EXPECT_TRUE(grid.range_query(Rect{{5, 5}, {6, 6}}).empty());
+  EXPECT_TRUE(grid.range_query(Rect{{-4, -4}, {-2, -2}}).empty());
+  // Inverted rectangle (hi < lo) selects nothing.
+  EXPECT_TRUE(grid.range_query(Rect{{0.8, 0.8}, {0.2, 0.2}}).empty());
+}
+
+TEST(Grid, CellOffsetsFormValidCsr) {
+  auto pts = random_points(500, 2, 912);
+  Rect domain{{0, 0}, {1, 1}};
+  GridIndex grid(pts, domain, 8);
+  const auto offsets = grid.cell_offsets();
+  ASSERT_EQ(offsets.size(), grid.num_cells() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), pts.size());
+  EXPECT_TRUE(std::is_sorted(offsets.begin(), offsets.end()));
+}
+
 TEST(EquiWidthHistogram, ExactOnAlignedRanges) {
   EquiWidthHistogram h(0.0, 1.0, 10);
   for (int i = 0; i < 1000; ++i) h.add((i % 10) * 0.1 + 0.05);

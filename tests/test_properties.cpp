@@ -9,6 +9,9 @@
 //    ids, no span left open, nothing silently dropped;
 //  * the serve.* metric counters equal the ServeStats fields, so the
 //    registry and the per-loop view never drift apart.
+// Plus the learned-index invariant sweep (ISSUE PR9 satellite): per-seed
+// RMI segment bounds really bound observed lookup error, and both grid
+// families keep a valid CSR cell table (counts sum to the row count).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -18,7 +21,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "diff_util.h"
 #include "exec/coordinator.h"
+#include "index/grid.h"
+#include "index/learned.h"
 #include "fault/breaker.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
@@ -208,6 +214,93 @@ TEST(SeedSweep, ConservationAnswersAndSpanTreesHoldOnEverySeed) {
               run.stats.degraded_served);
     EXPECT_EQ(run.metrics.counter("serve.deadline_exceeded").value(),
               run.stats.deadline_exceeded);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Learned-index invariants, swept over the same seed count. These are the
+// structural guarantees the differential suite's exactness proofs lean on,
+// checked directly so a violation names the broken invariant instead of
+// surfacing as a distant wrong answer.
+// ---------------------------------------------------------------------------
+
+TEST(IndexInvariantSweep, RmiSegmentBoundsCoverObservedErrorOnEverySeed) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed * 31 + 7);
+    std::vector<double> keys(1 + rng.uniform_index(2000));
+    const int mode = static_cast<int>(seed % 3);
+    for (auto& k : keys)
+      k = mode == 0   ? static_cast<double>(rng.uniform_index(1u << 18))
+          : mode == 1 ? std::floor(std::exp(rng.uniform(0.0, 12.0)))
+                      : static_cast<double>(rng.uniform_index(4));
+    std::sort(keys.begin(), keys.end());
+    RmiModel m;
+    m.fit(keys);
+
+    // Segments partition [0, n): contiguous, ordered, nothing dropped.
+    std::size_t expect_begin = 0;
+    for (std::size_t s = 0; s < m.num_segments(); ++s) {
+      const RmiSegment& seg = m.segment(s);
+      ASSERT_EQ(seg.begin, expect_begin) << "segment " << s;
+      ASSERT_LE(seg.begin, seg.end);
+      expect_begin = seg.end;
+    }
+    ASSERT_EQ(expect_begin, keys.size());
+
+    // Advertised per-segment bound >= observed error at every trained
+    // key, and the global max_error is the max over segments.
+    std::uint32_t worst = 0;
+    for (const double k : keys) {
+      const auto w = m.locate(k);
+      const auto truth = static_cast<std::size_t>(
+          std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+      const std::size_t observed =
+          truth > w.pred ? truth - w.pred : w.pred - truth;
+      ASSERT_LE(observed, m.segment(w.seg).err) << "key=" << k;
+      worst = std::max(worst, m.segment(w.seg).err);
+    }
+    EXPECT_LE(worst, m.max_error());
+  }
+}
+
+TEST(IndexInvariantSweep, GridCellTablesAreValidCsrOnEverySeed) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed * 131 + 5);
+    const std::size_t dims = 2 + rng.uniform_index(2);
+    const std::size_t n = rng.uniform_index(600);
+    const auto dist =
+        static_cast<testing::PointDist>(seed % 4);  // uniform..collinear
+    const auto pts = testing::adversarial_points(dist, n, dims, seed);
+    const Rect domain = testing::domain_of(pts, dims);
+    const std::size_t cells = 1 + rng.uniform_index(8);
+    const GridIndex grid(pts, domain, cells);
+    const LearnedGrid learned(pts, domain, cells);
+
+    // CSR validity for both families: monotone offsets bracketed by
+    // [0, n] — so the per-cell counts sum to exactly the row count.
+    for (const auto offsets : {grid.cell_offsets(), learned.cell_offsets()}) {
+      ASSERT_EQ(offsets.size(), grid.num_cells() + 1);
+      ASSERT_EQ(offsets.front(), 0u);
+      ASSERT_EQ(offsets.back(), pts.size());
+      ASSERT_TRUE(std::is_sorted(offsets.begin(), offsets.end()));
+    }
+
+    // The learned CDFs are monotone and their inverses stay in-domain,
+    // so cell placement is a valid (order-preserving) re-binning.
+    for (std::size_t d = 0; d < dims; ++d) {
+      const LearnedCdf& cdf = learned.cdf(d);
+      double prev = -1.0;
+      for (double v = domain.lo[d]; v <= domain.hi[d];
+           v += (domain.hi[d] - domain.lo[d]) / 16.0 + 1e-12) {
+        const double u = cdf(v);
+        ASSERT_GE(u, 0.0);
+        ASSERT_LE(u, 1.0);
+        ASSERT_GE(u, prev) << "dim " << d << " v=" << v;
+        prev = u;
+      }
+    }
   }
 }
 
