@@ -7,8 +7,8 @@
 #   tsan      tier1 + tier2 (saturated-pool stress) under TSan
 #   coverage  tier1 suite instrumented with gcov; prints per-directory
 #             line coverage for src/ and fails if src/obs, src/recovery,
-#             src/membership, src/fault, src/common, or src/index drops
-#             below 90%
+#             src/membership, src/placement, src/fault, src/common, or
+#             src/index drops below 90%
 # plus a perf-smoke stage after the default preset: bench_micro
 # --perf-smoke gates the parallel primitives against naive serial
 # references (relative, host-speed-independent) and writes
@@ -104,7 +104,7 @@ if [ -z "${cov_rows}" ]; then
 fi
 echo "${cov_rows}" | sort | awk '{printf "  %-16s %6d lines  %5.1f%%\n", $1, $2, $3}'
 # Gated directories: each must hold the 90% line-coverage floor.
-for gated in src/obs src/recovery src/membership src/fault src/common src/index; do
+for gated in src/obs src/recovery src/membership src/placement src/fault src/common src/index; do
   pct="$(echo "${cov_rows}" | awk -v d="${gated}" '$1 == d {print $3}')"
   if [ -z "${pct}" ]; then
     echo "FAIL: no coverage data for ${gated}"

@@ -59,7 +59,9 @@ NodeId Cluster::serving_node(const std::string& name,
       return holder;
   }
   for (std::size_t r = 0; r < replicas; ++r) {
-    const auto node = static_cast<NodeId>((shard + r) % num_nodes_);
+    const NodeId node = holder_of(name, shard, r);
+    if (node == ShardPlacementAuthority::kNoHolder || node >= num_nodes_)
+      continue;
     if (!node_down_[node] && !placement_lost_[node] &&
         !breakers_.open_now(node))
       return node;
@@ -81,6 +83,13 @@ void Cluster::crash_node(NodeId node) {
 bool Cluster::placement_lost(NodeId node) const {
   if (node >= num_nodes_) throw std::out_of_range("Cluster::placement_lost");
   return placement_lost_[node];
+}
+
+NodeId Cluster::holder_of(const std::string& name, std::size_t shard,
+                          std::size_t r) const {
+  if (placement_authority_ != nullptr)
+    return placement_authority_->shard_holder(name, shard, r);
+  return static_cast<NodeId>((shard + r) % num_nodes_);
 }
 
 std::uint64_t Cluster::rebuild_placement(NodeId node) {
@@ -105,15 +114,17 @@ std::uint64_t Cluster::rebuild_placement(NodeId node) {
     for (std::size_t shard = 0; shard < st.partitions.size(); ++shard) {
       bool holds = false;
       for (std::size_t r = 0; r < replicas && !holds; ++r)
-        holds = (shard + r) % num_nodes_ == node;
+        holds = holder_of(name, shard, r) == node;
       if (!holds) continue;
       const std::uint64_t bytes = st.partitions[shard].byte_size();
       if (bytes == 0) continue;  // empty shard: nothing to re-replicate
       NodeId donor = node;
       bool found = false;
       for (std::size_t r = 0; r < replicas && !found; ++r) {
-        const auto holder = static_cast<NodeId>((shard + r) % num_nodes_);
-        if (holder == node || node_down_[holder] || placement_lost_[holder])
+        const NodeId holder = holder_of(name, shard, r);
+        if (holder == ShardPlacementAuthority::kNoHolder ||
+            holder >= num_nodes_ || holder == node || node_down_[holder] ||
+            placement_lost_[holder])
           continue;
         donor = holder;
         found = true;

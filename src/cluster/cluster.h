@@ -65,6 +65,29 @@ class ShardLeaseRouter {
                               std::size_t shard) const = 0;
 };
 
+/// Placement authority for shard replicas. Implemented by the placement
+/// layer's RingPlacementAuthority (src/placement) — a consistent-hash ring
+/// with per-shard migration overrides; the interface lives here (dependency
+/// inversion, like ShardLeaseRouter) so the cluster can consult elastic
+/// placement without linking the placement library. When an authority is
+/// attached, serving_node() walks its replica order instead of the static
+/// (shard + r) % N neighbors, and restart_node() rebuilds crashed nodes
+/// where the ring says their shards live.
+class ShardPlacementAuthority {
+ public:
+  /// Sentinel: no holder at this replica rank.
+  static constexpr NodeId kNoHolder = 0xffffffffu;
+
+  virtual ~ShardPlacementAuthority() = default;
+  /// The r-th replica holder of `shard` of `table` (r = 0 is the primary
+  /// candidate). For r < cluster size the ranks enumerate distinct nodes
+  /// (a permutation prefix); kNoHolder marks exhausted ranks. Must be
+  /// cheap, deterministic, and side-effect free: the cluster calls it on
+  /// every placement decision.
+  virtual NodeId shard_holder(const std::string& table, std::size_t shard,
+                              std::size_t r) const = 0;
+};
+
 /// How a logical table is split across storage nodes.
 enum class Partitioning {
   kRoundRobin,  ///< row i -> node i % N
@@ -251,6 +274,18 @@ class Cluster {
   }
   ShardLeaseRouter* lease_router() const noexcept { return lease_router_; }
 
+  /// Attaches (or detaches, with nullptr) an elastic placement authority;
+  /// serving_node()'s static fallback walk and restart_node()'s rebuild
+  /// then consult the authority's replica order instead of the static
+  /// (shard + r) % N neighbors. The caller owns the authority and must
+  /// detach before destroying it.
+  void set_placement_authority(ShardPlacementAuthority* authority) noexcept {
+    placement_authority_ = authority;
+  }
+  ShardPlacementAuthority* placement_authority() const noexcept {
+    return placement_authority_;
+  }
+
   // --- observability (src/obs) ---
 
   /// Attaches a span tracer and/or metrics registry (either may be null).
@@ -315,6 +350,12 @@ class Cluster {
   /// the bytes shipped, or 0 — leaving the node placement-lost — when any
   /// copy lacks a live donor.
   std::uint64_t rebuild_placement(NodeId node);
+  /// The r-th replica holder of `shard` of `name`: the attached placement
+  /// authority's answer when one is set, else the static (shard + r) % N
+  /// neighbor. May return ShardPlacementAuthority::kNoHolder (callers skip
+  /// that rank).
+  NodeId holder_of(const std::string& name, std::size_t shard,
+                   std::size_t r) const;
 
   std::size_t num_nodes_;
   Network network_;
@@ -326,6 +367,7 @@ class Cluster {
   AccessStats stats_;
   FaultInjector* fault_injector_ = nullptr;
   ShardLeaseRouter* lease_router_ = nullptr;
+  ShardPlacementAuthority* placement_authority_ = nullptr;
   RetryPolicy retry_;
   CircuitBreakerSet breakers_;
   HedgeConfig hedge_;

@@ -16,7 +16,9 @@ LeaseDirectory::LeaseDirectory(Cluster& cluster, GossipMembership& membership,
       table_(std::move(table)),
       config_(config),
       leases_(num_shards),
-      last_renewed_(num_shards, 0) {
+      last_renewed_(num_shards, 0),
+      preferred_(num_shards, kNoLeaseHolder),
+      active_(num_shards, true) {
   if (num_shards == 0)
     throw std::invalid_argument("LeaseDirectory: num_shards must be > 0");
   if (config_.renew_period_ticks == 0 ||
@@ -45,6 +47,8 @@ void LeaseDirectory::bind_obs(obs::Tracer* tracer,
   m_.transfers = &metrics->counter("lease.transfers");
   m_.deferrals = &metrics->counter("lease.deferrals");
   m_.fenced_checks = &metrics->counter("lease.fenced_checks");
+  m_.handoffs = &metrics->counter("lease.handoffs");
+  m_.handoff_failures = &metrics->counter("lease.handoff_failures");
 }
 
 void LeaseDirectory::add_transfer_listener(LeaseTransferListener* listener) {
@@ -69,6 +73,7 @@ bool LeaseDirectory::node_usable(NodeId node) const {
 NodeId LeaseDirectory::lease_holder(const std::string& table,
                                     std::size_t shard) const {
   if (table != table_ || shard >= leases_.size()) return kNoLeaseHolder;
+  if (!active_[shard]) return kNoLeaseHolder;
   const ShardLease& l = leases_[shard];
   return l.valid_at(now_) ? l.holder : kNoLeaseHolder;
 }
@@ -77,7 +82,7 @@ void LeaseDirectory::check_serve(const std::string& table, std::size_t shard,
                                  NodeId node, std::uint64_t tick) const {
   if (table != table_) return;  // not under this directory's authority
   const ShardLease& l = leases_.at(shard);
-  if (l.valid_at(tick) && l.holder == node) return;
+  if (active_[shard] && l.valid_at(tick) && l.holder == node) return;
   ++stats_.fenced_checks;
   if (m_.fenced_checks) m_.fenced_checks->inc();
   if (tracer_)
@@ -132,16 +137,36 @@ void LeaseDirectory::try_grant(std::size_t shard, std::uint64_t tick) {
   ShardLease& l = leases_[shard];
   const NodeId prev_holder = l.holder;
   const bool had_holder = l.epoch != 0;
-  // Candidates in replica-placement order, like static failover.
+  // Candidates in replica-placement order, like static failover: the
+  // attached placement authority's ring order when the cluster has one,
+  // else the static (shard + r) % N walk. A migration-installed preferred
+  // holder goes first (deduplicated from the rest of the walk).
+  const ShardPlacementAuthority* authority = cluster_.placement_authority();
+  const NodeId preferred = preferred_[shard];
+  std::vector<NodeId> order;
+  order.reserve(cluster_.num_nodes() + 1);
+  if (preferred != kNoLeaseHolder && preferred < cluster_.num_nodes())
+    order.push_back(preferred);
   for (std::size_t r = 0; r < cluster_.num_nodes(); ++r) {
     const NodeId cand =
-        static_cast<NodeId>((shard + r) % cluster_.num_nodes());
+        authority != nullptr
+            ? authority->shard_holder(table_, shard, r)
+            : static_cast<NodeId>((shard + r) % cluster_.num_nodes());
+    if (cand == ShardPlacementAuthority::kNoHolder ||
+        cand >= cluster_.num_nodes() || cand == preferred)
+      continue;
+    order.push_back(cand);
+  }
+  for (const NodeId cand : order) {
     if (!node_usable(cand)) continue;
     // Liveness deferral (never a safety rule): while this candidate's own
     // membership view still believes the previous holder alive, it waits —
     // the suspicion timeout, not the first missed probe, gates takeover.
-    // The previous holder itself never defers (self-renewal-after-expiry).
-    if (had_holder && cand != prev_holder &&
+    // The previous holder itself never defers (self-renewal-after-expiry),
+    // and neither does a migration-preferred candidate: the preference is
+    // only ever installed by a consented migration, and the TTL-expiry
+    // rule still gates this grant, so skipping the wait costs no safety.
+    if (had_holder && cand != prev_holder && cand != preferred &&
         membership_.alive_in_view(cand, prev_holder)) {
       ++stats_.deferrals;
       if (m_.deferrals) m_.deferrals->inc();
@@ -182,7 +207,10 @@ void LeaseDirectory::advance_to(std::uint64_t tick) {
     for (std::size_t shard = 0; shard < leases_.size(); ++shard) {
       ShardLease& l = leases_[shard];
       if (l.valid_at(t)) {
-        if (t >= last_renewed_[shard] + config_.renew_period_ticks)
+        // An inactive (merged-away) shard gets no renewals: its lease just
+        // runs out, and nothing regrants it below.
+        if (active_[shard] &&
+            t >= last_renewed_[shard] + config_.renew_period_ticks)
           try_renew(shard, t);
         continue;
       }
@@ -193,11 +221,67 @@ void LeaseDirectory::advance_to(std::uint64_t tick) {
           tracer_->event("lease", "expired",
                          static_cast<std::int64_t>(l.holder));
       }
-      try_grant(shard, t);
+      if (active_[shard]) try_grant(shard, t);
     }
   }
   last_advanced_ = std::max(last_advanced_, tick);
   now_ = std::max(now_, tick);
+}
+
+bool LeaseDirectory::handoff(std::size_t shard, NodeId target,
+                             std::uint64_t tick) {
+  ShardLease& l = leases_.at(shard);
+  const auto refuse = [this]() {
+    ++stats_.handoff_failures;
+    if (m_.handoff_failures) m_.handoff_failures->inc();
+    return false;
+  };
+  if (!active_[shard] || !l.valid_at(tick) || l.holder == target ||
+      target >= cluster_.num_nodes() || !node_usable(target))
+    return refuse();
+  // The transfer is still a quorum decision, initiated by the target: a
+  // destination on the minority side of a partition cannot take the lease.
+  if (!quorum_round(target)) return refuse();
+  const NodeId prev_holder = l.holder;
+  ++l.epoch;
+  l.holder = target;
+  l.granted_at = tick;
+  l.expires_at = tick + config_.lease_ttl_ticks;
+  last_renewed_[shard] = tick;
+  ++stats_.handoffs;
+  if (m_.handoffs) m_.handoffs->inc();
+  if (tracer_)
+    tracer_->span_event("lease_transfer", 0.0, "handoff",
+                        config_.message_bytes,
+                        static_cast<std::int64_t>(target));
+  for (auto* listener : listeners_)
+    listener->on_lease_transfer(table_, shard, target, prev_holder, l.epoch,
+                                tick);
+  return true;
+}
+
+void LeaseDirectory::set_preferred_holder(std::size_t shard, NodeId node) {
+  if (shard >= preferred_.size())
+    throw std::out_of_range("LeaseDirectory::set_preferred_holder");
+  preferred_[shard] = node;
+}
+
+NodeId LeaseDirectory::preferred_holder(std::size_t shard) const {
+  if (shard >= preferred_.size())
+    throw std::out_of_range("LeaseDirectory::preferred_holder");
+  return preferred_[shard];
+}
+
+void LeaseDirectory::set_shard_active(std::size_t shard, bool active) {
+  if (shard >= active_.size())
+    throw std::out_of_range("LeaseDirectory::set_shard_active");
+  active_[shard] = active;
+}
+
+bool LeaseDirectory::shard_active(std::size_t shard) const {
+  if (shard >= active_.size())
+    throw std::out_of_range("LeaseDirectory::shard_active");
+  return active_[shard];
 }
 
 std::size_t LeaseFence::shard_of(const AnalyticalQuery& query) const {

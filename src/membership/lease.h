@@ -112,6 +112,8 @@ struct LeaseStats {
   std::uint64_t transfers = 0;       ///< grants that moved the holder
   std::uint64_t deferrals = 0;       ///< takeovers deferred on an alive view
   std::uint64_t fenced_checks = 0;   ///< check_serve rejections (StaleEpoch)
+  std::uint64_t handoffs = 0;        ///< consented epoch-bump transfers
+  std::uint64_t handoff_failures = 0;///< handoff attempts that were refused
 };
 
 /// The lease directory for the shards of one logical table. Logically this
@@ -150,6 +152,44 @@ class LeaseDirectory final : public ShardLeaseRouter {
   const LeaseConfig& config() const noexcept { return config_; }
   const LeaseStats& stats() const noexcept { return stats_; }
 
+  /// Consented live transfer (migration COMMIT fast path): revokes the
+  /// current holder's lease and grants `target` a fresh epoch in one serial
+  /// step, without waiting for TTL expiry. This is the ONE place the
+  /// TTL-expiry rule may be shortcut, and it is safe only under the
+  /// caller's contract: the current holder has already been fenced (it
+  /// consented and stopped serving under its cached lease) before this call
+  /// — the two-phase migration protocol in src/placement guarantees exactly
+  /// that ordering. The transfer still needs a quorum round initiated by
+  /// `target`. Returns false (lease untouched) when the shard is inactive,
+  /// there is no valid lease, `target` already holds it or is unusable
+  /// (down, placement-lost, vetoed by the eligibility gate), or the quorum
+  /// round fails. Transfer listeners fire like any holder move.
+  bool handoff(std::size_t shard, NodeId target, std::uint64_t tick);
+
+  /// Prefers `node` as the first grant candidate for `shard` (migration
+  /// slow path: when the source is unreachable, the destination wins the
+  /// next natural grant after TTL expiry instead of whatever the replica
+  /// order says). kNoLeaseHolder clears the preference. An unusable
+  /// preferred node is simply skipped — a preference is a hint, never a
+  /// safety rule.
+  void set_preferred_holder(std::size_t shard, NodeId node);
+  NodeId preferred_holder(std::size_t shard) const;
+
+  /// Activates/deactivates a shard (elastic split/merge). An inactive
+  /// shard gets no renewals and no grants — an existing lease just runs
+  /// out — and lease_holder() reports no holder while check_serve()
+  /// fences, so nobody serves a merged-away shard. Directories start with
+  /// every shard active; split activates the new shard id before its first
+  /// grant.
+  void set_shard_active(std::size_t shard, bool active);
+  bool shard_active(std::size_t shard) const;
+
+  /// Whether `node` could hold a lease right now (cluster crash state plus
+  /// the external eligibility veto). The migration coordinator consults
+  /// this before targeting a node: a scrub-quarantined replica is refused
+  /// here until its repair completes.
+  bool node_lease_eligible(NodeId node) const { return node_usable(node); }
+
   void add_transfer_listener(LeaseTransferListener* listener);
   void remove_transfer_listener(LeaseTransferListener* listener);
 
@@ -178,6 +218,8 @@ class LeaseDirectory final : public ShardLeaseRouter {
   LeaseConfig config_;
   std::vector<ShardLease> leases_;
   std::vector<std::uint64_t> last_renewed_;  ///< per shard
+  std::vector<NodeId> preferred_;            ///< per shard; kNoLeaseHolder = none
+  std::vector<bool> active_;                 ///< per shard (elastic split/merge)
   std::vector<LeaseTransferListener*> listeners_;
   const LeaseEligibility* eligibility_ = nullptr;
   std::uint64_t now_ = 0;
@@ -196,6 +238,8 @@ class LeaseDirectory final : public ShardLeaseRouter {
     obs::Counter* transfers = nullptr;
     obs::Counter* deferrals = nullptr;
     obs::Counter* fenced_checks = nullptr;
+    obs::Counter* handoffs = nullptr;
+    obs::Counter* handoff_failures = nullptr;
   };
   Metrics m_;
 };

@@ -1,0 +1,62 @@
+#include "placement/authority.h"
+
+namespace sea::placement {
+
+RingPlacementAuthority::RingPlacementAuthority(std::size_t num_nodes,
+                                               RingConfig config)
+    : ring_(num_nodes, config) {}
+
+const std::vector<NodeId>& RingPlacementAuthority::walk_for(
+    std::uint64_t key) const {
+  const auto it = walk_cache_.find(key);
+  if (it != walk_cache_.end()) return it->second;
+  return walk_cache_.emplace(key, ring_.walk(key)).first->second;
+}
+
+NodeId RingPlacementAuthority::shard_holder(const std::string& table,
+                                            std::size_t shard,
+                                            std::size_t r) const {
+  const std::uint64_t key = shard_key(table, shard);
+  const std::vector<NodeId>& walk = walk_for(key);
+  const auto ov = overrides_.find(key);
+  if (ov == overrides_.end())
+    return r < walk.size() ? walk[r] : kNoHolder;
+  // Pinned primary first; the rest of the ring walk follows with the
+  // pinned node deduplicated, so ranks still enumerate distinct nodes.
+  if (r == 0) return ov->second;
+  std::size_t rank = 0;
+  for (const NodeId n : walk) {
+    if (n == ov->second) continue;
+    if (++rank == r) return n;
+  }
+  return kNoHolder;
+}
+
+void RingPlacementAuthority::set_primary_override(const std::string& table,
+                                                  std::size_t shard,
+                                                  NodeId node) {
+  overrides_[shard_key(table, shard)] = node;
+}
+
+void RingPlacementAuthority::clear_override(const std::string& table,
+                                            std::size_t shard) {
+  overrides_.erase(shard_key(table, shard));
+}
+
+NodeId RingPlacementAuthority::primary_override(const std::string& table,
+                                                std::size_t shard) const {
+  const auto it = overrides_.find(shard_key(table, shard));
+  return it == overrides_.end() ? kNoHolder : it->second;
+}
+
+void RingPlacementAuthority::add_node(NodeId node) {
+  ring_.add_node(node);
+  walk_cache_.clear();
+}
+
+void RingPlacementAuthority::remove_node(NodeId node) {
+  ring_.remove_node(node);
+  walk_cache_.clear();
+}
+
+}  // namespace sea::placement

@@ -1,0 +1,61 @@
+// RingPlacementAuthority: cluster.h's ShardPlacementAuthority backed by
+// the consistent-hash ring, plus per-shard primary overrides.
+//
+// The ring answers "where should shard s live"; a committed live migration
+// answers "where does shard s live *now*" — the override installed at
+// COMMIT pins the destination as rank-0 holder (the rest of the walk
+// continues in ring order, deduplicated), so serving, lease grants, and
+// crash rebuilds all agree with the migration's outcome without mutating
+// ring membership. Clearing the override returns the shard to pure ring
+// placement.
+//
+// Permutation walks are cached per shard key and invalidated whenever ring
+// membership changes — shard_holder() sits on every placement decision.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "placement/ring.h"
+
+namespace sea::placement {
+
+class RingPlacementAuthority final : public ShardPlacementAuthority {
+ public:
+  RingPlacementAuthority(std::size_t num_nodes, RingConfig config = {});
+
+  // ShardPlacementAuthority — consulted by Cluster::serving_node /
+  // restart_node and LeaseDirectory::try_grant.
+  NodeId shard_holder(const std::string& table, std::size_t shard,
+                      std::size_t r) const override;
+
+  /// Pins `node` as the primary (rank-0) holder of `shard`; installed by
+  /// the migration coordinator at COMMIT.
+  void set_primary_override(const std::string& table, std::size_t shard,
+                            NodeId node);
+  void clear_override(const std::string& table, std::size_t shard);
+  /// The pinned primary, or kNoHolder when the shard follows pure ring
+  /// placement.
+  NodeId primary_override(const std::string& table, std::size_t shard) const;
+  std::size_t num_overrides() const noexcept { return overrides_.size(); }
+
+  /// Ring membership (scale-out/in). Mutations invalidate the walk cache.
+  void add_node(NodeId node);
+  void remove_node(NodeId node);
+  const HashRing& ring() const noexcept { return ring_; }
+
+ private:
+  const std::vector<NodeId>& walk_for(std::uint64_t key) const;
+
+  HashRing ring_;
+  /// Overrides keyed by the same shard key the ring is probed with, in a
+  /// sorted map so iteration (tests, dumps) is deterministic.
+  std::map<std::uint64_t, NodeId> overrides_;
+  mutable std::unordered_map<std::uint64_t, std::vector<NodeId>> walk_cache_;
+};
+
+}  // namespace sea::placement

@@ -1,0 +1,21 @@
+#include "placement/fence.h"
+
+#include "placement/ring.h"
+#include "sea/query.h"
+
+namespace sea::placement {
+
+std::size_t QuantumLeaseFence::quantum_of(const AnalyticalQuery& query) const {
+  return fnv1a64(query.signature()) % space_.num_quanta();
+}
+
+std::size_t QuantumLeaseFence::shard_of(const AnalyticalQuery& query) const {
+  return space_.shard_of(quantum_of(query));
+}
+
+void QuantumLeaseFence::check(const AnalyticalQuery& query) const {
+  directory_.check_serve(directory_.table(), shard_of(query), local_node_,
+                         directory_.now());
+}
+
+}  // namespace sea::placement

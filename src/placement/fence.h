@@ -1,0 +1,39 @@
+// QuantumLeaseFence: the elastic-placement EpochFence for ServedAnalytics.
+//
+// membership's LeaseFence maps a query family straight to a shard, which
+// is only correct while the query->shard mapping is static. Under elastic
+// placement the stable unit is the *quantum*: this fence hashes the query
+// signature to its quantum (FNV-1a — a pinned hash, so the mapping is
+// identical across standard libraries and runs), resolves the quantum
+// through the live ShardSpace map, and requires this serving process's
+// node to hold that shard's current lease. A query whose quantum moved in
+// a split/merge is fenced the instant the map changes — before the old
+// shard's lease even expires.
+#pragma once
+
+#include "membership/lease.h"
+#include "placement/shard_space.h"
+#include "sea/served.h"
+
+namespace sea::placement {
+
+class QuantumLeaseFence final : public EpochFence {
+ public:
+  QuantumLeaseFence(const LeaseDirectory& directory, const ShardSpace& space,
+                    NodeId local_node)
+      : directory_(directory), space_(space), local_node_(local_node) {}
+
+  void check(const AnalyticalQuery& query) const override;
+
+  /// The quantum / home shard the fence resolves for `query` (the shard
+  /// is read from the live map, so it tracks splits and merges).
+  std::size_t quantum_of(const AnalyticalQuery& query) const;
+  std::size_t shard_of(const AnalyticalQuery& query) const;
+
+ private:
+  const LeaseDirectory& directory_;
+  const ShardSpace& space_;
+  NodeId local_node_;
+};
+
+}  // namespace sea::placement

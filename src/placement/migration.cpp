@@ -1,0 +1,590 @@
+#include "placement/migration.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "recovery/frame.h"
+
+namespace sea::placement {
+
+const char* to_string(MigrationKind k) noexcept {
+  switch (k) {
+    case MigrationKind::kMove: return "move";
+    case MigrationKind::kSplit: return "split";
+    case MigrationKind::kMerge: return "merge";
+  }
+  return "?";
+}
+
+const char* to_string(MigrationPhase p) noexcept {
+  switch (p) {
+    case MigrationPhase::kPreparing: return "preparing";
+    case MigrationPhase::kCommitting: return "committing";
+    case MigrationPhase::kBackoff: return "backoff";
+    case MigrationPhase::kDone: return "done";
+    case MigrationPhase::kFailed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+constexpr NodeId kNone = ShardLeaseRouter::kNoLeaseHolder;
+}  // namespace
+
+MigrationCoordinator::MigrationCoordinator(Cluster& cluster,
+                                           LeaseDirectory& directory,
+                                           RingPlacementAuthority& authority,
+                                           ShardSpace& space,
+                                           MigrationConfig config)
+    : cluster_(cluster),
+      directory_(directory),
+      authority_(authority),
+      space_(space),
+      config_(config),
+      corrupt_rng_(config.corrupt_seed) {
+  if (directory_.num_shards() < space_.max_shards())
+    throw std::invalid_argument(
+        "MigrationCoordinator: lease directory covers fewer shards than "
+        "the space's max_shards");
+  if (config_.frame_payload_bytes == 0 || config_.state_bytes == 0 ||
+      config_.frames_per_tick == 0 || config_.retry_budget == 0 ||
+      config_.max_concurrent == 0)
+    throw std::invalid_argument(
+        "MigrationCoordinator: zero-valued config knob");
+  if (config_.frame_corrupt_probability < 0.0 ||
+      config_.frame_corrupt_probability > 1.0)
+    throw std::invalid_argument(
+        "MigrationCoordinator: frame_corrupt_probability must be in [0,1]");
+  // Split headroom starts inactive: lease activity mirrors the space.
+  for (std::size_t s = 0; s < space_.max_shards(); ++s)
+    directory_.set_shard_active(s, space_.active(s));
+}
+
+void MigrationCoordinator::add_listener(MigrationListener* listener) {
+  if (listener) listeners_.push_back(listener);
+}
+
+void MigrationCoordinator::remove_listener(MigrationListener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+void MigrationCoordinator::bind_obs(obs::Tracer* tracer,
+                                    obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+}
+
+std::size_t MigrationCoordinator::in_flight() const noexcept {
+  std::size_t n = 0;
+  for (const Migration& m : log_)
+    if (m.phase != MigrationPhase::kDone && m.phase != MigrationPhase::kFailed)
+      ++n;
+  return n;
+}
+
+bool MigrationCoordinator::dst_usable(const Migration& m) const {
+  return m.dst < cluster_.num_nodes() && directory_.node_lease_eligible(m.dst);
+}
+
+namespace {
+NodeId holder_now(const LeaseDirectory& directory, std::size_t shard,
+                  std::uint64_t tick) {
+  if (!directory.shard_active(shard)) return kNone;
+  const ShardLease& l = directory.lease(shard);
+  return l.valid_at(tick) ? l.holder : kNone;
+}
+}  // namespace
+
+std::optional<std::size_t> MigrationCoordinator::enqueue(Migration m,
+                                                         std::uint64_t tick) {
+  m.id = log_.size();
+  m.requested_at = tick;
+  m.phase = MigrationPhase::kBackoff;
+  m.retry_at = tick;  // first attempt starts on the next advanced tick
+  ++stats_.requested;
+  if (metrics_) metrics_->counter("migration.requested").inc();
+  log_.push_back(m);
+  return m.id;
+}
+
+std::optional<std::size_t> MigrationCoordinator::request_move(
+    std::size_t shard, NodeId dst, std::uint64_t tick) {
+  if (shard >= space_.max_shards())
+    throw std::out_of_range("MigrationCoordinator::request_move: bad shard");
+  if (dst >= cluster_.num_nodes())
+    throw std::out_of_range("MigrationCoordinator::request_move: bad node");
+  const auto refuse = [this](std::uint64_t& bucket) {
+    ++bucket;
+    if (metrics_) metrics_->counter("migration.refused").inc();
+    return std::nullopt;
+  };
+  if (in_flight() >= config_.max_concurrent)
+    return refuse(stats_.refused_budget);
+  for (const Migration& m : log_)
+    if (m.phase != MigrationPhase::kDone &&
+        m.phase != MigrationPhase::kFailed &&
+        (m.shard == shard || m.counterpart == shard))
+      return refuse(stats_.refused_duplicate);
+  if (!directory_.shard_active(shard)) return refuse(stats_.refused_inactive);
+  const NodeId holder = holder_now(directory_, shard, tick);
+  if (holder == kNone) return refuse(stats_.refused_inactive);
+  if (holder == dst) return refuse(stats_.refused_duplicate);
+  // The eligibility gate: a destination that is down, placement-lost, or
+  // vetoed (scrub-quarantined mid-repair) is refused up front — migrating
+  // authority onto known-bad state is never acceptable, and the request
+  // can simply be retried after the repair completes.
+  if (!directory_.node_lease_eligible(dst))
+    return refuse(stats_.refused_ineligible);
+  Migration m;
+  m.kind = MigrationKind::kMove;
+  m.shard = shard;
+  m.counterpart = shard;
+  m.src = holder;
+  m.dst = dst;
+  return enqueue(m, tick);
+}
+
+std::optional<std::size_t> MigrationCoordinator::request_split(
+    std::size_t shard, std::uint64_t tick) {
+  if (shard >= space_.max_shards())
+    throw std::out_of_range("MigrationCoordinator::request_split: bad shard");
+  const auto refuse = [this](std::uint64_t& bucket) {
+    ++bucket;
+    if (metrics_) metrics_->counter("migration.refused").inc();
+    return std::nullopt;
+  };
+  if (in_flight() >= config_.max_concurrent)
+    return refuse(stats_.refused_budget);
+  for (const Migration& m : log_)
+    if (m.phase != MigrationPhase::kDone &&
+        m.phase != MigrationPhase::kFailed &&
+        (m.shard == shard || m.counterpart == shard))
+      return refuse(stats_.refused_duplicate);
+  if (!directory_.shard_active(shard) ||
+      holder_now(directory_, shard, tick) == kNone ||
+      space_.quanta_count(shard) < 2 ||
+      space_.active_shards() >= space_.max_shards())
+    return refuse(stats_.refused_inactive);
+  Migration m;
+  m.kind = MigrationKind::kSplit;
+  m.shard = shard;
+  m.counterpart = shard;  // real id assigned at commit
+  return enqueue(m, tick);
+}
+
+std::optional<std::size_t> MigrationCoordinator::request_merge(
+    std::size_t from, std::size_t into, std::uint64_t tick) {
+  if (from >= space_.max_shards() || into >= space_.max_shards())
+    throw std::out_of_range("MigrationCoordinator::request_merge: bad shard");
+  const auto refuse = [this](std::uint64_t& bucket) {
+    ++bucket;
+    if (metrics_) metrics_->counter("migration.refused").inc();
+    return std::nullopt;
+  };
+  if (from == into) return refuse(stats_.refused_duplicate);
+  if (in_flight() >= config_.max_concurrent)
+    return refuse(stats_.refused_budget);
+  for (const Migration& m : log_)
+    if (m.phase != MigrationPhase::kDone &&
+        m.phase != MigrationPhase::kFailed &&
+        (m.shard == from || m.counterpart == from || m.shard == into ||
+         m.counterpart == into))
+      return refuse(stats_.refused_duplicate);
+  if (!directory_.shard_active(from) || !directory_.shard_active(into) ||
+      holder_now(directory_, from, tick) == kNone ||
+      holder_now(directory_, into, tick) == kNone)
+    return refuse(stats_.refused_inactive);
+  Migration m;
+  m.kind = MigrationKind::kMerge;
+  m.shard = from;
+  m.counterpart = into;
+  return enqueue(m, tick);
+}
+
+std::string MigrationCoordinator::frame_payload(const Migration& m,
+                                                std::size_t index) const {
+  // Deterministic filler bytes unique to (migration, frame), so a flipped
+  // byte anywhere is a real content change the CRC must catch.
+  std::string out;
+  out.reserve(config_.frame_payload_bytes + 8);
+  SplitMix64 g(0xF1A9D00DULL ^
+               (m.id * 1000003ULL + index) * 0x9e3779b97f4a7c15ULL);
+  while (out.size() < config_.frame_payload_bytes) {
+    std::uint64_t w = g.next();
+    for (int b = 0; b < 8; ++b) {
+      out.push_back(static_cast<char>(w & 0xff));
+      w >>= 8;
+    }
+  }
+  out.resize(config_.frame_payload_bytes);
+  return out;
+}
+
+bool MigrationCoordinator::start_attempt(Migration& m, std::uint64_t tick) {
+  if (m.attempts > 0) {
+    ++stats_.retries;
+    if (metrics_) metrics_->counter("migration.retries").inc();
+  }
+  ++m.attempts;
+  ++stats_.started;
+  if (metrics_) metrics_->counter("migration.started").inc();
+  m.frames_done = 0;
+  m.attempt_bytes = 0;
+  m.catchup_requested = false;
+  m.source_fenced = false;
+  const std::size_t frames =
+      (config_.state_bytes + config_.frame_payload_bytes - 1) /
+      config_.frame_payload_bytes;
+  switch (m.kind) {
+    case MigrationKind::kMove: {
+      if (!directory_.shard_active(m.shard)) {
+        abort_attempt(m, tick, "shard_inactive");
+        return false;
+      }
+      const NodeId holder = holder_now(directory_, m.shard, tick);
+      if (holder == m.dst) {
+        // A previous attempt's slow path already landed the lease on the
+        // destination while we backed off — go straight to finalize.
+        m.phase = MigrationPhase::kCommitting;
+        m.phase_deadline = tick + config_.commit_timeout_ticks;
+        return true;
+      }
+      if (holder == kNone) {
+        abort_attempt(m, tick, "unheld");
+        return false;
+      }
+      if (!dst_usable(m)) {
+        abort_attempt(m, tick, "dst_unusable");
+        return false;
+      }
+      m.src = holder;
+      m.old_epoch = directory_.lease(m.shard).epoch;
+      m.frames_total = frames;
+      m.phase = MigrationPhase::kPreparing;
+      m.phase_deadline = tick + config_.prepare_timeout_ticks;
+      return true;
+    }
+    case MigrationKind::kSplit: {
+      const NodeId holder = holder_now(directory_, m.shard, tick);
+      if (holder == kNone) {
+        abort_attempt(m, tick, "unheld");
+        return false;
+      }
+      m.src = holder;
+      m.dst = holder;
+      m.old_epoch = directory_.lease(m.shard).epoch;
+      m.frames_total = 0;  // the holder already has the state
+      m.phase = MigrationPhase::kCommitting;
+      m.phase_deadline = tick + config_.commit_timeout_ticks;
+      return true;
+    }
+    case MigrationKind::kMerge: {
+      const NodeId from_holder = holder_now(directory_, m.shard, tick);
+      const NodeId into_holder = holder_now(directory_, m.counterpart, tick);
+      if (from_holder == kNone || into_holder == kNone) {
+        abort_attempt(m, tick, "unheld");
+        return false;
+      }
+      m.src = from_holder;
+      m.dst = into_holder;
+      m.old_epoch = directory_.lease(m.shard).epoch;
+      m.frames_total = from_holder == into_holder ? 0 : frames;
+      if (m.frames_total > 0) {
+        m.phase = MigrationPhase::kPreparing;
+        m.phase_deadline = tick + config_.prepare_timeout_ticks;
+      } else {
+        m.phase = MigrationPhase::kCommitting;
+        m.phase_deadline = tick + config_.commit_timeout_ticks;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void MigrationCoordinator::abort_attempt(Migration& m, std::uint64_t tick,
+                                         const char* reason) {
+  ++stats_.aborted;
+  if (metrics_) metrics_->counter("migration.aborted").inc();
+  if (tracer_)
+    tracer_->event("migration", reason, static_cast<std::int64_t>(m.shard));
+  // Roll back this attempt's routing hints; a fenced source is restored by
+  // the listeners (they hold the per-node cached-lease state).
+  if (m.kind == MigrationKind::kMove)
+    directory_.set_preferred_holder(m.shard, kNone);
+  if (m.attempts >= config_.retry_budget) {
+    m.phase = MigrationPhase::kFailed;
+    ++stats_.failed;
+    if (metrics_) metrics_->counter("migration.failed").inc();
+  } else {
+    m.phase = MigrationPhase::kBackoff;
+    m.retry_at = tick + config_.retry_backoff_ticks;
+  }
+  for (auto* listener : listeners_) listener->on_aborted(m, tick);
+  m.source_fenced = false;
+}
+
+void MigrationCoordinator::finalize(Migration& m, std::uint64_t tick) {
+  const std::string& table = directory_.table();
+  switch (m.kind) {
+    case MigrationKind::kMove:
+      authority_.set_primary_override(table, m.shard, m.dst);
+      directory_.set_preferred_holder(m.shard, kNone);
+      m.new_epoch = directory_.lease(m.shard).epoch;
+      break;
+    case MigrationKind::kSplit:
+      m.new_epoch = directory_.lease(m.shard).epoch;
+      break;
+    case MigrationKind::kMerge:
+      m.new_epoch = directory_.lease(m.counterpart).epoch;
+      break;
+  }
+  m.phase = MigrationPhase::kDone;
+  m.committed_at = tick;
+  ++stats_.committed;
+  if (metrics_) metrics_->counter("migration.committed").inc();
+  if (tracer_)
+    tracer_->span_event("shard_migrate",
+                        static_cast<double>(tick - m.requested_at),
+                        to_string(m.kind), m.attempt_bytes,
+                        static_cast<std::int64_t>(m.dst));
+  for (auto* listener : listeners_) listener->on_committed(m, tick);
+}
+
+void MigrationCoordinator::step_prepare(Migration& m, std::uint64_t tick) {
+  if (!dst_usable(m)) {
+    abort_attempt(m, tick, "dst_lost");
+    return;
+  }
+  if (cluster_.node_is_down(m.src)) {
+    abort_attempt(m, tick, "src_down");
+    return;
+  }
+  // The lease must stay where the plan says while we ship: a moved lease
+  // means another authority took over and this plan is stale.
+  if (holder_now(directory_, m.shard, tick) != m.src) {
+    abort_attempt(m, tick, "src_lost_lease");
+    return;
+  }
+  if (m.kind == MigrationKind::kMerge &&
+      holder_now(directory_, m.counterpart, tick) != m.dst) {
+    abort_attempt(m, tick, "dst_lost_lease");
+    return;
+  }
+  for (std::size_t k = 0;
+       k < config_.frames_per_tick && m.frames_done < m.frames_total; ++k) {
+    const std::string encoded =
+        recovery::encode_frame(frame_payload(m, m.frames_done));
+    const SendOutcome leg =
+        cluster_.network().try_send(m.src, m.dst, encoded.size());
+    if (!leg.delivered) {
+      // Dropped on the wire: resend the same frame next tick (pacing
+      // budget for this tick is spent waiting).
+      ++stats_.frames_dropped;
+      if (metrics_) metrics_->counter("migration.frames_dropped").inc();
+      break;
+    }
+    std::string durable = encoded;
+    // Chaos migration-window fault: wire corruption of the frame body.
+    if (config_.frame_corrupt_probability > 0.0 &&
+        corrupt_rng_.bernoulli(config_.frame_corrupt_probability))
+      durable[durable.size() / 2] =
+          static_cast<char>(durable[durable.size() / 2] ^ 0x40);
+    // The destination's durable write goes through the storage-fault
+    // model, then is read-back verified: a lying medium is caught here,
+    // not at serve time.
+    if (storage_) {
+      const WriteFault wf = storage_->on_durable_write(m.dst, durable.size());
+      if (wf.lost)
+        durable.clear();
+      else if (wf.torn)
+        durable.resize(std::min(wf.keep_bytes, durable.size()));
+      else if (wf.flipped && wf.flip_offset < durable.size())
+        durable[wf.flip_offset] = static_cast<char>(
+            durable[wf.flip_offset] ^ wf.flip_mask);
+    }
+    const recovery::FrameView view = recovery::decode_frame(durable, 0, true);
+    if (view.status != recovery::FrameStatus::kOk) {
+      ++stats_.frames_corrupt;
+      if (metrics_) metrics_->counter("migration.frames_corrupt").inc();
+      abort_attempt(m, tick, "frame_corrupt");
+      return;
+    }
+    ++m.frames_done;
+    m.attempt_bytes += encoded.size();
+    ++stats_.frames_shipped;
+    stats_.bytes_shipped += encoded.size();
+    if (metrics_) {
+      metrics_->counter("migration.frames_shipped").inc();
+      metrics_->counter("migration.bytes_shipped").inc(encoded.size());
+    }
+  }
+  if (m.frames_done >= m.frames_total) {
+    if (replicas_ && !m.catchup_requested) {
+      m.catchup_requested = true;
+      if (replicas_->request_catchup(m.dst)) {
+        ++stats_.catchups_requested;
+        if (metrics_) metrics_->counter("migration.catchups").inc();
+      }
+    }
+    // Slow-path insurance, installed before COMMIT: if the source becomes
+    // unreachable now, the destination still wins the post-expiry grant.
+    if (m.kind == MigrationKind::kMove)
+      directory_.set_preferred_holder(m.shard, m.dst);
+    m.phase = MigrationPhase::kCommitting;
+    m.phase_deadline = tick + config_.commit_timeout_ticks;
+    return;
+  }
+  if (tick >= m.phase_deadline) abort_attempt(m, tick, "prepare_timeout");
+}
+
+void MigrationCoordinator::step_commit(Migration& m, std::uint64_t tick) {
+  switch (m.kind) {
+    case MigrationKind::kMove: {
+      const NodeId holder = holder_now(directory_, m.shard, tick);
+      if (holder == m.dst) {
+        // Either our handoff below landed on an earlier tick, or the slow
+        // path did: the preferred destination won the post-expiry grant.
+        ++stats_.expiry_grants;
+        if (metrics_) metrics_->counter("migration.expiry_grants").inc();
+        finalize(m, tick);
+        return;
+      }
+      if (holder != kNone && holder != m.src) {
+        abort_attempt(m, tick, "holder_moved");
+        return;
+      }
+      if (!dst_usable(m)) {
+        abort_attempt(m, tick, "dst_lost");
+        return;
+      }
+      if (holder == m.src && !cluster_.node_is_down(m.src)) {
+        // Fast path: destination asks the source to fence itself. Only a
+        // *delivered* consent leg may fence — an undelivered one leaves
+        // the source serving and we wait (or fall to the slow path).
+        const SendOutcome fence = cluster_.network().try_send(
+            m.dst, m.src, config_.control_bytes);
+        if (fence.delivered) {
+          if (!m.source_fenced) {
+            m.source_fenced = true;
+            for (auto* listener : listeners_)
+              listener->on_source_fenced(m, tick);
+          }
+          // Same serial step as the fence: the source has stopped serving
+          // before the epoch moves, so no instant exists with two active
+          // holders.
+          if (directory_.handoff(m.shard, m.dst, tick)) {
+            ++stats_.fast_handoffs;
+            if (metrics_) metrics_->counter("migration.fast_handoffs").inc();
+            finalize(m, tick);
+            return;
+          }
+        }
+      }
+      // holder == kNone: lease expired with the destination preferred —
+      // the slow path is in motion; wait for the grant.
+      if (tick >= m.phase_deadline) abort_attempt(m, tick, "commit_timeout");
+      return;
+    }
+    case MigrationKind::kSplit: {
+      const NodeId holder = holder_now(directory_, m.shard, tick);
+      if (holder != m.src) {
+        abort_attempt(m, tick, "src_lost_lease");
+        return;
+      }
+      // The holder must apply the new quantum map atomically with the
+      // split; the control leg models the coordinator telling it to.
+      bool delivered = config_.coordinator_node == m.src;
+      if (!delivered)
+        delivered = cluster_.network()
+                        .try_send(config_.coordinator_node, m.src,
+                                  config_.control_bytes)
+                        .delivered;
+      if (!delivered) {
+        if (tick >= m.phase_deadline) abort_attempt(m, tick, "commit_timeout");
+        return;
+      }
+      const std::optional<std::size_t> fresh = space_.split(m.shard);
+      if (!fresh) {
+        // Headroom raced away (another split landed first): terminal, not
+        // retryable — the budget cannot restore capacity.
+        m.attempts = config_.retry_budget;
+        abort_attempt(m, tick, "no_headroom");
+        return;
+      }
+      m.counterpart = *fresh;
+      directory_.set_shard_active(*fresh, true);
+      // The parent's holder keeps serving both halves until the new
+      // shard's lease lands — it is preferred *and* pinned, so the grant
+      // and placement both point at the node that already has the state.
+      directory_.set_preferred_holder(*fresh, m.src);
+      authority_.set_primary_override(directory_.table(), *fresh, m.src);
+      ++stats_.splits_committed;
+      if (metrics_) metrics_->counter("migration.splits").inc();
+      finalize(m, tick);
+      return;
+    }
+    case MigrationKind::kMerge: {
+      const NodeId from_holder = holder_now(directory_, m.shard, tick);
+      const NodeId into_holder = holder_now(directory_, m.counterpart, tick);
+      if (from_holder != m.src || into_holder != m.dst) {
+        abort_attempt(m, tick, "holder_moved");
+        return;
+      }
+      if (m.src != m.dst) {
+        const SendOutcome fence = cluster_.network().try_send(
+            m.dst, m.src, config_.control_bytes);
+        if (!fence.delivered) {
+          if (tick >= m.phase_deadline)
+            abort_attempt(m, tick, "commit_timeout");
+          return;
+        }
+        if (!m.source_fenced) {
+          m.source_fenced = true;
+          for (auto* listener : listeners_) listener->on_source_fenced(m, tick);
+        }
+      }
+      // Retire the shard in the same serial step the source consented in:
+      // its lease goes inactive (check_serve fences) before any later
+      // query can route to it.
+      space_.merge(m.shard, m.counterpart);
+      directory_.set_shard_active(m.shard, false);
+      directory_.set_preferred_holder(m.shard, kNone);
+      authority_.clear_override(directory_.table(), m.shard);
+      ++stats_.merges_committed;
+      if (metrics_) metrics_->counter("migration.merges").inc();
+      finalize(m, tick);
+      return;
+    }
+  }
+}
+
+void MigrationCoordinator::step(Migration& m, std::uint64_t tick) {
+  switch (m.phase) {
+    case MigrationPhase::kBackoff:
+      if (tick >= m.retry_at) start_attempt(m, tick);
+      return;
+    case MigrationPhase::kPreparing:
+      step_prepare(m, tick);
+      return;
+    case MigrationPhase::kCommitting:
+      step_commit(m, tick);
+      return;
+    case MigrationPhase::kDone:
+    case MigrationPhase::kFailed:
+      return;
+  }
+}
+
+void MigrationCoordinator::advance_to(std::uint64_t tick) {
+  for (std::uint64_t t = last_advanced_ + 1; t <= tick; ++t)
+    for (Migration& m : log_)
+      if (m.phase != MigrationPhase::kDone &&
+          m.phase != MigrationPhase::kFailed)
+        step(m, t);
+  last_advanced_ = std::max(last_advanced_, tick);
+}
+
+}  // namespace sea::placement

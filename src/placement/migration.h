@@ -1,0 +1,233 @@
+// Crash-safe two-phase live shard migration, epoch-fenced end to end.
+//
+// A migration moves a shard's serving authority (and its per-quantum
+// DatalessAgents — the paper's "ship the models, not the data" thesis)
+// from a source to a destination while the source keeps serving:
+//
+//   PREPARE   The destination catches up: the source ships the shard's
+//             durable state as CRC-framed records (recovery/frame.h) over
+//             the fallible network, paced a few frames per tick; each
+//             frame is durably written at the destination through the
+//             StorageFaultModel and read-back verified — a drop stalls the
+//             frame, a torn/flipped/lost write fails the CRC and aborts
+//             the attempt. When replicas are attached, the destination
+//             also runs ModelReplicaSet::request_catchup. The source
+//             serves throughout.
+//   COMMIT    The destination asks the source to fence itself (a control
+//             leg over the fallible network); on delivery the source stops
+//             serving under its cached lease (MigrationListener::
+//             on_source_fenced), and in the same serial step the lease
+//             moves via LeaseDirectory::handoff — a quorum-checked epoch
+//             bump. The old epoch is dead before the new holder serves:
+//             no dual-serve window exists by construction. The placement
+//             override then pins the destination so serving, grants, and
+//             crash rebuilds all agree. If the source is unreachable the
+//             slow path applies: the destination is preferred for the
+//             next natural grant after TTL expiry (safe for the same
+//             reason every expiry-grant is).
+//   ABORT     A destination crash, a partition outlasting the phase
+//             deadline, or a corrupt frame aborts the attempt: state is
+//             rolled back (preference cleared, a fenced source restored
+//             via MigrationListener::on_aborted), and the migration
+//             retries after a backoff on a fresh epoch, under a bounded
+//             retry budget.
+//
+// Splits and merges ride the same machinery: a split fences the holder,
+// rewrites the quantum map (ShardSpace), and activates the new shard id
+// with the holder preferred; a merge ships the retiring shard's state to
+// the surviving holder, fences the retiring holder, and deactivates the
+// id. Everything runs serially on the modelled clock — bit-identical at
+// any SEA_THREADS setting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "fault/storage.h"
+#include "membership/lease.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "placement/authority.h"
+#include "placement/shard_space.h"
+#include "recovery/replica.h"
+
+namespace sea::placement {
+
+enum class MigrationKind : std::uint8_t { kMove, kSplit, kMerge };
+const char* to_string(MigrationKind k) noexcept;
+
+enum class MigrationPhase : std::uint8_t {
+  kPreparing,   ///< shipping CRC frames to the destination
+  kCommitting,  ///< fencing the source / moving the lease
+  kBackoff,     ///< attempt aborted; waiting to retry on a fresh epoch
+  kDone,        ///< committed
+  kFailed,      ///< retry budget exhausted
+};
+const char* to_string(MigrationPhase p) noexcept;
+
+struct MigrationConfig {
+  /// Shard state shipped per migration (modelled bytes) and its framing.
+  std::size_t state_bytes = 32 * 1024;
+  std::size_t frame_payload_bytes = 4096;
+  /// Frames shipped per tick during PREPARE (the pacing that keeps a
+  /// migration from flooding the network it shares with serving).
+  std::size_t frames_per_tick = 4;
+  /// Wire size of fence/abort control legs.
+  std::size_t control_bytes = 96;
+  /// Per-attempt phase deadlines (ticks) and retry policy.
+  std::uint64_t prepare_timeout_ticks = 96;
+  std::uint64_t commit_timeout_ticks = 64;
+  std::uint64_t retry_backoff_ticks = 16;
+  std::size_t retry_budget = 4;  ///< attempts per migration
+  /// In-flight migration budget (the rebalancer's throttle point).
+  std::size_t max_concurrent = 2;
+  /// Chaos: probability an in-flight PREPARE frame is corrupted on the
+  /// wire (ChaosSchedule::migration_frame_corrupt_probability), drawn
+  /// from a dedicated seeded stream.
+  double frame_corrupt_probability = 0.0;
+  std::uint64_t corrupt_seed = 0x519C0;
+  /// The node the coordinator logic runs on (split fence legs originate
+  /// here; node 0 hosts every other coordinator in the stack).
+  NodeId coordinator_node = 0;
+};
+
+struct MigrationStats {
+  std::uint64_t requested = 0;
+  std::uint64_t refused_budget = 0;      ///< max_concurrent reached
+  std::uint64_t refused_duplicate = 0;   ///< shard already migrating
+  std::uint64_t refused_ineligible = 0;  ///< destination vetoed (quarantine)
+  std::uint64_t refused_inactive = 0;    ///< shard inactive or unheld
+  std::uint64_t started = 0;             ///< attempts begun (incl. retries)
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;             ///< attempts rolled back
+  std::uint64_t retries = 0;
+  std::uint64_t failed = 0;              ///< budget exhausted
+  std::uint64_t frames_shipped = 0;      ///< frames durably verified at dst
+  std::uint64_t frames_dropped = 0;      ///< network drops (frame resent)
+  std::uint64_t frames_corrupt = 0;      ///< CRC failures (attempt aborted)
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t catchups_requested = 0;
+  std::uint64_t fast_handoffs = 0;       ///< consented epoch-bump commits
+  std::uint64_t expiry_grants = 0;       ///< slow-path commits via expiry
+  std::uint64_t splits_committed = 0;
+  std::uint64_t merges_committed = 0;
+};
+
+struct Migration {
+  std::size_t id = 0;
+  MigrationKind kind = MigrationKind::kMove;
+  std::size_t shard = 0;        ///< move: the shard; split: parent; merge: retiring shard
+  std::size_t counterpart = 0;  ///< split: new id (set at commit); merge: survivor
+  NodeId src = 0;
+  NodeId dst = 0;
+  MigrationPhase phase = MigrationPhase::kBackoff;
+  std::size_t attempts = 0;
+  std::uint64_t requested_at = 0;
+  std::uint64_t committed_at = 0;
+  std::uint64_t old_epoch = 0;  ///< source's epoch when the attempt started
+  std::uint64_t new_epoch = 0;  ///< destination's epoch after commit
+  // In-flight attempt state.
+  std::size_t frames_total = 0;
+  std::size_t frames_done = 0;
+  std::uint64_t attempt_bytes = 0;
+  std::uint64_t phase_deadline = 0;
+  std::uint64_t retry_at = 0;
+  bool catchup_requested = false;
+  bool source_fenced = false;  ///< fence leg delivered this attempt
+};
+
+/// Observer of migration lifecycle transitions; called synchronously on
+/// the serial advance_to path, in registration order. Serving harnesses
+/// implement this to keep per-node cached state honest: on_source_fenced
+/// MUST make the source stop serving the shard under its cached lease
+/// before the call returns (that ordering is the no-dual-serve argument);
+/// on_aborted restores it; on_committed syncs participants' quantum maps.
+class MigrationListener {
+ public:
+  virtual ~MigrationListener() = default;
+  virtual void on_source_fenced(const Migration&, std::uint64_t) {}
+  virtual void on_committed(const Migration&, std::uint64_t) {}
+  virtual void on_aborted(const Migration&, std::uint64_t) {}
+};
+
+class MigrationCoordinator {
+ public:
+  /// The directory must cover space.max_shards() shards (shard ids are
+  /// shared across the two). Constructor syncs the directory's per-shard
+  /// activity to the space (split headroom starts inactive).
+  MigrationCoordinator(Cluster& cluster, LeaseDirectory& directory,
+                       RingPlacementAuthority& authority, ShardSpace& space,
+                       MigrationConfig config = {});
+
+  /// Optional: replicas catch up at PREPARE completion.
+  void set_replicas(recovery::ModelReplicaSet* replicas) noexcept {
+    replicas_ = replicas;
+  }
+  /// Optional: destination durable writes route through this model (the
+  /// FaultInjector), so storage chaos can corrupt shipped frames.
+  void set_storage_faults(StorageFaultModel* model) noexcept {
+    storage_ = model;
+  }
+  void add_listener(MigrationListener* listener);
+  void remove_listener(MigrationListener* listener);
+  /// migration.* counters plus "shard_migrate" spans. Either may be null.
+  void bind_obs(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// Requests moving `shard` to `dst`. Returns the migration id, or
+  /// nullopt with the refusal counted: in-flight budget reached, shard
+  /// already migrating, shard inactive/unheld, destination down or vetoed
+  /// by the lease eligibility gate (a quarantined replica is refused here
+  /// until its repair completes). Throws std::out_of_range on bad ids.
+  std::optional<std::size_t> request_move(std::size_t shard, NodeId dst,
+                                          std::uint64_t tick);
+  /// Requests splitting `shard` (upper half of its quanta to a fresh id).
+  std::optional<std::size_t> request_split(std::size_t shard,
+                                           std::uint64_t tick);
+  /// Requests merging `from` into `into` (and retiring `from`).
+  std::optional<std::size_t> request_merge(std::size_t from, std::size_t into,
+                                           std::uint64_t tick);
+
+  /// Drives every in-flight migration for each tick in (last, tick], in
+  /// migration-id order. Call after LeaseDirectory::advance_to.
+  void advance_to(std::uint64_t tick);
+
+  std::size_t in_flight() const noexcept;
+  bool idle() const noexcept { return in_flight() == 0; }
+  const MigrationStats& stats() const noexcept { return stats_; }
+  /// Every migration ever requested, by id (in-flight and terminal).
+  const std::vector<Migration>& log() const noexcept { return log_; }
+  const MigrationConfig& config() const noexcept { return config_; }
+
+ private:
+  bool start_attempt(Migration& m, std::uint64_t tick);
+  void step(Migration& m, std::uint64_t tick);
+  void step_prepare(Migration& m, std::uint64_t tick);
+  void step_commit(Migration& m, std::uint64_t tick);
+  void finalize(Migration& m, std::uint64_t tick);
+  void abort_attempt(Migration& m, std::uint64_t tick, const char* reason);
+  bool dst_usable(const Migration& m) const;
+  std::optional<std::size_t> enqueue(Migration m, std::uint64_t tick);
+  std::string frame_payload(const Migration& m, std::size_t index) const;
+
+  Cluster& cluster_;
+  LeaseDirectory& directory_;
+  RingPlacementAuthority& authority_;
+  ShardSpace& space_;
+  MigrationConfig config_;
+  recovery::ModelReplicaSet* replicas_ = nullptr;
+  StorageFaultModel* storage_ = nullptr;
+  std::vector<MigrationListener*> listeners_;
+  std::vector<Migration> log_;
+  Rng corrupt_rng_;
+  std::uint64_t last_advanced_ = 0;
+  MigrationStats stats_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace sea::placement

@@ -1,0 +1,118 @@
+#include "placement/ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace sea::placement {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t shard_key(const std::string& table,
+                        std::size_t shard) noexcept {
+  // table-name bytes, a NUL separator no table name contains, then the
+  // shard id in fixed-width little-endian bytes (string-formatting the
+  // number would make keys 1 and 10 share a digit prefix and cluster).
+  char buf[9];
+  buf[0] = '\0';
+  std::uint64_t s = shard;
+  for (int i = 0; i < 8; ++i) {
+    buf[1 + i] = static_cast<char>(s & 0xff);
+    s >>= 8;
+  }
+  const std::uint64_t h = fnv1a64(table);
+  // Continue the FNV-1a stream over the tail from the table-name hash.
+  std::uint64_t out = h;
+  for (const char c : buf) {
+    out ^= static_cast<unsigned char>(c);
+    out *= 0x100000001b3ULL;
+  }
+  return out;
+}
+
+HashRing::HashRing(std::size_t num_nodes, RingConfig config)
+    : config_(config) {
+  if (num_nodes == 0)
+    throw std::invalid_argument("HashRing: need at least one member");
+  if (config_.vnodes == 0)
+    throw std::invalid_argument("HashRing: vnodes must be > 0");
+  points_.reserve(num_nodes * config_.vnodes);
+  member_.assign(num_nodes, false);
+  for (std::size_t n = 0; n < num_nodes; ++n)
+    add_node(static_cast<NodeId>(n));
+}
+
+void HashRing::insert_points(NodeId node) {
+  // Each member's points come from its own SplitMix64 stream, so a
+  // member's positions depend only on (seed, node id) — never on join
+  // order or current membership.
+  SplitMix64 stream(config_.seed ^
+                    (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(node) + 1)));
+  for (std::size_t v = 0; v < config_.vnodes; ++v)
+    points_.push_back(Point{stream.next(), node});
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+  });
+}
+
+void HashRing::add_node(NodeId node) {
+  if (node >= member_.size()) member_.resize(node + 1, false);
+  if (member_[node])
+    throw std::invalid_argument("HashRing::add_node: node " +
+                                std::to_string(node) + " already a member");
+  member_[node] = true;
+  ++num_members_;
+  insert_points(node);
+}
+
+void HashRing::remove_node(NodeId node) {
+  if (!contains(node))
+    throw std::invalid_argument("HashRing::remove_node: node " +
+                                std::to_string(node) + " is not a member");
+  if (num_members_ == 1)
+    throw std::invalid_argument(
+        "HashRing::remove_node: cannot remove the last member");
+  member_[node] = false;
+  --num_members_;
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [node](const Point& p) {
+                                 return p.node == node;
+                               }),
+                points_.end());
+}
+
+std::vector<NodeId> HashRing::walk(std::uint64_t key) const {
+  std::vector<NodeId> order;
+  order.reserve(num_members_);
+  std::vector<bool> seen(member_.size(), false);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.hash < k; });
+  const std::size_t start = static_cast<std::size_t>(it - points_.begin());
+  for (std::size_t step = 0;
+       step < points_.size() && order.size() < num_members_; ++step) {
+    const Point& p = points_[(start + step) % points_.size()];
+    if (seen[p.node]) continue;
+    seen[p.node] = true;
+    order.push_back(p.node);
+  }
+  return order;
+}
+
+NodeId HashRing::holder(std::uint64_t key, std::size_t r) const {
+  if (r >= num_members_)
+    throw std::out_of_range("HashRing::holder: rank " + std::to_string(r) +
+                            " on a ring of " + std::to_string(num_members_) +
+                            " members");
+  return walk(key)[r];
+}
+
+}  // namespace sea::placement

@@ -1,0 +1,84 @@
+// Consistent-hash ring with virtual nodes, deterministic from a seed.
+//
+// This is the placement substrate for elastic sharding (ROADMAP item 1,
+// the paper's RT1.5/E10 thesis): shard keys and node membership both hash
+// onto one 64-bit circle, each member contributing `vnodes` points so load
+// spreads evenly; a shard's replica holders are the first distinct members
+// met walking clockwise from its key. Adding or removing one node moves
+// only the ~1/N of keys adjacent to its points — the property that makes
+// elastic scale-out cheap, where static (shard + r) % N placement reshards
+// everything.
+//
+// Everything is a pure function of (seed, member set): no OS entropy, no
+// std::hash (implementation-defined), so placement is bit-identical across
+// hosts, runs, and SEA_THREADS settings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/network.h"
+
+namespace sea::placement {
+
+/// FNV-1a 64-bit over raw bytes: the stable key hash (never std::hash,
+/// whose value is implementation-defined and would break cross-host
+/// determinism).
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// The stable 64-bit ring key for `shard` of `table`.
+std::uint64_t shard_key(const std::string& table, std::size_t shard) noexcept;
+
+struct RingConfig {
+  /// Seed the virtual-node point positions derive from (SplitMix64
+  /// streams per member).
+  std::uint64_t seed = 0x51EA9;
+  /// Virtual points per member; more points = smoother balance at the
+  /// cost of a larger (still tiny) sorted point table.
+  std::size_t vnodes = 64;
+};
+
+class HashRing {
+ public:
+  /// A ring with members {0, .., num_nodes - 1}.
+  HashRing(std::size_t num_nodes, RingConfig config = {});
+
+  std::size_t num_members() const noexcept { return num_members_; }
+  bool contains(NodeId node) const noexcept {
+    return node < member_.size() && member_[node];
+  }
+  const RingConfig& config() const noexcept { return config_; }
+
+  /// Adds a member (its points land where the seed says, regardless of
+  /// join order). Throws std::invalid_argument if already present.
+  void add_node(NodeId node);
+  /// Removes a member. Throws std::invalid_argument when absent or when it
+  /// is the last member (an empty ring places nothing).
+  void remove_node(NodeId node);
+
+  /// The r-th distinct member met walking clockwise from `key` (r = 0 is
+  /// the primary). For r < num_members() this enumerates a permutation of
+  /// the members; beyond that it throws std::out_of_range.
+  NodeId holder(std::uint64_t key, std::size_t r) const;
+
+  /// The full clockwise permutation of members from `key` (what holder()
+  /// indexes into), materialized once for callers that need every rank.
+  std::vector<NodeId> walk(std::uint64_t key) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    NodeId node;
+  };
+
+  void insert_points(NodeId node);
+
+  std::vector<Point> points_;  ///< sorted by (hash, node)
+  std::vector<bool> member_;
+  std::size_t num_members_ = 0;
+  RingConfig config_;
+};
+
+}  // namespace sea::placement

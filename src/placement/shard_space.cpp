@@ -1,0 +1,100 @@
+#include "placement/shard_space.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sea::placement {
+
+ShardSpace::ShardSpace(std::size_t num_quanta, std::size_t initial_shards,
+                       std::size_t max_shards) {
+  if (num_quanta == 0 || initial_shards == 0 || max_shards == 0)
+    throw std::invalid_argument("ShardSpace: counts must be > 0");
+  if (initial_shards > max_shards)
+    throw std::invalid_argument(
+        "ShardSpace: initial_shards exceeds max_shards");
+  if (num_quanta < initial_shards)
+    throw std::invalid_argument(
+        "ShardSpace: fewer quanta than initial shards");
+  quantum_shard_.resize(num_quanta);
+  active_.assign(max_shards, false);
+  count_.assign(max_shards, 0);
+  // Contiguous equal-count deal, so initial shards are balanced.
+  for (std::size_t q = 0; q < num_quanta; ++q) {
+    const auto s =
+        static_cast<std::uint32_t>((q * initial_shards) / num_quanta);
+    quantum_shard_[q] = s;
+    ++count_[s];
+  }
+  for (std::size_t s = 0; s < initial_shards; ++s) active_[s] = true;
+  num_active_ = initial_shards;
+}
+
+bool ShardSpace::active(std::size_t shard) const {
+  if (shard >= active_.size())
+    throw std::out_of_range("ShardSpace::active: shard " +
+                            std::to_string(shard) + " out of range");
+  return active_[shard];
+}
+
+std::uint32_t ShardSpace::shard_of(std::size_t quantum) const {
+  if (quantum >= quantum_shard_.size())
+    throw std::out_of_range("ShardSpace::shard_of: quantum " +
+                            std::to_string(quantum) + " out of range");
+  return quantum_shard_[quantum];
+}
+
+std::size_t ShardSpace::quanta_count(std::size_t shard) const {
+  if (shard >= count_.size())
+    throw std::out_of_range("ShardSpace::quanta_count: shard " +
+                            std::to_string(shard) + " out of range");
+  return count_[shard];
+}
+
+std::optional<std::size_t> ShardSpace::split(std::size_t shard) {
+  if (!active(shard))
+    throw std::invalid_argument("ShardSpace::split: shard " +
+                                std::to_string(shard) + " is inactive");
+  if (count_[shard] < 2) return std::nullopt;
+  std::size_t fresh = active_.size();
+  for (std::size_t s = 0; s < active_.size(); ++s)
+    if (!active_[s]) {
+      fresh = s;
+      break;
+    }
+  if (fresh == active_.size()) return std::nullopt;  // no headroom
+  // The upper half by quantum id moves: a deterministic, order-free rule
+  // (no RNG, no load estimate — the rebalancer decides *which* shard to
+  // split, the space only decides *how*).
+  const std::uint32_t moving = count_[shard] / 2;
+  std::uint32_t kept = count_[shard] - moving;
+  for (std::size_t q = 0; q < quantum_shard_.size(); ++q) {
+    if (quantum_shard_[q] != shard) continue;
+    if (kept > 0) {
+      --kept;
+      continue;
+    }
+    quantum_shard_[q] = static_cast<std::uint32_t>(fresh);
+  }
+  count_[fresh] = moving;
+  count_[shard] -= moving;
+  active_[fresh] = true;
+  ++num_active_;
+  ++version_;
+  return fresh;
+}
+
+void ShardSpace::merge(std::size_t from, std::size_t into) {
+  if (from == into)
+    throw std::invalid_argument("ShardSpace::merge: from == into");
+  if (!active(from) || !active(into))
+    throw std::invalid_argument("ShardSpace::merge: both shards must be active");
+  for (auto& s : quantum_shard_)
+    if (s == from) s = static_cast<std::uint32_t>(into);
+  count_[into] += count_[from];
+  count_[from] = 0;
+  active_[from] = false;
+  --num_active_;
+  ++version_;
+}
+
+}  // namespace sea::placement

@@ -1,0 +1,66 @@
+// Quantum -> shard indirection for online shard split/merge.
+//
+// The key space is cut into a fixed number of *quanta* (the unit a query
+// hashes to; in SEA terms, the per-quantum DatalessAgents). Quanta are
+// grouped into dynamic *shards* — the unit of leases, placement, and
+// migration. Splitting a hot shard moves the upper half of its quanta to
+// a freshly activated shard id; merging folds a cold shard's quanta into a
+// peer and retires the id. Because the quantum count never changes, a
+// split/merge changes only this map — queries keep hashing to the same
+// quantum forever, and the lease directory's shard capacity (max_shards)
+// is fixed up front.
+//
+// The map has a monotonic version; simulations ship (map, version) copies
+// to nodes over the fallible network, so stale routing is modelled exactly
+// like stale lease knowledge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sea::placement {
+
+class ShardSpace {
+ public:
+  /// Quanta 0..num_quanta-1 dealt contiguously into `initial_shards`
+  /// shards; ids initial_shards..max_shards-1 start inactive (split
+  /// headroom). Throws std::invalid_argument on zero counts,
+  /// initial_shards > max_shards, or fewer quanta than shards.
+  ShardSpace(std::size_t num_quanta, std::size_t initial_shards,
+             std::size_t max_shards);
+
+  std::size_t num_quanta() const noexcept { return quantum_shard_.size(); }
+  std::size_t max_shards() const noexcept { return active_.size(); }
+  std::size_t active_shards() const noexcept { return num_active_; }
+  bool active(std::size_t shard) const;
+  std::uint32_t shard_of(std::size_t quantum) const;
+  std::size_t quanta_count(std::size_t shard) const;
+  /// Monotonic map version; bumps on every split/merge. Starts at 1.
+  std::uint64_t version() const noexcept { return version_; }
+  /// The raw quantum -> shard map (for per-node knowledge copies).
+  const std::vector<std::uint32_t>& map() const noexcept {
+    return quantum_shard_;
+  }
+
+  /// Splits `shard`: the upper half of its quanta (by quantum id) move to
+  /// the lowest inactive shard id, which activates. Returns the new id,
+  /// or nullopt when there is no headroom (all max_shards active) or the
+  /// shard has fewer than 2 quanta. Throws std::invalid_argument on an
+  /// inactive shard.
+  std::optional<std::size_t> split(std::size_t shard);
+
+  /// Moves every quantum of `from` onto `into` and deactivates `from`.
+  /// Throws std::invalid_argument when either shard is inactive or they
+  /// are the same.
+  void merge(std::size_t from, std::size_t into);
+
+ private:
+  std::vector<std::uint32_t> quantum_shard_;
+  std::vector<bool> active_;
+  std::vector<std::uint32_t> count_;  ///< quanta per shard
+  std::size_t num_active_ = 0;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace sea::placement

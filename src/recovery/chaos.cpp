@@ -172,6 +172,46 @@ ChaosSchedule make_chaos_schedule(const ChaosConfig& config) {
     }
   }
 
+  // Load-spike windows: harness-side (no FaultPlan entry), but drawn from
+  // the same seeded stream and serialized in the token so a replay sees
+  // the identical offered-load curve. Disjoint horizon segments, like
+  // partitions and stalls.
+  if (config.load_spikes > 0) {
+    if (config.max_spike_ticks < config.min_spike_ticks ||
+        config.min_spike_ticks == 0)
+      throw std::invalid_argument(
+          "make_chaos_schedule: bad load-spike window bounds");
+    if (config.spike_load_multiplier < 1.0)
+      throw std::invalid_argument(
+          "make_chaos_schedule: spike_load_multiplier must be >= 1 (a "
+          "spike cannot shrink the offered load)");
+    const std::uint64_t segment =
+        (config.horizon_ticks - 1) / config.load_spikes;
+    if (segment <= config.max_spike_ticks)
+      throw std::invalid_argument(
+          "make_chaos_schedule: horizon too short for the requested "
+          "load-spike windows (need > max_spike_ticks per window)");
+    for (std::size_t s = 0; s < config.load_spikes; ++s) {
+      const std::uint64_t duration =
+          config.min_spike_ticks +
+          static_cast<std::uint64_t>(rng.uniform_index(
+              config.max_spike_ticks - config.min_spike_ticks + 1));
+      const std::uint64_t seg_start = 1 + s * segment;
+      const std::uint64_t start =
+          seg_start + static_cast<std::uint64_t>(
+                          rng.uniform_index(segment - duration + 1));
+      out.load_spikes.push_back(LoadSpikeWindow{
+          start, start + duration, config.spike_load_multiplier});
+    }
+  }
+  if (config.migration_frame_corrupt_probability < 0.0 ||
+      config.migration_frame_corrupt_probability > 1.0)
+    throw std::invalid_argument(
+        "make_chaos_schedule: migration_frame_corrupt_probability must be "
+        "a probability in [0, 1]");
+  out.migration_frame_corrupt_probability =
+      config.migration_frame_corrupt_probability;
+
   out.plan.validate();
   return out;
 }
@@ -231,7 +271,15 @@ std::string ChaosSchedule::dump_json() const {
        << ",\"start_at\":" << s.start_at << ",\"end_at\":" << s.end_at
        << ",\"multiplier\":" << s.multiplier << "}";
   }
-  os << "]}";
+  os << "],\"load_spikes\":[";
+  for (std::size_t i = 0; i < load_spikes.size(); ++i) {
+    const LoadSpikeWindow& w = load_spikes[i];
+    os << (i ? "," : "") << "{\"start_at\":" << w.start_at
+       << ",\"end_at\":" << w.end_at << ",\"multiplier\":" << w.multiplier
+       << "}";
+  }
+  os << "],\"migration_frame_corrupt\":" << migration_frame_corrupt_probability
+     << "}";
   return os.str();
 }
 
@@ -413,6 +461,28 @@ ChaosSchedule parse_chaos_token(const std::string& token) {
           static_cast<NodeId>(json_need(s, "node").u64()),
           json_need(s, "start_at").u64(), json_need(s, "end_at").u64(),
           json_need(s, "multiplier").num});
+  // Pre-placement tokens lack the migration-era sections too.
+  if (const JsonValue* spikes = root.get("load_spikes"))
+    for (const JsonValue& w : spikes->arr) {
+      LoadSpikeWindow win{json_need(w, "start_at").u64(),
+                          json_need(w, "end_at").u64(),
+                          json_need(w, "multiplier").num};
+      if (win.start_at == 0 || win.end_at <= win.start_at)
+        throw std::invalid_argument(
+            "parse_chaos_token: load-spike window must satisfy 0 < "
+            "start_at < end_at");
+      if (win.multiplier < 1.0)
+        throw std::invalid_argument(
+            "parse_chaos_token: load-spike multiplier must be >= 1");
+      out.load_spikes.push_back(win);
+    }
+  if (const JsonValue* corrupt = root.get("migration_frame_corrupt")) {
+    if (corrupt->num < 0.0 || corrupt->num > 1.0)
+      throw std::invalid_argument(
+          "parse_chaos_token: migration_frame_corrupt must be a "
+          "probability in [0, 1]");
+    out.migration_frame_corrupt_probability = corrupt->num;
+  }
 
   out.plan.validate();
   return out;

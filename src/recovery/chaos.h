@@ -74,6 +74,28 @@ struct ChaosConfig {
   std::uint64_t min_stall_ticks = 20;
   std::uint64_t max_stall_ticks = 80;
   double stall_multiplier = 4.0;
+  /// Offered-load spike windows (harness-applied, like load_multiplier:
+  /// the plan itself cannot express load). During a window the harness
+  /// multiplies its per-tick offered load by spike_load_multiplier, on top
+  /// of the base load_multiplier. Windows are drawn inside disjoint, equal
+  /// segments of the horizon like partitions, so spikes never overlap.
+  std::size_t load_spikes = 0;
+  std::uint64_t min_spike_ticks = 60;
+  std::uint64_t max_spike_ticks = 160;
+  double spike_load_multiplier = 4.0;  ///< must be >= 1 when load_spikes > 0
+  /// Migration-window fault (harness-applied): probability that one
+  /// CRC-framed durable frame shipped by a live-migration PREPARE is
+  /// corrupted in flight. The destination's frame CRC detects it; the
+  /// migration aborts and retries on a fresh epoch under its retry budget.
+  double migration_frame_corrupt_probability = 0.0;
+};
+
+/// One offered-load spike window: [start_at, end_at) ticks at `multiplier`
+/// times the base offered load.
+struct LoadSpikeWindow {
+  std::uint64_t start_at = 0;
+  std::uint64_t end_at = 0;
+  double multiplier = 1.0;
 };
 
 struct ChaosSchedule {
@@ -82,6 +104,17 @@ struct ChaosSchedule {
   std::vector<NodeId> crash_nodes;
   std::vector<NodeId> flap_nodes;
   std::vector<NodeId> grey_nodes;
+  std::vector<LoadSpikeWindow> load_spikes;
+  double migration_frame_corrupt_probability = 0.0;
+
+  /// The offered-load multiplier in force at `tick`: the base
+  /// load_multiplier times any active spike window.
+  double load_at(std::uint64_t tick) const noexcept {
+    double m = load_multiplier;
+    for (const LoadSpikeWindow& w : load_spikes)
+      if (tick >= w.start_at && tick < w.end_at) m *= w.multiplier;
+    return m;
+  }
 
   /// The full derived schedule as single-line JSON (seed, probabilities,
   /// every crash/flap/grey/partition window). Chaos-test failure messages

@@ -17,6 +17,9 @@
 #include "membership/swim.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "placement/authority.h"
+#include "placement/migration.h"
+#include "placement/shard_space.h"
 #include "recovery/chaos.h"
 #include "recovery/checkpoint.h"
 #include "recovery/digest.h"
@@ -728,6 +731,73 @@ TEST_F(IntegrityFixture, QuarantinedNodeCannotWinALease) {
   inj.detach(cluster);
 }
 
+TEST_F(IntegrityFixture, QuarantinedReplicaRefusesMigrationUntilRepaired) {
+  // End-to-end gate -> placement integration (PR10 satellite): a live
+  // migration must never target a scrub-quarantined replica. The
+  // coordinator consults the directory's eligibility veto at request
+  // time, so the move is a typed refusal while the quarantine holds and
+  // the identical request commits once the repair completes.
+  Cluster cluster(3, Network::single_zone(3));
+  FaultPlan plan;
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  GossipMembership gm(cluster);
+  placement::RingPlacementAuthority authority(3);
+  cluster.set_placement_authority(&authority);
+  placement::ShardSpace space(16, 2, 2);
+  LeaseDirectory dir(cluster, gm, "t", 2);
+  placement::MigrationCoordinator mig(cluster, dir, authority, space);
+
+  ReplicaSetConfig cfg = base_config({0, 1});
+  cfg.checkpoint_interval_ms = 0.0;
+  cfg.verify_checksums = false;
+  ModelReplicaSet rs(cfg, domain());
+  const QuarantineLeaseGate gate(rs);
+  dir.set_eligibility(&gate);
+
+  ScriptedStorage faults;
+  faults.target = 0;
+  faults.flip_answer_byte = true;
+  rs.set_storage_faults(&faults);
+  feed(rs, stream(30));
+  rs.set_storage_faults(nullptr);
+  rs.on_crash(0, 0);
+  rs.on_restart(0, 0);
+  rs.settle();
+  ASSERT_TRUE(rs.replica_tainted(0));
+  rs.scrub_now();
+  ASSERT_TRUE(rs.quarantined(0));
+
+  const auto drive_to = [&](std::uint64_t tick) {
+    while (inj.now() < tick) {
+      inj.tick(cluster);
+      gm.advance_to(inj.now());
+      dir.advance_to(inj.now());
+      mig.advance_to(inj.now());
+    }
+  };
+  drive_to(20);
+  // The gate kept node 0 from winning either shard's lease, so there is a
+  // shard held elsewhere to aim at the quarantined destination.
+  const NodeId holder = dir.lease(0).holder;
+  ASSERT_NE(holder, ShardLeaseRouter::kNoLeaseHolder);
+  ASSERT_NE(holder, 0u);
+  EXPECT_FALSE(mig.request_move(0, 0, inj.now()).has_value());
+  EXPECT_EQ(mig.stats().refused_ineligible, 1u);
+  EXPECT_EQ(dir.lease(0).holder, holder);
+
+  // Repair completes: the same move is accepted and commits normally.
+  rs.settle();
+  ASSERT_FALSE(rs.quarantined(0));
+  ASSERT_TRUE(mig.request_move(0, 0, inj.now()).has_value());
+  drive_to(80);
+  EXPECT_EQ(mig.stats().committed, 1u);
+  EXPECT_EQ(dir.lease(0).holder, 0u);
+  EXPECT_EQ(authority.primary_override("t", 0), 0u);
+  cluster.set_placement_authority(nullptr);
+  inj.detach(cluster);
+}
+
 TEST_F(IntegrityFixture, ScrubRebuildsCorruptDurableStateProactively) {
   // Verification ON, no crash: memory is clean but the durable log rots
   // (flipped answers). The scrub's durable CRC walk finds the bad frames
@@ -881,6 +951,13 @@ ChaosConfig storm_config() {
   cc.lost_flush_probability = 0.02;
   cc.storage_stalls = 2;
   cc.stall_multiplier = 3.0;
+  // Elastic-migration fault knobs (PR10): load-spike windows and in-flight
+  // migration-frame corruption ride in the same repro token.
+  cc.load_spikes = 1;
+  cc.min_spike_ticks = 40;
+  cc.max_spike_ticks = 80;
+  cc.spike_load_multiplier = 2.5;
+  cc.migration_frame_corrupt_probability = 0.07;
   return cc;
 }
 
@@ -903,6 +980,8 @@ TEST(ChaosToken, DumpParsesBackToTheIdenticalSchedule) {
   const std::string token = s.dump_json();
   EXPECT_NE(token.find("\"storage\":["), std::string::npos);
   EXPECT_NE(token.find("\"stalls\":["), std::string::npos);
+  EXPECT_NE(token.find("\"load_spikes\":["), std::string::npos);
+  EXPECT_NE(token.find("\"migration_frame_corrupt\":"), std::string::npos);
 
   const ChaosSchedule parsed = parse_chaos_token(token);
   // Byte-identical re-dump: the token is a complete, lossless repro.
@@ -922,12 +1001,46 @@ TEST(ChaosToken, DumpParsesBackToTheIdenticalSchedule) {
             s.plan.storage_stalls.size());
   EXPECT_EQ(parsed.plan.storage_stalls[0].end_at,
             s.plan.storage_stalls[0].end_at);
+  // The migration-fault knobs survive the round trip losslessly.
+  ASSERT_EQ(parsed.load_spikes.size(), s.load_spikes.size());
+  ASSERT_FALSE(parsed.load_spikes.empty());
+  EXPECT_EQ(parsed.load_spikes[0].start_at, s.load_spikes[0].start_at);
+  EXPECT_EQ(parsed.load_spikes[0].end_at, s.load_spikes[0].end_at);
+  EXPECT_EQ(parsed.load_spikes[0].multiplier, s.load_spikes[0].multiplier);
+  EXPECT_EQ(parsed.migration_frame_corrupt_probability,
+            s.migration_frame_corrupt_probability);
 
   // Malformed tokens are typed rejections, never silent fallbacks.
   EXPECT_THROW(parse_chaos_token("{"), std::invalid_argument);
   EXPECT_THROW(parse_chaos_token("{}"), std::invalid_argument);
   EXPECT_THROW(parse_chaos_token(token + "x"), std::invalid_argument);
   EXPECT_THROW(parse_chaos_token("{\"seed\":1}"), std::invalid_argument);
+}
+
+TEST(ChaosToken, MalformedMigrationKnobsAreRejected) {
+  const std::string token = make_chaos_schedule(storm_config()).dump_json();
+  const auto mutate = [&token](const std::string& from,
+                               const std::string& to) {
+    std::string t = token;
+    const std::size_t at = t.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    t.replace(at, from.size(), to);
+    return t;
+  };
+  // An inverted spike window (end <= start) must not parse.
+  EXPECT_THROW(
+      parse_chaos_token(mutate("\"load_spikes\":[{\"start_at\":",
+                               "\"load_spikes\":[{\"start_at\":999999")),
+      std::invalid_argument);
+  // A spike that shrinks load is a schedule bug, not a quiet clamp.
+  EXPECT_THROW(
+      parse_chaos_token(mutate("\"multiplier\":2.5", "\"multiplier\":0.5")),
+      std::invalid_argument);
+  // A corruption probability outside [0, 1] is a typed rejection.
+  EXPECT_THROW(
+      parse_chaos_token(mutate("\"migration_frame_corrupt\":",
+                               "\"migration_frame_corrupt\":1.5,\"was\":")),
+      std::invalid_argument);
 }
 
 TEST(ChaosToken, EnvLoaderPinsTheExactSchedule) {

@@ -338,6 +338,153 @@ TEST(LeaseDirectory, MinorityHolderExpiresBeforeMajorityRegrant) {
   inj.detach(cluster);
 }
 
+TEST(LeaseDirectory, HandoffBumpsEpochMovesHolderAndFiresListeners) {
+  // The consented-transfer primitive live migration commits through: the
+  // holder hands its lease to a named target mid-TTL. Epoch bumps exactly
+  // once, the fresh TTL starts at the handoff tick, and transfer
+  // listeners hear the move like any other.
+  Cluster cluster(4, Network::single_zone(4));
+  FaultPlan plan;
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  GossipMembership gm(cluster);
+  LeaseDirectory dir(cluster, gm, "t", 2);
+  struct Recorder final : LeaseTransferListener {
+    std::vector<std::tuple<std::size_t, NodeId, NodeId, std::uint64_t>> moves;
+    void on_lease_transfer(const std::string&, std::size_t shard,
+                           NodeId new_holder, NodeId old_holder,
+                           std::uint64_t epoch, std::uint64_t) override {
+      moves.emplace_back(shard, new_holder, old_holder, epoch);
+    }
+  } rec;
+  dir.add_transfer_listener(&rec);
+  drive(cluster, inj, gm, &dir, 20);
+  const NodeId holder = dir.lease(0).holder;
+  const std::uint64_t old_epoch = dir.lease(0).epoch;
+  const NodeId target = static_cast<NodeId>((holder + 1) % 4);
+  ASSERT_TRUE(dir.handoff(0, target, dir.now()));
+  const ShardLease& l = dir.lease(0);
+  EXPECT_EQ(l.holder, target);
+  EXPECT_EQ(l.epoch, old_epoch + 1);
+  EXPECT_EQ(l.granted_at, dir.now());
+  EXPECT_EQ(l.expires_at, dir.now() + LeaseConfig{}.lease_ttl_ticks);
+  EXPECT_EQ(dir.stats().handoffs, 1u);
+  EXPECT_EQ(dir.stats().handoff_failures, 0u);
+  // The old holder is fenced instantly; the new one serves.
+  EXPECT_THROW(dir.check_serve("t", 0, holder, dir.now()), StaleEpoch);
+  EXPECT_NO_THROW(dir.check_serve("t", 0, target, dir.now()));
+  // Listeners: the two initial grants, then the handoff move.
+  ASSERT_EQ(rec.moves.size(), 3u);
+  EXPECT_EQ(std::get<0>(rec.moves[2]), 0u);
+  EXPECT_EQ(std::get<1>(rec.moves[2]), target);
+  EXPECT_EQ(std::get<2>(rec.moves[2]), holder);
+  EXPECT_EQ(std::get<3>(rec.moves[2]), old_epoch + 1);
+  // The new holder renews in place — no flap-back, no further moves.
+  drive(cluster, inj, gm, &dir, 120);
+  EXPECT_EQ(dir.lease(0).holder, target);
+  EXPECT_EQ(dir.lease(0).epoch, old_epoch + 1);
+  EXPECT_EQ(rec.moves.size(), 3u);
+  dir.remove_transfer_listener(&rec);
+  inj.detach(cluster);
+}
+
+TEST(LeaseDirectory, HandoffRefusalsAreCountedAndLeaveTheLeaseUntouched) {
+  Cluster cluster(4, Network::single_zone(4));
+  FaultPlan plan;
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  GossipMembership gm(cluster);
+  LeaseDirectory dir(cluster, gm, "t", 2);
+  drive(cluster, inj, gm, &dir, 20);
+  const ShardLease before = dir.lease(0);
+  const NodeId other = static_cast<NodeId>((before.holder + 1) % 4);
+  // Self-handoff, out-of-range target, down target, vetoed target, and an
+  // inactive shard: each refusal is counted, none touches the lease.
+  EXPECT_FALSE(dir.handoff(0, before.holder, dir.now()));
+  EXPECT_FALSE(dir.handoff(0, 9, dir.now()));
+  cluster.set_node_down(other, true);
+  EXPECT_FALSE(dir.handoff(0, other, dir.now()));
+  cluster.set_node_down(other, false);
+  struct VetoAll final : LeaseEligibility {
+    bool lease_eligible(NodeId) const override { return false; }
+  } veto;
+  dir.set_eligibility(&veto);
+  EXPECT_FALSE(dir.handoff(0, other, dir.now()));
+  dir.set_eligibility(nullptr);
+  dir.set_shard_active(1, false);
+  EXPECT_FALSE(dir.handoff(1, other, dir.now()));
+  dir.set_shard_active(1, true);
+  EXPECT_EQ(dir.stats().handoff_failures, 5u);
+  EXPECT_EQ(dir.stats().handoffs, 0u);
+  const ShardLease& after = dir.lease(0);
+  EXPECT_EQ(after.holder, before.holder);
+  EXPECT_EQ(after.epoch, before.epoch);
+  EXPECT_EQ(after.expires_at, before.expires_at);
+  inj.detach(cluster);
+}
+
+TEST(LeaseDirectory, HandoffToMinorityTargetIsQuorumDenied) {
+  // The handoff is still a quorum decision, initiated by the *target*: a
+  // destination cut off with only a minority cannot take the lease even
+  // with the holder's consent — otherwise a migration could move
+  // authority INTO the unreachable side of a partition.
+  Cluster cluster(5, Network::single_zone(5));
+  FaultPlan plan;
+  plan.partitions = {{{3, 4}, false, 0, 10, 300}};
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  GossipMembership gm(cluster);
+  LeaseDirectory dir(cluster, gm, "t", 1);
+  drive(cluster, inj, gm, &dir, 12);
+  ASSERT_EQ(dir.lease(0).holder, 0u);  // majority side
+  const std::uint64_t epoch = dir.lease(0).epoch;
+  EXPECT_FALSE(dir.handoff(0, 4, dir.now()));  // target is minority-side
+  EXPECT_EQ(dir.stats().handoff_failures, 1u);
+  EXPECT_EQ(dir.lease(0).holder, 0u);
+  EXPECT_EQ(dir.lease(0).epoch, epoch);
+  // After the heal the same handoff goes through.
+  drive(cluster, inj, gm, &dir, 320);
+  EXPECT_TRUE(dir.handoff(0, 4, dir.now()));
+  EXPECT_EQ(dir.lease(0).holder, 4u);
+  inj.detach(cluster);
+}
+
+TEST(LeaseDirectory, InactiveShardExpiresFencesAndNeverRegrants) {
+  // Elastic merge retires a shard id: deactivation lets the existing
+  // lease run out, reports no holder meanwhile, fences every would-be
+  // server, and never grants again until reactivation.
+  Cluster cluster(4, Network::single_zone(4));
+  FaultPlan plan;
+  FaultInjector inj(plan);
+  inj.attach(cluster);
+  GossipMembership gm(cluster);
+  LeaseDirectory dir(cluster, gm, "t", 2);
+  drive(cluster, inj, gm, &dir, 20);
+  const NodeId holder = dir.lease(1).holder;
+  const std::uint64_t grants_before = dir.stats().grants;
+  ASSERT_TRUE(dir.shard_active(1));
+  dir.set_shard_active(1, false);
+  EXPECT_FALSE(dir.shard_active(1));
+  // No holder is reported and serving fences — even for the old holder,
+  // even while its (now-orphaned) lease entry is still inside its TTL.
+  EXPECT_EQ(dir.lease_holder("t", 1), ShardLeaseRouter::kNoLeaseHolder);
+  EXPECT_THROW(dir.check_serve("t", 1, holder, dir.now()), StaleEpoch);
+  drive(cluster, inj, gm, &dir, 200);
+  EXPECT_EQ(dir.stats().grants, grants_before);  // never regranted
+  EXPECT_EQ(dir.lease_holder("t", 1), ShardLeaseRouter::kNoLeaseHolder);
+  // The sibling shard is untouched by the retirement.
+  EXPECT_EQ(dir.lease_holder("t", 0), dir.lease(0).holder);
+  // Reactivation (a later split reusing the id) grants fresh, with a
+  // higher epoch than the retired lease ever had.
+  const std::uint64_t retired_epoch = dir.lease(1).epoch;
+  dir.set_shard_active(1, true);
+  drive(cluster, inj, gm, &dir, 240);
+  EXPECT_GT(dir.lease(1).epoch, retired_epoch);
+  EXPECT_NE(dir.lease_holder("t", 1), ShardLeaseRouter::kNoLeaseHolder);
+  EXPECT_TRUE(dir.lease(1).valid_at(dir.now()));
+  inj.detach(cluster);
+}
+
 // ---------------------------------------------------------------------------
 // Lease handoff -> recovery catch-up (src/recovery bridge)
 // ---------------------------------------------------------------------------

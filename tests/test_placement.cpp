@@ -1,0 +1,822 @@
+// Tests: elastic shard placement with crash-safe, epoch-fenced live
+// migration (PR10 tentpole) — the consistent-hash ring and its placement
+// authority, the quantum -> shard space, the two-phase migration protocol
+// under crashes / unreachable sources / corrupt frames / lying storage,
+// the closed-loop rebalancer, and the E20 acceptance scenario: a 100-seed
+// chaos sweep with the rebalancer splitting and moving shards mid-storm
+// where every query is answered-or-accounted, no (shard, epoch) is ever
+// dual-served, no serve happens under a superseded epoch, and the full
+// trace is byte-identical at any SEA_THREADS setting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "fault/fault.h"
+#include "membership/lease.h"
+#include "membership/swim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "placement/authority.h"
+#include "placement/migration.h"
+#include "placement/rebalancer.h"
+#include "placement/ring.h"
+#include "placement/shard_space.h"
+#include "placement/sim.h"
+#include "recovery/chaos.h"
+#include "test_util.h"
+
+namespace sea::placement {
+namespace {
+
+using recovery::ChaosConfig;
+using recovery::ChaosSchedule;
+using recovery::make_chaos_schedule;
+using sea::testing::small_dataset;
+
+constexpr NodeId kNone = ShardLeaseRouter::kNoLeaseHolder;
+
+/// Runs `f` under a fixed worker count and restores serial mode after.
+template <typename F>
+auto with_threads(std::size_t threads, F&& f) {
+  set_configured_threads(threads);
+  auto result = f();
+  set_configured_threads(0);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// HashRing — deterministic consistent hashing
+// ---------------------------------------------------------------------------
+
+TEST(HashRing, WalkIsAPermutationAndDeterministic) {
+  HashRing a(8), b(8);
+  for (std::size_t shard = 0; shard < 64; ++shard) {
+    const std::uint64_t key = shard_key("t", shard);
+    const std::vector<NodeId> walk = a.walk(key);
+    ASSERT_EQ(walk.size(), 8u);
+    std::set<NodeId> distinct(walk.begin(), walk.end());
+    EXPECT_EQ(distinct.size(), 8u) << "walk visits every member once";
+    for (std::size_t r = 0; r < 8; ++r) {
+      EXPECT_EQ(a.holder(key, r), walk[r]);
+      EXPECT_EQ(b.holder(key, r), walk[r]) << "same seed, same ring";
+    }
+  }
+  EXPECT_THROW(a.holder(shard_key("t", 0), 8), std::out_of_range);
+}
+
+TEST(HashRing, MembershipIsJoinOrderIndependent) {
+  HashRing direct(4);
+  HashRing grown(1);  // starts with member 0
+  grown.add_node(3);
+  grown.add_node(1);
+  grown.add_node(2);
+  for (std::size_t shard = 0; shard < 64; ++shard) {
+    const std::uint64_t key = shard_key("orders", shard);
+    for (std::size_t r = 0; r < 4; ++r)
+      EXPECT_EQ(direct.holder(key, r), grown.holder(key, r))
+          << "shard " << shard << " rank " << r;
+  }
+}
+
+TEST(HashRing, VirtualNodesSpreadKeysRoughlyEvenly) {
+  HashRing ring(8);
+  std::vector<std::size_t> count(8, 0);
+  const std::size_t keys = 20000;
+  for (std::size_t k = 0; k < keys; ++k)
+    ++count[ring.holder(shard_key("t", k), 0)];
+  std::size_t min = keys, max = 0;
+  for (const std::size_t c : count) {
+    min = std::min(min, c);
+    max = std::max(max, c);
+  }
+  // 64 vnodes/member: shares stay within a loose band around 1/8.
+  EXPECT_GT(min, keys / 8 / 3);
+  EXPECT_LT(max, keys * 3 / 8);
+}
+
+TEST(HashRing, AddingANodeMovesOnlyAFractionOfKeysToIt) {
+  HashRing before(8);
+  const std::size_t keys = 20000;
+  std::vector<NodeId> old_holder(keys);
+  for (std::size_t k = 0; k < keys; ++k)
+    old_holder[k] = before.holder(shard_key("t", k), 0);
+  HashRing after(8);
+  after.add_node(8);
+  std::size_t moved = 0, to_new = 0;
+  for (std::size_t k = 0; k < keys; ++k) {
+    const NodeId now = after.holder(shard_key("t", k), 0);
+    if (now != old_holder[k]) {
+      ++moved;
+      if (now == 8) ++to_new;
+    }
+  }
+  // Consistent hashing: ~1/9 of keys move, and every moved key moves TO
+  // the new member (nothing reshuffles between old members).
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, keys / 4);
+  EXPECT_EQ(moved, to_new);
+  EXPECT_THROW(after.add_node(8), std::invalid_argument);
+  after.remove_node(8);
+  for (std::size_t k = 0; k < keys; ++k)
+    EXPECT_EQ(after.holder(shard_key("t", k), 0), old_holder[k]);
+  EXPECT_THROW(after.remove_node(8), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ShardSpace — quantum -> shard indirection
+// ---------------------------------------------------------------------------
+
+TEST(ShardSpace, DealsQuantaEvenlyAndValidates) {
+  ShardSpace space(64, 4, 8);
+  EXPECT_EQ(space.num_quanta(), 64u);
+  EXPECT_EQ(space.active_shards(), 4u);
+  EXPECT_EQ(space.version(), 1u);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(space.quanta_count(s), 16u);
+  for (std::size_t s = 4; s < 8; ++s) {
+    EXPECT_FALSE(space.active(s));
+    EXPECT_EQ(space.quanta_count(s), 0u);
+  }
+  for (std::size_t q = 0; q < 64; ++q) EXPECT_EQ(space.shard_of(q), q / 16);
+  EXPECT_THROW(ShardSpace(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ShardSpace(8, 4, 2), std::invalid_argument);
+  EXPECT_THROW(ShardSpace(2, 4, 8), std::invalid_argument);
+  EXPECT_THROW(space.shard_of(64), std::out_of_range);
+  EXPECT_THROW(space.active(8), std::out_of_range);
+}
+
+TEST(ShardSpace, SplitMovesUpperHalfToLowestInactiveId) {
+  ShardSpace space(64, 4, 8);
+  const auto fresh = space.split(1);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(*fresh, 4u);  // lowest inactive id
+  EXPECT_TRUE(space.active(4));
+  EXPECT_EQ(space.active_shards(), 5u);
+  EXPECT_EQ(space.quanta_count(1), 8u);
+  EXPECT_EQ(space.quanta_count(4), 8u);
+  EXPECT_EQ(space.version(), 2u);
+  // Upper half by quantum id: shard 1 held quanta 16..31.
+  for (std::size_t q = 16; q < 24; ++q) EXPECT_EQ(space.shard_of(q), 1u);
+  for (std::size_t q = 24; q < 32; ++q) EXPECT_EQ(space.shard_of(q), 4u);
+  EXPECT_THROW(space.split(5), std::invalid_argument);  // inactive
+}
+
+TEST(ShardSpace, MergeFoldsAndRetires) {
+  ShardSpace space(64, 4, 8);
+  space.merge(3, 0);
+  EXPECT_FALSE(space.active(3));
+  EXPECT_EQ(space.active_shards(), 3u);
+  EXPECT_EQ(space.quanta_count(0), 32u);
+  EXPECT_EQ(space.quanta_count(3), 0u);
+  for (std::size_t q = 48; q < 64; ++q) EXPECT_EQ(space.shard_of(q), 0u);
+  EXPECT_THROW(space.merge(3, 0), std::invalid_argument);
+  EXPECT_THROW(space.merge(1, 1), std::invalid_argument);
+}
+
+TEST(ShardSpace, SplitRefusesWithoutHeadroomOrQuanta) {
+  ShardSpace tight(4, 2, 2);
+  EXPECT_FALSE(tight.split(0).has_value());  // no inactive id
+  ShardSpace thin(4, 4, 8);
+  EXPECT_FALSE(thin.split(0).has_value());  // single quantum
+}
+
+// ---------------------------------------------------------------------------
+// RingPlacementAuthority — ring placement + migration overrides
+// ---------------------------------------------------------------------------
+
+TEST(Authority, OverridePinsPrimaryAndDeduplicatesWalk) {
+  RingPlacementAuthority authority(4);
+  const NodeId ring_primary = authority.shard_holder("t", 3, 0);
+  const NodeId other = ring_primary == 0 ? 1 : 0;
+  authority.set_primary_override("t", 3, other);
+  EXPECT_EQ(authority.shard_holder("t", 3, 0), other);
+  EXPECT_EQ(authority.primary_override("t", 3), other);
+  EXPECT_EQ(authority.num_overrides(), 1u);
+  // Ranks 1.. enumerate the remaining members exactly once each.
+  std::set<NodeId> seen{other};
+  for (std::size_t r = 1; r < 4; ++r) {
+    const NodeId n = authority.shard_holder("t", 3, r);
+    EXPECT_TRUE(seen.insert(n).second) << "rank " << r << " repeats " << n;
+  }
+  EXPECT_EQ(authority.shard_holder("t", 3, 4),
+            ShardPlacementAuthority::kNoHolder);
+  authority.clear_override("t", 3);
+  EXPECT_EQ(authority.shard_holder("t", 3, 0), ring_primary);
+  EXPECT_EQ(authority.primary_override("t", 3),
+            ShardPlacementAuthority::kNoHolder);
+  // Another table's same shard id is a different key entirely.
+  authority.set_primary_override("t", 3, other);
+  EXPECT_EQ(authority.primary_override("u", 3),
+            ShardPlacementAuthority::kNoHolder);
+}
+
+TEST(Authority, ClusterServingNodeWalksTheRing) {
+  Table table = small_dataset(800, 2, 7);
+  Cluster cluster(4, Network::single_zone(4));
+  PartitionSpec spec;
+  spec.replicas = 2;
+  cluster.load_table("t", table, spec);
+  RingPlacementAuthority authority(4);
+  cluster.set_placement_authority(&authority);
+  const NodeId primary = authority.shard_holder("t", 2, 0);
+  const NodeId secondary = authority.shard_holder("t", 2, 1);
+  EXPECT_EQ(cluster.serving_node("t", 2), primary);
+  cluster.set_node_down(primary, true);
+  EXPECT_EQ(cluster.serving_node("t", 2), secondary);
+  cluster.set_node_down(primary, false);
+  cluster.set_placement_authority(nullptr);
+}
+
+// Satellite: restart_node re-replication consults the placement authority,
+// so a node rebuilt after a migration moved a shard onto it re-replicates
+// exactly the shards the authority (including overrides) assigns it —
+// static (shard + r) % N placement would rebuild a different set.
+TEST(Authority, RestartRebuildsShardsWhereTheAuthoritySaysTheyLive) {
+  Table table = small_dataset(1600, 2, 11);
+  Cluster cluster(4, Network::single_zone(4));
+  PartitionSpec spec;
+  spec.replicas = 2;
+  cluster.load_table("t", table, spec);
+  RingPlacementAuthority authority(4);
+  cluster.set_placement_authority(&authority);
+
+  const NodeId victim = 2;
+  // Pick a shard the ring does NOT place on the victim at any replica
+  // rank, then migrate it there via an override.
+  std::size_t moved_shard = cluster.num_nodes();
+  for (std::size_t shard = 0; shard < cluster.num_nodes(); ++shard) {
+    bool on_victim = false;
+    for (std::size_t r = 0; r < spec.replicas; ++r)
+      on_victim |= authority.shard_holder("t", shard, r) == victim;
+    if (!on_victim) {
+      moved_shard = shard;
+      break;
+    }
+  }
+  ASSERT_LT(moved_shard, cluster.num_nodes())
+      << "ring placed every shard on the victim in the top ranks";
+  authority.set_primary_override("t", moved_shard, victim);
+
+  // Expected rebuild set: every shard the authority assigns the victim,
+  // which now includes the migrated-in shard.
+  std::uint64_t expected_bytes = 0;
+  std::uint64_t expected_shards = 0;
+  for (std::size_t shard = 0; shard < cluster.num_nodes(); ++shard) {
+    bool holds = false;
+    for (std::size_t r = 0; r < spec.replicas; ++r)
+      holds |= authority.shard_holder("t", shard, r) == victim;
+    if (!holds) continue;
+    const std::uint64_t bytes =
+        cluster.partition("t", static_cast<NodeId>(shard)).byte_size();
+    if (bytes == 0) continue;
+    expected_bytes += bytes;
+    ++expected_shards;
+  }
+  const std::uint64_t moved_bytes =
+      cluster.partition("t", static_cast<NodeId>(moved_shard)).byte_size();
+  EXPECT_GT(moved_bytes, 0u);
+  EXPECT_GE(expected_bytes, moved_bytes);
+
+  cluster.crash_node(victim);
+  const std::uint64_t restored = cluster.restart_node(victim);
+  EXPECT_EQ(restored, expected_bytes);
+  EXPECT_EQ(cluster.recovery_stats().shards_restored, expected_shards);
+  EXPECT_FALSE(cluster.placement_lost(victim));
+  cluster.set_placement_authority(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// MigrationCoordinator — the two-phase protocol
+// ---------------------------------------------------------------------------
+
+struct MigrationRig {
+  Cluster cluster;
+  FaultPlan plan;
+  FaultInjector inj;
+  GossipMembership gm;
+  RingPlacementAuthority authority;
+  ShardSpace space;
+  LeaseDirectory dir;
+  MigrationCoordinator mig;
+
+  explicit MigrationRig(FaultPlan p = {}, MigrationConfig mc = {},
+                        std::size_t nodes = 4, std::size_t initial_shards = 4,
+                        std::size_t max_shards = 8)
+      : cluster(nodes, Network::single_zone(nodes)),
+        plan(std::move(p)),
+        inj(plan),
+        gm((inj.attach(cluster), cluster)),
+        authority(nodes),
+        space(64, initial_shards, max_shards),
+        dir((cluster.set_placement_authority(&authority), cluster), gm, "t",
+            max_shards),
+        mig(cluster, dir, authority, space, mc) {}
+
+  ~MigrationRig() {
+    cluster.set_placement_authority(nullptr);
+    inj.detach(cluster);
+  }
+
+  void drive_to(std::uint64_t tick) {
+    while (inj.now() < tick) {
+      inj.tick(cluster);
+      gm.advance_to(inj.now());
+      dir.advance_to(inj.now());
+      mig.advance_to(inj.now());
+    }
+  }
+};
+
+TEST(Migration, FastPathHandoffBumpsEpochAndPinsOverride) {
+  MigrationRig rig;
+  rig.drive_to(20);  // leases granted and stable
+  const std::size_t shard = 0;
+  const NodeId src = rig.dir.lease(shard).holder;
+  ASSERT_NE(src, kNone);
+  const std::uint64_t old_epoch = rig.dir.lease(shard).epoch;
+  const NodeId dst = (src + 1) % 4;
+  const auto id = rig.mig.request_move(shard, dst, rig.inj.now());
+  ASSERT_TRUE(id.has_value());
+  rig.drive_to(60);
+  const Migration& m = rig.mig.log().at(*id);
+  EXPECT_EQ(m.phase, MigrationPhase::kDone);
+  EXPECT_EQ(rig.mig.stats().committed, 1u);
+  EXPECT_EQ(rig.mig.stats().fast_handoffs, 1u);
+  EXPECT_EQ(rig.mig.stats().expiry_grants, 0u);
+  EXPECT_GT(m.frames_total, 0u);
+  EXPECT_EQ(rig.mig.stats().frames_shipped, m.frames_total);
+  // Epoch moved exactly once, to the destination, and placement agrees.
+  EXPECT_EQ(rig.dir.lease(shard).holder, dst);
+  EXPECT_GT(m.new_epoch, old_epoch);
+  EXPECT_EQ(rig.authority.primary_override("t", shard), dst);
+  EXPECT_EQ(rig.dir.preferred_holder(shard), kNone);
+  EXPECT_EQ(rig.dir.stats().handoffs, 1u);
+  EXPECT_TRUE(rig.mig.idle());
+}
+
+TEST(Migration, RefusalsAreTypedAndCounted) {
+  MigrationConfig mc;
+  mc.max_concurrent = 2;
+  MigrationRig rig({}, mc);
+  rig.drive_to(20);
+  const NodeId src0 = rig.dir.lease(0).holder;
+  const NodeId dst0 = (src0 + 1) % 4;
+  EXPECT_THROW(rig.mig.request_move(99, dst0, rig.inj.now()),
+               std::out_of_range);
+  EXPECT_THROW(rig.mig.request_move(0, 9, rig.inj.now()), std::out_of_range);
+  // Moving to the current holder is a no-op refusal.
+  EXPECT_FALSE(rig.mig.request_move(0, src0, rig.inj.now()).has_value());
+  EXPECT_EQ(rig.mig.stats().refused_duplicate, 1u);
+  // Inactive shard (split headroom) refuses.
+  EXPECT_FALSE(rig.mig.request_move(6, dst0, rig.inj.now()).has_value());
+  EXPECT_EQ(rig.mig.stats().refused_inactive, 1u);
+  ASSERT_TRUE(rig.mig.request_move(0, dst0, rig.inj.now()).has_value());
+  // Same shard again while in flight: duplicate.
+  EXPECT_FALSE(rig.mig.request_move(0, dst0, rig.inj.now()).has_value());
+  EXPECT_EQ(rig.mig.stats().refused_duplicate, 2u);
+  // Fill the in-flight budget, then any further request is refused on it.
+  const NodeId dst1 = (rig.dir.lease(1).holder + 1) % 4;
+  ASSERT_TRUE(rig.mig.request_move(1, dst1, rig.inj.now()).has_value());
+  const NodeId dst2 = (rig.dir.lease(2).holder + 1) % 4;
+  EXPECT_FALSE(rig.mig.request_move(2, dst2, rig.inj.now()).has_value());
+  EXPECT_EQ(rig.mig.stats().refused_budget, 1u);
+  EXPECT_EQ(rig.mig.stats().requested, 2u);
+}
+
+/// Eligibility veto stub: the placement-level quarantine contract (the
+/// end-to-end scrub-quarantine version lives in test_integrity.cpp).
+class VetoOne final : public LeaseEligibility {
+ public:
+  explicit VetoOne(NodeId node) : node_(node) {}
+  bool lease_eligible(NodeId node) const override { return node != node_; }
+
+ private:
+  NodeId node_;
+};
+
+TEST(Migration, QuarantinedDestinationIsRefusedUntilReleased) {
+  MigrationRig rig;
+  rig.drive_to(20);
+  const NodeId src = rig.dir.lease(0).holder;
+  const NodeId dst = (src + 1) % 4;
+  VetoOne gate(dst);
+  rig.dir.set_eligibility(&gate);
+  EXPECT_FALSE(rig.mig.request_move(0, dst, rig.inj.now()).has_value());
+  EXPECT_EQ(rig.mig.stats().refused_ineligible, 1u);
+  // Repair completes: the veto lifts and the same request is accepted.
+  rig.dir.set_eligibility(nullptr);
+  EXPECT_TRUE(rig.mig.request_move(0, dst, rig.inj.now()).has_value());
+  rig.drive_to(60);
+  EXPECT_EQ(rig.mig.stats().committed, 1u);
+  EXPECT_EQ(rig.dir.lease(0).holder, dst);
+}
+
+TEST(Migration, DestinationCrashAbortsRollsBackAndExhaustsBudget) {
+  // Slow the frame pacing so the destination's crash at tick 25 lands
+  // mid-PREPARE (request at 20 -> attempt starts 21 -> 8 frames at 1/tick
+  // span ticks 22..29).
+  FaultPlan plan;
+  plan.node_crashes = {{3, 25, 400}};
+  MigrationConfig mc;
+  mc.frames_per_tick = 1;
+  mc.retry_budget = 3;
+  mc.retry_backoff_ticks = 8;
+  MigrationRig rig(plan, mc);
+  rig.drive_to(20);
+  std::size_t shard = rig.space.max_shards();
+  for (std::size_t s = 0; s < 4; ++s) {
+    const NodeId h = rig.dir.lease(s).holder;
+    if (h != kNone && h != 3) {
+      shard = s;
+      break;
+    }
+  }
+  ASSERT_LT(shard, rig.space.max_shards());
+  const NodeId src = rig.dir.lease(shard).holder;
+  ASSERT_TRUE(rig.mig.request_move(shard, 3, rig.inj.now()).has_value());
+  rig.drive_to(200);
+  EXPECT_EQ(rig.mig.stats().committed, 0u);
+  EXPECT_EQ(rig.mig.stats().failed, 1u);
+  EXPECT_EQ(rig.mig.stats().started, 3u);  // budget attempts, all aborted
+  EXPECT_EQ(rig.mig.stats().aborted, 3u);
+  EXPECT_EQ(rig.mig.stats().retries, 2u);
+  EXPECT_LT(rig.mig.stats().frames_shipped, 8u);  // crash cut PREPARE short
+  // Rollback: the lease never moved and no routing hint lingers.
+  EXPECT_EQ(rig.dir.lease(shard).holder, src);
+  EXPECT_EQ(rig.dir.preferred_holder(shard), kNone);
+  EXPECT_EQ(rig.authority.primary_override("t", shard),
+            ShardPlacementAuthority::kNoHolder);
+  EXPECT_TRUE(rig.mig.idle());
+}
+
+TEST(Migration, CorruptFramesAreCaughtByCrcAndAbortTheAttempt) {
+  MigrationConfig mc;
+  mc.frame_corrupt_probability = 1.0;  // every shipped frame is damaged
+  mc.retry_budget = 2;
+  mc.retry_backoff_ticks = 4;
+  MigrationRig rig({}, mc);
+  rig.drive_to(20);
+  const NodeId src = rig.dir.lease(0).holder;
+  const NodeId dst = (src + 1) % 4;
+  ASSERT_TRUE(rig.mig.request_move(0, dst, rig.inj.now()).has_value());
+  rig.drive_to(100);
+  EXPECT_EQ(rig.mig.stats().frames_corrupt, 2u);  // one per attempt
+  EXPECT_EQ(rig.mig.stats().frames_shipped, 0u);
+  EXPECT_EQ(rig.mig.stats().aborted, 2u);
+  EXPECT_EQ(rig.mig.stats().failed, 1u);
+  EXPECT_EQ(rig.mig.stats().committed, 0u);
+  EXPECT_EQ(rig.dir.lease(0).holder, src);
+}
+
+/// StorageFaultModel stub: every durable write at the destination loses
+/// its flush entirely — the frame "persists" but is not on the medium.
+class LoseEverything final : public StorageFaultModel {
+ public:
+  WriteFault on_durable_write(NodeId, std::size_t) override {
+    WriteFault f;
+    f.lost = true;
+    return f;
+  }
+  double stall_multiplier(NodeId) const override { return 1.0; }
+};
+
+TEST(Migration, LostDurableWritesFailReadBackVerification) {
+  MigrationConfig mc;
+  mc.retry_budget = 1;
+  MigrationRig rig({}, mc);
+  rig.drive_to(20);
+  const NodeId src = rig.dir.lease(0).holder;
+  LoseEverything storage;
+  rig.mig.set_storage_faults(&storage);
+  ASSERT_TRUE(
+      rig.mig.request_move(0, (src + 1) % 4, rig.inj.now()).has_value());
+  rig.drive_to(60);
+  EXPECT_EQ(rig.mig.stats().frames_corrupt, 1u);
+  EXPECT_EQ(rig.mig.stats().failed, 1u);
+  EXPECT_EQ(rig.dir.lease(0).holder, src);
+}
+
+TEST(Migration, UnreachableSourceCommitsViaPreferredExpiryGrant) {
+  // The source drops off the network right as COMMIT begins: the fence leg
+  // can never be delivered, so the fast path is unavailable. The slow path
+  // must land the lease on the destination at natural TTL expiry, because
+  // PREPARE installed the destination as the preferred grant candidate.
+  // Tick math (deterministic): request at 20 -> attempt starts 21 ->
+  // frames ship 22..23 (8 at 4/tick) -> COMMIT steps from 24 = down_at.
+  MigrationRig probe;  // dry run to learn who holds shard 0
+  probe.drive_to(20);
+  const NodeId src = probe.dir.lease(0).holder;
+  ASSERT_NE(src, kNone);
+
+  FaultPlan plan;
+  plan.flaps = {{src, 24, 260}};
+  MigrationConfig mc;
+  mc.commit_timeout_ticks = 120;
+  MigrationRig rig(plan, mc);
+  rig.drive_to(20);
+  ASSERT_EQ(rig.dir.lease(0).holder, src)
+      << "a not-yet-started flap must not perturb the grant order";
+  const NodeId dst = (src + 1) % 4;
+  ASSERT_TRUE(rig.mig.request_move(0, dst, rig.inj.now()).has_value());
+  rig.drive_to(200);
+  EXPECT_EQ(rig.mig.stats().committed, 1u);
+  EXPECT_EQ(rig.mig.stats().fast_handoffs, 0u);
+  EXPECT_EQ(rig.mig.stats().expiry_grants, 1u);
+  EXPECT_EQ(rig.mig.stats().aborted, 0u);
+  EXPECT_EQ(rig.dir.lease(0).holder, dst);
+  EXPECT_EQ(rig.authority.primary_override("t", 0), dst);
+  EXPECT_EQ(rig.dir.preferred_holder(0), kNone);
+}
+
+TEST(Migration, SplitActivatesFreshShardOnTheParentHolder) {
+  MigrationRig rig;
+  rig.drive_to(20);
+  const NodeId holder = rig.dir.lease(1).holder;
+  ASSERT_NE(holder, kNone);
+  const auto id = rig.mig.request_split(1, rig.inj.now());
+  ASSERT_TRUE(id.has_value());
+  rig.drive_to(80);
+  const Migration& m = rig.mig.log().at(*id);
+  EXPECT_EQ(m.phase, MigrationPhase::kDone);
+  EXPECT_EQ(rig.mig.stats().splits_committed, 1u);
+  const std::size_t fresh = m.counterpart;
+  EXPECT_EQ(fresh, 4u);  // lowest inactive id
+  EXPECT_TRUE(rig.space.active(fresh));
+  EXPECT_TRUE(rig.dir.shard_active(fresh));
+  // The parent's holder is pinned and wins the fresh shard's first grant.
+  EXPECT_EQ(rig.authority.primary_override("t", fresh), holder);
+  EXPECT_EQ(rig.dir.lease(fresh).holder, holder);
+  EXPECT_EQ(rig.space.quanta_count(1), 8u);
+  EXPECT_EQ(rig.space.quanta_count(fresh), 8u);
+}
+
+TEST(Migration, MergeRetiresTheShardAndFencesItsLease) {
+  MigrationRig rig;
+  rig.drive_to(20);
+  const NodeId from_holder = rig.dir.lease(3).holder;
+  ASSERT_NE(from_holder, kNone);
+  ASSERT_NE(rig.dir.lease(2).holder, kNone);
+  const auto id = rig.mig.request_merge(3, 2, rig.inj.now());
+  ASSERT_TRUE(id.has_value());
+  rig.drive_to(120);
+  EXPECT_EQ(rig.mig.log().at(*id).phase, MigrationPhase::kDone);
+  EXPECT_EQ(rig.mig.stats().merges_committed, 1u);
+  EXPECT_FALSE(rig.space.active(3));
+  EXPECT_FALSE(rig.dir.shard_active(3));
+  EXPECT_EQ(rig.dir.lease_holder("t", 3), kNone);
+  EXPECT_EQ(rig.space.quanta_count(2), 32u);
+  // The retired shard's old holder is fenced the moment it would serve.
+  EXPECT_THROW(rig.dir.check_serve("t", 3, from_holder, rig.dir.now()),
+               StaleEpoch);
+  // Merging into a retired shard refuses.
+  EXPECT_FALSE(rig.mig.request_merge(1, 3, rig.inj.now()).has_value());
+  EXPECT_GT(rig.mig.stats().refused_inactive, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Rebalancer — closed-loop planning
+// ---------------------------------------------------------------------------
+
+TEST(Rebalancer, SplitsTheDominantHotShard) {
+  MigrationRig rig;
+  RebalancerConfig rc;
+  rc.period_ticks = 8;
+  Rebalancer reb(rig.mig, rig.dir, rig.space, rig.cluster, rc);
+  rig.drive_to(20);
+  // One shard carries ~all load on its node: the plan must split it, not
+  // shuffle it to another node (moving the hotspot just relocates it).
+  for (int i = 0; i < 40; ++i) reb.observe_query(0, 1.0);
+  reb.observe_query(1, 1.0);
+  reb.on_tick(rig.inj.now());
+  EXPECT_GT(reb.stats().plans, 0u);
+  EXPECT_GT(reb.stats().pressure_plans, 0u);
+  EXPECT_EQ(reb.stats().splits_requested, 1u);
+  EXPECT_EQ(reb.stats().moves_requested, 0u);
+  rig.drive_to(80);
+  EXPECT_EQ(rig.mig.stats().splits_committed, 1u);
+}
+
+TEST(Rebalancer, MovesAHotShardThatIsNotDominant) {
+  MigrationRig rig;
+  RebalancerConfig rc;
+  rc.period_ticks = 8;
+  Rebalancer reb(rig.mig, rig.dir, rig.space, rig.cluster, rc);
+  rig.drive_to(20);
+  // Co-locate shards 0 and 1 so the hot node's load is split roughly
+  // evenly between them: neither is dominant, so relief means moving one
+  // off-node, not splitting.
+  const NodeId hot = rig.dir.lease(0).holder;
+  ASSERT_NE(hot, kNone);
+  if (rig.dir.lease(1).holder != hot) {
+    ASSERT_TRUE(rig.mig.request_move(1, hot, rig.inj.now()).has_value());
+    rig.drive_to(60);
+    ASSERT_EQ(rig.dir.lease(1).holder, hot);
+  } else {
+    rig.drive_to(60);
+  }
+  for (int i = 0; i < 30; ++i) reb.observe_query(0, 1.0);
+  for (int i = 0; i < 28; ++i) reb.observe_query(1, 1.0);
+  reb.on_tick(rig.inj.now());
+  EXPECT_EQ(reb.stats().splits_requested, 0u);
+  EXPECT_EQ(reb.stats().moves_requested, 1u);
+  rig.drive_to(120);
+  EXPECT_NE(rig.dir.lease(0).holder, hot) << "hottest shard moved off-node";
+}
+
+TEST(Rebalancer, MergesColdShardsInCalmPeriodsOnly) {
+  MigrationRig rig;
+  RebalancerConfig rc;
+  rc.period_ticks = 8;
+  rc.imbalance_ratio = 10.0;  // keep the uneven-but-calm load below relief
+  rc.min_active_shards = 2;
+  Rebalancer reb(rig.mig, rig.dir, rig.space, rig.cluster, rc);
+  rig.drive_to(20);
+  for (int i = 0; i < 20; ++i) reb.observe_query(0, 1.0);
+  for (int i = 0; i < 20; ++i) reb.observe_query(1, 1.0);
+  reb.observe_query(2, 0.1);
+  reb.observe_query(3, 0.1);
+  reb.on_tick(rig.inj.now());
+  EXPECT_EQ(reb.stats().pressure_plans, 0u);
+  EXPECT_EQ(reb.stats().merges_requested, 1u);
+  rig.drive_to(120);
+  EXPECT_EQ(rig.mig.stats().merges_committed, 1u);
+  EXPECT_EQ(rig.space.active_shards(), 3u);
+}
+
+TEST(Rebalancer, WindowBudgetThrottlesMigrationStorms) {
+  MigrationRig rig;
+  RebalancerConfig rc;
+  rc.period_ticks = 4;
+  rc.window_ticks = 400;
+  rc.migrations_per_window = 1;
+  Rebalancer reb(rig.mig, rig.dir, rig.space, rig.cluster, rc);
+  rig.drive_to(20);
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 40; ++i) reb.observe_query(0, 1.0);
+    reb.observe_query(1, 1.0);
+    rig.drive_to(rig.inj.now() + 4);
+    reb.on_tick(rig.inj.now());
+  }
+  EXPECT_EQ(reb.stats().splits_requested + reb.stats().moves_requested, 1u);
+  EXPECT_GT(reb.stats().window_throttled, 0u);
+}
+
+TEST(Rebalancer, RejectsBadConfig) {
+  MigrationRig rig;
+  RebalancerConfig rc;
+  rc.period_ticks = 0;
+  EXPECT_THROW(Rebalancer(rig.mig, rig.dir, rig.space, rig.cluster, rc),
+               std::invalid_argument);
+  rc = RebalancerConfig{};
+  rc.ewma_alpha = 1.5;
+  EXPECT_THROW(Rebalancer(rig.mig, rig.dir, rig.space, rig.cluster, rc),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// E20Scenario — the acceptance: 100-seed elastic chaos sweep
+// ---------------------------------------------------------------------------
+
+struct E20Run {
+  ElasticSimStats stats;
+  std::uint64_t dual_serves = 0;
+  MigrationStats migration;
+  double p99_ms = 0.0;
+  std::string trace_json;
+  std::string metrics_json;
+  std::string schedule_json;
+};
+
+E20Run run_e20(std::uint64_t seed, bool rebalance) {
+  ChaosConfig cc;
+  cc.seed = seed;
+  cc.num_nodes = 8;
+  cc.horizon_ticks = 420;
+  cc.crashes = 1;
+  cc.flaps = 1;
+  cc.grey_nodes = 1;
+  cc.drop_probability = 0.05;
+  cc.partitions = 1;
+  cc.min_partition_ticks = 40;
+  cc.max_partition_ticks = 100;
+  cc.load_multiplier = 1.0;
+  cc.load_spikes = 1;
+  cc.min_spike_ticks = 60;
+  cc.max_spike_ticks = 120;
+  cc.spike_load_multiplier = 3.0;
+  cc.torn_write_probability = 0.05;
+  cc.bit_flip_probability = 0.05;
+  cc.migration_frame_corrupt_probability = 0.05;
+  const ChaosSchedule sched = make_chaos_schedule(cc);
+
+  Cluster cluster(8, Network::single_zone(8));
+  FaultInjector inj(sched.plan);
+  inj.attach(cluster);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  GossipMembership gm(cluster);
+  gm.bind_obs(&tracer, &metrics);
+  RingPlacementAuthority authority(8);
+  cluster.set_placement_authority(&authority);
+  ShardSpace space(64, 8, 16);
+  LeaseDirectory dir(cluster, gm, "t", 16);
+  dir.bind_obs(&tracer, &metrics);
+  MigrationConfig mc;
+  mc.frame_corrupt_probability = sched.migration_frame_corrupt_probability;
+  mc.corrupt_seed = seed * 0x9e37ULL + 0x519C0ULL;
+  MigrationCoordinator mig(cluster, dir, authority, space, mc);
+  mig.set_storage_faults(&inj);
+  mig.bind_obs(&tracer, &metrics);
+  RebalancerConfig rc;
+  rc.period_ticks = 16;
+  rc.window_ticks = 96;
+  rc.migrations_per_window = 2;
+  Rebalancer reb(mig, dir, space, cluster, rc);
+  reb.bind_obs(&metrics);
+  ElasticSimConfig sc;
+  sc.workload_seed = seed ^ 0xE20ULL;
+
+  E20Run out;
+  {
+    ElasticServingSim sim(cluster, inj, gm, dir, mig, space,
+                          rebalance ? &reb : nullptr, &sched, sc);
+    sim.bind_obs(&metrics);
+    sim.run(420);
+    out.stats = sim.stats();
+    out.dual_serves = sim.dual_serves();
+    out.p99_ms = sim.p99_latency_ms();
+  }
+  out.migration = mig.stats();
+  out.schedule_json = sched.dump_json();
+  cluster.set_placement_authority(nullptr);
+  inj.detach(cluster);
+  out.trace_json = tracer.dump_json();
+  out.metrics_json = metrics.snapshot_json();
+  return out;
+}
+
+TEST(E20Scenario, HundredSeedElasticChaosSweepIsExactAndSafe) {
+  std::uint64_t committed = 0, splits = 0, lease_moves = 0, aborted = 0;
+  std::uint64_t owner_serves = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const E20Run run = run_e20(seed, true);
+    // Answered-or-accounted: nothing is lost mid-migration. One log line
+    // reproduces any failure (the schedule token below).
+    EXPECT_TRUE(run.stats.conserved())
+        << "seed " << seed << " schedule " << run.schedule_json;
+    // The two safety invariants under live migration + chaos: no (shard,
+    // epoch) is ever dual-served, and no serve happens under an epoch the
+    // directory had already superseded.
+    EXPECT_EQ(run.dual_serves, 0u)
+        << "seed " << seed << " schedule " << run.schedule_json;
+    EXPECT_EQ(run.stats.stale_epoch_serves, 0u)
+        << "seed " << seed << " schedule " << run.schedule_json;
+    committed += run.migration.committed;
+    splits += run.migration.splits_committed;
+    lease_moves += run.migration.fast_handoffs + run.migration.expiry_grants;
+    aborted += run.migration.aborted;
+    owner_serves += run.stats.owner_serves;
+  }
+  // The sweep was a real elastic-chaos test: the rebalancer migrated
+  // mid-storm (splits and lease-moving commits both landed), some attempts
+  // were aborted by the chaos and rolled back safely, and the system still
+  // answered authoritatively.
+  EXPECT_GT(committed, 0u);
+  EXPECT_GT(splits, 0u);
+  EXPECT_GT(lease_moves, 0u);
+  EXPECT_GT(aborted, 0u);
+  EXPECT_GT(owner_serves, 0u);
+}
+
+TEST(E20Scenario, TraceAndMetricsByteIdenticalAcrossThreadCounts) {
+  const E20Run one = with_threads(1, [] { return run_e20(42, true); });
+  const E20Run eight = with_threads(8, [] { return run_e20(42, true); });
+  EXPECT_EQ(one.trace_json, eight.trace_json);
+  EXPECT_EQ(one.metrics_json, eight.metrics_json);
+  EXPECT_EQ(one.dual_serves, eight.dual_serves);
+  EXPECT_EQ(one.stats.queries, eight.stats.queries);
+  EXPECT_EQ(one.stats.owner_serves, eight.stats.owner_serves);
+  EXPECT_EQ(one.stats.shed, eight.stats.shed);
+  EXPECT_EQ(one.migration.committed, eight.migration.committed);
+  EXPECT_EQ(one.p99_ms, eight.p99_ms);
+}
+
+TEST(E20Scenario, RebalancerEngagesUnderChaosAndStaysSafe) {
+  // Same storm, rebalancer on vs off: with the loop closed, migrations
+  // commit; with it open, none do — and both stay conserved and
+  // dual-serve-free. (The p99-across-a-load-sweep claim is BENCH_e20's
+  // business; here we assert the control loop actually engages.)
+  const E20Run off = run_e20(7, false);
+  const E20Run on = run_e20(7, true);
+  EXPECT_EQ(off.migration.committed, 0u);
+  EXPECT_GT(on.migration.committed, 0u);
+  EXPECT_TRUE(off.stats.conserved());
+  EXPECT_TRUE(on.stats.conserved());
+  EXPECT_EQ(off.dual_serves + on.dual_serves, 0u);
+}
+
+}  // namespace
+}  // namespace sea::placement
